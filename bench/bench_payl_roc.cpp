@@ -1,0 +1,62 @@
+// Statistical-baseline depth: a threshold sweep of the PAYL-like detector
+// over exploit vs held-out benign traffic. Shows the detection/false-
+// positive trade the statistical approach is forced into — and why Clet's
+// spectrum padding (last column) squeezes it — in contrast to the
+// semantic analyzer's thresholdless 100%/0% on the same corpora.
+#include <cstdio>
+#include <vector>
+
+#include "anomaly/payl.hpp"
+#include "bench_util.hpp"
+#include "gen/benign.hpp"
+#include "gen/poly.hpp"
+#include "gen/shellcode.hpp"
+
+using namespace senids;
+
+int main() {
+  bench::title("PAYL baseline: threshold sweep (ROC-style)");
+  const std::size_t n = bench::env_size("SENIDS_POLY_INSTANCES", 100);
+
+  anomaly::PaylDetector payl;
+  {
+    util::Prng train(1);
+    for (int i = 0; i < 5000; ++i) {
+      gen::BenignPayload p = gen::make_benign_payload(train);
+      payl.train(p.data, p.dst_port);
+    }
+  }
+
+  // Score corpora once; sweep thresholds over the scores.
+  util::Prng prng(2);
+  const auto payload = gen::make_shell_spawn_corpus()[1].code;
+  std::vector<double> exploit_scores, clet_scores, benign_scores;
+  for (std::size_t i = 0; i < n; ++i) {
+    auto adm = gen::admmutate_encode(payload, prng);
+    exploit_scores.push_back(
+        payl.score(gen::wrap_in_overflow(adm.bytes, prng), 80));
+    auto clet = gen::clet_encode(payload, prng, /*spectrum_pad=*/512);
+    clet_scores.push_back(payl.score(gen::wrap_in_overflow(clet.bytes, prng), 80));
+    gen::BenignPayload b = gen::make_benign_payload(prng);  // held-out benign
+    benign_scores.push_back(payl.score(b.data, b.dst_port));
+  }
+
+  auto rate_above = [](const std::vector<double>& scores, double thr) {
+    std::size_t hits = 0;
+    for (double s : scores) hits += s > thr;
+    return 100.0 * static_cast<double>(hits) / static_cast<double>(scores.size());
+  };
+
+  std::printf("%-12s %14s %16s %14s\n", "threshold", "ADMmutate det%",
+              "Clet(padded) det%", "benign FP%");
+  bench::rule();
+  for (double thr : {32.0, 64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0}) {
+    std::printf("%-12.0f %14.1f %16.1f %14.1f\n", thr, rate_above(exploit_scores, thr),
+                rate_above(clet_scores, thr), rate_above(benign_scores, thr));
+  }
+  bench::rule();
+  std::printf("expected shape: raising the threshold to kill FPs costs Clet\n"
+              "detection first (spectrum padding drags its scores toward benign);\n"
+              "the semantic analyzer needs no threshold at all.\n");
+  return 0;
+}

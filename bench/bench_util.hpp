@@ -1,0 +1,42 @@
+// Shared helpers for the reproduction benches: consistent table output
+// and environment-driven scaling (SENIDS_SCALE=paper runs the full-size
+// workloads of the paper; the default is scaled for quick iteration).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace senids::bench {
+
+inline bool paper_scale() {
+  const char* env = std::getenv("SENIDS_SCALE");
+  return env != nullptr && std::strcmp(env, "paper") == 0;
+}
+
+inline std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* env = std::getenv(name);
+  if (!env) return fallback;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(env, &end, 10);
+  return (end && *end == '\0' && v > 0) ? static_cast<std::size_t>(v) : fallback;
+}
+
+inline void rule(char c = '-', int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar(c);
+  std::putchar('\n');
+}
+
+inline void title(const char* text) {
+  rule('=');
+  std::printf("%s\n", text);
+  rule('=');
+}
+
+inline void section(const char* text) {
+  std::printf("\n%s\n", text);
+  rule('-');
+}
+
+}  // namespace senids::bench

@@ -1,0 +1,61 @@
+#include "anomaly/payl.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace senids::anomaly {
+
+namespace {
+std::array<double, 256> frequencies(util::ByteView payload) {
+  std::array<double, 256> freq{};
+  if (payload.empty()) return freq;
+  for (std::uint8_t b : payload) freq[b] += 1.0;
+  for (double& f : freq) f /= static_cast<double>(payload.size());
+  return freq;
+}
+}  // namespace
+
+void ByteModel::add(const std::array<double, 256>& freq) {
+  ++samples;
+  for (int i = 0; i < 256; ++i) {
+    const double delta = freq[static_cast<std::size_t>(i)] - mean[static_cast<std::size_t>(i)];
+    mean[static_cast<std::size_t>(i)] += delta / static_cast<double>(samples);
+    const double delta2 =
+        freq[static_cast<std::size_t>(i)] - mean[static_cast<std::size_t>(i)];
+    m2[static_cast<std::size_t>(i)] += delta * delta2;
+  }
+}
+
+double ByteModel::distance(const std::array<double, 256>& freq, double smoothing) const {
+  if (samples == 0) return 0.0;
+  double d = 0.0;
+  for (std::size_t i = 0; i < 256; ++i) {
+    const double var = samples > 1 ? m2[i] / static_cast<double>(samples - 1) : 0.0;
+    const double sd = std::sqrt(var) + smoothing;
+    d += std::abs(freq[i] - mean[i]) / sd;
+  }
+  return d;
+}
+
+std::uint32_t PaylDetector::bucket_of(std::size_t len) const noexcept {
+  if (!options_.bucket_by_length) return 0;
+  return static_cast<std::uint32_t>(std::bit_width(len));
+}
+
+void PaylDetector::train(util::ByteView payload, std::uint16_t dst_port) {
+  if (payload.empty()) return;
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(dst_port) << 32) | bucket_of(payload.size());
+  models_[key].add(frequencies(payload));
+}
+
+double PaylDetector::score(util::ByteView payload, std::uint16_t dst_port) const {
+  if (payload.empty()) return 0.0;
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(dst_port) << 32) | bucket_of(payload.size());
+  auto it = models_.find(key);
+  if (it == models_.end()) return 0.0;
+  return it->second.distance(frequencies(payload));
+}
+
+}  // namespace senids::anomaly

@@ -1,0 +1,29 @@
+#include "classify/classifier.hpp"
+
+namespace senids::classify {
+
+TrafficClassifier::TrafficClassifier(ClassifierOptions options)
+    : options_(options), dark_space_(options.dark_space_threshold) {}
+
+Verdict TrafficClassifier::observe(const net::ParsedPacket& pkt) {
+  if (options_.analyze_everything) return Verdict::kAnalyze;
+
+  const net::Ipv4Addr src = pkt.ip.src;
+
+  if (options_.use_honeypot && honeypots_.is_decoy(pkt.ip.dst)) {
+    // "Any sending host emitting traffic destined for a honeypot address
+    // is considered suspicious; and any packets sent by such a host will
+    // be analyzed."
+    tainted_.insert(src.value);
+  }
+
+  if (options_.use_dark_space && dark_space_.is_unused(pkt.ip.dst)) {
+    if (dark_space_.record_probe(src) >= dark_space_.threshold()) {
+      tainted_.insert(src.value);
+    }
+  }
+
+  return tainted_.contains(src.value) ? Verdict::kAnalyze : Verdict::kIgnore;
+}
+
+}  // namespace senids::classify

@@ -1,0 +1,112 @@
+// Traffic classification (Section 4.1): decide which packets are
+// "interesting" before the expensive stages run. Two schemes, exactly as
+// in the paper:
+//   1. Honeypot: traffic to registered decoy addresses taints the sender.
+//   2. Dark space: a source that keeps probing unused addresses is
+//      counted (n) and becomes suspicious at a threshold (t).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace senids::classify {
+
+/// CIDR prefix of unused address space.
+struct Prefix {
+  net::Ipv4Addr base;
+  std::uint8_t bits = 32;
+
+  [[nodiscard]] bool contains(net::Ipv4Addr addr) const noexcept {
+    if (bits == 0) return true;
+    const std::uint32_t mask = bits >= 32 ? 0xffffffffu : ~((1u << (32 - bits)) - 1);
+    return (addr.value & mask) == (base.value & mask);
+  }
+};
+
+class HoneypotRegistry {
+ public:
+  void add_decoy(net::Ipv4Addr addr) { decoys_.insert(addr.value); }
+  [[nodiscard]] bool is_decoy(net::Ipv4Addr addr) const {
+    return decoys_.contains(addr.value);
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return decoys_.size(); }
+
+ private:
+  std::unordered_set<std::uint32_t> decoys_;
+};
+
+class DarkSpaceDetector {
+ public:
+  explicit DarkSpaceDetector(std::size_t threshold = 5) : threshold_(threshold) {}
+
+  void add_unused_prefix(Prefix p) { prefixes_.push_back(p); }
+  [[nodiscard]] bool is_unused(net::Ipv4Addr addr) const {
+    for (const Prefix& p : prefixes_) {
+      if (p.contains(addr)) return true;
+    }
+    return false;
+  }
+
+  /// Record one probe to an unused address; returns the source's count n.
+  std::size_t record_probe(net::Ipv4Addr src) { return ++counts_[src.value]; }
+
+  [[nodiscard]] std::size_t count(net::Ipv4Addr src) const {
+    auto it = counts_.find(src.value);
+    return it == counts_.end() ? 0 : it->second;
+  }
+  [[nodiscard]] std::size_t threshold() const noexcept { return threshold_; }
+
+ private:
+  std::size_t threshold_;
+  std::vector<Prefix> prefixes_;
+  std::unordered_map<std::uint32_t, std::size_t> counts_;
+};
+
+enum class Verdict : std::uint8_t { kIgnore, kAnalyze };
+
+struct ClassifierOptions {
+  bool use_honeypot = true;
+  bool use_dark_space = true;
+  std::size_t dark_space_threshold = 5;
+  /// Disable classification entirely — every packet is analyzed (the
+  /// Section 5.4 false-positive configuration).
+  bool analyze_everything = false;
+};
+
+/// Stateful classifier. observe() must see every packet in order; it
+/// returns the verdict for that packet. Sources stay tainted for the
+/// remainder of the run (the paper takes "further action ... against the
+/// offending IP address").
+class TrafficClassifier {
+ public:
+  explicit TrafficClassifier(ClassifierOptions options = ClassifierOptions{});
+
+  HoneypotRegistry& honeypots() noexcept { return honeypots_; }
+  DarkSpaceDetector& dark_space() noexcept { return dark_space_; }
+
+  Verdict observe(const net::ParsedPacket& pkt);
+
+  /// Verdict without state update (used for reassembled datagrams, whose
+  /// fragments were already observed individually).
+  [[nodiscard]] Verdict check(const net::ParsedPacket& pkt) const {
+    if (options_.analyze_everything) return Verdict::kAnalyze;
+    return tainted_.contains(pkt.ip.src.value) ? Verdict::kAnalyze : Verdict::kIgnore;
+  }
+
+  [[nodiscard]] bool is_tainted(net::Ipv4Addr src) const {
+    return tainted_.contains(src.value);
+  }
+  [[nodiscard]] std::size_t tainted_count() const noexcept { return tainted_.size(); }
+
+ private:
+  ClassifierOptions options_;
+  HoneypotRegistry honeypots_;
+  DarkSpaceDetector dark_space_;
+  std::unordered_set<std::uint32_t> tainted_;
+};
+
+}  // namespace senids::classify

@@ -1,0 +1,28 @@
+// Alert record produced by the NIDS when a template fires on traffic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "extract/extractor.hpp"
+#include "net/headers.hpp"
+#include "semantic/template.hpp"
+
+namespace senids::core {
+
+struct Alert {
+  std::uint32_t ts_sec = 0;
+  net::Ipv4Addr src;
+  net::Ipv4Addr dst;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  semantic::ThreatClass threat{};
+  std::string template_name;
+  extract::FrameReason frame_reason{};
+  std::size_t frame_offset = 0;  // offset of the frame within the payload
+
+  /// One-line rendering for logs and example output.
+  [[nodiscard]] std::string str() const;
+};
+
+}  // namespace senids::core

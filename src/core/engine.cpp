@@ -1,0 +1,307 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "net/defrag.hpp"
+#include "net/flow.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace senids::core {
+
+std::string Alert::str() const {
+  char buf[256];
+  std::snprintf(buf, sizeof buf, "[%s] %s:%u -> %s:%u template=%s frame=%s+%zu",
+                std::string(semantic::threat_class_name(threat)).c_str(), src.str().c_str(),
+                src_port, dst.str().c_str(), dst_port, template_name.c_str(),
+                std::string(extract::frame_reason_name(frame_reason)).c_str(), frame_offset);
+  return buf;
+}
+
+bool Report::detected(semantic::ThreatClass threat) const {
+  return std::any_of(alerts.begin(), alerts.end(),
+                     [threat](const Alert& a) { return a.threat == threat; });
+}
+
+std::string Report::str() const {
+  std::string out;
+  char buf[160];
+  auto line = [&out, &buf](const char* fmt, auto... args) {
+    std::snprintf(buf, sizeof buf, fmt, args...);
+    out += buf;
+    out.push_back('\n');
+  };
+  line("packets            : %zu (%zu non-IP)", stats.packets, stats.non_ip);
+  line("suspicious packets : %zu", stats.suspicious_packets);
+  line("analysis units     : %zu", stats.units_analyzed);
+  line("frames extracted   : %zu (%zu emulated)", stats.frames_extracted,
+       stats.frames_emulated);
+  line("bytes disassembled : %zu", stats.bytes_analyzed);
+  line("classify/analyze   : %.3f s / %.3f s", stats.classify_seconds,
+       stats.analysis_seconds);
+  line("alerts             : %zu", alerts.size());
+  for (const Alert& a : alerts) {
+    out += "  ";
+    out += a.str();
+    out.push_back('\n');
+  }
+  // Per-source rollup.
+  std::vector<std::pair<std::uint32_t, std::size_t>> sources;
+  for (const Alert& a : alerts) {
+    bool found = false;
+    for (auto& [src, n] : sources) {
+      if (src == a.src.value) {
+        ++n;
+        found = true;
+      }
+    }
+    if (!found) sources.emplace_back(a.src.value, 1);
+  }
+  if (!sources.empty()) {
+    out += "offending sources  :\n";
+    for (const auto& [src, n] : sources) {
+      line("  %-18s %zu alert(s)", net::Ipv4Addr{src}.str().c_str(), n);
+    }
+  }
+  return out;
+}
+
+NidsEngine::NidsEngine(NidsOptions options)
+    : NidsEngine(options, semantic::make_standard_library()) {}
+
+NidsEngine::NidsEngine(NidsOptions options, std::vector<semantic::Template> templates)
+    : options_(options),
+      classifier_(options.classifier),
+      extractor_(options.extractor),
+      analyzer_(std::move(templates), options.analyzer) {}
+
+std::vector<Alert> NidsEngine::analyze_payload(util::ByteView payload,
+                                               const Alert& meta_prototype,
+                                               NidsStats* stats) const {
+  std::vector<Alert> alerts;
+  const auto frames = extractor_.extract(payload);
+  semantic::AnalyzerStats astats;
+  if (stats) {
+    ++stats->units_analyzed;
+    stats->frames_extracted += frames.size();
+  }
+  // A template may fire on several frames of the same payload (e.g. the
+  // sled frame and the after-repetition frame overlap); report it once.
+  auto already = [&alerts](const std::string& name) {
+    return std::any_of(alerts.begin(), alerts.end(),
+                       [&name](const Alert& a) { return a.template_name == name; });
+  };
+  for (const auto& frame : frames) {
+    if (stats) stats->bytes_analyzed += frame.data.size();
+    for (auto& det : analyzer_.analyze(frame.data, &astats)) {
+      if (already(det.template_name)) continue;
+      Alert a = meta_prototype;
+      a.threat = det.threat;
+      a.template_name = std::move(det.template_name);
+      a.frame_reason = frame.reason;
+      a.frame_offset = frame.src_offset;
+      alerts.push_back(std::move(a));
+    }
+  }
+  // Optional dynamic confirmation: a static decryption-loop alert must
+  // correspond to code that, when actually run, decodes something.
+  if (options_.confirm_decoders_by_emulation) {
+    const bool has_decoder_alert =
+        std::any_of(alerts.begin(), alerts.end(), [](const Alert& a) {
+          return a.threat == semantic::ThreatClass::kDecryptionLoop;
+        });
+    if (has_decoder_alert) {
+      bool confirmed = false;
+      for (const auto& frame : frames) {
+        emu::EmulationResult emu_result =
+            emu::emulate_frame(frame.data, options_.emulator);
+        if (stats) {
+          ++stats->frames_emulated;
+          stats->emulated_steps += emu_result.steps;
+        }
+        if (emu_result.frame_bytes_modified >= options_.min_decoded_bytes) {
+          confirmed = true;
+          break;
+        }
+      }
+      if (!confirmed) {
+        std::erase_if(alerts, [](const Alert& a) {
+          return a.threat == semantic::ThreatClass::kDecryptionLoop;
+        });
+      }
+    }
+  }
+
+  // Deep analysis: run each frame in the sandbox. A decoder decrypts
+  // itself there, so the second static pass sees the plaintext behaviour
+  // that the on-wire bytes hid; the syscall trace independently exposes
+  // behaviour even when no static template covers it.
+  if (options_.enable_emulation) {
+    auto add_alert = [&](semantic::ThreatClass threat, std::string name,
+                         extract::FrameReason reason, std::size_t offset) {
+      if (already(name)) return;
+      Alert a = meta_prototype;
+      a.threat = threat;
+      a.template_name = std::move(name);
+      a.frame_reason = reason;
+      a.frame_offset = offset;
+      alerts.push_back(std::move(a));
+    };
+    for (const auto& frame : frames) {
+      emu::EmulationResult emu_result = emu::emulate_frame(frame.data, options_.emulator);
+      if (stats) {
+        ++stats->frames_emulated;
+        stats->emulated_steps += emu_result.steps;
+      }
+      if (emu_result.spawned_shell()) {
+        add_alert(semantic::ThreatClass::kShellSpawn, "emulated:spawned-shell",
+                  extract::FrameReason::kEmulatedBehavior, frame.src_offset);
+      }
+      if (emu_result.bound_port()) {
+        add_alert(semantic::ThreatClass::kPortBindShell, "emulated:bound-port",
+                  extract::FrameReason::kEmulatedBehavior, frame.src_offset);
+      }
+      if (!emu_result.decoded_frame.empty()) {
+        for (auto& det : analyzer_.analyze(emu_result.decoded_frame, &astats)) {
+          add_alert(det.threat, std::move(det.template_name),
+                    extract::FrameReason::kEmulatedDecode, frame.src_offset);
+        }
+      }
+    }
+  }
+
+  if (stats) {
+    stats->analyzer.frames += astats.frames;
+    stats->analyzer.candidate_runs += astats.candidate_runs;
+    stats->analyzer.traces += astats.traces;
+    stats->analyzer.instructions_lifted += astats.instructions_lifted;
+    stats->analyzer.template_matches_tried += astats.template_matches_tried;
+  }
+  return alerts;
+}
+
+Report NidsEngine::process_capture(const pcap::Capture& capture) {
+  Report report;
+
+  /// One payload (or reassembled stream) bound for stages (b)-(e).
+  struct Unit {
+    util::Bytes payload;
+    Alert meta;
+  };
+  std::vector<Unit> units;
+
+  struct FlowState {
+    net::TcpReassembler reassembler;
+    Alert meta;
+    explicit FlowState(std::size_t cap) : reassembler(cap) {}
+  };
+  net::FlowMap<FlowState> flows;
+  net::Defragmenter defrag;
+
+  util::WallTimer classify_timer;
+
+  // Route one transport-level packet into the flow table / unit list.
+  auto dispatch = [&](net::ParsedPacket& pkt) {
+    Alert meta;
+    meta.ts_sec = pkt.ts_sec;
+    meta.src = pkt.ip.src;
+    meta.dst = pkt.ip.dst;
+    meta.src_port = pkt.src_port();
+    meta.dst_port = pkt.dst_port();
+
+    if (pkt.transport == net::Transport::kTcp && options_.reassemble_tcp) {
+      auto [it, _] = flows.try_emplace(net::FlowKey::of(pkt), options_.max_stream_bytes);
+      it->second.meta = meta;
+      it->second.reassembler.feed(pkt.tcp.seq, pkt.tcp.flags, pkt.payload);
+      if (it->second.reassembler.closed()) {
+        if (!it->second.reassembler.stream().empty()) {
+          units.push_back(Unit{it->second.reassembler.stream(), it->second.meta});
+        }
+        flows.erase(it);
+      }
+    } else if (!pkt.payload.empty()) {
+      units.push_back(Unit{std::move(pkt.payload), meta});
+    }
+  };
+
+  // ---------------------------------------------- stage (a): classification
+  for (const pcap::Record& rec : capture.records) {
+    ++report.stats.packets;
+    auto pkt = net::parse_frame(rec.data, rec.ts_sec, rec.ts_usec);
+    if (!pkt) {
+      ++report.stats.non_ip;
+      continue;
+    }
+    const classify::Verdict verdict = classifier_.observe(*pkt);
+
+    if (pkt->transport == net::Transport::kFragment) {
+      // Reassemble regardless of verdict: a tainted source's datagram may
+      // complete with fragments that arrived before the taint.
+      auto datagram = defrag.feed(pkt->ip, pkt->payload);
+      if (!datagram) continue;
+      auto whole = net::parse_reassembled(datagram->header, datagram->payload,
+                                          pkt->ts_sec, pkt->ts_usec);
+      if (!whole) continue;
+      if (classifier_.check(*whole) != classify::Verdict::kAnalyze) continue;
+      ++report.stats.suspicious_packets;
+      dispatch(*whole);
+      continue;
+    }
+
+    if (verdict != classify::Verdict::kAnalyze) continue;
+    ++report.stats.suspicious_packets;
+    dispatch(*pkt);
+  }
+  // Flush flows that never closed (truncated captures).
+  for (auto& [key, state] : flows) {
+    if (!state.reassembler.stream().empty()) {
+      units.push_back(Unit{state.reassembler.stream(), state.meta});
+    }
+  }
+  flows.clear();
+  report.stats.classify_seconds = classify_timer.seconds();
+
+  // ------------------------------------- stages (b)-(e): per-unit analysis
+  util::WallTimer analysis_timer;
+  if (options_.threads <= 1) {
+    for (const Unit& u : units) {
+      auto alerts = analyze_payload(u.payload, u.meta, &report.stats);
+      report.alerts.insert(report.alerts.end(), alerts.begin(), alerts.end());
+    }
+  } else {
+    std::mutex mu;
+    util::ThreadPool pool(options_.threads);
+    for (const Unit& u : units) {
+      pool.submit([this, &u, &mu, &report] {
+        NidsStats local;
+        auto alerts = analyze_payload(u.payload, u.meta, &local);
+        std::lock_guard lock(mu);
+        report.alerts.insert(report.alerts.end(), std::make_move_iterator(alerts.begin()),
+                             std::make_move_iterator(alerts.end()));
+        report.stats.units_analyzed += local.units_analyzed;
+        report.stats.frames_extracted += local.frames_extracted;
+        report.stats.bytes_analyzed += local.bytes_analyzed;
+        report.stats.frames_emulated += local.frames_emulated;
+        report.stats.emulated_steps += local.emulated_steps;
+        report.stats.analyzer.frames += local.analyzer.frames;
+        report.stats.analyzer.candidate_runs += local.analyzer.candidate_runs;
+        report.stats.analyzer.traces += local.analyzer.traces;
+        report.stats.analyzer.instructions_lifted += local.analyzer.instructions_lifted;
+        report.stats.analyzer.template_matches_tried +=
+            local.analyzer.template_matches_tried;
+      });
+    }
+    pool.wait_idle();
+  }
+  report.stats.analysis_seconds = analysis_timer.seconds();
+
+  // Deterministic alert order regardless of worker scheduling.
+  std::sort(report.alerts.begin(), report.alerts.end(), [](const Alert& a, const Alert& b) {
+    return std::tie(a.ts_sec, a.src.value, a.dst.value, a.template_name) <
+           std::tie(b.ts_sec, b.src.value, b.dst.value, b.template_name);
+  });
+  return report;
+}
+
+}  // namespace senids::core

@@ -1,0 +1,27 @@
+// Umbrella header: the public API of the semantics-aware NIDS library.
+// Downstream users normally need only this include.
+//
+//   #include "core/senids.hpp"
+//
+//   senids::core::NidsOptions opts;
+//   senids::core::NidsEngine nids(opts);
+//   nids.classifier().honeypots().add_decoy(
+//       *senids::net::Ipv4Addr::parse("10.0.0.7"));
+//   auto report = nids.process_capture(capture);
+//   for (const auto& alert : report.alerts) std::puts(alert.str().c_str());
+#pragma once
+
+#include "classify/classifier.hpp"    // IWYU pragma: export
+#include "core/alert.hpp"             // IWYU pragma: export
+#include "core/engine.hpp"             // IWYU pragma: export
+#include "core/session.hpp"            // IWYU pragma: export
+#include "extract/extractor.hpp"      // IWYU pragma: export
+#include "net/forge.hpp"              // IWYU pragma: export
+#include "net/packet.hpp"             // IWYU pragma: export
+#include "pcap/pcap.hpp"              // IWYU pragma: export
+#include "semantic/analyzer.hpp"      // IWYU pragma: export
+#include "semantic/dsl.hpp"           // IWYU pragma: export
+#include "semantic/library.hpp"       // IWYU pragma: export
+#include "x86/decoder.hpp"            // IWYU pragma: export
+#include "x86/format.hpp"             // IWYU pragma: export
+#include "x86/scan.hpp"               // IWYU pragma: export

@@ -1,0 +1,73 @@
+#include "core/session.hpp"
+
+namespace senids::core {
+
+LiveSession::LiveSession(NidsEngine& engine, AlertSink sink)
+    : engine_(engine), sink_(std::move(sink)) {}
+
+void LiveSession::analyze_unit(util::ByteView payload, const Alert& meta) {
+  for (const Alert& alert : engine_.analyze_payload(payload, meta, &stats_)) {
+    if (sink_) sink_(alert);
+  }
+}
+
+void LiveSession::dispatch(net::ParsedPacket& pkt) {
+  Alert meta;
+  meta.ts_sec = pkt.ts_sec;
+  meta.src = pkt.ip.src;
+  meta.dst = pkt.ip.dst;
+  meta.src_port = pkt.src_port();
+  meta.dst_port = pkt.dst_port();
+
+  if (pkt.transport == net::Transport::kTcp && engine_.options().reassemble_tcp) {
+    auto [it, _] =
+        flows_.try_emplace(net::FlowKey::of(pkt), engine_.options().max_stream_bytes);
+    it->second.meta = meta;
+    it->second.reassembler.feed(pkt.tcp.seq, pkt.tcp.flags, pkt.payload);
+    if (it->second.reassembler.closed()) {
+      if (!it->second.reassembler.stream().empty()) {
+        analyze_unit(it->second.reassembler.stream(), it->second.meta);
+      }
+      flows_.erase(it);
+    }
+  } else if (!pkt.payload.empty()) {
+    analyze_unit(pkt.payload, meta);
+  }
+}
+
+void LiveSession::feed(util::ByteView frame, std::uint32_t ts_sec, std::uint32_t ts_usec) {
+  ++stats_.packets;
+  auto pkt = net::parse_frame(frame, ts_sec, ts_usec);
+  if (!pkt) {
+    ++stats_.non_ip;
+    return;
+  }
+  const classify::Verdict verdict = engine_.classifier().observe(*pkt);
+
+  if (pkt->transport == net::Transport::kFragment) {
+    auto datagram = defrag_.feed(pkt->ip, pkt->payload);
+    if (!datagram) return;
+    auto whole =
+        net::parse_reassembled(datagram->header, datagram->payload, ts_sec, ts_usec);
+    if (!whole) return;
+    if (engine_.classifier().check(*whole) != classify::Verdict::kAnalyze) return;
+    ++stats_.suspicious_packets;
+    dispatch(*whole);
+    return;
+  }
+
+  if (verdict != classify::Verdict::kAnalyze) return;
+  ++stats_.suspicious_packets;
+  dispatch(*pkt);
+}
+
+void LiveSession::finish() {
+  for (auto& [key, state] : flows_) {
+    if (!state.reassembler.stream().empty()) {
+      analyze_unit(state.reassembler.stream(), state.meta);
+    }
+  }
+  flows_.clear();
+}
+
+}  // namespace senids::core

@@ -1,0 +1,49 @@
+// Streaming analysis session: the deployment-shaped interface. Feed
+// frames as they arrive; alerts come back incrementally. Holds all
+// stage-(a) state (classifier taint, TCP reassembly, IP defragmentation)
+// across calls. NidsEngine::process_capture is a batch wrapper over this.
+#pragma once
+
+#include <functional>
+
+#include "core/engine.hpp"
+#include "net/defrag.hpp"
+
+namespace senids::core {
+
+class LiveSession {
+ public:
+  /// Called for every alert as soon as its analysis unit completes.
+  using AlertSink = std::function<void(const Alert&)>;
+
+  /// The engine must outlive the session. Analysis runs inline (the
+  /// session is single-threaded by design; run one session per worker for
+  /// parallel deployments).
+  LiveSession(NidsEngine& engine, AlertSink sink);
+
+  /// Feed one captured Ethernet frame.
+  void feed(util::ByteView frame, std::uint32_t ts_sec = 0, std::uint32_t ts_usec = 0);
+
+  /// Flush flows that never closed (end of capture / shutdown).
+  void finish();
+
+  [[nodiscard]] const NidsStats& stats() const noexcept { return stats_; }
+
+ private:
+  void analyze_unit(util::ByteView payload, const Alert& meta);
+  void dispatch(net::ParsedPacket& pkt);
+
+  NidsEngine& engine_;
+  AlertSink sink_;
+  NidsStats stats_;
+
+  struct FlowState {
+    net::TcpReassembler reassembler;
+    Alert meta;
+    explicit FlowState(std::size_t cap) : reassembler(cap) {}
+  };
+  net::FlowMap<FlowState> flows_;
+  net::Defragmenter defrag_;
+};
+
+}  // namespace senids::core

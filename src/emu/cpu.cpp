@@ -1,0 +1,889 @@
+#include "emu/cpu.hpp"
+
+#include <bit>
+
+namespace senids::emu {
+
+using x86::Cond;
+using x86::Instruction;
+using x86::MemRef;
+using x86::Mnemonic;
+using x86::Operand;
+using x86::OperandKind;
+using x86::Reg;
+using x86::RegFamily;
+using x86::RegWidth;
+
+std::string_view stop_reason_name(StopReason r) noexcept {
+  switch (r) {
+    case StopReason::kRunning: return "running";
+    case StopReason::kMaxSteps: return "max-steps";
+    case StopReason::kInvalidInsn: return "invalid-instruction";
+    case StopReason::kUnmappedFetch: return "unmapped-fetch";
+    case StopReason::kUnmappedAccess: return "unmapped-access";
+    case StopReason::kUnsupported: return "unsupported-instruction";
+    case StopReason::kHalted: return "halted";
+    case StopReason::kSyscallStop: return "syscall-stop";
+    case StopReason::kDivByZero: return "divide-by-zero";
+  }
+  return "?";
+}
+
+namespace {
+
+std::uint32_t mask_of(unsigned bits) {
+  return bits >= 32 ? 0xffffffffu : ((1u << bits) - 1);
+}
+
+/// Operand width in bits, given the instruction context.
+unsigned op_bits(const Instruction& insn, const Operand& op) {
+  switch (op.kind) {
+    case OperandKind::kReg:
+      return width_bits(op.reg.width);
+    case OperandKind::kMem:
+      return width_bits(op.mem.width);
+    default:
+      return width_bits(insn.op_width);
+  }
+}
+
+bool parity_even(std::uint32_t v) {
+  return (std::popcount(v & 0xff) % 2) == 0;
+}
+
+}  // namespace
+
+Cpu::Cpu(VirtualMemory& mem, std::uint32_t entry_va) : mem_(mem), eip_(entry_va) {
+  regs_[static_cast<unsigned>(RegFamily::kSp)] = kStackTop - 0x1000;
+}
+
+std::uint32_t Cpu::read_reg(Reg r) const {
+  const std::uint32_t full = regs_[static_cast<unsigned>(r.family)];
+  switch (r.width) {
+    case RegWidth::k32: return full;
+    case RegWidth::k16: return full & 0xffff;
+    case RegWidth::k8Lo: return full & 0xff;
+    case RegWidth::k8Hi: return (full >> 8) & 0xff;
+  }
+  return full;
+}
+
+void Cpu::write_reg(Reg r, std::uint32_t v) {
+  std::uint32_t& full = regs_[static_cast<unsigned>(r.family)];
+  switch (r.width) {
+    case RegWidth::k32: full = v; break;
+    case RegWidth::k16: full = (full & 0xffff0000u) | (v & 0xffff); break;
+    case RegWidth::k8Lo: full = (full & 0xffffff00u) | (v & 0xff); break;
+    case RegWidth::k8Hi: full = (full & 0xffff00ffu) | ((v & 0xff) << 8); break;
+  }
+}
+
+std::uint32_t Cpu::mem_addr(const MemRef& m) const {
+  std::uint32_t addr = static_cast<std::uint32_t>(m.disp);
+  if (m.base) addr += regs_[static_cast<unsigned>(m.base->family)];
+  if (m.index) addr += regs_[static_cast<unsigned>(m.index->family)] * m.scale;
+  return addr;
+}
+
+std::optional<std::uint32_t> Cpu::load(std::uint32_t addr, unsigned bits) {
+  std::optional<std::uint32_t> v;
+  switch (bits) {
+    case 8: {
+      auto b = mem_.read8(addr);
+      if (b) v = *b;
+      break;
+    }
+    case 16: {
+      auto b = mem_.read16(addr);
+      if (b) v = *b;
+      break;
+    }
+    default: {
+      auto b = mem_.read32(addr);
+      if (b) v = *b;
+      break;
+    }
+  }
+  if (!v) stop_ = StopReason::kUnmappedAccess;
+  return v;
+}
+
+bool Cpu::store(std::uint32_t addr, unsigned bits, std::uint32_t v) {
+  bool ok;
+  switch (bits) {
+    case 8: ok = mem_.write8(addr, static_cast<std::uint8_t>(v)); break;
+    case 16: ok = mem_.write16(addr, static_cast<std::uint16_t>(v)); break;
+    default: ok = mem_.write32(addr, v); break;
+  }
+  if (!ok) stop_ = StopReason::kUnmappedAccess;
+  return ok;
+}
+
+std::optional<std::uint32_t> Cpu::read_operand(const Operand& op, unsigned bits) {
+  switch (op.kind) {
+    case OperandKind::kReg:
+      return read_reg(op.reg);
+    case OperandKind::kImm:
+    case OperandKind::kRel:
+      return static_cast<std::uint32_t>(op.imm) & mask_of(bits);
+    case OperandKind::kMem:
+      return load(mem_addr(op.mem), bits);
+    case OperandKind::kNone:
+      return 0;
+  }
+  return 0;
+}
+
+bool Cpu::write_operand(const Operand& op, unsigned bits, std::uint32_t v) {
+  if (op.kind == OperandKind::kReg) {
+    write_reg(op.reg, v);
+    return true;
+  }
+  if (op.kind == OperandKind::kMem) {
+    return store(mem_addr(op.mem), bits, v);
+  }
+  return true;
+}
+
+void Cpu::set_logic_flags(std::uint32_t result, unsigned bits) {
+  result &= mask_of(bits);
+  flags_.cf = false;
+  flags_.of = false;
+  flags_.zf = result == 0;
+  flags_.sf = (result >> (bits - 1)) & 1;
+  flags_.pf = parity_even(result);
+}
+
+void Cpu::set_add_flags(std::uint32_t a, std::uint32_t b, std::uint64_t wide,
+                        unsigned bits) {
+  const std::uint32_t result = static_cast<std::uint32_t>(wide) & mask_of(bits);
+  flags_.cf = (wide >> bits) != 0;
+  flags_.zf = result == 0;
+  flags_.sf = (result >> (bits - 1)) & 1;
+  flags_.of = (((a ^ result) & (b ^ result)) >> (bits - 1)) & 1;
+  flags_.pf = parity_even(result);
+}
+
+void Cpu::set_sub_flags(std::uint32_t a, std::uint32_t b, unsigned bits) {
+  const std::uint32_t m = mask_of(bits);
+  a &= m;
+  b &= m;
+  const std::uint32_t result = (a - b) & m;
+  flags_.cf = a < b;
+  flags_.zf = result == 0;
+  flags_.sf = (result >> (bits - 1)) & 1;
+  flags_.of = (((a ^ b) & (a ^ result)) >> (bits - 1)) & 1;
+  flags_.pf = parity_even(result);
+}
+
+bool Cpu::cond_holds(Cond c) const {
+  switch (c) {
+    case Cond::kO: return flags_.of;
+    case Cond::kNo: return !flags_.of;
+    case Cond::kB: return flags_.cf;
+    case Cond::kAe: return !flags_.cf;
+    case Cond::kE: return flags_.zf;
+    case Cond::kNe: return !flags_.zf;
+    case Cond::kBe: return flags_.cf || flags_.zf;
+    case Cond::kA: return !flags_.cf && !flags_.zf;
+    case Cond::kS: return flags_.sf;
+    case Cond::kNs: return !flags_.sf;
+    case Cond::kP: return flags_.pf;
+    case Cond::kNp: return !flags_.pf;
+    case Cond::kL: return flags_.sf != flags_.of;
+    case Cond::kGe: return flags_.sf == flags_.of;
+    case Cond::kLe: return flags_.zf || (flags_.sf != flags_.of);
+    case Cond::kG: return !flags_.zf && flags_.sf == flags_.of;
+  }
+  return false;
+}
+
+StopReason Cpu::run(std::size_t max_steps, const SyscallHook& hook) {
+  stop_ = StopReason::kRunning;
+  while (stop_ == StopReason::kRunning) {
+    if (steps_ >= max_steps) {
+      stop_ = StopReason::kMaxSteps;
+      break;
+    }
+    ++steps_;
+    step(hook);
+  }
+  return stop_;
+}
+
+void Cpu::step(const SyscallHook& hook) {
+  // Fetch a decode window through the MMU.
+  std::uint8_t window[15];
+  std::size_t avail = 0;
+  for (; avail < sizeof window; ++avail) {
+    auto b = mem_.read8(eip_ + static_cast<std::uint32_t>(avail));
+    if (!b) break;
+    window[avail] = *b;
+  }
+  if (avail == 0) {
+    stop_ = StopReason::kUnmappedFetch;
+    return;
+  }
+  const Instruction insn = x86::decode(util::ByteView(window, avail), 0);
+  if (!insn.valid()) {
+    stop_ = StopReason::kInvalidInsn;
+    return;
+  }
+  const std::uint32_t next_eip = eip_ + insn.length;
+  // Relative targets were resolved within the fetch window (whose base is
+  // eip_), so the flat sum recovers the virtual target.
+  const auto branch_va = [&]() {
+    return eip_ + static_cast<std::uint32_t>(insn.ops[0].imm);
+  };
+
+  auto push32 = [&](std::uint32_t v) {
+    std::uint32_t& esp = regs_[static_cast<unsigned>(RegFamily::kSp)];
+    esp -= 4;
+    return store(esp, 32, v);
+  };
+  auto pop32 = [&]() -> std::optional<std::uint32_t> {
+    std::uint32_t& esp = regs_[static_cast<unsigned>(RegFamily::kSp)];
+    auto v = load(esp, 32);
+    if (v) esp += 4;
+    return v;
+  };
+
+  const Operand& op0 = insn.ops[0];
+  const Operand& op1 = insn.ops[1];
+  std::uint32_t new_eip = next_eip;
+
+  switch (insn.mnemonic) {
+    // ----------------------------------------------------------- moves
+    case Mnemonic::kMov:
+    case Mnemonic::kMovzx: {
+      const unsigned src_bits = op_bits(insn, op1);
+      auto v = read_operand(op1, src_bits);
+      if (!v) return;
+      write_operand(op0, op_bits(insn, op0), *v);
+      break;
+    }
+    case Mnemonic::kMovsx: {
+      const unsigned src_bits = op_bits(insn, op1);
+      auto v = read_operand(op1, src_bits);
+      if (!v) return;
+      std::uint32_t x = *v;
+      if (src_bits < 32 && (x >> (src_bits - 1)) & 1) x |= ~mask_of(src_bits);
+      write_operand(op0, op_bits(insn, op0), x);
+      break;
+    }
+    case Mnemonic::kLea:
+      write_operand(op0, 32, mem_addr(op1.mem));
+      break;
+    case Mnemonic::kXchg: {
+      const unsigned bits = op_bits(insn, op0);
+      auto a = read_operand(op0, bits);
+      auto b = read_operand(op1, bits);
+      if (!a || !b) return;
+      if (!write_operand(op0, bits, *b)) return;
+      write_operand(op1, bits, *a);
+      break;
+    }
+
+    // ------------------------------------------------------------- ALU
+    case Mnemonic::kAdd:
+    case Mnemonic::kAdc: {
+      const unsigned bits = op_bits(insn, op0);
+      auto a = read_operand(op0, bits);
+      auto b = read_operand(op1, bits);
+      if (!a || !b) return;
+      const std::uint64_t wide = static_cast<std::uint64_t>(*a & mask_of(bits)) +
+                                 (*b & mask_of(bits)) +
+                                 (insn.mnemonic == Mnemonic::kAdc && flags_.cf ? 1 : 0);
+      set_add_flags(*a, *b, wide, bits);
+      write_operand(op0, bits, static_cast<std::uint32_t>(wide) & mask_of(bits));
+      break;
+    }
+    case Mnemonic::kSub:
+    case Mnemonic::kSbb: {
+      const unsigned bits = op_bits(insn, op0);
+      auto a = read_operand(op0, bits);
+      auto b = read_operand(op1, bits);
+      if (!a || !b) return;
+      const std::uint32_t borrow = insn.mnemonic == Mnemonic::kSbb && flags_.cf ? 1 : 0;
+      const std::uint32_t rhs = (*b + borrow) & mask_of(bits);
+      set_sub_flags(*a, rhs, bits);
+      write_operand(op0, bits, (*a - rhs) & mask_of(bits));
+      break;
+    }
+    case Mnemonic::kCmp: {
+      const unsigned bits = op_bits(insn, op0);
+      auto a = read_operand(op0, bits);
+      auto b = read_operand(op1, bits);
+      if (!a || !b) return;
+      set_sub_flags(*a, *b, bits);
+      break;
+    }
+    case Mnemonic::kAnd:
+    case Mnemonic::kOr:
+    case Mnemonic::kXor:
+    case Mnemonic::kTest: {
+      const unsigned bits = op_bits(insn, op0);
+      auto a = read_operand(op0, bits);
+      auto b = read_operand(op1, bits);
+      if (!a || !b) return;
+      std::uint32_t r;
+      switch (insn.mnemonic) {
+        case Mnemonic::kAnd:
+        case Mnemonic::kTest: r = *a & *b; break;
+        case Mnemonic::kOr: r = *a | *b; break;
+        default: r = *a ^ *b; break;
+      }
+      set_logic_flags(r, bits);
+      if (insn.mnemonic != Mnemonic::kTest) write_operand(op0, bits, r & mask_of(bits));
+      break;
+    }
+    case Mnemonic::kInc:
+    case Mnemonic::kDec: {
+      const unsigned bits = op_bits(insn, op0);
+      auto a = read_operand(op0, bits);
+      if (!a) return;
+      const bool saved_cf = flags_.cf;  // inc/dec leave CF untouched
+      if (insn.mnemonic == Mnemonic::kInc) {
+        set_add_flags(*a, 1, static_cast<std::uint64_t>(*a & mask_of(bits)) + 1, bits);
+        write_operand(op0, bits, (*a + 1) & mask_of(bits));
+      } else {
+        set_sub_flags(*a, 1, bits);
+        write_operand(op0, bits, (*a - 1) & mask_of(bits));
+      }
+      flags_.cf = saved_cf;
+      break;
+    }
+    case Mnemonic::kNot: {
+      const unsigned bits = op_bits(insn, op0);
+      auto a = read_operand(op0, bits);
+      if (!a) return;
+      write_operand(op0, bits, ~*a & mask_of(bits));
+      break;
+    }
+    case Mnemonic::kNeg: {
+      const unsigned bits = op_bits(insn, op0);
+      auto a = read_operand(op0, bits);
+      if (!a) return;
+      set_sub_flags(0, *a, bits);
+      write_operand(op0, bits, (0u - *a) & mask_of(bits));
+      break;
+    }
+
+    // ---------------------------------------------------------- shifts
+    case Mnemonic::kShl:
+    case Mnemonic::kShr:
+    case Mnemonic::kSar:
+    case Mnemonic::kRol:
+    case Mnemonic::kRor:
+    case Mnemonic::kRcl:
+    case Mnemonic::kRcr: {
+      const unsigned bits = op_bits(insn, op0);
+      auto a = read_operand(op0, bits);
+      auto cnt = read_operand(op1, 8);
+      if (!a || !cnt) return;
+      const unsigned n = *cnt & 31;
+      std::uint32_t x = *a & mask_of(bits);
+      if (n != 0) {
+        switch (insn.mnemonic) {
+          case Mnemonic::kShl:
+            flags_.cf = n <= bits && ((x >> (bits - n)) & 1);
+            x = (n < 32) ? (x << n) : 0;
+            break;
+          case Mnemonic::kShr:
+            flags_.cf = (x >> (n - 1)) & 1;
+            x = (n < 32) ? (x >> n) : 0;
+            break;
+          case Mnemonic::kSar: {
+            std::int32_t s = static_cast<std::int32_t>(
+                x << (32 - bits));  // sign-position align
+            s >>= (32 - bits);      // sign-extend to 32
+            flags_.cf = (static_cast<std::uint32_t>(s) >> (n - 1)) & 1;
+            s >>= (n < 31 ? n : 31);
+            x = static_cast<std::uint32_t>(s);
+            break;
+          }
+          case Mnemonic::kRol: {
+            const unsigned r = n % bits;
+            if (r) x = ((x << r) | (x >> (bits - r)));
+            flags_.cf = x & 1;
+            break;
+          }
+          case Mnemonic::kRor: {
+            const unsigned r = n % bits;
+            if (r) x = ((x >> r) | (x << (bits - r)));
+            flags_.cf = (x >> (bits - 1)) & 1;
+            break;
+          }
+          case Mnemonic::kRcl:
+          case Mnemonic::kRcr: {
+            // Rotate through carry, one bit at a time (counts are tiny).
+            for (unsigned i = 0; i < n; ++i) {
+              if (insn.mnemonic == Mnemonic::kRcl) {
+                const bool msb = (x >> (bits - 1)) & 1;
+                x = (x << 1) | (flags_.cf ? 1 : 0);
+                flags_.cf = msb;
+              } else {
+                const bool lsb = x & 1;
+                x = (x >> 1) | ((flags_.cf ? 1u : 0u) << (bits - 1));
+                flags_.cf = lsb;
+              }
+            }
+            break;
+          }
+          default:
+            break;
+        }
+        x &= mask_of(bits);
+        flags_.zf = x == 0;
+        flags_.sf = (x >> (bits - 1)) & 1;
+        flags_.pf = parity_even(x);
+      }
+      write_operand(op0, bits, x);
+      break;
+    }
+    case Mnemonic::kShld:
+    case Mnemonic::kShrd: {
+      const unsigned bits = op_bits(insn, op0);
+      auto a = read_operand(op0, bits);
+      auto b = read_operand(op1, bits);
+      auto cnt = read_operand(insn.ops[2], 8);
+      if (!a || !b || !cnt) return;
+      const unsigned n = *cnt & 31;
+      std::uint32_t x = *a;
+      if (n != 0 && n < bits) {
+        x = insn.mnemonic == Mnemonic::kShld ? ((*a << n) | (*b >> (bits - n)))
+                                             : ((*a >> n) | (*b << (bits - n)));
+      }
+      set_logic_flags(x, bits);
+      write_operand(op0, bits, x & mask_of(bits));
+      break;
+    }
+
+    // ------------------------------------------------------- mul / div
+    case Mnemonic::kMul:
+    case Mnemonic::kImul: {
+      if (op1.kind != OperandKind::kNone) {  // two/three operand imul
+        const unsigned bits = op_bits(insn, op0);
+        auto a = insn.ops[2].kind != OperandKind::kNone ? read_operand(op1, bits)
+                                                        : read_operand(op0, bits);
+        auto b = insn.ops[2].kind != OperandKind::kNone ? read_operand(insn.ops[2], bits)
+                                                        : read_operand(op1, bits);
+        if (!a || !b) return;
+        write_operand(op0, bits, (*a * *b) & mask_of(bits));
+        break;
+      }
+      const unsigned bits = op_bits(insn, op0);
+      auto a = read_operand(op0, bits);
+      if (!a) return;
+      const std::uint64_t wide =
+          static_cast<std::uint64_t>(regs_[0] & mask_of(bits)) * (*a & mask_of(bits));
+      if (bits == 32) {
+        regs_[static_cast<unsigned>(RegFamily::kAx)] = static_cast<std::uint32_t>(wide);
+        regs_[static_cast<unsigned>(RegFamily::kDx)] =
+            static_cast<std::uint32_t>(wide >> 32);
+      } else {
+        write_reg(Reg{RegFamily::kAx, RegWidth::k16},
+                  static_cast<std::uint32_t>(wide) & 0xffff);
+      }
+      break;
+    }
+    case Mnemonic::kDiv:
+    case Mnemonic::kIdiv: {
+      const unsigned bits = op_bits(insn, op0);
+      auto d = read_operand(op0, bits);
+      if (!d) return;
+      if ((*d & mask_of(bits)) == 0) {
+        stop_ = StopReason::kDivByZero;
+        return;
+      }
+      if (bits == 32) {
+        const std::uint64_t num =
+            (static_cast<std::uint64_t>(regs_[static_cast<unsigned>(RegFamily::kDx)])
+             << 32) |
+            regs_[static_cast<unsigned>(RegFamily::kAx)];
+        const std::uint64_t q = num / *d;
+        if (q > 0xffffffffull) {
+          stop_ = StopReason::kDivByZero;  // quotient overflow faults too
+          return;
+        }
+        regs_[static_cast<unsigned>(RegFamily::kAx)] = static_cast<std::uint32_t>(q);
+        regs_[static_cast<unsigned>(RegFamily::kDx)] =
+            static_cast<std::uint32_t>(num % *d);
+      } else {
+        const std::uint32_t num = regs_[static_cast<unsigned>(RegFamily::kAx)] &
+                                  (bits == 16 ? 0xffffffffu : 0xffff);
+        write_reg(Reg{RegFamily::kAx, RegWidth::k16}, (num / *d) & 0xffff);
+      }
+      break;
+    }
+    case Mnemonic::kCwde: {
+      std::uint32_t ax = regs_[0] & 0xffff;
+      if (ax & 0x8000) ax |= 0xffff0000u;
+      regs_[static_cast<unsigned>(RegFamily::kAx)] = ax;
+      break;
+    }
+    case Mnemonic::kCdq:
+      regs_[static_cast<unsigned>(RegFamily::kDx)] =
+          (regs_[0] & 0x80000000u) ? 0xffffffffu : 0;
+      break;
+
+    // ------------------------------------------------------------ stack
+    case Mnemonic::kPush: {
+      std::uint32_t v = 0;
+      if (op0.kind != OperandKind::kNone) {
+        auto r = read_operand(op0, 32);
+        if (!r) return;
+        v = *r;
+      }
+      if (!push32(v)) return;
+      break;
+    }
+    case Mnemonic::kPop: {
+      auto v = pop32();
+      if (!v) return;
+      if (op0.kind != OperandKind::kNone) write_operand(op0, 32, *v);
+      break;
+    }
+    case Mnemonic::kPushf:
+      if (!push32((flags_.cf ? 1u : 0) | (flags_.pf ? 4u : 0) | (flags_.zf ? 0x40u : 0) |
+                  (flags_.sf ? 0x80u : 0) | (flags_.df ? 0x400u : 0) |
+                  (flags_.of ? 0x800u : 0))) {
+        return;
+      }
+      break;
+    case Mnemonic::kPopf: {
+      auto v = pop32();
+      if (!v) return;
+      flags_.cf = *v & 1;
+      flags_.pf = *v & 4;
+      flags_.zf = *v & 0x40;
+      flags_.sf = *v & 0x80;
+      flags_.df = *v & 0x400;
+      flags_.of = *v & 0x800;
+      break;
+    }
+    case Mnemonic::kPusha: {
+      const std::uint32_t saved_esp = regs_[static_cast<unsigned>(RegFamily::kSp)];
+      for (unsigned f = 0; f < 8; ++f) {
+        if (!push32(f == static_cast<unsigned>(RegFamily::kSp) ? saved_esp : regs_[f])) {
+          return;
+        }
+      }
+      break;
+    }
+    case Mnemonic::kPopa:
+      for (int f = 7; f >= 0; --f) {
+        auto v = pop32();
+        if (!v) return;
+        if (f != static_cast<int>(RegFamily::kSp)) regs_[static_cast<unsigned>(f)] = *v;
+      }
+      break;
+    case Mnemonic::kLeave: {
+      regs_[static_cast<unsigned>(RegFamily::kSp)] =
+          regs_[static_cast<unsigned>(RegFamily::kBp)];
+      auto v = pop32();
+      if (!v) return;
+      regs_[static_cast<unsigned>(RegFamily::kBp)] = *v;
+      break;
+    }
+    case Mnemonic::kEnter: {
+      if (!push32(regs_[static_cast<unsigned>(RegFamily::kBp)])) return;
+      regs_[static_cast<unsigned>(RegFamily::kBp)] =
+          regs_[static_cast<unsigned>(RegFamily::kSp)];
+      regs_[static_cast<unsigned>(RegFamily::kSp)] -=
+          static_cast<std::uint32_t>(op0.imm);
+      break;
+    }
+
+    // ----------------------------------------------------- control flow
+    case Mnemonic::kJmp:
+      if (op0.kind == OperandKind::kRel) {
+        new_eip = branch_va();
+      } else {
+        auto v = read_operand(op0, 32);
+        if (!v) return;
+        new_eip = *v;
+      }
+      break;
+    case Mnemonic::kJcc:
+      if (cond_holds(insn.cond)) new_eip = branch_va();
+      break;
+    case Mnemonic::kJecxz:
+      if (regs_[static_cast<unsigned>(RegFamily::kCx)] == 0) new_eip = branch_va();
+      break;
+    case Mnemonic::kLoop:
+    case Mnemonic::kLoope:
+    case Mnemonic::kLoopne: {
+      std::uint32_t& ecx = regs_[static_cast<unsigned>(RegFamily::kCx)];
+      --ecx;
+      bool taken = ecx != 0;
+      if (insn.mnemonic == Mnemonic::kLoope) taken = taken && flags_.zf;
+      if (insn.mnemonic == Mnemonic::kLoopne) taken = taken && !flags_.zf;
+      if (taken) new_eip = branch_va();
+      break;
+    }
+    case Mnemonic::kCall: {
+      std::uint32_t target;
+      if (op0.kind == OperandKind::kRel) {
+        target = branch_va();
+      } else {
+        auto v = read_operand(op0, 32);
+        if (!v) return;
+        target = *v;
+      }
+      if (!push32(next_eip)) return;
+      new_eip = target;
+      break;
+    }
+    case Mnemonic::kRet: {
+      auto v = pop32();
+      if (!v) return;
+      if (op0.kind == OperandKind::kImm) {
+        regs_[static_cast<unsigned>(RegFamily::kSp)] +=
+            static_cast<std::uint32_t>(op0.imm);
+      }
+      new_eip = *v;
+      break;
+    }
+
+    case Mnemonic::kInt: {
+      SyscallRecord rec;
+      rec.vector = static_cast<std::uint8_t>(op0.imm);
+      rec.regs = regs_;
+      rec.step = steps_;
+      std::optional<std::uint32_t> ret = hook ? hook(rec) : std::nullopt;
+      if (!ret) {
+        stop_ = StopReason::kSyscallStop;
+        return;
+      }
+      regs_[static_cast<unsigned>(RegFamily::kAx)] = *ret;
+      break;
+    }
+
+    // -------------------------------------------------------- string ops
+    case Mnemonic::kMovs:
+    case Mnemonic::kStos:
+    case Mnemonic::kLods:
+    case Mnemonic::kScas:
+    case Mnemonic::kCmps: {
+      std::uint32_t& ecx = regs_[static_cast<unsigned>(RegFamily::kCx)];
+      const bool rep = insn.prefixes.rep || insn.prefixes.repne;
+      if (rep && ecx == 0) break;  // finished: fall through to next insn
+      const unsigned bits = width_bits(insn.op_width);
+      const std::uint32_t delta = flags_.df ? 0u - bits / 8 : bits / 8;
+      std::uint32_t& esi = regs_[static_cast<unsigned>(RegFamily::kSi)];
+      std::uint32_t& edi = regs_[static_cast<unsigned>(RegFamily::kDi)];
+      switch (insn.mnemonic) {
+        case Mnemonic::kMovs: {
+          auto v = load(esi, bits);
+          if (!v || !store(edi, bits, *v)) return;
+          esi += delta;
+          edi += delta;
+          break;
+        }
+        case Mnemonic::kStos: {
+          if (!store(edi, bits, regs_[0] & mask_of(bits))) return;
+          edi += delta;
+          break;
+        }
+        case Mnemonic::kLods: {
+          auto v = load(esi, bits);
+          if (!v) return;
+          write_reg(Reg{RegFamily::kAx, insn.op_width}, *v);
+          esi += delta;
+          break;
+        }
+        case Mnemonic::kScas: {
+          auto v = load(edi, bits);
+          if (!v) return;
+          set_sub_flags(regs_[0] & mask_of(bits), *v, bits);
+          edi += delta;
+          break;
+        }
+        default: {  // cmps
+          auto a = load(esi, bits);
+          auto b = load(edi, bits);
+          if (!a || !b) return;
+          set_sub_flags(*a, *b, bits);
+          esi += delta;
+          edi += delta;
+          break;
+        }
+      }
+      if (rep) {
+        --ecx;
+        bool continue_rep = ecx != 0;
+        if (insn.mnemonic == Mnemonic::kScas || insn.mnemonic == Mnemonic::kCmps) {
+          if (insn.prefixes.rep) continue_rep = continue_rep && flags_.zf;
+          if (insn.prefixes.repne) continue_rep = continue_rep && !flags_.zf;
+        }
+        if (continue_rep) new_eip = eip_;  // re-execute (one iteration per step)
+      }
+      break;
+    }
+    case Mnemonic::kXlat: {
+      auto v = load(regs_[static_cast<unsigned>(RegFamily::kBx)] + (regs_[0] & 0xff), 8);
+      if (!v) return;
+      write_reg(Reg{RegFamily::kAx, RegWidth::k8Lo}, *v);
+      break;
+    }
+
+    // --------------------------------------------------- flags and misc
+    case Mnemonic::kClc: flags_.cf = false; break;
+    case Mnemonic::kStc: flags_.cf = true; break;
+    case Mnemonic::kCmc: flags_.cf = !flags_.cf; break;
+    case Mnemonic::kCld: flags_.df = false; break;
+    case Mnemonic::kStd: flags_.df = true; break;
+    case Mnemonic::kSahf: {
+      const std::uint32_t ah = (regs_[0] >> 8) & 0xff;
+      flags_.cf = ah & 1;
+      flags_.pf = ah & 4;
+      flags_.zf = ah & 0x40;
+      flags_.sf = ah & 0x80;
+      break;
+    }
+    case Mnemonic::kLahf: {
+      const std::uint32_t ah = (flags_.cf ? 1u : 0) | 2u | (flags_.pf ? 4u : 0) |
+                               (flags_.zf ? 0x40u : 0) | (flags_.sf ? 0x80u : 0);
+      write_reg(Reg{RegFamily::kAx, RegWidth::k8Hi}, ah);
+      break;
+    }
+    case Mnemonic::kSalc:
+      write_reg(Reg{RegFamily::kAx, RegWidth::k8Lo}, flags_.cf ? 0xff : 0);
+      break;
+    case Mnemonic::kSetcc:
+      write_operand(op0, 8, cond_holds(insn.cond) ? 1 : 0);
+      break;
+    case Mnemonic::kCmov: {
+      auto v = read_operand(op1, op_bits(insn, op1));
+      if (!v) return;
+      if (cond_holds(insn.cond)) write_operand(op0, op_bits(insn, op0), *v);
+      break;
+    }
+    case Mnemonic::kBswap: {
+      auto v = read_operand(op0, 32);
+      if (!v) return;
+      write_operand(op0, 32,
+                    ((*v & 0xff) << 24) | ((*v & 0xff00) << 8) | ((*v >> 8) & 0xff00) |
+                        (*v >> 24));
+      break;
+    }
+    case Mnemonic::kXadd: {
+      const unsigned bits = op_bits(insn, op0);
+      auto a = read_operand(op0, bits);
+      auto b = read_operand(op1, bits);
+      if (!a || !b) return;
+      set_add_flags(*a, *b, static_cast<std::uint64_t>(*a) + *b, bits);
+      if (!write_operand(op1, bits, *a)) return;
+      write_operand(op0, bits, (*a + *b) & mask_of(bits));
+      break;
+    }
+    case Mnemonic::kCmpxchg: {
+      const unsigned bits = op_bits(insn, op0);
+      auto dst = read_operand(op0, bits);
+      auto src = read_operand(op1, bits);
+      if (!dst || !src) return;
+      const std::uint32_t acc = regs_[0] & mask_of(bits);
+      set_sub_flags(acc, *dst, bits);
+      if (acc == (*dst & mask_of(bits))) {
+        write_operand(op0, bits, *src);
+      } else {
+        write_reg(Reg{RegFamily::kAx,
+                      bits == 8 ? RegWidth::k8Lo : bits == 16 ? RegWidth::k16
+                                                              : RegWidth::k32},
+                  *dst);
+      }
+      break;
+    }
+
+    // BCD adjustments: executed as no-ops (sled filler only; the decoders
+    // initialize their registers afterwards).
+    case Mnemonic::kDaa:
+    case Mnemonic::kDas:
+    case Mnemonic::kAaa:
+    case Mnemonic::kAas:
+    case Mnemonic::kNop:
+    case Mnemonic::kWait:
+    case Mnemonic::kCli:
+    case Mnemonic::kSti:
+      break;
+
+    // Benign reads of machine state: zeroed.
+    case Mnemonic::kCpuid:
+      regs_[0] = regs_[1] = regs_[2] = regs_[3] = 0;
+      break;
+    case Mnemonic::kRdtsc:
+      regs_[static_cast<unsigned>(RegFamily::kAx)] = 0;
+      regs_[static_cast<unsigned>(RegFamily::kDx)] = 0;
+      break;
+    case Mnemonic::kIn:
+      write_reg(Reg{RegFamily::kAx, insn.op_width}, 0);
+      break;
+    case Mnemonic::kOut:
+      break;
+
+    case Mnemonic::kBt:
+    case Mnemonic::kBts:
+    case Mnemonic::kBtr:
+    case Mnemonic::kBtc:
+    case Mnemonic::kBsf:
+    case Mnemonic::kBsr: {
+      const unsigned bits = op_bits(insn, op0);
+      auto a = read_operand(op0, bits);
+      auto b = read_operand(op1, bits);
+      if (!a || !b) return;
+      switch (insn.mnemonic) {
+        case Mnemonic::kBsf:
+          if (*b) write_operand(op0, bits, static_cast<std::uint32_t>(std::countr_zero(*b)));
+          flags_.zf = *b == 0;
+          break;
+        case Mnemonic::kBsr:
+          if (*b) {
+            write_operand(op0, bits,
+                          31u - static_cast<std::uint32_t>(std::countl_zero(*b)));
+          }
+          flags_.zf = *b == 0;
+          break;
+        default: {
+          const unsigned idx = *b & (bits - 1);
+          flags_.cf = (*a >> idx) & 1;
+          std::uint32_t x = *a;
+          if (insn.mnemonic == Mnemonic::kBts) x |= (1u << idx);
+          if (insn.mnemonic == Mnemonic::kBtr) x &= ~(1u << idx);
+          if (insn.mnemonic == Mnemonic::kBtc) x ^= (1u << idx);
+          if (insn.mnemonic != Mnemonic::kBt) write_operand(op0, bits, x);
+          break;
+        }
+      }
+      break;
+    }
+
+    case Mnemonic::kFpuNop:
+      last_fpu_va_ = eip_;
+      break;
+    case Mnemonic::kFnstenv: {
+      // Write the 28-byte environment: zeros except FIP at +12.
+      const std::uint32_t base = mem_addr(op0.mem);
+      for (std::uint32_t i = 0; i < 28; i += 4) {
+        if (!store(base + i, 32, i == 12 ? last_fpu_va_ : 0)) return;
+      }
+      break;
+    }
+
+    case Mnemonic::kHlt:
+    case Mnemonic::kInt3:
+    case Mnemonic::kInto:
+      stop_ = StopReason::kHalted;
+      return;
+
+    case Mnemonic::kRetf:
+    case Mnemonic::kIret:
+    case Mnemonic::kInvalid:
+      stop_ = StopReason::kUnsupported;
+      return;
+  }
+
+  if (stop_ == StopReason::kRunning) eip_ = new_eip;
+}
+
+}  // namespace senids::emu

@@ -1,0 +1,92 @@
+// Concrete IA-32 interpreter over VirtualMemory. This is the dynamic
+// counterpart of the static semantic analyzer: it lets a decoder loop
+// actually run (GetPC, key schedule, decode, jump into the decoded
+// bytes), records every int instruction as a syscall event, and stops on
+// anything outside the sandbox. No instruction ever touches the host.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "emu/memory.hpp"
+#include "x86/decoder.hpp"
+
+namespace senids::emu {
+
+enum class StopReason : std::uint8_t {
+  kRunning,        // internal
+  kMaxSteps,       // budget exhausted
+  kInvalidInsn,    // undecodable bytes at eip
+  kUnmappedFetch,  // eip left the sandbox
+  kUnmappedAccess, // data access outside frame/stack
+  kUnsupported,    // instruction the interpreter refuses to model
+  kHalted,         // hlt / int3
+  kSyscallStop,    // syscall hook requested a stop
+  kDivByZero,
+};
+
+std::string_view stop_reason_name(StopReason r) noexcept;
+
+struct SyscallRecord {
+  std::uint8_t vector = 0;
+  std::array<std::uint32_t, 8> regs{};  // eax..edi at the int instruction
+  std::size_t step = 0;
+
+  [[nodiscard]] std::uint32_t reg(x86::RegFamily f) const {
+    return regs[static_cast<unsigned>(f)];
+  }
+};
+
+class Cpu {
+ public:
+  /// Hook invoked at every `int` instruction. Return the value to place
+  /// in eax (emulating a kernel return) to continue, or nullopt to stop.
+  using SyscallHook = std::function<std::optional<std::uint32_t>(const SyscallRecord&)>;
+
+  Cpu(VirtualMemory& mem, std::uint32_t entry_va);
+
+  /// Execute until a stop condition; at most `max_steps` instructions.
+  StopReason run(std::size_t max_steps, const SyscallHook& hook = nullptr);
+
+  [[nodiscard]] std::uint32_t reg(x86::RegFamily f) const {
+    return regs_[static_cast<unsigned>(f)];
+  }
+  void set_reg(x86::RegFamily f, std::uint32_t v) { regs_[static_cast<unsigned>(f)] = v; }
+  [[nodiscard]] std::uint32_t eip() const noexcept { return eip_; }
+  [[nodiscard]] std::size_t steps() const noexcept { return steps_; }
+
+ private:
+  struct Flags {
+    bool cf = false, zf = false, sf = false, of = false, pf = false, df = false;
+  };
+
+  // Width-aware register and operand access.
+  [[nodiscard]] std::uint32_t read_reg(x86::Reg r) const;
+  void write_reg(x86::Reg r, std::uint32_t v);
+  [[nodiscard]] std::uint32_t mem_addr(const x86::MemRef& m) const;
+  std::optional<std::uint32_t> read_operand(const x86::Operand& op, unsigned bits);
+  bool write_operand(const x86::Operand& op, unsigned bits, std::uint32_t v);
+  std::optional<std::uint32_t> load(std::uint32_t addr, unsigned bits);
+  bool store(std::uint32_t addr, unsigned bits, std::uint32_t v);
+
+  void set_logic_flags(std::uint32_t result, unsigned bits);
+  void set_add_flags(std::uint32_t a, std::uint32_t b, std::uint64_t wide, unsigned bits);
+  void set_sub_flags(std::uint32_t a, std::uint32_t b, unsigned bits);
+  [[nodiscard]] bool cond_holds(x86::Cond c) const;
+
+  /// Execute one instruction; updates eip_ and stop_.
+  void step(const SyscallHook& hook);
+
+  VirtualMemory& mem_;
+  std::array<std::uint32_t, 8> regs_{};
+  std::uint32_t eip_;
+  Flags flags_;
+  std::size_t steps_ = 0;
+  std::uint32_t last_fpu_va_ = 0;  // FIP recorded by the last FPU instruction
+  StopReason stop_ = StopReason::kRunning;
+};
+
+}  // namespace senids::emu

@@ -1,0 +1,63 @@
+#include "emu/memory.hpp"
+
+namespace senids::emu {
+
+std::optional<std::uint8_t> VirtualMemory::read8(std::uint32_t addr) const {
+  if (auto it = overlay_.find(addr); it != overlay_.end()) return it->second;
+  if (in_frame(addr)) return frame_[addr - kFrameBase];
+  if (in_stack(addr)) return 0;  // stack reads are zero until written
+  return std::nullopt;
+}
+
+std::optional<std::uint16_t> VirtualMemory::read16(std::uint32_t addr) const {
+  auto lo = read8(addr);
+  auto hi = read8(addr + 1);
+  if (!lo || !hi) return std::nullopt;
+  return static_cast<std::uint16_t>(*lo | (*hi << 8));
+}
+
+std::optional<std::uint32_t> VirtualMemory::read32(std::uint32_t addr) const {
+  auto lo = read16(addr);
+  auto hi = read16(addr + 2);
+  if (!lo || !hi) return std::nullopt;
+  return static_cast<std::uint32_t>(*lo) | (static_cast<std::uint32_t>(*hi) << 16);
+}
+
+bool VirtualMemory::write8(std::uint32_t addr, std::uint8_t value) {
+  if (!mapped(addr)) return false;
+  if (in_frame(addr) && !overlay_.contains(addr)) ++frame_writes_;
+  overlay_[addr] = value;
+  return true;
+}
+
+bool VirtualMemory::write16(std::uint32_t addr, std::uint16_t value) {
+  return write8(addr, static_cast<std::uint8_t>(value & 0xff)) &&
+         write8(addr + 1, static_cast<std::uint8_t>(value >> 8));
+}
+
+bool VirtualMemory::write32(std::uint32_t addr, std::uint32_t value) {
+  return write16(addr, static_cast<std::uint16_t>(value & 0xffff)) &&
+         write16(addr + 2, static_cast<std::uint16_t>(value >> 16));
+}
+
+util::Bytes VirtualMemory::snapshot_frame() const {
+  util::Bytes out(frame_.begin(), frame_.end());
+  for (const auto& [addr, value] : overlay_) {
+    if (in_frame(addr)) out[addr - kFrameBase] = value;
+  }
+  return out;
+}
+
+std::optional<std::string> VirtualMemory::read_cstring(std::uint32_t addr,
+                                                       std::size_t max_len) const {
+  std::string out;
+  for (std::size_t i = 0; i < max_len; ++i) {
+    auto b = read8(addr + static_cast<std::uint32_t>(i));
+    if (!b) return std::nullopt;
+    if (*b == 0) return out;
+    out.push_back(static_cast<char>(*b));
+  }
+  return out;  // unterminated within cap: return what we have
+}
+
+}  // namespace senids::emu

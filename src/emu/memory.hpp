@@ -1,0 +1,64 @@
+// Emulated flat memory for shellcode execution: the analyzed frame is
+// mapped read/write at a fixed base, a zero-initialized stack region sits
+// below a fixed top, and all writes land in a sparse overlay so the
+// original frame stays untouched. Self-modification (decoders rewriting
+// their payload) is tracked byte-exactly.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "util/bytes.hpp"
+
+namespace senids::emu {
+
+inline constexpr std::uint32_t kFrameBase = 0x00400000;
+inline constexpr std::uint32_t kStackTop = 0xbf000000;
+inline constexpr std::uint32_t kStackSize = 0x10000;
+
+class VirtualMemory {
+ public:
+  explicit VirtualMemory(util::ByteView frame) : frame_(frame) {}
+
+  /// Read one byte; nullopt for unmapped addresses.
+  [[nodiscard]] std::optional<std::uint8_t> read8(std::uint32_t addr) const;
+  [[nodiscard]] std::optional<std::uint16_t> read16(std::uint32_t addr) const;
+  [[nodiscard]] std::optional<std::uint32_t> read32(std::uint32_t addr) const;
+
+  /// Write into the overlay; returns false for unmapped addresses.
+  bool write8(std::uint32_t addr, std::uint8_t value);
+  bool write16(std::uint32_t addr, std::uint16_t value);
+  bool write32(std::uint32_t addr, std::uint32_t value);
+
+  [[nodiscard]] bool mapped(std::uint32_t addr) const {
+    return in_frame(addr) || in_stack(addr);
+  }
+  [[nodiscard]] bool in_frame(std::uint32_t addr) const {
+    return addr >= kFrameBase && addr - kFrameBase < frame_.size();
+  }
+  [[nodiscard]] static bool in_stack(std::uint32_t addr) {
+    return addr >= kStackTop - kStackSize && addr < kStackTop;
+  }
+
+  /// Number of frame bytes modified by writes so far.
+  [[nodiscard]] std::size_t frame_bytes_modified() const noexcept {
+    return frame_writes_;
+  }
+
+  /// The frame contents with all writes applied (the "decoded" frame a
+  /// decryption loop produces).
+  [[nodiscard]] util::Bytes snapshot_frame() const;
+
+  /// Read a NUL-terminated string (capped), e.g. an execve path.
+  [[nodiscard]] std::optional<std::string> read_cstring(std::uint32_t addr,
+                                                        std::size_t max_len = 256) const;
+
+ private:
+  util::ByteView frame_;
+  std::unordered_map<std::uint32_t, std::uint8_t> overlay_;
+  std::size_t frame_writes_ = 0;
+};
+
+}  // namespace senids::emu

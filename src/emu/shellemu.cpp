@@ -1,0 +1,102 @@
+#include "emu/shellemu.hpp"
+
+#include <algorithm>
+
+#include "x86/scan.hpp"
+
+namespace senids::emu {
+
+bool EmulationResult::made_syscall() const {
+  return std::any_of(syscalls.begin(), syscalls.end(),
+                     [](const EmulatedSyscall& s) { return s.vector == 0x80; });
+}
+
+bool EmulationResult::spawned_shell() const {
+  for (const EmulatedSyscall& s : syscalls) {
+    if (s.vector != 0x80 || (s.eax & 0xff) != 0x0b) continue;
+    if (s.ebx_string.rfind("/bin", 0) == 0) return true;
+  }
+  return false;
+}
+
+bool EmulationResult::bound_port() const {
+  // socket(1) then bind(2) then listen(4), in order.
+  static constexpr std::uint8_t kSequence[] = {1, 2, 4};
+  std::size_t want = 0;
+  for (const EmulatedSyscall& s : syscalls) {
+    if (s.vector != 0x80 || (s.eax & 0xff) != 0x66) continue;
+    if ((s.ebx & 0xff) == kSequence[want] && ++want == std::size(kSequence)) return true;
+  }
+  return false;
+}
+
+EmulationResult emulate_entry(util::ByteView frame, std::size_t entry,
+                              const EmulatorOptions& options) {
+  EmulationResult result;
+  result.entry = entry;
+  if (entry >= frame.size()) {
+    result.stop = StopReason::kUnmappedFetch;
+    return result;
+  }
+
+  VirtualMemory mem(frame);
+  Cpu cpu(mem, kFrameBase + static_cast<std::uint32_t>(entry));
+
+  std::uint32_t next_fd = 3;  // plausible kernel returns for socket-ish calls
+  auto hook = [&](const SyscallRecord& rec) -> std::optional<std::uint32_t> {
+    EmulatedSyscall s;
+    s.vector = rec.vector;
+    s.eax = rec.reg(x86::RegFamily::kAx);
+    s.ebx = rec.reg(x86::RegFamily::kBx);
+    s.ecx = rec.reg(x86::RegFamily::kCx);
+    s.edx = rec.reg(x86::RegFamily::kDx);
+    if (auto str = mem.read_cstring(s.ebx)) s.ebx_string = *str;
+    result.syscalls.push_back(std::move(s));
+    if (result.syscalls.size() >= options.max_syscalls) return std::nullopt;
+    // execve does not return on success; stopping here mirrors reality
+    // and keeps the trace clean.
+    if (rec.vector == 0x80 && (rec.reg(x86::RegFamily::kAx) & 0xff) == 0x0b) {
+      return std::nullopt;
+    }
+    if (rec.vector == 0x80 && (rec.reg(x86::RegFamily::kAx) & 0xff) == 0x66) {
+      return next_fd++;
+    }
+    return 0;
+  };
+
+  result.stop = cpu.run(options.max_steps, hook);
+  result.steps = cpu.steps();
+  result.frame_bytes_modified = mem.frame_bytes_modified();
+  if (result.frame_bytes_modified > 0) {
+    result.decoded_frame = mem.snapshot_frame();
+  }
+  return result;
+}
+
+EmulationResult emulate_frame(util::ByteView frame, const EmulatorOptions& options) {
+  auto runs = x86::find_code_runs(frame, options.min_run_insns);
+  std::stable_sort(runs.begin(), runs.end(), [](const x86::CodeRun& a,
+                                                const x86::CodeRun& b) {
+    return a.insn_count > b.insn_count;
+  });
+
+  EmulationResult best;
+  auto better = [](const EmulationResult& a, const EmulationResult& b) {
+    // Prefer syscall evidence, then self-modification, then longer runs.
+    const auto score = [](const EmulationResult& r) {
+      return std::tuple(r.made_syscall(), r.frame_bytes_modified, r.steps);
+    };
+    return score(a) > score(b);
+  };
+
+  std::size_t tried = 0;
+  for (const auto& run : runs) {
+    if (tried++ >= options.max_entries) break;
+    EmulationResult r = emulate_entry(frame, run.start, options);
+    if (better(r, best)) best = std::move(r);
+    if (best.spawned_shell() || best.bound_port()) break;  // decisive
+  }
+  return best;
+}
+
+}  // namespace senids::emu

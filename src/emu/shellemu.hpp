@@ -1,0 +1,62 @@
+// Shellcode emulation harness (libemu-style dynamic analysis): run a
+// binary frame in the sandboxed CPU, let any decoder decrypt itself, and
+// report (a) the observed syscall behaviour and (b) the decoded frame for
+// a second static-analysis pass. This extends the paper's static
+// pipeline with the dynamic capability its future-work section points
+// toward; DESIGN.md documents the substitution (IDA Pro + manual
+// inspection -> automatic emulation).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "emu/cpu.hpp"
+
+namespace senids::emu {
+
+struct EmulatedSyscall {
+  std::uint8_t vector = 0;
+  std::uint32_t eax = 0;
+  std::uint32_t ebx = 0;
+  std::uint32_t ecx = 0;
+  std::uint32_t edx = 0;
+  /// NUL-terminated string at [ebx], when ebx points into the sandbox
+  /// (e.g. the execve path).
+  std::string ebx_string;
+};
+
+struct EmulationResult {
+  StopReason stop = StopReason::kRunning;
+  std::size_t steps = 0;
+  std::size_t entry = 0;                 // frame offset emulation started at
+  std::size_t frame_bytes_modified = 0;  // self-modification volume
+  std::vector<EmulatedSyscall> syscalls;
+  /// Frame with all self-modifications applied; meaningful when
+  /// frame_bytes_modified > 0.
+  util::Bytes decoded_frame;
+
+  /// execve("/bin/..") observed.
+  [[nodiscard]] bool spawned_shell() const;
+  /// socketcall socket/bind/listen sequence observed.
+  [[nodiscard]] bool bound_port() const;
+  /// Any Linux syscall (int 0x80) observed.
+  [[nodiscard]] bool made_syscall() const;
+};
+
+struct EmulatorOptions {
+  std::size_t max_steps = 100000;
+  std::size_t max_syscalls = 16;
+  std::size_t max_entries = 64;   // candidate entry points tried per frame
+  std::size_t min_run_insns = 6;  // candidate threshold (as in the analyzer)
+};
+
+/// Emulate from one specific entry offset.
+EmulationResult emulate_entry(util::ByteView frame, std::size_t entry,
+                              const EmulatorOptions& options = {});
+
+/// Try candidate entries (decode-run starts, longest first) and return
+/// the most revealing result: syscalls observed > self-modification >
+/// longest run.
+EmulationResult emulate_frame(util::ByteView frame, const EmulatorOptions& options = {});
+
+}  // namespace senids::emu

@@ -1,0 +1,112 @@
+#include "extract/base64.hpp"
+
+#include <array>
+
+namespace senids::extract {
+
+namespace {
+
+constexpr std::array<std::int8_t, 256> make_decode_table() {
+  std::array<std::int8_t, 256> t{};
+  for (auto& v : t) v = -1;
+  const char* alphabet =
+      "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+  for (int i = 0; i < 64; ++i) t[static_cast<unsigned char>(alphabet[i])] = static_cast<std::int8_t>(i);
+  return t;
+}
+
+constexpr auto kDecode = make_decode_table();
+
+bool is_b64_char(std::uint8_t c) {
+  return kDecode[c] >= 0 || c == '=' || c == '\r' || c == '\n';
+}
+
+}  // namespace
+
+std::optional<util::Bytes> base64_decode(std::string_view text) {
+  util::Bytes out;
+  out.reserve(text.size() / 4 * 3);
+  std::uint32_t acc = 0;
+  int have = 0;
+  int pad = 0;
+  bool done = false;
+  for (char c : text) {
+    if (c == '\r' || c == '\n') continue;
+    if (c == '=') {
+      if (done) return std::nullopt;  // padding after the stream ended
+      ++pad;
+      acc <<= 6;
+      ++have;
+      if (have == 4) {
+        out.push_back(static_cast<std::uint8_t>(acc >> 16));
+        if (pad < 2) out.push_back(static_cast<std::uint8_t>(acc >> 8));
+        done = true;  // padding terminates the stream; only CR/LF may follow
+        have = 0;
+      }
+      continue;
+    }
+    if (pad > 0 || done) return std::nullopt;  // data after padding
+    const std::int8_t v = kDecode[static_cast<unsigned char>(c)];
+    if (v < 0) return std::nullopt;
+    acc = (acc << 6) | static_cast<std::uint32_t>(v);
+    if (++have == 4) {
+      out.push_back(static_cast<std::uint8_t>(acc >> 16));
+      out.push_back(static_cast<std::uint8_t>(acc >> 8));
+      out.push_back(static_cast<std::uint8_t>(acc));
+      acc = 0;
+      have = 0;
+    }
+  }
+  if (have != 0) return std::nullopt;  // truncated quantum
+  return out;
+}
+
+std::optional<Base64Region> find_base64_region(util::ByteView payload,
+                                               std::size_t min_encoded_len,
+                                               std::size_t min_decoded_len) {
+  Base64Region best;
+  std::size_t start = SIZE_MAX;
+  auto consider = [&](std::size_t from, std::size_t to) {
+    if (to - from < min_encoded_len || to - from <= best.length) return;
+    std::string_view text(reinterpret_cast<const char*>(payload.data() + from), to - from);
+    // Trim trailing partial quantum so mid-stream cut-offs still decode.
+    auto decoded = base64_decode(text);
+    if (!decoded) {
+      // Retry without a trailing remainder of non-multiple-of-4 payload
+      // characters (common when the region abuts other text).
+      std::size_t payload_chars = 0;
+      for (char c : text) {
+        if (c != '\r' && c != '\n') ++payload_chars;
+      }
+      const std::size_t drop = payload_chars % 4;
+      if (drop == 0) return;
+      std::size_t removed = 0;
+      std::size_t new_len = text.size();
+      while (removed < drop && new_len > 0) {
+        const char c = text[new_len - 1];
+        if (c != '\r' && c != '\n') ++removed;
+        --new_len;
+      }
+      decoded = base64_decode(text.substr(0, new_len));
+      if (!decoded) return;
+      to = from + new_len;
+    }
+    if (decoded->size() < min_decoded_len) return;
+    best.offset = from;
+    best.length = to - from;
+    best.decoded = std::move(*decoded);
+  };
+
+  for (std::size_t i = 0; i <= payload.size(); ++i) {
+    if (i < payload.size() && is_b64_char(payload[i])) {
+      if (start == SIZE_MAX) start = i;
+    } else if (start != SIZE_MAX) {
+      consider(start, i);
+      start = SIZE_MAX;
+    }
+  }
+  if (best.decoded.empty()) return std::nullopt;
+  return best;
+}
+
+}  // namespace senids::extract

@@ -1,0 +1,30 @@
+// Base64 region detection and decoding. Email worms ship executables as
+// base64 MIME attachments; translating them "into an appropriate binary
+// form" extends the Section 4.2 extraction stage to the email-worm
+// family the paper names as future work.
+#pragma once
+
+#include <optional>
+
+#include "util/bytes.hpp"
+
+namespace senids::extract {
+
+struct Base64Region {
+  std::size_t offset = 0;  // where the encoded text begins in the input
+  std::size_t length = 0;  // encoded length (incl. embedded CRLFs)
+  util::Bytes decoded;
+};
+
+/// Decode standard base64 (ignoring embedded CR/LF); nullopt on any other
+/// character or broken padding.
+std::optional<util::Bytes> base64_decode(std::string_view text);
+
+/// Find the longest plausible base64-encoded region: >= min_encoded_len
+/// characters drawn from the base64 alphabet (line breaks allowed),
+/// decodable, and yielding at least min_decoded_len bytes.
+std::optional<Base64Region> find_base64_region(util::ByteView payload,
+                                               std::size_t min_encoded_len = 64,
+                                               std::size_t min_decoded_len = 32);
+
+}  // namespace senids::extract

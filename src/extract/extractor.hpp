@@ -1,0 +1,64 @@
+// Binary detection and extraction (Section 4.2): locate the approximate
+// region of a payload that carries binary content and hand it to the
+// disassembler as a "binary frame". This stage is what keeps the
+// CPU-intensive semantic stages off ordinary traffic; it can be bypassed
+// (extract_all) at a large performance cost — the paper's remark, and
+// our bench_ablation_extraction experiment.
+#pragma once
+
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace senids::extract {
+
+enum class FrameReason : std::uint8_t {
+  kUnicodeDecoded,   // %uXXXX escapes translated to binary
+  kAfterRepetition,  // content following an overflow filler run
+  kNopSled,          // variant NOP sled onward
+  kBinaryRegion,     // dense non-printable region
+  kReturnRegion,     // repeated return addresses (Figure 4 invariant)
+  kWholePayload,     // extraction bypassed
+  kBase64Decoded,    // MIME/base64 attachment translated to binary
+  kEmulatedDecode,   // frame decrypted by the emulator (deep analysis)
+  kEmulatedBehavior, // behaviour observed while emulating the frame
+};
+
+std::string_view frame_reason_name(FrameReason r) noexcept;
+
+struct BinaryFrame {
+  util::Bytes data;
+  std::size_t src_offset = 0;  // where in the payload the frame began
+  FrameReason reason{};
+};
+
+struct ExtractorOptions {
+  std::size_t min_unicode_escapes = 8;
+  std::size_t min_repetition = 32;
+  std::size_t min_sled = 12;
+  std::size_t min_binary_region = 24;
+  std::size_t min_return_addresses = 6;  // repeated dwords in the ret region
+  std::size_t min_base64_encoded = 96;   // encoded chars
+  std::size_t min_base64_decoded = 64;   // decoded bytes
+  /// Bypass mode: emit the whole payload as one frame regardless of the
+  /// heuristics (used by the FP evaluation and the ablation bench).
+  bool extract_all = false;
+};
+
+class BinaryExtractor {
+ public:
+  explicit BinaryExtractor(ExtractorOptions options = ExtractorOptions{})
+      : options_(options) {}
+
+  /// Extract candidate binary frames from one application payload.
+  /// Returns an empty vector when nothing looks like binary content —
+  /// that payload is pruned from the expensive pipeline stages.
+  std::vector<BinaryFrame> extract(util::ByteView payload) const;
+
+  [[nodiscard]] const ExtractorOptions& options() const noexcept { return options_; }
+
+ private:
+  ExtractorOptions options_;
+};
+
+}  // namespace senids::extract

@@ -1,0 +1,42 @@
+// Payload heuristics backing binary detection: suspicious repetition
+// (overflow filler), NOP-like sleds, and binary-density regions.
+#pragma once
+
+#include <optional>
+
+#include "util/bytes.hpp"
+
+namespace senids::extract {
+
+struct Run {
+  std::size_t offset = 0;
+  std::size_t length = 0;
+};
+
+/// Longest run of one identical byte (the 'X' filler of Figure 5, or the
+/// classic 0x90 sled). Returns nullopt when below `min_len`.
+std::optional<Run> longest_repetition(util::ByteView payload, std::size_t min_len);
+
+/// Longest run of one-byte NOP-like opcodes (the variant sled emitted by
+/// polymorphic engines — Section 4.2's "instructions that have NOP-like
+/// behavior"). Returns nullopt when below `min_len`.
+std::optional<Run> longest_nop_sled(util::ByteView payload, std::size_t min_len);
+
+/// Longest region that is predominantly non-printable ("binary-looking"),
+/// allowing short printable gaps. Returns nullopt when below `min_len`.
+std::optional<Run> longest_binary_region(util::ByteView payload, std::size_t min_len,
+                                         std::size_t max_printable_gap = 4);
+
+/// Longest run of consecutive 4-byte little-endian values sharing their
+/// three high bytes (the low byte may vary): the return-address region of
+/// Figure 4 — "only the least significant byte can be varied, since the
+/// return address must point back to a valid address in the buffer."
+/// Returns nullopt below `min_count` repeats.
+std::optional<Run> longest_return_region(util::ByteView payload,
+                                         std::size_t min_count = 4);
+
+/// True if the byte is one of the single-byte x86 instructions
+/// polymorphic sled generators draw from.
+bool is_nop_like(std::uint8_t b) noexcept;
+
+}  // namespace senids::extract

@@ -1,0 +1,76 @@
+#include "extract/http.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace senids::extract {
+
+namespace {
+const char* const kMethods[] = {"GET",    "POST",  "HEAD",    "PUT",
+                                "DELETE", "TRACE", "OPTIONS", "CONNECT"};
+
+bool is_token_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '-' || c == '_';
+}
+}  // namespace
+
+std::optional<HttpRequest> parse_http_request(util::ByteView payload) {
+  const std::string_view text(reinterpret_cast<const char*>(payload.data()), payload.size());
+
+  // Request line: METHOD SP target SP HTTP/x.y CRLF (LF tolerated).
+  const std::size_t line_end = text.find('\n');
+  const std::string_view line =
+      text.substr(0, line_end == std::string_view::npos ? text.size() : line_end);
+
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos) return std::nullopt;
+  const std::string_view method = line.substr(0, sp1);
+  if (std::none_of(std::begin(kMethods), std::end(kMethods),
+                   [&](const char* m) { return method == m; })) {
+    return std::nullopt;
+  }
+  // The target may itself contain spaces in malformed exploit requests;
+  // take the *last* token as the version when it looks like HTTP/, else
+  // treat everything after the method as the target.
+  std::size_t ver_pos = line.rfind(" HTTP/");
+  HttpRequest req;
+  req.method = std::string(method);
+  if (ver_pos != std::string_view::npos && ver_pos > sp1) {
+    req.target = std::string(line.substr(sp1 + 1, ver_pos - sp1 - 1));
+    std::string_view ver = line.substr(ver_pos + 1);
+    while (!ver.empty() && (ver.back() == '\r' || ver.back() == ' ')) ver.remove_suffix(1);
+    req.version = std::string(ver);
+  } else {
+    std::string_view target = line.substr(sp1 + 1);
+    while (!target.empty() && (target.back() == '\r' || target.back() == ' ')) {
+      target.remove_suffix(1);
+    }
+    req.target = std::string(target);
+  }
+
+  // Headers until a blank line.
+  std::size_t pos = line_end == std::string_view::npos ? text.size() : line_end + 1;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    std::string_view hline = text.substr(pos, eol - pos);
+    if (!hline.empty() && hline.back() == '\r') hline.remove_suffix(1);
+    pos = eol + 1;
+    if (hline.empty()) break;  // end of headers
+    const std::size_t colon = hline.find(':');
+    if (colon == std::string_view::npos || colon == 0 ||
+        !std::all_of(hline.begin(), hline.begin() + static_cast<std::ptrdiff_t>(colon),
+                     is_token_char)) {
+      // Not a header: stop parsing, body starts here.
+      pos -= hline.size() + 1;
+      break;
+    }
+    std::string_view value = hline.substr(colon + 1);
+    while (!value.empty() && value.front() == ' ') value.remove_prefix(1);
+    req.headers.emplace_back(std::string(hline.substr(0, colon)), std::string(value));
+  }
+  req.body_offset = std::min(pos, text.size());
+  return req;
+}
+
+}  // namespace senids::extract

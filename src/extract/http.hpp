@@ -1,0 +1,28 @@
+// Minimal HTTP/1.x request-line and header parser. The extractor uses it
+// to distinguish acceptable protocol usage from suspicious repetition
+// inside an otherwise well-formed request (the Code Red II shape:
+// legitimate GET, hostile query string).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace senids::extract {
+
+struct HttpRequest {
+  std::string method;
+  std::string target;   // full request-target, query string included
+  std::string version;  // "HTTP/1.0" etc.
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::size_t body_offset = 0;  // offset of the byte after the header block
+};
+
+/// Parse an HTTP request from the start of `payload`. Tolerates a missing
+/// header terminator (truncated capture) by consuming what is present.
+/// Returns nullopt when the first line is not a plausible request line.
+std::optional<HttpRequest> parse_http_request(util::ByteView payload);
+
+}  // namespace senids::extract

@@ -1,0 +1,54 @@
+#include "extract/unicode.hpp"
+
+namespace senids::extract {
+
+namespace {
+int hex_val(std::uint8_t c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+UnicodeDecodeResult decode_u_escapes(util::ByteView payload) {
+  UnicodeDecodeResult r;
+  bool first = true;
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    if (payload[i] != '%') continue;
+    if (i + 5 < payload.size() && (payload[i + 1] == 'u' || payload[i + 1] == 'U')) {
+      const int h3 = hex_val(payload[i + 2]);
+      const int h2 = hex_val(payload[i + 3]);
+      const int h1 = hex_val(payload[i + 4]);
+      const int h0 = hex_val(payload[i + 5]);
+      if (h3 >= 0 && h2 >= 0 && h1 >= 0 && h0 >= 0) {
+        if (first) {
+          r.first_offset = i;
+          first = false;
+        }
+        // %uABCD is the 16-bit value 0xABCD, materialized little-endian.
+        r.decoded.push_back(static_cast<std::uint8_t>((h1 << 4) | h0));
+        r.decoded.push_back(static_cast<std::uint8_t>((h3 << 4) | h2));
+        ++r.escape_count;
+        i += 5;
+        continue;
+      }
+    }
+    if (i + 2 < payload.size()) {
+      const int h1 = hex_val(payload[i + 1]);
+      const int h0 = hex_val(payload[i + 2]);
+      if (h1 >= 0 && h0 >= 0) {
+        if (first) {
+          r.first_offset = i;
+          first = false;
+        }
+        r.decoded.push_back(static_cast<std::uint8_t>((h1 << 4) | h0));
+        ++r.escape_count;
+        i += 2;
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace senids::extract

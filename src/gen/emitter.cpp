@@ -1,0 +1,298 @@
+#include "gen/emitter.hpp"
+
+namespace senids::gen {
+
+using util::Bytes;
+
+R8 low8(R32 r) {
+  const auto idx = static_cast<std::uint8_t>(r);
+  if (idx > 3) throw EmitError("no low-8 register for this family");
+  return static_cast<R8>(idx);
+}
+
+Asm::Label Asm::new_label() {
+  labels_.push_back(-1);
+  return Label{labels_.size() - 1};
+}
+
+void Asm::bind(Label label) {
+  if (labels_[label.id] != -1) throw EmitError("label bound twice");
+  labels_[label.id] = static_cast<std::ptrdiff_t>(code_.size());
+}
+
+Bytes Asm::finish() {
+  for (const Fixup& f : fixups_) {
+    const std::ptrdiff_t target = labels_[f.label];
+    if (target < 0) throw EmitError("unbound label");
+    if (f.rel8) {
+      const std::ptrdiff_t rel = target - static_cast<std::ptrdiff_t>(f.at + 1);
+      if (rel < -128 || rel > 127) throw EmitError("rel8 fixup out of range");
+      code_[f.at] = static_cast<std::uint8_t>(rel);
+    } else {
+      const std::ptrdiff_t rel = target - static_cast<std::ptrdiff_t>(f.at + 4);
+      for (int i = 0; i < 4; ++i) {
+        code_[f.at + static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>((static_cast<std::uint32_t>(rel) >> (8 * i)) & 0xff);
+      }
+    }
+  }
+  fixups_.clear();
+  labels_.clear();
+  Bytes out;
+  out.swap(code_);
+  return out;
+}
+
+void Asm::raw(util::ByteView bytes) { code_.insert(code_.end(), bytes.begin(), bytes.end()); }
+void Asm::raw8(std::uint8_t b) { code_.push_back(b); }
+
+void Asm::emit_modrm_mem(std::uint8_t reg, R32 base, std::int32_t disp) {
+  const auto rm = static_cast<std::uint8_t>(base);
+  std::uint8_t mod;
+  if (disp == 0 && base != R32::ebp) {
+    mod = 0;
+  } else if (disp >= -128 && disp <= 127) {
+    mod = 1;
+  } else {
+    mod = 2;
+  }
+  code_.push_back(static_cast<std::uint8_t>((mod << 6) | (reg << 3) | rm));
+  if (base == R32::esp) code_.push_back(0x24);  // SIB: scale 0, no index, base esp
+  if (mod == 1) {
+    code_.push_back(static_cast<std::uint8_t>(disp));
+  } else if (mod == 2) {
+    util::put_u32le(code_, static_cast<std::uint32_t>(disp));
+  }
+}
+
+void Asm::mov_r32_imm32(R32 r, std::uint32_t imm) {
+  code_.push_back(static_cast<std::uint8_t>(0xB8 + static_cast<std::uint8_t>(r)));
+  util::put_u32le(code_, imm);
+}
+
+void Asm::mov_r8_imm8(R8 r, std::uint8_t imm) {
+  code_.push_back(static_cast<std::uint8_t>(0xB0 + static_cast<std::uint8_t>(r)));
+  code_.push_back(imm);
+}
+
+void Asm::mov_r32_r32(R32 dst, R32 src) {
+  code_.push_back(0x89);
+  code_.push_back(static_cast<std::uint8_t>(0xC0 | (static_cast<std::uint8_t>(src) << 3) |
+                                            static_cast<std::uint8_t>(dst)));
+}
+
+void Asm::mov_r8_r8(R8 dst, R8 src) {
+  code_.push_back(0x88);
+  code_.push_back(static_cast<std::uint8_t>(0xC0 | (static_cast<std::uint8_t>(src) << 3) |
+                                            static_cast<std::uint8_t>(dst)));
+}
+
+void Asm::mov_r32_mem(R32 dst, R32 base, std::int8_t disp) {
+  code_.push_back(0x8B);
+  emit_modrm_mem(static_cast<std::uint8_t>(dst), base, disp);
+}
+
+void Asm::mov_mem_r32(R32 base, std::int8_t disp, R32 src) {
+  code_.push_back(0x89);
+  emit_modrm_mem(static_cast<std::uint8_t>(src), base, disp);
+}
+
+void Asm::mov_r8_mem(R8 dst, R32 base, std::int8_t disp) {
+  code_.push_back(0x8A);
+  emit_modrm_mem(static_cast<std::uint8_t>(dst), base, disp);
+}
+
+void Asm::mov_mem_r8(R32 base, std::int8_t disp, R8 src) {
+  code_.push_back(0x88);
+  emit_modrm_mem(static_cast<std::uint8_t>(src), base, disp);
+}
+
+void Asm::mov_mem_imm8(R32 base, std::int8_t disp, std::uint8_t imm) {
+  code_.push_back(0xC6);
+  emit_modrm_mem(0, base, disp);
+  code_.push_back(imm);
+}
+
+void Asm::mov_mem_imm32(R32 base, std::int8_t disp, std::uint32_t imm) {
+  code_.push_back(0xC7);
+  emit_modrm_mem(0, base, disp);
+  util::put_u32le(code_, imm);
+}
+
+void Asm::lea(R32 dst, R32 base, std::int32_t disp) {
+  code_.push_back(0x8D);
+  // lea with zero displacement still needs a memory form; force disp8 so
+  // [ebp] stays encodable.
+  if (disp == 0 && base == R32::ebp) disp = 0;  // handled by emit_modrm_mem (mod 1)
+  emit_modrm_mem(static_cast<std::uint8_t>(dst), base, disp);
+}
+
+void Asm::xchg_r32_r32(R32 a, R32 b) {
+  code_.push_back(0x87);
+  code_.push_back(static_cast<std::uint8_t>(0xC0 | (static_cast<std::uint8_t>(b) << 3) |
+                                            static_cast<std::uint8_t>(a)));
+}
+
+void Asm::push_r32(R32 r) {
+  code_.push_back(static_cast<std::uint8_t>(0x50 + static_cast<std::uint8_t>(r)));
+}
+
+void Asm::pop_r32(R32 r) {
+  code_.push_back(static_cast<std::uint8_t>(0x58 + static_cast<std::uint8_t>(r)));
+}
+
+void Asm::push_imm32(std::uint32_t imm) {
+  code_.push_back(0x68);
+  util::put_u32le(code_, imm);
+}
+
+void Asm::push_imm8(std::int8_t imm) {
+  code_.push_back(0x6A);
+  code_.push_back(static_cast<std::uint8_t>(imm));
+}
+
+void Asm::alu_r32_r32(std::uint8_t family, R32 dst, R32 src) {
+  code_.push_back(static_cast<std::uint8_t>(family * 8 + 1));  // op rm32, r32
+  code_.push_back(static_cast<std::uint8_t>(0xC0 | (static_cast<std::uint8_t>(src) << 3) |
+                                            static_cast<std::uint8_t>(dst)));
+}
+
+void Asm::alu_r32_imm(std::uint8_t family, R32 dst, std::int32_t imm) {
+  if (imm >= -128 && imm <= 127) {
+    code_.push_back(0x83);
+    code_.push_back(static_cast<std::uint8_t>(0xC0 | (family << 3) |
+                                              static_cast<std::uint8_t>(dst)));
+    code_.push_back(static_cast<std::uint8_t>(imm));
+  } else {
+    code_.push_back(0x81);
+    code_.push_back(static_cast<std::uint8_t>(0xC0 | (family << 3) |
+                                              static_cast<std::uint8_t>(dst)));
+    util::put_u32le(code_, static_cast<std::uint32_t>(imm));
+  }
+}
+
+void Asm::alu_r8_imm8(std::uint8_t family, R8 dst, std::uint8_t imm) {
+  code_.push_back(0x80);
+  code_.push_back(static_cast<std::uint8_t>(0xC0 | (family << 3) |
+                                            static_cast<std::uint8_t>(dst)));
+  code_.push_back(imm);
+}
+
+void Asm::alu_r8_r8(std::uint8_t family, R8 dst, R8 src) {
+  code_.push_back(static_cast<std::uint8_t>(family * 8));  // op rm8, r8
+  code_.push_back(static_cast<std::uint8_t>(0xC0 | (static_cast<std::uint8_t>(src) << 3) |
+                                            static_cast<std::uint8_t>(dst)));
+}
+
+void Asm::alu_mem8_imm8(std::uint8_t family, R32 base, std::uint8_t imm) {
+  code_.push_back(0x80);
+  emit_modrm_mem(family, base, 0);
+  code_.push_back(imm);
+}
+
+void Asm::alu_mem8_r8(std::uint8_t family, R32 base, R8 src) {
+  code_.push_back(static_cast<std::uint8_t>(family * 8));  // op rm8, r8
+  emit_modrm_mem(static_cast<std::uint8_t>(src), base, 0);
+}
+
+void Asm::inc_r32(R32 r) {
+  code_.push_back(static_cast<std::uint8_t>(0x40 + static_cast<std::uint8_t>(r)));
+}
+
+void Asm::dec_r32(R32 r) {
+  code_.push_back(static_cast<std::uint8_t>(0x48 + static_cast<std::uint8_t>(r)));
+}
+
+void Asm::not_r8(R8 r) {
+  code_.push_back(0xF6);
+  code_.push_back(static_cast<std::uint8_t>(0xD0 | static_cast<std::uint8_t>(r)));
+}
+
+void Asm::neg_r8(R8 r) {
+  code_.push_back(0xF6);
+  code_.push_back(static_cast<std::uint8_t>(0xD8 | static_cast<std::uint8_t>(r)));
+}
+
+void Asm::not_r32(R32 r) {
+  code_.push_back(0xF7);
+  code_.push_back(static_cast<std::uint8_t>(0xD0 | static_cast<std::uint8_t>(r)));
+}
+
+void Asm::test_r32_r32(R32 a, R32 b) {
+  code_.push_back(0x85);
+  code_.push_back(static_cast<std::uint8_t>(0xC0 | (static_cast<std::uint8_t>(b) << 3) |
+                                            static_cast<std::uint8_t>(a)));
+}
+
+void Asm::cmp_r32_imm8(R32 r, std::int8_t imm) {
+  code_.push_back(0x83);
+  code_.push_back(static_cast<std::uint8_t>(0xF8 | static_cast<std::uint8_t>(r)));
+  code_.push_back(static_cast<std::uint8_t>(imm));
+}
+
+void Asm::shift_r8_imm8(std::uint8_t subop, R8 r, std::uint8_t count) {
+  code_.push_back(0xC0);
+  code_.push_back(static_cast<std::uint8_t>(0xC0 | (subop << 3) |
+                                            static_cast<std::uint8_t>(r)));
+  code_.push_back(count);
+}
+
+void Asm::cdq() { code_.push_back(0x99); }
+void Asm::nop() { code_.push_back(0x90); }
+
+void Asm::jmp(Label target) {
+  code_.push_back(0xE9);
+  fixups_.push_back(Fixup{code_.size(), target.id, /*rel8=*/false});
+  util::put_u32le(code_, 0);
+}
+
+void Asm::jmp_short(Label target) {
+  code_.push_back(0xEB);
+  fixups_.push_back(Fixup{code_.size(), target.id, /*rel8=*/true});
+  code_.push_back(0);
+}
+
+void Asm::jcc(std::uint8_t cc, Label target) {
+  code_.push_back(static_cast<std::uint8_t>(0x70 | (cc & 0xf)));
+  fixups_.push_back(Fixup{code_.size(), target.id, /*rel8=*/true});
+  code_.push_back(0);
+}
+
+void Asm::jcc_near(std::uint8_t cc, Label target) {
+  code_.push_back(0x0F);
+  code_.push_back(static_cast<std::uint8_t>(0x80 | (cc & 0xf)));
+  fixups_.push_back(Fixup{code_.size(), target.id, /*rel8=*/false});
+  util::put_u32le(code_, 0);
+}
+
+void Asm::jmp_r32(R32 r) {
+  code_.push_back(0xFF);
+  code_.push_back(static_cast<std::uint8_t>(0xE0 | static_cast<std::uint8_t>(r)));
+}
+
+void Asm::loop_(Label target) {
+  code_.push_back(0xE2);
+  fixups_.push_back(Fixup{code_.size(), target.id, /*rel8=*/true});
+  code_.push_back(0);
+}
+
+void Asm::jecxz(Label target) {
+  code_.push_back(0xE3);
+  fixups_.push_back(Fixup{code_.size(), target.id, /*rel8=*/true});
+  code_.push_back(0);
+}
+
+void Asm::call(Label target) {
+  code_.push_back(0xE8);
+  fixups_.push_back(Fixup{code_.size(), target.id, /*rel8=*/false});
+  util::put_u32le(code_, 0);
+}
+
+void Asm::int_imm(std::uint8_t vector) {
+  code_.push_back(0xCD);
+  code_.push_back(vector);
+}
+
+void Asm::ret() { code_.push_back(0xC3); }
+
+}  // namespace senids::gen

@@ -1,0 +1,132 @@
+// A tiny x86 assembler ("emitter") used by the exploit and polymorphic
+// engines to synthesize shellcode byte sequences. Supports forward and
+// backward label references with rel8/rel32 fixups — the out-of-order
+// block sequencing of ADMmutate-style engines depends on that.
+//
+// Instruction coverage is exactly what the corpus generators need; it is
+// intentionally a separate, much smaller surface than the decoder in
+// src/x86 (which must handle arbitrary hostile bytes).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "x86/reg.hpp"
+
+namespace senids::gen {
+
+/// 3-bit register encodings, named for readability at call sites.
+enum class R32 : std::uint8_t { eax = 0, ecx, edx, ebx, esp, ebp, esi, edi };
+enum class R8 : std::uint8_t { al = 0, cl, dl, bl, ah, ch, dh, bh };
+
+/// Low-byte register of a 32-bit register family (eax -> al ...). Only
+/// valid for eax/ecx/edx/ebx.
+R8 low8(R32 r);
+
+/// Thrown when a fixup cannot be encoded (rel8 out of range) or a label
+/// is used but never bound. These are generator bugs, not input errors.
+class EmitError : public std::runtime_error {
+ public:
+  explicit EmitError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Asm {
+ public:
+  struct Label {
+    std::size_t id;
+  };
+
+  Label new_label();
+  /// Bind `label` to the current position.
+  void bind(Label label);
+  /// Offset a bound label resolves to (valid after bind, before finish).
+  [[nodiscard]] std::optional<std::size_t> label_offset(Label label) const {
+    const std::ptrdiff_t at = labels_[label.id];
+    if (at < 0) return std::nullopt;
+    return static_cast<std::size_t>(at);
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return code_.size(); }
+
+  /// Resolve all fixups and return the code. The Asm is left empty.
+  util::Bytes finish();
+
+  /// Append raw bytes (data regions, pre-encoded payloads).
+  void raw(util::ByteView bytes);
+  void raw8(std::uint8_t b);
+
+  // ------------------------------------------------------------- moves
+  void mov_r32_imm32(R32 r, std::uint32_t imm);
+  void mov_r8_imm8(R8 r, std::uint8_t imm);
+  void mov_r32_r32(R32 dst, R32 src);
+  void mov_r8_r8(R8 dst, R8 src);
+  void mov_r32_mem(R32 dst, R32 base, std::int8_t disp = 0);   // mov dst, [base+disp]
+  void mov_mem_r32(R32 base, std::int8_t disp, R32 src);       // mov [base+disp], src
+  void mov_r8_mem(R8 dst, R32 base, std::int8_t disp = 0);
+  void mov_mem_r8(R32 base, std::int8_t disp, R8 src);
+  void mov_mem_imm8(R32 base, std::int8_t disp, std::uint8_t imm);
+  void mov_mem_imm32(R32 base, std::int8_t disp, std::uint32_t imm);
+  void lea(R32 dst, R32 base, std::int32_t disp);
+  void xchg_r32_r32(R32 a, R32 b);
+
+  // -------------------------------------------------------------- stack
+  void push_r32(R32 r);
+  void pop_r32(R32 r);
+  void push_imm32(std::uint32_t imm);
+  void push_imm8(std::int8_t imm);
+
+  // ---------------------------------------------------------------- alu
+  void alu_r32_r32(std::uint8_t family, R32 dst, R32 src);  // family: 0=add 1=or 2=adc 3=sbb 4=and 5=sub 6=xor 7=cmp
+  void alu_r32_imm(std::uint8_t family, R32 dst, std::int32_t imm);
+  void alu_r8_imm8(std::uint8_t family, R8 dst, std::uint8_t imm);
+  void alu_r8_r8(std::uint8_t family, R8 dst, R8 src);
+  void alu_mem8_imm8(std::uint8_t family, R32 base, std::uint8_t imm);  // op byte [base], imm
+  void alu_mem8_r8(std::uint8_t family, R32 base, R8 src);              // op byte [base], src
+
+  void add_r32_imm(R32 r, std::int32_t imm) { alu_r32_imm(0, r, imm); }
+  void sub_r32_imm(R32 r, std::int32_t imm) { alu_r32_imm(5, r, imm); }
+  void xor_r32_r32(R32 a, R32 b) { alu_r32_r32(6, a, b); }
+  void xor_mem8_imm8(R32 base, std::uint8_t k) { alu_mem8_imm8(6, base, k); }
+  void xor_mem8_r8(R32 base, R8 src) { alu_mem8_r8(6, base, src); }
+
+  void inc_r32(R32 r);
+  void dec_r32(R32 r);
+  void not_r8(R8 r);
+  void neg_r8(R8 r);
+  void not_r32(R32 r);
+  void test_r32_r32(R32 a, R32 b);
+  void cmp_r32_imm8(R32 r, std::int8_t imm);
+  void shift_r8_imm8(std::uint8_t subop, R8 r, std::uint8_t count);  // subop: 0=rol 1=ror 4=shl 5=shr
+  void cdq();
+  void nop();
+
+  // -------------------------------------------------------- control flow
+  void jmp(Label target);        // rel8 when resolvable-short, else rel32
+  void jmp_short(Label target);  // force rel8 (EmitError if out of range)
+  void jcc(std::uint8_t cc, Label target);  // rel8; cc = low nibble (0x5 = jnz)
+  void jcc_near(std::uint8_t cc, Label target);  // 0F 8x rel32
+  void jnz(Label target) { jcc(0x5, target); }
+  void jmp_r32(R32 r);           // jmp reg (FF /4)
+  void loop_(Label target);      // rel8 only
+  void jecxz(Label target);      // rel8 only
+  void call(Label target);       // rel32
+  void int_imm(std::uint8_t vector);
+  void ret();
+
+ private:
+  struct Fixup {
+    std::size_t at;       // position of the displacement field
+    std::size_t label;
+    bool rel8;
+  };
+
+  void emit_modrm_mem(std::uint8_t reg, R32 base, std::int32_t disp);
+
+  util::Bytes code_;
+  std::vector<std::ptrdiff_t> labels_;  // -1 while unbound
+  std::vector<Fixup> fixups_;
+};
+
+}  // namespace senids::gen

@@ -1,0 +1,90 @@
+#include "gen/mailworm.hpp"
+
+#include "gen/poly.hpp"
+#include "gen/shellcode.hpp"
+
+namespace senids::gen {
+
+using util::Bytes;
+
+namespace {
+
+void append(Bytes& out, std::string_view s) { out.insert(out.end(), s.begin(), s.end()); }
+
+std::string base64_encode(util::ByteView data) {
+  static constexpr char kAlphabet[] =
+      "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+  std::string out;
+  out.reserve((data.size() + 2) / 3 * 4 + data.size() / 54);
+  std::size_t line = 0;
+  for (std::size_t i = 0; i < data.size(); i += 3) {
+    std::uint32_t acc = static_cast<std::uint32_t>(data[i]) << 16;
+    const std::size_t rem = data.size() - i;
+    if (rem > 1) acc |= static_cast<std::uint32_t>(data[i + 1]) << 8;
+    if (rem > 2) acc |= data[i + 2];
+    out.push_back(kAlphabet[(acc >> 18) & 63]);
+    out.push_back(kAlphabet[(acc >> 12) & 63]);
+    out.push_back(rem > 1 ? kAlphabet[(acc >> 6) & 63] : '=');
+    out.push_back(rem > 2 ? kAlphabet[acc & 63] : '=');
+    if ((line += 4) >= 72) {
+      out += "\r\n";
+      line = 0;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+MailWormSample make_email_worm(util::Prng& prng, util::ByteView payload,
+                               const MailWormOptions& options) {
+  MailWormSample sample;
+
+  Bytes body = payload.empty() ? make_shell_spawn_corpus()[1].code
+                               : Bytes(payload.begin(), payload.end());
+  if (options.polymorphic) {
+    sample.attachment = admmutate_encode(body, prng).bytes;
+  } else {
+    sample.attachment = std::move(body);
+  }
+
+  Bytes& out = sample.smtp_payload;
+  append(out, "EHLO worm.example.net\r\nMAIL FROM:<worm@example.net>\r\n"
+              "RCPT TO:<victim@example.org>\r\nDATA\r\n");
+  append(out, "From: worm@example.net\r\nTo: victim@example.org\r\nSubject: ");
+  append(out, options.subject);
+  append(out, "\r\nMIME-Version: 1.0\r\n"
+              "Content-Type: multipart/mixed; boundary=\"----=_Part_0\"\r\n\r\n"
+              "------=_Part_0\r\nContent-Type: text/plain\r\n\r\n"
+              "Please see the attached document.\r\n\r\n"
+              "------=_Part_0\r\nContent-Type: application/octet-stream; name=\"");
+  append(out, options.attachment_name);
+  append(out, "\"\r\nContent-Transfer-Encoding: base64\r\n"
+              "Content-Disposition: attachment; filename=\"");
+  append(out, options.attachment_name);
+  append(out, "\"\r\n\r\n");
+  append(out, base64_encode(sample.attachment));
+  append(out, "\r\n------=_Part_0--\r\n.\r\nQUIT\r\n");
+  return sample;
+}
+
+util::Bytes make_benign_email(util::Prng& prng, std::size_t attachment_size) {
+  // "Document" bytes: compressible text-ish structure, not code.
+  Bytes doc;
+  static constexpr char kWords[] = "report meeting quarterly figures attached kind regards ";
+  while (doc.size() < attachment_size) {
+    doc.push_back(static_cast<std::uint8_t>(kWords[prng.below(sizeof kWords - 1)]));
+  }
+
+  Bytes out;
+  append(out, "EHLO mail.example.com\r\nMAIL FROM:<alice@example.com>\r\n"
+              "RCPT TO:<bob@example.org>\r\nDATA\r\nSubject: minutes\r\n"
+              "MIME-Version: 1.0\r\n"
+              "Content-Type: application/pdf; name=\"minutes.pdf\"\r\n"
+              "Content-Transfer-Encoding: base64\r\n\r\n");
+  append(out, base64_encode(doc));
+  append(out, "\r\n.\r\nQUIT\r\n");
+  return out;
+}
+
+}  // namespace senids::gen

@@ -1,0 +1,34 @@
+// Email-worm workload generator (the paper's named future-work family):
+// an SMTP transaction carrying a MIME message whose base64 attachment is
+// a polymorphic executable — a decoder loop wrapped around a
+// shell-spawning payload. The NIDS must decode the attachment (base64
+// frame extraction) and then see the same decoder/shell semantics it sees
+// on exploit traffic.
+#pragma once
+
+#include "util/bytes.hpp"
+#include "util/prng.hpp"
+
+namespace senids::gen {
+
+struct MailWormOptions {
+  std::string subject = "Re: your document";
+  std::string attachment_name = "document.pif";
+  bool polymorphic = true;  // wrap the payload with the ADMmutate engine
+};
+
+struct MailWormSample {
+  util::Bytes smtp_payload;   // full SMTP transaction bytes
+  util::Bytes attachment;     // the raw (pre-base64) attachment binary
+};
+
+/// One worm email carrying `payload` (defaults to a shell-spawn sample
+/// when empty).
+MailWormSample make_email_worm(util::Prng& prng, util::ByteView payload = {},
+                               const MailWormOptions& options = {});
+
+/// A benign email with a base64 attachment of ordinary document bytes —
+/// the false-positive control for the email path.
+util::Bytes make_benign_email(util::Prng& prng, std::size_t attachment_size = 2048);
+
+}  // namespace senids::gen

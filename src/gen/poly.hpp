@@ -1,0 +1,63 @@
+// Polymorphic shellcode engines reproducing the obfuscation techniques of
+// ADMmutate 0.8.4 and the Clet engine (Section 5.2):
+//   * NOP-like sled synthesis (variant one-byte instructions, not 0x90 runs)
+//   * key-encoded payload with a generated decoder
+//   * two decoder families: xor, and the mov/or/and/not scheme over a
+//     single memory location + register pair (the paper's Figure 7 case)
+//   * garbage-instruction insertion
+//   * equivalent-instruction substitution (inc vs add vs lea vs sub-neg,
+//     loop vs dec/jnz, mov-imm vs split-key construction, ...)
+//   * register reassignment
+//   * out-of-order block sequencing chained with jmp (Figure 1(c))
+// Every choice draws from the caller's PRNG, so corpora are reproducible.
+#pragma once
+
+#include "util/bytes.hpp"
+#include "util/prng.hpp"
+
+namespace senids::gen {
+
+enum class DecoderScheme : std::uint8_t {
+  kXor,       // matched by the xor template
+  kAltOrAndNot  // requires the Figure-7 alternate template
+};
+
+struct PolyOptions {
+  std::size_t sled_min = 8;
+  std::size_t sled_max = 48;
+  double junk_prob = 0.6;      // junk between consecutive real instructions
+  bool out_of_order = true;    // shuffle decoder blocks, chain with jmp
+  /// Probability of choosing the xor decoder family. The paper observed
+  /// roughly two xor instances for every alternate-scheme instance (the
+  /// 68% initial detection rate); 0.68 reproduces that split.
+  double xor_scheme_prob = 0.68;
+  /// Probability of locating the payload via the fnstenv FPU idiom
+  /// instead of jmp/call/pop (the Metasploit-lineage GetPC).
+  double fnstenv_getpc_prob = 0.25;
+};
+
+enum class GetPcMethod : std::uint8_t { kCallPop, kFnstenv };
+
+struct PolyResult {
+  util::Bytes bytes;          // sled + decoder + encoded payload
+  DecoderScheme scheme{};
+  GetPcMethod getpc{};
+  std::uint8_t key = 0;
+  std::size_t sled_len = 0;
+};
+
+/// ADMmutate-style engine: full obfuscation menu, random scheme.
+PolyResult admmutate_encode(util::ByteView payload, util::Prng& prng,
+                            const PolyOptions& options = {});
+
+/// Clet-style engine: xor decoder with dec/jnz loop plus "spectrum"
+/// padding bytes drawn from an English-text byte distribution so the
+/// packet's byte histogram looks like normal traffic.
+PolyResult clet_encode(util::ByteView payload, util::Prng& prng,
+                       std::size_t spectrum_pad = 64);
+
+/// The NOP-like sled generator on its own (used by tests and by the
+/// extraction-stage heuristics evaluation).
+util::Bytes make_nop_sled(util::Prng& prng, std::size_t length);
+
+}  // namespace senids::gen

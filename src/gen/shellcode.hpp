@@ -1,0 +1,63 @@
+// Shellcode corpus: eight Linux shell-spawning payloads (two of which
+// bind the shell to a network port), the iis-asp-overflow-style
+// decoder-prefixed exploit, and a Netsky-scale timing sample. These
+// reproduce the behaviours of the eight public exploits in Table 1 and
+// the samples of Section 5.2; see DESIGN.md for the substitution
+// rationale. None of these are runnable exploits against real services —
+// they are detector test vectors that exercise the same syscall and
+// decoder semantics.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/prng.hpp"
+
+namespace senids::gen {
+
+struct ShellcodeSample {
+  std::string name;
+  util::Bytes code;
+  bool binds_port = false;  // Table 1 "B" rows
+};
+
+/// The eight Table-1 payload variants, in a fixed order.
+std::vector<ShellcodeSample> make_shell_spawn_corpus();
+
+/// Connect-back shell: socket + connect(ip:port) + dup2 chain + execve
+/// (extension family; detected by the reverse-shell template).
+/// `c2_ip_be` and `c2_port_be` are in network byte order.
+util::Bytes make_reverse_shell(std::uint32_t c2_ip_be, std::uint16_t c2_port_be);
+
+/// Options for wrapping raw shellcode into the classic buffer-overflow
+/// exploit layout of Figure 4: [protocol preamble]['A' filler][NOP-like
+/// sled][shellcode][return-address region].
+struct OverflowOptions {
+  std::string preamble = "GET /vuln.cgi?arg=";  // well-formed request prefix
+  std::size_t filler_len = 96;                  // repeated-byte overflow filler
+  std::uint8_t filler_byte = 'A';
+  std::size_t sled_len = 24;
+  std::size_t ret_count = 8;                    // repeated return addresses
+  std::uint32_t ret_base = 0xbffff000;          // only the low byte varies
+};
+
+/// Build the on-wire exploit packet payload around `shellcode`, as the
+/// paper's exploit-generator tool did when firing at the honeypot.
+util::Bytes wrap_in_overflow(util::ByteView shellcode, util::Prng& prng,
+                             const OverflowOptions& options = {});
+
+/// iis-asp-overflow analogue: xor decryption routine prefixed to an
+/// encoded shell-spawning region (Section 5.2, first polymorphic test).
+util::Bytes make_iis_asp_overflow_payload(std::uint8_t key = 0x95);
+
+/// xor decoder that locates itself with the fnstenv GetPC idiom
+/// (fldz; fnstenv [esp-12]; pop pointer) instead of jmp/call/pop — the
+/// other self-location technique real encoders use.
+util::Bytes make_fnstenv_decoder_payload(std::uint8_t key = 0x42);
+
+/// ~22 KB code blob with an embedded decryption loop, standing in for
+/// the Netsky samples used for the timing comparison against [5].
+util::Bytes make_netsky_like_sample(util::Prng& prng, std::size_t size_bytes = 22 * 1024);
+
+}  // namespace senids::gen

@@ -1,0 +1,74 @@
+#include "gen/traffic.hpp"
+
+namespace senids::gen {
+
+void TraceBuilder::record(util::ByteView frame) {
+  capture_.add(ts_sec_, ts_usec_, frame);
+  tick();
+}
+
+void TraceBuilder::tick() {
+  ts_usec_ += 50 + static_cast<std::uint32_t>(prng_.below(2000));
+  while (ts_usec_ >= 1000000) {
+    ts_usec_ -= 1000000;
+    ++ts_sec_;
+  }
+}
+
+void TraceBuilder::add_tcp_flow(const net::Endpoint& src, const net::Endpoint& dst,
+                                util::ByteView payload, std::size_t mss) {
+  net::ForgeOptions opts;
+  opts.ip_id = ip_id_++;
+  const std::uint32_t isn = static_cast<std::uint32_t>(prng_.next());
+  record(net::forge_syn(src, dst, isn, opts));
+
+  std::uint32_t seq = isn + 1;
+  std::size_t off = 0;
+  while (off < payload.size()) {
+    const std::size_t chunk = std::min(mss, payload.size() - off);
+    opts.ip_id = ip_id_++;
+    record(net::forge_tcp(src, dst, seq, payload.subspan(off, chunk),
+                          net::kTcpPsh | net::kTcpAck, opts));
+    seq += static_cast<std::uint32_t>(chunk);
+    off += chunk;
+  }
+  opts.ip_id = ip_id_++;
+  record(net::forge_tcp(src, dst, seq, {}, net::kTcpFin | net::kTcpAck, opts));
+}
+
+void TraceBuilder::add_udp(const net::Endpoint& src, const net::Endpoint& dst,
+                           util::ByteView payload) {
+  net::ForgeOptions opts;
+  opts.ip_id = ip_id_++;
+  record(net::forge_udp(src, dst, payload, opts));
+}
+
+void TraceBuilder::add_syn_scan(const net::Endpoint& src, net::Ipv4Addr first_target,
+                                std::uint16_t dst_port, std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    net::ForgeOptions opts;
+    opts.ip_id = ip_id_++;
+    net::Endpoint dst{net::Ipv4Addr{first_target.value + static_cast<std::uint32_t>(i)},
+                      dst_port};
+    record(net::forge_syn(src, dst, static_cast<std::uint32_t>(prng_.next()), opts));
+  }
+}
+
+void TraceBuilder::add_http_exchange(const net::Endpoint& client,
+                                     const net::Endpoint& server,
+                                     util::ByteView request, util::ByteView response) {
+  add_tcp_flow(client, server, request);
+  add_tcp_flow(server, client, response);
+}
+
+void TraceBuilder::add_benign(const net::Endpoint& src, net::Ipv4Addr dst_ip,
+                              const BenignPayload& p) {
+  net::Endpoint dst{dst_ip, p.dst_port};
+  if (p.udp) {
+    add_udp(src, dst, p.data);
+  } else {
+    add_tcp_flow(src, dst, p.data);
+  }
+}
+
+}  // namespace senids::gen

@@ -1,0 +1,56 @@
+// Trace composer: turns application payloads into complete, time-ordered
+// pcap captures with proper TCP/UDP framing — the synthetic stand-in for
+// the production network traces of Tables 1 and 3 and Section 5.4.
+#pragma once
+
+#include "gen/benign.hpp"
+#include "net/forge.hpp"
+#include "pcap/pcap.hpp"
+#include "util/prng.hpp"
+
+namespace senids::gen {
+
+class TraceBuilder {
+ public:
+  explicit TraceBuilder(std::uint64_t seed, std::uint32_t start_ts = 1136073600)
+      : prng_(seed), ts_sec_(start_ts) {}
+
+  /// One-directional TCP flow carrying `payload`, segmented at `mss`.
+  /// Emits SYN, the data segments, and FIN.
+  void add_tcp_flow(const net::Endpoint& src, const net::Endpoint& dst,
+                    util::ByteView payload, std::size_t mss = 1400);
+
+  /// Single UDP datagram.
+  void add_udp(const net::Endpoint& src, const net::Endpoint& dst, util::ByteView payload);
+
+  /// SYN probes from `src` to `count` sequential addresses starting at
+  /// `first_target` (dark-space scanning behaviour).
+  void add_syn_scan(const net::Endpoint& src, net::Ipv4Addr first_target,
+                    std::uint16_t dst_port, std::size_t count);
+
+  /// A benign payload on its natural transport/port.
+  void add_benign(const net::Endpoint& src, net::Ipv4Addr dst_ip, const BenignPayload& p);
+
+  /// A full bidirectional HTTP exchange: client request flow plus a
+  /// server response flow back (benign traffic in both directions).
+  void add_http_exchange(const net::Endpoint& client, const net::Endpoint& server,
+                         util::ByteView request, util::ByteView response);
+
+  /// Advance the capture clock by a random sub-second amount.
+  void tick();
+
+  [[nodiscard]] const pcap::Capture& capture() const noexcept { return capture_; }
+  pcap::Capture take() { return std::move(capture_); }
+  util::Prng& prng() noexcept { return prng_; }
+
+ private:
+  void record(util::ByteView frame);
+
+  util::Prng prng_;
+  pcap::Capture capture_;
+  std::uint32_t ts_sec_;
+  std::uint32_t ts_usec_ = 0;
+  std::uint16_t ip_id_ = 1;
+};
+
+}  // namespace senids::gen

@@ -1,0 +1,45 @@
+#include "ir/deadcode.hpp"
+
+namespace senids::ir {
+
+DeadCodeResult find_dead_code(const std::vector<x86::Instruction>& trace,
+                              x86::RegSet exit_live) {
+  DeadCodeResult result;
+  result.dead.assign(trace.size(), false);
+
+  x86::RegSet live = exit_live;
+  bool flags_live = false;
+
+  for (std::size_t i = trace.size(); i-- > 0;) {
+    const x86::DefUse du = x86::def_use(trace[i]);
+
+    const bool observable =
+        du.side_effect || du.mem_write || du.defs.intersects(live) ||
+        (du.flags_def && flags_live);
+    // Pure reads (cmp/test with no live consumer) are also dead, but only
+    // when their flags result is unused.
+    const bool defines_anything = !du.defs.empty() || du.flags_def || du.mem_write;
+
+    if (!observable && defines_anything) {
+      result.dead[i] = true;
+      ++result.dead_count;
+      continue;  // a dead instruction contributes no uses
+    }
+
+    // Backward transfer: defs kill liveness, uses generate it.
+    x86::RegSet next_live;
+    for (unsigned f = 0; f < 8; ++f) {
+      const auto fam = static_cast<x86::RegFamily>(f);
+      if (live.contains_family(fam) && !du.defs.contains_family(fam)) {
+        next_live.add_family(fam);
+      }
+    }
+    next_live |= du.uses;
+    live = next_live;
+    if (du.flags_def) flags_live = false;
+    if (du.flags_use) flags_live = true;
+  }
+  return result;
+}
+
+}  // namespace senids::ir

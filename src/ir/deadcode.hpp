@@ -1,0 +1,32 @@
+// Junk-instruction (dead code) identification — the normalization step of
+// Christodorescu et al. [5]. The template matcher itself is
+// junk-tolerant (subsequence matching over events), so this pass is not
+// on the detection path; it exists as a diagnostic (polymorphic_lab
+// renders matched vs junk instructions) and for downstream users who
+// want normalized listings.
+#pragma once
+
+#include <vector>
+
+#include "x86/defuse.hpp"
+#include "x86/insn.hpp"
+
+namespace senids::ir {
+
+struct DeadCodeResult {
+  /// Parallel to the trace: true = the instruction's results are never
+  /// observed (dead/junk relative to `exit_live`).
+  std::vector<bool> dead;
+  std::size_t dead_count = 0;
+};
+
+/// Classic backward liveness over an execution-order trace. An
+/// instruction is dead iff it has no side effects, writes no memory, and
+/// every register (and flag) it defines is overwritten before being read.
+/// `exit_live` is the register set assumed live after the trace; pass
+/// RegSet::all() for a conservative analysis, or the empty set to ask
+/// "what matters to this code's own control flow and stores".
+DeadCodeResult find_dead_code(const std::vector<x86::Instruction>& trace,
+                              x86::RegSet exit_live = x86::RegSet{});
+
+}  // namespace senids::ir

@@ -1,0 +1,50 @@
+// Semantic events: the lifter reduces an instruction trace to the
+// sequence of architecturally visible effects, each expressed over the
+// symbolic domain. Templates match against this stream — never against
+// instruction syntax — which is the core idea of semantics-aware
+// detection.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ir/expr.hpp"
+#include "x86/insn.hpp"
+
+namespace senids::ir {
+
+enum class EventKind : std::uint8_t {
+  kRegWrite,   // register family := value
+  kMemWrite,   // mem[addr] := value (width bits)
+  kBranch,     // control transfer (conditional or not)
+  kSyscall,    // int N with captured register state
+};
+
+struct Event {
+  EventKind kind{};
+  std::size_t insn_index = 0;   // index into the lifted trace
+  std::size_t insn_offset = 0;  // byte offset of the originating instruction
+
+  // kRegWrite
+  x86::RegFamily reg{};
+  ExprPtr value;                // also the stored value for kMemWrite
+
+  // kMemWrite
+  ExprPtr addr;
+  std::uint8_t width = 32;      // bits
+
+  // kBranch
+  bool conditional = false;
+  bool backward = false;        // static target at or before this instruction
+  std::optional<std::size_t> target;  // static target (buffer offset)
+  bool is_call = false;
+
+  // kSyscall
+  std::uint8_t vector = 0;      // int imm8 (0x80 for Linux syscalls)
+  /// eax..edi register expressions at the syscall, indexed by RegFamily.
+  std::array<ExprPtr, 8> syscall_regs;
+};
+
+}  // namespace senids::ir

@@ -1,0 +1,363 @@
+#include "ir/expr.hpp"
+
+#include <bit>
+#include <cstdio>
+
+namespace senids::ir {
+
+namespace {
+
+std::uint8_t bits_of_const(std::uint32_t v) noexcept {
+  return static_cast<std::uint8_t>(32 - std::countl_zero(v));
+}
+
+/// Upper bound on significant bits of a (fresh) node's value.
+std::uint8_t compute_value_bits(const Expr& e) noexcept {
+  switch (e.kind) {
+    case ExprKind::kConst:
+      return bits_of_const(e.cval);
+    case ExprKind::kLoad:
+      return e.load_width;
+    case ExprKind::kBin: {
+      const std::uint8_t lb = e.lhs->value_bits;
+      const std::uint8_t rb = e.rhs->value_bits;
+      switch (e.bop) {
+        case BinOp::kXor:
+        case BinOp::kOr:
+          return std::max(lb, rb);
+        case BinOp::kAnd:
+          return std::min(lb, rb);
+        case BinOp::kAdd:
+          return static_cast<std::uint8_t>(std::min<unsigned>(32, std::max(lb, rb) + 1));
+        case BinOp::kMul:
+          return static_cast<std::uint8_t>(std::min<unsigned>(32, lb + rb));
+        case BinOp::kShl: {
+          std::uint32_t sh;
+          if (is_const(e.rhs, &sh)) {
+            return static_cast<std::uint8_t>(std::min<unsigned>(32, lb + (sh & 31)));
+          }
+          return 32;
+        }
+        case BinOp::kShr: {
+          std::uint32_t sh;
+          if (is_const(e.rhs, &sh)) {
+            const unsigned s = sh & 31;
+            return static_cast<std::uint8_t>(lb > s ? lb - s : 0);
+          }
+          return 32;
+        }
+        default:
+          return 32;  // sub/sar/rol/ror can wrap or smear bits
+      }
+    }
+    case ExprKind::kInitReg:
+    case ExprKind::kUn:
+    case ExprKind::kUnknown:
+      return 32;
+  }
+  return 32;
+}
+
+ExprPtr make_node(Expr e) {
+  auto p = std::make_shared<Expr>(std::move(e));
+  // Hash is computed bottom-up once; children are already hashed.
+  std::size_t h = static_cast<std::size_t>(p->kind) * 0x9e3779b97f4a7c15ULL;
+  auto mix = [&h](std::size_t v) { h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2); };
+  switch (p->kind) {
+    case ExprKind::kConst: mix(p->cval); break;
+    case ExprKind::kInitReg: mix(static_cast<std::size_t>(p->family)); break;
+    case ExprKind::kLoad:
+      mix(p->addr->cached_hash);
+      mix(p->load_width);
+      mix(p->generation);
+      break;
+    case ExprKind::kBin:
+      mix(static_cast<std::size_t>(p->bop));
+      mix(p->lhs->cached_hash);
+      mix(p->rhs->cached_hash);
+      break;
+    case ExprKind::kUn:
+      mix(static_cast<std::size_t>(p->uop));
+      mix(p->lhs->cached_hash);
+      break;
+    case ExprKind::kUnknown: mix(p->unknown_id); break;
+  }
+  p->cached_hash = h;
+  p->value_bits = compute_value_bits(*p);
+  return p;
+}
+
+std::uint32_t fold(BinOp op, std::uint32_t a, std::uint32_t b) noexcept {
+  switch (op) {
+    case BinOp::kAdd: return a + b;
+    case BinOp::kSub: return a - b;
+    case BinOp::kXor: return a ^ b;
+    case BinOp::kOr: return a | b;
+    case BinOp::kAnd: return a & b;
+    case BinOp::kShl: return (b & 31) ? (a << (b & 31)) : a;
+    case BinOp::kShr: return (b & 31) ? (a >> (b & 31)) : a;
+    case BinOp::kSar:
+      return (b & 31) ? static_cast<std::uint32_t>(static_cast<std::int32_t>(a) >> (b & 31))
+                      : a;
+    case BinOp::kRol: {
+      unsigned s = b & 31;
+      return s ? ((a << s) | (a >> (32 - s))) : a;
+    }
+    case BinOp::kRor: {
+      unsigned s = b & 31;
+      return s ? ((a >> s) | (a << (32 - s))) : a;
+    }
+    case BinOp::kMul: return a * b;
+  }
+  return 0;
+}
+
+bool commutative(BinOp op) noexcept {
+  switch (op) {
+    case BinOp::kAdd:
+    case BinOp::kXor:
+    case BinOp::kOr:
+    case BinOp::kAnd:
+    case BinOp::kMul:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// True when op is associative so (x op c1) op c2 folds to x op (c1 op c2).
+bool const_chain_foldable(BinOp op) noexcept {
+  switch (op) {
+    case BinOp::kAdd:
+    case BinOp::kXor:
+    case BinOp::kOr:
+    case BinOp::kAnd:
+    case BinOp::kMul:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+ExprPtr mk_const(std::uint32_t v) {
+  Expr e;
+  e.kind = ExprKind::kConst;
+  e.cval = v;
+  return make_node(std::move(e));
+}
+
+ExprPtr mk_init(x86::RegFamily f) {
+  Expr e;
+  e.kind = ExprKind::kInitReg;
+  e.family = f;
+  return make_node(std::move(e));
+}
+
+ExprPtr mk_load(ExprPtr addr, unsigned width_bits, std::uint32_t generation) {
+  Expr e;
+  e.kind = ExprKind::kLoad;
+  e.addr = std::move(addr);
+  e.load_width = static_cast<std::uint8_t>(width_bits);
+  e.generation = generation;
+  return make_node(std::move(e));
+}
+
+ExprPtr mk_unknown(std::uint32_t id) {
+  Expr e;
+  e.kind = ExprKind::kUnknown;
+  e.unknown_id = id;
+  return make_node(std::move(e));
+}
+
+bool is_const(const ExprPtr& e, std::uint32_t* value) noexcept {
+  if (!e || e->kind != ExprKind::kConst) return false;
+  if (value) *value = e->cval;
+  return true;
+}
+
+ExprPtr mk_un(UnOp op, ExprPtr x) {
+  std::uint32_t c;
+  if (is_const(x, &c)) {
+    return mk_const(op == UnOp::kNot ? ~c : 0u - c);
+  }
+  // not(not(x)) -> x ; neg(neg(x)) -> x
+  if (x->kind == ExprKind::kUn && x->uop == op) return x->lhs;
+  Expr e;
+  e.kind = ExprKind::kUn;
+  e.uop = op;
+  e.lhs = std::move(x);
+  return make_node(std::move(e));
+}
+
+ExprPtr mk_bin(BinOp op, ExprPtr l, ExprPtr r) {
+  std::uint32_t cl, cr;
+  const bool l_const = is_const(l, &cl);
+  const bool r_const = is_const(r, &cr);
+  if (l_const && r_const) return mk_const(fold(op, cl, cr));
+
+  // Canonicalize: subtraction of a constant becomes addition of its
+  // negation so `sub eax,-1`, `add eax,1` and `inc eax` all normalize to
+  // Add(init(eax), 1).
+  if (op == BinOp::kSub && r_const) return mk_bin(BinOp::kAdd, std::move(l), mk_const(0u - cr));
+
+  // Commutative: keep the constant on the right.
+  if (commutative(op) && l_const) {
+    std::swap(l, r);
+    std::swap(cl, cr);
+    const bool t = l_const;
+    (void)t;
+  }
+  const bool rc = is_const(r, &cr);
+
+  if (rc) {
+    // Identity and annihilator elements.
+    switch (op) {
+      case BinOp::kAdd:
+      case BinOp::kXor:
+      case BinOp::kOr:
+        if (cr == 0) return l;
+        if (op == BinOp::kOr && cr == 0xffffffffu) return mk_const(0xffffffffu);
+        break;
+      case BinOp::kAnd:
+        if (cr == 0) return mk_const(0);
+        if (cr == 0xffffffffu) return l;
+        // Covering mask: if the mask has ones across every bit the value
+        // can occupy, the AND is a no-op; if it has none there, the AND is
+        // zero. Together these fold away the byte-access plumbing around
+        // 8-bit loads and sub-register merges.
+        if (l->value_bits < 32) {
+          const std::uint32_t needed = (1u << l->value_bits) - 1;
+          if ((cr & needed) == needed) return l;
+          if ((cr & needed) == 0) return mk_const(0);
+        }
+        // Distribute a constant mask over OR: this collapses the
+        // sub-register merge form Or(And(x, ~m), c) that reading e.g. BL
+        // back out of EBX produces — And over the merge yields the
+        // constant byte again.
+        if (l->kind == ExprKind::kBin && l->bop == BinOp::kOr) {
+          return mk_bin(BinOp::kOr, mk_bin(BinOp::kAnd, l->lhs, mk_const(cr)),
+                        mk_bin(BinOp::kAnd, l->rhs, mk_const(cr)));
+        }
+        break;
+      case BinOp::kShl:
+      case BinOp::kShr:
+      case BinOp::kSar:
+      case BinOp::kRol:
+      case BinOp::kRor:
+        if ((cr & 31) == 0) return l;
+        break;
+      case BinOp::kMul:
+        if (cr == 1) return l;
+        if (cr == 0) return mk_const(0);
+        break;
+      default:
+        break;
+    }
+    // Constant-chain folding: (x op c1) op c2 -> x op (c1 op c2).
+    if (const_chain_foldable(op) && l->kind == ExprKind::kBin && l->bop == op) {
+      std::uint32_t inner;
+      if (is_const(l->rhs, &inner)) {
+        return mk_bin(op, l->lhs, mk_const(fold(op, inner, cr)));
+      }
+    }
+  }
+
+  // x ^ x -> 0 ; x - x -> 0 ; x & x -> x ; x | x -> x
+  if (struct_eq(l, r)) {
+    switch (op) {
+      case BinOp::kXor:
+      case BinOp::kSub:
+        return mk_const(0);
+      case BinOp::kAnd:
+      case BinOp::kOr:
+        return l;
+      default:
+        break;
+    }
+  }
+
+  // Canonical operand order for commutative ops with two non-constant
+  // operands: order by hash so Xor(a,b) and Xor(b,a) unify.
+  if (commutative(op) && !rc && l->cached_hash > r->cached_hash) std::swap(l, r);
+
+  Expr e;
+  e.kind = ExprKind::kBin;
+  e.bop = op;
+  e.lhs = std::move(l);
+  e.rhs = std::move(r);
+  return make_node(std::move(e));
+}
+
+bool struct_eq(const ExprPtr& a, const ExprPtr& b) noexcept {
+  if (a.get() == b.get()) return true;
+  if (!a || !b) return false;
+  if (a->kind != b->kind || a->cached_hash != b->cached_hash) return false;
+  switch (a->kind) {
+    case ExprKind::kConst: return a->cval == b->cval;
+    case ExprKind::kInitReg: return a->family == b->family;
+    case ExprKind::kLoad:
+      return a->load_width == b->load_width && a->generation == b->generation &&
+             struct_eq(a->addr, b->addr);
+    case ExprKind::kBin:
+      return a->bop == b->bop && struct_eq(a->lhs, b->lhs) && struct_eq(a->rhs, b->rhs);
+    case ExprKind::kUn:
+      return a->uop == b->uop && struct_eq(a->lhs, b->lhs);
+    case ExprKind::kUnknown:
+      return a->unknown_id == b->unknown_id;
+  }
+  return false;
+}
+
+std::size_t expr_hash(const ExprPtr& e) noexcept {
+  return e ? e->cached_hash : 0;
+}
+
+const char* binop_name(BinOp op) noexcept {
+  switch (op) {
+    case BinOp::kAdd: return "add";
+    case BinOp::kSub: return "sub";
+    case BinOp::kXor: return "xor";
+    case BinOp::kOr: return "or";
+    case BinOp::kAnd: return "and";
+    case BinOp::kShl: return "shl";
+    case BinOp::kShr: return "shr";
+    case BinOp::kSar: return "sar";
+    case BinOp::kRol: return "rol";
+    case BinOp::kRor: return "ror";
+    case BinOp::kMul: return "mul";
+  }
+  return "?";
+}
+
+std::string to_string(const ExprPtr& e) {
+  if (!e) return "null";
+  char buf[32];
+  switch (e->kind) {
+    case ExprKind::kConst:
+      std::snprintf(buf, sizeof buf, "0x%x", e->cval);
+      return buf;
+    case ExprKind::kInitReg: {
+      std::string out = "init(";
+      out += x86::Reg{e->family, x86::RegWidth::k32}.name();
+      out += ")";
+      return out;
+    }
+    case ExprKind::kLoad: {
+      std::snprintf(buf, sizeof buf, "load%u@%u(", e->load_width, e->generation);
+      return buf + to_string(e->addr) + ")";
+    }
+    case ExprKind::kBin:
+      return std::string(binop_name(e->bop)) + "(" + to_string(e->lhs) + ", " +
+             to_string(e->rhs) + ")";
+    case ExprKind::kUn:
+      return std::string(e->uop == UnOp::kNot ? "not" : "neg") + "(" + to_string(e->lhs) + ")";
+    case ExprKind::kUnknown:
+      std::snprintf(buf, sizeof buf, "unk%u", e->unknown_id);
+      return buf;
+  }
+  return "?";
+}
+
+}  // namespace senids::ir

@@ -1,0 +1,87 @@
+// Symbolic value expressions. The lifter executes an instruction trace
+// over these instead of concrete values; constant folding and algebraic
+// normalization mean that syntactically different code computing the same
+// value produces the *same* expression tree. This is what lets one
+// template match `xor byte ptr [eax], 95h` and
+// `mov ebx,31h; add ebx,64h; xor byte ptr [eax], bl` — both store
+// Xor(Load(init_eax), 0x95).
+//
+// All expressions are 32-bit values (IA-32 native width); narrow loads
+// and sub-register reads are represented zero-extended with explicit
+// masks, which the simplifier folds away whenever operands are constant.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "x86/reg.hpp"
+
+namespace senids::ir {
+
+enum class ExprKind : std::uint8_t { kConst, kInitReg, kLoad, kBin, kUn, kUnknown };
+
+enum class BinOp : std::uint8_t {
+  kAdd, kSub, kXor, kOr, kAnd, kShl, kShr, kSar, kRol, kRor, kMul
+};
+
+enum class UnOp : std::uint8_t { kNot, kNeg };
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// Immutable expression node. Build only through the mk_* factories,
+/// which enforce normalization invariants (constants folded, commutative
+/// operands ordered, identities removed).
+struct Expr {
+  ExprKind kind;
+  // kConst
+  std::uint32_t cval = 0;
+  // kInitReg
+  x86::RegFamily family{};
+  // kLoad
+  ExprPtr addr;
+  std::uint8_t load_width = 32;   // bits
+  std::uint32_t generation = 0;   // memory version at load time
+  // kBin / kUn
+  BinOp bop{};
+  UnOp uop{};
+  ExprPtr lhs, rhs;
+  // kUnknown
+  std::uint32_t unknown_id = 0;
+
+  std::size_t cached_hash = 0;
+  /// Upper bound on the number of significant bits of the value
+  /// (e.g. an 8-bit load has value_bits == 8 even before masking). Used
+  /// by the simplifier to drop covering masks: And(x, m) == x whenever m
+  /// covers value_bits(x) bits.
+  std::uint8_t value_bits = 32;
+};
+
+// ------------------------------------------------------------- factories
+
+ExprPtr mk_const(std::uint32_t v);
+ExprPtr mk_init(x86::RegFamily f);
+ExprPtr mk_load(ExprPtr addr, unsigned width_bits, std::uint32_t generation);
+ExprPtr mk_bin(BinOp op, ExprPtr l, ExprPtr r);
+ExprPtr mk_un(UnOp op, ExprPtr x);
+ExprPtr mk_unknown(std::uint32_t id);
+
+// ------------------------------------------------------------- utilities
+
+/// Structural equality (normalization makes it a sound semantic-equality
+/// approximation: equal trees compute equal values).
+bool struct_eq(const ExprPtr& a, const ExprPtr& b) noexcept;
+
+/// Structural hash consistent with struct_eq.
+std::size_t expr_hash(const ExprPtr& e) noexcept;
+
+/// nullptr-safe constant test; returns the value when e is a constant.
+bool is_const(const ExprPtr& e, std::uint32_t* value = nullptr) noexcept;
+
+/// Debug/authoring rendering, e.g. "xor(load8(init(eax)), 0x95)".
+std::string to_string(const ExprPtr& e);
+
+const char* binop_name(BinOp op) noexcept;
+
+}  // namespace senids::ir

@@ -1,0 +1,25 @@
+// Symbolic executor: runs a decoded execution-order trace over the
+// expression domain and emits the event stream. One pass through the
+// trace corresponds to one unrolling of any loop; that is sufficient
+// because the templates describe per-iteration behaviour plus the
+// loop-back edge.
+#pragma once
+
+#include <vector>
+
+#include "ir/event.hpp"
+#include "x86/defuse.hpp"
+
+namespace senids::ir {
+
+struct LiftResult {
+  std::vector<Event> events;
+  /// Instructions whose semantics the lifter models only through def/use
+  /// clobbers (diagnostic counter; high ratios indicate data, not code).
+  std::size_t approximated = 0;
+};
+
+/// Lift `trace` (from x86::execution_trace or linear_sweep).
+LiftResult lift(const std::vector<x86::Instruction>& trace);
+
+}  // namespace senids::ir

@@ -1,0 +1,74 @@
+#include "net/defrag.hpp"
+
+namespace senids::net {
+
+std::optional<ReassembledDatagram> Defragmenter::feed(const Ipv4Header& hdr,
+                                                      util::ByteView payload) {
+  const Key key{hdr.src.value, hdr.dst.value, hdr.identification, hdr.protocol};
+  Pending& p = table_[key];
+  p.arrival = ++clock_;
+
+  if (hdr.fragment_offset == 0) {
+    p.first_header = hdr;
+    p.have_first = true;
+  }
+  if (!hdr.more_fragments) {
+    p.total_len = static_cast<std::size_t>(hdr.fragment_offset) * 8 + payload.size();
+  }
+  auto [it, inserted] = p.pieces.try_emplace(
+      hdr.fragment_offset, util::Bytes(payload.begin(), payload.end()));
+  if (inserted) {
+    buffered_ += it->second.size();
+    evict_if_needed();
+    // Eviction may have dropped this very datagram under memory pressure.
+    auto self = table_.find(key);
+    if (self == table_.end()) return std::nullopt;
+  }
+
+  auto result = try_assemble(key, table_[key]);
+  if (result) {
+    for (const auto& [off, piece] : table_[key].pieces) buffered_ -= piece.size();
+    table_.erase(key);
+  }
+  return result;
+}
+
+std::optional<ReassembledDatagram> Defragmenter::try_assemble(const Key&, Pending& p) {
+  if (!p.have_first || !p.total_len) return std::nullopt;
+  // Walk pieces in offset order and check contiguity.
+  util::Bytes out;
+  out.reserve(*p.total_len);
+  std::size_t expect = 0;
+  for (const auto& [off_units, piece] : p.pieces) {
+    const std::size_t off = static_cast<std::size_t>(off_units) * 8;
+    if (off > expect) return std::nullopt;  // hole
+    if (off + piece.size() <= expect) continue;  // duplicate/overlap: keep first copy
+    out.insert(out.end(), piece.begin() + static_cast<std::ptrdiff_t>(expect - off),
+               piece.end());
+    expect = off + piece.size();
+  }
+  if (expect < *p.total_len) return std::nullopt;
+  out.resize(*p.total_len);
+
+  ReassembledDatagram d;
+  d.header = p.first_header;
+  d.header.more_fragments = false;
+  d.header.fragment_offset = 0;
+  d.header.total_length =
+      static_cast<std::uint16_t>(Ipv4Header::kSize + out.size());
+  d.payload = std::move(out);
+  return d;
+}
+
+void Defragmenter::evict_if_needed() {
+  while (buffered_ > max_buffered_ && !table_.empty()) {
+    auto oldest = table_.begin();
+    for (auto it = table_.begin(); it != table_.end(); ++it) {
+      if (it->second.arrival < oldest->second.arrival) oldest = it;
+    }
+    for (const auto& [off, piece] : oldest->second.pieces) buffered_ -= piece.size();
+    table_.erase(oldest);
+  }
+}
+
+}  // namespace senids::net

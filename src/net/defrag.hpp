@@ -1,0 +1,70 @@
+// IPv4 fragment reassembly. Splitting an exploit across IP fragments is
+// a classic NIDS evasion; the engine reassembles datagrams before the
+// transport layer is parsed, so fragmented and whole deliveries analyze
+// identically.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <unordered_map>
+
+#include "net/headers.hpp"
+#include "util/bytes.hpp"
+
+namespace senids::net {
+
+/// A fully reassembled IP datagram (header of the first fragment, with
+/// fragmentation fields cleared, plus the stitched payload).
+struct ReassembledDatagram {
+  Ipv4Header header;
+  util::Bytes payload;
+};
+
+class Defragmenter {
+ public:
+  /// Caps total buffered bytes across all pending datagrams; oldest
+  /// pending datagrams are dropped beyond it (anti-DoS).
+  explicit Defragmenter(std::size_t max_buffered = 4 << 20)
+      : max_buffered_(max_buffered) {}
+
+  /// Feed one fragment (hdr.is_fragment() must be true). Returns the
+  /// reassembled datagram when this fragment completes it.
+  std::optional<ReassembledDatagram> feed(const Ipv4Header& hdr, util::ByteView payload);
+
+  [[nodiscard]] std::size_t pending() const noexcept { return table_.size(); }
+  [[nodiscard]] std::size_t buffered_bytes() const noexcept { return buffered_; }
+
+ private:
+  struct Key {
+    std::uint32_t src, dst;
+    std::uint16_t id;
+    std::uint8_t proto;
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      std::uint64_t h = k.src;
+      h = h * 0x9e3779b97f4a7c15ULL ^ k.dst;
+      h = h * 0x9e3779b97f4a7c15ULL ^ ((std::uint64_t{k.id} << 8) | k.proto);
+      return static_cast<std::size_t>(h);
+    }
+  };
+  struct Pending {
+    Ipv4Header first_header;
+    bool have_first = false;
+    std::map<std::uint16_t, util::Bytes> pieces;  // offset-units -> bytes
+    std::optional<std::size_t> total_len;         // known once MF=0 arrives
+    std::uint64_t arrival = 0;                    // for oldest-first eviction
+  };
+
+  std::optional<ReassembledDatagram> try_assemble(const Key& key, Pending& p);
+  void evict_if_needed();
+
+  std::size_t max_buffered_;
+  std::size_t buffered_ = 0;
+  std::uint64_t clock_ = 0;
+  std::unordered_map<Key, Pending, KeyHash> table_;
+};
+
+}  // namespace senids::net

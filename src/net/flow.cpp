@@ -1,0 +1,3 @@
+// flow.hpp is header-only today; this TU anchors the library target and is
+// the home for future flow-table eviction logic.
+#include "net/flow.hpp"

@@ -1,0 +1,50 @@
+// Flow bookkeeping: 5-tuple keys and a flow table that groups packets by
+// connection so the analyzer can work on reassembled byte streams rather
+// than individual segments (exploit payloads regularly span segments).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace senids::net {
+
+/// Directional 5-tuple identifying one side of a conversation.
+struct FlowKey {
+  Ipv4Addr src_ip;
+  Ipv4Addr dst_ip;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t protocol = 0;
+
+  friend bool operator==(const FlowKey&, const FlowKey&) = default;
+
+  [[nodiscard]] static FlowKey of(const ParsedPacket& pkt) noexcept {
+    return FlowKey{pkt.ip.src, pkt.ip.dst, pkt.src_port(), pkt.dst_port(), pkt.ip.protocol};
+  }
+};
+
+struct FlowKeyHash {
+  std::size_t operator()(const FlowKey& k) const noexcept {
+    // FNV-1a over the tuple fields; cheap and well distributed for the
+    // table sizes we see (tens of thousands of flows per trace).
+    std::uint64_t h = 1469598103934665603ULL;
+    auto mix = [&h](std::uint64_t v) {
+      h ^= v;
+      h *= 1099511628211ULL;
+    };
+    mix(k.src_ip.value);
+    mix(k.dst_ip.value);
+    mix((std::uint64_t{k.src_port} << 16) | k.dst_port);
+    mix(k.protocol);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+template <typename V>
+using FlowMap = std::unordered_map<FlowKey, V, FlowKeyHash>;
+
+}  // namespace senids::net

@@ -1,0 +1,103 @@
+#include "net/forge.hpp"
+
+namespace senids::net {
+
+using util::Bytes;
+using util::ByteView;
+
+namespace {
+Bytes forge_ip_frame(const Endpoint& src, const Endpoint& dst, std::uint8_t proto,
+                     std::size_t l4_len, const ForgeOptions& opts) {
+  Bytes frame;
+  frame.reserve(EthernetHeader::kSize + Ipv4Header::kSize + l4_len);
+  EthernetHeader eth;
+  eth.src = opts.src_mac;
+  eth.dst = opts.dst_mac;
+  eth.encode(frame);
+  Ipv4Header ip;
+  ip.ttl = opts.ttl;
+  ip.identification = opts.ip_id;
+  ip.protocol = proto;
+  ip.src = src.ip;
+  ip.dst = dst.ip;
+  ip.encode(frame, l4_len);
+  return frame;
+}
+}  // namespace
+
+Bytes forge_tcp(const Endpoint& src, const Endpoint& dst, std::uint32_t seq,
+                ByteView payload, std::uint8_t flags, const ForgeOptions& opts) {
+  Bytes frame = forge_ip_frame(src, dst, kIpProtoTcp, TcpHeader::kSize + payload.size(), opts);
+  TcpHeader tcp;
+  tcp.src_port = src.port;
+  tcp.dst_port = dst.port;
+  tcp.seq = seq;
+  tcp.ack = 1;
+  tcp.flags = flags;
+  tcp.encode(frame, src.ip, dst.ip, payload);
+  return frame;
+}
+
+Bytes forge_syn(const Endpoint& src, const Endpoint& dst, std::uint32_t seq,
+                const ForgeOptions& opts) {
+  Bytes frame = forge_ip_frame(src, dst, kIpProtoTcp, TcpHeader::kSize, opts);
+  TcpHeader tcp;
+  tcp.src_port = src.port;
+  tcp.dst_port = dst.port;
+  tcp.seq = seq;
+  tcp.ack = 0;
+  tcp.flags = kTcpSyn;
+  tcp.encode(frame, src.ip, dst.ip, {});
+  return frame;
+}
+
+Bytes forge_udp(const Endpoint& src, const Endpoint& dst, ByteView payload,
+                const ForgeOptions& opts) {
+  Bytes frame = forge_ip_frame(src, dst, kIpProtoUdp, UdpHeader::kSize + payload.size(), opts);
+  UdpHeader udp;
+  udp.src_port = src.port;
+  udp.dst_port = dst.port;
+  udp.encode(frame, src.ip, dst.ip, payload);
+  return frame;
+}
+
+std::vector<util::Bytes> fragment_frame(util::ByteView frame, std::size_t mtu_payload) {
+  mtu_payload &= ~std::size_t{7};  // fragment offsets count in 8-byte units
+  std::vector<util::Bytes> out;
+
+  util::Cursor cur(frame);
+  auto eth = EthernetHeader::decode(cur);
+  auto ip = Ipv4Header::decode(cur);
+  if (!eth || !ip || mtu_payload == 0) {
+    out.emplace_back(frame.begin(), frame.end());
+    return out;
+  }
+  util::ByteView payload = cur.rest();
+  if (ip->total_length >= Ipv4Header::kSize) {
+    payload = payload.first(std::min<std::size_t>(ip->total_length - Ipv4Header::kSize,
+                                                  payload.size()));
+  }
+  if (payload.size() <= mtu_payload) {
+    out.emplace_back(frame.begin(), frame.end());
+    return out;
+  }
+
+  std::size_t off = 0;
+  while (off < payload.size()) {
+    const std::size_t chunk = std::min(mtu_payload, payload.size() - off);
+    Bytes f;
+    eth->encode(f);
+    Ipv4Header h = *ip;
+    h.total_length = 0;  // recompute for the fragment
+    h.fragment_offset = static_cast<std::uint16_t>(off / 8);
+    h.more_fragments = off + chunk < payload.size();
+    h.encode(f, chunk);
+    f.insert(f.end(), payload.begin() + static_cast<std::ptrdiff_t>(off),
+             payload.begin() + static_cast<std::ptrdiff_t>(off + chunk));
+    out.push_back(std::move(f));
+    off += chunk;
+  }
+  return out;
+}
+
+}  // namespace senids::net

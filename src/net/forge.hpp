@@ -1,0 +1,44 @@
+// Packet construction helpers for the workload generators: build complete,
+// checksum-correct Ethernet frames from payload bytes.
+#pragma once
+
+#include <vector>
+
+#include "net/headers.hpp"
+#include "util/bytes.hpp"
+
+namespace senids::net {
+
+/// Endpoint shorthand used throughout the generators.
+struct Endpoint {
+  Ipv4Addr ip;
+  std::uint16_t port = 0;
+};
+
+/// Parameters common to both transports.
+struct ForgeOptions {
+  MacAddr src_mac = MacAddr::from_u64(0x020000000001);
+  MacAddr dst_mac = MacAddr::from_u64(0x020000000002);
+  std::uint8_t ttl = 64;
+  std::uint16_t ip_id = 0;
+};
+
+/// One TCP segment carrying `payload` (PSH|ACK by default).
+util::Bytes forge_tcp(const Endpoint& src, const Endpoint& dst, std::uint32_t seq,
+                      util::ByteView payload, std::uint8_t flags = kTcpPsh | kTcpAck,
+                      const ForgeOptions& opts = {});
+
+/// A bare TCP SYN (used by the scan generator for dark-space probes).
+util::Bytes forge_syn(const Endpoint& src, const Endpoint& dst, std::uint32_t seq = 0,
+                      const ForgeOptions& opts = {});
+
+/// One UDP datagram carrying `payload`.
+util::Bytes forge_udp(const Endpoint& src, const Endpoint& dst, util::ByteView payload,
+                      const ForgeOptions& opts = {});
+
+/// Split an already-forged Ethernet/IPv4 frame into fragment frames whose
+/// IP payloads carry at most `mtu_payload` bytes (rounded down to the
+/// 8-byte fragment granularity). Returns the input unchanged when it fits.
+std::vector<util::Bytes> fragment_frame(util::ByteView frame, std::size_t mtu_payload);
+
+}  // namespace senids::net

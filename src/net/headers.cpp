@@ -1,0 +1,218 @@
+#include "net/headers.hpp"
+
+#include <cstdio>
+
+namespace senids::net {
+
+using util::Bytes;
+using util::ByteView;
+using util::Cursor;
+
+MacAddr MacAddr::from_u64(std::uint64_t v) noexcept {
+  MacAddr m;
+  for (int i = 5; i >= 0; --i) {
+    m.octets[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(v & 0xff);
+    v >>= 8;
+  }
+  return m;
+}
+
+std::string MacAddr::str() const {
+  char buf[18];
+  std::snprintf(buf, sizeof buf, "%02x:%02x:%02x:%02x:%02x:%02x", octets[0], octets[1],
+                octets[2], octets[3], octets[4], octets[5]);
+  return buf;
+}
+
+std::optional<Ipv4Addr> Ipv4Addr::parse(std::string_view text) {
+  std::uint32_t parts[4];
+  std::size_t idx = 0;
+  std::uint32_t cur = 0;
+  bool have_digit = false;
+  for (char c : text) {
+    if (c >= '0' && c <= '9') {
+      cur = cur * 10 + static_cast<std::uint32_t>(c - '0');
+      if (cur > 255) return std::nullopt;
+      have_digit = true;
+    } else if (c == '.') {
+      if (!have_digit || idx >= 3) return std::nullopt;
+      parts[idx++] = cur;
+      cur = 0;
+      have_digit = false;
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (!have_digit || idx != 3) return std::nullopt;
+  parts[3] = cur;
+  return from_octets(static_cast<std::uint8_t>(parts[0]), static_cast<std::uint8_t>(parts[1]),
+                     static_cast<std::uint8_t>(parts[2]), static_cast<std::uint8_t>(parts[3]));
+}
+
+std::string Ipv4Addr::str() const {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (value >> 24) & 0xff, (value >> 16) & 0xff,
+                (value >> 8) & 0xff, value & 0xff);
+  return buf;
+}
+
+void EthernetHeader::encode(Bytes& out) const {
+  out.insert(out.end(), dst.octets.begin(), dst.octets.end());
+  out.insert(out.end(), src.octets.begin(), src.octets.end());
+  util::put_u16be(out, ethertype);
+}
+
+std::optional<EthernetHeader> EthernetHeader::decode(Cursor& cur) {
+  if (cur.remaining() < kSize) return std::nullopt;
+  EthernetHeader h;
+  ByteView d = cur.take(6);
+  std::copy(d.begin(), d.end(), h.dst.octets.begin());
+  ByteView s = cur.take(6);
+  std::copy(s.begin(), s.end(), h.src.octets.begin());
+  h.ethertype = cur.u16be();
+  return h;
+}
+
+std::uint16_t internet_checksum(ByteView data, std::uint32_t initial) {
+  std::uint32_t sum = initial;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += static_cast<std::uint32_t>((data[i] << 8) | data[i + 1]);
+  }
+  if (i < data.size()) sum += static_cast<std::uint32_t>(data[i] << 8);
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum & 0xffff);
+}
+
+void Ipv4Header::encode(Bytes& out, std::size_t payload_len) const {
+  const std::size_t start = out.size();
+  const std::uint16_t len =
+      total_length != 0 ? total_length : static_cast<std::uint16_t>(kSize + payload_len);
+  util::put_u8(out, 0x45);  // version 4, IHL 5
+  util::put_u8(out, tos);
+  util::put_u16be(out, len);
+  util::put_u16be(out, identification);
+  if (is_fragment()) {
+    util::put_u16be(out, static_cast<std::uint16_t>((more_fragments ? 0x2000 : 0) |
+                                                    (fragment_offset & 0x1fff)));
+  } else {
+    util::put_u16be(out, 0x4000);  // flags: don't-fragment, offset 0
+  }
+  util::put_u8(out, ttl);
+  util::put_u8(out, protocol);
+  util::put_u16be(out, 0);  // checksum placeholder
+  util::put_u32be(out, src.value);
+  util::put_u32be(out, dst.value);
+  const std::uint16_t ck =
+      internet_checksum(ByteView(out).subspan(start, kSize));
+  out[start + 10] = static_cast<std::uint8_t>(ck >> 8);
+  out[start + 11] = static_cast<std::uint8_t>(ck & 0xff);
+}
+
+std::optional<Ipv4Header> Ipv4Header::decode(Cursor& cur) {
+  if (cur.remaining() < kSize) return std::nullopt;
+  const std::uint8_t vihl = cur.u8();
+  if ((vihl >> 4) != 4) return std::nullopt;
+  const std::size_t header_len = static_cast<std::size_t>(vihl & 0xf) * 4;
+  if (header_len < kSize) return std::nullopt;
+  Ipv4Header h;
+  h.tos = cur.u8();
+  h.total_length = cur.u16be();
+  h.identification = cur.u16be();
+  const std::uint16_t frag = cur.u16be();
+  h.more_fragments = (frag & 0x2000) != 0;
+  h.fragment_offset = frag & 0x1fff;
+  h.ttl = cur.u8();
+  h.protocol = cur.u8();
+  cur.skip(2);  // checksum (validated separately if desired)
+  h.src.value = cur.u32be();
+  h.dst.value = cur.u32be();
+  if (header_len > kSize) {
+    if (cur.remaining() < header_len - kSize) return std::nullopt;
+    cur.skip(header_len - kSize);  // options: skipped, not interpreted
+  }
+  return h;
+}
+
+namespace {
+/// Pseudo-header sum shared by TCP and UDP checksums.
+std::uint32_t pseudo_sum(const Ipv4Addr& src, const Ipv4Addr& dst, std::uint8_t proto,
+                         std::size_t l4_len) {
+  std::uint32_t sum = 0;
+  sum += (src.value >> 16) & 0xffff;
+  sum += src.value & 0xffff;
+  sum += (dst.value >> 16) & 0xffff;
+  sum += dst.value & 0xffff;
+  sum += proto;
+  sum += static_cast<std::uint32_t>(l4_len);
+  return sum;
+}
+}  // namespace
+
+void TcpHeader::encode(Bytes& out, const Ipv4Addr& src_ip, const Ipv4Addr& dst_ip,
+                       ByteView payload) const {
+  const std::size_t start = out.size();
+  util::put_u16be(out, src_port);
+  util::put_u16be(out, dst_port);
+  util::put_u32be(out, seq);
+  util::put_u32be(out, ack);
+  util::put_u8(out, 0x50);  // data offset 5 words
+  util::put_u8(out, flags);
+  util::put_u16be(out, window);
+  util::put_u16be(out, 0);  // checksum placeholder
+  util::put_u16be(out, 0);  // urgent pointer
+  out.insert(out.end(), payload.begin(), payload.end());
+  Bytes segment(out.begin() + static_cast<std::ptrdiff_t>(start), out.end());
+  const std::uint16_t ck = internet_checksum(
+      segment, pseudo_sum(src_ip, dst_ip, kIpProtoTcp, segment.size()));
+  out[start + 16] = static_cast<std::uint8_t>(ck >> 8);
+  out[start + 17] = static_cast<std::uint8_t>(ck & 0xff);
+}
+
+std::optional<TcpHeader> TcpHeader::decode(Cursor& cur) {
+  if (cur.remaining() < kSize) return std::nullopt;
+  TcpHeader h;
+  h.src_port = cur.u16be();
+  h.dst_port = cur.u16be();
+  h.seq = cur.u32be();
+  h.ack = cur.u32be();
+  const std::uint8_t offset_words = cur.u8() >> 4;
+  h.flags = cur.u8();
+  h.window = cur.u16be();
+  cur.skip(4);  // checksum + urgent pointer
+  const std::size_t header_len = static_cast<std::size_t>(offset_words) * 4;
+  if (header_len < kSize) return std::nullopt;
+  if (header_len > kSize) {
+    if (cur.remaining() < header_len - kSize) return std::nullopt;
+    cur.skip(header_len - kSize);  // TCP options
+  }
+  return h;
+}
+
+void UdpHeader::encode(Bytes& out, const Ipv4Addr& src_ip, const Ipv4Addr& dst_ip,
+                       ByteView payload) const {
+  const std::size_t start = out.size();
+  const std::uint16_t len = static_cast<std::uint16_t>(kSize + payload.size());
+  util::put_u16be(out, src_port);
+  util::put_u16be(out, dst_port);
+  util::put_u16be(out, len);
+  util::put_u16be(out, 0);  // checksum placeholder
+  out.insert(out.end(), payload.begin(), payload.end());
+  Bytes datagram(out.begin() + static_cast<std::ptrdiff_t>(start), out.end());
+  std::uint16_t ck =
+      internet_checksum(datagram, pseudo_sum(src_ip, dst_ip, kIpProtoUdp, datagram.size()));
+  if (ck == 0) ck = 0xffff;  // RFC 768: transmitted zero means "no checksum"
+  out[start + 6] = static_cast<std::uint8_t>(ck >> 8);
+  out[start + 7] = static_cast<std::uint8_t>(ck & 0xff);
+}
+
+std::optional<UdpHeader> UdpHeader::decode(Cursor& cur) {
+  if (cur.remaining() < kSize) return std::nullopt;
+  UdpHeader h;
+  h.src_port = cur.u16be();
+  h.dst_port = cur.u16be();
+  cur.skip(4);  // length + checksum
+  return h;
+}
+
+}  // namespace senids::net

@@ -1,0 +1,117 @@
+// Wire-format codecs for the protocol stack the paper's traces use:
+// Ethernet II / IPv4 / {TCP, UDP}. Encode is used by the traffic
+// generators; decode by the NIDS front end.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "util/bytes.hpp"
+
+namespace senids::net {
+
+// ---------------------------------------------------------------- addresses
+
+struct MacAddr {
+  std::array<std::uint8_t, 6> octets{};
+
+  static MacAddr from_u64(std::uint64_t v) noexcept;
+  [[nodiscard]] std::string str() const;
+  friend bool operator==(const MacAddr&, const MacAddr&) = default;
+};
+
+/// IPv4 address held in host byte order for arithmetic convenience
+/// (subnet math in the dark-space classifier).
+struct Ipv4Addr {
+  std::uint32_t value = 0;
+
+  static constexpr Ipv4Addr from_octets(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                                        std::uint8_t d) noexcept {
+    return Ipv4Addr{(std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+                    (std::uint32_t{c} << 8) | d};
+  }
+  /// Parse dotted quad; nullopt on malformed text.
+  static std::optional<Ipv4Addr> parse(std::string_view text);
+
+  [[nodiscard]] std::string str() const;
+  friend auto operator<=>(const Ipv4Addr&, const Ipv4Addr&) = default;
+};
+
+// ------------------------------------------------------------------ headers
+
+inline constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
+inline constexpr std::uint8_t kIpProtoTcp = 6;
+inline constexpr std::uint8_t kIpProtoUdp = 17;
+
+struct EthernetHeader {
+  MacAddr dst;
+  MacAddr src;
+  std::uint16_t ethertype = kEtherTypeIpv4;
+
+  static constexpr std::size_t kSize = 14;
+  void encode(util::Bytes& out) const;
+  static std::optional<EthernetHeader> decode(util::Cursor& cur);
+};
+
+struct Ipv4Header {
+  std::uint8_t tos = 0;
+  std::uint16_t total_length = 0;  // filled by encoder when 0
+  std::uint16_t identification = 0;
+  bool more_fragments = false;      // MF flag
+  std::uint16_t fragment_offset = 0;  // in 8-byte units
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = kIpProtoTcp;
+  Ipv4Addr src;
+  Ipv4Addr dst;
+
+  [[nodiscard]] bool is_fragment() const noexcept {
+    return more_fragments || fragment_offset != 0;
+  }
+
+  static constexpr std::size_t kSize = 20;  // we neither emit nor need options
+  /// Encodes with a correct header checksum; if total_length is zero it is
+  /// computed as kSize + payload_len.
+  void encode(util::Bytes& out, std::size_t payload_len) const;
+  /// Decodes and verifies version/IHL; skips options; does not verify the
+  /// checksum (caller may, via header_checksum_ok).
+  static std::optional<Ipv4Header> decode(util::Cursor& cur);
+};
+
+/// TCP flag bits.
+inline constexpr std::uint8_t kTcpFin = 0x01;
+inline constexpr std::uint8_t kTcpSyn = 0x02;
+inline constexpr std::uint8_t kTcpRst = 0x04;
+inline constexpr std::uint8_t kTcpPsh = 0x08;
+inline constexpr std::uint8_t kTcpAck = 0x10;
+
+struct TcpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t flags = kTcpAck;
+  std::uint16_t window = 65535;
+
+  static constexpr std::size_t kSize = 20;
+  /// Encodes with a correct checksum over the IPv4 pseudo-header.
+  void encode(util::Bytes& out, const Ipv4Addr& src_ip, const Ipv4Addr& dst_ip,
+              util::ByteView payload) const;
+  static std::optional<TcpHeader> decode(util::Cursor& cur);
+};
+
+struct UdpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+
+  static constexpr std::size_t kSize = 8;
+  void encode(util::Bytes& out, const Ipv4Addr& src_ip, const Ipv4Addr& dst_ip,
+              util::ByteView payload) const;
+  static std::optional<UdpHeader> decode(util::Cursor& cur);
+};
+
+/// RFC 1071 internet checksum over `data` (+ optional preloaded sum).
+std::uint16_t internet_checksum(util::ByteView data, std::uint32_t initial = 0);
+
+}  // namespace senids::net

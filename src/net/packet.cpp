@@ -1,0 +1,87 @@
+#include "net/packet.hpp"
+
+namespace senids::net {
+
+namespace {
+/// Decode the transport layer into `pkt` from the (full) IP payload.
+bool parse_l4(ParsedPacket& pkt, util::ByteView ip_payload);
+}  // namespace
+
+std::optional<ParsedPacket> parse_frame(util::ByteView frame, std::uint32_t ts_sec,
+                                        std::uint32_t ts_usec) {
+  util::Cursor cur(frame);
+  auto eth = EthernetHeader::decode(cur);
+  if (!eth || eth->ethertype != kEtherTypeIpv4) return std::nullopt;
+  auto ip = Ipv4Header::decode(cur);
+  if (!ip) return std::nullopt;
+
+  ParsedPacket pkt;
+  pkt.ts_sec = ts_sec;
+  pkt.ts_usec = ts_usec;
+  pkt.eth = *eth;
+  pkt.ip = *ip;
+
+  // Trust total_length to bound the L4 view; guard against it claiming
+  // more bytes than were captured.
+  std::size_t ip_payload_len = 0;
+  if (ip->total_length >= Ipv4Header::kSize) {
+    ip_payload_len = std::min<std::size_t>(ip->total_length - Ipv4Header::kSize,
+                                           cur.remaining());
+  } else {
+    ip_payload_len = cur.remaining();
+  }
+  util::ByteView ip_payload = cur.rest().first(ip_payload_len);
+
+  if (ip->is_fragment()) {
+    // Transport headers only exist in the first fragment; surface the raw
+    // bytes so the defragmenter can reassemble.
+    pkt.transport = Transport::kFragment;
+    pkt.payload.assign(ip_payload.begin(), ip_payload.end());
+    return pkt;
+  }
+
+  if (!parse_l4(pkt, ip_payload)) return std::nullopt;
+  return pkt;
+}
+
+std::optional<ParsedPacket> parse_reassembled(const Ipv4Header& header,
+                                              util::ByteView ip_payload,
+                                              std::uint32_t ts_sec,
+                                              std::uint32_t ts_usec) {
+  ParsedPacket pkt;
+  pkt.ts_sec = ts_sec;
+  pkt.ts_usec = ts_usec;
+  pkt.ip = header;
+  if (!parse_l4(pkt, ip_payload)) return std::nullopt;
+  return pkt;
+}
+
+namespace {
+bool parse_l4(ParsedPacket& pkt, util::ByteView ip_payload) {
+  util::Cursor l4(ip_payload);
+  switch (pkt.ip.protocol) {
+    case kIpProtoTcp: {
+      auto tcp = TcpHeader::decode(l4);
+      if (!tcp) return false;
+      pkt.transport = Transport::kTcp;
+      pkt.tcp = *tcp;
+      break;
+    }
+    case kIpProtoUdp: {
+      auto udp = UdpHeader::decode(l4);
+      if (!udp) return false;
+      pkt.transport = Transport::kUdp;
+      pkt.udp = *udp;
+      break;
+    }
+    default:
+      pkt.transport = Transport::kOtherIp;
+      break;
+  }
+  util::ByteView payload = l4.rest();
+  pkt.payload.assign(payload.begin(), payload.end());
+  return true;
+}
+}  // namespace
+
+}  // namespace senids::net

@@ -1,0 +1,52 @@
+// Decoded view of one captured frame: the NIDS front end turns raw pcap
+// records into ParsedPacket before classification.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "net/headers.hpp"
+#include "util/bytes.hpp"
+
+namespace senids::net {
+
+enum class Transport : std::uint8_t { kNone, kTcp, kUdp, kOtherIp, kFragment };
+
+/// A fully decoded frame. Payload is an *owning* copy so packets outlive
+/// their capture buffer (the parallel pipeline hands packets across
+/// threads).
+struct ParsedPacket {
+  std::uint32_t ts_sec = 0;
+  std::uint32_t ts_usec = 0;
+  EthernetHeader eth;
+  Ipv4Header ip;
+  Transport transport = Transport::kNone;
+  TcpHeader tcp;  // valid iff transport == kTcp
+  UdpHeader udp;  // valid iff transport == kUdp
+  util::Bytes payload;
+
+  [[nodiscard]] std::uint16_t src_port() const noexcept {
+    return transport == Transport::kTcp ? tcp.src_port
+           : transport == Transport::kUdp ? udp.src_port : 0;
+  }
+  [[nodiscard]] std::uint16_t dst_port() const noexcept {
+    return transport == Transport::kTcp ? tcp.dst_port
+           : transport == Transport::kUdp ? udp.dst_port : 0;
+  }
+};
+
+/// Decode an Ethernet frame. Returns nullopt for frames the NIDS does not
+/// inspect (non-IPv4, malformed, truncated). IP fragments are returned
+/// with transport == kFragment and the raw IP payload; feed them to a
+/// net::Defragmenter and re-parse with parse_reassembled.
+std::optional<ParsedPacket> parse_frame(util::ByteView frame, std::uint32_t ts_sec = 0,
+                                        std::uint32_t ts_usec = 0);
+
+/// Build a ParsedPacket from a reassembled IP datagram (header + full
+/// payload), decoding the transport layer.
+std::optional<ParsedPacket> parse_reassembled(const Ipv4Header& header,
+                                              util::ByteView ip_payload,
+                                              std::uint32_t ts_sec = 0,
+                                              std::uint32_t ts_usec = 0);
+
+}  // namespace senids::net

@@ -1,0 +1,105 @@
+#include "net/reassembly.hpp"
+
+#include <limits>
+
+#include "net/headers.hpp"
+
+namespace senids::net {
+
+namespace {
+/// Signed distance a - b on the 32-bit sequence circle.
+std::int32_t seq_diff(std::uint32_t a, std::uint32_t b) noexcept {
+  return static_cast<std::int32_t>(a - b);
+}
+}  // namespace
+
+void TcpReassembler::feed(std::uint32_t seq, std::uint8_t flags, util::ByteView payload) {
+  if (closed_) return;
+  if (!next_seq_) {
+    if (flags & kTcpSyn) {
+      next_seq_ = seq + 1;  // SYN occupies one sequence number
+      return;
+    }
+    next_seq_ = seq;  // mid-stream anchor (capture started after handshake)
+  }
+
+  if (!payload.empty()) {
+    std::int32_t d = seq_diff(seq, *next_seq_);
+    util::Bytes data(payload.begin(), payload.end());
+    if (d < 0) {
+      // Retransmission overlapping already-delivered bytes: trim the stale
+      // prefix, keep any new suffix.
+      const std::size_t stale = static_cast<std::size_t>(-d);
+      if (stale >= data.size()) {
+        data.clear();
+      } else {
+        data.erase(data.begin(), data.begin() + static_cast<std::ptrdiff_t>(stale));
+        seq = *next_seq_;
+        d = 0;
+      }
+    }
+    if (!data.empty()) {
+      if (d == 0) {
+        *next_seq_ += static_cast<std::uint32_t>(data.size());
+        stream_.insert(stream_.end(), data.begin(), data.end());
+        drain();
+      } else {
+        auto [it, inserted] = pending_.try_emplace(seq, std::move(data));
+        if (inserted) {
+          buffered_ += it->second.size();
+          if (buffered_ > max_buffered_) {
+            // Force the earliest gap closed: jump to the pending segment
+            // nearest ahead of next_seq_ and resume from there.
+            std::uint32_t best = 0;
+            std::int32_t best_d = std::numeric_limits<std::int32_t>::max();
+            for (const auto& [s, _] : pending_) {
+              std::int32_t dd = seq_diff(s, *next_seq_);
+              if (dd >= 0 && dd < best_d) {
+                best_d = dd;
+                best = s;
+              }
+            }
+            if (best_d != std::numeric_limits<std::int32_t>::max()) {
+              *next_seq_ = best;
+              drain();
+            }
+          }
+        }
+      }
+    }
+  }
+
+  if (flags & (kTcpFin | kTcpRst)) {
+    // Close once the control flag is at or behind the delivery point.
+    if (seq_diff(seq + static_cast<std::uint32_t>(payload.size()), *next_seq_) <= 0) {
+      closed_ = true;
+    }
+  }
+}
+
+void TcpReassembler::drain() {
+  bool progressed = true;
+  while (progressed && !pending_.empty()) {
+    progressed = false;
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      std::int32_t d = seq_diff(it->first, *next_seq_);
+      if (d > 0) {
+        ++it;
+        continue;
+      }
+      util::Bytes data = std::move(it->second);
+      buffered_ -= data.size();
+      it = pending_.erase(it);
+      const std::size_t stale = static_cast<std::size_t>(-d);
+      if (stale < data.size()) {
+        stream_.insert(stream_.end(), data.begin() + static_cast<std::ptrdiff_t>(stale),
+                       data.end());
+        *next_seq_ += static_cast<std::uint32_t>(data.size() - stale);
+        progressed = true;
+        break;  // restart scan: delivery point moved
+      }
+    }
+  }
+}
+
+}  // namespace senids::net

@@ -1,0 +1,46 @@
+// TCP stream reassembly: orders segments by sequence number, tolerates
+// duplicates/overlaps/reordering, and exposes the contiguous prefix of the
+// stream. One Reassembler per flow direction.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "net/flow.hpp"
+#include "util/bytes.hpp"
+
+namespace senids::net {
+
+class TcpReassembler {
+ public:
+  /// Caps buffered out-of-order bytes; beyond this the earliest gap is
+  /// forced closed (skipped) so a hostile sender cannot exhaust memory.
+  explicit TcpReassembler(std::size_t max_buffered = 1 << 20)
+      : max_buffered_(max_buffered) {}
+
+  /// Feed one segment. SYN consumes one sequence number; the first data
+  /// or SYN segment anchors the stream's initial sequence number.
+  void feed(std::uint32_t seq, std::uint8_t flags, util::ByteView payload);
+
+  /// Contiguous in-order stream bytes received so far.
+  [[nodiscard]] const util::Bytes& stream() const noexcept { return stream_; }
+
+  /// Bytes currently parked out-of-order awaiting a gap fill.
+  [[nodiscard]] std::size_t buffered() const noexcept { return buffered_; }
+
+  /// True once a FIN or RST has been consumed in-order.
+  [[nodiscard]] bool closed() const noexcept { return closed_; }
+
+ private:
+  void drain();
+
+  std::optional<std::uint32_t> next_seq_;  // next expected sequence number
+  std::map<std::uint32_t, util::Bytes> pending_;  // seq -> payload (mod-2^32 keys, see drain)
+  util::Bytes stream_;
+  std::size_t buffered_ = 0;
+  std::size_t max_buffered_;
+  bool closed_ = false;
+};
+
+}  // namespace senids::net

@@ -1,0 +1,206 @@
+#include "pcap/pcap.hpp"
+
+#include <cstdio>
+#include <memory>
+
+namespace senids::pcap {
+
+using util::Bytes;
+using util::ByteView;
+using util::Cursor;
+
+Bytes serialize(const Capture& capture) {
+  Bytes out;
+  out.reserve(24 + capture.records.size() * 64);
+  util::put_u32le(out, kMagicLe);
+  util::put_u16le(out, capture.header.version_major);
+  util::put_u16le(out, capture.header.version_minor);
+  util::put_u32le(out, 0);  // thiszone
+  util::put_u32le(out, 0);  // sigfigs
+  util::put_u32le(out, capture.header.snaplen);
+  util::put_u32le(out, capture.header.linktype);
+  for (const Record& r : capture.records) {
+    util::put_u32le(out, r.ts_sec);
+    util::put_u32le(out, r.ts_usec);
+    util::put_u32le(out, static_cast<std::uint32_t>(r.data.size()));
+    util::put_u32le(out, r.orig_len);
+    out.insert(out.end(), r.data.begin(), r.data.end());
+  }
+  return out;
+}
+
+namespace {
+std::uint32_t swap32(std::uint32_t v) {
+  return ((v & 0xffu) << 24) | ((v & 0xff00u) << 8) | ((v >> 8) & 0xff00u) | (v >> 24);
+}
+std::uint16_t swap16(std::uint16_t v) {
+  return static_cast<std::uint16_t>((v << 8) | (v >> 8));
+}
+}  // namespace
+
+std::optional<Capture> parse(ByteView data) {
+  if (data.size() < 24) return std::nullopt;
+  Cursor cur(data);
+  std::uint32_t magic = cur.u32le();
+  bool swapped = false;
+  if (magic == swap32(kMagicLe)) {
+    swapped = true;
+  } else if (magic != kMagicLe) {
+    return std::nullopt;
+  }
+  auto r32 = [&] { std::uint32_t v = cur.u32le(); return swapped ? swap32(v) : v; };
+  auto r16 = [&] { std::uint16_t v = cur.u16le(); return swapped ? swap16(v) : v; };
+
+  Capture cap;
+  cap.header.version_major = r16();
+  cap.header.version_minor = r16();
+  (void)r32();  // thiszone
+  (void)r32();  // sigfigs
+  cap.header.snaplen = r32();
+  cap.header.linktype = r32();
+
+  while (cur.remaining() >= 16) {
+    Record rec;
+    rec.ts_sec = r32();
+    rec.ts_usec = r32();
+    std::uint32_t incl_len = r32();
+    rec.orig_len = r32();
+    if (cur.remaining() < incl_len) break;  // truncated tail record: drop
+    ByteView body = cur.take(incl_len);
+    rec.data.assign(body.begin(), body.end());
+    cap.records.push_back(std::move(rec));
+  }
+  return cap;
+}
+
+std::optional<Capture> parse_pcapng(util::ByteView data) {
+  constexpr std::uint32_t kShb = 0x0A0D0D0A;
+  constexpr std::uint32_t kIdb = 0x00000001;
+  constexpr std::uint32_t kSpb = 0x00000003;
+  constexpr std::uint32_t kEpb = 0x00000006;
+  constexpr std::uint32_t kByteOrderMagic = 0x1A2B3C4D;
+
+  if (data.size() < 28) return std::nullopt;
+  Capture cap;
+  bool have_section = false;
+  bool swapped = false;
+  std::size_t pos = 0;
+
+  auto rd32 = [&](std::size_t at) -> std::uint32_t {
+    std::uint32_t v = static_cast<std::uint32_t>(data[at]) |
+                      (static_cast<std::uint32_t>(data[at + 1]) << 8) |
+                      (static_cast<std::uint32_t>(data[at + 2]) << 16) |
+                      (static_cast<std::uint32_t>(data[at + 3]) << 24);
+    return swapped ? swap32(v) : v;
+  };
+
+  while (pos + 12 <= data.size()) {
+    // Block type is written in section byte order, but the SHB type is an
+    // endianness-neutral palindrome; detect order from its magic field.
+    const std::uint32_t raw_type = rd32(pos);
+    if (!have_section) {
+      if (raw_type != kShb) return std::nullopt;  // must start with a SHB
+    }
+    std::uint32_t block_type = raw_type;
+    if (block_type == kShb) {
+      if (pos + 12 > data.size()) break;
+      const std::uint32_t bom_raw =
+          static_cast<std::uint32_t>(data[pos + 8]) |
+          (static_cast<std::uint32_t>(data[pos + 9]) << 8) |
+          (static_cast<std::uint32_t>(data[pos + 10]) << 16) |
+          (static_cast<std::uint32_t>(data[pos + 11]) << 24);
+      if (bom_raw == kByteOrderMagic) {
+        swapped = false;
+      } else if (swap32(bom_raw) == kByteOrderMagic) {
+        swapped = true;
+      } else {
+        return std::nullopt;
+      }
+      have_section = true;
+    }
+    const std::uint32_t block_len = rd32(pos + 4);
+    if (block_len < 12 || block_len % 4 != 0 || pos + block_len > data.size()) break;
+    const std::size_t body = pos + 8;
+    const std::size_t body_len = block_len - 12;  // minus type+2 lengths
+
+    switch (block_type) {
+      case kIdb:
+        if (body_len >= 8 && cap.records.empty()) {
+          cap.header.linktype = rd32(body) & 0xffff;  // linktype u16 + reserved
+          cap.header.snaplen = rd32(body + 4);
+        }
+        break;
+      case kEpb: {
+        if (body_len < 20) break;
+        const std::uint32_t ts_high = rd32(body + 4);
+        const std::uint32_t ts_low = rd32(body + 8);
+        const std::uint32_t incl = rd32(body + 12);
+        const std::uint32_t orig = rd32(body + 16);
+        if (20 + incl > body_len) break;
+        // Default if_tsresol: microseconds since the epoch in a 64-bit
+        // counter split across ts_high/ts_low.
+        const std::uint64_t usec =
+            (static_cast<std::uint64_t>(ts_high) << 32) | ts_low;
+        Record rec;
+        rec.ts_sec = static_cast<std::uint32_t>(usec / 1000000);
+        rec.ts_usec = static_cast<std::uint32_t>(usec % 1000000);
+        rec.orig_len = orig;
+        rec.data.assign(data.begin() + static_cast<std::ptrdiff_t>(body + 20),
+                        data.begin() + static_cast<std::ptrdiff_t>(body + 20 + incl));
+        cap.records.push_back(std::move(rec));
+        break;
+      }
+      case kSpb: {
+        if (body_len < 4) break;
+        const std::uint32_t orig = rd32(body);
+        const std::uint32_t incl =
+            std::min<std::uint32_t>(orig, static_cast<std::uint32_t>(body_len - 4));
+        Record rec;
+        rec.orig_len = orig;
+        rec.data.assign(data.begin() + static_cast<std::ptrdiff_t>(body + 4),
+                        data.begin() + static_cast<std::ptrdiff_t>(body + 4 + incl));
+        cap.records.push_back(std::move(rec));
+        break;
+      }
+      default:
+        break;  // name resolution, statistics, custom blocks: skipped
+    }
+    pos += block_len;
+  }
+  if (!have_section) return std::nullopt;
+  return cap;
+}
+
+std::optional<Capture> parse_any(util::ByteView data) {
+  if (data.size() >= 4) {
+    const std::uint32_t first = static_cast<std::uint32_t>(data[0]) |
+                                (static_cast<std::uint32_t>(data[1]) << 8) |
+                                (static_cast<std::uint32_t>(data[2]) << 16) |
+                                (static_cast<std::uint32_t>(data[3]) << 24);
+    if (first == 0x0A0D0D0A) return parse_pcapng(data);
+  }
+  return parse(data);
+}
+
+bool write_file(const std::string& path, const Capture& capture) {
+  Bytes data = serialize(capture);
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(std::fopen(path.c_str(), "wb"),
+                                                    &std::fclose);
+  if (!f) return false;
+  return std::fwrite(data.data(), 1, data.size(), f.get()) == data.size();
+}
+
+std::optional<Capture> read_file(const std::string& path) {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(std::fopen(path.c_str(), "rb"),
+                                                    &std::fclose);
+  if (!f) return std::nullopt;
+  Bytes data;
+  std::uint8_t buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f.get())) > 0) {
+    data.insert(data.end(), buf, buf + n);
+  }
+  return parse_any(data);
+}
+
+}  // namespace senids::pcap

@@ -1,0 +1,93 @@
+#include "semantic/analyzer.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "ir/lifter.hpp"
+#include "x86/scan.hpp"
+
+namespace senids::semantic {
+
+SemanticAnalyzer::SemanticAnalyzer(std::vector<Template> templates, Options options)
+    : templates_(std::move(templates)), options_(options) {}
+
+std::vector<Detection> SemanticAnalyzer::analyze(util::ByteView frame,
+                                                 AnalyzerStats* stats) const {
+  std::vector<Detection> detections;
+  if (frame.empty()) return detections;
+  if (stats) ++stats->frames;
+
+  // 1. Candidate entry points: starts of maximal decode runs, plus the
+  //    targets of backward branches inside them (loop heads — needed when
+  //    a run begins inside an already-unrolled loop body).
+  std::vector<std::size_t> entries;
+  auto runs = x86::find_code_runs(frame, options_.min_run_insns);
+  if (stats) stats->candidate_runs += runs.size();
+  // Long decode runs first: real code (decoders, shellcode bodies) forms
+  // long coherent runs, while text/noise fragments into thousands of
+  // short ones. Without this ordering a large frame can exhaust the
+  // entry budget on noise before reaching the payload.
+  std::stable_sort(runs.begin(), runs.end(), [](const x86::CodeRun& a,
+                                                const x86::CodeRun& b) {
+    return a.insn_count > b.insn_count;
+  });
+  std::unordered_set<std::size_t> seen;
+  auto add_entry = [&](std::size_t off) {
+    if (off < frame.size() && seen.insert(off).second &&
+        entries.size() < options_.max_entries) {
+      entries.push_back(off);
+    }
+  };
+  for (const auto& run : runs) {
+    if (entries.size() >= options_.max_entries) break;
+    add_entry(run.start);
+    for (const auto& insn :
+         x86::linear_sweep(frame, run.start, options_.max_trace_insns)) {
+      if (auto target = insn.branch_target(); target && *target < insn.offset) {
+        add_entry(*target);
+      }
+      // The byte after a call is the classic GetPC data/payload location;
+      // once a decoder has been unrolled (or emulated away) it is also
+      // where the real payload's code begins.
+      if (insn.mnemonic == x86::Mnemonic::kCall) {
+        add_entry(insn.end_offset());
+      }
+    }
+  }
+
+  // 2. Trace + lift + match. Stop trying a template once it has fired on
+  //    this frame (one detection per template per frame).
+  std::unordered_set<std::string> fired;
+  std::size_t lifted_budget = options_.max_total_insns;
+  for (std::size_t entry : entries) {
+    if (fired.size() == templates_.size()) break;
+    if (lifted_budget == 0) break;  // per-frame work cap reached
+    auto trace = x86::execution_trace(frame, entry,
+                                      std::min(options_.max_trace_insns, lifted_budget));
+    if (trace.size() < options_.min_run_insns) continue;
+    lifted_budget -= std::min(lifted_budget, trace.size());
+    if (stats) {
+      ++stats->traces;
+      stats->instructions_lifted += trace.size();
+    }
+    ir::LiftResult lifted = ir::lift(trace);
+    LiftedCode code{&trace, &lifted.events, frame};
+    for (const Template& t : templates_) {
+      if (fired.contains(t.name)) continue;
+      if (stats) ++stats->template_matches_tried;
+      if (auto m = match_template(t, code)) {
+        fired.insert(t.name);
+        Detection d;
+        d.template_name = t.name;
+        d.threat = t.threat;
+        d.entry_offset = entry;
+        d.match_offset = m->start_offset;
+        d.bindings = std::move(m->bindings);
+        detections.push_back(std::move(d));
+      }
+    }
+  }
+  return detections;
+}
+
+}  // namespace senids::semantic

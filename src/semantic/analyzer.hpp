@@ -1,0 +1,62 @@
+// The semantic-analysis stage (stages c-e of Figure 3): takes a binary
+// frame, finds candidate code, lifts it, and matches the template set.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "semantic/template.hpp"
+#include "util/bytes.hpp"
+
+namespace senids::semantic {
+
+struct Detection {
+  std::string template_name;
+  ThreatClass threat{};
+  std::size_t entry_offset = 0;  // code entry within the frame
+  std::size_t match_offset = 0;  // first matched instruction
+  Env bindings;
+};
+
+struct AnalyzerStats {
+  std::size_t frames = 0;
+  std::size_t candidate_runs = 0;
+  std::size_t traces = 0;
+  std::size_t instructions_lifted = 0;
+  std::size_t template_matches_tried = 0;
+};
+
+/// Thread-compatible analyzer: `analyze` is const and side-effect free
+/// apart from the stats object the caller passes in, so one analyzer is
+/// shared by every worker in the parallel pipeline.
+class SemanticAnalyzer {
+ public:
+  struct Options {
+    std::size_t min_run_insns = 6;     // candidate-run threshold
+    /// Entry points tried per frame. Large by default: the paper's system
+    /// disassembles whole samples; per-entry cost here is microseconds,
+    /// and the loop exits early once every template has fired.
+    std::size_t max_entries = 8192;
+    std::size_t max_trace_insns = 4096;
+    /// Hard per-frame work budget: total instructions lifted across all
+    /// entries. Bounds the worst case on pathological frames (the entry
+    /// count alone does not, since each entry may trace thousands of
+    /// instructions).
+    std::size_t max_total_insns = 1u << 20;
+  };
+
+  explicit SemanticAnalyzer(std::vector<Template> templates)
+      : SemanticAnalyzer(std::move(templates), Options{}) {}
+  SemanticAnalyzer(std::vector<Template> templates, Options options);
+
+  /// Analyze one binary frame; returns at most one detection per template.
+  std::vector<Detection> analyze(util::ByteView frame, AnalyzerStats* stats = nullptr) const;
+
+  [[nodiscard]] const std::vector<Template>& templates() const noexcept { return templates_; }
+
+ private:
+  std::vector<Template> templates_;
+  Options options_;
+};
+
+}  // namespace senids::semantic

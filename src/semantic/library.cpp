@@ -1,0 +1,157 @@
+#include "semantic/library.hpp"
+
+namespace senids::semantic {
+
+using ir::BinOp;
+
+Template tmpl_xor_decrypt_loop() {
+  // mem[A] := mem[A] xor K ; A-register += c ; conditional back-edge.
+  Template t;
+  t.name = "xor-decrypt-loop";
+  t.threat = ThreatClass::kDecryptionLoop;
+  t.note = "Figure 2/6 xor decryption template";
+  t.stmts.push_back(
+      st_decode_store(p_any("A"), p_bin(BinOp::kXor, p_load(p_any("A")), p_const("K"))));
+  t.stmts.push_back(st_advance("A"));
+  t.stmts.push_back(st_branch_back());
+  return t;
+}
+
+Template tmpl_add_decrypt_loop() {
+  // Additive ciphers: sub normalizes to add of the negated constant, so
+  // one template covers both directions.
+  Template t;
+  t.name = "add-decrypt-loop";
+  t.threat = ThreatClass::kDecryptionLoop;
+  t.note = "equivalent-instruction decoder variant (add/sub key)";
+  t.stmts.push_back(
+      st_decode_store(p_any("A"), p_bin(BinOp::kAdd, p_load(p_any("A")), p_const("K"))));
+  t.stmts.push_back(st_advance("A"));
+  t.stmts.push_back(st_branch_back());
+  return t;
+}
+
+Template tmpl_ror_decrypt_loop() {
+  // Rotation ciphers (extension beyond the paper's template set).
+  Template t;
+  t.name = "ror-decrypt-loop";
+  t.threat = ThreatClass::kDecryptionLoop;
+  t.note = "rotate-key decoder (future-work extension)";
+  t.stmts.push_back(st_decode_store(
+      p_any("A"),
+      p_transform(p_load(p_any("A")), {BinOp::kRol, BinOp::kRor}, /*allow_not=*/false)));
+  t.stmts.push_back(st_advance("A"));
+  t.stmts.push_back(st_branch_back());
+  return t;
+}
+
+Template tmpl_admmutate_alt_decoder() {
+  // "a decoding scheme involving a sequence of mov, or, and, and not
+  // instructions that perform operations on a single memory location and
+  // register pair" — Section 5.2. The value written back is any
+  // or/and/not combination of the loaded byte and constants.
+  Template t;
+  t.name = "admmutate-alt-decoder";
+  t.threat = ThreatClass::kDecryptionLoop;
+  t.note = "Figure 7 alternate ADMmutate decryption loop";
+  t.stmts.push_back(st_decode_store(
+      p_any("A"),
+      p_transform(p_load(p_any("A")), {BinOp::kOr, BinOp::kAnd}, /*allow_not=*/true)));
+  t.stmts.push_back(st_advance("A"));
+  t.stmts.push_back(st_branch_back());
+  return t;
+}
+
+Template tmpl_shell_spawn_pushed_string() {
+  // The classic stack-built "/bin…sh" construction followed by
+  // execve(11). Only the "/bin" dword is demanded: push-order differs
+  // between push-built ("//sh" first, stack grows down) and store-built
+  // ("/bin" first) shellcode, and the statement list is order-sensitive.
+  Template t;
+  t.name = "shell-spawn-pushed-string";
+  t.threat = ThreatClass::kShellSpawn;
+  t.note = "Figure 6 shell-spawning template (stack-built path)";
+  t.stmts.push_back(st_mem_write(p_any(), p_fixed(0x6e69622f)));  // "/bin"
+  t.stmts.push_back(st_syscall(0x0b));                            // execve
+  return t;
+}
+
+Template tmpl_shell_spawn_embedded_string() {
+  // jmp/call/pop shellcode keeps the path as data; the lifter resolves
+  // the popped return address to a constant buffer offset, so the matcher
+  // can read the string straight out of the frame.
+  Template t;
+  t.name = "shell-spawn-embedded-string";
+  t.threat = ThreatClass::kShellSpawn;
+  t.note = "Figure 6 shell-spawning template (embedded path)";
+  t.stmts.push_back(st_syscall_str(0x0b, "/bin"));
+  return t;
+}
+
+Template tmpl_port_bind_shell() {
+  // socketcall(SYS_SOCKET), (SYS_BIND), (SYS_LISTEN), (SYS_ACCEPT):
+  // the paper's "extension" that flags shells bound to a separate port.
+  Template t;
+  t.name = "port-bind-shell";
+  t.threat = ThreatClass::kPortBindShell;
+  t.note = "Figure 6 extension: shell bound to a network port";
+  t.stmts.push_back(st_socketcall(1));
+  t.stmts.push_back(st_socketcall(2));
+  t.stmts.push_back(st_socketcall(4));
+  t.stmts.push_back(st_socketcall(5));
+  return t;
+}
+
+Template tmpl_reverse_shell() {
+  // socketcall(SYS_SOCKET) then socketcall(SYS_CONNECT): the connect-back
+  // counterpart of the port binder (extension family; listed by the
+  // paper's future work as "additional families").
+  Template t;
+  t.name = "reverse-shell";
+  t.threat = ThreatClass::kReverseShell;
+  t.note = "connect-back shell (extension)";
+  t.stmts.push_back(st_socketcall(1));
+  t.stmts.push_back(st_socketcall(3));
+  t.stmts.push_back(st_syscall(0x0b));
+  return t;
+}
+
+Template tmpl_code_red_ii() {
+  // The decoded CRII vector pushes the fixed trampoline address
+  // 0x7801cbd3 (call ebx inside msvcrt) — the invariant memory
+  // addressing the paper's Section 5.3 template keys on.
+  Template t;
+  t.name = "code-red-ii-vector";
+  t.threat = ThreatClass::kCodeRedII;
+  t.note = "Code Red II initial exploitation vector (Table 3)";
+  t.stmts.push_back(st_mem_write(p_any(), p_fixed(0x7801cbd3)));
+  return t;
+}
+
+std::vector<Template> make_xor_only_library() {
+  return {tmpl_xor_decrypt_loop()};
+}
+
+std::vector<Template> make_decoder_library() {
+  return {tmpl_xor_decrypt_loop(), tmpl_add_decrypt_loop(),
+          tmpl_admmutate_alt_decoder()};
+}
+
+std::vector<Template> make_standard_library() {
+  return {tmpl_xor_decrypt_loop(),
+          tmpl_add_decrypt_loop(),
+          tmpl_admmutate_alt_decoder(),
+          tmpl_shell_spawn_pushed_string(),
+          tmpl_shell_spawn_embedded_string(),
+          tmpl_port_bind_shell(),
+          tmpl_reverse_shell(),
+          tmpl_code_red_ii()};
+}
+
+std::vector<Template> make_extended_library() {
+  auto lib = make_standard_library();
+  lib.push_back(tmpl_ror_decrypt_loop());
+  return lib;
+}
+
+}  // namespace senids::semantic

@@ -1,0 +1,47 @@
+// Built-in template library reproducing the paper's template set:
+//  - xor decryption loop        (Figures 1/2, Table 2 "xor template")
+//  - additive decryption loop   (equivalent-instruction variant)
+//  - rotate decryption loop     (extension beyond the paper's set)
+//  - ADMmutate alternate decoder: mov/or/and/not over one memory
+//    location and register pair (Figure 7, the template that lifts
+//    ADMmutate detection from 68% to 100%)
+//  - Linux shell spawning, immediate and port-bound (Figure 6, Table 1)
+//  - Code Red II exploitation vector (Table 3)
+#pragma once
+
+#include <vector>
+
+#include "semantic/template.hpp"
+
+namespace senids::semantic {
+
+/// The xor template alone — the configuration that yielded the paper's
+/// initial 68% ADMmutate detection rate (Section 5.2).
+std::vector<Template> make_xor_only_library();
+
+/// Decryption-loop templates only (xor + additive + alternate).
+std::vector<Template> make_decoder_library();
+
+/// The full standard library used by the NIDS in every experiment.
+std::vector<Template> make_standard_library();
+
+/// Standard library plus the opt-in extension templates (currently the
+/// rotate-decoder). The rotate template is deliberately NOT in the
+/// standard set: rotation is the one invertible byte transform that
+/// coincidental code-shaped data produces at measurable rates, and the
+/// paper's zero-false-positive result depends on "high quality
+/// templates" — template selection is a precision decision.
+std::vector<Template> make_extended_library();
+
+// Individual templates, exposed for tests and ablations.
+Template tmpl_xor_decrypt_loop();
+Template tmpl_add_decrypt_loop();
+Template tmpl_ror_decrypt_loop();
+Template tmpl_admmutate_alt_decoder();
+Template tmpl_shell_spawn_pushed_string();
+Template tmpl_shell_spawn_embedded_string();
+Template tmpl_port_bind_shell();
+Template tmpl_reverse_shell();
+Template tmpl_code_red_ii();
+
+}  // namespace senids::semantic

@@ -1,0 +1,120 @@
+// Behavioral templates and the matching engine. A template is an ordered
+// list of event statements; a program satisfies the template (P |= T in
+// the notation of Christodorescu et al.) iff its lifted event stream
+// contains a subsequence matching every statement under one consistent
+// variable binding. Gaps in the subsequence are precisely the paper's
+// junk-instruction tolerance; matching on lifted events (not syntax)
+// provides NOP-insertion, register-reassignment and
+// equivalent-instruction tolerance; and matching on the execution-order
+// trace provides out-of-order-code tolerance.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/event.hpp"
+#include "semantic/pattern.hpp"
+#include "util/bytes.hpp"
+#include "x86/insn.hpp"
+
+namespace senids::semantic {
+
+/// Threat classes reported by alerts (maps onto the paper's experiments).
+enum class ThreatClass : std::uint8_t {
+  kDecryptionLoop,   // polymorphic decoder (Table 2)
+  kShellSpawn,       // Linux shell spawning (Table 1)
+  kPortBindShell,    // shell bound to a network port (Table 1, "B" rows)
+  kReverseShell,     // connect-back shell (extension family)
+  kCodeRedII,        // Code Red II exploitation vector (Table 3)
+  kCustom,
+};
+
+std::string_view threat_class_name(ThreatClass c) noexcept;
+
+/// One statement of a template.
+struct Stmt {
+  enum class Kind : std::uint8_t {
+    kMemWrite,    // mem[addr_pat] := value_pat
+    kRegWrite,    // some register := value_pat
+    kAdvance,     // a register appearing in binding `ref_var` is stepped
+                  // by a nonzero constant (pointer walk)
+    kBranchBack,  // conditional branch to an earlier point of the trace,
+                  // at or before the first matched statement
+    kSyscall,     // int `vector` with constrained registers
+  };
+
+  Kind kind{};
+
+  // kMemWrite / kRegWrite
+  PatPtr addr;   // kMemWrite only
+  PatPtr value;
+  /// Required store width in bits for kMemWrite (0 = any). Decoder
+  /// templates pin this to 8: the engines they describe decode bytewise,
+  /// and wide random-immediate stores are a false-positive magnet.
+  std::uint8_t width = 0;
+  /// kMemWrite: require the stored value, viewed as a function f of the
+  /// loaded byte, to be a bijection on [0,255]. Every decryption routine
+  /// must be invertible; coincidental or/and "transforms" in data are
+  /// not. Verified by exact evaluation over all 256 inputs.
+  bool require_invertible = false;
+
+  // kAdvance
+  std::string ref_var;
+
+  // kSyscall
+  std::uint8_t vector = 0x80;
+  /// Required low byte of eax (the Linux syscall number).
+  std::optional<std::uint8_t> sysno;
+  /// Required low byte of ebx (socketcall sub-function, etc.).
+  std::optional<std::uint8_t> ebx_low;
+  /// If set, ebx must be a constant offset into the analyzed buffer and
+  /// the bytes there must start with this string (e.g. "/bin").
+  std::string ebx_points_to;
+};
+
+struct Template {
+  std::string name;
+  ThreatClass threat = ThreatClass::kCustom;
+  std::vector<Stmt> stmts;
+  /// Free-text note shown in alerts (which figure/table it reproduces).
+  std::string note;
+};
+
+/// Everything the matcher needs to know about one analyzed code run.
+struct LiftedCode {
+  const std::vector<x86::Instruction>* trace = nullptr;
+  const std::vector<ir::Event>* events = nullptr;
+  util::ByteView buffer;  // the binary frame the trace was decoded from
+};
+
+struct MatchResult {
+  /// Event index matched by each statement, parallel to Template::stmts.
+  std::vector<std::size_t> matched_events;
+  Env bindings;
+  /// Offset of the first matched instruction within the buffer.
+  std::size_t start_offset = 0;
+};
+
+/// Try to satisfy `t` against `code`. Returns the first match found.
+std::optional<MatchResult> match_template(const Template& t, const LiftedCode& code);
+
+/// Human-readable explanation of a match: one line per matched statement
+/// with the satisfying instruction and its event. Used by senids_disasm
+/// and the examples to show *why* a template fired.
+std::string format_match(const Template& t, const LiftedCode& code,
+                         const MatchResult& match);
+
+// ------------------------------------------------------- statement sugar
+
+Stmt st_mem_write(PatPtr addr, PatPtr value, std::uint8_t width_bits = 0);
+/// kMemWrite statement for decoder loops: byte-wide and invertible.
+Stmt st_decode_store(PatPtr addr, PatPtr value);
+Stmt st_reg_write(PatPtr value);
+Stmt st_advance(std::string ref_var);
+Stmt st_branch_back();
+Stmt st_syscall(std::uint8_t sysno);
+Stmt st_socketcall(std::uint8_t subfn);
+Stmt st_syscall_str(std::uint8_t sysno, std::string ebx_points_to);
+
+}  // namespace senids::semantic

@@ -1,0 +1,80 @@
+#include "sig/aho.hpp"
+
+#include <deque>
+
+namespace senids::sig {
+
+std::size_t AhoCorasick::add_pattern(util::ByteView pattern) {
+  if (built_ || pattern.empty()) return SIZE_MAX;
+  std::int32_t cur = 0;
+  for (std::uint8_t b : pattern) {
+    if (nodes_[static_cast<std::size_t>(cur)].next[b] < 0) {
+      nodes_[static_cast<std::size_t>(cur)].next[b] =
+          static_cast<std::int32_t>(nodes_.size());
+      nodes_.emplace_back();
+    }
+    cur = nodes_[static_cast<std::size_t>(cur)].next[b];
+  }
+  const std::size_t id = lengths_.size();
+  nodes_[static_cast<std::size_t>(cur)].outputs.push_back(static_cast<std::uint32_t>(id));
+  lengths_.push_back(pattern.size());
+  return id;
+}
+
+void AhoCorasick::build() {
+  if (built_) return;
+  built_ = true;
+  // Standard BFS: convert the trie to a goto function with failure links,
+  // merging output sets along failure chains so scan never walks them.
+  std::deque<std::int32_t> queue;
+  for (int b = 0; b < 256; ++b) {
+    std::int32_t& nxt = nodes_[0].next[b];
+    if (nxt < 0) {
+      nxt = 0;
+    } else {
+      nodes_[static_cast<std::size_t>(nxt)].fail = 0;
+      queue.push_back(nxt);
+    }
+  }
+  while (!queue.empty()) {
+    const std::int32_t u = queue.front();
+    queue.pop_front();
+    const std::int32_t ufail = nodes_[static_cast<std::size_t>(u)].fail;
+    const auto& fail_outputs = nodes_[static_cast<std::size_t>(ufail)].outputs;
+    auto& uo = nodes_[static_cast<std::size_t>(u)].outputs;
+    uo.insert(uo.end(), fail_outputs.begin(), fail_outputs.end());
+    for (int b = 0; b < 256; ++b) {
+      std::int32_t& nxt = nodes_[static_cast<std::size_t>(u)].next[b];
+      if (nxt < 0) {
+        nxt = nodes_[static_cast<std::size_t>(ufail)].next[b];
+      } else {
+        nodes_[static_cast<std::size_t>(nxt)].fail =
+            nodes_[static_cast<std::size_t>(ufail)].next[b];
+        queue.push_back(nxt);
+      }
+    }
+  }
+}
+
+std::vector<AcMatch> AhoCorasick::scan(util::ByteView data) const {
+  std::vector<AcMatch> out;
+  std::int32_t state = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    state = nodes_[static_cast<std::size_t>(state)].next[data[i]];
+    for (std::uint32_t id : nodes_[static_cast<std::size_t>(state)].outputs) {
+      out.push_back(AcMatch{id, i + 1});
+    }
+  }
+  return out;
+}
+
+bool AhoCorasick::matches_any(util::ByteView data) const {
+  std::int32_t state = 0;
+  for (std::uint8_t b : data) {
+    state = nodes_[static_cast<std::size_t>(state)].next[b];
+    if (!nodes_[static_cast<std::size_t>(state)].outputs.empty()) return true;
+  }
+  return false;
+}
+
+}  // namespace senids::sig

@@ -1,0 +1,53 @@
+// Aho-Corasick multi-pattern byte matcher — the core of the syntactic
+// (Snort-style) baseline NIDS the paper argues against. Built once,
+// scanned many times; scanning is O(bytes + matches).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace senids::sig {
+
+struct AcMatch {
+  std::size_t pattern_id = 0;
+  std::size_t end_offset = 0;  // offset one past the last matched byte
+};
+
+class AhoCorasick {
+ public:
+  /// Register a pattern before build(); returns its id. Empty patterns
+  /// are rejected (returns SIZE_MAX).
+  std::size_t add_pattern(util::ByteView pattern);
+
+  /// Finalize the automaton (BFS failure links). Must be called once,
+  /// after which add_pattern is no longer allowed.
+  void build();
+
+  /// Find all occurrences of all patterns.
+  [[nodiscard]] std::vector<AcMatch> scan(util::ByteView data) const;
+
+  /// True if any pattern occurs (early-exit scan).
+  [[nodiscard]] bool matches_any(util::ByteView data) const;
+
+  [[nodiscard]] std::size_t pattern_count() const noexcept { return lengths_.size(); }
+
+ private:
+  struct Node {
+    std::int32_t next[256];
+    std::int32_t fail = 0;
+    std::vector<std::uint32_t> outputs;
+
+    Node() {
+      for (auto& n : next) n = -1;
+    }
+  };
+
+  std::vector<Node> nodes_{1};
+  std::vector<std::size_t> lengths_;
+  bool built_ = false;
+};
+
+}  // namespace senids::sig

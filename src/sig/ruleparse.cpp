@@ -1,0 +1,158 @@
+#include "sig/ruleparse.hpp"
+
+#include <cctype>
+#include <optional>
+
+namespace senids::sig {
+
+namespace {
+
+/// Decode a Snort content string: plain characters, with |48 65 78|
+/// hex-byte islands.
+std::optional<util::Bytes> decode_content(std::string_view text) {
+  util::Bytes out;
+  bool in_hex = false;
+  int hi = -1;
+  for (char c : text) {
+    if (c == '|') {
+      if (in_hex && hi >= 0) return std::nullopt;  // odd hex digits
+      in_hex = !in_hex;
+      continue;
+    }
+    if (!in_hex) {
+      out.push_back(static_cast<std::uint8_t>(c));
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) continue;
+    int d;
+    if (c >= '0' && c <= '9') {
+      d = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      d = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      d = c - 'A' + 10;
+    } else {
+      return std::nullopt;
+    }
+    if (hi < 0) {
+      hi = d;
+    } else {
+      out.push_back(static_cast<std::uint8_t>((hi << 4) | d));
+      hi = -1;
+    }
+  }
+  if (in_hex || hi >= 0) return std::nullopt;
+  if (out.empty()) return std::nullopt;
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+std::variant<std::vector<Rule>, RuleParseError> parse_snort_rules(std::string_view text) {
+  std::vector<Rule> rules;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view line =
+        text.substr(pos, eol == std::string_view::npos ? text.size() - pos : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+
+    line = trim(line);
+    if (line.empty() || line.front() == '#') continue;
+
+    // header: action proto src sport -> dst dport
+    auto fail = [&](std::string msg) {
+      return RuleParseError{line_no, std::move(msg)};
+    };
+    std::vector<std::string_view> head;
+    const std::size_t paren = line.find('(');
+    if (paren == std::string_view::npos) return fail("missing '(' options block");
+    {
+      std::string_view h = line.substr(0, paren);
+      std::size_t start = 0;
+      for (std::size_t i = 0; i <= h.size(); ++i) {
+        if (i == h.size() || std::isspace(static_cast<unsigned char>(h[i]))) {
+          if (i > start) head.push_back(h.substr(start, i - start));
+          start = i + 1;
+        }
+      }
+    }
+    if (head.size() != 7) return fail("expected: action proto src sport -> dst dport");
+    if (head[0] != "alert") return fail("only 'alert' rules are supported");
+    if (head[1] != "tcp" && head[1] != "udp" && head[1] != "ip") {
+      return fail("unsupported protocol '" + std::string(head[1]) + "'");
+    }
+    if (head[4] != "->") return fail("expected '->' direction");
+    std::uint16_t dst_port = 0;
+    if (head[6] != "any") {
+      int v = 0;
+      for (char c : head[6]) {
+        if (c < '0' || c > '9') return fail("bad destination port");
+        v = v * 10 + (c - '0');
+      }
+      if (v <= 0 || v > 65535) return fail("destination port out of range");
+      dst_port = static_cast<std::uint16_t>(v);
+    }
+
+    // options: key:"value"; pairs, semicolon separated.
+    const std::size_t close = line.rfind(')');
+    if (close == std::string_view::npos || close < paren) return fail("missing ')'");
+    std::string_view opts = line.substr(paren + 1, close - paren - 1);
+    std::string msg;
+    std::vector<util::Bytes> contents;
+    std::size_t i = 0;
+    while (i < opts.size()) {
+      while (i < opts.size() &&
+             (std::isspace(static_cast<unsigned char>(opts[i])) || opts[i] == ';')) {
+        ++i;
+      }
+      if (i >= opts.size()) break;
+      const std::size_t colon = opts.find(':', i);
+      if (colon == std::string_view::npos) break;  // flag-style option: ignore rest
+      const std::string key(trim(opts.substr(i, colon - i)));
+      std::size_t vstart = colon + 1;
+      while (vstart < opts.size() && std::isspace(static_cast<unsigned char>(opts[vstart]))) {
+        ++vstart;
+      }
+      std::string value;
+      if (vstart < opts.size() && opts[vstart] == '"') {
+        const std::size_t vend = opts.find('"', vstart + 1);
+        if (vend == std::string_view::npos) return fail("unterminated string");
+        value = std::string(opts.substr(vstart + 1, vend - vstart - 1));
+        i = vend + 1;
+      } else {
+        std::size_t vend = opts.find(';', vstart);
+        if (vend == std::string_view::npos) vend = opts.size();
+        value = std::string(trim(opts.substr(vstart, vend - vstart)));
+        i = vend;
+      }
+      if (key == "msg") {
+        msg = value;
+      } else if (key == "content") {
+        auto bytes = decode_content(value);
+        if (!bytes) return fail("bad content string");
+        contents.push_back(std::move(*bytes));
+      }  // other options (sid, rev, classtype, nocase, ...) are ignored
+    }
+    if (contents.empty()) return fail("rule has no content option");
+    if (msg.empty()) msg = "rule@" + std::to_string(line_no);
+    for (auto& c : contents) {
+      rules.push_back(Rule{msg, std::move(c), dst_port});
+    }
+  }
+  return rules;
+}
+
+}  // namespace senids::sig

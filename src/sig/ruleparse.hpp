@@ -1,0 +1,33 @@
+// Parser for a Snort-compatible subset of rule syntax, so the syntactic
+// baseline can load real-world style rule files:
+//
+//   alert tcp any any -> any 80 (msg:"WEB-IIS ida attempt"; content:".ida?";)
+//   alert tcp any any -> any any (msg:"shellcode hex"; content:"|CD 80|";)
+//
+// Supported: the `alert` action, tcp/udp/ip protocols (informational),
+// a destination-port filter (a number or `any`), `msg:"..."` and one or
+// more `content:"..."` options with Snort's |hex| escapes. Everything
+// else inside the parentheses is ignored, matching how a minimal engine
+// degrades on a community ruleset.
+#pragma once
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "sig/rules.hpp"
+
+namespace senids::sig {
+
+struct RuleParseError {
+  std::size_t line = 0;
+  std::string message;
+};
+
+/// Parse a rule file. Multiple `content` options in one rule become
+/// multiple Rule entries sharing the msg (the engine alerts if any
+/// matches, which over-approximates Snort's AND semantics — documented
+/// baseline behaviour).
+std::variant<std::vector<Rule>, RuleParseError> parse_snort_rules(std::string_view text);
+
+}  // namespace senids::sig

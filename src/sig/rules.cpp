@@ -1,0 +1,57 @@
+#include "sig/rules.hpp"
+
+namespace senids::sig {
+
+SignatureEngine::SignatureEngine(std::vector<Rule> rules) : rules_(std::move(rules)) {
+  for (const Rule& r : rules_) {
+    ac_.add_pattern(r.pattern);
+  }
+  ac_.build();
+}
+
+std::vector<SigAlert> SignatureEngine::scan(util::ByteView payload,
+                                            std::uint16_t dst_port) const {
+  std::vector<SigAlert> out;
+  for (const AcMatch& m : ac_.scan(payload)) {
+    const Rule& r = rules_[m.pattern_id];
+    if (r.dst_port != 0 && dst_port != 0 && r.dst_port != dst_port) continue;
+    out.push_back(SigAlert{r.name, m.end_offset - r.pattern.size()});
+  }
+  return out;
+}
+
+bool SignatureEngine::any_match(util::ByteView payload, std::uint16_t dst_port) const {
+  if (dst_port == 0) return ac_.matches_any(payload);
+  return !scan(payload, dst_port).empty();
+}
+
+std::vector<Rule> make_default_rules() {
+  std::vector<Rule> rules;
+  auto add = [&rules](std::string name, util::Bytes pattern, std::uint16_t port = 0) {
+    rules.push_back(Rule{std::move(name), std::move(pattern), port});
+  };
+  // Classic content signatures (Snort community-rule equivalents).
+  add("SHELLCODE /bin/sh string", util::to_bytes("/bin/sh"));
+  add("SHELLCODE x86 NOP sled", util::Bytes(16, 0x90));
+  // xor eax,eax ; ... int 0x80 (the setreuid prologue bytes)
+  add("SHELLCODE x86 setuid 0", util::Bytes{0x31, 0xdb, 0x8d, 0x43, 0x17, 0xcd, 0x80});
+  // push "//sh" ; push "/bin"
+  add("SHELLCODE x86 push /bin//sh",
+      util::Bytes{0x68, 0x2f, 0x2f, 0x73, 0x68, 0x68, 0x2f, 0x62, 0x69, 0x6e});
+  add("WEB-IIS CodeRed II .ida attempt",
+      util::to_bytes("GET /default.ida?XXXXXXXXXXXX"), 80);
+  add("WEB-IIS ISAPI .ida access", util::to_bytes(".ida?"), 80);
+  return rules;
+}
+
+Rule make_exact_rule(std::string name, util::ByteView sample, std::size_t offset,
+                     std::size_t length) {
+  offset = std::min(offset, sample.size());
+  length = std::min(length, sample.size() - offset);
+  return Rule{std::move(name),
+              util::Bytes(sample.begin() + static_cast<std::ptrdiff_t>(offset),
+                          sample.begin() + static_cast<std::ptrdiff_t>(offset + length)),
+              0};
+}
+
+}  // namespace senids::sig

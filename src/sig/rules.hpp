@@ -1,0 +1,53 @@
+// Snort-lite signature engine: named byte-pattern rules over payloads.
+// This is the syntactic baseline for bench_baseline_comparison — it
+// catches the static exploits its rules were written for and loses to
+// every fresh polymorphic instance, which is the paper's Section 3
+// motivation.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sig/aho.hpp"
+
+namespace senids::sig {
+
+struct Rule {
+  std::string name;
+  util::Bytes pattern;
+  /// 0 = any destination port.
+  std::uint16_t dst_port = 0;
+};
+
+struct SigAlert {
+  std::string rule_name;
+  std::size_t offset = 0;
+};
+
+class SignatureEngine {
+ public:
+  explicit SignatureEngine(std::vector<Rule> rules);
+
+  [[nodiscard]] std::vector<SigAlert> scan(util::ByteView payload,
+                                           std::uint16_t dst_port = 0) const;
+  [[nodiscard]] bool any_match(util::ByteView payload, std::uint16_t dst_port = 0) const;
+  [[nodiscard]] std::size_t rule_count() const noexcept { return rules_.size(); }
+
+ private:
+  std::vector<Rule> rules_;
+  AhoCorasick ac_;
+};
+
+/// Default rule set: classic shellcode strings, the 0x90 sled, int 0x80
+/// idioms, the Code Red II request prefix, and exact-byte signatures for
+/// a handful of *specific known* polymorphic decoder instances (which is
+/// all a syntactic IDS can ever have).
+std::vector<Rule> make_default_rules();
+
+/// Exact-byte signature extracted from one concrete sample — the
+/// signature-generation workflow a syntactic IDS depends on.
+Rule make_exact_rule(std::string name, util::ByteView sample, std::size_t offset,
+                     std::size_t length);
+
+}  // namespace senids::sig

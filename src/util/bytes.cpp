@@ -1,0 +1,120 @@
+#include "util/bytes.hpp"
+
+#include <cctype>
+
+namespace senids::util {
+
+Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+std::string to_string(ByteView b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+void put_u8(Bytes& b, std::uint8_t v) { b.push_back(v); }
+
+void put_u16le(Bytes& b, std::uint16_t v) {
+  b.push_back(static_cast<std::uint8_t>(v & 0xff));
+  b.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32le(Bytes& b, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) b.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+}
+
+void put_u16be(Bytes& b, std::uint16_t v) {
+  b.push_back(static_cast<std::uint8_t>(v >> 8));
+  b.push_back(static_cast<std::uint8_t>(v & 0xff));
+}
+
+void put_u32be(Bytes& b, std::uint32_t v) {
+  for (int i = 3; i >= 0; --i) b.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+}
+
+std::uint8_t Cursor::u8() {
+  if (remaining() < 1) throw OutOfBounds{};
+  return data_[pos_++];
+}
+
+std::uint16_t Cursor::u16le() {
+  if (remaining() < 2) throw OutOfBounds{};
+  std::uint16_t v = static_cast<std::uint16_t>(data_[pos_] | (data_[pos_ + 1] << 8));
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t Cursor::u32le() {
+  if (remaining() < 4) throw OutOfBounds{};
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | data_[pos_ + static_cast<std::size_t>(i)];
+  pos_ += 4;
+  return v;
+}
+
+std::uint16_t Cursor::u16be() {
+  if (remaining() < 2) throw OutOfBounds{};
+  std::uint16_t v = static_cast<std::uint16_t>((data_[pos_] << 8) | data_[pos_ + 1]);
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t Cursor::u32be() {
+  if (remaining() < 4) throw OutOfBounds{};
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v = (v << 8) | data_[pos_ + static_cast<std::size_t>(i)];
+  pos_ += 4;
+  return v;
+}
+
+ByteView Cursor::take(std::size_t n) {
+  if (remaining() < n) throw OutOfBounds{};
+  ByteView v = data_.subspan(pos_, n);
+  pos_ += n;
+  return v;
+}
+
+void Cursor::skip(std::size_t n) {
+  if (remaining() < n) throw OutOfBounds{};
+  pos_ += n;
+}
+
+std::string to_hex(ByteView b) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(b.size() * 2);
+  for (std::uint8_t v : b) {
+    out.push_back(kDigits[v >> 4]);
+    out.push_back(kDigits[v & 0xf]);
+  }
+  return out;
+}
+
+namespace {
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::optional<Bytes> from_hex(std::string_view hex) {
+  Bytes out;
+  int hi = -1;
+  for (char c : hex) {
+    if (std::isspace(static_cast<unsigned char>(c))) continue;
+    int d = hex_digit(c);
+    if (d < 0) return std::nullopt;
+    if (hi < 0) {
+      hi = d;
+    } else {
+      out.push_back(static_cast<std::uint8_t>((hi << 4) | d));
+      hi = -1;
+    }
+  }
+  if (hi >= 0) return std::nullopt;  // odd number of digits
+  return out;
+}
+
+}  // namespace senids::util

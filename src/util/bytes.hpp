@@ -1,0 +1,91 @@
+// Byte-buffer primitives shared by every subsystem: owned buffers, views,
+// little/big-endian cursors, and hex conversion.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace senids::util {
+
+/// Owned, growable byte buffer. We deliberately use a plain vector so all
+/// standard algorithms apply; helpers below provide structured access.
+using Bytes = std::vector<std::uint8_t>;
+
+/// Non-owning read-only view over bytes.
+using ByteView = std::span<const std::uint8_t>;
+
+/// View over a string's bytes without copying.
+inline ByteView as_bytes(std::string_view s) noexcept {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+/// Copy a string's bytes into an owned buffer.
+Bytes to_bytes(std::string_view s);
+
+/// Interpret a byte view as text (lossy for non-ASCII; used in tests/logs).
+std::string to_string(ByteView b);
+
+/// Append primitives in little-endian order (x86 and pcap are LE formats).
+void put_u8(Bytes& b, std::uint8_t v);
+void put_u16le(Bytes& b, std::uint16_t v);
+void put_u32le(Bytes& b, std::uint32_t v);
+void put_u16be(Bytes& b, std::uint16_t v);
+void put_u32be(Bytes& b, std::uint32_t v);
+
+/// Error thrown when a cursor reads past the end of its view.
+class OutOfBounds : public std::runtime_error {
+ public:
+  OutOfBounds() : std::runtime_error("byte cursor out of bounds") {}
+};
+
+/// Forward-only reader over a ByteView. Bounds-checked: throws OutOfBounds
+/// rather than reading past the end, so malformed network input cannot
+/// drive reads out of the packet buffer.
+class Cursor {
+ public:
+  explicit Cursor(ByteView data) noexcept : data_(data) {}
+
+  [[nodiscard]] std::size_t offset() const noexcept { return pos_; }
+  [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  [[nodiscard]] bool empty() const noexcept { return remaining() == 0; }
+
+  /// Peek one byte without consuming; nullopt at end.
+  [[nodiscard]] std::optional<std::uint8_t> peek() const noexcept {
+    if (empty()) return std::nullopt;
+    return data_[pos_];
+  }
+
+  std::uint8_t u8();
+  std::uint16_t u16le();
+  std::uint32_t u32le();
+  std::uint16_t u16be();
+  std::uint32_t u32be();
+
+  /// Consume `n` bytes and return a view of them.
+  ByteView take(std::size_t n);
+
+  /// Skip `n` bytes.
+  void skip(std::size_t n);
+
+  /// View of everything not yet consumed.
+  [[nodiscard]] ByteView rest() const noexcept { return data_.subspan(pos_); }
+
+ private:
+  ByteView data_;
+  std::size_t pos_ = 0;
+};
+
+/// Lowercase hex encoding, e.g. {0xde,0xad} -> "dead".
+std::string to_hex(ByteView b);
+
+/// Parse hex text (whitespace tolerated) into bytes; nullopt on bad digit
+/// or odd digit count.
+std::optional<Bytes> from_hex(std::string_view hex);
+
+}  // namespace senids::util

@@ -1,0 +1,33 @@
+#include "util/hexdump.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace senids::util {
+
+std::string hexdump(ByteView data, std::size_t base_offset) {
+  std::string out;
+  char line[128];
+  for (std::size_t row = 0; row < data.size(); row += 16) {
+    int n = std::snprintf(line, sizeof line, "%08zx  ", base_offset + row);
+    out.append(line, static_cast<std::size_t>(n));
+    for (std::size_t i = 0; i < 16; ++i) {
+      if (row + i < data.size()) {
+        n = std::snprintf(line, sizeof line, "%02x ", data[row + i]);
+        out.append(line, static_cast<std::size_t>(n));
+      } else {
+        out.append("   ");
+      }
+      if (i == 7) out.push_back(' ');
+    }
+    out.append(" |");
+    for (std::size_t i = 0; i < 16 && row + i < data.size(); ++i) {
+      unsigned char c = data[row + i];
+      out.push_back(std::isprint(c) ? static_cast<char>(c) : '.');
+    }
+    out.append("|\n");
+  }
+  return out;
+}
+
+}  // namespace senids::util

@@ -1,0 +1,13 @@
+// Classic 16-bytes-per-row hexdump used by examples and debug logging.
+#pragma once
+
+#include <string>
+
+#include "util/bytes.hpp"
+
+namespace senids::util {
+
+/// Render `data` as "offset  hex bytes  |ascii|" rows.
+std::string hexdump(ByteView data, std::size_t base_offset = 0);
+
+}  // namespace senids::util

@@ -1,0 +1,37 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+
+namespace senids::util {
+
+Log& Log::instance() {
+  static Log log;
+  return log;
+}
+
+void Log::set_level(LogLevel level) noexcept {
+  instance().level_ = level;
+}
+
+LogLevel Log::level() noexcept {
+  return instance().level_;
+}
+
+void Log::set_sink(Sink sink) {
+  std::lock_guard lock(instance().mu_);
+  instance().sink_ = std::move(sink);
+}
+
+void Log::write(LogLevel level, const std::string& message) {
+  Log& log = instance();
+  if (level < log.level_) return;
+  std::lock_guard lock(log.mu_);
+  if (log.sink_) {
+    log.sink_(level, message);
+    return;
+  }
+  static constexpr const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+  std::fprintf(stderr, "[%s] %s\n", kNames[static_cast<int>(level)], message.c_str());
+}
+
+}  // namespace senids::util

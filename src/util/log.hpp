@@ -1,0 +1,63 @@
+// Minimal leveled logger. Thread-safe; writes to stderr by default. The
+// NIDS engine logs alerts and stage diagnostics through this so examples
+// and benches can silence or redirect output uniformly.
+#pragma once
+
+#include <functional>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace senids::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global logger configuration. A process-wide singleton is appropriate
+/// here: log destination is genuinely process-global state.
+class Log {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  static void set_level(LogLevel level) noexcept;
+  static LogLevel level() noexcept;
+
+  /// Replace the output sink (default writes "[level] message" to stderr).
+  static void set_sink(Sink sink);
+
+  static void write(LogLevel level, const std::string& message);
+
+ private:
+  static Log& instance();
+
+  std::mutex mu_;
+  LogLevel level_ = LogLevel::kWarn;
+  Sink sink_;
+};
+
+namespace detail {
+/// Stream-style one-shot log line: LogLine(kInfo) << "x=" << x;
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { Log::write(level_, out_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    out_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream out_;
+};
+}  // namespace detail
+
+inline detail::LogLine log_debug() { return detail::LogLine(LogLevel::kDebug); }
+inline detail::LogLine log_info() { return detail::LogLine(LogLevel::kInfo); }
+inline detail::LogLine log_warn() { return detail::LogLine(LogLevel::kWarn); }
+inline detail::LogLine log_error() { return detail::LogLine(LogLevel::kError); }
+
+}  // namespace senids::util

@@ -1,0 +1,65 @@
+#include "util/prng.hpp"
+
+namespace senids::util {
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Prng::Prng(std::uint64_t seed) noexcept {
+  for (auto& s : s_) s = splitmix64(seed);
+  // xoshiro must not start from the all-zero state.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Prng::next() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Prng::below(std::uint64_t bound) noexcept {
+  // Lemire-style rejection: draw until the value falls in the largest
+  // multiple of `bound` representable in 64 bits.
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % bound) - 1;
+  std::uint64_t v = next();
+  while (v > limit) v = next();
+  return v % bound;
+}
+
+std::int64_t Prng::range(std::int64_t lo, std::int64_t hi) noexcept {
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(below(span));
+}
+
+bool Prng::chance(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  // 53-bit mantissa draw gives a uniform double in [0,1).
+  const double u = static_cast<double>(next() >> 11) * 0x1.0p-53;
+  return u < p;
+}
+
+Bytes Prng::bytes(std::size_t n) {
+  Bytes out(n);
+  for (auto& b : out) b = byte();
+  return out;
+}
+
+}  // namespace senids::util

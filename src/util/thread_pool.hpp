@@ -1,0 +1,48 @@
+// Fixed-size worker pool. The NIDS pipeline dispatches per-flow analysis
+// units (extraction + disassembly + semantic matching) to this pool; the
+// stages are CPU-bound and independent across flows, so the pool gives
+// near-linear scaling (see bench_parallel_scaling).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace senids::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (>= 1). The pool joins on destruction after
+  /// draining queued work.
+  explicit ThreadPool(std::size_t threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+  ~ThreadPool();
+
+  /// Enqueue a task. Safe from any thread, including pool workers.
+  void submit(std::function<void()> task);
+
+  /// Block until every task submitted so far (and tasks they spawned) has
+  /// finished. Safe to call repeatedly; not from a worker thread.
+  void wait_idle();
+
+  [[nodiscard]] std::size_t thread_count() const noexcept { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signaled when work arrives or stopping
+  std::condition_variable idle_cv_;   // signaled when pool may have gone idle
+  std::deque<std::function<void()>> queue_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace senids::util

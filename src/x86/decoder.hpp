@@ -1,0 +1,25 @@
+// IA-32 instruction decoder. Replaces the commercial disassembler (IDA
+// Pro) used by the paper. Coverage: the full one-byte opcode map except
+// x87/BCD/far-pointer forms, the two-byte (0F) opcodes that appear in
+// compiler output and shellcode, all ModRM/SIB addressing modes, and the
+// operand-size prefix. Undecodable bytes yield an Instruction with
+// mnemonic kInvalid and length >= 1, so linear sweeps always make
+// progress and never fault on hostile input.
+#pragma once
+
+#include "util/bytes.hpp"
+#include "x86/insn.hpp"
+
+namespace senids::x86 {
+
+/// Decode the instruction starting at `offset` in `code`. Always returns;
+/// check Instruction::valid(). Invalid encodings consume exactly one byte
+/// so the caller can resynchronize.
+Instruction decode(util::ByteView code, std::size_t offset);
+
+/// Decode at most `max_insns` instructions linearly from `offset`,
+/// stopping at the first invalid byte or end of buffer.
+std::vector<Instruction> linear_sweep(util::ByteView code, std::size_t offset = 0,
+                                      std::size_t max_insns = SIZE_MAX);
+
+}  // namespace senids::x86

@@ -1,0 +1,65 @@
+// Per-instruction def/use summaries at register-family granularity. The
+// semantic matcher uses these for clobber analysis (is a bound value still
+// live at its matched use?) and the IR normalizer uses them for junk
+// (dead-code) elimination. Family granularity — AL and EAX collapse to
+// the same bit — is coarser than bit-accurate liveness but sound: it can
+// only over-approximate interference, never miss it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "x86/insn.hpp"
+
+namespace senids::x86 {
+
+/// Bitset over the eight GPR families.
+class RegSet {
+ public:
+  constexpr RegSet() = default;
+
+  void add(Reg r) noexcept { bits_ |= mask(r.family); }
+  void add_family(RegFamily f) noexcept { bits_ |= mask(f); }
+  [[nodiscard]] bool contains(Reg r) const noexcept { return bits_ & mask(r.family); }
+  [[nodiscard]] bool contains_family(RegFamily f) const noexcept { return bits_ & mask(f); }
+  [[nodiscard]] bool intersects(RegSet other) const noexcept {
+    return (bits_ & other.bits_) != 0;
+  }
+  [[nodiscard]] bool empty() const noexcept { return bits_ == 0; }
+  RegSet& operator|=(RegSet other) noexcept {
+    bits_ |= other.bits_;
+    return *this;
+  }
+  [[nodiscard]] std::uint8_t raw() const noexcept { return bits_; }
+
+  static RegSet all() noexcept {
+    RegSet s;
+    s.bits_ = 0xff;
+    return s;
+  }
+
+  [[nodiscard]] std::string str() const;
+
+ private:
+  static constexpr std::uint8_t mask(RegFamily f) noexcept {
+    return static_cast<std::uint8_t>(1u << static_cast<unsigned>(f));
+  }
+  std::uint8_t bits_ = 0;
+};
+
+/// Effect summary of one instruction.
+struct DefUse {
+  RegSet defs;       // register families written
+  RegSet uses;       // register families read
+  bool mem_read = false;
+  bool mem_write = false;
+  bool flags_def = false;
+  bool flags_use = false;
+  bool side_effect = false;  // syscall/IO/control transfer: never dead code
+};
+
+/// Compute the summary. Conservative for instructions with partially
+/// modeled semantics (e.g. kInt claims to read every GPR).
+DefUse def_use(const Instruction& insn) noexcept;
+
+}  // namespace senids::x86

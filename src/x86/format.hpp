@@ -1,0 +1,18 @@
+// Intel-syntax text rendering of decoded instructions, used in alerts,
+// examples, and the template-authoring workflow.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "x86/insn.hpp"
+
+namespace senids::x86 {
+
+/// Render one instruction, e.g. "xor byte ptr [eax], 0x95".
+std::string format(const Instruction& insn);
+
+/// Render a listing with offsets, one instruction per line.
+std::string format_listing(const std::vector<Instruction>& insns);
+
+}  // namespace senids::x86

@@ -1,0 +1,160 @@
+// Decoded-instruction model: mnemonics, operands, prefixes. This is the
+// contract between the decoder and everything downstream (formatter, IR
+// lifter, def/use analysis).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "x86/reg.hpp"
+
+namespace senids::x86 {
+
+/// Mnemonics the decoder emits. kInvalid marks undecodable bytes: the
+/// scanners treat it as a synchronization failure, never as a crash.
+enum class Mnemonic : std::uint16_t {
+  kInvalid = 0,
+  // data movement
+  kMov, kMovzx, kMovsx, kLea, kXchg, kPush, kPop, kPusha, kPopa, kPushf, kPopf,
+  kLahf, kSahf, kBswap, kXlat,
+  // arithmetic
+  kAdd, kAdc, kSub, kSbb, kInc, kDec, kNeg, kCmp, kMul, kImul, kDiv, kIdiv,
+  kCwde, kCdq, kAaa, kAas, kDaa, kDas,
+  // logic
+  kAnd, kOr, kXor, kNot, kTest,
+  // shifts/rotates
+  kShl, kShr, kSar, kRol, kRor, kRcl, kRcr, kShld, kShrd,
+  // bit ops
+  kBt, kBts, kBtr, kBtc, kBsf, kBsr,
+  // control flow
+  kJmp, kJcc, kCall, kRet, kRetf, kLoop, kLoope, kLoopne, kJecxz, kInt,
+  kInt3, kInto, kIret, kEnter, kLeave,
+  // string ops
+  kMovs, kCmps, kStos, kLods, kScas,
+  // flags and misc
+  kNop, kClc, kStc, kCmc, kCld, kStd, kCli, kSti, kHlt, kWait, kSetcc,
+  kCmpxchg, kXadd, kCpuid, kRdtsc, kIn, kOut, kSalc, kCmov,
+  // Minimal x87 subset: just enough for the fnstenv GetPC idiom.
+  kFpuNop,    // fld constants / fninit-style no-ops that set "last FPU insn"
+  kFnstenv,   // store the 28-byte FPU environment (FIP at offset +12)
+};
+
+/// Condition codes for Jcc/SETcc, in opcode-nibble order.
+enum class Cond : std::uint8_t {
+  kO, kNo, kB, kAe, kE, kNe, kBe, kA, kS, kNs, kP, kNp, kL, kGe, kLe, kG
+};
+
+enum class OperandKind : std::uint8_t { kNone, kReg, kImm, kMem, kRel };
+
+/// Memory operand: [base + index*scale + disp], any piece optional.
+struct MemRef {
+  std::optional<Reg> base;
+  std::optional<Reg> index;
+  std::uint8_t scale = 1;           // 1,2,4,8
+  std::int32_t disp = 0;
+  RegWidth width = RegWidth::k32;   // access width (byte/word/dword ptr)
+
+  friend bool operator==(const MemRef&, const MemRef&) = default;
+};
+
+struct Operand {
+  OperandKind kind = OperandKind::kNone;
+  Reg reg{};              // kReg
+  std::int64_t imm = 0;   // kImm (sign-extended) and kRel (absolute target offset)
+  MemRef mem{};           // kMem
+
+  static Operand none() { return {}; }
+  static Operand make_reg(Reg r) {
+    Operand o;
+    o.kind = OperandKind::kReg;
+    o.reg = r;
+    return o;
+  }
+  static Operand make_imm(std::int64_t v) {
+    Operand o;
+    o.kind = OperandKind::kImm;
+    o.imm = v;
+    return o;
+  }
+  static Operand make_mem(MemRef m) {
+    Operand o;
+    o.kind = OperandKind::kMem;
+    o.mem = m;
+    return o;
+  }
+  static Operand make_rel(std::int64_t target) {
+    Operand o;
+    o.kind = OperandKind::kRel;
+    o.imm = target;
+    return o;
+  }
+};
+
+/// Prefix bits observed before the opcode.
+struct Prefixes {
+  bool opsize = false;    // 0x66
+  bool addrsize = false;  // 0x67
+  bool lock = false;      // 0xF0
+  bool rep = false;       // 0xF3
+  bool repne = false;     // 0xF2
+  bool segment = false;   // any of 26/2E/36/3E/64/65
+};
+
+struct Instruction {
+  std::size_t offset = 0;  // byte offset within the decoded buffer
+  std::uint8_t length = 0; // encoded length in bytes
+  Mnemonic mnemonic = Mnemonic::kInvalid;
+  Cond cond = Cond::kO;    // meaningful for kJcc / kSetcc only
+  Prefixes prefixes;
+  std::array<Operand, 3> ops;
+  /// Operation width for width-ambiguous mnemonics (string ops, push imm).
+  RegWidth op_width = RegWidth::k32;
+
+  [[nodiscard]] bool valid() const noexcept { return mnemonic != Mnemonic::kInvalid; }
+  [[nodiscard]] std::size_t end_offset() const noexcept { return offset + length; }
+
+  [[nodiscard]] bool is_branch() const noexcept {
+    switch (mnemonic) {
+      case Mnemonic::kJmp:
+      case Mnemonic::kJcc:
+      case Mnemonic::kCall:
+      case Mnemonic::kLoop:
+      case Mnemonic::kLoope:
+      case Mnemonic::kLoopne:
+      case Mnemonic::kJecxz:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  /// Branch target as a buffer offset, when statically known.
+  [[nodiscard]] std::optional<std::size_t> branch_target() const noexcept {
+    if (!is_branch() || ops[0].kind != OperandKind::kRel) return std::nullopt;
+    if (ops[0].imm < 0) return std::nullopt;  // jumps before the buffer
+    return static_cast<std::size_t>(ops[0].imm);
+  }
+
+  /// True for instructions after which straight-line execution stops.
+  [[nodiscard]] bool ends_flow() const noexcept {
+    switch (mnemonic) {
+      case Mnemonic::kRet:
+      case Mnemonic::kRetf:
+      case Mnemonic::kIret:
+      case Mnemonic::kHlt:
+        return true;
+      case Mnemonic::kJmp:
+        return true;  // unconditional; successor is the target only
+      default:
+        return false;
+    }
+  }
+};
+
+/// Human-readable mnemonic text ("mov", "jne", ...). For kJcc/kSetcc the
+/// condition is folded into the text.
+std::string_view mnemonic_name(Mnemonic m) noexcept;
+std::string_view cond_suffix(Cond c) noexcept;
+
+}  // namespace senids::x86

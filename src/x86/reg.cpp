@@ -1,0 +1,57 @@
+#include "x86/reg.hpp"
+
+namespace senids::x86 {
+
+namespace {
+constexpr std::string_view kNames32[] = {"eax", "ecx", "edx", "ebx",
+                                         "esp", "ebp", "esi", "edi"};
+constexpr std::string_view kNames16[] = {"ax", "cx", "dx", "bx", "sp", "bp", "si", "di"};
+constexpr std::string_view kNames8Lo[] = {"al", "cl", "dl", "bl"};
+constexpr std::string_view kNames8Hi[] = {"ah", "ch", "dh", "bh"};
+}  // namespace
+
+std::string_view Reg::name() const noexcept {
+  const auto f = static_cast<unsigned>(family);
+  switch (width) {
+    case RegWidth::k32:
+      return kNames32[f];
+    case RegWidth::k16:
+      return kNames16[f];
+    case RegWidth::k8Lo:
+      return kNames8Lo[f & 3];
+    case RegWidth::k8Hi:
+      return kNames8Hi[f & 3];
+  }
+  return "?";
+}
+
+Reg reg32(unsigned index) noexcept {
+  return Reg{static_cast<RegFamily>(index & 7), RegWidth::k32};
+}
+
+Reg reg16(unsigned index) noexcept {
+  return Reg{static_cast<RegFamily>(index & 7), RegWidth::k16};
+}
+
+Reg reg8(unsigned index) noexcept {
+  // Encodings 0-3 are AL,CL,DL,BL; 4-7 are AH,CH,DH,BH which live in the
+  // AX..BX families.
+  index &= 7;
+  if (index < 4) return Reg{static_cast<RegFamily>(index), RegWidth::k8Lo};
+  return Reg{static_cast<RegFamily>(index - 4), RegWidth::k8Hi};
+}
+
+unsigned width_bits(RegWidth w) noexcept {
+  switch (w) {
+    case RegWidth::k8Lo:
+    case RegWidth::k8Hi:
+      return 8;
+    case RegWidth::k16:
+      return 16;
+    case RegWidth::k32:
+      return 32;
+  }
+  return 0;
+}
+
+}  // namespace senids::x86

@@ -1,0 +1,52 @@
+// IA-32 register model. Registers are identified by (family, width) where
+// the family is the underlying 32-bit architectural register; this makes
+// aliasing queries (does writing AL clobber EAX?) trivial, which the
+// def-use analysis in the semantic matcher depends on.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace senids::x86 {
+
+/// The eight GPR families, in standard encoding order.
+enum class RegFamily : std::uint8_t { kAx, kCx, kDx, kBx, kSp, kBp, kSi, kDi };
+
+enum class RegWidth : std::uint8_t { k8Lo, k8Hi, k16, k32 };
+
+struct Reg {
+  RegFamily family{};
+  RegWidth width{};
+
+  friend bool operator==(const Reg&, const Reg&) = default;
+
+  /// True if the two registers share storage (e.g. AL vs EAX, but not
+  /// AL vs AH? AH and AL share EAX but not each other's bits; for clobber
+  /// analysis we treat any same-family pair as aliasing, which is sound).
+  [[nodiscard]] bool aliases(const Reg& other) const noexcept {
+    return family == other.family;
+  }
+
+  [[nodiscard]] std::string_view name() const noexcept;
+};
+
+/// Decode-table constructors: index is the 3-bit register field.
+Reg reg32(unsigned index) noexcept;
+Reg reg16(unsigned index) noexcept;
+Reg reg8(unsigned index) noexcept;  // AL,CL,DL,BL,AH,CH,DH,BH encoding order
+
+inline constexpr Reg kEax{RegFamily::kAx, RegWidth::k32};
+inline constexpr Reg kEcx{RegFamily::kCx, RegWidth::k32};
+inline constexpr Reg kEdx{RegFamily::kDx, RegWidth::k32};
+inline constexpr Reg kEbx{RegFamily::kBx, RegWidth::k32};
+inline constexpr Reg kEsp{RegFamily::kSp, RegWidth::k32};
+inline constexpr Reg kEbp{RegFamily::kBp, RegWidth::k32};
+inline constexpr Reg kEsi{RegFamily::kSi, RegWidth::k32};
+inline constexpr Reg kEdi{RegFamily::kDi, RegWidth::k32};
+inline constexpr Reg kAl{RegFamily::kAx, RegWidth::k8Lo};
+inline constexpr Reg kCl{RegFamily::kCx, RegWidth::k8Lo};
+
+/// Number of bits in a register of the given width.
+unsigned width_bits(RegWidth w) noexcept;
+
+}  // namespace senids::x86

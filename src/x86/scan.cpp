@@ -1,0 +1,74 @@
+#include "x86/scan.hpp"
+
+#include <unordered_set>
+
+namespace senids::x86 {
+
+std::vector<CodeRun> find_code_runs(util::ByteView code, std::size_t min_insns) {
+  const std::size_t n = code.size();
+  if (n == 0) return {};
+
+  // run_len[i]: number of instructions decodable linearly from offset i.
+  // next[i]: offset after the instruction at i (0 when invalid).
+  std::vector<std::uint32_t> run_len(n, 0);
+  std::vector<std::uint32_t> next(n, 0);
+  for (std::size_t i = n; i-- > 0;) {
+    Instruction insn = decode(code, i);
+    if (!insn.valid()) continue;
+    const std::size_t after = insn.end_offset();
+    next[i] = static_cast<std::uint32_t>(after);
+    run_len[i] = 1 + (after < n ? run_len[after] : 0);
+  }
+
+  // Emit runs that are not a tail of an earlier (longer) run with the same
+  // synchronization: offset i is a tail iff some j<i decodes through i.
+  std::vector<bool> is_tail(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (run_len[i] != 0 && next[i] < n && run_len[next[i]] != 0) {
+      is_tail[next[i]] = true;
+    }
+  }
+
+  std::vector<CodeRun> runs;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (run_len[i] >= min_insns && !is_tail[i]) {
+      // Walk to compute byte length of the run.
+      std::size_t pos = i;
+      std::size_t count = 0;
+      while (pos < n && run_len[pos] != 0) {
+        ++count;
+        pos = next[pos];
+      }
+      runs.push_back(CodeRun{i, count, pos - i});
+    }
+  }
+  return runs;
+}
+
+std::vector<Instruction> execution_trace(util::ByteView code, std::size_t entry,
+                                         std::size_t max_insns) {
+  std::vector<Instruction> trace;
+  std::unordered_set<std::size_t> visited;
+  std::size_t pc = entry;
+
+  while (pc < code.size() && trace.size() < max_insns) {
+    if (!visited.insert(pc).second) break;  // loop closed: stream complete
+    Instruction insn = decode(code, pc);
+    if (!insn.valid()) break;
+    const Instruction& placed = trace.emplace_back(std::move(insn));
+
+    if (placed.mnemonic == Mnemonic::kJmp || placed.mnemonic == Mnemonic::kCall) {
+      // Calls are followed like jumps: shellcode uses call for GetPC
+      // (jmp/call/pop), and the interesting flow continues at the target.
+      auto target = placed.branch_target();
+      if (!target || *target >= code.size()) break;  // indirect or escaping
+      pc = *target;
+      continue;
+    }
+    if (placed.ends_flow()) break;
+    pc = placed.end_offset();
+  }
+  return trace;
+}
+
+}  // namespace senids::x86

@@ -1,0 +1,37 @@
+// Shellcode-oriented code discovery. Network payloads carry code at
+// unknown offsets, so the scanner (a) finds plausible decode runs via a
+// right-to-left dynamic program over the whole buffer, and (b) produces
+// the *execution-order* instruction stream from an entry point by
+// following unconditional jumps — which is exactly the normalization that
+// defeats the out-of-order obfuscation of Figure 1(c) in the paper.
+#pragma once
+
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "x86/decoder.hpp"
+
+namespace senids::x86 {
+
+/// A maximal linear decode run.
+struct CodeRun {
+  std::size_t start = 0;
+  std::size_t insn_count = 0;
+  std::size_t byte_len = 0;
+};
+
+/// Find decode runs of at least `min_insns` instructions. Runs contained
+/// in a longer run (same synchronization) are suppressed, so the result
+/// is a small set of candidate shellcode entry points.
+std::vector<CodeRun> find_code_runs(util::ByteView code, std::size_t min_insns = 6);
+
+/// Execution-order trace from `entry`: decodes, then follows unconditional
+/// jmps with in-buffer targets; conditional branches and loops fall
+/// through. Stops at invalid bytes, flow-ending instructions, buffer exit,
+/// an already-visited offset (loop closure), or `max_insns`.
+/// The returned sequence is the de-obfuscated instruction stream handed to
+/// the IR lifter.
+std::vector<Instruction> execution_trace(util::ByteView code, std::size_t entry,
+                                         std::size_t max_insns = 4096);
+
+}  // namespace senids::x86

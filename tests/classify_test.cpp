@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "classify/classifier.hpp"
+#include "net/forge.hpp"
+
+namespace senids::classify {
+namespace {
+
+using net::Endpoint;
+using net::Ipv4Addr;
+
+net::ParsedPacket packet(Ipv4Addr src, Ipv4Addr dst, std::uint16_t dport = 80) {
+  auto frame = net::forge_tcp(Endpoint{src, 40000}, Endpoint{dst, dport}, 1,
+                              util::as_bytes("x"));
+  return *net::parse_frame(frame);
+}
+
+const Ipv4Addr kAttacker = Ipv4Addr::from_octets(192, 0, 2, 66);
+const Ipv4Addr kClient = Ipv4Addr::from_octets(198, 51, 100, 10);
+const Ipv4Addr kServer = Ipv4Addr::from_octets(10, 0, 0, 20);
+const Ipv4Addr kHoneypot = Ipv4Addr::from_octets(10, 0, 0, 7);
+
+TEST(Prefix, ContainsMath) {
+  Prefix p{Ipv4Addr::from_octets(10, 0, 64, 0), 18};
+  EXPECT_TRUE(p.contains(Ipv4Addr::from_octets(10, 0, 64, 1)));
+  EXPECT_TRUE(p.contains(Ipv4Addr::from_octets(10, 0, 127, 255)));
+  EXPECT_FALSE(p.contains(Ipv4Addr::from_octets(10, 0, 128, 0)));
+  EXPECT_FALSE(p.contains(Ipv4Addr::from_octets(10, 1, 64, 0)));
+}
+
+TEST(Prefix, HostRouteAndDefault) {
+  Prefix host{kHoneypot, 32};
+  EXPECT_TRUE(host.contains(kHoneypot));
+  EXPECT_FALSE(host.contains(kServer));
+  Prefix all{Ipv4Addr{0}, 0};
+  EXPECT_TRUE(all.contains(kAttacker));
+}
+
+TEST(Honeypot, TouchingDecoyTaintsSource) {
+  TrafficClassifier c;
+  c.honeypots().add_decoy(kHoneypot);
+  // First packet to the honeypot is itself analyzed (source now tainted).
+  EXPECT_EQ(c.observe(packet(kAttacker, kHoneypot)), Verdict::kAnalyze);
+  // Subsequent traffic from the same host anywhere is analyzed.
+  EXPECT_EQ(c.observe(packet(kAttacker, kServer)), Verdict::kAnalyze);
+  // Unrelated hosts stay clean.
+  EXPECT_EQ(c.observe(packet(kClient, kServer)), Verdict::kIgnore);
+  EXPECT_TRUE(c.is_tainted(kAttacker));
+  EXPECT_FALSE(c.is_tainted(kClient));
+}
+
+TEST(Honeypot, DisabledSchemeIgnoresDecoys) {
+  ClassifierOptions opts;
+  opts.use_honeypot = false;
+  TrafficClassifier c(opts);
+  c.honeypots().add_decoy(kHoneypot);
+  EXPECT_EQ(c.observe(packet(kAttacker, kHoneypot)), Verdict::kIgnore);
+}
+
+TEST(DarkSpace, ThresholdCrossingTaints) {
+  ClassifierOptions opts;
+  opts.dark_space_threshold = 3;
+  TrafficClassifier c(opts);
+  c.dark_space().add_unused_prefix(Prefix{Ipv4Addr::from_octets(10, 0, 200, 0), 24});
+
+  // Two probes: below threshold, still ignored.
+  EXPECT_EQ(c.observe(packet(kAttacker, Ipv4Addr::from_octets(10, 0, 200, 1))),
+            Verdict::kIgnore);
+  EXPECT_EQ(c.observe(packet(kAttacker, Ipv4Addr::from_octets(10, 0, 200, 2))),
+            Verdict::kIgnore);
+  EXPECT_FALSE(c.is_tainted(kAttacker));
+  // Third probe reaches t=3: tainted from here on.
+  EXPECT_EQ(c.observe(packet(kAttacker, Ipv4Addr::from_octets(10, 0, 200, 3))),
+            Verdict::kAnalyze);
+  EXPECT_TRUE(c.is_tainted(kAttacker));
+  // And now even traffic to production hosts is analyzed.
+  EXPECT_EQ(c.observe(packet(kAttacker, kServer)), Verdict::kAnalyze);
+}
+
+TEST(DarkSpace, CountsPerSource) {
+  ClassifierOptions opts;
+  opts.dark_space_threshold = 5;
+  TrafficClassifier c(opts);
+  c.dark_space().add_unused_prefix(Prefix{Ipv4Addr::from_octets(10, 0, 200, 0), 24});
+  for (int i = 0; i < 4; ++i) {
+    c.observe(packet(kAttacker, Ipv4Addr::from_octets(10, 0, 200, 1)));
+    c.observe(packet(kClient, kServer));
+  }
+  EXPECT_EQ(c.dark_space().count(kAttacker), 4u);
+  EXPECT_EQ(c.dark_space().count(kClient), 0u);
+  EXPECT_FALSE(c.is_tainted(kAttacker));
+}
+
+TEST(DarkSpace, TrafficToUsedSpaceNeverCounts) {
+  TrafficClassifier c;
+  c.dark_space().add_unused_prefix(Prefix{Ipv4Addr::from_octets(10, 0, 200, 0), 24});
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(c.observe(packet(kAttacker, kServer)), Verdict::kIgnore);
+  }
+  EXPECT_EQ(c.dark_space().count(kAttacker), 0u);
+}
+
+TEST(Classifier, AnalyzeEverythingMode) {
+  ClassifierOptions opts;
+  opts.analyze_everything = true;
+  TrafficClassifier c(opts);
+  EXPECT_EQ(c.observe(packet(kClient, kServer)), Verdict::kAnalyze);
+  // Without taint bookkeeping: everything is analyzed, nothing tainted.
+  EXPECT_EQ(c.tainted_count(), 0u);
+}
+
+TEST(Classifier, BothSchemesCompose) {
+  ClassifierOptions opts;
+  opts.dark_space_threshold = 2;
+  TrafficClassifier c(opts);
+  c.honeypots().add_decoy(kHoneypot);
+  c.dark_space().add_unused_prefix(Prefix{Ipv4Addr::from_octets(10, 0, 200, 0), 24});
+
+  const Ipv4Addr scanner = Ipv4Addr::from_octets(203, 0, 113, 5);
+  c.observe(packet(scanner, Ipv4Addr::from_octets(10, 0, 200, 9)));
+  c.observe(packet(scanner, Ipv4Addr::from_octets(10, 0, 200, 10)));
+  c.observe(packet(kAttacker, kHoneypot));
+  EXPECT_TRUE(c.is_tainted(scanner));
+  EXPECT_TRUE(c.is_tainted(kAttacker));
+  EXPECT_EQ(c.tainted_count(), 2u);
+}
+
+TEST(Classifier, HoneypotHitAlsoCountsAsDarkIfConfigured) {
+  // A honeypot address can simultaneously live inside an unused prefix;
+  // both schemes then see the probe.
+  ClassifierOptions opts;
+  opts.dark_space_threshold = 1;
+  TrafficClassifier c(opts);
+  c.honeypots().add_decoy(Ipv4Addr::from_octets(10, 0, 200, 7));
+  c.dark_space().add_unused_prefix(Prefix{Ipv4Addr::from_octets(10, 0, 200, 0), 24});
+  EXPECT_EQ(c.observe(packet(kAttacker, Ipv4Addr::from_octets(10, 0, 200, 7))),
+            Verdict::kAnalyze);
+}
+
+}  // namespace
+}  // namespace senids::classify

@@ -1,0 +1,540 @@
+#include <gtest/gtest.h>
+
+#include "emu/shellemu.hpp"
+#include "gen/emitter.hpp"
+#include "gen/poly.hpp"
+#include "gen/shellcode.hpp"
+
+namespace senids::emu {
+namespace {
+
+using gen::Asm;
+using gen::R32;
+using gen::R8;
+using util::Bytes;
+
+// ---------------------------------------------------------------- memory
+
+TEST(VirtualMemory, FrameMapping) {
+  Bytes frame{0x11, 0x22, 0x33, 0x44};
+  VirtualMemory mem(frame);
+  EXPECT_EQ(mem.read8(kFrameBase).value(), 0x11);
+  EXPECT_EQ(mem.read32(kFrameBase).value(), 0x44332211u);
+  EXPECT_FALSE(mem.read8(kFrameBase + 4).has_value());
+  EXPECT_FALSE(mem.read8(0).has_value());
+}
+
+TEST(VirtualMemory, StackZeroBacked) {
+  Bytes frame{0x00};
+  VirtualMemory mem(frame);
+  EXPECT_EQ(mem.read32(kStackTop - 0x100).value(), 0u);
+  EXPECT_TRUE(mem.write32(kStackTop - 0x100, 0xdeadbeef));
+  EXPECT_EQ(mem.read32(kStackTop - 0x100).value(), 0xdeadbeefu);
+}
+
+TEST(VirtualMemory, OverlayTracksFrameWrites) {
+  Bytes frame(16, 0xAA);
+  VirtualMemory mem(frame);
+  EXPECT_EQ(mem.frame_bytes_modified(), 0u);
+  mem.write8(kFrameBase + 3, 0x55);
+  mem.write8(kFrameBase + 3, 0x66);  // same byte twice: counted once
+  EXPECT_EQ(mem.frame_bytes_modified(), 1u);
+  Bytes snap = mem.snapshot_frame();
+  EXPECT_EQ(snap[3], 0x66);
+  EXPECT_EQ(snap[2], 0xAA);
+  EXPECT_EQ(frame[3], 0xAA);  // original untouched
+}
+
+TEST(VirtualMemory, WriteOutsideSandboxFails) {
+  Bytes frame{0x00};
+  VirtualMemory mem(frame);
+  EXPECT_FALSE(mem.write8(0x12345678, 1));
+}
+
+TEST(VirtualMemory, ReadCString) {
+  Bytes frame = util::to_bytes("abc");
+  frame.push_back(0);
+  VirtualMemory mem(frame);
+  EXPECT_EQ(mem.read_cstring(kFrameBase).value(), "abc");
+}
+
+// ------------------------------------------------------------------- cpu
+
+/// Run assembled code and return the CPU for register inspection.
+struct RunResult {
+  StopReason stop;
+  std::array<std::uint32_t, 8> regs;
+  std::size_t steps;
+};
+
+RunResult run_code(const Bytes& code, std::size_t max_steps = 10000) {
+  VirtualMemory mem(code);
+  Cpu cpu(mem, kFrameBase);
+  RunResult r;
+  r.stop = cpu.run(max_steps);
+  for (unsigned f = 0; f < 8; ++f) r.regs[f] = cpu.reg(static_cast<x86::RegFamily>(f));
+  r.steps = cpu.steps();
+  return r;
+}
+
+std::uint32_t reg(const RunResult& r, R32 f) {
+  return r.regs[static_cast<unsigned>(f)];
+}
+
+/// Append hlt so runs stop deterministically.
+Bytes with_hlt(Asm& a) {
+  a.raw8(0xF4);
+  return a.finish();
+}
+
+TEST(Cpu, BasicArithmetic) {
+  Asm a;
+  a.mov_r32_imm32(R32::eax, 10);
+  a.mov_r32_imm32(R32::ebx, 32);
+  a.alu_r32_r32(0, R32::eax, R32::ebx);  // add
+  a.alu_r32_imm(5, R32::ebx, 2);         // sub ebx, 2
+  RunResult r = run_code(with_hlt(a));
+  EXPECT_EQ(r.stop, StopReason::kHalted);
+  EXPECT_EQ(reg(r, R32::eax), 42u);
+  EXPECT_EQ(reg(r, R32::ebx), 30u);
+}
+
+TEST(Cpu, SubRegisterWrites) {
+  Asm a;
+  a.mov_r32_imm32(R32::ebx, 0x11223344);
+  a.mov_r8_imm8(R8::bl, 0x99);
+  a.mov_r8_imm8(R8::bh, 0x88);
+  RunResult r = run_code(with_hlt(a));
+  EXPECT_EQ(reg(r, R32::ebx), 0x11228899u);
+}
+
+TEST(Cpu, PushPopRoundTrip) {
+  Asm a;
+  a.push_imm32(0xCAFEBABE);
+  a.pop_r32(R32::edx);
+  RunResult r = run_code(with_hlt(a));
+  EXPECT_EQ(reg(r, R32::edx), 0xCAFEBABEu);
+}
+
+TEST(Cpu, FlagsAndConditionals) {
+  // if (eax == 5) ebx = 1 else ebx = 2
+  Asm a;
+  auto lelse = a.new_label();
+  auto lend = a.new_label();
+  a.mov_r32_imm32(R32::eax, 5);
+  a.cmp_r32_imm8(R32::eax, 5);
+  a.jcc(0x5, lelse);  // jne
+  a.mov_r32_imm32(R32::ebx, 1);
+  a.jmp_short(lend);
+  a.bind(lelse);
+  a.mov_r32_imm32(R32::ebx, 2);
+  a.bind(lend);
+  RunResult r = run_code(with_hlt(a));
+  EXPECT_EQ(reg(r, R32::ebx), 1u);
+}
+
+TEST(Cpu, LoopInstructionCounts) {
+  Asm a;
+  auto head = a.new_label();
+  a.mov_r32_imm32(R32::ecx, 10);
+  a.xor_r32_r32(R32::eax, R32::eax);
+  a.bind(head);
+  a.inc_r32(R32::eax);
+  a.loop_(head);
+  RunResult r = run_code(with_hlt(a));
+  EXPECT_EQ(reg(r, R32::eax), 10u);
+  EXPECT_EQ(reg(r, R32::ecx), 0u);
+}
+
+TEST(Cpu, DecJnzLoop) {
+  Asm a;
+  auto head = a.new_label();
+  a.mov_r32_imm32(R32::ecx, 7);
+  a.xor_r32_r32(R32::edx, R32::edx);
+  a.bind(head);
+  a.add_r32_imm(R32::edx, 3);
+  a.dec_r32(R32::ecx);
+  a.jnz(head);
+  RunResult r = run_code(with_hlt(a));
+  EXPECT_EQ(reg(r, R32::edx), 21u);
+}
+
+TEST(Cpu, CallRetAndGetPc) {
+  Asm a;
+  auto lmain = a.new_label();
+  auto lget = a.new_label();
+  a.jmp_short(lget);
+  a.bind(lmain);
+  a.pop_r32(R32::esi);  // esi = VA of the byte after the call
+  a.raw8(0xF4);
+  a.bind(lget);
+  a.call(lmain);
+  Bytes code = a.finish();
+  const std::uint32_t expected = kFrameBase + static_cast<std::uint32_t>(code.size());
+  RunResult r = run_code(code);
+  EXPECT_EQ(r.stop, StopReason::kHalted);
+  EXPECT_EQ(reg(r, R32::esi), expected);
+}
+
+TEST(Cpu, SelfModifyingDecoderDecodes) {
+  // Build an iis-asp-style decoder and let it decrypt: afterwards the
+  // frame must contain the plaintext payload.
+  const std::uint8_t key = 0x5A;
+  Bytes payload = gen::make_shell_spawn_corpus()[1].code;
+  Bytes wrapped = gen::make_iis_asp_overflow_payload(key);
+
+  VirtualMemory mem(wrapped);
+  Cpu cpu(mem, kFrameBase);
+  // The decoded payload's execve stops via the syscall hook.
+  bool saw_execve = false;
+  auto hook = [&](const SyscallRecord& rec) -> std::optional<std::uint32_t> {
+    if (rec.vector == 0x80 && (rec.reg(x86::RegFamily::kAx) & 0xff) == 0x0b) {
+      saw_execve = true;
+      return std::nullopt;
+    }
+    return 0;
+  };
+  StopReason stop = cpu.run(100000, hook);
+  EXPECT_EQ(stop, StopReason::kSyscallStop);
+  EXPECT_TRUE(saw_execve);
+  EXPECT_EQ(mem.frame_bytes_modified(), payload.size());
+  // The decoded tail equals the plaintext.
+  Bytes snap = mem.snapshot_frame();
+  Bytes tail(snap.end() - static_cast<std::ptrdiff_t>(payload.size()), snap.end());
+  EXPECT_EQ(tail, payload);
+}
+
+TEST(Cpu, StringOperations) {
+  // rep movsb copies a string within the frame.
+  Asm a;
+  a.mov_r32_imm32(R32::esi, kFrameBase + 0x40);
+  a.mov_r32_imm32(R32::edi, kFrameBase + 0x50);
+  a.mov_r32_imm32(R32::ecx, 4);
+  a.raw8(0xFC);  // cld
+  a.raw8(0xF3);  // rep
+  a.raw8(0xA4);  // movsb
+  a.raw8(0xF4);  // hlt
+  Bytes code = a.finish();
+  code.resize(0x60, 0);
+  code[0x40] = 'W';
+  code[0x41] = 'X';
+  code[0x42] = 'Y';
+  code[0x43] = 'Z';
+
+  VirtualMemory mem(code);
+  Cpu cpu(mem, kFrameBase);
+  EXPECT_EQ(cpu.run(1000), StopReason::kHalted);
+  Bytes snap = mem.snapshot_frame();
+  EXPECT_EQ(snap[0x50], 'W');
+  EXPECT_EQ(snap[0x53], 'Z');
+  EXPECT_EQ(cpu.reg(x86::RegFamily::kCx), 0u);
+}
+
+TEST(Cpu, StopsOnInvalidInstruction) {
+  Bytes code{0xD8, 0xD8};  // x87: undecodable
+  RunResult r = run_code(code);
+  EXPECT_EQ(r.stop, StopReason::kInvalidInsn);
+}
+
+TEST(Cpu, StopsOnUnmappedJump) {
+  Asm a;
+  a.mov_r32_imm32(R32::eax, 0x12345678);
+  a.raw8(0xFF);
+  a.raw8(0xE0);  // jmp eax
+  RunResult r = run_code(a.finish());
+  EXPECT_EQ(r.stop, StopReason::kUnmappedFetch);
+}
+
+TEST(Cpu, StopsOnUnmappedAccess) {
+  Asm a;
+  a.mov_r32_imm32(R32::eax, 0x00001000);
+  a.mov_r32_mem(R32::ebx, R32::eax);  // read from unmapped page
+  RunResult r = run_code(with_hlt(a));
+  EXPECT_EQ(r.stop, StopReason::kUnmappedAccess);
+}
+
+TEST(Cpu, BudgetStopsRunawayLoops) {
+  Asm a;
+  auto head = a.new_label();
+  a.bind(head);
+  a.jmp_short(head);
+  RunResult r = run_code(a.finish(), 100);
+  EXPECT_EQ(r.stop, StopReason::kMaxSteps);
+  EXPECT_EQ(r.steps, 100u);
+}
+
+TEST(Cpu, DivideByZeroFaults) {
+  Asm a;
+  a.xor_r32_r32(R32::ebx, R32::ebx);
+  a.raw8(0xF7);
+  a.raw8(0xF3);  // div ebx
+  RunResult r = run_code(with_hlt(a));
+  EXPECT_EQ(r.stop, StopReason::kDivByZero);
+}
+
+TEST(Cpu, ShiftsAndRotates) {
+  Asm a;
+  a.mov_r8_imm8(R8::al, 0x81);
+  a.shift_r8_imm8(0, R8::al, 1);  // rol al, 1 -> 0x03
+  a.mov_r8_imm8(R8::bl, 0x81);
+  a.shift_r8_imm8(1, R8::bl, 1);  // ror bl, 1 -> 0xC0
+  a.mov_r8_imm8(R8::dl, 0x0F);
+  a.shift_r8_imm8(4, R8::dl, 2);  // shl dl, 2 -> 0x3C
+  RunResult r = run_code(with_hlt(a));
+  EXPECT_EQ(reg(r, R32::eax) & 0xff, 0x03u);
+  EXPECT_EQ(reg(r, R32::ebx) & 0xff, 0xC0u);
+  EXPECT_EQ(reg(r, R32::edx) & 0xff, 0x3Cu);
+}
+
+// -------------------------------------------------------------- shellemu
+
+TEST(ShellEmu, DetectsShellSpawnAcrossCorpus) {
+  for (const auto& sample : gen::make_shell_spawn_corpus()) {
+    EmulationResult r = emulate_frame(sample.code);
+    EXPECT_TRUE(r.spawned_shell()) << sample.name;
+    if (sample.binds_port) {
+      EXPECT_TRUE(r.bound_port()) << sample.name;
+    }
+  }
+}
+
+TEST(ShellEmu, ExecvePathResolvedFromMemory) {
+  EmulationResult r = emulate_frame(gen::make_shell_spawn_corpus()[1].code);
+  ASSERT_TRUE(r.spawned_shell());
+  bool found = false;
+  for (const auto& s : r.syscalls) {
+    if ((s.eax & 0xff) == 0x0b) {
+      EXPECT_EQ(s.ebx_string.rfind("/bin", 0), 0u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ShellEmu, DecodesPolymorphicInstanceAndFindsShell) {
+  // The headline dynamic capability: an ADMmutate-encrypted payload runs,
+  // decodes itself, and the execve still surfaces.
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    util::Prng prng(seed);
+    auto poly = gen::admmutate_encode(gen::make_shell_spawn_corpus()[1].code, prng);
+    EmulationResult r = emulate_frame(poly.bytes);
+    EXPECT_TRUE(r.spawned_shell()) << "seed " << seed;
+    EXPECT_GT(r.frame_bytes_modified, 0u) << "seed " << seed;
+  }
+}
+
+TEST(ShellEmu, CletInstanceDecodes) {
+  util::Prng prng(99);
+  auto clet = gen::clet_encode(gen::make_shell_spawn_corpus()[1].code, prng);
+  EmulationResult r = emulate_frame(clet.bytes);
+  EXPECT_TRUE(r.spawned_shell());
+}
+
+TEST(ShellEmu, DecodedFrameExposesPlaintext) {
+  util::Prng prng(7);
+  const Bytes payload = gen::make_shell_spawn_corpus()[1].code;
+  auto poly = gen::admmutate_encode(payload, prng);
+  EmulationResult r = emulate_frame(poly.bytes);
+  ASSERT_GT(r.frame_bytes_modified, 0u);
+  // The decoded frame must contain the plaintext payload bytes.
+  ASSERT_GE(r.decoded_frame.size(), payload.size());
+  Bytes tail(r.decoded_frame.end() - static_cast<std::ptrdiff_t>(payload.size()),
+             r.decoded_frame.end());
+  EXPECT_EQ(tail, payload);
+}
+
+TEST(ShellEmu, BenignTextProducesNoBehavior) {
+  std::string text;
+  for (int i = 0; i < 100; ++i) text += "plain old web page content here ";
+  EmulationResult r = emulate_frame(util::as_bytes(text));
+  EXPECT_FALSE(r.spawned_shell());
+  EXPECT_FALSE(r.bound_port());
+  EXPECT_FALSE(r.made_syscall());
+}
+
+TEST(ShellEmu, RandomBytesProduceNoBehavior) {
+  util::Prng prng(123);
+  for (int trial = 0; trial < 5; ++trial) {
+    auto noise = prng.bytes(2048);
+    EmulationResult r = emulate_frame(noise);
+    EXPECT_FALSE(r.spawned_shell()) << trial;
+    EXPECT_FALSE(r.bound_port()) << trial;
+  }
+}
+
+TEST(ShellEmu, EmptyAndOutOfRange) {
+  Bytes empty;
+  EmulationResult r = emulate_frame(empty);
+  EXPECT_FALSE(r.made_syscall());
+  EmulationResult r2 = emulate_entry(util::as_bytes("x"), 100);
+  EXPECT_EQ(r2.stop, StopReason::kUnmappedFetch);
+}
+
+}  // namespace
+}  // namespace senids::emu
+
+namespace senids::emu {
+namespace {
+
+TEST(FnstenvGetPc, EmulatorResolvesFip) {
+  // fldz; fnstenv [esp-12]; pop eax => eax = VA of the fldz.
+  gen::Asm a;
+  a.raw8(0xD9);
+  a.raw8(0xEE);  // fldz
+  a.raw8(0xD9);
+  a.raw8(0x74);
+  a.raw8(0x24);
+  a.raw8(0xF4);  // fnstenv [esp-12]
+  a.pop_r32(gen::R32::eax);
+  a.raw8(0xF4);  // hlt
+  Bytes code = a.finish();
+  VirtualMemory mem(code);
+  Cpu cpu(mem, kFrameBase);
+  ASSERT_EQ(cpu.run(100), StopReason::kHalted);
+  EXPECT_EQ(cpu.reg(x86::RegFamily::kAx), kFrameBase);
+}
+
+TEST(FnstenvGetPc, DecoderRunsAndSpawnsShell) {
+  auto payload = gen::make_fnstenv_decoder_payload(0x7e);
+  EmulationResult r = emulate_frame(payload);
+  EXPECT_TRUE(r.spawned_shell());
+  EXPECT_GT(r.frame_bytes_modified, 0u);
+}
+
+}  // namespace
+}  // namespace senids::emu
+
+namespace senids::emu {
+namespace {
+
+TEST(ShellEmu, FnstenvGetPcInstancesRunToShell) {
+  gen::PolyOptions opts;
+  opts.fnstenv_getpc_prob = 1.0;
+  auto payload = gen::make_shell_spawn_corpus()[1].code;
+  for (std::uint64_t seed = 500; seed < 508; ++seed) {
+    util::Prng prng(seed);
+    auto poly = gen::admmutate_encode(payload, prng, opts);
+    EmulationResult r = emulate_frame(poly.bytes);
+    EXPECT_TRUE(r.spawned_shell()) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace senids::emu
+
+namespace senids::emu {
+namespace {
+
+// ------------------------------------------------ robustness / fuzzing
+
+/// The interpreter must terminate cleanly on arbitrary byte soup: any
+/// outcome is fine except a hang past the budget (the run() cap converts
+/// those into kMaxSteps).
+class CpuFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CpuFuzz, RandomBytesAlwaysStop) {
+  util::Prng prng(GetParam());
+  Bytes code = prng.bytes(512);
+  VirtualMemory mem(code);
+  Cpu cpu(mem, kFrameBase);
+  const StopReason stop = cpu.run(20000);
+  EXPECT_NE(stop, StopReason::kRunning);
+  EXPECT_LE(cpu.steps(), 20000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CpuFuzz, ::testing::Range<std::uint64_t>(0, 32));
+
+TEST(CpuOps, MovzxMovsx) {
+  gen::Asm a;
+  a.mov_r32_imm32(gen::R32::ebx, 0x000000F0);
+  a.raw8(0x0F);
+  a.raw8(0xB6);
+  a.raw8(0xC3);  // movzx eax, bl
+  a.raw8(0x0F);
+  a.raw8(0xBE);
+  a.raw8(0xD3);  // movsx edx, bl
+  a.raw8(0xF4);
+  Bytes code = a.finish();
+  VirtualMemory mem(code);
+  Cpu cpu(mem, kFrameBase);
+  ASSERT_EQ(cpu.run(100), StopReason::kHalted);
+  EXPECT_EQ(cpu.reg(x86::RegFamily::kAx), 0x000000F0u);
+  EXPECT_EQ(cpu.reg(x86::RegFamily::kDx), 0xFFFFFFF0u);
+}
+
+TEST(CpuOps, SetccAndCmov) {
+  gen::Asm a;
+  a.mov_r32_imm32(gen::R32::eax, 5);
+  a.cmp_r32_imm8(gen::R32::eax, 5);
+  a.raw8(0x0F);
+  a.raw8(0x94);
+  a.raw8(0xC3);  // sete bl
+  a.mov_r32_imm32(gen::R32::edx, 99);
+  a.raw8(0x0F);
+  a.raw8(0x44);
+  a.raw8(0xCA);  // cmove ecx, edx (ZF still set from cmp)
+  a.raw8(0xF4);
+  Bytes code = a.finish();
+  VirtualMemory mem(code);
+  Cpu cpu(mem, kFrameBase);
+  ASSERT_EQ(cpu.run(100), StopReason::kHalted);
+  EXPECT_EQ(cpu.reg(x86::RegFamily::kBx) & 0xff, 1u);
+  EXPECT_EQ(cpu.reg(x86::RegFamily::kCx), 99u);
+}
+
+TEST(CpuOps, BitScanAndBswap) {
+  gen::Asm a;
+  a.mov_r32_imm32(gen::R32::ebx, 0x00010000);
+  a.raw8(0x0F);
+  a.raw8(0xBC);
+  a.raw8(0xC3);  // bsf eax, ebx
+  a.raw8(0x0F);
+  a.raw8(0xBD);
+  a.raw8(0xD3);  // bsr edx, ebx
+  a.mov_r32_imm32(gen::R32::esi, 0x11223344);
+  a.raw8(0x0F);
+  a.raw8(0xCE);  // bswap esi
+  a.raw8(0xF4);
+  Bytes code = a.finish();
+  VirtualMemory mem(code);
+  Cpu cpu(mem, kFrameBase);
+  ASSERT_EQ(cpu.run(100), StopReason::kHalted);
+  EXPECT_EQ(cpu.reg(x86::RegFamily::kAx), 16u);
+  EXPECT_EQ(cpu.reg(x86::RegFamily::kDx), 16u);
+  EXPECT_EQ(cpu.reg(x86::RegFamily::kSi), 0x44332211u);
+}
+
+TEST(CpuOps, MulDivRoundTrip) {
+  gen::Asm a;
+  a.mov_r32_imm32(gen::R32::eax, 1000000);
+  a.mov_r32_imm32(gen::R32::ebx, 5000);
+  a.raw8(0xF7);
+  a.raw8(0xE3);  // mul ebx -> edx:eax = 5e9
+  a.raw8(0xF7);
+  a.raw8(0xF3);  // div ebx -> eax = 1e6, edx = 0
+  a.raw8(0xF4);
+  Bytes code = a.finish();
+  VirtualMemory mem(code);
+  Cpu cpu(mem, kFrameBase);
+  ASSERT_EQ(cpu.run(100), StopReason::kHalted);
+  EXPECT_EQ(cpu.reg(x86::RegFamily::kAx), 1000000u);
+  EXPECT_EQ(cpu.reg(x86::RegFamily::kDx), 0u);
+}
+
+TEST(CpuOps, XlatTranslatesThroughTable) {
+  gen::Asm a;
+  a.mov_r32_imm32(gen::R32::ebx, kFrameBase + 0x40);
+  a.mov_r32_imm32(gen::R32::eax, 2);
+  a.raw8(0xD7);  // xlat: al = [ebx + al]
+  a.raw8(0xF4);
+  Bytes code = a.finish();
+  code.resize(0x50, 0);
+  code[0x42] = 0x7E;
+  VirtualMemory mem(code);
+  Cpu cpu(mem, kFrameBase);
+  ASSERT_EQ(cpu.run(100), StopReason::kHalted);
+  EXPECT_EQ(cpu.reg(x86::RegFamily::kAx) & 0xff, 0x7Eu);
+}
+
+}  // namespace
+}  // namespace senids::emu

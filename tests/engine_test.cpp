@@ -1,0 +1,269 @@
+// Integration tests: the full Figure-3 pipeline over synthetic captures.
+#include <gtest/gtest.h>
+
+#include "core/senids.hpp"
+#include "gen/benign.hpp"
+#include "gen/codered.hpp"
+#include "gen/poly.hpp"
+#include "gen/shellcode.hpp"
+#include "gen/traffic.hpp"
+
+namespace senids::core {
+namespace {
+
+using net::Endpoint;
+using net::Ipv4Addr;
+using semantic::ThreatClass;
+
+const Ipv4Addr kHoneypot = Ipv4Addr::from_octets(10, 0, 0, 7);
+const Ipv4Addr kServer = Ipv4Addr::from_octets(10, 0, 0, 20);
+const Endpoint kAttacker{Ipv4Addr::from_octets(192, 0, 2, 66), 31337};
+const Endpoint kClient{Ipv4Addr::from_octets(198, 51, 100, 10), 45000};
+
+NidsEngine make_engine(std::size_t threads = 1) {
+  NidsOptions options;
+  options.threads = threads;
+  NidsEngine nids(options);
+  nids.classifier().honeypots().add_decoy(kHoneypot);
+  nids.classifier().dark_space().add_unused_prefix(
+      classify::Prefix{Ipv4Addr::from_octets(10, 0, 200, 0), 24});
+  return nids;
+}
+
+TEST(Engine, HoneypotPathDetectsExploit) {
+  gen::TraceBuilder tb(11);
+  auto exploit = gen::make_shell_spawn_corpus()[0];
+  tb.add_tcp_flow(kAttacker, Endpoint{kHoneypot, 80}, exploit.code);
+  auto nids = make_engine();
+  Report report = nids.process_capture(tb.capture());
+  EXPECT_TRUE(report.detected(ThreatClass::kShellSpawn));
+  ASSERT_FALSE(report.alerts.empty());
+  EXPECT_EQ(report.alerts[0].src, kAttacker.ip);
+  EXPECT_EQ(report.alerts[0].dst, kHoneypot);
+}
+
+TEST(Engine, CleanTrafficNoAlerts) {
+  gen::TraceBuilder tb(12);
+  for (int i = 0; i < 30; ++i) {
+    tb.add_benign(kClient, kServer, gen::make_benign_payload(tb.prng()));
+  }
+  auto nids = make_engine();
+  Report report = nids.process_capture(tb.capture());
+  EXPECT_TRUE(report.alerts.empty());
+  EXPECT_EQ(report.stats.suspicious_packets, 0u);
+  EXPECT_GT(report.stats.packets, 30u);
+}
+
+TEST(Engine, UntaintedExploitIsMissedByDesign) {
+  // Classification prunes: an exploit aimed at a production host from a
+  // never-suspicious source is not analyzed (the efficiency/coverage
+  // trade the paper makes).
+  gen::TraceBuilder tb(13);
+  auto exploit = gen::make_shell_spawn_corpus()[1];
+  tb.add_tcp_flow(kAttacker, Endpoint{kServer, 80}, exploit.code);
+  auto nids = make_engine();
+  Report report = nids.process_capture(tb.capture());
+  EXPECT_TRUE(report.alerts.empty());
+}
+
+TEST(Engine, ScanThenExploitCaughtByDarkSpace) {
+  gen::TraceBuilder tb(14);
+  // Scanner probes dark space past the threshold, then attacks a real
+  // server: the dark-space scheme must have tainted it by then.
+  tb.add_syn_scan(kAttacker, Ipv4Addr::from_octets(10, 0, 200, 1), 80, 8);
+  auto exploit = gen::make_shell_spawn_corpus()[2];
+  tb.add_tcp_flow(kAttacker, Endpoint{kServer, 80},
+                  gen::wrap_in_overflow(exploit.code, tb.prng()));
+  auto nids = make_engine();
+  Report report = nids.process_capture(tb.capture());
+  EXPECT_TRUE(report.detected(ThreatClass::kShellSpawn));
+}
+
+TEST(Engine, PolymorphicExploitDetected) {
+  gen::TraceBuilder tb(15);
+  auto payload = gen::make_shell_spawn_corpus()[1].code;
+  auto poly = gen::admmutate_encode(payload, tb.prng());
+  tb.add_tcp_flow(kAttacker, Endpoint{kHoneypot, 80}, poly.bytes);
+  auto nids = make_engine();
+  Report report = nids.process_capture(tb.capture());
+  EXPECT_TRUE(report.detected(ThreatClass::kDecryptionLoop));
+}
+
+TEST(Engine, CodeRedDetectedViaUnicodeFrame) {
+  gen::TraceBuilder tb(16);
+  tb.add_tcp_flow(kAttacker, Endpoint{kHoneypot, 80}, gen::make_code_red_ii_request());
+  auto nids = make_engine();
+  Report report = nids.process_capture(tb.capture());
+  ASSERT_TRUE(report.detected(ThreatClass::kCodeRedII));
+  // The alert must come from the unicode-decoded frame.
+  bool unicode_frame = false;
+  for (const Alert& a : report.alerts) {
+    if (a.threat == ThreatClass::kCodeRedII &&
+        a.frame_reason == extract::FrameReason::kUnicodeDecoded) {
+      unicode_frame = true;
+    }
+  }
+  EXPECT_TRUE(unicode_frame);
+}
+
+TEST(Engine, MultiSegmentPayloadReassembled) {
+  // Exploit split across small TCP segments: only the reassembled stream
+  // contains the whole decoder.
+  gen::TraceBuilder tb(17);
+  auto payload = gen::make_iis_asp_overflow_payload();
+  tb.add_tcp_flow(kAttacker, Endpoint{kHoneypot, 80}, payload, /*mss=*/16);
+  auto nids = make_engine();
+  Report report = nids.process_capture(tb.capture());
+  EXPECT_TRUE(report.detected(ThreatClass::kDecryptionLoop));
+}
+
+TEST(Engine, AnalyzeEverythingModeSeesUntargetedExploit) {
+  NidsOptions options;
+  options.classifier.analyze_everything = true;
+  NidsEngine nids(options);
+  gen::TraceBuilder tb(18);
+  auto exploit = gen::make_shell_spawn_corpus()[5];
+  tb.add_tcp_flow(kAttacker, Endpoint{kServer, 80},
+                  gen::wrap_in_overflow(exploit.code, tb.prng()));
+  Report report = nids.process_capture(tb.capture());
+  EXPECT_TRUE(report.detected(ThreatClass::kShellSpawn));
+}
+
+TEST(Engine, PortBindExploitRaisesBothThreats) {
+  gen::TraceBuilder tb(19);
+  auto corpus = gen::make_shell_spawn_corpus();
+  const auto& binder = corpus[8];
+  ASSERT_TRUE(binder.binds_port);
+  tb.add_tcp_flow(kAttacker, Endpoint{kHoneypot, 80}, binder.code);
+  auto nids = make_engine();
+  Report report = nids.process_capture(tb.capture());
+  EXPECT_TRUE(report.detected(ThreatClass::kShellSpawn));
+  EXPECT_TRUE(report.detected(ThreatClass::kPortBindShell));
+}
+
+TEST(Engine, ParallelMatchesSerialResults) {
+  auto build = [] {
+    gen::TraceBuilder tb(20);
+    auto corpus = gen::make_shell_spawn_corpus();
+    for (std::size_t i = 0; i < corpus.size(); ++i) {
+      Endpoint atk{Ipv4Addr::from_octets(192, 0, 2, static_cast<std::uint8_t>(10 + i)),
+                   31337};
+      tb.add_tcp_flow(atk, Endpoint{kHoneypot, 80}, corpus[i].code);
+    }
+    for (int i = 0; i < 10; ++i) {
+      tb.add_benign(kClient, kServer, gen::make_benign_payload(tb.prng()));
+    }
+    return tb.take();
+  };
+  auto capture = build();
+
+  auto serial_engine = make_engine(1);
+  auto parallel_engine = make_engine(4);
+  Report serial = serial_engine.process_capture(capture);
+  Report parallel = parallel_engine.process_capture(capture);
+
+  ASSERT_EQ(serial.alerts.size(), parallel.alerts.size());
+  for (std::size_t i = 0; i < serial.alerts.size(); ++i) {
+    EXPECT_EQ(serial.alerts[i].template_name, parallel.alerts[i].template_name);
+    EXPECT_EQ(serial.alerts[i].src.value, parallel.alerts[i].src.value);
+  }
+  EXPECT_EQ(serial.stats.units_analyzed, parallel.stats.units_analyzed);
+  EXPECT_EQ(serial.stats.frames_extracted, parallel.stats.frames_extracted);
+}
+
+TEST(Engine, StatsAreCoherent) {
+  gen::TraceBuilder tb(21);
+  tb.add_tcp_flow(kAttacker, Endpoint{kHoneypot, 80},
+                  gen::make_shell_spawn_corpus()[0].code);
+  auto nids = make_engine();
+  Report report = nids.process_capture(tb.capture());
+  EXPECT_EQ(report.stats.packets, tb.capture().records.size());
+  EXPECT_GE(report.stats.suspicious_packets, 1u);
+  EXPECT_GE(report.stats.units_analyzed, 1u);
+  EXPECT_GE(report.stats.frames_extracted, 1u);
+  EXPECT_GT(report.stats.bytes_analyzed, 0u);
+}
+
+TEST(Engine, AlertStringRendersFields) {
+  Alert a;
+  a.src = Ipv4Addr::from_octets(1, 2, 3, 4);
+  a.dst = Ipv4Addr::from_octets(5, 6, 7, 8);
+  a.src_port = 10;
+  a.dst_port = 80;
+  a.threat = ThreatClass::kShellSpawn;
+  a.template_name = "t";
+  std::string s = a.str();
+  EXPECT_NE(s.find("1.2.3.4:10"), std::string::npos);
+  EXPECT_NE(s.find("5.6.7.8:80"), std::string::npos);
+  EXPECT_NE(s.find("shell-spawn"), std::string::npos);
+}
+
+TEST(Engine, CustomTemplateLibrary) {
+  // An engine built with only the Code Red template ignores shell spawns.
+  NidsOptions options;
+  options.classifier.analyze_everything = true;
+  NidsEngine nids(options, {semantic::tmpl_code_red_ii()});
+  gen::TraceBuilder tb(22);
+  tb.add_tcp_flow(kAttacker, Endpoint{kServer, 80},
+                  gen::make_shell_spawn_corpus()[0].code);
+  tb.add_tcp_flow(kAttacker, Endpoint{kServer, 80}, gen::make_code_red_ii_request());
+  Report report = nids.process_capture(tb.capture());
+  EXPECT_FALSE(report.detected(ThreatClass::kShellSpawn));
+  EXPECT_TRUE(report.detected(ThreatClass::kCodeRedII));
+}
+
+TEST(Engine, UdpPayloadAnalyzedDirectly) {
+  NidsOptions options;
+  options.classifier.analyze_everything = true;
+  NidsEngine nids(options);
+  gen::TraceBuilder tb(23);
+  tb.add_udp(kAttacker, Endpoint{kServer, 69},
+             gen::wrap_in_overflow(gen::make_shell_spawn_corpus()[1].code, tb.prng()));
+  Report report = nids.process_capture(tb.capture());
+  EXPECT_TRUE(report.detected(ThreatClass::kShellSpawn));
+}
+
+TEST(Engine, EmptyCapture) {
+  auto nids = make_engine();
+  pcap::Capture empty;
+  Report report = nids.process_capture(empty);
+  EXPECT_TRUE(report.alerts.empty());
+  EXPECT_EQ(report.stats.packets, 0u);
+}
+
+}  // namespace
+}  // namespace senids::core
+
+namespace senids::core {
+namespace {
+
+TEST(Engine, ReportStrRendersEverything) {
+  gen::TraceBuilder tb(24);
+  tb.add_tcp_flow(kAttacker, Endpoint{kHoneypot, 80},
+                  gen::wrap_in_overflow(gen::make_shell_spawn_corpus()[0].code, tb.prng()));
+  auto nids = make_engine();
+  Report report = nids.process_capture(tb.capture());
+  const std::string text = report.str();
+  EXPECT_NE(text.find("packets"), std::string::npos);
+  EXPECT_NE(text.find("alerts"), std::string::npos);
+  EXPECT_NE(text.find("192.0.2.66"), std::string::npos);
+  EXPECT_NE(text.find("shell-spawn"), std::string::npos);
+  EXPECT_NE(text.find("offending sources"), std::string::npos);
+}
+
+TEST(Engine, AnalyzerWorkBudgetBoundsPathologicalFrames) {
+  // A frame of 200k one-byte instructions: without the budget this would
+  // lift ~8192 entries x thousands of instructions.
+  NidsOptions options;
+  options.classifier.analyze_everything = true;
+  options.analyzer.max_total_insns = 10000;
+  NidsEngine nids(options);
+  util::Bytes sled(200000, 0x90);
+  core::Alert meta;
+  NidsStats stats;
+  nids.analyze_payload(sled, meta, &stats);
+  EXPECT_LE(stats.analyzer.instructions_lifted, 10000u + 4096u);
+}
+
+}  // namespace
+}  // namespace senids::core

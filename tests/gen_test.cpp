@@ -1,0 +1,464 @@
+#include <gtest/gtest.h>
+
+#include "gen/benign.hpp"
+#include "gen/codered.hpp"
+#include "gen/emitter.hpp"
+#include "gen/poly.hpp"
+#include "gen/shellcode.hpp"
+#include "gen/traffic.hpp"
+#include "net/packet.hpp"
+#include "x86/decoder.hpp"
+#include "x86/format.hpp"
+
+namespace senids::gen {
+namespace {
+
+using util::Bytes;
+
+std::string disasm_one(const Bytes& code) {
+  auto insn = x86::decode(code, 0);
+  return insn.valid() ? x86::format(insn) : "(bad)";
+}
+
+// ---------------------------------------------------------------- emitter
+
+TEST(Emitter, EncodesBasicForms) {
+  {
+    Asm a;
+    a.mov_r32_imm32(R32::ebx, 0x31);
+    EXPECT_EQ(disasm_one(a.finish()), "mov ebx, 0x31");
+  }
+  {
+    Asm a;
+    a.xor_mem8_imm8(R32::eax, 0x95);
+    EXPECT_EQ(disasm_one(a.finish()), "xor byte ptr [eax], 0x95");
+  }
+  {
+    Asm a;
+    a.xor_mem8_r8(R32::eax, R8::bl);
+    EXPECT_EQ(disasm_one(a.finish()), "xor byte ptr [eax], bl");
+  }
+  {
+    Asm a;
+    a.lea(R32::ecx, R32::ebx, 8);
+    EXPECT_EQ(disasm_one(a.finish()), "lea ecx, dword ptr [ebx + 0x8]");
+  }
+  {
+    Asm a;
+    a.push_imm32(0x6e69622f);
+    EXPECT_EQ(disasm_one(a.finish()), "push 0x6e69622f");
+  }
+  {
+    Asm a;
+    a.int_imm(0x80);
+    EXPECT_EQ(disasm_one(a.finish()), "int 0x80");
+  }
+  {
+    Asm a;
+    a.mov_mem_imm32(R32::esp, 4, 0x11223344);
+    EXPECT_EQ(disasm_one(a.finish()), "mov dword ptr [esp + 0x4], 0x11223344");
+  }
+}
+
+/// Property sweep: every ALU family x register pair the engines emit must
+/// decode back to the intended mnemonic and operands.
+class EmitterAluRoundTrip
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(EmitterAluRoundTrip, DecodesBack) {
+  const auto [family, dst, src] = GetParam();
+  static constexpr const char* kNames[] = {"add", "or",  "adc", "sbb",
+                                           "and", "sub", "xor", "cmp"};
+  Asm a;
+  a.alu_r32_r32(static_cast<std::uint8_t>(family), static_cast<R32>(dst),
+                static_cast<R32>(src));
+  Bytes code = a.finish();
+  auto insn = x86::decode(code, 0);
+  ASSERT_TRUE(insn.valid());
+  EXPECT_EQ(x86::mnemonic_name(insn.mnemonic), kNames[family]);
+  EXPECT_EQ(insn.ops[0].reg, x86::reg32(static_cast<unsigned>(dst)));
+  EXPECT_EQ(insn.ops[1].reg, x86::reg32(static_cast<unsigned>(src)));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllForms, EmitterAluRoundTrip,
+                         ::testing::Combine(::testing::Range(0, 8),
+                                            ::testing::Values(0, 3, 6),
+                                            ::testing::Values(1, 2, 7)));
+
+TEST(Emitter, LabelsResolveForwardAndBackward) {
+  Asm a;
+  auto back = a.new_label();
+  auto fwd = a.new_label();
+  a.bind(back);
+  a.nop();
+  a.jmp_short(fwd);
+  a.loop_(back);
+  a.bind(fwd);
+  a.ret();
+  Bytes code = a.finish();
+  // jmp at 1 targets ret; loop at 3 targets 0.
+  auto jmp = x86::decode(code, 1);
+  ASSERT_TRUE(jmp.valid());
+  auto loop = x86::decode(code, 3);
+  ASSERT_TRUE(loop.valid());
+  EXPECT_EQ(*loop.branch_target(), 0u);
+  EXPECT_EQ(*jmp.branch_target(), 5u);
+}
+
+TEST(Emitter, Rel8OutOfRangeThrows) {
+  Asm a;
+  auto far = a.new_label();
+  a.jmp_short(far);
+  for (int i = 0; i < 200; ++i) a.nop();
+  a.bind(far);
+  EXPECT_THROW(a.finish(), EmitError);
+}
+
+TEST(Emitter, UnboundLabelThrows) {
+  Asm a;
+  auto l = a.new_label();
+  a.jmp(l);
+  EXPECT_THROW(a.finish(), EmitError);
+}
+
+TEST(Emitter, DoubleBindThrows) {
+  Asm a;
+  auto l = a.new_label();
+  a.bind(l);
+  EXPECT_THROW(a.bind(l), EmitError);
+}
+
+TEST(Emitter, Low8RejectsHighFamilies) {
+  EXPECT_EQ(low8(R32::eax), R8::al);
+  EXPECT_EQ(low8(R32::ebx), R8::bl);
+  EXPECT_THROW(low8(R32::esi), EmitError);
+}
+
+TEST(Emitter, WholeShellcodeDecodesLinearly) {
+  // Every instruction of every corpus sample must decode (the emitter and
+  // the decoder agree end to end until the embedded data region).
+  for (const auto& sample : make_shell_spawn_corpus()) {
+    auto insns = x86::linear_sweep(sample.code);
+    EXPECT_GE(insns.size(), 8u) << sample.name;
+  }
+}
+
+// -------------------------------------------------------------- shellcode
+
+TEST(Shellcode, CorpusShape) {
+  auto corpus = make_shell_spawn_corpus();
+  ASSERT_EQ(corpus.size(), 10u);
+  int binders = 0;
+  for (const auto& s : corpus) {
+    EXPECT_FALSE(s.code.empty()) << s.name;
+    if (s.binds_port) ++binders;
+  }
+  EXPECT_EQ(binders, 2);
+}
+
+TEST(Shellcode, NamesAreUnique) {
+  auto corpus = make_shell_spawn_corpus();
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    for (std::size_t j = i + 1; j < corpus.size(); ++j) {
+      EXPECT_NE(corpus[i].name, corpus[j].name);
+    }
+  }
+}
+
+TEST(Shellcode, AverageSizeMatchesPaperScale) {
+  // "The average binary code size is less than 10Kbytes for these
+  // exploits" — ours are far smaller, well under the bound.
+  auto corpus = make_shell_spawn_corpus();
+  std::size_t total = 0;
+  for (const auto& s : corpus) total += s.code.size();
+  EXPECT_LT(total / corpus.size(), 10u * 1024u);
+}
+
+TEST(Shellcode, IisAspDecoderRestoresPayload) {
+  // Decode property: xoring the embedded encoded region with the key must
+  // reproduce the plain push-builder payload.
+  const std::uint8_t key = 0x95;
+  Bytes plain = make_shell_spawn_corpus()[1].code;
+  Bytes wrapped = make_iis_asp_overflow_payload(key);
+  ASSERT_GE(wrapped.size(), plain.size());
+  Bytes tail(wrapped.end() - static_cast<std::ptrdiff_t>(plain.size()), wrapped.end());
+  for (auto& b : tail) b = static_cast<std::uint8_t>(b ^ key);
+  EXPECT_EQ(tail, plain);
+}
+
+TEST(Shellcode, NetskySampleSizeAndDeterminism) {
+  util::Prng p1(42), p2(42);
+  auto s1 = make_netsky_like_sample(p1);
+  auto s2 = make_netsky_like_sample(p2);
+  EXPECT_EQ(s1.size(), 22u * 1024u);
+  EXPECT_EQ(s1, s2);
+}
+
+// ------------------------------------------------------------- poly engine
+
+TEST(Poly, EncodedPayloadIsXorOfPlain) {
+  util::Prng prng(5);
+  auto payload = util::to_bytes("EXAMPLEPAYLOAD");
+  PolyResult r = admmutate_encode(payload, prng);
+  ASSERT_GE(r.bytes.size(), payload.size());
+  Bytes tail(r.bytes.end() - static_cast<std::ptrdiff_t>(payload.size()), r.bytes.end());
+  for (std::size_t i = 0; i < tail.size(); ++i) {
+    EXPECT_EQ(tail[i] ^ r.key, payload[i]);
+  }
+}
+
+TEST(Poly, SledWithinConfiguredBounds) {
+  PolyOptions opts;
+  opts.sled_min = 10;
+  opts.sled_max = 20;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    util::Prng prng(seed);
+    PolyResult r = admmutate_encode(util::as_bytes("x"), prng, opts);
+    EXPECT_GE(r.sled_len, 10u);
+    EXPECT_LE(r.sled_len, 20u);
+  }
+}
+
+TEST(Poly, SchemeProbabilityHonored) {
+  util::Prng prng(123);
+  PolyOptions all_xor;
+  all_xor.xor_scheme_prob = 1.0;
+  PolyOptions all_alt;
+  all_alt.xor_scheme_prob = 0.0;
+  EXPECT_EQ(admmutate_encode(util::as_bytes("p"), prng, all_xor).scheme,
+            DecoderScheme::kXor);
+  EXPECT_EQ(admmutate_encode(util::as_bytes("p"), prng, all_alt).scheme,
+            DecoderScheme::kAltOrAndNot);
+}
+
+TEST(Poly, SchemeSplitApproximatesPaper) {
+  util::Prng prng(9);
+  int xor_count = 0;
+  const int n = 500;
+  for (int i = 0; i < n; ++i) {
+    if (admmutate_encode(util::as_bytes("p"), prng).scheme == DecoderScheme::kXor) {
+      ++xor_count;
+    }
+  }
+  EXPECT_NEAR(xor_count / static_cast<double>(n), 0.68, 0.06);
+}
+
+TEST(Poly, InstancesAreSyntacticallyDiverse) {
+  auto payload = util::to_bytes("SAMEPAYLOAD");
+  util::Prng prng(77);
+  auto a = admmutate_encode(payload, prng);
+  auto b = admmutate_encode(payload, prng);
+  EXPECT_NE(a.bytes, b.bytes);
+}
+
+TEST(Poly, DeterministicForSeed) {
+  auto payload = util::to_bytes("SAMEPAYLOAD");
+  util::Prng p1(4), p2(4);
+  EXPECT_EQ(admmutate_encode(payload, p1).bytes, admmutate_encode(payload, p2).bytes);
+}
+
+TEST(Poly, KeyNeverZero) {
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    util::Prng prng(seed);
+    EXPECT_NE(admmutate_encode(util::as_bytes("p"), prng).key, 0);
+  }
+}
+
+TEST(Poly, SledBytesAreNopLike) {
+  util::Prng prng(8);
+  Bytes sled = make_nop_sled(prng, 64);
+  auto insns = x86::linear_sweep(sled);
+  EXPECT_EQ(insns.size(), 64u);  // every sled byte is a 1-byte instruction
+}
+
+TEST(Clet, StructureAndPadding) {
+  util::Prng prng(3);
+  auto payload = util::to_bytes("CLETPAYLOAD");
+  PolyResult r = clet_encode(payload, prng, /*spectrum_pad=*/100);
+  EXPECT_EQ(r.scheme, DecoderScheme::kXor);
+  // Padding bytes at the tail must be printable-ish text characters.
+  for (std::size_t i = r.bytes.size() - 100; i < r.bytes.size(); ++i) {
+    const std::uint8_t b = r.bytes[i];
+    EXPECT_TRUE(b == '\r' || b == '\n' || (b >= 0x20 && b < 0x7f)) << i;
+  }
+}
+
+// --------------------------------------------------------------- code red
+
+TEST(CodeRed, MatchesFigure5Format) {
+  auto req = make_code_red_ii_request();
+  std::string text = util::to_string(req);
+  EXPECT_EQ(text.rfind("GET /default.ida?X", 0), 0u);
+  EXPECT_NE(text.find("%u9090%u6858%ucbd3%u7801"), std::string::npos);
+  EXPECT_NE(text.find("HTTP/1.0"), std::string::npos);
+}
+
+TEST(CodeRed, FillerLengthConfigurable) {
+  CodeRedOptions opts;
+  opts.filler_len = 10;
+  auto req = make_code_red_ii_request(opts);
+  std::string text = util::to_string(req);
+  EXPECT_NE(text.find("?XXXXXXXXXX%"), std::string::npos);
+}
+
+TEST(CodeRed, VariedInstancesStillWellFormed) {
+  util::Prng prng(6);
+  CodeRedOptions opts;
+  opts.vary_padding = true;
+  for (int i = 0; i < 5; ++i) {
+    auto req = make_code_red_ii_request(prng, opts);
+    std::string text = util::to_string(req);
+    EXPECT_EQ(text.rfind("GET /default.ida?", 0), 0u);
+  }
+}
+
+// ----------------------------------------------------------------- benign
+
+TEST(Benign, CorpusReachesRequestedVolume) {
+  util::Prng prng(2);
+  auto corpus = make_benign_corpus(prng, 100000);
+  std::size_t total = 0;
+  for (const auto& p : corpus) total += p.data.size();
+  EXPECT_GE(total, 100000u);
+}
+
+TEST(Benign, KindsAreDiverse) {
+  util::Prng prng(20);
+  bool saw_udp = false, saw_http = false, saw_smtp = false;
+  for (int i = 0; i < 200; ++i) {
+    auto p = make_benign_payload(prng);
+    if (p.udp) saw_udp = true;
+    if (p.dst_port == 80) saw_http = true;
+    if (p.dst_port == 25) saw_smtp = true;
+    EXPECT_FALSE(p.data.empty());
+  }
+  EXPECT_TRUE(saw_udp);
+  EXPECT_TRUE(saw_http);
+  EXPECT_TRUE(saw_smtp);
+}
+
+// ---------------------------------------------------------------- traffic
+
+TEST(Traffic, TcpFlowSegmentsAndTimestamps) {
+  TraceBuilder tb(1);
+  net::Endpoint src{net::Ipv4Addr::from_octets(1, 1, 1, 1), 1000};
+  net::Endpoint dst{net::Ipv4Addr::from_octets(2, 2, 2, 2), 80};
+  Bytes payload(3000, 'A');
+  tb.add_tcp_flow(src, dst, payload, /*mss=*/1400);
+  const auto& cap = tb.capture();
+  // SYN + 3 data segments (1400+1400+200) + FIN.
+  ASSERT_EQ(cap.records.size(), 5u);
+  // Timestamps strictly increase.
+  for (std::size_t i = 1; i < cap.records.size(); ++i) {
+    const auto& a = cap.records[i - 1];
+    const auto& b = cap.records[i];
+    EXPECT_TRUE(b.ts_sec > a.ts_sec || (b.ts_sec == a.ts_sec && b.ts_usec > a.ts_usec));
+  }
+  // Sequence numbers are contiguous across data segments.
+  auto p1 = net::parse_frame(cap.records[1].data);
+  auto p2 = net::parse_frame(cap.records[2].data);
+  ASSERT_TRUE(p1 && p2);
+  EXPECT_EQ(p1->tcp.seq + p1->payload.size(), p2->tcp.seq);
+}
+
+TEST(Traffic, SynScanEmitsSequentialTargets) {
+  TraceBuilder tb(1);
+  net::Endpoint src{net::Ipv4Addr::from_octets(9, 9, 9, 9), 2000};
+  tb.add_syn_scan(src, net::Ipv4Addr::from_octets(10, 0, 200, 1), 80, 5);
+  const auto& cap = tb.capture();
+  ASSERT_EQ(cap.records.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    auto pkt = net::parse_frame(cap.records[i].data);
+    ASSERT_TRUE(pkt.has_value());
+    EXPECT_EQ(pkt->tcp.flags, net::kTcpSyn);
+    EXPECT_EQ(pkt->ip.dst.value,
+              net::Ipv4Addr::from_octets(10, 0, 200, 1).value + i);
+  }
+}
+
+TEST(Traffic, BenignPayloadUsesTransport) {
+  TraceBuilder tb(4);
+  net::Endpoint src{net::Ipv4Addr::from_octets(1, 2, 3, 4), 5555};
+  BenignPayload dns;
+  dns.udp = true;
+  dns.dst_port = 53;
+  dns.data = util::to_bytes("q");
+  tb.add_benign(src, net::Ipv4Addr::from_octets(8, 8, 8, 8), dns);
+  ASSERT_EQ(tb.capture().records.size(), 1u);
+  auto pkt = net::parse_frame(tb.capture().records[0].data);
+  ASSERT_TRUE(pkt.has_value());
+  EXPECT_EQ(pkt->transport, net::Transport::kUdp);
+}
+
+TEST(Traffic, CaptureSerializesThroughPcap) {
+  TraceBuilder tb(7);
+  net::Endpoint src{net::Ipv4Addr::from_octets(1, 1, 1, 1), 1};
+  net::Endpoint dst{net::Ipv4Addr::from_octets(2, 2, 2, 2), 2};
+  tb.add_tcp_flow(src, dst, util::as_bytes("hello"));
+  auto parsed = pcap::parse(pcap::serialize(tb.capture()));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->records.size(), tb.capture().records.size());
+}
+
+}  // namespace
+}  // namespace senids::gen
+
+namespace senids::gen {
+namespace {
+
+TEST(Poly, FnstenvGetPcInstancesDetectableAndRunnable) {
+  PolyOptions opts;
+  opts.fnstenv_getpc_prob = 1.0;  // force the FPU GetPC path
+  auto payload = make_shell_spawn_corpus()[1].code;
+  for (std::uint64_t seed = 300; seed < 310; ++seed) {
+    util::Prng prng(seed);
+    PolyResult r = admmutate_encode(payload, prng, opts);
+    EXPECT_EQ(r.getpc, GetPcMethod::kFnstenv);
+    // Encoded payload still sits at the tail, xor of the plain bytes.
+    Bytes tail(r.bytes.end() - static_cast<std::ptrdiff_t>(payload.size()),
+               r.bytes.end());
+    for (std::size_t i = 0; i < tail.size(); ++i) {
+      ASSERT_EQ(tail[i] ^ r.key, payload[i]) << "seed " << seed;
+    }
+  }
+}
+
+TEST(Poly, GetPcMethodSplitFollowsProbability) {
+  util::Prng prng(55);
+  PolyOptions opts;
+  int fnstenv = 0;
+  const int n = 200;
+  for (int i = 0; i < n; ++i) {
+    if (admmutate_encode(util::as_bytes("p"), prng, opts).getpc ==
+        GetPcMethod::kFnstenv) {
+      ++fnstenv;
+    }
+  }
+  EXPECT_NEAR(fnstenv / static_cast<double>(n), 0.25, 0.08);
+}
+
+}  // namespace
+}  // namespace senids::gen
+
+namespace senids::gen {
+namespace {
+
+TEST(Traffic, HttpExchangeEmitsBothDirections) {
+  TraceBuilder tb(8);
+  net::Endpoint client{net::Ipv4Addr::from_octets(1, 1, 1, 1), 40000};
+  net::Endpoint server{net::Ipv4Addr::from_octets(2, 2, 2, 2), 80};
+  tb.add_http_exchange(client, server, util::as_bytes("GET / HTTP/1.1\r\n\r\n"),
+                       util::as_bytes("HTTP/1.1 200 OK\r\n\r\nhi"));
+  bool saw_forward = false, saw_reverse = false;
+  for (const auto& rec : tb.capture().records) {
+    auto pkt = net::parse_frame(rec.data);
+    ASSERT_TRUE(pkt.has_value());
+    if (pkt->ip.src == client.ip) saw_forward = true;
+    if (pkt->ip.src == server.ip) saw_reverse = true;
+  }
+  EXPECT_TRUE(saw_forward);
+  EXPECT_TRUE(saw_reverse);
+}
+
+}  // namespace
+}  // namespace senids::gen

@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include "net/flow.hpp"
+#include "net/forge.hpp"
+#include "net/packet.hpp"
+
+namespace senids::net {
+namespace {
+
+TEST(Ipv4Addr, ParseValid) {
+  auto a = Ipv4Addr::parse("192.168.1.200");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->value, 0xC0A801C8u);
+  EXPECT_EQ(a->str(), "192.168.1.200");
+}
+
+TEST(Ipv4Addr, ParseEdgeValues) {
+  EXPECT_EQ(Ipv4Addr::parse("0.0.0.0")->value, 0u);
+  EXPECT_EQ(Ipv4Addr::parse("255.255.255.255")->value, 0xFFFFFFFFu);
+}
+
+TEST(Ipv4Addr, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ipv4Addr::parse("").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.4.5").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("256.1.1.1").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.x").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("1..3.4").has_value());
+}
+
+TEST(Ipv4Addr, FromOctetsMatchesParse) {
+  EXPECT_EQ(Ipv4Addr::from_octets(10, 0, 0, 7), Ipv4Addr::parse("10.0.0.7").value());
+}
+
+TEST(MacAddr, FromU64AndFormat) {
+  MacAddr m = MacAddr::from_u64(0x0123456789ABULL);
+  EXPECT_EQ(m.str(), "01:23:45:67:89:ab");
+}
+
+TEST(Checksum, KnownVector) {
+  // RFC 1071 example: 00 01 f2 03 f4 f5 f6 f7 -> checksum 0x220d.
+  util::Bytes data{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(internet_checksum(data), 0x220d);
+}
+
+TEST(Checksum, OddLengthHandled) {
+  util::Bytes data{0x01, 0x02, 0x03};
+  // 0x0102 + 0x0300 = 0x0402 -> ~ = 0xfbfd
+  EXPECT_EQ(internet_checksum(data), 0xfbfd);
+}
+
+TEST(Ipv4Header, EncodeHasValidChecksum) {
+  Ipv4Header h;
+  h.src = Ipv4Addr::from_octets(1, 2, 3, 4);
+  h.dst = Ipv4Addr::from_octets(5, 6, 7, 8);
+  util::Bytes out;
+  h.encode(out, 100);
+  // Verifying the checksum over the header must yield zero.
+  EXPECT_EQ(internet_checksum(util::ByteView(out).first(Ipv4Header::kSize)), 0);
+}
+
+TEST(ForgeTcp, RoundTripsThroughParser) {
+  Endpoint src{Ipv4Addr::from_octets(10, 1, 1, 1), 1234};
+  Endpoint dst{Ipv4Addr::from_octets(10, 2, 2, 2), 80};
+  util::Bytes payload = util::to_bytes("GET / HTTP/1.0\r\n\r\n");
+  util::Bytes frame = forge_tcp(src, dst, 1000, payload);
+
+  auto pkt = parse_frame(frame, 55, 66);
+  ASSERT_TRUE(pkt.has_value());
+  EXPECT_EQ(pkt->ts_sec, 55u);
+  EXPECT_EQ(pkt->transport, Transport::kTcp);
+  EXPECT_EQ(pkt->ip.src, src.ip);
+  EXPECT_EQ(pkt->ip.dst, dst.ip);
+  EXPECT_EQ(pkt->tcp.src_port, 1234);
+  EXPECT_EQ(pkt->tcp.dst_port, 80);
+  EXPECT_EQ(pkt->tcp.seq, 1000u);
+  EXPECT_EQ(pkt->tcp.flags, kTcpPsh | kTcpAck);
+  EXPECT_EQ(util::to_string(pkt->payload), "GET / HTTP/1.0\r\n\r\n");
+}
+
+TEST(ForgeTcp, TcpChecksumVerifies) {
+  Endpoint src{Ipv4Addr::from_octets(10, 1, 1, 1), 1};
+  Endpoint dst{Ipv4Addr::from_octets(10, 2, 2, 2), 2};
+  util::Bytes payload = util::to_bytes("xyz");
+  util::Bytes frame = forge_tcp(src, dst, 7, payload);
+  // Recompute over the TCP segment with the pseudo-header; must be 0.
+  util::ByteView segment = util::ByteView(frame).subspan(EthernetHeader::kSize +
+                                                         Ipv4Header::kSize);
+  std::uint32_t pseudo = 0;
+  pseudo += (src.ip.value >> 16) + (src.ip.value & 0xffff);
+  pseudo += (dst.ip.value >> 16) + (dst.ip.value & 0xffff);
+  pseudo += kIpProtoTcp;
+  pseudo += static_cast<std::uint32_t>(segment.size());
+  EXPECT_EQ(internet_checksum(segment, pseudo), 0);
+}
+
+TEST(ForgeSyn, HasSynFlagAndNoPayload) {
+  Endpoint src{Ipv4Addr::from_octets(1, 1, 1, 1), 9999};
+  Endpoint dst{Ipv4Addr::from_octets(2, 2, 2, 2), 80};
+  auto pkt = parse_frame(forge_syn(src, dst, 42));
+  ASSERT_TRUE(pkt.has_value());
+  EXPECT_EQ(pkt->tcp.flags, kTcpSyn);
+  EXPECT_EQ(pkt->tcp.seq, 42u);
+  EXPECT_TRUE(pkt->payload.empty());
+}
+
+TEST(ForgeUdp, RoundTripsThroughParser) {
+  Endpoint src{Ipv4Addr::from_octets(10, 1, 1, 1), 5353};
+  Endpoint dst{Ipv4Addr::from_octets(10, 2, 2, 2), 53};
+  util::Bytes payload = util::to_bytes("dns-ish");
+  auto pkt = parse_frame(forge_udp(src, dst, payload));
+  ASSERT_TRUE(pkt.has_value());
+  EXPECT_EQ(pkt->transport, Transport::kUdp);
+  EXPECT_EQ(pkt->udp.src_port, 5353);
+  EXPECT_EQ(pkt->udp.dst_port, 53);
+  EXPECT_EQ(util::to_string(pkt->payload), "dns-ish");
+}
+
+TEST(ParseFrame, RejectsNonIpv4Ethertype) {
+  util::Bytes frame(EthernetHeader::kSize, 0);
+  frame[12] = 0x86;  // IPv6 ethertype
+  frame[13] = 0xDD;
+  EXPECT_FALSE(parse_frame(frame).has_value());
+}
+
+TEST(ParseFrame, RejectsTruncatedIpHeader) {
+  Endpoint src{Ipv4Addr::from_octets(1, 1, 1, 1), 1};
+  Endpoint dst{Ipv4Addr::from_octets(2, 2, 2, 2), 2};
+  util::Bytes frame = forge_tcp(src, dst, 0, util::to_bytes("data"));
+  frame.resize(EthernetHeader::kSize + 10);
+  EXPECT_FALSE(parse_frame(frame).has_value());
+}
+
+TEST(ParseFrame, OtherIpProtocolSurfacesPayload) {
+  // Hand-forge an ICMP-ish packet (protocol 1).
+  util::Bytes frame;
+  EthernetHeader eth;
+  eth.encode(frame);
+  Ipv4Header ip;
+  ip.protocol = 1;
+  ip.src = Ipv4Addr::from_octets(1, 1, 1, 1);
+  ip.dst = Ipv4Addr::from_octets(2, 2, 2, 2);
+  ip.encode(frame, 4);
+  frame.insert(frame.end(), {0x08, 0x00, 0x00, 0x00});
+  auto pkt = parse_frame(frame);
+  ASSERT_TRUE(pkt.has_value());
+  EXPECT_EQ(pkt->transport, Transport::kOtherIp);
+  EXPECT_EQ(pkt->payload.size(), 4u);
+  EXPECT_EQ(pkt->src_port(), 0);
+}
+
+TEST(ParseFrame, TotalLengthBoundsPayload) {
+  // A frame with trailing Ethernet padding: payload must stop at the IP
+  // total_length, not at the captured frame end.
+  Endpoint src{Ipv4Addr::from_octets(1, 1, 1, 1), 1};
+  Endpoint dst{Ipv4Addr::from_octets(2, 2, 2, 2), 2};
+  util::Bytes frame = forge_udp(src, dst, util::to_bytes("ab"));
+  frame.insert(frame.end(), 10, 0x00);  // padding
+  auto pkt = parse_frame(frame);
+  ASSERT_TRUE(pkt.has_value());
+  EXPECT_EQ(pkt->payload.size(), 2u);
+}
+
+TEST(FlowKey, EqualityAndHash) {
+  Endpoint src{Ipv4Addr::from_octets(1, 1, 1, 1), 10};
+  Endpoint dst{Ipv4Addr::from_octets(2, 2, 2, 2), 20};
+  auto p1 = parse_frame(forge_tcp(src, dst, 0, util::to_bytes("a")));
+  auto p2 = parse_frame(forge_tcp(src, dst, 5, util::to_bytes("b")));
+  auto p3 = parse_frame(forge_tcp(dst, src, 0, util::to_bytes("c")));
+  ASSERT_TRUE(p1 && p2 && p3);
+  EXPECT_EQ(FlowKey::of(*p1), FlowKey::of(*p2));
+  EXPECT_FALSE(FlowKey::of(*p1) == FlowKey::of(*p3));
+  FlowKeyHash h;
+  EXPECT_EQ(h(FlowKey::of(*p1)), h(FlowKey::of(*p2)));
+}
+
+TEST(FlowMap, GroupsByFlow) {
+  FlowMap<int> map;
+  Endpoint a{Ipv4Addr::from_octets(1, 1, 1, 1), 10};
+  Endpoint b{Ipv4Addr::from_octets(2, 2, 2, 2), 20};
+  auto p1 = parse_frame(forge_tcp(a, b, 0, util::to_bytes("x")));
+  auto p2 = parse_frame(forge_tcp(a, b, 1, util::to_bytes("y")));
+  map[FlowKey::of(*p1)] += 1;
+  map[FlowKey::of(*p2)] += 1;
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_EQ(map[FlowKey::of(*p1)], 2);
+}
+
+}  // namespace
+}  // namespace senids::net

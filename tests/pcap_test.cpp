@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "pcap/pcap.hpp"
+
+namespace senids::pcap {
+namespace {
+
+Capture sample_capture() {
+  Capture cap;
+  cap.add(100, 5, util::to_bytes("hello"));
+  cap.add(100, 900000, util::to_bytes("world!"));
+  cap.add(101, 1, util::Bytes{});
+  return cap;
+}
+
+TEST(Pcap, SerializeParseRoundTrip) {
+  Capture cap = sample_capture();
+  auto parsed = parse(serialize(cap));
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->records.size(), 3u);
+  EXPECT_EQ(parsed->records[0].ts_sec, 100u);
+  EXPECT_EQ(parsed->records[0].ts_usec, 5u);
+  EXPECT_EQ(util::to_string(parsed->records[1].data), "world!");
+  EXPECT_TRUE(parsed->records[2].data.empty());
+  EXPECT_EQ(parsed->header.linktype, kLinkEthernet);
+  EXPECT_EQ(parsed->header.version_major, 2);
+  EXPECT_EQ(parsed->header.version_minor, 4);
+}
+
+TEST(Pcap, HeaderFieldsSurvive) {
+  Capture cap;
+  cap.header.snaplen = 1234;
+  cap.header.linktype = 101;  // raw IP
+  auto parsed = parse(serialize(cap));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->header.snaplen, 1234u);
+  EXPECT_EQ(parsed->header.linktype, 101u);
+}
+
+TEST(Pcap, OrigLenPreserved) {
+  Capture cap;
+  Record r;
+  r.ts_sec = 1;
+  r.data = util::to_bytes("snap");
+  r.orig_len = 1500;  // snapped record: captured < original
+  cap.records.push_back(r);
+  auto parsed = parse(serialize(cap));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->records[0].orig_len, 1500u);
+  EXPECT_EQ(parsed->records[0].data.size(), 4u);
+}
+
+TEST(Pcap, RejectsBadMagic) {
+  util::Bytes junk(64, 0xAB);
+  EXPECT_FALSE(parse(junk).has_value());
+}
+
+TEST(Pcap, RejectsShortHeader) {
+  util::Bytes data = serialize(sample_capture());
+  data.resize(10);
+  EXPECT_FALSE(parse(data).has_value());
+}
+
+TEST(Pcap, DropsTruncatedTailRecord) {
+  util::Bytes data = serialize(sample_capture());
+  data.resize(data.size() - 3);  // cut into the last record's payload
+  auto parsed = parse(data);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->records.size(), 2u);
+}
+
+TEST(Pcap, ParsesByteSwappedCapture) {
+  // Hand-build a big-endian header + one record.
+  util::Bytes data;
+  util::put_u32be(data, kMagicLe);
+  util::put_u16be(data, 2);
+  util::put_u16be(data, 4);
+  util::put_u32be(data, 0);
+  util::put_u32be(data, 0);
+  util::put_u32be(data, 65535);
+  util::put_u32be(data, kLinkEthernet);
+  util::put_u32be(data, 7);   // ts_sec
+  util::put_u32be(data, 8);   // ts_usec
+  util::put_u32be(data, 2);   // incl_len
+  util::put_u32be(data, 2);   // orig_len
+  data.push_back('h');
+  data.push_back('i');
+  auto parsed = parse(data);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->records.size(), 1u);
+  EXPECT_EQ(parsed->records[0].ts_sec, 7u);
+  EXPECT_EQ(util::to_string(parsed->records[0].data), "hi");
+  EXPECT_EQ(parsed->header.linktype, kLinkEthernet);
+}
+
+TEST(Pcap, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "senids_pcap_test.pcap";
+  Capture cap = sample_capture();
+  ASSERT_TRUE(write_file(path, cap));
+  auto loaded = read_file(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->records.size(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(Pcap, ReadMissingFileFails) {
+  EXPECT_FALSE(read_file("/nonexistent/dir/file.pcap").has_value());
+}
+
+TEST(Pcap, EmptyCaptureRoundTrip) {
+  Capture cap;
+  auto parsed = parse(serialize(cap));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->records.empty());
+}
+
+}  // namespace
+}  // namespace senids::pcap

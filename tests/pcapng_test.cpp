@@ -1,0 +1,204 @@
+// pcapng reader: hand-built captures in both byte orders, block skipping,
+// and auto-detection through parse_any / read_file.
+#include <gtest/gtest.h>
+
+#include "pcap/pcap.hpp"
+
+namespace senids::pcap {
+namespace {
+
+using util::Bytes;
+
+/// Minimal pcapng writer for tests (little-endian unless `be`).
+class NgWriter {
+ public:
+  explicit NgWriter(bool be = false) : be_(be) {}
+
+  void u32(std::uint32_t v) {
+    if (be_) {
+      util::put_u32be(out_, v);
+    } else {
+      util::put_u32le(out_, v);
+    }
+  }
+
+  void block(std::uint32_t type, const Bytes& body) {
+    const std::uint32_t len =
+        static_cast<std::uint32_t>(12 + ((body.size() + 3) & ~std::size_t{3}));
+    u32(type);
+    u32(len);
+    out_.insert(out_.end(), body.begin(), body.end());
+    while (out_.size() % 4 != 0) out_.push_back(0);
+    u32(len);
+  }
+
+  void shb() {
+    Bytes body;
+    auto put = [&](std::uint32_t v) {
+      if (be_) {
+        util::put_u32be(body, v);
+      } else {
+        util::put_u32le(body, v);
+      }
+    };
+    put(0x1A2B3C4D);          // byte-order magic
+    put(0x00010000);          // version 1.0 (major minor as u16s)
+    put(0xFFFFFFFF);          // section length unknown
+    put(0xFFFFFFFF);
+    block(0x0A0D0D0A, body);
+  }
+
+  void idb(std::uint32_t linktype, std::uint32_t snaplen) {
+    Bytes body;
+    auto put = [&](std::uint32_t v) {
+      if (be_) {
+        util::put_u32be(body, v);
+      } else {
+        util::put_u32le(body, v);
+      }
+    };
+    put(linktype & 0xffff);  // linktype + reserved
+    put(snaplen);
+    block(0x00000001, body);
+  }
+
+  void epb(std::uint64_t ts_usec, const Bytes& pkt) {
+    Bytes body;
+    auto put = [&](std::uint32_t v) {
+      if (be_) {
+        util::put_u32be(body, v);
+      } else {
+        util::put_u32le(body, v);
+      }
+    };
+    put(0);                                          // interface id
+    put(static_cast<std::uint32_t>(ts_usec >> 32));  // ts high
+    put(static_cast<std::uint32_t>(ts_usec));        // ts low
+    put(static_cast<std::uint32_t>(pkt.size()));     // captured
+    put(static_cast<std::uint32_t>(pkt.size()));     // original
+    body.insert(body.end(), pkt.begin(), pkt.end());
+    block(0x00000006, body);
+  }
+
+  void unknown_block() { block(0x0BADBEEF, Bytes{1, 2, 3, 4}); }
+
+  [[nodiscard]] const Bytes& bytes() const { return out_; }
+
+ private:
+  bool be_;
+  Bytes out_;
+};
+
+TEST(Pcapng, ParsesEnhancedPacketBlocks) {
+  NgWriter w;
+  w.shb();
+  w.idb(kLinkEthernet, 65535);
+  w.epb(5 * 1000000 + 42, util::to_bytes("hello"));
+  w.epb(6 * 1000000 + 7, util::to_bytes("worldly"));
+  auto cap = parse_pcapng(w.bytes());
+  ASSERT_TRUE(cap.has_value());
+  EXPECT_EQ(cap->header.linktype, kLinkEthernet);
+  ASSERT_EQ(cap->records.size(), 2u);
+  EXPECT_EQ(cap->records[0].ts_sec, 5u);
+  EXPECT_EQ(cap->records[0].ts_usec, 42u);
+  EXPECT_EQ(util::to_string(cap->records[0].data), "hello");
+  EXPECT_EQ(util::to_string(cap->records[1].data), "worldly");
+}
+
+TEST(Pcapng, BigEndianSection) {
+  NgWriter w(/*be=*/true);
+  w.shb();
+  w.idb(kLinkEthernet, 1000);
+  w.epb(1000000, util::to_bytes("be"));
+  auto cap = parse_pcapng(w.bytes());
+  ASSERT_TRUE(cap.has_value());
+  ASSERT_EQ(cap->records.size(), 1u);
+  EXPECT_EQ(cap->records[0].ts_sec, 1u);
+  EXPECT_EQ(util::to_string(cap->records[0].data), "be");
+}
+
+TEST(Pcapng, SkipsUnknownBlocks) {
+  NgWriter w;
+  w.shb();
+  w.unknown_block();
+  w.idb(kLinkEthernet, 65535);
+  w.unknown_block();
+  w.epb(0, util::to_bytes("x"));
+  auto cap = parse_pcapng(w.bytes());
+  ASSERT_TRUE(cap.has_value());
+  EXPECT_EQ(cap->records.size(), 1u);
+}
+
+TEST(Pcapng, RejectsNonPcapng) {
+  Bytes junk(64, 0x42);
+  EXPECT_FALSE(parse_pcapng(junk).has_value());
+  Capture classic;
+  classic.add(1, 2, util::to_bytes("pkt"));
+  EXPECT_FALSE(parse_pcapng(serialize(classic)).has_value());
+}
+
+TEST(Pcapng, ToleratesTruncation) {
+  NgWriter w;
+  w.shb();
+  w.idb(kLinkEthernet, 65535);
+  w.epb(0, util::to_bytes("complete"));
+  Bytes data = w.bytes();
+  NgWriter w2;
+  w2.epb(0, util::to_bytes("cut"));
+  Bytes extra = w2.bytes();
+  data.insert(data.end(), extra.begin(), extra.begin() + 10);  // partial block
+  auto cap = parse_pcapng(data);
+  ASSERT_TRUE(cap.has_value());
+  EXPECT_EQ(cap->records.size(), 1u);
+}
+
+TEST(Pcapng, ParseAnyAutoDetects) {
+  NgWriter w;
+  w.shb();
+  w.idb(kLinkEthernet, 65535);
+  w.epb(0, util::to_bytes("ng"));
+  auto ng = parse_any(w.bytes());
+  ASSERT_TRUE(ng.has_value());
+  EXPECT_EQ(ng->records.size(), 1u);
+
+  Capture classic;
+  classic.add(9, 9, util::to_bytes("old"));
+  auto old = parse_any(serialize(classic));
+  ASSERT_TRUE(old.has_value());
+  EXPECT_EQ(old->records.size(), 1u);
+}
+
+TEST(Pcapng, ReadFileAutoDetects) {
+  const std::string path = ::testing::TempDir() + "senids_ng_test.pcapng";
+  NgWriter w;
+  w.shb();
+  w.idb(kLinkEthernet, 65535);
+  w.epb(3000000, util::to_bytes("file"));
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(w.bytes().data(), 1, w.bytes().size(), f);
+    std::fclose(f);
+  }
+  auto cap = read_file(path);
+  ASSERT_TRUE(cap.has_value());
+  ASSERT_EQ(cap->records.size(), 1u);
+  EXPECT_EQ(cap->records[0].ts_sec, 3u);
+  std::remove(path.c_str());
+}
+
+TEST(Pcapng, MultipleSectionsConcatenate) {
+  NgWriter w;
+  w.shb();
+  w.idb(kLinkEthernet, 65535);
+  w.epb(0, util::to_bytes("s1"));
+  w.shb();  // second section
+  w.idb(kLinkEthernet, 65535);
+  w.epb(0, util::to_bytes("s2"));
+  auto cap = parse_pcapng(w.bytes());
+  ASSERT_TRUE(cap.has_value());
+  EXPECT_EQ(cap->records.size(), 2u);
+}
+
+}  // namespace
+}  // namespace senids::pcap

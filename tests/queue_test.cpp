@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "util/queue.hpp"
+
+namespace senids::util {
+namespace {
+
+TEST(BoundedQueue, FifoOrder) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(q.push(i));
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(q.pop().value(), i);
+}
+
+TEST(BoundedQueue, TryPushFailsWhenFull) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));
+  EXPECT_EQ(q.size(), 2u);
+  q.pop();
+  EXPECT_TRUE(q.try_push(3));
+}
+
+TEST(BoundedQueue, TryPopEmptyReturnsNullopt) {
+  BoundedQueue<int> q(2);
+  EXPECT_FALSE(q.try_pop().has_value());
+  q.push(7);
+  EXPECT_EQ(q.try_pop().value(), 7);
+}
+
+TEST(BoundedQueue, CloseUnblocksConsumer) {
+  BoundedQueue<int> q(2);
+  std::thread consumer([&q] {
+    auto v = q.pop();
+    EXPECT_FALSE(v.has_value());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  consumer.join();
+}
+
+TEST(BoundedQueue, CloseDrainsRemainingItems) {
+  BoundedQueue<int> q(4);
+  q.push(1);
+  q.push(2);
+  q.close();
+  EXPECT_FALSE(q.push(3));
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.pop().value(), 2);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BoundedQueue, BlockingPushWaitsForSpace) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.push(1));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    q.push(2);
+    pushed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());
+  EXPECT_EQ(q.pop().value(), 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(q.pop().value(), 2);
+}
+
+TEST(BoundedQueue, ManyProducersManyConsumers) {
+  BoundedQueue<int> q(16);
+  constexpr int kPerProducer = 500;
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 3;
+  std::atomic<long> sum{0};
+  std::atomic<int> consumed{0};
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) q.push(p * kPerProducer + i);
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (auto v = q.pop()) {
+        sum += *v;
+        ++consumed;
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[static_cast<std::size_t>(p)].join();
+  q.close();
+  for (std::size_t c = kProducers; c < threads.size(); ++c) threads[c].join();
+
+  const int total = kProducers * kPerProducer;
+  EXPECT_EQ(consumed.load(), total);
+  EXPECT_EQ(sum.load(), static_cast<long>(total) * (total - 1) / 2);
+}
+
+TEST(BoundedQueue, ZeroCapacityClampsToOne) {
+  BoundedQueue<int> q(0);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_FALSE(q.try_push(2));
+}
+
+TEST(BoundedQueue, MoveOnlyTypes) {
+  BoundedQueue<std::unique_ptr<int>> q(2);
+  q.push(std::make_unique<int>(42));
+  auto v = q.pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(**v, 42);
+}
+
+}  // namespace
+}  // namespace senids::util

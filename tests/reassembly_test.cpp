@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "net/headers.hpp"
+#include "net/reassembly.hpp"
+
+namespace senids::net {
+namespace {
+
+util::Bytes bytes(std::string_view s) { return util::to_bytes(s); }
+
+TEST(Reassembly, InOrderDelivery) {
+  TcpReassembler r;
+  r.feed(100, kTcpSyn, {});
+  r.feed(101, kTcpAck, bytes("hello "));
+  r.feed(107, kTcpAck, bytes("world"));
+  EXPECT_EQ(util::to_string(r.stream()), "hello world");
+  EXPECT_EQ(r.buffered(), 0u);
+  EXPECT_FALSE(r.closed());
+}
+
+TEST(Reassembly, OutOfOrderSegmentsReordered) {
+  TcpReassembler r;
+  r.feed(1000, kTcpSyn, {});
+  r.feed(1007, kTcpAck, bytes("world"));   // arrives early
+  EXPECT_EQ(r.stream().size(), 0u);
+  EXPECT_EQ(r.buffered(), 5u);
+  r.feed(1001, kTcpAck, bytes("hello "));  // gap fill
+  EXPECT_EQ(util::to_string(r.stream()), "hello world");
+  EXPECT_EQ(r.buffered(), 0u);
+}
+
+TEST(Reassembly, ThreeWayReorder) {
+  TcpReassembler r;
+  r.feed(10, 0, bytes("AA"));    // anchors at 10
+  r.feed(16, 0, bytes("CC"));
+  r.feed(14, 0, bytes("BB"));
+  r.feed(12, 0, bytes("ab"));
+  EXPECT_EQ(util::to_string(r.stream()), "AAabBBCC");
+}
+
+TEST(Reassembly, DuplicateSegmentIgnored) {
+  TcpReassembler r;
+  r.feed(1, 0, bytes("abc"));
+  r.feed(1, 0, bytes("abc"));  // exact retransmission
+  EXPECT_EQ(util::to_string(r.stream()), "abc");
+}
+
+TEST(Reassembly, OverlappingRetransmissionTrimmed) {
+  TcpReassembler r;
+  r.feed(1, 0, bytes("abcdef"));
+  r.feed(4, 0, bytes("defGHI"));  // overlaps 3 delivered bytes
+  EXPECT_EQ(util::to_string(r.stream()), "abcdefGHI");
+}
+
+TEST(Reassembly, FullyStaleSegmentDropped) {
+  TcpReassembler r;
+  r.feed(1, 0, bytes("abcdef"));
+  r.feed(2, 0, bytes("bcd"));  // entirely behind the delivery point
+  EXPECT_EQ(util::to_string(r.stream()), "abcdef");
+}
+
+TEST(Reassembly, SynConsumesSequenceNumber) {
+  TcpReassembler r;
+  r.feed(500, kTcpSyn, {});
+  r.feed(501, 0, bytes("x"));
+  EXPECT_EQ(util::to_string(r.stream()), "x");
+}
+
+TEST(Reassembly, MidStreamAnchorWithoutSyn) {
+  TcpReassembler r;
+  r.feed(777, 0, bytes("later"));
+  EXPECT_EQ(util::to_string(r.stream()), "later");
+}
+
+TEST(Reassembly, FinClosesInOrder) {
+  TcpReassembler r;
+  r.feed(1, kTcpSyn, {});
+  r.feed(2, 0, bytes("data"));
+  EXPECT_FALSE(r.closed());
+  r.feed(6, kTcpFin, {});
+  EXPECT_TRUE(r.closed());
+}
+
+TEST(Reassembly, RstCloses) {
+  TcpReassembler r;
+  r.feed(1, 0, bytes("d"));
+  r.feed(2, kTcpRst, {});
+  EXPECT_TRUE(r.closed());
+}
+
+TEST(Reassembly, DataIgnoredAfterClose) {
+  TcpReassembler r;
+  r.feed(1, 0, bytes("a"));
+  r.feed(2, kTcpFin, {});
+  r.feed(3, 0, bytes("zzz"));
+  EXPECT_EQ(util::to_string(r.stream()), "a");
+}
+
+TEST(Reassembly, EarlyFinWaitsForGap) {
+  // FIN ahead of a hole must not close the stream.
+  TcpReassembler r;
+  r.feed(1, kTcpSyn, {});
+  r.feed(10, kTcpFin, {});  // sequence far ahead
+  EXPECT_FALSE(r.closed());
+}
+
+TEST(Reassembly, BufferCapForcesGapClose) {
+  TcpReassembler r(/*max_buffered=*/8);
+  r.feed(1, 0, bytes("A"));       // delivered, next = 2
+  r.feed(100, 0, bytes("ABCDEFGHIJ"));  // 10 parked bytes > cap: gap forced
+  EXPECT_EQ(util::to_string(r.stream()), "AABCDEFGHIJ");
+  EXPECT_EQ(r.buffered(), 0u);
+}
+
+TEST(Reassembly, SequenceWraparound) {
+  TcpReassembler r;
+  const std::uint32_t near_max = 0xFFFFFFFEu;
+  r.feed(near_max, 0, bytes("ab"));   // occupies fffffffe, ffffffff
+  r.feed(0, 0, bytes("cd"));          // wraps to 0
+  EXPECT_EQ(util::to_string(r.stream()), "abcd");
+}
+
+TEST(Reassembly, LargeTransferInChunks) {
+  TcpReassembler r;
+  std::string expected;
+  std::uint32_t seq = 1;
+  for (int i = 0; i < 100; ++i) {
+    std::string chunk(97, static_cast<char>('a' + i % 26));
+    r.feed(seq, 0, util::to_bytes(chunk));
+    seq += static_cast<std::uint32_t>(chunk.size());
+    expected += chunk;
+  }
+  EXPECT_EQ(util::to_string(r.stream()), expected);
+}
+
+}  // namespace
+}  // namespace senids::net

@@ -1,0 +1,363 @@
+// Regression tests for the false-positive hardening constraints in the
+// template matcher. Each constraint was added to kill a concrete
+// coincidental match observed in the Section-5.4 benign corpus; these
+// tests pin both directions (real decoders still match, the FP shapes do
+// not).
+#include <gtest/gtest.h>
+
+#include "gen/emitter.hpp"
+#include "ir/lifter.hpp"
+#include "semantic/library.hpp"
+#include "x86/scan.hpp"
+
+namespace senids::semantic {
+namespace {
+
+using gen::Asm;
+using gen::R32;
+using gen::R8;
+using util::Bytes;
+
+std::optional<MatchResult> run_match(const Template& t, const Bytes& code,
+                                     std::size_t entry = 0) {
+  auto trace = x86::execution_trace(code, entry);
+  auto lifted = ir::lift(trace);
+  LiftedCode lc{&trace, &lifted.events, code};
+  return match_template(t, lc);
+}
+
+bool any_decoder_match(const Bytes& code) {
+  for (const auto& t : make_decoder_library()) {
+    if (run_match(t, code)) return true;
+  }
+  return false;
+}
+
+// ------------------------------------------------- store width == 8 bits
+
+TEST(Hardening, DwordStoreRejected) {
+  // add dword [ecx], imm32 ; dec ecx ; ... ; jcc back — observed FP shape.
+  Asm a;
+  auto head = a.new_label();
+  a.bind(head);
+  a.raw({std::initializer_list<std::uint8_t>{0x81, 0x01, 0x9c, 0x26, 0x36, 0x12}});
+  // ^ add dword ptr [ecx], 0x1236269c
+  a.inc_r32(R32::ecx);
+  a.dec_r32(R32::edx);
+  a.jnz(head);
+  EXPECT_FALSE(any_decoder_match(a.finish()));
+}
+
+// ------------------------------------------- stride equals element size
+
+TEST(Hardening, StrideMismatchRejected) {
+  // byte store but the pointer advances by 4 (lodsd-style walk).
+  Asm a;
+  auto head = a.new_label();
+  a.bind(head);
+  a.alu_mem8_imm8(6, R32::esi, 0x5a);  // xor byte [esi], 0x5a
+  a.add_r32_imm(R32::esi, 4);
+  a.dec_r32(R32::ecx);
+  a.jnz(head);
+  EXPECT_FALSE(any_decoder_match(a.finish()));
+}
+
+// --------------------------------------- pointer survives to the back edge
+
+TEST(Hardening, PointerClobberedBeforeBranchRejected) {
+  Asm a;
+  auto head = a.new_label();
+  a.bind(head);
+  a.alu_mem8_imm8(6, R32::esi, 0x5a);
+  a.inc_r32(R32::esi);
+  a.mov_r32_imm32(R32::esi, 0x1234);  // pointer overwritten: next iteration broken
+  a.dec_r32(R32::ecx);
+  a.jnz(head);
+  EXPECT_FALSE(any_decoder_match(a.finish()));
+}
+
+// ----------------------------------------------- advance is a pure step
+
+TEST(Hardening, MemWritingAdvanceRejected) {
+  // movsb advances edi but also overwrites the "decoded" byte.
+  Asm a;
+  auto head = a.new_label();
+  a.bind(head);
+  a.raw8(0xC0);  // rol byte ptr [edi], 0xf  => C0 0F 0F
+  a.raw8(0x0F);
+  a.raw8(0x0F);
+  a.raw8(0xA4);  // movsb
+  a.dec_r32(R32::ecx);
+  a.jnz(head);
+  EXPECT_FALSE(any_decoder_match(a.finish()));
+}
+
+// -------------------------------------------------------- loop discipline
+
+TEST(Hardening, OverflowConditionRejected) {
+  // jo-terminated "loop" — no real engine branches on overflow.
+  Asm a;
+  auto head = a.new_label();
+  a.bind(head);
+  a.alu_mem8_imm8(0, R32::ebx, 0x3f);  // add byte [ebx], 0x3f
+  a.dec_r32(R32::ebx);
+  a.dec_r32(R32::ecx);
+  a.jcc(0x0, head);  // jo
+  EXPECT_FALSE(any_decoder_match(a.finish()));
+}
+
+TEST(Hardening, FlagSourceMustBeRegisterCount) {
+  // The nearest flag-setter before the jnz is the memory add itself, not
+  // a register counter.
+  Asm a;
+  auto head = a.new_label();
+  a.bind(head);
+  a.inc_r32(R32::esi);                 // advance first
+  a.alu_mem8_imm8(0, R32::esi, 0x3f);  // add byte [esi], 0x3f (sets flags last)
+  a.jnz(head);
+  EXPECT_FALSE(any_decoder_match(a.finish()));
+}
+
+// ----------------------------------------- counter and pointer separation
+
+TEST(Hardening, PointerAsLoopCounterRejected) {
+  // dec edi both advances the pointer and feeds the branch condition.
+  Asm a;
+  auto head = a.new_label();
+  a.bind(head);
+  a.alu_mem8_imm8(5, R32::edi, 0xe9);  // sub byte [edi], 0xe9
+  a.dec_r32(R32::edi);
+  a.jcc(0x8, head);  // js
+  EXPECT_FALSE(any_decoder_match(a.finish()));
+}
+
+TEST(Hardening, LoopClassWithEcxPointerRejected) {
+  // loop decrements ecx; using ecx as the decode pointer conflates the
+  // two roles.
+  Asm a;
+  auto head = a.new_label();
+  a.bind(head);
+  a.alu_mem8_imm8(0, R32::ecx, 0x2f);  // add byte [ecx], 0x2f
+  a.dec_r32(R32::ecx);                 // "advance"
+  a.loop_(head);
+  EXPECT_FALSE(any_decoder_match(a.finish()));
+}
+
+// ------------------------------------------------ invertibility of f(v)
+
+TEST(Hardening, NonInvertibleOrTransformRejected) {
+  // or byte [esi], k destroys information: not a decoder.
+  Asm a;
+  auto head = a.new_label();
+  a.bind(head);
+  a.alu_mem8_imm8(1, R32::esi, 0x40);  // or byte [esi], 0x40
+  a.inc_r32(R32::esi);
+  a.dec_r32(R32::ecx);
+  a.jnz(head);
+  EXPECT_FALSE(any_decoder_match(a.finish()));
+}
+
+TEST(Hardening, NonInvertibleAndTransformRejected) {
+  Asm a;
+  auto head = a.new_label();
+  a.bind(head);
+  a.alu_mem8_imm8(4, R32::esi, 0x0f);  // and byte [esi], 0x0f
+  a.inc_r32(R32::esi);
+  a.dec_r32(R32::ecx);
+  a.jnz(head);
+  EXPECT_FALSE(any_decoder_match(a.finish()));
+}
+
+TEST(Hardening, InvertibleNotTransformStillMatches) {
+  // not byte [esi] is a bijection built from the alt template's operator
+  // set — a legitimate (if degenerate) decode transform... but it has no
+  // constant leaf, so the alternate template's key requirement rejects
+  // it. Pin that behaviour.
+  Asm a;
+  auto head = a.new_label();
+  a.bind(head);
+  a.raw({std::initializer_list<std::uint8_t>{0xF6, 0x16}});  // not byte ptr [esi]
+  a.inc_r32(R32::esi);
+  a.dec_r32(R32::ecx);
+  a.jnz(head);
+  EXPECT_FALSE(any_decoder_match(a.finish()));
+}
+
+// ------------------------------------------ real decoders still match
+
+TEST(Hardening, CanonicalDecodersStillMatch) {
+  // xor via imm, xor via register key, additive, and the or/and/not xor.
+  {
+    Asm a;
+    auto head = a.new_label();
+    a.bind(head);
+    a.xor_mem8_imm8(R32::esi, 0x42);
+    a.inc_r32(R32::esi);
+    a.loop_(head);
+    EXPECT_TRUE(any_decoder_match(a.finish()));
+  }
+  {
+    Asm a;
+    auto head = a.new_label();
+    a.bind(head);
+    a.alu_mem8_imm8(0, R32::edi, 0x11);  // add byte [edi], 0x11
+    a.inc_r32(R32::edi);
+    a.dec_r32(R32::ecx);
+    a.jnz(head);
+    EXPECT_TRUE(any_decoder_match(a.finish()));
+  }
+  {
+    // The Figure-7 or/and/not xor-equivalent is invertible and must pass.
+    Asm a;
+    auto head = a.new_label();
+    a.bind(head);
+    a.mov_r8_mem(R8::al, R32::esi);
+    a.alu_r8_imm8(1, R8::al, 0x5a);
+    a.mov_r8_mem(R8::bl, R32::esi);
+    a.alu_r8_imm8(4, R8::bl, 0x5a);
+    a.not_r8(R8::bl);
+    a.alu_r8_r8(4, R8::al, R8::bl);
+    a.mov_mem_r8(R32::esi, 0, R8::al);
+    a.inc_r32(R32::esi);
+    a.loop_(head);
+    EXPECT_TRUE(any_decoder_match(a.finish()));
+  }
+}
+
+TEST(Hardening, RorDecoderMatchesExtensionTemplate) {
+  // The rotate template lives in the extended (opt-in) library.
+  Asm a;
+  auto head = a.new_label();
+  a.bind(head);
+  a.mov_r8_mem(R8::al, R32::esi);
+  a.shift_r8_imm8(1, R8::al, 3);  // ror al, 3
+  a.mov_mem_r8(R32::esi, 0, R8::al);
+  a.inc_r32(R32::esi);
+  a.loop_(head);
+  Bytes code = a.finish();
+  EXPECT_FALSE(any_decoder_match(code));  // not in the standard decoder set
+  EXPECT_TRUE(run_match(tmpl_ror_decrypt_loop(), code).has_value());
+}
+
+TEST(Hardening, BackwardWalkingDecoderStillMatches) {
+  // Decoders may walk downward (dec pointer) with a separate counter.
+  Asm a;
+  auto head = a.new_label();
+  a.bind(head);
+  a.xor_mem8_imm8(R32::esi, 0x33);
+  a.dec_r32(R32::esi);
+  a.dec_r32(R32::ecx);
+  a.jnz(head);
+  EXPECT_TRUE(any_decoder_match(a.finish()));
+}
+
+}  // namespace
+}  // namespace senids::semantic
+
+namespace senids::semantic {
+namespace {
+
+// Constraints added after the 566 MB false-positive sweep; each pins the
+// concrete coincidental shape that survived the earlier hardening.
+
+TEST(Hardening, KeyFromPointerRegisterRejected) {
+  // add byte [edx], dh — the "key" is carved out of the walking pointer.
+  Asm a;
+  auto head = a.new_label();
+  a.mov_r32_imm32(R32::edx, 0x47549ba2);
+  a.bind(head);
+  a.raw({std::initializer_list<std::uint8_t>{0x00, 0x32}});  // add [edx], dh
+  a.dec_r32(R32::edx);
+  a.dec_r32(R32::ecx);
+  a.jnz(head);
+  EXPECT_FALSE(any_decoder_match(a.finish()));
+}
+
+TEST(Hardening, JecxzBackedgeRejected) {
+  // jecxz loops while ecx is zero: not a count-down loop.
+  Asm a;
+  auto head = a.new_label();
+  a.bind(head);
+  a.alu_mem8_imm8(0, R32::esi, 0x21);  // add byte [esi], 0x21
+  a.inc_r32(R32::esi);
+  a.jecxz(head);
+  EXPECT_FALSE(any_decoder_match(a.finish()));
+}
+
+TEST(Hardening, StringOpAdvanceRejected) {
+  // cmpsb advances esi as a comparison side effect, not a pointer walk.
+  Asm a;
+  auto head = a.new_label();
+  a.bind(head);
+  a.xor_mem8_imm8(R32::esi, 0xa6);
+  a.raw8(0xA6);  // cmpsb
+  a.loop_(head);
+  EXPECT_FALSE(any_decoder_match(a.finish()));
+}
+
+TEST(Hardening, RegisterKeyFromOtherFamilyStillMatches) {
+  // Sanity: a key in a register of a *different* family is legitimate.
+  Asm a;
+  auto head = a.new_label();
+  a.mov_r8_imm8(R8::bl, 0x42);
+  a.bind(head);
+  a.xor_mem8_r8(R32::esi, R8::bl);
+  a.inc_r32(R32::esi);
+  a.loop_(head);
+  EXPECT_TRUE(any_decoder_match(a.finish()));
+}
+
+}  // namespace
+}  // namespace senids::semantic
+
+namespace senids::semantic {
+namespace {
+
+TEST(Hardening, GarbageCounterInitRejected) {
+  // The counter register holds a junk-derived (non-constant-foldable)
+  // value at loop entry: not a plausible length.
+  Asm a;
+  auto head = a.new_label();
+  a.mov_r32_mem(R32::ecx, R32::esp);  // ecx = some runtime value
+  a.bind(head);
+  a.xor_mem8_imm8(R32::esi, 0x42);
+  a.inc_r32(R32::esi);
+  a.loop_(head);
+  EXPECT_FALSE(any_decoder_match(a.finish()));
+}
+
+TEST(Hardening, HugeCounterInitRejected) {
+  Asm a;
+  auto head = a.new_label();
+  a.mov_r32_imm32(R32::ecx, 0x40000000);  // 1 GiB "payload": implausible
+  a.bind(head);
+  a.xor_mem8_imm8(R32::esi, 0x42);
+  a.inc_r32(R32::esi);
+  a.loop_(head);
+  EXPECT_FALSE(any_decoder_match(a.finish()));
+}
+
+TEST(Hardening, UninitializedCounterStillAccepted) {
+  // Figure 1 shape: the snippet assumes the caller set ecx.
+  Asm a;
+  auto head = a.new_label();
+  a.bind(head);
+  a.xor_mem8_imm8(R32::eax, 0x95);
+  a.inc_r32(R32::eax);
+  a.loop_(head);
+  EXPECT_TRUE(any_decoder_match(a.finish()));
+}
+
+TEST(Hardening, ConstCounterInitAccepted) {
+  Asm a;
+  auto head = a.new_label();
+  a.mov_r32_imm32(R32::ecx, 128);
+  a.bind(head);
+  a.xor_mem8_imm8(R32::esi, 0x42);
+  a.inc_r32(R32::esi);
+  a.loop_(head);
+  EXPECT_TRUE(any_decoder_match(a.finish()));
+}
+
+}  // namespace
+}  // namespace senids::semantic

@@ -1,0 +1,141 @@
+// Streaming session: incremental feeding must match batch processing.
+#include <gtest/gtest.h>
+
+#include "core/senids.hpp"
+#include "core/session.hpp"
+#include "gen/poly.hpp"
+#include "gen/shellcode.hpp"
+#include "gen/traffic.hpp"
+
+namespace senids::core {
+namespace {
+
+using net::Endpoint;
+using net::Ipv4Addr;
+
+const Ipv4Addr kHoneypot = Ipv4Addr::from_octets(10, 0, 0, 7);
+const Endpoint kAttacker{Ipv4Addr::from_octets(192, 0, 2, 66), 31337};
+
+pcap::Capture attack_capture(std::uint64_t seed) {
+  gen::TraceBuilder tb(seed);
+  auto corpus = gen::make_shell_spawn_corpus();
+  tb.add_tcp_flow(kAttacker, Endpoint{kHoneypot, 80},
+                  gen::wrap_in_overflow(corpus[0].code, tb.prng()));
+  auto poly = gen::admmutate_encode(corpus[1].code, tb.prng());
+  tb.add_tcp_flow(kAttacker, Endpoint{kHoneypot, 80},
+                  gen::wrap_in_overflow(poly.bytes, tb.prng()));
+  for (int i = 0; i < 10; ++i) {
+    const Endpoint client{Ipv4Addr::from_octets(198, 51, 100, 9), 40000};
+    tb.add_benign(client, Ipv4Addr::from_octets(10, 0, 0, 20),
+                  gen::make_benign_payload(tb.prng()));
+  }
+  return tb.take();
+}
+
+TEST(LiveSession, AlertsArriveIncrementally) {
+  auto capture = attack_capture(91);
+  NidsOptions options;
+  NidsEngine engine(options);
+  engine.classifier().honeypots().add_decoy(kHoneypot);
+
+  std::vector<Alert> alerts;
+  LiveSession session(engine, [&alerts](const Alert& a) { alerts.push_back(a); });
+  std::size_t alerts_mid_stream = 0;
+  for (std::size_t i = 0; i < capture.records.size(); ++i) {
+    session.feed(capture.records[i].data, capture.records[i].ts_sec,
+                 capture.records[i].ts_usec);
+    if (i == capture.records.size() / 2) alerts_mid_stream = alerts.size();
+  }
+  session.finish();
+  EXPECT_FALSE(alerts.empty());
+  // The first flow closes early in the capture: some alert must have
+  // arrived before the stream ended.
+  EXPECT_GT(alerts_mid_stream, 0u);
+}
+
+TEST(LiveSession, MatchesBatchProcessing) {
+  auto capture = attack_capture(92);
+
+  NidsOptions options;
+  NidsEngine batch_engine(options);
+  batch_engine.classifier().honeypots().add_decoy(kHoneypot);
+  Report batch = batch_engine.process_capture(capture);
+
+  NidsEngine live_engine(options);
+  live_engine.classifier().honeypots().add_decoy(kHoneypot);
+  std::vector<Alert> live_alerts;
+  LiveSession session(live_engine, [&](const Alert& a) { live_alerts.push_back(a); });
+  for (const auto& rec : capture.records) session.feed(rec.data, rec.ts_sec, rec.ts_usec);
+  session.finish();
+
+  ASSERT_EQ(live_alerts.size(), batch.alerts.size());
+  // Order within the stream differs from the batch's sorted order; compare
+  // as multisets of template names.
+  auto names = [](std::vector<Alert> v) {
+    std::vector<std::string> out;
+    for (auto& a : v) out.push_back(a.template_name);
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  EXPECT_EQ(names(live_alerts), names(batch.alerts));
+  EXPECT_EQ(session.stats().packets, batch.stats.packets);
+  EXPECT_EQ(session.stats().units_analyzed, batch.stats.units_analyzed);
+}
+
+TEST(LiveSession, FinishFlushesOpenFlows) {
+  // A flow with no FIN only surfaces at finish().
+  gen::TraceBuilder tb(93);
+  auto exploit = gen::wrap_in_overflow(gen::make_shell_spawn_corpus()[2].code, tb.prng());
+  tb.add_tcp_flow(kAttacker, Endpoint{kHoneypot, 80}, exploit);
+  auto capture = tb.take();
+  capture.records.pop_back();  // drop the FIN
+
+  NidsOptions options;
+  NidsEngine engine(options);
+  engine.classifier().honeypots().add_decoy(kHoneypot);
+  std::vector<Alert> alerts;
+  LiveSession session(engine, [&](const Alert& a) { alerts.push_back(a); });
+  for (const auto& rec : capture.records) session.feed(rec.data);
+  EXPECT_TRUE(alerts.empty());
+  session.finish();
+  EXPECT_FALSE(alerts.empty());
+}
+
+TEST(LiveSession, HandlesFragmentsInline) {
+  gen::TraceBuilder tb(94);
+  auto exploit = gen::wrap_in_overflow(gen::make_shell_spawn_corpus()[1].code, tb.prng());
+  tb.add_tcp_flow(kAttacker, Endpoint{kHoneypot, 80}, exploit);
+
+  NidsOptions options;
+  NidsEngine engine(options);
+  engine.classifier().honeypots().add_decoy(kHoneypot);
+  std::vector<Alert> alerts;
+  LiveSession session(engine, [&](const Alert& a) { alerts.push_back(a); });
+  for (const auto& rec : tb.capture().records) {
+    for (const auto& frag : net::fragment_frame(rec.data, 64)) {
+      session.feed(frag);
+    }
+  }
+  session.finish();
+  bool shell = false;
+  for (const auto& a : alerts) {
+    if (a.threat == semantic::ThreatClass::kShellSpawn) shell = true;
+  }
+  EXPECT_TRUE(shell);
+}
+
+TEST(LiveSession, NullSinkIsSafe) {
+  NidsOptions options;
+  NidsEngine engine(options);
+  engine.classifier().honeypots().add_decoy(kHoneypot);
+  LiveSession session(engine, nullptr);
+  gen::TraceBuilder tb(95);
+  tb.add_tcp_flow(kAttacker, Endpoint{kHoneypot, 80},
+                  gen::wrap_in_overflow(gen::make_shell_spawn_corpus()[0].code, tb.prng()));
+  for (const auto& rec : tb.capture().records) session.feed(rec.data);
+  session.finish();
+  EXPECT_GT(session.stats().units_analyzed, 0u);
+}
+
+}  // namespace
+}  // namespace senids::core

@@ -1,0 +1,258 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "gen/poly.hpp"
+#include "gen/shellcode.hpp"
+#include "gen/codered.hpp"
+#include "sig/rules.hpp"
+#include "util/prng.hpp"
+
+namespace senids::sig {
+namespace {
+
+using util::Bytes;
+
+// ------------------------------------------------------------ Aho-Corasick
+
+TEST(AhoCorasick, FindsSinglePattern) {
+  AhoCorasick ac;
+  auto id = ac.add_pattern(util::as_bytes("needle"));
+  ac.build();
+  auto matches = ac.scan(util::as_bytes("hay needle stack"));
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].pattern_id, id);
+  EXPECT_EQ(matches[0].end_offset, 10u);
+}
+
+TEST(AhoCorasick, FindsOverlappingPatterns) {
+  AhoCorasick ac;
+  auto a = ac.add_pattern(util::as_bytes("he"));
+  auto b = ac.add_pattern(util::as_bytes("she"));
+  auto c = ac.add_pattern(util::as_bytes("hers"));
+  ac.build();
+  auto matches = ac.scan(util::as_bytes("ushers"));
+  // "she" at 1-3, "he" at 2-3, "hers" at 2-5.
+  ASSERT_EQ(matches.size(), 3u);
+  EXPECT_EQ(matches[0].pattern_id, b);
+  EXPECT_EQ(matches[1].pattern_id, a);
+  EXPECT_EQ(matches[2].pattern_id, c);
+}
+
+TEST(AhoCorasick, RepeatedMatches) {
+  AhoCorasick ac;
+  ac.add_pattern(util::as_bytes("ab"));
+  ac.build();
+  EXPECT_EQ(ac.scan(util::as_bytes("ababab")).size(), 3u);
+}
+
+TEST(AhoCorasick, BinaryPatterns) {
+  AhoCorasick ac;
+  ac.add_pattern(Bytes{0xCD, 0x80});
+  ac.add_pattern(Bytes{0x00, 0x00});
+  ac.build();
+  Bytes data{0x31, 0xC0, 0xCD, 0x80, 0x00, 0x00};
+  EXPECT_EQ(ac.scan(data).size(), 2u);
+}
+
+TEST(AhoCorasick, MatchesAnyEarlyExit) {
+  AhoCorasick ac;
+  ac.add_pattern(util::as_bytes("x"));
+  ac.build();
+  EXPECT_TRUE(ac.matches_any(util::as_bytes("aaax")));
+  EXPECT_FALSE(ac.matches_any(util::as_bytes("aaab")));
+}
+
+TEST(AhoCorasick, RejectsEmptyAndPostBuildPatterns) {
+  AhoCorasick ac;
+  Bytes empty;
+  EXPECT_EQ(ac.add_pattern(empty), SIZE_MAX);
+  ac.add_pattern(util::as_bytes("ok"));
+  ac.build();
+  EXPECT_EQ(ac.add_pattern(util::as_bytes("late")), SIZE_MAX);
+}
+
+TEST(AhoCorasick, EmptyAutomatonMatchesNothing) {
+  AhoCorasick ac;
+  ac.build();
+  EXPECT_FALSE(ac.matches_any(util::as_bytes("anything")));
+}
+
+/// Property sweep: AC results must agree with naive search on random
+/// inputs and random pattern sets.
+class AhoCorasickProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AhoCorasickProperty, AgreesWithNaiveSearch) {
+  util::Prng prng(GetParam());
+  std::vector<Bytes> patterns;
+  AhoCorasick ac;
+  const std::size_t n_patterns = 1 + prng.below(8);
+  for (std::size_t i = 0; i < n_patterns; ++i) {
+    // Small alphabet maximizes overlaps and failure-link traffic.
+    Bytes p;
+    const std::size_t len = 1 + prng.below(4);
+    for (std::size_t j = 0; j < len; ++j) p.push_back(static_cast<std::uint8_t>(prng.below(3)));
+    ac.add_pattern(p);
+    patterns.push_back(std::move(p));
+  }
+  ac.build();
+  Bytes text;
+  for (std::size_t i = 0; i < 300; ++i) text.push_back(static_cast<std::uint8_t>(prng.below(3)));
+
+  std::size_t naive = 0;
+  for (const auto& p : patterns) {
+    for (std::size_t i = 0; i + p.size() <= text.size(); ++i) {
+      if (std::memcmp(text.data() + i, p.data(), p.size()) == 0) ++naive;
+    }
+  }
+  EXPECT_EQ(ac.scan(text).size(), naive);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AhoCorasickProperty, ::testing::Range<std::uint64_t>(0, 24));
+
+// ------------------------------------------------------------------ rules
+
+TEST(SignatureEngine, DefaultRulesCatchClassicShellcode) {
+  SignatureEngine engine(make_default_rules());
+  // The push-builder variant contains the literal push-/bin//sh bytes.
+  auto corpus = gen::make_shell_spawn_corpus();
+  EXPECT_TRUE(engine.any_match(corpus[1].code));  // push-builder
+}
+
+TEST(SignatureEngine, DefaultRulesCatchCodeRed) {
+  SignatureEngine engine(make_default_rules());
+  auto alerts = engine.scan(gen::make_code_red_ii_request(), 80);
+  EXPECT_FALSE(alerts.empty());
+}
+
+TEST(SignatureEngine, PortFilterApplies) {
+  std::vector<Rule> rules;
+  rules.push_back(Rule{"http-only", util::to_bytes(".ida?"), 80});
+  SignatureEngine engine(std::move(rules));
+  EXPECT_TRUE(engine.any_match(util::as_bytes("GET /x.ida?a"), 80));
+  EXPECT_TRUE(engine.scan(util::as_bytes("GET /x.ida?a"), 25).empty());
+}
+
+TEST(SignatureEngine, MissesArithRebuildVariant) {
+  // The arith-rebuild variant has neither "/bin/sh" text nor the literal
+  // push bytes: the syntactic baseline is blind to it. (Motivating case
+  // for semantic detection, Section 3.)
+  SignatureEngine engine(make_default_rules());
+  auto corpus = gen::make_shell_spawn_corpus();
+  EXPECT_FALSE(engine.any_match(corpus[4].code));  // arith-rebuild
+}
+
+TEST(SignatureEngine, ExactRuleMatchesOnlyItsInstance) {
+  // Signature extracted from one polymorphic instance...
+  util::Prng prng(42);
+  auto payload = util::to_bytes("SOMEPAYLOADBYTES");
+  auto instance_a = gen::admmutate_encode(payload, prng);
+  Rule rule = make_exact_rule("instance-a", instance_a.bytes, instance_a.sled_len, 24);
+  SignatureEngine engine({rule});
+  EXPECT_TRUE(engine.any_match(instance_a.bytes));
+  // ...fails on a fresh instance from the same engine.
+  auto instance_b = gen::admmutate_encode(payload, prng);
+  EXPECT_FALSE(engine.any_match(instance_b.bytes));
+}
+
+TEST(SignatureEngine, ScanReportsOffsets) {
+  std::vector<Rule> rules;
+  rules.push_back(Rule{"r", util::to_bytes("xyz"), 0});
+  SignatureEngine engine(std::move(rules));
+  auto alerts = engine.scan(util::as_bytes("..xyz.."));
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].offset, 2u);
+  EXPECT_EQ(alerts[0].rule_name, "r");
+}
+
+TEST(SignatureEngine, MakeExactRuleClampsBounds) {
+  Bytes sample = util::to_bytes("abcdef");
+  Rule r = make_exact_rule("clamped", sample, 4, 100);
+  EXPECT_EQ(r.pattern, util::to_bytes("ef"));
+}
+
+}  // namespace
+}  // namespace senids::sig
+
+#include "sig/ruleparse.hpp"
+
+namespace senids::sig {
+namespace {
+
+std::vector<Rule> parse_rules_ok(std::string_view text) {
+  auto result = parse_snort_rules(text);
+  if (auto* err = std::get_if<RuleParseError>(&result)) {
+    ADD_FAILURE() << "line " << err->line << ": " << err->message;
+    return {};
+  }
+  return std::get<std::vector<Rule>>(result);
+}
+
+TEST(RuleParse, BasicContentRule) {
+  auto rules = parse_rules_ok(
+      R"(alert tcp any any -> any 80 (msg:"WEB-IIS ida attempt"; content:".ida?"; sid:1243;))");
+  ASSERT_EQ(rules.size(), 1u);
+  EXPECT_EQ(rules[0].name, "WEB-IIS ida attempt");
+  EXPECT_EQ(rules[0].pattern, util::to_bytes(".ida?"));
+  EXPECT_EQ(rules[0].dst_port, 80);
+}
+
+TEST(RuleParse, HexContent) {
+  auto rules = parse_rules_ok(
+      R"(alert tcp any any -> any any (msg:"int80"; content:"|CD 80|";))");
+  ASSERT_EQ(rules.size(), 1u);
+  EXPECT_EQ(rules[0].pattern, (util::Bytes{0xCD, 0x80}));
+  EXPECT_EQ(rules[0].dst_port, 0);
+}
+
+TEST(RuleParse, MixedTextAndHex) {
+  auto rules = parse_rules_ok(
+      R"(alert tcp any any -> any any (msg:"m"; content:"ab|43 44|ef";))");
+  ASSERT_EQ(rules.size(), 1u);
+  EXPECT_EQ(rules[0].pattern, util::to_bytes("abCDef"));
+}
+
+TEST(RuleParse, MultipleContentsBecomeMultipleRules) {
+  auto rules = parse_rules_ok(
+      R"(alert tcp any any -> any 80 (msg:"two"; content:"aaa"; content:"bbb";))");
+  ASSERT_EQ(rules.size(), 2u);
+  EXPECT_EQ(rules[0].name, rules[1].name);
+}
+
+TEST(RuleParse, CommentsAndBlanksSkipped) {
+  auto rules = parse_rules_ok(
+      "# header comment\n\n"
+      "alert udp any any -> any 53 (msg:\"d\"; content:\"x\";)\n"
+      "# trailing comment\n");
+  ASSERT_EQ(rules.size(), 1u);
+  EXPECT_EQ(rules[0].dst_port, 53);
+}
+
+TEST(RuleParse, Errors) {
+  auto expect_err = [](std::string_view text, std::string_view needle) {
+    auto result = parse_snort_rules(text);
+    auto* err = std::get_if<RuleParseError>(&result);
+    ASSERT_NE(err, nullptr) << text;
+    EXPECT_NE(err->message.find(needle), std::string::npos) << err->message;
+  };
+  expect_err("drop tcp any any -> any 80 (content:\"x\";)", "alert");
+  expect_err("alert icmp any any -> any 80 (content:\"x\";)", "protocol");
+  expect_err("alert tcp any any <- any 80 (content:\"x\";)", "->");
+  expect_err("alert tcp any any -> any 99999 (content:\"x\";)", "port");
+  expect_err("alert tcp any any -> any 80 (msg:\"no content\";)", "content");
+  expect_err("alert tcp any any -> any 80 (content:\"|4|\";)", "content");
+  expect_err("alert tcp any any -> any 80 content:\"x\";", "(");
+}
+
+TEST(RuleParse, ParsedRulesDriveTheEngine) {
+  auto rules = parse_rules_ok(
+      "alert tcp any any -> any 80 (msg:\"ida\"; content:\".ida?\";)\n"
+      "alert tcp any any -> any any (msg:\"binsh\"; content:\"/bin/sh\";)\n");
+  SignatureEngine engine(std::move(rules));
+  EXPECT_TRUE(engine.any_match(gen::make_code_red_ii_request(), 80));
+  EXPECT_TRUE(engine.any_match(gen::make_shell_spawn_corpus()[0].code, 80));
+  EXPECT_FALSE(engine.any_match(util::as_bytes("harmless"), 80));
+}
+
+}  // namespace
+}  // namespace senids::sig

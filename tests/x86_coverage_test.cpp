@@ -1,0 +1,153 @@
+// Systematic decode-coverage sweeps: invariants that must hold for every
+// opcode byte and every ModRM/SIB shape, regardless of operands.
+#include <gtest/gtest.h>
+
+#include "util/prng.hpp"
+#include "x86/decoder.hpp"
+#include "x86/defuse.hpp"
+#include "x86/format.hpp"
+
+namespace senids::x86 {
+namespace {
+
+using util::Bytes;
+
+/// One-byte-opcode sweep: for every first byte, decoding any suffix must
+/// (a) never crash, (b) yield consistent length/validity, (c) produce a
+/// formatter string and def/use summary without UB.
+class OpcodeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(OpcodeSweep, InvariantsHold) {
+  const auto opcode = static_cast<std::uint8_t>(GetParam());
+  util::Prng prng(GetParam());
+  for (int trial = 0; trial < 64; ++trial) {
+    Bytes buf;
+    buf.push_back(opcode);
+    Bytes tail = prng.bytes(14);
+    buf.insert(buf.end(), tail.begin(), tail.end());
+
+    const Instruction insn = decode(buf, 0);
+    if (insn.valid()) {
+      ASSERT_GE(insn.length, 1);
+      ASSERT_LE(static_cast<std::size_t>(insn.length), buf.size());
+      // Formatter and def/use must be callable on every decoded form.
+      EXPECT_FALSE(format(insn).empty());
+      (void)def_use(insn);
+      // Operand invariants: no kNone gaps before a present operand.
+      bool seen_none = false;
+      for (const Operand& op : insn.ops) {
+        if (op.kind == OperandKind::kNone) {
+          seen_none = true;
+        } else {
+          EXPECT_FALSE(seen_none) << "operand after gap, opcode " << int(opcode);
+        }
+      }
+    } else {
+      EXPECT_LE(insn.length, 1);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOpcodes, OpcodeSweep, ::testing::Range(0, 256));
+
+/// Truncation sweep: every valid instruction must become invalid (not
+/// crash, not mis-decode into a longer form) when its buffer is cut at
+/// any interior byte.
+class TruncationSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TruncationSweep, PrefixesOfValidInstructionsAreSafe) {
+  const auto opcode = static_cast<std::uint8_t>(GetParam());
+  util::Prng prng(1000 + GetParam());
+  for (int trial = 0; trial < 16; ++trial) {
+    Bytes buf;
+    buf.push_back(opcode);
+    Bytes tail = prng.bytes(14);
+    buf.insert(buf.end(), tail.begin(), tail.end());
+    const Instruction full = decode(buf, 0);
+    if (!full.valid()) continue;
+    for (std::size_t cut = 1; cut < full.length; ++cut) {
+      Bytes shorter(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(cut));
+      const Instruction t = decode(shorter, 0);
+      // Either invalid, or a genuinely shorter instruction (possible when
+      // the cut removes only trailing bytes another encoding ignores) —
+      // never a claim of bytes beyond the buffer.
+      if (t.valid()) {
+        EXPECT_LE(static_cast<std::size_t>(t.length), shorter.size());
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOpcodes, TruncationSweep, ::testing::Range(0, 256));
+
+/// Self-consistency: decoding the same bytes twice is deterministic, and
+/// linear_sweep offsets tile the buffer without gaps or overlaps.
+TEST(DecoderConsistency, LinearSweepTilesBuffer) {
+  util::Prng prng(77);
+  for (int trial = 0; trial < 50; ++trial) {
+    Bytes buf = prng.bytes(256);
+    auto insns = linear_sweep(buf);
+    std::size_t expect = 0;
+    for (const auto& insn : insns) {
+      EXPECT_EQ(insn.offset, expect);
+      expect = insn.end_offset();
+    }
+    EXPECT_LE(expect, buf.size());
+  }
+}
+
+}  // namespace
+}  // namespace senids::x86
+
+namespace senids::x86 {
+namespace {
+
+/// Two-byte (0F xx) opcode sweep with the same invariants.
+class TwoByteOpcodeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TwoByteOpcodeSweep, InvariantsHold) {
+  const auto second = static_cast<std::uint8_t>(GetParam());
+  util::Prng prng(5000 + GetParam());
+  for (int trial = 0; trial < 32; ++trial) {
+    Bytes buf;
+    buf.push_back(0x0F);
+    buf.push_back(second);
+    Bytes tail = prng.bytes(13);
+    buf.insert(buf.end(), tail.begin(), tail.end());
+    const Instruction insn = decode(buf, 0);
+    if (insn.valid()) {
+      ASSERT_GE(insn.length, 2);
+      ASSERT_LE(static_cast<std::size_t>(insn.length), buf.size());
+      EXPECT_FALSE(format(insn).empty());
+      (void)def_use(insn);
+    } else {
+      EXPECT_LE(insn.length, 1);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(All, TwoByteOpcodeSweep, ::testing::Range(0, 256));
+
+/// Prefix pile-ups: every prefix combination before a simple opcode must
+/// decode consistently or be rejected, never mis-size.
+class PrefixSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PrefixSweep, PrefixCombinationsAreSafe) {
+  static constexpr std::uint8_t kPrefixes[] = {0x66, 0xF0, 0xF2, 0xF3, 0x2E, 0x64};
+  const unsigned mask = static_cast<unsigned>(GetParam());
+  Bytes buf;
+  for (unsigned i = 0; i < std::size(kPrefixes); ++i) {
+    if (mask & (1u << i)) buf.push_back(kPrefixes[i]);
+  }
+  buf.push_back(0x89);  // mov rm32, r32
+  buf.push_back(0xD8);  // mov eax, ebx
+  const Instruction insn = decode(buf, 0);
+  ASSERT_TRUE(insn.valid());
+  EXPECT_EQ(static_cast<std::size_t>(insn.length), buf.size());
+  EXPECT_EQ(insn.mnemonic, Mnemonic::kMov);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, PrefixSweep, ::testing::Range(0, 64));
+
+}  // namespace
+}  // namespace senids::x86

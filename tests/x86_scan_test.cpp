@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include "gen/emitter.hpp"
+#include "gen/poly.hpp"
+#include "util/prng.hpp"
+#include "x86/scan.hpp"
+
+namespace senids::x86 {
+namespace {
+
+using gen::Asm;
+using gen::R32;
+using gen::R8;
+using util::Bytes;
+
+// ----------------------------------------------------------- code runs
+
+TEST(FindCodeRuns, EmptyBuffer) {
+  Bytes empty;
+  EXPECT_TRUE(find_code_runs(empty).empty());
+}
+
+TEST(FindCodeRuns, AllNops) {
+  Bytes code(64, 0x90);
+  auto runs = find_code_runs(code, 6);
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0].start, 0u);
+  EXPECT_EQ(runs[0].insn_count, 64u);
+  EXPECT_EQ(runs[0].byte_len, 64u);
+}
+
+TEST(FindCodeRuns, SuppressesTailRuns) {
+  // A run starting at offset 1 inside the offset-0 run must not be
+  // reported separately.
+  Bytes code(32, 0x40);  // inc eax * 32
+  auto runs = find_code_runs(code, 4);
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0].start, 0u);
+}
+
+TEST(FindCodeRuns, FindsRunAfterInvalidBytes) {
+  Bytes code;
+  code.insert(code.end(), 8, 0xD8);  // x87 escapes: invalid
+  code.insert(code.end(), 16, 0x90);
+  auto runs = find_code_runs(code, 6);
+  ASSERT_GE(runs.size(), 1u);
+  bool found = false;
+  for (const auto& r : runs) {
+    if (r.start == 8 && r.insn_count == 16) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(FindCodeRuns, MinInsnsFiltersShortRuns) {
+  Bytes code;
+  code.insert(code.end(), 4, 0x90);
+  code.push_back(0xD8);  // invalid separator
+  code.push_back(0xC0);
+  auto runs = find_code_runs(code, 6);
+  EXPECT_TRUE(runs.empty());
+}
+
+TEST(FindCodeRuns, ShellcodeYieldsLongRun) {
+  util::Prng prng(3);
+  gen::PolyResult poly = gen::admmutate_encode(util::to_bytes("payloadpayload"), prng);
+  auto runs = find_code_runs(poly.bytes, 6);
+  ASSERT_FALSE(runs.empty());
+  // The run starting at (or before) the sled should cover the decoder.
+  EXPECT_LE(runs[0].start, poly.sled_len);
+  EXPECT_GE(runs[0].insn_count, 10u);
+}
+
+// ----------------------------------------------------- execution traces
+
+TEST(ExecutionTrace, FollowsUnconditionalJmp) {
+  // jmp +2; (skipped bytes); inc eax; ret
+  Asm a;
+  auto l = a.new_label();
+  a.jmp_short(l);
+  a.raw8(0xD8);  // junk that must NOT appear in the trace
+  a.raw8(0xD8);
+  a.bind(l);
+  a.inc_r32(R32::eax);
+  a.ret();
+  Bytes code = a.finish();
+
+  auto trace = execution_trace(code, 0);
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace[0].mnemonic, Mnemonic::kJmp);
+  EXPECT_EQ(trace[1].mnemonic, Mnemonic::kInc);
+  EXPECT_EQ(trace[2].mnemonic, Mnemonic::kRet);
+}
+
+TEST(ExecutionTrace, FollowsCallTarget) {
+  // jmp get; main: pop ebx; ret; get: call main; <data>
+  Asm a;
+  auto lmain = a.new_label();
+  auto lget = a.new_label();
+  a.jmp_short(lget);
+  a.bind(lmain);
+  a.pop_r32(R32::ebx);
+  a.ret();
+  a.bind(lget);
+  a.call(lmain);
+  a.raw(util::to_bytes("/bin/sh"));
+  Bytes code = a.finish();
+
+  auto trace = execution_trace(code, 0);
+  ASSERT_EQ(trace.size(), 4u);
+  EXPECT_EQ(trace[0].mnemonic, Mnemonic::kJmp);
+  EXPECT_EQ(trace[1].mnemonic, Mnemonic::kCall);
+  EXPECT_EQ(trace[2].mnemonic, Mnemonic::kPop);
+  EXPECT_EQ(trace[3].mnemonic, Mnemonic::kRet);
+}
+
+TEST(ExecutionTrace, StopsAtLoopClosure) {
+  // head: xor byte [eax], 0x95; inc eax; loop head; ret
+  Asm a;
+  auto head = a.new_label();
+  a.bind(head);
+  a.xor_mem8_imm8(R32::eax, 0x95);
+  a.inc_r32(R32::eax);
+  a.loop_(head);
+  a.ret();
+  Bytes code = a.finish();
+
+  auto trace = execution_trace(code, 0);
+  // Falls through the conditional loop once, reaching ret; no revisit.
+  ASSERT_EQ(trace.size(), 4u);
+  EXPECT_EQ(trace[2].mnemonic, Mnemonic::kLoop);
+  EXPECT_EQ(trace[3].mnemonic, Mnemonic::kRet);
+}
+
+TEST(ExecutionTrace, ClosesWhenJmpRevisits) {
+  // A: inc eax; jmp A  -- trace must terminate.
+  Asm a;
+  auto head = a.new_label();
+  a.bind(head);
+  a.inc_r32(R32::eax);
+  a.jmp_short(head);
+  Bytes code = a.finish();
+
+  auto trace = execution_trace(code, 0);
+  EXPECT_EQ(trace.size(), 2u);
+}
+
+TEST(ExecutionTrace, OutOfOrderBlocksLinearized) {
+  // Figure 1(c) shape: physical order differs from execution order.
+  Asm a;
+  auto one = a.new_label();
+  auto two = a.new_label();
+  auto three = a.new_label();
+  // entry:
+  a.mov_r32_imm32(R32::ecx, 0);
+  a.inc_r32(R32::ecx);
+  a.inc_r32(R32::ecx);
+  a.jmp_short(one);
+  a.bind(two);
+  a.add_r32_imm(R32::eax, 1);
+  a.jmp_short(three);
+  a.bind(one);
+  a.mov_r32_imm32(R32::ebx, 0x31);
+  a.add_r32_imm(R32::ebx, 0x64);
+  a.xor_mem8_r8(R32::eax, R8::bl);
+  a.jmp_short(two);
+  a.bind(three);
+  a.ret();
+  Bytes code = a.finish();
+
+  auto trace = execution_trace(code, 0);
+  // Execution order: mov ecx, inc, inc, jmp, mov ebx, add ebx, xor, jmp,
+  // add eax, jmp, ret.
+  std::vector<Mnemonic> got;
+  for (const auto& insn : trace) got.push_back(insn.mnemonic);
+  std::vector<Mnemonic> want{
+      Mnemonic::kMov, Mnemonic::kInc, Mnemonic::kInc, Mnemonic::kJmp,
+      Mnemonic::kMov, Mnemonic::kAdd, Mnemonic::kXor, Mnemonic::kJmp,
+      Mnemonic::kAdd, Mnemonic::kJmp, Mnemonic::kRet};
+  EXPECT_EQ(got, want);
+}
+
+TEST(ExecutionTrace, StopsAtInvalidByte) {
+  Bytes code{0x90, 0xD8, 0x90};
+  auto trace = execution_trace(code, 0);
+  EXPECT_EQ(trace.size(), 1u);
+}
+
+TEST(ExecutionTrace, StopsAtBufferEscape) {
+  Asm a;
+  auto far = a.new_label();
+  a.inc_r32(R32::eax);
+  a.jmp(far);  // target bound past the end? bind at end, then truncate
+  a.bind(far);
+  Bytes code = a.finish();
+  code.resize(code.size());  // target == size: out of buffer
+  auto trace = execution_trace(code, 0);
+  EXPECT_EQ(trace.size(), 2u);
+}
+
+TEST(ExecutionTrace, MaxInsnsRespected) {
+  Bytes code(1000, 0x90);
+  EXPECT_EQ(execution_trace(code, 0, 100).size(), 100u);
+}
+
+TEST(ExecutionTrace, EntryBeyondBufferEmpty) {
+  Bytes code(4, 0x90);
+  EXPECT_TRUE(execution_trace(code, 10).empty());
+}
+
+TEST(ExecutionTrace, ConditionalBranchFallsThrough) {
+  Asm a;
+  auto skip = a.new_label();
+  a.test_r32_r32(R32::eax, R32::eax);
+  a.jnz(skip);
+  a.inc_r32(R32::ebx);  // fall-through path: must be in the trace
+  a.bind(skip);
+  a.ret();
+  Bytes code = a.finish();
+  auto trace = execution_trace(code, 0);
+  ASSERT_EQ(trace.size(), 4u);
+  EXPECT_EQ(trace[2].mnemonic, Mnemonic::kInc);
+}
+
+}  // namespace
+}  // namespace senids::x86

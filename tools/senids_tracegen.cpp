@@ -1,0 +1,156 @@
+// senids_tracegen: synthesize labeled pcap traces for NIDS testing. The
+// attacks and background traffic mirror the paper's evaluation workloads;
+// ground truth is printed so deployments can score their configuration.
+//
+//   senids_tracegen [options] <out.pcap>
+//     --seed <n>             PRNG seed (default 1)
+//     --benign <n>           benign flows (default 200)
+//     --attack <name>        plant one attack (repeatable):
+//                            shell | bindshell | poly | clet | codered | mailworm
+//     --scan                 precede each attack with a dark-space scan
+//     --list                 list attack names and exit
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "gen/benign.hpp"
+#include "gen/codered.hpp"
+#include "gen/mailworm.hpp"
+#include "gen/poly.hpp"
+#include "gen/shellcode.hpp"
+#include "gen/traffic.hpp"
+
+using namespace senids;
+
+namespace {
+
+const char* const kAttackNames[] = {"shell", "bindshell", "poly", "clet",
+                                    "codered", "mailworm"};
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [options] <out.pcap>\n"
+               "  --seed <n>      PRNG seed\n"
+               "  --benign <n>    number of benign flows (default 200)\n"
+               "  --attack <name> plant an attack (repeatable); --list shows names\n"
+               "  --scan          precede attacks with dark-space scans\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t seed = 1;
+  std::size_t benign = 200;
+  std::vector<std::string> attacks;
+  bool with_scan = false;
+  std::string out_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", argv[i]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--seed") {
+      seed = static_cast<std::uint64_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--benign") {
+      benign = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--attack") {
+      attacks.emplace_back(next());
+    } else if (arg == "--scan") {
+      with_scan = true;
+    } else if (arg == "--list") {
+      for (const char* name : kAttackNames) std::printf("%s\n", name);
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option: %s\n", argv[i]);
+      return 2;
+    } else {
+      out_path = std::string(arg);
+    }
+  }
+  if (out_path.empty()) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  gen::TraceBuilder tb(seed);
+  util::Prng& prng = tb.prng();
+  const net::Ipv4Addr server = net::Ipv4Addr::from_octets(10, 0, 0, 20);
+  const net::Ipv4Addr honeypot = net::Ipv4Addr::from_octets(10, 0, 0, 7);
+  const net::Ipv4Addr mail_server = net::Ipv4Addr::from_octets(10, 0, 0, 25);
+
+  std::printf("# ground truth (seed %llu)\n", static_cast<unsigned long long>(seed));
+  std::printf("honeypot 10.0.0.7\ndark 10.0.200.0/24\n");
+
+  // Interleave attacks into the benign stream at random points.
+  std::size_t benign_emitted = 0;
+  std::size_t attack_idx = 0;
+  auto emit_benign = [&](std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) {
+      const net::Endpoint client{
+          net::Ipv4Addr::from_octets(198, 51, 100,
+                                     static_cast<std::uint8_t>(1 + prng.below(250))),
+          static_cast<std::uint16_t>(32768 + prng.below(20000))};
+      tb.add_benign(client, server, gen::make_benign_payload(prng));
+      ++benign_emitted;
+    }
+  };
+
+  for (const std::string& attack : attacks) {
+    emit_benign(benign / (attacks.size() + 1));
+    const net::Endpoint attacker{
+        net::Ipv4Addr::from_octets(203, 0, 113, static_cast<std::uint8_t>(10 + attack_idx)),
+        static_cast<std::uint16_t>(31000 + attack_idx)};
+    ++attack_idx;
+    if (with_scan) {
+      tb.add_syn_scan(attacker, net::Ipv4Addr::from_octets(10, 0, 200, 1), 80, 8);
+    }
+    auto corpus = gen::make_shell_spawn_corpus();
+    if (attack == "shell") {
+      tb.add_tcp_flow(attacker, net::Endpoint{honeypot, 80},
+                      gen::wrap_in_overflow(corpus[prng.below(8)].code, prng));
+    } else if (attack == "bindshell") {
+      tb.add_tcp_flow(attacker, net::Endpoint{honeypot, 80},
+                      gen::wrap_in_overflow(corpus[8 + prng.below(2)].code, prng));
+    } else if (attack == "poly") {
+      auto poly = gen::admmutate_encode(corpus[1].code, prng);
+      tb.add_tcp_flow(attacker, net::Endpoint{honeypot, 80},
+                      gen::wrap_in_overflow(poly.bytes, prng));
+    } else if (attack == "clet") {
+      auto clet = gen::clet_encode(corpus[1].code, prng);
+      tb.add_tcp_flow(attacker, net::Endpoint{honeypot, 80},
+                      gen::wrap_in_overflow(clet.bytes, prng));
+    } else if (attack == "codered") {
+      gen::CodeRedOptions cr;
+      cr.vary_padding = true;
+      tb.add_tcp_flow(attacker, net::Endpoint{server, 80},
+                      gen::make_code_red_ii_request(prng, cr));
+    } else if (attack == "mailworm") {
+      auto worm = gen::make_email_worm(prng);
+      tb.add_tcp_flow(attacker, net::Endpoint{mail_server, 25}, worm.smtp_payload);
+    } else {
+      std::fprintf(stderr, "unknown attack: %s (see --list)\n", attack.c_str());
+      return 2;
+    }
+    std::printf("attack %s from %s\n", attack.c_str(), attacker.ip.str().c_str());
+  }
+  emit_benign(benign - benign_emitted);
+
+  if (!pcap::write_file(out_path, tb.capture())) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("# wrote %s: %zu records, %zu benign flows, %zu attacks\n",
+              out_path.c_str(), tb.capture().records.size(), benign_emitted,
+              attacks.size());
+  return 0;
+}
