@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_deep_detection.dir/bench_deep_detection.cpp.o"
+  "CMakeFiles/bench_deep_detection.dir/bench_deep_detection.cpp.o.d"
+  "bench_deep_detection"
+  "bench_deep_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_deep_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

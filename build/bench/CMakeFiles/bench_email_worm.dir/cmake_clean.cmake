@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_email_worm.dir/bench_email_worm.cpp.o"
+  "CMakeFiles/bench_email_worm.dir/bench_email_worm.cpp.o.d"
+  "bench_email_worm"
+  "bench_email_worm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_email_worm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

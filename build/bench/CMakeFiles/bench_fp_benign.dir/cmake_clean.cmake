@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fp_benign.dir/bench_fp_benign.cpp.o"
+  "CMakeFiles/bench_fp_benign.dir/bench_fp_benign.cpp.o.d"
+  "bench_fp_benign"
+  "bench_fp_benign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fp_benign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

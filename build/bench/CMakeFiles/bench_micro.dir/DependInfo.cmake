@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro.cpp" "bench/CMakeFiles/bench_micro.dir/bench_micro.cpp.o" "gcc" "bench/CMakeFiles/bench_micro.dir/bench_micro.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/semantic/CMakeFiles/senids_semantic.dir/DependInfo.cmake"
+  "/root/repo/build/src/sig/CMakeFiles/senids_sig.dir/DependInfo.cmake"
+  "/root/repo/build/src/extract/CMakeFiles/senids_extract.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/senids_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/emu/CMakeFiles/senids_emu.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/senids_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/senids_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcap/CMakeFiles/senids_pcap.dir/DependInfo.cmake"
+  "/root/repo/build/src/x86/CMakeFiles/senids_x86.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/senids_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_payl_roc.dir/bench_payl_roc.cpp.o"
+  "CMakeFiles/bench_payl_roc.dir/bench_payl_roc.cpp.o.d"
+  "bench_payl_roc"
+  "bench_payl_roc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_payl_roc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

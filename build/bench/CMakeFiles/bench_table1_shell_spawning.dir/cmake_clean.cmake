@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_shell_spawning.dir/bench_table1_shell_spawning.cpp.o"
+  "CMakeFiles/bench_table1_shell_spawning.dir/bench_table1_shell_spawning.cpp.o.d"
+  "bench_table1_shell_spawning"
+  "bench_table1_shell_spawning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_shell_spawning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_codered.dir/bench_table3_codered.cpp.o"
+  "CMakeFiles/bench_table3_codered.dir/bench_table3_codered.cpp.o.d"
+  "bench_table3_codered"
+  "bench_table3_codered.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_codered.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

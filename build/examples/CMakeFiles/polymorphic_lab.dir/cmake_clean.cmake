@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polymorphic_lab.dir/polymorphic_lab.cpp.o"
+  "CMakeFiles/polymorphic_lab.dir/polymorphic_lab.cpp.o.d"
+  "polymorphic_lab"
+  "polymorphic_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polymorphic_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/template_authoring.dir/template_authoring.cpp.o"
+  "CMakeFiles/template_authoring.dir/template_authoring.cpp.o.d"
+  "template_authoring"
+  "template_authoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/template_authoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

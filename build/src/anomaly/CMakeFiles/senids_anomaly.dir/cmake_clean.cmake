@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/senids_anomaly.dir/payl.cpp.o"
+  "CMakeFiles/senids_anomaly.dir/payl.cpp.o.d"
+  "libsenids_anomaly.a"
+  "libsenids_anomaly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/senids_anomaly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/classify/classifier.cpp" "src/classify/CMakeFiles/senids_classify.dir/classifier.cpp.o" "gcc" "src/classify/CMakeFiles/senids_classify.dir/classifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/senids_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/senids_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcap/CMakeFiles/senids_pcap.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/senids_classify.dir/classifier.cpp.o"
+  "CMakeFiles/senids_classify.dir/classifier.cpp.o.d"
+  "libsenids_classify.a"
+  "libsenids_classify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/senids_classify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

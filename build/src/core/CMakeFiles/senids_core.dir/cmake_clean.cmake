@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/senids_core.dir/engine.cpp.o"
+  "CMakeFiles/senids_core.dir/engine.cpp.o.d"
+  "CMakeFiles/senids_core.dir/session.cpp.o"
+  "CMakeFiles/senids_core.dir/session.cpp.o.d"
+  "libsenids_core.a"
+  "libsenids_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/senids_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/emu/cpu.cpp" "src/emu/CMakeFiles/senids_emu.dir/cpu.cpp.o" "gcc" "src/emu/CMakeFiles/senids_emu.dir/cpu.cpp.o.d"
+  "/root/repo/src/emu/memory.cpp" "src/emu/CMakeFiles/senids_emu.dir/memory.cpp.o" "gcc" "src/emu/CMakeFiles/senids_emu.dir/memory.cpp.o.d"
+  "/root/repo/src/emu/shellemu.cpp" "src/emu/CMakeFiles/senids_emu.dir/shellemu.cpp.o" "gcc" "src/emu/CMakeFiles/senids_emu.dir/shellemu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/senids_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/x86/CMakeFiles/senids_x86.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/senids_emu.dir/cpu.cpp.o"
+  "CMakeFiles/senids_emu.dir/cpu.cpp.o.d"
+  "CMakeFiles/senids_emu.dir/memory.cpp.o"
+  "CMakeFiles/senids_emu.dir/memory.cpp.o.d"
+  "CMakeFiles/senids_emu.dir/shellemu.cpp.o"
+  "CMakeFiles/senids_emu.dir/shellemu.cpp.o.d"
+  "libsenids_emu.a"
+  "libsenids_emu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/senids_emu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/extract/base64.cpp" "src/extract/CMakeFiles/senids_extract.dir/base64.cpp.o" "gcc" "src/extract/CMakeFiles/senids_extract.dir/base64.cpp.o.d"
+  "/root/repo/src/extract/extractor.cpp" "src/extract/CMakeFiles/senids_extract.dir/extractor.cpp.o" "gcc" "src/extract/CMakeFiles/senids_extract.dir/extractor.cpp.o.d"
+  "/root/repo/src/extract/heuristics.cpp" "src/extract/CMakeFiles/senids_extract.dir/heuristics.cpp.o" "gcc" "src/extract/CMakeFiles/senids_extract.dir/heuristics.cpp.o.d"
+  "/root/repo/src/extract/http.cpp" "src/extract/CMakeFiles/senids_extract.dir/http.cpp.o" "gcc" "src/extract/CMakeFiles/senids_extract.dir/http.cpp.o.d"
+  "/root/repo/src/extract/unicode.cpp" "src/extract/CMakeFiles/senids_extract.dir/unicode.cpp.o" "gcc" "src/extract/CMakeFiles/senids_extract.dir/unicode.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/senids_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/senids_extract.dir/base64.cpp.o"
+  "CMakeFiles/senids_extract.dir/base64.cpp.o.d"
+  "CMakeFiles/senids_extract.dir/extractor.cpp.o"
+  "CMakeFiles/senids_extract.dir/extractor.cpp.o.d"
+  "CMakeFiles/senids_extract.dir/heuristics.cpp.o"
+  "CMakeFiles/senids_extract.dir/heuristics.cpp.o.d"
+  "CMakeFiles/senids_extract.dir/http.cpp.o"
+  "CMakeFiles/senids_extract.dir/http.cpp.o.d"
+  "CMakeFiles/senids_extract.dir/unicode.cpp.o"
+  "CMakeFiles/senids_extract.dir/unicode.cpp.o.d"
+  "libsenids_extract.a"
+  "libsenids_extract.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/senids_extract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/benign.cpp" "src/gen/CMakeFiles/senids_gen.dir/benign.cpp.o" "gcc" "src/gen/CMakeFiles/senids_gen.dir/benign.cpp.o.d"
+  "/root/repo/src/gen/codered.cpp" "src/gen/CMakeFiles/senids_gen.dir/codered.cpp.o" "gcc" "src/gen/CMakeFiles/senids_gen.dir/codered.cpp.o.d"
+  "/root/repo/src/gen/emitter.cpp" "src/gen/CMakeFiles/senids_gen.dir/emitter.cpp.o" "gcc" "src/gen/CMakeFiles/senids_gen.dir/emitter.cpp.o.d"
+  "/root/repo/src/gen/mailworm.cpp" "src/gen/CMakeFiles/senids_gen.dir/mailworm.cpp.o" "gcc" "src/gen/CMakeFiles/senids_gen.dir/mailworm.cpp.o.d"
+  "/root/repo/src/gen/poly.cpp" "src/gen/CMakeFiles/senids_gen.dir/poly.cpp.o" "gcc" "src/gen/CMakeFiles/senids_gen.dir/poly.cpp.o.d"
+  "/root/repo/src/gen/shellcode.cpp" "src/gen/CMakeFiles/senids_gen.dir/shellcode.cpp.o" "gcc" "src/gen/CMakeFiles/senids_gen.dir/shellcode.cpp.o.d"
+  "/root/repo/src/gen/traffic.cpp" "src/gen/CMakeFiles/senids_gen.dir/traffic.cpp.o" "gcc" "src/gen/CMakeFiles/senids_gen.dir/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/senids_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/senids_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcap/CMakeFiles/senids_pcap.dir/DependInfo.cmake"
+  "/root/repo/build/src/x86/CMakeFiles/senids_x86.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

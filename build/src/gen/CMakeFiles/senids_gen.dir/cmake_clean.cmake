@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/senids_gen.dir/benign.cpp.o"
+  "CMakeFiles/senids_gen.dir/benign.cpp.o.d"
+  "CMakeFiles/senids_gen.dir/codered.cpp.o"
+  "CMakeFiles/senids_gen.dir/codered.cpp.o.d"
+  "CMakeFiles/senids_gen.dir/emitter.cpp.o"
+  "CMakeFiles/senids_gen.dir/emitter.cpp.o.d"
+  "CMakeFiles/senids_gen.dir/mailworm.cpp.o"
+  "CMakeFiles/senids_gen.dir/mailworm.cpp.o.d"
+  "CMakeFiles/senids_gen.dir/poly.cpp.o"
+  "CMakeFiles/senids_gen.dir/poly.cpp.o.d"
+  "CMakeFiles/senids_gen.dir/shellcode.cpp.o"
+  "CMakeFiles/senids_gen.dir/shellcode.cpp.o.d"
+  "CMakeFiles/senids_gen.dir/traffic.cpp.o"
+  "CMakeFiles/senids_gen.dir/traffic.cpp.o.d"
+  "libsenids_gen.a"
+  "libsenids_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/senids_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/deadcode.cpp" "src/ir/CMakeFiles/senids_ir.dir/deadcode.cpp.o" "gcc" "src/ir/CMakeFiles/senids_ir.dir/deadcode.cpp.o.d"
+  "/root/repo/src/ir/expr.cpp" "src/ir/CMakeFiles/senids_ir.dir/expr.cpp.o" "gcc" "src/ir/CMakeFiles/senids_ir.dir/expr.cpp.o.d"
+  "/root/repo/src/ir/lifter.cpp" "src/ir/CMakeFiles/senids_ir.dir/lifter.cpp.o" "gcc" "src/ir/CMakeFiles/senids_ir.dir/lifter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/senids_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/x86/CMakeFiles/senids_x86.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/senids_ir.dir/deadcode.cpp.o"
+  "CMakeFiles/senids_ir.dir/deadcode.cpp.o.d"
+  "CMakeFiles/senids_ir.dir/expr.cpp.o"
+  "CMakeFiles/senids_ir.dir/expr.cpp.o.d"
+  "CMakeFiles/senids_ir.dir/lifter.cpp.o"
+  "CMakeFiles/senids_ir.dir/lifter.cpp.o.d"
+  "libsenids_ir.a"
+  "libsenids_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/senids_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

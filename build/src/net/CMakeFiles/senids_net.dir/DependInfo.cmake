@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/defrag.cpp" "src/net/CMakeFiles/senids_net.dir/defrag.cpp.o" "gcc" "src/net/CMakeFiles/senids_net.dir/defrag.cpp.o.d"
+  "/root/repo/src/net/flow.cpp" "src/net/CMakeFiles/senids_net.dir/flow.cpp.o" "gcc" "src/net/CMakeFiles/senids_net.dir/flow.cpp.o.d"
+  "/root/repo/src/net/forge.cpp" "src/net/CMakeFiles/senids_net.dir/forge.cpp.o" "gcc" "src/net/CMakeFiles/senids_net.dir/forge.cpp.o.d"
+  "/root/repo/src/net/headers.cpp" "src/net/CMakeFiles/senids_net.dir/headers.cpp.o" "gcc" "src/net/CMakeFiles/senids_net.dir/headers.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/net/CMakeFiles/senids_net.dir/packet.cpp.o" "gcc" "src/net/CMakeFiles/senids_net.dir/packet.cpp.o.d"
+  "/root/repo/src/net/reassembly.cpp" "src/net/CMakeFiles/senids_net.dir/reassembly.cpp.o" "gcc" "src/net/CMakeFiles/senids_net.dir/reassembly.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/senids_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcap/CMakeFiles/senids_pcap.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

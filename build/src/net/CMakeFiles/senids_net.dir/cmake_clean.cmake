@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/senids_net.dir/defrag.cpp.o"
+  "CMakeFiles/senids_net.dir/defrag.cpp.o.d"
+  "CMakeFiles/senids_net.dir/flow.cpp.o"
+  "CMakeFiles/senids_net.dir/flow.cpp.o.d"
+  "CMakeFiles/senids_net.dir/forge.cpp.o"
+  "CMakeFiles/senids_net.dir/forge.cpp.o.d"
+  "CMakeFiles/senids_net.dir/headers.cpp.o"
+  "CMakeFiles/senids_net.dir/headers.cpp.o.d"
+  "CMakeFiles/senids_net.dir/packet.cpp.o"
+  "CMakeFiles/senids_net.dir/packet.cpp.o.d"
+  "CMakeFiles/senids_net.dir/reassembly.cpp.o"
+  "CMakeFiles/senids_net.dir/reassembly.cpp.o.d"
+  "libsenids_net.a"
+  "libsenids_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/senids_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

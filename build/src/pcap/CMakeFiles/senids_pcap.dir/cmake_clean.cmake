@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/senids_pcap.dir/pcap.cpp.o"
+  "CMakeFiles/senids_pcap.dir/pcap.cpp.o.d"
+  "libsenids_pcap.a"
+  "libsenids_pcap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/senids_pcap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/semantic/analyzer.cpp" "src/semantic/CMakeFiles/senids_semantic.dir/analyzer.cpp.o" "gcc" "src/semantic/CMakeFiles/senids_semantic.dir/analyzer.cpp.o.d"
+  "/root/repo/src/semantic/dsl.cpp" "src/semantic/CMakeFiles/senids_semantic.dir/dsl.cpp.o" "gcc" "src/semantic/CMakeFiles/senids_semantic.dir/dsl.cpp.o.d"
+  "/root/repo/src/semantic/library.cpp" "src/semantic/CMakeFiles/senids_semantic.dir/library.cpp.o" "gcc" "src/semantic/CMakeFiles/senids_semantic.dir/library.cpp.o.d"
+  "/root/repo/src/semantic/pattern.cpp" "src/semantic/CMakeFiles/senids_semantic.dir/pattern.cpp.o" "gcc" "src/semantic/CMakeFiles/senids_semantic.dir/pattern.cpp.o.d"
+  "/root/repo/src/semantic/template.cpp" "src/semantic/CMakeFiles/senids_semantic.dir/template.cpp.o" "gcc" "src/semantic/CMakeFiles/senids_semantic.dir/template.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/senids_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/x86/CMakeFiles/senids_x86.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/senids_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/senids_semantic.dir/analyzer.cpp.o"
+  "CMakeFiles/senids_semantic.dir/analyzer.cpp.o.d"
+  "CMakeFiles/senids_semantic.dir/dsl.cpp.o"
+  "CMakeFiles/senids_semantic.dir/dsl.cpp.o.d"
+  "CMakeFiles/senids_semantic.dir/library.cpp.o"
+  "CMakeFiles/senids_semantic.dir/library.cpp.o.d"
+  "CMakeFiles/senids_semantic.dir/pattern.cpp.o"
+  "CMakeFiles/senids_semantic.dir/pattern.cpp.o.d"
+  "CMakeFiles/senids_semantic.dir/template.cpp.o"
+  "CMakeFiles/senids_semantic.dir/template.cpp.o.d"
+  "libsenids_semantic.a"
+  "libsenids_semantic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/senids_semantic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sig/aho.cpp" "src/sig/CMakeFiles/senids_sig.dir/aho.cpp.o" "gcc" "src/sig/CMakeFiles/senids_sig.dir/aho.cpp.o.d"
+  "/root/repo/src/sig/ruleparse.cpp" "src/sig/CMakeFiles/senids_sig.dir/ruleparse.cpp.o" "gcc" "src/sig/CMakeFiles/senids_sig.dir/ruleparse.cpp.o.d"
+  "/root/repo/src/sig/rules.cpp" "src/sig/CMakeFiles/senids_sig.dir/rules.cpp.o" "gcc" "src/sig/CMakeFiles/senids_sig.dir/rules.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/senids_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

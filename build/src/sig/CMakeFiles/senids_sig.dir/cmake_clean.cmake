@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/senids_sig.dir/aho.cpp.o"
+  "CMakeFiles/senids_sig.dir/aho.cpp.o.d"
+  "CMakeFiles/senids_sig.dir/ruleparse.cpp.o"
+  "CMakeFiles/senids_sig.dir/ruleparse.cpp.o.d"
+  "CMakeFiles/senids_sig.dir/rules.cpp.o"
+  "CMakeFiles/senids_sig.dir/rules.cpp.o.d"
+  "libsenids_sig.a"
+  "libsenids_sig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/senids_sig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

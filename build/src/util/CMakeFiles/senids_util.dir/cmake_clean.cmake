@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/senids_util.dir/bytes.cpp.o"
+  "CMakeFiles/senids_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/senids_util.dir/hexdump.cpp.o"
+  "CMakeFiles/senids_util.dir/hexdump.cpp.o.d"
+  "CMakeFiles/senids_util.dir/log.cpp.o"
+  "CMakeFiles/senids_util.dir/log.cpp.o.d"
+  "CMakeFiles/senids_util.dir/prng.cpp.o"
+  "CMakeFiles/senids_util.dir/prng.cpp.o.d"
+  "CMakeFiles/senids_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/senids_util.dir/thread_pool.cpp.o.d"
+  "libsenids_util.a"
+  "libsenids_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/senids_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

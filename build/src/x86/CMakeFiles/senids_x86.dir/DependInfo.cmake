@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/x86/decoder.cpp" "src/x86/CMakeFiles/senids_x86.dir/decoder.cpp.o" "gcc" "src/x86/CMakeFiles/senids_x86.dir/decoder.cpp.o.d"
+  "/root/repo/src/x86/defuse.cpp" "src/x86/CMakeFiles/senids_x86.dir/defuse.cpp.o" "gcc" "src/x86/CMakeFiles/senids_x86.dir/defuse.cpp.o.d"
+  "/root/repo/src/x86/format.cpp" "src/x86/CMakeFiles/senids_x86.dir/format.cpp.o" "gcc" "src/x86/CMakeFiles/senids_x86.dir/format.cpp.o.d"
+  "/root/repo/src/x86/reg.cpp" "src/x86/CMakeFiles/senids_x86.dir/reg.cpp.o" "gcc" "src/x86/CMakeFiles/senids_x86.dir/reg.cpp.o.d"
+  "/root/repo/src/x86/scan.cpp" "src/x86/CMakeFiles/senids_x86.dir/scan.cpp.o" "gcc" "src/x86/CMakeFiles/senids_x86.dir/scan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/senids_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

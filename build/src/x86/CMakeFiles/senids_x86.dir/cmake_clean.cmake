@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/senids_x86.dir/decoder.cpp.o"
+  "CMakeFiles/senids_x86.dir/decoder.cpp.o.d"
+  "CMakeFiles/senids_x86.dir/defuse.cpp.o"
+  "CMakeFiles/senids_x86.dir/defuse.cpp.o.d"
+  "CMakeFiles/senids_x86.dir/format.cpp.o"
+  "CMakeFiles/senids_x86.dir/format.cpp.o.d"
+  "CMakeFiles/senids_x86.dir/reg.cpp.o"
+  "CMakeFiles/senids_x86.dir/reg.cpp.o.d"
+  "CMakeFiles/senids_x86.dir/scan.cpp.o"
+  "CMakeFiles/senids_x86.dir/scan.cpp.o.d"
+  "libsenids_x86.a"
+  "libsenids_x86.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/senids_x86.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

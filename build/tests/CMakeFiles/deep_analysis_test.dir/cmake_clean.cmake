@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deep_analysis_test.dir/deep_analysis_test.cpp.o"
+  "CMakeFiles/deep_analysis_test.dir/deep_analysis_test.cpp.o.d"
+  "deep_analysis_test"
+  "deep_analysis_test.pdb"
+  "deep_analysis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deep_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

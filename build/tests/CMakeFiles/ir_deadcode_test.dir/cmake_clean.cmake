@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_deadcode_test.dir/ir_deadcode_test.cpp.o"
+  "CMakeFiles/ir_deadcode_test.dir/ir_deadcode_test.cpp.o.d"
+  "ir_deadcode_test"
+  "ir_deadcode_test.pdb"
+  "ir_deadcode_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_deadcode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_lifter_test.dir/ir_lifter_test.cpp.o"
+  "CMakeFiles/ir_lifter_test.dir/ir_lifter_test.cpp.o.d"
+  "ir_lifter_test"
+  "ir_lifter_test.pdb"
+  "ir_lifter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_lifter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mailworm_test.dir/mailworm_test.cpp.o"
+  "CMakeFiles/mailworm_test.dir/mailworm_test.cpp.o.d"
+  "mailworm_test"
+  "mailworm_test.pdb"
+  "mailworm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mailworm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

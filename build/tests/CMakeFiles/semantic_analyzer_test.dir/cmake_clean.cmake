@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semantic_analyzer_test.dir/semantic_analyzer_test.cpp.o"
+  "CMakeFiles/semantic_analyzer_test.dir/semantic_analyzer_test.cpp.o.d"
+  "semantic_analyzer_test"
+  "semantic_analyzer_test.pdb"
+  "semantic_analyzer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semantic_analyzer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

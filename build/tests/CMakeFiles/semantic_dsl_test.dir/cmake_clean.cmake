@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semantic_dsl_test.dir/semantic_dsl_test.cpp.o"
+  "CMakeFiles/semantic_dsl_test.dir/semantic_dsl_test.cpp.o.d"
+  "semantic_dsl_test"
+  "semantic_dsl_test.pdb"
+  "semantic_dsl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semantic_dsl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

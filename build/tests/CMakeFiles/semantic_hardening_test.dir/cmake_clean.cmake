@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semantic_hardening_test.dir/semantic_hardening_test.cpp.o"
+  "CMakeFiles/semantic_hardening_test.dir/semantic_hardening_test.cpp.o.d"
+  "semantic_hardening_test"
+  "semantic_hardening_test.pdb"
+  "semantic_hardening_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semantic_hardening_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

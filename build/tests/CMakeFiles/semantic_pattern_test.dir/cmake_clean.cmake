@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semantic_pattern_test.dir/semantic_pattern_test.cpp.o"
+  "CMakeFiles/semantic_pattern_test.dir/semantic_pattern_test.cpp.o.d"
+  "semantic_pattern_test"
+  "semantic_pattern_test.pdb"
+  "semantic_pattern_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semantic_pattern_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

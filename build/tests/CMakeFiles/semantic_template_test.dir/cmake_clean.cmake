@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semantic_template_test.dir/semantic_template_test.cpp.o"
+  "CMakeFiles/semantic_template_test.dir/semantic_template_test.cpp.o.d"
+  "semantic_template_test"
+  "semantic_template_test.pdb"
+  "semantic_template_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semantic_template_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

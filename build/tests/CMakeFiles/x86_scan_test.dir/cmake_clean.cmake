@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/x86_scan_test.dir/x86_scan_test.cpp.o"
+  "CMakeFiles/x86_scan_test.dir/x86_scan_test.cpp.o.d"
+  "x86_scan_test"
+  "x86_scan_test.pdb"
+  "x86_scan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/x86_scan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/senids_disasm.cpp" "tools/CMakeFiles/senids_disasm.dir/senids_disasm.cpp.o" "gcc" "tools/CMakeFiles/senids_disasm.dir/senids_disasm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/semantic/CMakeFiles/senids_semantic.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/senids_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/x86/CMakeFiles/senids_x86.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/senids_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

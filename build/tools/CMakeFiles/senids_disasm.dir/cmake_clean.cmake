@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/senids_disasm.dir/senids_disasm.cpp.o"
+  "CMakeFiles/senids_disasm.dir/senids_disasm.cpp.o.d"
+  "senids_disasm"
+  "senids_disasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/senids_disasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/senids_scan.dir/senids_scan.cpp.o"
+  "CMakeFiles/senids_scan.dir/senids_scan.cpp.o.d"
+  "senids_scan"
+  "senids_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/senids_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/senids_tracegen.dir/senids_tracegen.cpp.o"
+  "CMakeFiles/senids_tracegen.dir/senids_tracegen.cpp.o.d"
+  "senids_tracegen"
+  "senids_tracegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/senids_tracegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
