@@ -235,7 +235,10 @@ bench/CMakeFiles/bench_parallel_scaling.dir/bench_parallel_scaling.cpp.o: \
  /root/repo/src/core/../emu/memory.hpp \
  /root/repo/src/core/../x86/decoder.hpp \
  /root/repo/src/core/../net/reassembly.hpp \
- /root/repo/src/core/../net/flow.hpp /root/repo/src/core/../pcap/pcap.hpp \
+ /root/repo/src/core/../net/flow.hpp /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/core/../pcap/pcap.hpp \
  /root/repo/src/core/../semantic/analyzer.hpp \
  /root/repo/src/core/../semantic/library.hpp \
  /root/repo/src/core/../core/session.hpp \

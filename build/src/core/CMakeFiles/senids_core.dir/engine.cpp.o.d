@@ -232,14 +232,17 @@ src/core/CMakeFiles/senids_core.dir/engine.cpp.o: \
  /root/repo/src/core/../emu/memory.hpp \
  /root/repo/src/core/../x86/decoder.hpp \
  /root/repo/src/core/../net/reassembly.hpp \
- /root/repo/src/core/../net/flow.hpp /root/repo/src/core/../pcap/pcap.hpp \
+ /root/repo/src/core/../net/flow.hpp /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/core/../pcap/pcap.hpp \
  /root/repo/src/core/../semantic/analyzer.hpp \
  /root/repo/src/core/../semantic/library.hpp \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/core/../net/defrag.hpp \
- /root/repo/src/core/../util/thread_pool.hpp \
+ /usr/include/c++/12/cstdarg /root/repo/src/core/../net/defrag.hpp \
+ /root/repo/src/core/../util/queue.hpp \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
  /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
  /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
@@ -248,7 +251,8 @@ src/core/CMakeFiles/senids_core.dir/engine.cpp.o: \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/thread /root/repo/src/core/../util/timer.hpp \
- /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /root/repo/src/core/../util/thread_pool.hpp /usr/include/c++/12/thread \
+ /root/repo/src/core/../util/timer.hpp /usr/include/c++/12/chrono \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc

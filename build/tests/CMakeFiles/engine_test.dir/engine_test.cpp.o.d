@@ -293,6 +293,9 @@ tests/CMakeFiles/engine_test.dir/engine_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/core/../core/senids.hpp \
  /root/repo/src/core/../classify/classifier.hpp \
  /usr/include/c++/12/unordered_set \
@@ -313,7 +316,9 @@ tests/CMakeFiles/engine_test.dir/engine_test.cpp.o: \
  /root/repo/src/core/../emu/cpu.hpp /root/repo/src/core/../emu/memory.hpp \
  /root/repo/src/core/../x86/decoder.hpp \
  /root/repo/src/core/../net/reassembly.hpp \
- /root/repo/src/core/../net/flow.hpp /root/repo/src/core/../pcap/pcap.hpp \
+ /root/repo/src/core/../net/flow.hpp /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /root/repo/src/core/../pcap/pcap.hpp \
  /root/repo/src/core/../semantic/analyzer.hpp \
  /root/repo/src/core/../semantic/library.hpp \
  /root/repo/src/core/../core/session.hpp \

@@ -293,7 +293,9 @@ tests/CMakeFiles/net_test.dir/net_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/net/../net/flow.hpp /root/repo/src/net/../net/packet.hpp \
+ /root/repo/src/net/../net/flow.hpp /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /root/repo/src/net/../net/packet.hpp \
  /root/repo/src/net/../net/headers.hpp \
  /root/repo/src/net/../util/bytes.hpp /usr/include/c++/12/span \
  /root/repo/src/net/../net/forge.hpp

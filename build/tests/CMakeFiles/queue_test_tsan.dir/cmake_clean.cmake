@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/queue_test_tsan.dir/queue_test.cpp.o"
+  "CMakeFiles/queue_test_tsan.dir/queue_test.cpp.o.d"
+  "queue_test_tsan"
+  "queue_test_tsan.pdb"
+  "queue_test_tsan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queue_test_tsan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

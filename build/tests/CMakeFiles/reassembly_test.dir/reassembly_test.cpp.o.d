@@ -296,4 +296,6 @@ tests/CMakeFiles/reassembly_test.dir/reassembly_test.cpp.o: \
  /root/repo/src/net/../net/headers.hpp \
  /root/repo/src/net/../util/bytes.hpp /usr/include/c++/12/span \
  /root/repo/src/net/../net/reassembly.hpp \
- /root/repo/src/net/../net/flow.hpp /root/repo/src/net/../net/packet.hpp
+ /root/repo/src/net/../net/flow.hpp /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /root/repo/src/net/../net/packet.hpp

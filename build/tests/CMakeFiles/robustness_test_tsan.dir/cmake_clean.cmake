@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robustness_test_tsan.dir/robustness_test.cpp.o"
+  "CMakeFiles/robustness_test_tsan.dir/robustness_test.cpp.o.d"
+  "robustness_test_tsan"
+  "robustness_test_tsan.pdb"
+  "robustness_test_tsan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robustness_test_tsan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

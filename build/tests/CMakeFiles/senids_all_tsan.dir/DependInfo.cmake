@@ -1,0 +1,65 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/anomaly/payl.cpp" "tests/CMakeFiles/senids_all_tsan.dir/__/src/anomaly/payl.cpp.o" "gcc" "tests/CMakeFiles/senids_all_tsan.dir/__/src/anomaly/payl.cpp.o.d"
+  "/root/repo/src/classify/classifier.cpp" "tests/CMakeFiles/senids_all_tsan.dir/__/src/classify/classifier.cpp.o" "gcc" "tests/CMakeFiles/senids_all_tsan.dir/__/src/classify/classifier.cpp.o.d"
+  "/root/repo/src/core/engine.cpp" "tests/CMakeFiles/senids_all_tsan.dir/__/src/core/engine.cpp.o" "gcc" "tests/CMakeFiles/senids_all_tsan.dir/__/src/core/engine.cpp.o.d"
+  "/root/repo/src/core/session.cpp" "tests/CMakeFiles/senids_all_tsan.dir/__/src/core/session.cpp.o" "gcc" "tests/CMakeFiles/senids_all_tsan.dir/__/src/core/session.cpp.o.d"
+  "/root/repo/src/emu/cpu.cpp" "tests/CMakeFiles/senids_all_tsan.dir/__/src/emu/cpu.cpp.o" "gcc" "tests/CMakeFiles/senids_all_tsan.dir/__/src/emu/cpu.cpp.o.d"
+  "/root/repo/src/emu/memory.cpp" "tests/CMakeFiles/senids_all_tsan.dir/__/src/emu/memory.cpp.o" "gcc" "tests/CMakeFiles/senids_all_tsan.dir/__/src/emu/memory.cpp.o.d"
+  "/root/repo/src/emu/shellemu.cpp" "tests/CMakeFiles/senids_all_tsan.dir/__/src/emu/shellemu.cpp.o" "gcc" "tests/CMakeFiles/senids_all_tsan.dir/__/src/emu/shellemu.cpp.o.d"
+  "/root/repo/src/extract/base64.cpp" "tests/CMakeFiles/senids_all_tsan.dir/__/src/extract/base64.cpp.o" "gcc" "tests/CMakeFiles/senids_all_tsan.dir/__/src/extract/base64.cpp.o.d"
+  "/root/repo/src/extract/extractor.cpp" "tests/CMakeFiles/senids_all_tsan.dir/__/src/extract/extractor.cpp.o" "gcc" "tests/CMakeFiles/senids_all_tsan.dir/__/src/extract/extractor.cpp.o.d"
+  "/root/repo/src/extract/heuristics.cpp" "tests/CMakeFiles/senids_all_tsan.dir/__/src/extract/heuristics.cpp.o" "gcc" "tests/CMakeFiles/senids_all_tsan.dir/__/src/extract/heuristics.cpp.o.d"
+  "/root/repo/src/extract/http.cpp" "tests/CMakeFiles/senids_all_tsan.dir/__/src/extract/http.cpp.o" "gcc" "tests/CMakeFiles/senids_all_tsan.dir/__/src/extract/http.cpp.o.d"
+  "/root/repo/src/extract/unicode.cpp" "tests/CMakeFiles/senids_all_tsan.dir/__/src/extract/unicode.cpp.o" "gcc" "tests/CMakeFiles/senids_all_tsan.dir/__/src/extract/unicode.cpp.o.d"
+  "/root/repo/src/gen/benign.cpp" "tests/CMakeFiles/senids_all_tsan.dir/__/src/gen/benign.cpp.o" "gcc" "tests/CMakeFiles/senids_all_tsan.dir/__/src/gen/benign.cpp.o.d"
+  "/root/repo/src/gen/codered.cpp" "tests/CMakeFiles/senids_all_tsan.dir/__/src/gen/codered.cpp.o" "gcc" "tests/CMakeFiles/senids_all_tsan.dir/__/src/gen/codered.cpp.o.d"
+  "/root/repo/src/gen/emitter.cpp" "tests/CMakeFiles/senids_all_tsan.dir/__/src/gen/emitter.cpp.o" "gcc" "tests/CMakeFiles/senids_all_tsan.dir/__/src/gen/emitter.cpp.o.d"
+  "/root/repo/src/gen/mailworm.cpp" "tests/CMakeFiles/senids_all_tsan.dir/__/src/gen/mailworm.cpp.o" "gcc" "tests/CMakeFiles/senids_all_tsan.dir/__/src/gen/mailworm.cpp.o.d"
+  "/root/repo/src/gen/poly.cpp" "tests/CMakeFiles/senids_all_tsan.dir/__/src/gen/poly.cpp.o" "gcc" "tests/CMakeFiles/senids_all_tsan.dir/__/src/gen/poly.cpp.o.d"
+  "/root/repo/src/gen/shellcode.cpp" "tests/CMakeFiles/senids_all_tsan.dir/__/src/gen/shellcode.cpp.o" "gcc" "tests/CMakeFiles/senids_all_tsan.dir/__/src/gen/shellcode.cpp.o.d"
+  "/root/repo/src/gen/traffic.cpp" "tests/CMakeFiles/senids_all_tsan.dir/__/src/gen/traffic.cpp.o" "gcc" "tests/CMakeFiles/senids_all_tsan.dir/__/src/gen/traffic.cpp.o.d"
+  "/root/repo/src/ir/deadcode.cpp" "tests/CMakeFiles/senids_all_tsan.dir/__/src/ir/deadcode.cpp.o" "gcc" "tests/CMakeFiles/senids_all_tsan.dir/__/src/ir/deadcode.cpp.o.d"
+  "/root/repo/src/ir/expr.cpp" "tests/CMakeFiles/senids_all_tsan.dir/__/src/ir/expr.cpp.o" "gcc" "tests/CMakeFiles/senids_all_tsan.dir/__/src/ir/expr.cpp.o.d"
+  "/root/repo/src/ir/lifter.cpp" "tests/CMakeFiles/senids_all_tsan.dir/__/src/ir/lifter.cpp.o" "gcc" "tests/CMakeFiles/senids_all_tsan.dir/__/src/ir/lifter.cpp.o.d"
+  "/root/repo/src/net/defrag.cpp" "tests/CMakeFiles/senids_all_tsan.dir/__/src/net/defrag.cpp.o" "gcc" "tests/CMakeFiles/senids_all_tsan.dir/__/src/net/defrag.cpp.o.d"
+  "/root/repo/src/net/flow.cpp" "tests/CMakeFiles/senids_all_tsan.dir/__/src/net/flow.cpp.o" "gcc" "tests/CMakeFiles/senids_all_tsan.dir/__/src/net/flow.cpp.o.d"
+  "/root/repo/src/net/forge.cpp" "tests/CMakeFiles/senids_all_tsan.dir/__/src/net/forge.cpp.o" "gcc" "tests/CMakeFiles/senids_all_tsan.dir/__/src/net/forge.cpp.o.d"
+  "/root/repo/src/net/headers.cpp" "tests/CMakeFiles/senids_all_tsan.dir/__/src/net/headers.cpp.o" "gcc" "tests/CMakeFiles/senids_all_tsan.dir/__/src/net/headers.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "tests/CMakeFiles/senids_all_tsan.dir/__/src/net/packet.cpp.o" "gcc" "tests/CMakeFiles/senids_all_tsan.dir/__/src/net/packet.cpp.o.d"
+  "/root/repo/src/net/reassembly.cpp" "tests/CMakeFiles/senids_all_tsan.dir/__/src/net/reassembly.cpp.o" "gcc" "tests/CMakeFiles/senids_all_tsan.dir/__/src/net/reassembly.cpp.o.d"
+  "/root/repo/src/pcap/pcap.cpp" "tests/CMakeFiles/senids_all_tsan.dir/__/src/pcap/pcap.cpp.o" "gcc" "tests/CMakeFiles/senids_all_tsan.dir/__/src/pcap/pcap.cpp.o.d"
+  "/root/repo/src/semantic/analyzer.cpp" "tests/CMakeFiles/senids_all_tsan.dir/__/src/semantic/analyzer.cpp.o" "gcc" "tests/CMakeFiles/senids_all_tsan.dir/__/src/semantic/analyzer.cpp.o.d"
+  "/root/repo/src/semantic/dsl.cpp" "tests/CMakeFiles/senids_all_tsan.dir/__/src/semantic/dsl.cpp.o" "gcc" "tests/CMakeFiles/senids_all_tsan.dir/__/src/semantic/dsl.cpp.o.d"
+  "/root/repo/src/semantic/library.cpp" "tests/CMakeFiles/senids_all_tsan.dir/__/src/semantic/library.cpp.o" "gcc" "tests/CMakeFiles/senids_all_tsan.dir/__/src/semantic/library.cpp.o.d"
+  "/root/repo/src/semantic/pattern.cpp" "tests/CMakeFiles/senids_all_tsan.dir/__/src/semantic/pattern.cpp.o" "gcc" "tests/CMakeFiles/senids_all_tsan.dir/__/src/semantic/pattern.cpp.o.d"
+  "/root/repo/src/semantic/template.cpp" "tests/CMakeFiles/senids_all_tsan.dir/__/src/semantic/template.cpp.o" "gcc" "tests/CMakeFiles/senids_all_tsan.dir/__/src/semantic/template.cpp.o.d"
+  "/root/repo/src/sig/aho.cpp" "tests/CMakeFiles/senids_all_tsan.dir/__/src/sig/aho.cpp.o" "gcc" "tests/CMakeFiles/senids_all_tsan.dir/__/src/sig/aho.cpp.o.d"
+  "/root/repo/src/sig/ruleparse.cpp" "tests/CMakeFiles/senids_all_tsan.dir/__/src/sig/ruleparse.cpp.o" "gcc" "tests/CMakeFiles/senids_all_tsan.dir/__/src/sig/ruleparse.cpp.o.d"
+  "/root/repo/src/sig/rules.cpp" "tests/CMakeFiles/senids_all_tsan.dir/__/src/sig/rules.cpp.o" "gcc" "tests/CMakeFiles/senids_all_tsan.dir/__/src/sig/rules.cpp.o.d"
+  "/root/repo/src/util/bytes.cpp" "tests/CMakeFiles/senids_all_tsan.dir/__/src/util/bytes.cpp.o" "gcc" "tests/CMakeFiles/senids_all_tsan.dir/__/src/util/bytes.cpp.o.d"
+  "/root/repo/src/util/hexdump.cpp" "tests/CMakeFiles/senids_all_tsan.dir/__/src/util/hexdump.cpp.o" "gcc" "tests/CMakeFiles/senids_all_tsan.dir/__/src/util/hexdump.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "tests/CMakeFiles/senids_all_tsan.dir/__/src/util/log.cpp.o" "gcc" "tests/CMakeFiles/senids_all_tsan.dir/__/src/util/log.cpp.o.d"
+  "/root/repo/src/util/prng.cpp" "tests/CMakeFiles/senids_all_tsan.dir/__/src/util/prng.cpp.o" "gcc" "tests/CMakeFiles/senids_all_tsan.dir/__/src/util/prng.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "tests/CMakeFiles/senids_all_tsan.dir/__/src/util/thread_pool.cpp.o" "gcc" "tests/CMakeFiles/senids_all_tsan.dir/__/src/util/thread_pool.cpp.o.d"
+  "/root/repo/src/x86/decoder.cpp" "tests/CMakeFiles/senids_all_tsan.dir/__/src/x86/decoder.cpp.o" "gcc" "tests/CMakeFiles/senids_all_tsan.dir/__/src/x86/decoder.cpp.o.d"
+  "/root/repo/src/x86/defuse.cpp" "tests/CMakeFiles/senids_all_tsan.dir/__/src/x86/defuse.cpp.o" "gcc" "tests/CMakeFiles/senids_all_tsan.dir/__/src/x86/defuse.cpp.o.d"
+  "/root/repo/src/x86/format.cpp" "tests/CMakeFiles/senids_all_tsan.dir/__/src/x86/format.cpp.o" "gcc" "tests/CMakeFiles/senids_all_tsan.dir/__/src/x86/format.cpp.o.d"
+  "/root/repo/src/x86/reg.cpp" "tests/CMakeFiles/senids_all_tsan.dir/__/src/x86/reg.cpp.o" "gcc" "tests/CMakeFiles/senids_all_tsan.dir/__/src/x86/reg.cpp.o.d"
+  "/root/repo/src/x86/scan.cpp" "tests/CMakeFiles/senids_all_tsan.dir/__/src/x86/scan.cpp.o" "gcc" "tests/CMakeFiles/senids_all_tsan.dir/__/src/x86/scan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsenids_all_tsan.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for senids_all_tsan.
+# This may be replaced when dependencies are built.

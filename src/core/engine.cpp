@@ -1,22 +1,70 @@
 #include "core/engine.hpp"
 
 #include <algorithm>
+#include <cstdarg>
 #include <cstdio>
+#include <optional>
 
 #include "net/defrag.hpp"
 #include "net/flow.hpp"
+#include "util/queue.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace senids::core {
 
+namespace {
+
+/// printf into a growing string: measures first, then formats into the
+/// exact space. No fixed buffer, so long template names never truncate.
+#if defined(__GNUC__)
+__attribute__((format(printf, 2, 3)))
+#endif
+void append_format(std::string& out, const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  std::va_list measured;
+  va_copy(measured, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, measured);
+  va_end(measured);
+  if (n > 0) {
+    const std::size_t old = out.size();
+    out.resize(old + static_cast<std::size_t>(n) + 1);
+    std::vsnprintf(out.data() + old, static_cast<std::size_t>(n) + 1, fmt, args);
+    out.resize(old + static_cast<std::size_t>(n));
+  }
+  va_end(args);
+}
+
+void merge_stats(NidsStats& into, const NidsStats& from) {
+  into.units_analyzed += from.units_analyzed;
+  into.frames_extracted += from.frames_extracted;
+  into.bytes_analyzed += from.bytes_analyzed;
+  into.frames_emulated += from.frames_emulated;
+  into.emulated_steps += from.emulated_steps;
+  into.analyzer.frames += from.analyzer.frames;
+  into.analyzer.candidate_runs += from.analyzer.candidate_runs;
+  into.analyzer.traces += from.analyzer.traces;
+  into.analyzer.instructions_lifted += from.analyzer.instructions_lifted;
+  into.analyzer.template_matches_tried += from.analyzer.template_matches_tried;
+}
+
+}  // namespace
+
+bool alert_less(const Alert& a, const Alert& b) noexcept {
+  return std::tie(a.ts_sec, a.src.value, a.dst.value, a.src_port, a.dst_port,
+                  a.template_name, a.threat, a.frame_reason, a.frame_offset) <
+         std::tie(b.ts_sec, b.src.value, b.dst.value, b.src_port, b.dst_port,
+                  b.template_name, b.threat, b.frame_reason, b.frame_offset);
+}
+
 std::string Alert::str() const {
-  char buf[256];
-  std::snprintf(buf, sizeof buf, "[%s] %s:%u -> %s:%u template=%s frame=%s+%zu",
+  std::string out;
+  append_format(out, "[%s] %s:%u -> %s:%u template=%s frame=%s+%zu",
                 std::string(semantic::threat_class_name(threat)).c_str(), src.str().c_str(),
                 src_port, dst.str().c_str(), dst_port, template_name.c_str(),
                 std::string(extract::frame_reason_name(frame_reason)).c_str(), frame_offset);
-  return buf;
+  return out;
 }
 
 bool Report::detected(semantic::ThreatClass threat) const {
@@ -26,10 +74,8 @@ bool Report::detected(semantic::ThreatClass threat) const {
 
 std::string Report::str() const {
   std::string out;
-  char buf[160];
-  auto line = [&out, &buf](const char* fmt, auto... args) {
-    std::snprintf(buf, sizeof buf, fmt, args...);
-    out += buf;
+  auto line = [&out](const char* fmt, auto... args) {
+    append_format(out, fmt, args...);
     out.push_back('\n');
   };
   line("packets            : %zu (%zu non-IP)", stats.packets, stats.non_ip);
@@ -38,6 +84,8 @@ std::string Report::str() const {
   line("frames extracted   : %zu (%zu emulated)", stats.frames_extracted,
        stats.frames_emulated);
   line("bytes disassembled : %zu", stats.bytes_analyzed);
+  line("flow evictions     : %zu idle, %zu overflow, %zu streams truncated",
+       stats.flows_evicted_idle, stats.flows_evicted_overflow, stats.streams_truncated);
   line("classify/analyze   : %.3f s / %.3f s", stats.classify_seconds,
        stats.analysis_seconds);
   line("alerts             : %zu", alerts.size());
@@ -189,19 +237,78 @@ Report NidsEngine::process_capture(const pcap::Capture& capture) {
     util::Bytes payload;
     Alert meta;
   };
-  std::vector<Unit> units;
+
+  // Handoff queue and worker pool. With threads <= 1 the queue/pool are
+  // bypassed entirely and units are analyzed inline as they form.
+  const std::size_t workers = options_.threads > 1 ? options_.threads : 0;
+  util::BoundedQueue<Unit> queue(options_.max_queued_units, options_.max_queued_bytes);
+  std::mutex mu;  // guards report.alerts and the analysis stat fields
+  double serial_analysis_seconds = 0.0;
+
+  util::WallTimer analysis_timer;
+  std::optional<util::ThreadPool> pool;
+  if (workers) {
+    pool.emplace(workers);
+    for (std::size_t i = 0; i < workers; ++i) {
+      pool->submit([this, &queue, &mu, &report] {
+        // Long-running consumer: drain units until the producer closes
+        // the queue, then merge local results once.
+        NidsStats local;
+        std::vector<Alert> alerts;
+        while (auto unit = queue.pop()) {
+          auto found = analyze_payload(unit->payload, unit->meta, &local);
+          alerts.insert(alerts.end(), std::make_move_iterator(found.begin()),
+                        std::make_move_iterator(found.end()));
+        }
+        std::lock_guard lock(mu);
+        report.alerts.insert(report.alerts.end(), std::make_move_iterator(alerts.begin()),
+                             std::make_move_iterator(alerts.end()));
+        merge_stats(report.stats, local);
+      });
+    }
+  }
+
+  auto emit = [&](util::Bytes payload, const Alert& meta) {
+    if (payload.empty()) return;
+    if (workers) {
+      const std::size_t weight = payload.size();
+      queue.push(Unit{std::move(payload), meta}, weight);
+    } else {
+      util::WallTimer unit_timer;
+      auto alerts = analyze_payload(payload, meta, &report.stats);
+      serial_analysis_seconds += unit_timer.seconds();
+      report.alerts.insert(report.alerts.end(), std::make_move_iterator(alerts.begin()),
+                           std::make_move_iterator(alerts.end()));
+    }
+  };
 
   struct FlowState {
     net::TcpReassembler reassembler;
     Alert meta;
-    explicit FlowState(std::size_t cap) : reassembler(cap) {}
+    explicit FlowState(std::size_t cap) : reassembler(cap, cap) {}
   };
-  net::FlowMap<FlowState> flows;
+  net::BoundedFlowTable<FlowState> flows;
   net::Defragmenter defrag;
+
+  // A flow is flushed early once its assembled stream reaches the cap:
+  // the full prefix becomes a unit and the flow state is released (a
+  // later segment simply re-anchors a fresh flow).
+  auto stream_full = [this](const FlowState& state) {
+    return state.reassembler.truncated() ||
+           state.reassembler.stream().size() >= options_.max_stream_bytes;
+  };
+  // Flush a flow's assembled stream as one analysis unit (close, eviction,
+  // stream cap, or end-of-capture).
+  auto flush_flow = [&](FlowState& state) {
+    if (stream_full(state)) ++report.stats.streams_truncated;
+    util::Bytes stream = state.reassembler.take_stream();
+    if (!stream.empty()) emit(std::move(stream), state.meta);
+  };
+  auto flush_sink = [&](const net::FlowKey&, FlowState& state) { flush_flow(state); };
 
   util::WallTimer classify_timer;
 
-  // Route one transport-level packet into the flow table / unit list.
+  // Route one transport-level packet into the flow table / unit queue.
   auto dispatch = [&](net::ParsedPacket& pkt) {
     Alert meta;
     meta.ts_sec = pkt.ts_sec;
@@ -211,17 +318,28 @@ Report NidsEngine::process_capture(const pcap::Capture& capture) {
     meta.dst_port = pkt.dst_port();
 
     if (pkt.transport == net::Transport::kTcp && options_.reassemble_tcp) {
-      auto [it, _] = flows.try_emplace(net::FlowKey::of(pkt), options_.max_stream_bytes);
-      it->second.meta = meta;
-      it->second.reassembler.feed(pkt.tcp.seq, pkt.tcp.flags, pkt.payload);
-      if (it->second.reassembler.closed()) {
-        if (!it->second.reassembler.stream().empty()) {
-          units.push_back(Unit{it->second.reassembler.stream(), it->second.meta});
+      if (options_.flow_idle_timeout_sec) {
+        report.stats.flows_evicted_idle +=
+            flows.evict_idle(pkt.ts_sec, options_.flow_idle_timeout_sec, flush_sink);
+      }
+      const net::FlowKey key = net::FlowKey::of(pkt);
+      auto [state, created] = flows.touch(key, pkt.ts_sec, options_.max_stream_bytes);
+      if (created) {
+        // The flow's alert metadata is pinned to its *first* suspicious
+        // segment (timestamp of first contact, not of the last segment).
+        state->meta = meta;
+        if (options_.max_flows && flows.size() > options_.max_flows &&
+            flows.evict_oldest(flush_sink)) {
+          ++report.stats.flows_evicted_overflow;
         }
-        flows.erase(it);
+      }
+      state->reassembler.feed(pkt.tcp.seq, pkt.tcp.flags, pkt.payload);
+      if (state->reassembler.closed() || stream_full(*state)) {
+        flush_flow(*state);
+        flows.erase(key);
       }
     } else if (!pkt.payload.empty()) {
-      units.push_back(Unit{std::move(pkt.payload), meta});
+      emit(std::move(pkt.payload), meta);
     }
   };
 
@@ -253,54 +371,25 @@ Report NidsEngine::process_capture(const pcap::Capture& capture) {
     ++report.stats.suspicious_packets;
     dispatch(*pkt);
   }
-  // Flush flows that never closed (truncated captures).
-  for (auto& [key, state] : flows) {
-    if (!state.reassembler.stream().empty()) {
-      units.push_back(Unit{state.reassembler.stream(), state.meta});
-    }
-  }
-  flows.clear();
-  report.stats.classify_seconds = classify_timer.seconds();
+  // Flush flows that never closed (truncated captures), oldest first.
+  flows.drain(flush_sink);
+  report.stats.classify_seconds = classify_timer.seconds() - serial_analysis_seconds;
 
-  // ------------------------------------- stages (b)-(e): per-unit analysis
-  util::WallTimer analysis_timer;
-  if (options_.threads <= 1) {
-    for (const Unit& u : units) {
-      auto alerts = analyze_payload(u.payload, u.meta, &report.stats);
-      report.alerts.insert(report.alerts.end(), alerts.begin(), alerts.end());
-    }
+  // Streaming drain: close the queue so the consumers finish the backlog
+  // and merge their results, then join them.
+  queue.close();
+  if (pool) {
+    pool->wait_idle();
+    pool.reset();
+    report.stats.analysis_seconds = analysis_timer.seconds();
   } else {
-    std::mutex mu;
-    util::ThreadPool pool(options_.threads);
-    for (const Unit& u : units) {
-      pool.submit([this, &u, &mu, &report] {
-        NidsStats local;
-        auto alerts = analyze_payload(u.payload, u.meta, &local);
-        std::lock_guard lock(mu);
-        report.alerts.insert(report.alerts.end(), std::make_move_iterator(alerts.begin()),
-                             std::make_move_iterator(alerts.end()));
-        report.stats.units_analyzed += local.units_analyzed;
-        report.stats.frames_extracted += local.frames_extracted;
-        report.stats.bytes_analyzed += local.bytes_analyzed;
-        report.stats.frames_emulated += local.frames_emulated;
-        report.stats.emulated_steps += local.emulated_steps;
-        report.stats.analyzer.frames += local.analyzer.frames;
-        report.stats.analyzer.candidate_runs += local.analyzer.candidate_runs;
-        report.stats.analyzer.traces += local.analyzer.traces;
-        report.stats.analyzer.instructions_lifted += local.analyzer.instructions_lifted;
-        report.stats.analyzer.template_matches_tried +=
-            local.analyzer.template_matches_tried;
-      });
-    }
-    pool.wait_idle();
+    report.stats.analysis_seconds = serial_analysis_seconds;
   }
-  report.stats.analysis_seconds = analysis_timer.seconds();
 
-  // Deterministic alert order regardless of worker scheduling.
-  std::sort(report.alerts.begin(), report.alerts.end(), [](const Alert& a, const Alert& b) {
-    return std::tie(a.ts_sec, a.src.value, a.dst.value, a.template_name) <
-           std::tie(b.ts_sec, b.src.value, b.dst.value, b.template_name);
-  });
+  // Deterministic alert order regardless of worker scheduling: the sort
+  // key covers every alert field (a partial key left alerts differing
+  // only in frame_offset/ports in schedule-dependent order).
+  std::sort(report.alerts.begin(), report.alerts.end(), alert_less);
   return report;
 }
 

@@ -1,10 +1,19 @@
 // The semantics-aware NIDS (Figure 3): traffic classifier -> binary
 // detection & extraction -> disassembler -> IR -> semantic analysis.
 //
-// Threading model: stage (a) is stateful and cheap, so it runs serially
-// over the capture; stages (b)-(e) are pure functions of one payload, so
-// suspicious payloads become independent analysis units dispatched to a
-// worker pool. Alerts are merged and deterministically ordered afterward.
+// Threading model: a streaming producer–consumer pipeline. Stage (a)
+// (classification, defragmentation, TCP reassembly) is stateful and
+// cheap, so it runs on the calling thread; each suspicious payload or
+// reassembled stream becomes an analysis unit that is handed through a
+// bounded queue to a pool of workers running stages (b)-(e) — which are
+// pure functions of one unit — *while* classification continues. The
+// queue bounds both unit count and queued bytes, so a traffic burst
+// backpressures the producer instead of exhausting memory; the flow
+// table is LRU-managed with an idle timeout and a live-flow cap, so
+// long-lived or hostile flows cannot exhaust state either (evicted flows
+// are flushed as units, not dropped). Alerts are merged and
+// deterministically ordered at the end; with threads <= 1 units are
+// analyzed inline and the queue/pool machinery is bypassed.
 #pragma once
 
 #include <mutex>
@@ -29,8 +38,23 @@ struct NidsOptions {
   /// Reassemble suspicious TCP flows and analyze the byte stream (exploit
   /// payloads may span segments). Non-TCP payloads are analyzed directly.
   bool reassemble_tcp = true;
-  /// Cap on reassembled stream bytes kept per flow.
+  /// Cap on reassembled stream bytes kept per flow: bounds both the
+  /// out-of-order pending buffer and the assembled stream itself. A flow
+  /// whose stream hits the cap is flushed truncated (alerts on the prefix
+  /// still fire) and its state released.
   std::size_t max_stream_bytes = 1 << 20;
+  /// Evict flows with no activity for this many seconds of capture time;
+  /// the partial stream is flushed as an analysis unit. 0 = disabled.
+  std::uint32_t flow_idle_timeout_sec = 0;
+  /// Hard cap on live flows; past it the least-recently-active flow is
+  /// flushed and evicted to make room. 0 = unlimited.
+  std::size_t max_flows = 0;
+  /// Depth of the stage-(a) -> workers handoff queue, in analysis units.
+  /// The producer blocks when it is full (backpressure).
+  std::size_t max_queued_units = 256;
+  /// Byte budget for payloads waiting in the handoff queue; the producer
+  /// also blocks while it would be exceeded. 0 = unlimited.
+  std::size_t max_queued_bytes = 64 << 20;
   /// Deep analysis: emulate suspicious frames so decoders decrypt
   /// themselves, then statically re-analyze the decoded frame and alert
   /// on observed runtime behaviour (execve, port binding). Off by
@@ -57,9 +81,12 @@ struct NidsStats {
   std::size_t bytes_analyzed = 0;     // frame bytes reaching the disassembler
   std::size_t frames_emulated = 0;
   std::size_t emulated_steps = 0;     // instructions executed in the sandbox
+  std::size_t flows_evicted_idle = 0;     // flushed by flow_idle_timeout_sec
+  std::size_t flows_evicted_overflow = 0; // flushed to enforce max_flows
+  std::size_t streams_truncated = 0;      // flows that hit max_stream_bytes
   semantic::AnalyzerStats analyzer;
   double classify_seconds = 0.0;
-  double analysis_seconds = 0.0;      // wall time of the parallel section
+  double analysis_seconds = 0.0;      // wall time of the analysis stages
 };
 
 struct Report {
@@ -83,7 +110,8 @@ class NidsEngine {
   /// Stateful classifier (register honeypots / dark prefixes here).
   classify::TrafficClassifier& classifier() noexcept { return classifier_; }
 
-  /// Run the full pipeline over a capture.
+  /// Run the full pipeline over a capture (streaming: analysis workers
+  /// drain units while classification is still feeding them).
   Report process_capture(const pcap::Capture& capture);
 
   /// Analyze one application payload directly (classification skipped).
@@ -102,5 +130,10 @@ class NidsEngine {
   extract::BinaryExtractor extractor_;
   semantic::SemanticAnalyzer analyzer_;
 };
+
+/// Strict-weak order over every alert field: workers finish in arbitrary
+/// order, so reports are sorted on the full key to make output
+/// deterministic (ts/src/dst alone tie for e.g. two frames of one flow).
+[[nodiscard]] bool alert_less(const Alert& a, const Alert& b) noexcept;
 
 }  // namespace senids::core

@@ -11,6 +11,17 @@ void LiveSession::analyze_unit(util::ByteView payload, const Alert& meta) {
   }
 }
 
+bool LiveSession::stream_full(const FlowState& state) const {
+  return state.reassembler.truncated() ||
+         state.reassembler.stream().size() >= engine_.options().max_stream_bytes;
+}
+
+void LiveSession::flush_flow(FlowState& state) {
+  if (stream_full(state)) ++stats_.streams_truncated;
+  const util::Bytes stream = state.reassembler.take_stream();
+  if (!stream.empty()) analyze_unit(stream, state.meta);
+}
+
 void LiveSession::dispatch(net::ParsedPacket& pkt) {
   Alert meta;
   meta.ts_sec = pkt.ts_sec;
@@ -19,16 +30,27 @@ void LiveSession::dispatch(net::ParsedPacket& pkt) {
   meta.src_port = pkt.src_port();
   meta.dst_port = pkt.dst_port();
 
-  if (pkt.transport == net::Transport::kTcp && engine_.options().reassemble_tcp) {
-    auto [it, _] =
-        flows_.try_emplace(net::FlowKey::of(pkt), engine_.options().max_stream_bytes);
-    it->second.meta = meta;
-    it->second.reassembler.feed(pkt.tcp.seq, pkt.tcp.flags, pkt.payload);
-    if (it->second.reassembler.closed()) {
-      if (!it->second.reassembler.stream().empty()) {
-        analyze_unit(it->second.reassembler.stream(), it->second.meta);
+  const NidsOptions& options = engine_.options();
+  if (pkt.transport == net::Transport::kTcp && options.reassemble_tcp) {
+    auto flush_sink = [this](const net::FlowKey&, FlowState& state) { flush_flow(state); };
+    if (options.flow_idle_timeout_sec) {
+      stats_.flows_evicted_idle +=
+          flows_.evict_idle(pkt.ts_sec, options.flow_idle_timeout_sec, flush_sink);
+    }
+    const net::FlowKey key = net::FlowKey::of(pkt);
+    auto [state, created] = flows_.touch(key, pkt.ts_sec, options.max_stream_bytes);
+    if (created) {
+      // Pin alert metadata to the flow's first suspicious segment.
+      state->meta = meta;
+      if (options.max_flows && flows_.size() > options.max_flows &&
+          flows_.evict_oldest(flush_sink)) {
+        ++stats_.flows_evicted_overflow;
       }
-      flows_.erase(it);
+    }
+    state->reassembler.feed(pkt.tcp.seq, pkt.tcp.flags, pkt.payload);
+    if (state->reassembler.closed() || stream_full(*state)) {
+      flush_flow(*state);
+      flows_.erase(key);
     }
   } else if (!pkt.payload.empty()) {
     analyze_unit(pkt.payload, meta);
@@ -62,12 +84,7 @@ void LiveSession::feed(util::ByteView frame, std::uint32_t ts_sec, std::uint32_t
 }
 
 void LiveSession::finish() {
-  for (auto& [key, state] : flows_) {
-    if (!state.reassembler.stream().empty()) {
-      analyze_unit(state.reassembler.stream(), state.meta);
-    }
-  }
-  flows_.clear();
+  flows_.drain([this](const net::FlowKey&, FlowState& state) { flush_flow(state); });
 }
 
 }  // namespace senids::core

@@ -1,7 +1,10 @@
 // Streaming analysis session: the deployment-shaped interface. Feed
 // frames as they arrive; alerts come back incrementally. Holds all
 // stage-(a) state (classifier taint, TCP reassembly, IP defragmentation)
-// across calls. NidsEngine::process_capture is a batch wrapper over this.
+// across calls, with the same bounded flow table the batch engine uses:
+// idle flows time out, the live-flow count is capped, and over-long
+// streams are flushed truncated — a session pinned to live traffic can
+// run indefinitely with bounded memory.
 #pragma once
 
 #include <functional>
@@ -18,7 +21,8 @@ class LiveSession {
 
   /// The engine must outlive the session. Analysis runs inline (the
   /// session is single-threaded by design; run one session per worker for
-  /// parallel deployments).
+  /// parallel deployments). Flow eviction follows the engine's
+  /// flow_idle_timeout_sec / max_flows / max_stream_bytes options.
   LiveSession(NidsEngine& engine, AlertSink sink);
 
   /// Feed one captured Ethernet frame.
@@ -40,9 +44,12 @@ class LiveSession {
   struct FlowState {
     net::TcpReassembler reassembler;
     Alert meta;
-    explicit FlowState(std::size_t cap) : reassembler(cap) {}
+    explicit FlowState(std::size_t cap) : reassembler(cap, cap) {}
   };
-  net::FlowMap<FlowState> flows_;
+  [[nodiscard]] bool stream_full(const FlowState& state) const;
+  void flush_flow(FlowState& state);
+
+  net::BoundedFlowTable<FlowState> flows_;
   net::Defragmenter defrag_;
 };
 

@@ -1,11 +1,17 @@
-// Flow bookkeeping: 5-tuple keys and a flow table that groups packets by
+// Flow bookkeeping: 5-tuple keys and flow tables that group packets by
 // connection so the analyzer can work on reassembled byte streams rather
 // than individual segments (exploit payloads regularly span segments).
+// BoundedFlowTable adds the resource management a deployable engine
+// needs: LRU activity tracking, idle-timeout eviction, and a hard cap on
+// live flows (oldest-first eviction) so hostile traffic cannot exhaust
+// state.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <list>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "net/packet.hpp"
@@ -46,5 +52,95 @@ struct FlowKeyHash {
 
 template <typename V>
 using FlowMap = std::unordered_map<FlowKey, V, FlowKeyHash>;
+
+/// Flow table with bounded state: every touch() refreshes the flow's
+/// position in an intrusive LRU list stamped with the packet's capture
+/// time, and the owner drives eviction through evict_idle() (flows quiet
+/// for longer than a timeout) and evict_oldest() (enforcing a cap on live
+/// flows). Evicted values are handed to a sink callback so the engine can
+/// flush the partially assembled stream as an analysis unit instead of
+/// silently dropping it. All operations are O(1) amortized.
+template <typename V>
+class BoundedFlowTable {
+ public:
+  /// Find-or-create the flow for `key`, constructing V from `args` on a
+  /// miss. Stamps the flow with `ts_sec` and moves it to the
+  /// most-recently-active end of the LRU list. Returns the value and
+  /// whether it was newly created.
+  template <typename... Args>
+  std::pair<V*, bool> touch(const FlowKey& key, std::uint32_t ts_sec, Args&&... args) {
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      it->second.last_ts = ts_sec;
+      lru_.splice(lru_.end(), lru_, it->second.lru_pos);
+      return {&it->second.value, false};
+    }
+    auto pos = lru_.insert(lru_.end(), key);
+    auto [ins, _] =
+        map_.try_emplace(key, Entry{V(std::forward<Args>(args)...), ts_sec, pos});
+    return {&ins->second.value, true};
+  }
+
+  void erase(const FlowKey& key) {
+    auto it = map_.find(key);
+    if (it == map_.end()) return;
+    lru_.erase(it->second.lru_pos);
+    map_.erase(it);
+  }
+
+  /// Evict every flow idle since before `now - idle_timeout`, calling
+  /// `sink(key, value)` for each. Capture timestamps can regress, so a
+  /// flow stamped "in the future" is treated as fresh.
+  template <typename Sink>
+  std::size_t evict_idle(std::uint32_t now, std::uint32_t idle_timeout, Sink&& sink) {
+    std::size_t evicted = 0;
+    while (!lru_.empty()) {
+      auto it = map_.find(lru_.front());
+      const std::uint32_t last = it->second.last_ts;
+      if (now <= last || now - last <= idle_timeout) break;
+      sink(it->first, it->second.value);
+      lru_.pop_front();
+      map_.erase(it);
+      ++evicted;
+    }
+    return evicted;
+  }
+
+  /// Evict the least-recently-active flow (the victim when the live-flow
+  /// cap is hit). Returns false on an empty table.
+  template <typename Sink>
+  bool evict_oldest(Sink&& sink) {
+    if (lru_.empty()) return false;
+    auto it = map_.find(lru_.front());
+    sink(it->first, it->second.value);
+    lru_.pop_front();
+    map_.erase(it);
+    return true;
+  }
+
+  /// Flush every live flow in oldest-first order (end of capture /
+  /// shutdown) and clear the table. Deterministic, unlike hash order.
+  template <typename Sink>
+  void drain(Sink&& sink) {
+    for (const FlowKey& key : lru_) {
+      auto it = map_.find(key);
+      sink(it->first, it->second.value);
+    }
+    map_.clear();
+    lru_.clear();
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return map_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return map_.empty(); }
+
+ private:
+  struct Entry {
+    V value;
+    std::uint32_t last_ts = 0;
+    std::list<FlowKey>::iterator lru_pos;
+  };
+  std::unordered_map<FlowKey, Entry, FlowKeyHash> map_;
+  std::list<FlowKey> lru_;  // front = least recently active
+};
 
 }  // namespace senids::net

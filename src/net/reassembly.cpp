@@ -40,8 +40,7 @@ void TcpReassembler::feed(std::uint32_t seq, std::uint8_t flags, util::ByteView 
     }
     if (!data.empty()) {
       if (d == 0) {
-        *next_seq_ += static_cast<std::uint32_t>(data.size());
-        stream_.insert(stream_.end(), data.begin(), data.end());
+        append_stream(data, 0);
         drain();
       } else {
         auto [it, inserted] = pending_.try_emplace(seq, std::move(data));
@@ -70,11 +69,35 @@ void TcpReassembler::feed(std::uint32_t seq, std::uint8_t flags, util::ByteView 
   }
 
   if (flags & (kTcpFin | kTcpRst)) {
-    // Close once the control flag is at or behind the delivery point.
-    if (seq_diff(seq + static_cast<std::uint32_t>(payload.size()), *next_seq_) <= 0) {
-      closed_ = true;
-    }
+    // Remember where the stream ends; close fires as soon as delivery
+    // reaches that point — immediately if the flag is at/behind the
+    // delivery point, or after a later drain() fills the gap in front of
+    // an out-of-order FIN/RST.
+    const std::uint32_t end = seq + static_cast<std::uint32_t>(payload.size());
+    if (!close_seq_ || seq_diff(end, *close_seq_) < 0) close_seq_ = end;
+    maybe_close();
   }
+}
+
+void TcpReassembler::append_stream(const util::Bytes& data, std::size_t skip) {
+  // Sequence tracking always advances over the full segment; the stored
+  // stream is clamped at max_stream_ so a long-lived flow cannot hold an
+  // unbounded assembled stream.
+  *next_seq_ += static_cast<std::uint32_t>(data.size() - skip);
+  if (stream_.size() < max_stream_) {
+    const std::size_t room = max_stream_ - stream_.size();
+    const std::size_t take = std::min(room, data.size() - skip);
+    stream_.insert(stream_.end(), data.begin() + static_cast<std::ptrdiff_t>(skip),
+                   data.begin() + static_cast<std::ptrdiff_t>(skip + take));
+    if (take < data.size() - skip) truncated_ = true;
+  } else {
+    truncated_ = true;
+  }
+  maybe_close();
+}
+
+void TcpReassembler::maybe_close() {
+  if (close_seq_ && seq_diff(*close_seq_, *next_seq_) <= 0) closed_ = true;
 }
 
 void TcpReassembler::drain() {
@@ -92,14 +115,13 @@ void TcpReassembler::drain() {
       it = pending_.erase(it);
       const std::size_t stale = static_cast<std::size_t>(-d);
       if (stale < data.size()) {
-        stream_.insert(stream_.end(), data.begin() + static_cast<std::ptrdiff_t>(stale),
-                       data.end());
-        *next_seq_ += static_cast<std::uint32_t>(data.size() - stale);
+        append_stream(data, stale);
         progressed = true;
         break;  // restart scan: delivery point moved
       }
     }
   }
+  maybe_close();
 }
 
 }  // namespace senids::net

@@ -14,33 +14,57 @@ namespace senids::net {
 
 class TcpReassembler {
  public:
-  /// Caps buffered out-of-order bytes; beyond this the earliest gap is
-  /// forced closed (skipped) so a hostile sender cannot exhaust memory.
-  explicit TcpReassembler(std::size_t max_buffered = 1 << 20)
-      : max_buffered_(max_buffered) {}
+  /// Two independent caps bound the per-flow state:
+  ///  - `max_buffered` caps out-of-order bytes parked awaiting a gap
+  ///    fill: beyond it the earliest gap is forced closed (skipped) so a
+  ///    hostile sender cannot exhaust memory with never-filled holes;
+  ///  - `max_stream` caps the assembled in-order stream: it stops growing
+  ///    at the cap (the truncated() flag is raised, sequence tracking
+  ///    continues so close detection still works) so a long-lived flow
+  ///    cannot accumulate an unbounded stream either.
+  explicit TcpReassembler(std::size_t max_buffered = 1 << 20,
+                          std::size_t max_stream = 1 << 20)
+      : max_buffered_(max_buffered), max_stream_(max_stream) {}
 
   /// Feed one segment. SYN consumes one sequence number; the first data
   /// or SYN segment anchors the stream's initial sequence number.
   void feed(std::uint32_t seq, std::uint8_t flags, util::ByteView payload);
 
-  /// Contiguous in-order stream bytes received so far.
+  /// Contiguous in-order stream bytes received so far (at most max_stream).
   [[nodiscard]] const util::Bytes& stream() const noexcept { return stream_; }
+
+  /// Move the assembled stream out (the reassembler keeps tracking
+  /// sequence numbers, but the extracted bytes are gone). Used by the
+  /// engine when it flushes a flow as an analysis unit.
+  [[nodiscard]] util::Bytes take_stream() noexcept { return std::move(stream_); }
 
   /// Bytes currently parked out-of-order awaiting a gap fill.
   [[nodiscard]] std::size_t buffered() const noexcept { return buffered_; }
 
-  /// True once a FIN or RST has been consumed in-order.
+  /// True once a FIN or RST has been consumed in-order. A control flag
+  /// that arrives ahead of a hole is remembered and honoured as soon as
+  /// delivery catches up to it (see close_seq_).
   [[nodiscard]] bool closed() const noexcept { return closed_; }
+
+  /// True once the assembled stream hit max_stream and further in-order
+  /// data was dropped. The engine flushes such flows immediately: the
+  /// truncated prefix is everything that will ever be available.
+  [[nodiscard]] bool truncated() const noexcept { return truncated_; }
 
  private:
   void drain();
+  void append_stream(const util::Bytes& data, std::size_t skip);
+  void maybe_close();
 
   std::optional<std::uint32_t> next_seq_;  // next expected sequence number
+  std::optional<std::uint32_t> close_seq_; // seq just past an out-of-order FIN/RST
   std::map<std::uint32_t, util::Bytes> pending_;  // seq -> payload (mod-2^32 keys, see drain)
   util::Bytes stream_;
   std::size_t buffered_ = 0;
   std::size_t max_buffered_;
+  std::size_t max_stream_;
   bool closed_ = false;
+  bool truncated_ = false;
 };
 
 }  // namespace senids::net

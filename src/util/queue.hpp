@@ -2,40 +2,53 @@
 // for deployments that decouple a capture thread from analysis sessions:
 // producers block (or fail, with try_push) when the queue is full, so a
 // traffic burst cannot exhaust memory.
+//
+// Items can carry an optional *weight* (typically their payload size in
+// bytes). When the queue is constructed with a weight budget, producers
+// also block while the queued weight would exceed the budget — the item
+// count bounds queue management overhead, the weight budget bounds actual
+// memory. An over-budget item is still admitted into an empty queue so a
+// single oversized unit can never deadlock the pipeline.
 #pragma once
 
 #include <condition_variable>
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <utility>
 
 namespace senids::util {
 
 template <typename T>
 class BoundedQueue {
  public:
-  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity ? capacity : 1) {}
+  /// `capacity` bounds the item count; `max_weight` (0 = unlimited)
+  /// bounds the summed weights of queued items.
+  explicit BoundedQueue(std::size_t capacity, std::size_t max_weight = 0)
+      : capacity_(capacity ? capacity : 1), max_weight_(max_weight) {}
 
   BoundedQueue(const BoundedQueue&) = delete;
   BoundedQueue& operator=(const BoundedQueue&) = delete;
 
   /// Blocking push; returns false if the queue was closed.
-  bool push(T value) {
+  bool push(T value, std::size_t weight = 0) {
     std::unique_lock lock(mu_);
-    not_full_.wait(lock, [this] { return items_.size() < capacity_ || closed_; });
+    not_full_.wait(lock, [this, weight] { return admits(weight) || closed_; });
     if (closed_) return false;
-    items_.push_back(std::move(value));
+    weight_ += weight;
+    items_.emplace_back(std::move(value), weight);
     lock.unlock();
     not_empty_.notify_one();
     return true;
   }
 
-  /// Non-blocking push; false when full or closed.
-  bool try_push(T value) {
+  /// Non-blocking push; false when full, over budget, or closed.
+  bool try_push(T value, std::size_t weight = 0) {
     {
       std::lock_guard lock(mu_);
-      if (closed_ || items_.size() >= capacity_) return false;
-      items_.push_back(std::move(value));
+      if (closed_ || !admits(weight)) return false;
+      weight_ += weight;
+      items_.emplace_back(std::move(value), weight);
     }
     not_empty_.notify_one();
     return true;
@@ -46,7 +59,8 @@ class BoundedQueue {
     std::unique_lock lock(mu_);
     not_empty_.wait(lock, [this] { return !items_.empty() || closed_; });
     if (items_.empty()) return std::nullopt;  // closed and drained
-    T value = std::move(items_.front());
+    T value = std::move(items_.front().first);
+    weight_ -= items_.front().second;
     items_.pop_front();
     lock.unlock();
     not_full_.notify_one();
@@ -59,7 +73,8 @@ class BoundedQueue {
     {
       std::lock_guard lock(mu_);
       if (items_.empty()) return std::nullopt;
-      out = std::move(items_.front());
+      out = std::move(items_.front().first);
+      weight_ -= items_.front().second;
       items_.pop_front();
     }
     not_full_.notify_one();
@@ -80,17 +95,31 @@ class BoundedQueue {
     std::lock_guard lock(mu_);
     return items_.size();
   }
+  /// Summed weights of the items currently queued.
+  [[nodiscard]] std::size_t weight() const {
+    std::lock_guard lock(mu_);
+    return weight_;
+  }
   [[nodiscard]] bool closed() const {
     std::lock_guard lock(mu_);
     return closed_;
   }
 
  private:
+  /// Must hold mu_. Empty-queue admission keeps oversized items live.
+  [[nodiscard]] bool admits(std::size_t weight) const {
+    if (items_.size() >= capacity_) return false;
+    if (max_weight_ == 0 || items_.empty()) return true;
+    return weight_ + weight <= max_weight_;
+  }
+
   const std::size_t capacity_;
+  const std::size_t max_weight_;
   mutable std::mutex mu_;
   std::condition_variable not_full_;
   std::condition_variable not_empty_;
-  std::deque<T> items_;
+  std::deque<std::pair<T, std::size_t>> items_;
+  std::size_t weight_ = 0;
   bool closed_ = false;
 };
 

@@ -1,6 +1,9 @@
 // Integration tests: the full Figure-3 pipeline over synthetic captures.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <set>
+
 #include "core/senids.hpp"
 #include "gen/benign.hpp"
 #include "gen/codered.hpp"
@@ -249,6 +252,192 @@ TEST(Engine, ReportStrRendersEverything) {
   EXPECT_NE(text.find("192.0.2.66"), std::string::npos);
   EXPECT_NE(text.find("shell-spawn"), std::string::npos);
   EXPECT_NE(text.find("offending sources"), std::string::npos);
+}
+
+void expect_alerts_equal(const std::vector<Alert>& a, const std::vector<Alert>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].ts_sec, b[i].ts_sec) << "alert " << i;
+    EXPECT_EQ(a[i].src.value, b[i].src.value) << "alert " << i;
+    EXPECT_EQ(a[i].dst.value, b[i].dst.value) << "alert " << i;
+    EXPECT_EQ(a[i].src_port, b[i].src_port) << "alert " << i;
+    EXPECT_EQ(a[i].dst_port, b[i].dst_port) << "alert " << i;
+    EXPECT_EQ(a[i].threat, b[i].threat) << "alert " << i;
+    EXPECT_EQ(a[i].template_name, b[i].template_name) << "alert " << i;
+    EXPECT_EQ(a[i].frame_reason, b[i].frame_reason) << "alert " << i;
+    EXPECT_EQ(a[i].frame_offset, b[i].frame_offset) << "alert " << i;
+  }
+}
+
+/// Forge one TCP segment frame at an explicit capture time (the
+/// TraceBuilder always FINs its flows; eviction tests need flows that
+/// stay open and timestamps with multi-second gaps).
+void add_segment(pcap::Capture& cap, std::uint32_t ts, const Endpoint& src,
+                 const Endpoint& dst, std::uint32_t seq, util::ByteView payload,
+                 std::uint8_t flags = net::kTcpPsh | net::kTcpAck) {
+  cap.add(ts, 0, net::forge_tcp(src, dst, seq, payload, flags));
+}
+
+TEST(Engine, StreamingMatchesSerialOnDemoTrace) {
+  // The repo's demo capture (same content as examples/trace_analysis
+  // synthesizes): the streaming parallel pipeline must produce the exact
+  // ordered alert list and unit-level stats of the serial engine.
+  auto capture = pcap::read_file(SENIDS_SOURCE_DIR "/demo_trace.pcap");
+  ASSERT_TRUE(capture.has_value());
+  auto serial_engine = make_engine(1);
+  auto parallel_engine = make_engine(4);
+  Report serial = serial_engine.process_capture(*capture);
+  Report parallel = parallel_engine.process_capture(*capture);
+  EXPECT_FALSE(serial.alerts.empty());
+  expect_alerts_equal(serial.alerts, parallel.alerts);
+  EXPECT_EQ(serial.stats.units_analyzed, parallel.stats.units_analyzed);
+  EXPECT_EQ(serial.stats.frames_extracted, parallel.stats.frames_extracted);
+  EXPECT_EQ(serial.stats.bytes_analyzed, parallel.stats.bytes_analyzed);
+  EXPECT_EQ(serial.stats.suspicious_packets, parallel.stats.suspicious_packets);
+}
+
+TEST(Engine, DeterministicOrderAcrossSchedules) {
+  // Several flows from one source in the same second, alerts differing
+  // only in src_port / frame_offset: the full-key sort must give the
+  // same order on every worker schedule.
+  gen::TraceBuilder tb(42);
+  auto exploit = gen::make_shell_spawn_corpus()[0];
+  for (int i = 0; i < 8; ++i) {
+    Endpoint atk{kAttacker.ip, static_cast<std::uint16_t>(30000 + i)};
+    tb.add_tcp_flow(atk, Endpoint{kHoneypot, 80}, exploit.code);
+  }
+  auto capture = tb.take();
+
+  auto serial_engine = make_engine(1);
+  Report serial = serial_engine.process_capture(capture);
+  EXPECT_GE(serial.alerts.size(), 8u);
+  for (int run = 0; run < 3; ++run) {
+    auto parallel_engine = make_engine(4);
+    Report parallel = parallel_engine.process_capture(capture);
+    expect_alerts_equal(serial.alerts, parallel.alerts);
+  }
+}
+
+TEST(Engine, AlertMetaPinnedToFirstSegment) {
+  // A multi-segment flow spanning several capture seconds: the alert
+  // must carry the first suspicious segment's timestamp, not the last's.
+  util::Prng prng(7);
+  const auto payload = gen::wrap_in_overflow(gen::make_shell_spawn_corpus()[0].code, prng);
+  pcap::Capture cap;
+  std::uint32_t seq = 1;
+  std::uint32_t ts = 1000;
+  std::size_t off = 0;
+  while (off < payload.size()) {
+    const std::size_t chunk = std::min<std::size_t>(256, payload.size() - off);
+    add_segment(cap, ts, kAttacker, Endpoint{kHoneypot, 80}, seq,
+                util::ByteView(payload).subspan(off, chunk));
+    seq += static_cast<std::uint32_t>(chunk);
+    off += chunk;
+    ts += 5;  // the flow drags on for many seconds
+  }
+  add_segment(cap, ts, kAttacker, Endpoint{kHoneypot, 80}, seq, {}, net::kTcpFin);
+
+  auto nids = make_engine();
+  Report report = nids.process_capture(cap);
+  ASSERT_FALSE(report.alerts.empty());
+  for (const Alert& a : report.alerts) EXPECT_EQ(a.ts_sec, 1000u);
+}
+
+TEST(Engine, IdleTimeoutEvictsAndStillAlerts) {
+  // An exploit flow goes quiet without ever closing; later unrelated
+  // traffic advances capture time past the timeout. The flow must be
+  // flushed by eviction (counted) and its alert still fire.
+  util::Prng prng(8);
+  const auto exploit = gen::wrap_in_overflow(gen::make_shell_spawn_corpus()[1].code, prng);
+  pcap::Capture cap;
+  add_segment(cap, 1000, kAttacker, Endpoint{kHoneypot, 80}, 1, exploit);
+  // A second source keeps the capture alive 10 minutes later.
+  const Endpoint other{Ipv4Addr::from_octets(192, 0, 2, 99), 40000};
+  add_segment(cap, 1600, other, Endpoint{kHoneypot, 80}, 1,
+              util::to_bytes("GET / HTTP/1.0\r\n\r\n"));
+
+  NidsOptions options;
+  options.flow_idle_timeout_sec = 300;
+  NidsEngine nids(options);
+  nids.classifier().honeypots().add_decoy(kHoneypot);
+  Report report = nids.process_capture(cap);
+  EXPECT_EQ(report.stats.flows_evicted_idle, 1u);
+  EXPECT_TRUE(report.detected(ThreatClass::kShellSpawn));
+}
+
+TEST(Engine, MaxFlowsCapEvictsOldest) {
+  // Five never-closing exploit flows with a cap of two live flows: three
+  // must be flushed by overflow eviction, and every source still alerts.
+  util::Prng prng(9);
+  const auto exploit = gen::wrap_in_overflow(gen::make_shell_spawn_corpus()[2].code, prng);
+  pcap::Capture cap;
+  for (int i = 0; i < 5; ++i) {
+    const Endpoint atk{Ipv4Addr::from_octets(192, 0, 2, static_cast<std::uint8_t>(30 + i)),
+                       static_cast<std::uint16_t>(20000 + i)};
+    add_segment(cap, 1000 + static_cast<std::uint32_t>(i), atk, Endpoint{kHoneypot, 80},
+                1, exploit);
+  }
+
+  NidsOptions options;
+  options.max_flows = 2;
+  NidsEngine nids(options);
+  nids.classifier().honeypots().add_decoy(kHoneypot);
+  Report report = nids.process_capture(cap);
+  EXPECT_EQ(report.stats.flows_evicted_overflow, 3u);
+  std::set<std::uint32_t> sources;
+  for (const Alert& a : report.alerts) sources.insert(a.src.value);
+  EXPECT_EQ(sources.size(), 5u);
+}
+
+TEST(Engine, BoundedMemoryOnLongLivedFlow) {
+  // One flow whose stream would grow far past max_stream_bytes: the
+  // engine must flush truncated prefixes (alerting on the exploit in the
+  // first one) instead of accumulating the whole stream.
+  util::Prng prng(10);
+  const auto exploit = gen::wrap_in_overflow(gen::make_shell_spawn_corpus()[3].code, prng);
+  constexpr std::size_t kStreamCap = 8192;
+  util::Bytes payload = exploit;
+  payload.resize(96 * 1024, 0x41);  // long benign tail, no FIN ever
+
+  pcap::Capture cap;
+  std::uint32_t seq = 1;
+  std::size_t off = 0;
+  std::uint32_t ts = 1000;
+  while (off < payload.size()) {
+    const std::size_t chunk = std::min<std::size_t>(1024, payload.size() - off);
+    add_segment(cap, ts++, kAttacker, Endpoint{kHoneypot, 80}, seq,
+                util::ByteView(payload).subspan(off, chunk));
+    seq += static_cast<std::uint32_t>(chunk);
+    off += chunk;
+  }
+
+  NidsOptions options;
+  options.max_stream_bytes = kStreamCap;
+  options.max_flows = 4;
+  NidsEngine nids(options);
+  nids.classifier().honeypots().add_decoy(kHoneypot);
+  Report report = nids.process_capture(cap);
+  EXPECT_TRUE(report.detected(ThreatClass::kShellSpawn));
+  EXPECT_GE(report.stats.streams_truncated, 2u);
+  // Bounded state: every flushed unit is at most the stream cap, so the
+  // 96 KiB flow must have been split across many units.
+  EXPECT_GE(report.stats.units_analyzed, payload.size() / kStreamCap);
+}
+
+TEST(Engine, AlertStrLongTemplateNameNotTruncated) {
+  Alert a;
+  a.src = Ipv4Addr::from_octets(1, 2, 3, 4);
+  a.dst = Ipv4Addr::from_octets(5, 6, 7, 8);
+  a.template_name = std::string(300, 'x') + "-tail";
+  const std::string s = a.str();
+  EXPECT_NE(s.find(a.template_name), std::string::npos);
+  EXPECT_NE(s.find("1.2.3.4"), std::string::npos);
+
+  Report report;
+  report.alerts.push_back(a);
+  const std::string text = report.str();
+  EXPECT_NE(text.find(a.template_name), std::string::npos);
+  EXPECT_NE(text.find("flow evictions"), std::string::npos);
 }
 
 TEST(Engine, AnalyzerWorkBudgetBoundsPathologicalFrames) {

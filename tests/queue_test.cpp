@@ -114,5 +114,50 @@ TEST(BoundedQueue, MoveOnlyTypes) {
   EXPECT_EQ(**v, 42);
 }
 
+TEST(BoundedQueue, WeightBudgetLimitsQueuedBytes) {
+  BoundedQueue<int> q(8, /*max_weight=*/100);
+  ASSERT_TRUE(q.push(1, 60));
+  EXPECT_FALSE(q.try_push(2, 60));  // 120 would exceed the budget
+  EXPECT_TRUE(q.try_push(3, 40));   // exactly at the budget
+  EXPECT_EQ(q.weight(), 100u);
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.weight(), 40u);
+  EXPECT_TRUE(q.try_push(4, 60));
+}
+
+TEST(BoundedQueue, OversizedItemAdmittedWhenEmpty) {
+  // A single unit bigger than the whole budget must not deadlock: an
+  // empty queue always admits one item.
+  BoundedQueue<int> q(4, /*max_weight=*/10);
+  EXPECT_TRUE(q.try_push(1, 1000));
+  EXPECT_FALSE(q.try_push(2, 1));  // budget exhausted by the big item
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.weight(), 0u);
+  EXPECT_TRUE(q.try_push(2, 1));
+}
+
+TEST(BoundedQueue, WeightBudgetBlockingPushWaitsForPop) {
+  BoundedQueue<int> q(8, /*max_weight=*/10);
+  ASSERT_TRUE(q.push(1, 10));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    q.push(2, 5);
+    pushed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());
+  EXPECT_EQ(q.pop().value(), 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(q.pop().value(), 2);
+}
+
+TEST(BoundedQueue, UnweightedItemsIgnoreBudget) {
+  BoundedQueue<int> q(2, /*max_weight=*/1);
+  EXPECT_TRUE(q.try_push(1));  // weight 0 items ride on count alone
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));  // count cap still applies
+}
+
 }  // namespace
 }  // namespace senids::util

@@ -120,6 +120,65 @@ TEST(Reassembly, SequenceWraparound) {
   EXPECT_EQ(util::to_string(r.stream()), "abcd");
 }
 
+TEST(Reassembly, OutOfOrderFinClosesAfterDrain) {
+  // A FIN buffered ahead of a hole must close the stream as soon as the
+  // gap fill catches delivery up to it, not wait for end-of-capture.
+  TcpReassembler r;
+  r.feed(1, kTcpSyn, {});
+  r.feed(8, kTcpFin, {});          // FIN ahead of a hole: remembered
+  EXPECT_FALSE(r.closed());
+  r.feed(2, 0, bytes("abcdef"));   // gap fill; delivery reaches the FIN
+  EXPECT_TRUE(r.closed());
+  EXPECT_EQ(util::to_string(r.stream()), "abcdef");
+}
+
+TEST(Reassembly, BufferedFinSegmentWithPayloadCloses) {
+  TcpReassembler r;
+  r.feed(1, kTcpSyn, {});
+  r.feed(8, kTcpFin, bytes("end"));  // out-of-order data carrying the FIN
+  EXPECT_FALSE(r.closed());
+  EXPECT_EQ(r.buffered(), 3u);
+  r.feed(2, 0, bytes("abcdef"));     // drain delivers through the FIN
+  EXPECT_TRUE(r.closed());
+  EXPECT_EQ(util::to_string(r.stream()), "abcdefend");
+}
+
+TEST(Reassembly, OutOfOrderRstCloses) {
+  TcpReassembler r;
+  r.feed(10, 0, bytes("AB"));        // anchors at 10, next = 12
+  r.feed(20, kTcpRst, {});           // ahead of the hole
+  EXPECT_FALSE(r.closed());
+  r.feed(12, 0, bytes("12345678"));  // fills up to 20
+  EXPECT_TRUE(r.closed());
+}
+
+TEST(Reassembly, StreamCapTruncatesLongFlow) {
+  TcpReassembler r(/*max_buffered=*/1 << 20, /*max_stream=*/8);
+  r.feed(1, 0, bytes("abcdef"));
+  EXPECT_FALSE(r.truncated());
+  r.feed(7, 0, bytes("ghijkl"));   // crosses the cap mid-segment
+  EXPECT_TRUE(r.truncated());
+  EXPECT_EQ(util::to_string(r.stream()), "abcdefgh");
+  r.feed(13, 0, bytes("mnopqr"));  // dropped; sequence still tracked
+  EXPECT_EQ(r.stream().size(), 8u);
+}
+
+TEST(Reassembly, TruncatedFlowStillDetectsClose) {
+  TcpReassembler r(1 << 20, /*max_stream=*/4);
+  r.feed(1, 0, bytes("abcdefgh"));
+  EXPECT_TRUE(r.truncated());
+  r.feed(9, kTcpFin, {});  // sequence tracking survived the truncation
+  EXPECT_TRUE(r.closed());
+}
+
+TEST(Reassembly, TakeStreamMovesBytesOut) {
+  TcpReassembler r;
+  r.feed(1, 0, bytes("payload"));
+  const util::Bytes s = r.take_stream();
+  EXPECT_EQ(util::to_string(s), "payload");
+  EXPECT_TRUE(r.stream().empty());
+}
+
 TEST(Reassembly, LargeTransferInChunks) {
   TcpReassembler r;
   std::string expected;

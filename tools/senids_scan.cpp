@@ -11,6 +11,8 @@
 //     --extended              use the extended template library
 //     --emulate               enable emulation-backed deep analysis
 //     --threads <n>           analysis worker threads (default 1)
+//     --flow-timeout <sec>    evict flows idle for this long (default off)
+//     --max-flows <n>         cap on live flows, LRU eviction (default off)
 //     --json                  machine-readable output
 //     --quiet                 alerts only, no statistics
 #include <cstdio>
@@ -37,6 +39,8 @@ struct CliOptions {
   bool extended = false;
   bool emulate = false;
   std::size_t threads = 1;
+  std::uint32_t flow_timeout = 0;
+  std::size_t max_flows = 0;
   bool json = false;
   bool quiet = false;
   bool summary = false;
@@ -55,6 +59,8 @@ void usage(const char* argv0) {
                "  --extended            use the extended template library\n"
                "  --emulate             enable emulation deep analysis\n"
                "  --threads <n>         analysis worker threads\n"
+               "  --flow-timeout <sec>  evict flows idle this many seconds\n"
+               "  --max-flows <n>       cap live flows (oldest-first eviction)\n"
                "  --json                JSON output\n"
                "  --summary             full report rendering\n"
                "  --quiet               alerts only\n",
@@ -133,6 +139,10 @@ int main(int argc, char** argv) {
       cli.emulate = true;
     } else if (arg == "--threads") {
       cli.threads = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--flow-timeout") {
+      cli.flow_timeout = static_cast<std::uint32_t>(std::atoll(next()));
+    } else if (arg == "--max-flows") {
+      cli.max_flows = static_cast<std::size_t>(std::atoll(next()));
     } else if (arg == "--json") {
       cli.json = true;
     } else if (arg == "--quiet") {
@@ -187,6 +197,8 @@ int main(int argc, char** argv) {
   options.classifier.analyze_everything = cli.analyze_all;
   options.classifier.dark_space_threshold = cli.dark_threshold;
   options.threads = cli.threads;
+  options.flow_idle_timeout_sec = cli.flow_timeout;
+  options.max_flows = cli.max_flows;
   options.enable_emulation = cli.emulate;
   core::NidsEngine nids(options, std::move(templates));
   for (auto ip : cli.honeypots) nids.classifier().honeypots().add_decoy(ip);
@@ -247,10 +259,13 @@ int main(int argc, char** argv) {
     std::printf("  ],\n");
     std::printf("  \"stats\": {\"packets\": %zu, \"suspicious\": %zu, "
                 "\"units\": %zu, \"frames\": %zu, \"bytes_analyzed\": %zu, "
-                "\"frames_emulated\": %zu}\n}\n",
+                "\"frames_emulated\": %zu, \"flows_evicted_idle\": %zu, "
+                "\"flows_evicted_overflow\": %zu, \"streams_truncated\": %zu}\n}\n",
                 report.stats.packets, report.stats.suspicious_packets,
                 report.stats.units_analyzed, report.stats.frames_extracted,
-                report.stats.bytes_analyzed, report.stats.frames_emulated);
+                report.stats.bytes_analyzed, report.stats.frames_emulated,
+                report.stats.flows_evicted_idle, report.stats.flows_evicted_overflow,
+                report.stats.streams_truncated);
   } else if (cli.summary) {
     std::printf("%s", report.str().c_str());
   } else {
