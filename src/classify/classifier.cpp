@@ -1,12 +1,47 @@
 #include "classify/classifier.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace senids::classify {
+
+namespace {
+
+/// Process-wide classifier counters: how traffic gets routed into (or
+/// pruned from) the expensive pipeline stages, and why sources became
+/// tainted.
+struct ClassifierMetrics {
+  obs::Counter& ignored;
+  obs::Counter& analyzed;
+  obs::Counter& honeypot_taints;
+  obs::Counter& dark_space_taints;
+};
+
+ClassifierMetrics& classifier_metrics() {
+  auto& r = obs::Registry::instance();
+  static ClassifierMetrics m{
+      r.counter("senids_classify_verdicts_total", "Classifier verdicts by outcome",
+                "verdict", "ignore"),
+      r.counter("senids_classify_verdicts_total", "Classifier verdicts by outcome",
+                "verdict", "analyze"),
+      r.counter("senids_classify_taints_total", "Sources tainted, by scheme", "scheme",
+                "honeypot"),
+      r.counter("senids_classify_taints_total", "Sources tainted, by scheme", "scheme",
+                "dark_space"),
+  };
+  return m;
+}
+
+}  // namespace
 
 TrafficClassifier::TrafficClassifier(ClassifierOptions options)
     : options_(options), dark_space_(options.dark_space_threshold) {}
 
 Verdict TrafficClassifier::observe(const net::ParsedPacket& pkt) {
-  if (options_.analyze_everything) return Verdict::kAnalyze;
+  ClassifierMetrics& metrics = classifier_metrics();
+  if (options_.analyze_everything) {
+    metrics.analyzed.add();
+    return Verdict::kAnalyze;
+  }
 
   const net::Ipv4Addr src = pkt.ip.src;
 
@@ -14,16 +49,18 @@ Verdict TrafficClassifier::observe(const net::ParsedPacket& pkt) {
     // "Any sending host emitting traffic destined for a honeypot address
     // is considered suspicious; and any packets sent by such a host will
     // be analyzed."
-    tainted_.insert(src.value);
+    if (tainted_.insert(src.value).second) metrics.honeypot_taints.add();
   }
 
   if (options_.use_dark_space && dark_space_.is_unused(pkt.ip.dst)) {
     if (dark_space_.record_probe(src) >= dark_space_.threshold()) {
-      tainted_.insert(src.value);
+      if (tainted_.insert(src.value).second) metrics.dark_space_taints.add();
     }
   }
 
-  return tainted_.contains(src.value) ? Verdict::kAnalyze : Verdict::kIgnore;
+  const bool analyze = tainted_.contains(src.value);
+  (analyze ? metrics.analyzed : metrics.ignored).add();
+  return analyze ? Verdict::kAnalyze : Verdict::kIgnore;
 }
 
 }  // namespace senids::classify

@@ -1,12 +1,15 @@
 #include "core/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdarg>
 #include <cstdio>
 #include <optional>
 
+#include "core/pipeline_obs.hpp"
 #include "net/defrag.hpp"
 #include "net/flow.hpp"
+#include "obs/trace.hpp"
 #include "util/queue.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
@@ -14,6 +17,12 @@
 namespace senids::core {
 
 namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+double seconds_since(SteadyClock::time_point start) {
+  return std::chrono::duration<double>(SteadyClock::now() - start).count();
+}
 
 /// printf into a growing string: measures first, then formats into the
 /// exact space. No fixed buffer, so long template names never truncate.
@@ -36,17 +45,33 @@ void append_format(std::string& out, const char* fmt, ...) {
   va_end(args);
 }
 
+void merge_analyzer(semantic::AnalyzerStats& into, const semantic::AnalyzerStats& from) {
+  into.frames += from.frames;
+  into.candidate_runs += from.candidate_runs;
+  into.traces += from.traces;
+  into.instructions_lifted += from.instructions_lifted;
+  into.template_matches_tried += from.template_matches_tried;
+  into.entry_budget_exhausted += from.entry_budget_exhausted;
+  into.insn_budget_exhausted += from.insn_budget_exhausted;
+  into.disasm_seconds += from.disasm_seconds;
+  into.lift_seconds += from.lift_seconds;
+  into.match_seconds += from.match_seconds;
+}
+
 void merge_stats(NidsStats& into, const NidsStats& from) {
   into.units_analyzed += from.units_analyzed;
   into.frames_extracted += from.frames_extracted;
   into.bytes_analyzed += from.bytes_analyzed;
   into.frames_emulated += from.frames_emulated;
   into.emulated_steps += from.emulated_steps;
-  into.analyzer.frames += from.analyzer.frames;
-  into.analyzer.candidate_runs += from.analyzer.candidate_runs;
-  into.analyzer.traces += from.analyzer.traces;
-  into.analyzer.instructions_lifted += from.analyzer.instructions_lifted;
-  into.analyzer.template_matches_tried += from.analyzer.template_matches_tried;
+  merge_analyzer(into.analyzer, from.analyzer);
+  for (std::size_t i = 0; i < into.stages.size(); ++i) {
+    into.stages[i].count += from.stages[i].count;
+    into.stages[i].seconds += from.stages[i].seconds;
+    into.stages[i].max_seconds =
+        std::max(into.stages[i].max_seconds, from.stages[i].max_seconds);
+  }
+  into.analysis_seconds += from.analysis_seconds;
 }
 
 }  // namespace
@@ -86,8 +111,25 @@ std::string Report::str() const {
   line("bytes disassembled : %zu", stats.bytes_analyzed);
   line("flow evictions     : %zu idle, %zu overflow, %zu streams truncated",
        stats.flows_evicted_idle, stats.flows_evicted_overflow, stats.streams_truncated);
-  line("classify/analyze   : %.3f s / %.3f s", stats.classify_seconds,
+  // The two totals measure different things on purpose (see NidsStats):
+  // stage-(a) wall on the caller thread vs summed per-unit wall across
+  // workers. They overlap in time and must not be added together.
+  line("classify wall      : %.3f s (stage (a), caller thread)", stats.classify_seconds);
+  line("analysis work      : %.3f s (summed per-unit wall, all workers)",
        stats.analysis_seconds);
+  const bool any_stage = std::any_of(stats.stages.begin(), stats.stages.end(),
+                                     [](const StageStat& s) { return s.count > 0; });
+  if (any_stage) {
+    line("stage latency      : %10s %12s %12s %12s", "runs", "total(s)", "mean(us)",
+         "max(us)");
+    for (std::size_t i = 0; i < stats.stages.size(); ++i) {
+      const StageStat& s = stats.stages[i];
+      if (s.count == 0) continue;
+      line("  %-17s: %10zu %12.4f %12.2f %12.2f",
+           std::string(obs::stage_name(static_cast<obs::Stage>(i))).c_str(), s.count,
+           s.seconds, s.seconds / static_cast<double>(s.count) * 1e6, s.max_seconds * 1e6);
+    }
+  }
   line("alerts             : %zu", alerts.size());
   for (const Alert& a : alerts) {
     out += "  ";
@@ -126,14 +168,72 @@ NidsEngine::NidsEngine(NidsOptions options, std::vector<semantic::Template> temp
 
 std::vector<Alert> NidsEngine::analyze_payload(util::ByteView payload,
                                                const Alert& meta_prototype,
-                                               NidsStats* stats) const {
+                                               NidsStats* stats,
+                                               std::uint64_t unit_id) const {
+  obs::PipelineMetrics& pm = obs::pipeline_metrics();
+  obs::Tracer& tracer = obs::Tracer::instance();
+  const bool tracing = obs::Tracer::enabled();
+  const bool clocked = obs::metrics_enabled() || tracing;
+  // This unit's spans are laid out sequentially from its start time using
+  // the measured stage durations (see trace.hpp: exact costs, synthesized
+  // placement).
+  std::uint64_t span_cursor_us = tracing ? tracer.now_us() : 0;
+
+  auto record_stage = [&](obs::Stage stage, double seconds, std::uint64_t bytes) {
+    const auto idx = static_cast<std::size_t>(stage);
+    pm.stage_seconds[idx]->observe(seconds);
+    if (stats) fold_stage(stats->stages[idx], seconds);
+    if (tracing) {
+      const auto dur = static_cast<std::uint64_t>(seconds * 1e6);
+      tracer.record({obs::stage_name(stage).data(), unit_id, span_cursor_us, dur, bytes, 0});
+      span_cursor_us += dur;
+    }
+  };
+  SteadyClock::time_point mark{};
+  auto tic = [&] {
+    if (clocked) mark = SteadyClock::now();
+  };
+  auto toc = [&]() -> double { return clocked ? seconds_since(mark) : 0.0; };
+
   std::vector<Alert> alerts;
+  tic();
   const auto frames = extractor_.extract(payload);
+  record_stage(obs::Stage::kExtract, toc(), payload.size());
+  pm.units->add();
+  pm.frames->add(frames.size());
+
   semantic::AnalyzerStats astats;
   if (stats) {
     ++stats->units_analyzed;
     stats->frames_extracted += frames.size();
   }
+  // Per-frame disasm/lift/match costs come out of the analyzer's own
+  // stats deltas rather than a wrapper clock: the three stages interleave
+  // inside analyze(), so only the analyzer can attribute time correctly.
+  auto analyze_frame = [&](util::ByteView data) {
+    const semantic::AnalyzerStats before = astats;
+    auto detections = analyzer_.analyze(data, &astats);
+    if (astats.frames > before.frames) {
+      record_stage(obs::Stage::kDisasm, astats.disasm_seconds - before.disasm_seconds,
+                   data.size());
+      record_stage(obs::Stage::kLift, astats.lift_seconds - before.lift_seconds,
+                   data.size());
+      record_stage(obs::Stage::kMatch, astats.match_seconds - before.match_seconds,
+                   data.size());
+    }
+    return detections;
+  };
+  auto emulate = [&](util::ByteView data) {
+    tic();
+    emu::EmulationResult result = emu::emulate_frame(data, options_.emulator);
+    record_stage(obs::Stage::kEmulate, toc(), data.size());
+    if (stats) {
+      ++stats->frames_emulated;
+      stats->emulated_steps += result.steps;
+    }
+    return result;
+  };
+
   // A template may fire on several frames of the same payload (e.g. the
   // sled frame and the after-repetition frame overlap); report it once.
   auto already = [&alerts](const std::string& name) {
@@ -142,7 +242,8 @@ std::vector<Alert> NidsEngine::analyze_payload(util::ByteView payload,
   };
   for (const auto& frame : frames) {
     if (stats) stats->bytes_analyzed += frame.data.size();
-    for (auto& det : analyzer_.analyze(frame.data, &astats)) {
+    pm.bytes_analyzed->add(frame.data.size());
+    for (auto& det : analyze_frame(frame.data)) {
       if (already(det.template_name)) continue;
       Alert a = meta_prototype;
       a.threat = det.threat;
@@ -162,12 +263,7 @@ std::vector<Alert> NidsEngine::analyze_payload(util::ByteView payload,
     if (has_decoder_alert) {
       bool confirmed = false;
       for (const auto& frame : frames) {
-        emu::EmulationResult emu_result =
-            emu::emulate_frame(frame.data, options_.emulator);
-        if (stats) {
-          ++stats->frames_emulated;
-          stats->emulated_steps += emu_result.steps;
-        }
+        emu::EmulationResult emu_result = emulate(frame.data);
         if (emu_result.frame_bytes_modified >= options_.min_decoded_bytes) {
           confirmed = true;
           break;
@@ -197,11 +293,7 @@ std::vector<Alert> NidsEngine::analyze_payload(util::ByteView payload,
       alerts.push_back(std::move(a));
     };
     for (const auto& frame : frames) {
-      emu::EmulationResult emu_result = emu::emulate_frame(frame.data, options_.emulator);
-      if (stats) {
-        ++stats->frames_emulated;
-        stats->emulated_steps += emu_result.steps;
-      }
+      emu::EmulationResult emu_result = emulate(frame.data);
       if (emu_result.spawned_shell()) {
         add_alert(semantic::ThreatClass::kShellSpawn, "emulated:spawned-shell",
                   extract::FrameReason::kEmulatedBehavior, frame.src_offset);
@@ -211,7 +303,7 @@ std::vector<Alert> NidsEngine::analyze_payload(util::ByteView payload,
                   extract::FrameReason::kEmulatedBehavior, frame.src_offset);
       }
       if (!emu_result.decoded_frame.empty()) {
-        for (auto& det : analyzer_.analyze(emu_result.decoded_frame, &astats)) {
+        for (auto& det : analyze_frame(emu_result.decoded_frame)) {
           add_alert(det.threat, std::move(det.template_name),
                     extract::FrameReason::kEmulatedDecode, frame.src_offset);
         }
@@ -219,33 +311,33 @@ std::vector<Alert> NidsEngine::analyze_payload(util::ByteView payload,
     }
   }
 
-  if (stats) {
-    stats->analyzer.frames += astats.frames;
-    stats->analyzer.candidate_runs += astats.candidate_runs;
-    stats->analyzer.traces += astats.traces;
-    stats->analyzer.instructions_lifted += astats.instructions_lifted;
-    stats->analyzer.template_matches_tried += astats.template_matches_tried;
-  }
+  pm.alerts->add(alerts.size());
+  if (stats) merge_analyzer(stats->analyzer, astats);
   return alerts;
 }
 
 Report NidsEngine::process_capture(const pcap::Capture& capture) {
   Report report;
+  obs::PipelineMetrics& pm = obs::pipeline_metrics();
+  obs::Tracer& tracer = obs::Tracer::instance();
+  const bool tracing = obs::Tracer::enabled();
+  const bool clocked = obs::metrics_enabled() || tracing;
 
   /// One payload (or reassembled stream) bound for stages (b)-(e).
   struct Unit {
     util::Bytes payload;
     Alert meta;
+    std::uint64_t unit_id = 0;
   };
 
   // Handoff queue and worker pool. With threads <= 1 the queue/pool are
   // bypassed entirely and units are analyzed inline as they form.
   const std::size_t workers = options_.threads > 1 ? options_.threads : 0;
   util::BoundedQueue<Unit> queue(options_.max_queued_units, options_.max_queued_bytes);
+  queue.set_metrics(&queue_metrics());
   std::mutex mu;  // guards report.alerts and the analysis stat fields
   double serial_analysis_seconds = 0.0;
 
-  util::WallTimer analysis_timer;
   std::optional<util::ThreadPool> pool;
   if (workers) {
     pool.emplace(workers);
@@ -256,7 +348,9 @@ Report NidsEngine::process_capture(const pcap::Capture& capture) {
         NidsStats local;
         std::vector<Alert> alerts;
         while (auto unit = queue.pop()) {
-          auto found = analyze_payload(unit->payload, unit->meta, &local);
+          util::WallTimer unit_timer;
+          auto found = analyze_payload(unit->payload, unit->meta, &local, unit->unit_id);
+          local.analysis_seconds += unit_timer.seconds();
           alerts.insert(alerts.end(), std::make_move_iterator(found.begin()),
                         std::make_move_iterator(found.end()));
         }
@@ -268,15 +362,17 @@ Report NidsEngine::process_capture(const pcap::Capture& capture) {
     }
   }
 
-  auto emit = [&](util::Bytes payload, const Alert& meta) {
+  auto emit = [&](util::Bytes payload, const Alert& meta, std::uint64_t unit_id) {
     if (payload.empty()) return;
     if (workers) {
       const std::size_t weight = payload.size();
-      queue.push(Unit{std::move(payload), meta}, weight);
+      queue.push(Unit{std::move(payload), meta, unit_id}, weight);
     } else {
       util::WallTimer unit_timer;
-      auto alerts = analyze_payload(payload, meta, &report.stats);
-      serial_analysis_seconds += unit_timer.seconds();
+      auto alerts = analyze_payload(payload, meta, &report.stats, unit_id);
+      const double unit_seconds = unit_timer.seconds();
+      serial_analysis_seconds += unit_seconds;
+      report.stats.analysis_seconds += unit_seconds;
       report.alerts.insert(report.alerts.end(), std::make_move_iterator(alerts.begin()),
                            std::make_move_iterator(alerts.end()));
     }
@@ -285,10 +381,34 @@ Report NidsEngine::process_capture(const pcap::Capture& capture) {
   struct FlowState {
     net::TcpReassembler reassembler;
     Alert meta;
+    double reassemble_seconds = 0.0;  // accrued per feed, emitted at flush
     explicit FlowState(std::size_t cap) : reassembler(cap, cap) {}
   };
   net::BoundedFlowTable<FlowState> flows;
+  flows.set_metrics(&flow_table_metrics());
   net::Defragmenter defrag;
+
+  SteadyClock::time_point mark{};
+  auto tic = [&] {
+    if (clocked) mark = SteadyClock::now();
+  };
+  auto toc = [&]() -> double { return clocked ? seconds_since(mark) : 0.0; };
+
+  // Producer-thread stage recording (classify / reassemble): these spans
+  // end "now", so they are placed backwards from the current time.
+  auto record_producer_stage = [&](obs::Stage stage, double seconds,
+                                   std::uint64_t unit_id, std::uint64_t bytes,
+                                   bool with_span) {
+    const auto idx = static_cast<std::size_t>(stage);
+    pm.stage_seconds[idx]->observe(seconds);
+    fold_stage(report.stats.stages[idx], seconds);
+    if (tracing && with_span) {
+      const auto dur = static_cast<std::uint64_t>(seconds * 1e6);
+      const std::uint64_t now = tracer.now_us();
+      tracer.record({obs::stage_name(stage).data(), unit_id, now >= dur ? now - dur : 0,
+                     dur, bytes, 0});
+    }
+  };
 
   // A flow is flushed early once its assembled stream reaches the cap:
   // the full prefix becomes a unit and the flow state is released (a
@@ -300,9 +420,20 @@ Report NidsEngine::process_capture(const pcap::Capture& capture) {
   // Flush a flow's assembled stream as one analysis unit (close, eviction,
   // stream cap, or end-of-capture).
   auto flush_flow = [&](FlowState& state) {
-    if (stream_full(state)) ++report.stats.streams_truncated;
+    if (stream_full(state)) {
+      ++report.stats.streams_truncated;
+      pm.streams_truncated->add();
+    }
+    double reassemble_seconds = state.reassemble_seconds;
+    state.reassemble_seconds = 0.0;
+    tic();
     util::Bytes stream = state.reassembler.take_stream();
-    if (!stream.empty()) emit(std::move(stream), state.meta);
+    reassemble_seconds += toc();
+    if (stream.empty()) return;
+    const std::uint64_t unit_id = tracing ? tracer.next_unit_id() : 0;
+    record_producer_stage(obs::Stage::kReassemble, reassemble_seconds, unit_id,
+                          stream.size(), true);
+    emit(std::move(stream), state.meta, unit_id);
   };
   auto flush_sink = [&](const net::FlowKey&, FlowState& state) { flush_flow(state); };
 
@@ -333,57 +464,74 @@ Report NidsEngine::process_capture(const pcap::Capture& capture) {
           ++report.stats.flows_evicted_overflow;
         }
       }
+      tic();
       state->reassembler.feed(pkt.tcp.seq, pkt.tcp.flags, pkt.payload);
+      state->reassemble_seconds += toc();
       if (state->reassembler.closed() || stream_full(*state)) {
         flush_flow(*state);
         flows.erase(key);
       }
     } else if (!pkt.payload.empty()) {
-      emit(std::move(pkt.payload), meta);
+      emit(std::move(pkt.payload), meta,
+           tracing ? tracer.next_unit_id() : 0);
     }
   };
 
   // ---------------------------------------------- stage (a): classification
   for (const pcap::Record& rec : capture.records) {
     ++report.stats.packets;
-    auto pkt = net::parse_frame(rec.data, rec.ts_sec, rec.ts_usec);
-    if (!pkt) {
-      ++report.stats.non_ip;
-      continue;
-    }
-    const classify::Verdict verdict = classifier_.observe(*pkt);
+    pm.packets->add();
+    const SteadyClock::time_point pkt_start =
+        clocked ? SteadyClock::now() : SteadyClock::time_point{};
+    // Parse + classifier verdict (+ defragmentation); returns the packet
+    // to hand to stage-(a) dispatch, or nothing for ignored traffic.
+    auto classify_one = [&]() -> std::optional<net::ParsedPacket> {
+      auto pkt = net::parse_frame(rec.data, rec.ts_sec, rec.ts_usec);
+      if (!pkt) {
+        ++report.stats.non_ip;
+        return std::nullopt;
+      }
+      const classify::Verdict verdict = classifier_.observe(*pkt);
 
-    if (pkt->transport == net::Transport::kFragment) {
-      // Reassemble regardless of verdict: a tainted source's datagram may
-      // complete with fragments that arrived before the taint.
-      auto datagram = defrag.feed(pkt->ip, pkt->payload);
-      if (!datagram) continue;
-      auto whole = net::parse_reassembled(datagram->header, datagram->payload,
-                                          pkt->ts_sec, pkt->ts_usec);
-      if (!whole) continue;
-      if (classifier_.check(*whole) != classify::Verdict::kAnalyze) continue;
+      if (pkt->transport == net::Transport::kFragment) {
+        // Reassemble regardless of verdict: a tainted source's datagram may
+        // complete with fragments that arrived before the taint.
+        auto datagram = defrag.feed(pkt->ip, pkt->payload);
+        if (!datagram) return std::nullopt;
+        auto whole = net::parse_reassembled(datagram->header, datagram->payload,
+                                            pkt->ts_sec, pkt->ts_usec);
+        if (!whole) return std::nullopt;
+        if (classifier_.check(*whole) != classify::Verdict::kAnalyze) return std::nullopt;
+        return whole;
+      }
+
+      if (verdict != classify::Verdict::kAnalyze) return std::nullopt;
+      return pkt;
+    };
+    auto suspicious = classify_one();
+    // Per-packet classify latency; spans only for suspicious packets (a
+    // span per ignored packet would swamp the trace with noise).
+    record_producer_stage(obs::Stage::kClassify,
+                          clocked ? seconds_since(pkt_start) : 0.0, 0, rec.data.size(),
+                          suspicious.has_value());
+    if (suspicious) {
       ++report.stats.suspicious_packets;
-      dispatch(*whole);
-      continue;
+      pm.suspicious_packets->add();
+      dispatch(*suspicious);
     }
-
-    if (verdict != classify::Verdict::kAnalyze) continue;
-    ++report.stats.suspicious_packets;
-    dispatch(*pkt);
   }
   // Flush flows that never closed (truncated captures), oldest first.
   flows.drain(flush_sink);
   report.stats.classify_seconds = classify_timer.seconds() - serial_analysis_seconds;
 
   // Streaming drain: close the queue so the consumers finish the backlog
-  // and merge their results, then join them.
+  // and merge their results, then join them. analysis_seconds accrues
+  // per-unit in the workers and arrives via merge_stats (serial path
+  // added it inline in emit).
   queue.close();
   if (pool) {
     pool->wait_idle();
     pool.reset();
-    report.stats.analysis_seconds = analysis_timer.seconds();
-  } else {
-    report.stats.analysis_seconds = serial_analysis_seconds;
   }
 
   // Deterministic alert order regardless of worker scheduling: the sort

@@ -16,6 +16,7 @@
 // analyzed inline and the queue/pool machinery is bypassed.
 #pragma once
 
+#include <array>
 #include <mutex>
 #include <vector>
 
@@ -23,6 +24,7 @@
 #include "core/alert.hpp"
 #include "emu/shellemu.hpp"
 #include "net/reassembly.hpp"
+#include "obs/pipeline.hpp"
 #include "pcap/pcap.hpp"
 #include "semantic/analyzer.hpp"
 #include "semantic/library.hpp"
@@ -70,6 +72,19 @@ struct NidsOptions {
   /// Minimum self-modified frame bytes for a confirmed decoder.
   std::size_t min_decoded_bytes = 8;
   emu::EmulatorOptions emulator;
+  /// LiveSession only: log a one-line metrics snapshot (util::Log, info
+  /// level) every this many seconds of capture time. 0 = disabled.
+  std::uint32_t metrics_log_interval_sec = 0;
+};
+
+/// Accumulated latency of one pipeline stage: execution count, summed
+/// wall seconds, and the costliest single execution. Counts are always
+/// maintained; the time fields are only accumulated while
+/// obs::metrics_enabled() (zero when observability is off).
+struct StageStat {
+  std::size_t count = 0;
+  double seconds = 0.0;
+  double max_seconds = 0.0;
 };
 
 struct NidsStats {
@@ -85,8 +100,23 @@ struct NidsStats {
   std::size_t flows_evicted_overflow = 0; // flushed to enforce max_flows
   std::size_t streams_truncated = 0;      // flows that hit max_stream_bytes
   semantic::AnalyzerStats analyzer;
+  /// Per-stage latency, indexed by obs::Stage. classify counts packets,
+  /// reassemble counts flushed streams, extract counts units, disasm/
+  /// lift/match count analyzed frames, emulate counts sandbox runs.
+  std::array<StageStat, obs::kStageCount> stages{};
+  /// Wall time the *caller thread* spent in stage (a) — parsing,
+  /// classification, defragmentation, reassembly, unit handoff. Excludes
+  /// inline analysis when threads <= 1, but with threads > 1 it includes
+  /// time the producer spent blocked on queue backpressure (that wait is
+  /// stage-(a) wall the caller really lost).
   double classify_seconds = 0.0;
-  double analysis_seconds = 0.0;      // wall time of the analysis stages
+  /// Summed per-unit wall time of the analysis stages (b)-(e) across all
+  /// workers — a CPU-time-style total that is comparable across thread
+  /// counts. With threads > 1 it exceeds elapsed wall time (that is the
+  /// point: elapsed = max over workers, this = sum). It is NOT additive
+  /// with classify_seconds into an end-to-end wall figure; the two
+  /// overlap while the pipeline streams.
+  double analysis_seconds = 0.0;
 };
 
 struct Report {
@@ -116,8 +146,10 @@ class NidsEngine {
 
   /// Analyze one application payload directly (classification skipped).
   /// Used by Table 1/2 benches that feed exploit payloads end-to-end.
+  /// `unit_id` correlates this unit's tracer spans (0 = unlabelled).
   std::vector<Alert> analyze_payload(util::ByteView payload, const Alert& meta_prototype,
-                                     NidsStats* stats = nullptr) const;
+                                     NidsStats* stats = nullptr,
+                                     std::uint64_t unit_id = 0) const;
 
   [[nodiscard]] const NidsOptions& options() const noexcept { return options_; }
   [[nodiscard]] const semantic::SemanticAnalyzer& analyzer() const noexcept {

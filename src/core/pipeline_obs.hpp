@@ -1,0 +1,38 @@
+// Internal glue between the core pipeline containers and the
+// process-wide observability handles. BoundedQueue and BoundedFlowTable
+// deliberately take nullable metric-handle structs (util/ and net/ know
+// nothing about which registry families exist); these helpers bind them
+// to the families in obs::pipeline_metrics() exactly once, and every
+// engine / live session shares the same bound structs.
+#pragma once
+
+#include "core/engine.hpp"
+#include "net/flow.hpp"
+#include "obs/pipeline.hpp"
+#include "util/queue.hpp"
+
+namespace senids::core {
+
+inline const util::QueueMetrics& queue_metrics() {
+  obs::PipelineMetrics& pm = obs::pipeline_metrics();
+  static const util::QueueMetrics m{pm.queue_depth, pm.queue_bytes, pm.queue_pushed,
+                                    pm.queue_backpressure_waits,
+                                    pm.queue_backpressure_wait_seconds};
+  return m;
+}
+
+inline const net::FlowTableMetrics& flow_table_metrics() {
+  obs::PipelineMetrics& pm = obs::pipeline_metrics();
+  static const net::FlowTableMetrics m{pm.flow_table_flows, pm.flows_created,
+                                       pm.flows_evicted_idle, pm.flows_evicted_overflow};
+  return m;
+}
+
+/// Fold one stage execution into a per-capture StageStat accumulator.
+inline void fold_stage(StageStat& s, double seconds) noexcept {
+  ++s.count;
+  s.seconds += seconds;
+  if (seconds > s.max_seconds) s.max_seconds = seconds;
+}
+
+}  // namespace senids::core

@@ -1,14 +1,38 @@
 #include "core/session.hpp"
 
+#include <chrono>
+#include <optional>
+
+#include "core/pipeline_obs.hpp"
+#include "obs/trace.hpp"
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
 namespace senids::core {
 
-LiveSession::LiveSession(NidsEngine& engine, AlertSink sink)
-    : engine_(engine), sink_(std::move(sink)) {}
+namespace {
 
-void LiveSession::analyze_unit(util::ByteView payload, const Alert& meta) {
-  for (const Alert& alert : engine_.analyze_payload(payload, meta, &stats_)) {
+using SteadyClock = std::chrono::steady_clock;
+
+double seconds_since(SteadyClock::time_point start) {
+  return std::chrono::duration<double>(SteadyClock::now() - start).count();
+}
+
+}  // namespace
+
+LiveSession::LiveSession(NidsEngine& engine, AlertSink sink)
+    : engine_(engine), sink_(std::move(sink)) {
+  flows_.set_metrics(&flow_table_metrics());
+}
+
+void LiveSession::analyze_unit(util::ByteView payload, const Alert& meta,
+                               std::uint64_t unit_id) {
+  util::WallTimer unit_timer;
+  for (const Alert& alert : engine_.analyze_payload(payload, meta, &stats_, unit_id)) {
+    ++alerts_emitted_;
     if (sink_) sink_(alert);
   }
+  stats_.analysis_seconds += unit_timer.seconds();
 }
 
 bool LiveSession::stream_full(const FlowState& state) const {
@@ -17,12 +41,36 @@ bool LiveSession::stream_full(const FlowState& state) const {
 }
 
 void LiveSession::flush_flow(FlowState& state) {
-  if (stream_full(state)) ++stats_.streams_truncated;
+  obs::PipelineMetrics& pm = obs::pipeline_metrics();
+  obs::Tracer& tracer = obs::Tracer::instance();
+  const bool tracing = obs::Tracer::enabled();
+  const bool clocked = obs::metrics_enabled() || tracing;
+  if (stream_full(state)) {
+    ++stats_.streams_truncated;
+    pm.streams_truncated->add();
+  }
+  double reassemble_seconds = state.reassemble_seconds;
+  state.reassemble_seconds = 0.0;
+  const SteadyClock::time_point t0 =
+      clocked ? SteadyClock::now() : SteadyClock::time_point{};
   const util::Bytes stream = state.reassembler.take_stream();
-  if (!stream.empty()) analyze_unit(stream, state.meta);
+  if (clocked) reassemble_seconds += seconds_since(t0);
+  if (stream.empty()) return;
+  const std::uint64_t unit_id = tracing ? tracer.next_unit_id() : 0;
+  constexpr auto kReassemble = static_cast<std::size_t>(obs::Stage::kReassemble);
+  pm.stage_seconds[kReassemble]->observe(reassemble_seconds);
+  fold_stage(stats_.stages[kReassemble], reassemble_seconds);
+  if (tracing) {
+    const auto dur = static_cast<std::uint64_t>(reassemble_seconds * 1e6);
+    const std::uint64_t now = tracer.now_us();
+    tracer.record({obs::stage_name(obs::Stage::kReassemble).data(), unit_id,
+                   now >= dur ? now - dur : 0, dur, stream.size(), 0});
+  }
+  analyze_unit(stream, state.meta, unit_id);
 }
 
 void LiveSession::dispatch(net::ParsedPacket& pkt) {
+  const bool clocked = obs::metrics_enabled() || obs::Tracer::enabled();
   Alert meta;
   meta.ts_sec = pkt.ts_sec;
   meta.src = pkt.ip.src;
@@ -47,40 +95,99 @@ void LiveSession::dispatch(net::ParsedPacket& pkt) {
         ++stats_.flows_evicted_overflow;
       }
     }
+    const SteadyClock::time_point t0 =
+        clocked ? SteadyClock::now() : SteadyClock::time_point{};
     state->reassembler.feed(pkt.tcp.seq, pkt.tcp.flags, pkt.payload);
+    if (clocked) state->reassemble_seconds += seconds_since(t0);
     if (state->reassembler.closed() || stream_full(*state)) {
       flush_flow(*state);
       flows_.erase(key);
     }
   } else if (!pkt.payload.empty()) {
-    analyze_unit(pkt.payload, meta);
+    const bool tracing = obs::Tracer::enabled();
+    analyze_unit(pkt.payload, meta,
+                 tracing ? obs::Tracer::instance().next_unit_id() : 0);
   }
 }
 
 void LiveSession::feed(util::ByteView frame, std::uint32_t ts_sec, std::uint32_t ts_usec) {
+  obs::PipelineMetrics& pm = obs::pipeline_metrics();
+  obs::Tracer& tracer = obs::Tracer::instance();
+  const bool tracing = obs::Tracer::enabled();
+  const bool clocked = obs::metrics_enabled() || tracing;
   ++stats_.packets;
-  auto pkt = net::parse_frame(frame, ts_sec, ts_usec);
-  if (!pkt) {
-    ++stats_.non_ip;
-    return;
-  }
-  const classify::Verdict verdict = engine_.classifier().observe(*pkt);
+  pm.packets->add();
+  const SteadyClock::time_point pkt_start =
+      clocked ? SteadyClock::now() : SteadyClock::time_point{};
 
-  if (pkt->transport == net::Transport::kFragment) {
-    auto datagram = defrag_.feed(pkt->ip, pkt->payload);
-    if (!datagram) return;
-    auto whole =
-        net::parse_reassembled(datagram->header, datagram->payload, ts_sec, ts_usec);
-    if (!whole) return;
-    if (engine_.classifier().check(*whole) != classify::Verdict::kAnalyze) return;
+  // Parse + classifier verdict (+ defragmentation); mirrors the batch
+  // engine's stage-(a) loop so live and offline runs report identically.
+  auto classify_one = [&]() -> std::optional<net::ParsedPacket> {
+    auto pkt = net::parse_frame(frame, ts_sec, ts_usec);
+    if (!pkt) {
+      ++stats_.non_ip;
+      return std::nullopt;
+    }
+    const classify::Verdict verdict = engine_.classifier().observe(*pkt);
+
+    if (pkt->transport == net::Transport::kFragment) {
+      auto datagram = defrag_.feed(pkt->ip, pkt->payload);
+      if (!datagram) return std::nullopt;
+      auto whole =
+          net::parse_reassembled(datagram->header, datagram->payload, ts_sec, ts_usec);
+      if (!whole) return std::nullopt;
+      if (engine_.classifier().check(*whole) != classify::Verdict::kAnalyze) {
+        return std::nullopt;
+      }
+      return whole;
+    }
+
+    if (verdict != classify::Verdict::kAnalyze) return std::nullopt;
+    return pkt;
+  };
+  auto suspicious = classify_one();
+  const double classify_seconds = clocked ? seconds_since(pkt_start) : 0.0;
+  constexpr auto kClassify = static_cast<std::size_t>(obs::Stage::kClassify);
+  pm.stage_seconds[kClassify]->observe(classify_seconds);
+  fold_stage(stats_.stages[kClassify], classify_seconds);
+  if (tracing && suspicious) {
+    const auto dur = static_cast<std::uint64_t>(classify_seconds * 1e6);
+    const std::uint64_t now = tracer.now_us();
+    tracer.record({obs::stage_name(obs::Stage::kClassify).data(), 0,
+                   now >= dur ? now - dur : 0, dur, frame.size(), 0});
+  }
+  const double analysis_before = stats_.analysis_seconds;
+  if (suspicious) {
     ++stats_.suspicious_packets;
-    dispatch(*whole);
+    pm.suspicious_packets->add();
+    dispatch(*suspicious);
+  }
+  // Whole-feed caller wall minus the inline analysis it triggered: the
+  // same stage-(a) definition the batch engine reports.
+  if (clocked) {
+    stats_.classify_seconds +=
+        seconds_since(pkt_start) - (stats_.analysis_seconds - analysis_before);
+  }
+  maybe_log_metrics(ts_sec);
+}
+
+void LiveSession::maybe_log_metrics(std::uint32_t ts_sec) {
+  const std::uint32_t interval = engine_.options().metrics_log_interval_sec;
+  if (interval == 0 || ts_sec == 0) return;
+  if (next_metrics_log_ts_ == 0) {
+    next_metrics_log_ts_ = ts_sec + interval;
     return;
   }
-
-  if (verdict != classify::Verdict::kAnalyze) return;
-  ++stats_.suspicious_packets;
-  dispatch(*pkt);
+  if (ts_sec < next_metrics_log_ts_) return;
+  next_metrics_log_ts_ = ts_sec + interval;
+  util::log_info() << "session metrics: packets=" << stats_.packets
+                   << " suspicious=" << stats_.suspicious_packets
+                   << " units=" << stats_.units_analyzed
+                   << " frames=" << stats_.frames_extracted
+                   << " alerts=" << alerts_emitted_ << " flows=" << flows_.size()
+                   << " truncated=" << stats_.streams_truncated
+                   << " classify_s=" << stats_.classify_seconds
+                   << " analysis_s=" << stats_.analysis_seconds;
 }
 
 void LiveSession::finish() {

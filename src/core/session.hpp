@@ -33,17 +33,26 @@ class LiveSession {
 
   [[nodiscard]] const NidsStats& stats() const noexcept { return stats_; }
 
+  /// Alerts delivered to the sink so far.
+  [[nodiscard]] std::size_t alerts_emitted() const noexcept { return alerts_emitted_; }
+
  private:
-  void analyze_unit(util::ByteView payload, const Alert& meta);
+  void analyze_unit(util::ByteView payload, const Alert& meta, std::uint64_t unit_id);
   void dispatch(net::ParsedPacket& pkt);
+  /// Periodic one-line metrics snapshot through util::Log, driven by
+  /// capture time (NidsOptions::metrics_log_interval_sec; 0 = off).
+  void maybe_log_metrics(std::uint32_t ts_sec);
 
   NidsEngine& engine_;
   AlertSink sink_;
   NidsStats stats_;
+  std::size_t alerts_emitted_ = 0;
+  std::uint32_t next_metrics_log_ts_ = 0;
 
   struct FlowState {
     net::TcpReassembler reassembler;
     Alert meta;
+    double reassemble_seconds = 0.0;  // accrued per feed, emitted at flush
     explicit FlowState(std::size_t cap) : reassembler(cap, cap) {}
   };
   [[nodiscard]] bool stream_full(const FlowState& state) const;

@@ -2,9 +2,44 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "x86/scan.hpp"
 
 namespace senids::emu {
+
+namespace {
+
+/// Process-wide sandbox counters. Per-stop-reason totals matter beyond
+/// capacity planning: emulation-evasion work (arXiv:0906.1963) shows
+/// step/bailout distributions are themselves a detection signal — code
+/// engineered to exhaust or escape the sandbox skews them.
+struct EmuMetrics {
+  obs::Counter& frames;
+  obs::Counter& runs;
+  obs::Counter& steps;
+  std::array<obs::Counter*, 9> stops;  // indexed by StopReason
+};
+
+EmuMetrics& emu_metrics() {
+  auto& r = obs::Registry::instance();
+  static EmuMetrics m = [&] {
+    EmuMetrics e{
+        r.counter("senids_emu_frames_total", "Frames handed to the sandbox"),
+        r.counter("senids_emu_runs_total", "Sandbox runs (candidate entries tried)"),
+        r.counter("senids_emu_steps_total", "Instructions executed in the sandbox"),
+        {},
+    };
+    for (std::size_t i = 0; i < e.stops.size(); ++i) {
+      e.stops[i] = &r.counter("senids_emu_stop_total",
+                              "Sandbox runs ended, by stop reason", "reason",
+                              stop_reason_name(static_cast<StopReason>(i)));
+    }
+    return e;
+  }();
+  return m;
+}
+
+}  // namespace
 
 bool EmulationResult::made_syscall() const {
   return std::any_of(syscalls.begin(), syscalls.end(),
@@ -36,6 +71,9 @@ EmulationResult emulate_entry(util::ByteView frame, std::size_t entry,
   result.entry = entry;
   if (entry >= frame.size()) {
     result.stop = StopReason::kUnmappedFetch;
+    EmuMetrics& metrics = emu_metrics();
+    metrics.runs.add();
+    metrics.stops[static_cast<std::size_t>(result.stop)]->add();
     return result;
   }
 
@@ -70,10 +108,16 @@ EmulationResult emulate_entry(util::ByteView frame, std::size_t entry,
   if (result.frame_bytes_modified > 0) {
     result.decoded_frame = mem.snapshot_frame();
   }
+  EmuMetrics& metrics = emu_metrics();
+  metrics.runs.add();
+  metrics.steps.add(result.steps);
+  const auto stop_index = static_cast<std::size_t>(result.stop);
+  if (stop_index < metrics.stops.size()) metrics.stops[stop_index]->add();
   return result;
 }
 
 EmulationResult emulate_frame(util::ByteView frame, const EmulatorOptions& options) {
+  emu_metrics().frames.add();
   auto runs = x86::find_code_runs(frame, options.min_run_insns);
   std::stable_sort(runs.begin(), runs.end(), [](const x86::CodeRun& a,
                                                 const x86::CodeRun& b) {

@@ -15,8 +15,18 @@
 #include <vector>
 
 #include "net/packet.hpp"
+#include "obs/metrics.hpp"
 
 namespace senids::net {
+
+/// Optional observability hooks for a BoundedFlowTable. All pointers
+/// must outlive the table; any may be null.
+struct FlowTableMetrics {
+  obs::Gauge* flows = nullptr;            // current occupancy
+  obs::Counter* created = nullptr;        // flows admitted
+  obs::Counter* evicted_idle = nullptr;   // flushed by the idle timeout
+  obs::Counter* evicted_overflow = nullptr;  // flushed by the live-flow cap
+};
 
 /// Directional 5-tuple identifying one side of a conversation.
 struct FlowKey {
@@ -63,6 +73,9 @@ using FlowMap = std::unordered_map<FlowKey, V, FlowKeyHash>;
 template <typename V>
 class BoundedFlowTable {
  public:
+  /// Attach observability hooks (`metrics` must outlive the table).
+  void set_metrics(const FlowTableMetrics* metrics) noexcept { metrics_ = metrics; }
+
   /// Find-or-create the flow for `key`, constructing V from `args` on a
   /// miss. Stamps the flow with `ts_sec` and moves it to the
   /// most-recently-active end of the LRU list. Returns the value and
@@ -78,6 +91,8 @@ class BoundedFlowTable {
     auto pos = lru_.insert(lru_.end(), key);
     auto [ins, _] =
         map_.try_emplace(key, Entry{V(std::forward<Args>(args)...), ts_sec, pos});
+    if (metrics_ && metrics_->created) metrics_->created->add();
+    publish_occupancy();
     return {&ins->second.value, true};
   }
 
@@ -86,6 +101,7 @@ class BoundedFlowTable {
     if (it == map_.end()) return;
     lru_.erase(it->second.lru_pos);
     map_.erase(it);
+    publish_occupancy();
   }
 
   /// Evict every flow idle since before `now - idle_timeout`, calling
@@ -103,6 +119,10 @@ class BoundedFlowTable {
       map_.erase(it);
       ++evicted;
     }
+    if (evicted && metrics_) {
+      if (metrics_->evicted_idle) metrics_->evicted_idle->add(evicted);
+      publish_occupancy();
+    }
     return evicted;
   }
 
@@ -115,6 +135,8 @@ class BoundedFlowTable {
     sink(it->first, it->second.value);
     lru_.pop_front();
     map_.erase(it);
+    if (metrics_ && metrics_->evicted_overflow) metrics_->evicted_overflow->add();
+    publish_occupancy();
     return true;
   }
 
@@ -128,12 +150,19 @@ class BoundedFlowTable {
     }
     map_.clear();
     lru_.clear();
+    publish_occupancy();
   }
 
   [[nodiscard]] std::size_t size() const noexcept { return map_.size(); }
   [[nodiscard]] bool empty() const noexcept { return map_.empty(); }
 
  private:
+  void publish_occupancy() const {
+    if (metrics_ && metrics_->flows) {
+      metrics_->flows->set(static_cast<std::int64_t>(map_.size()));
+    }
+  }
+
   struct Entry {
     V value;
     std::uint32_t last_ts = 0;
@@ -141,6 +170,7 @@ class BoundedFlowTable {
   };
   std::unordered_map<FlowKey, Entry, FlowKeyHash> map_;
   std::list<FlowKey> lru_;  // front = least recently active
+  const FlowTableMetrics* metrics_ = nullptr;
 };
 
 }  // namespace senids::net

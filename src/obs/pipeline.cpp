@@ -1,0 +1,62 @@
+#include "obs/pipeline.hpp"
+
+namespace senids::obs {
+
+namespace {
+
+constexpr std::array<std::string_view, kStageCount> kStageNames = {
+    "classify", "reassemble", "extract", "disasm", "lift", "match", "emulate",
+};
+
+PipelineMetrics register_all() {
+  Registry& r = Registry::instance();
+  PipelineMetrics m;
+  for (std::size_t i = 0; i < kStageCount; ++i) {
+    m.stage_seconds[i] =
+        &r.histogram("senids_stage_seconds", "Per-stage pipeline latency in seconds",
+                     "stage", kStageNames[i]);
+  }
+  m.packets = &r.counter("senids_packets_total", "Captured frames fed to stage (a)");
+  m.suspicious_packets =
+      &r.counter("senids_suspicious_packets_total", "Packets the classifier flagged");
+  m.units = &r.counter("senids_units_total",
+                       "Analysis units (payloads/streams) entering stage (b)");
+  m.frames =
+      &r.counter("senids_frames_total", "Binary frames extracted from analysis units");
+  m.bytes_analyzed =
+      &r.counter("senids_bytes_analyzed_total", "Frame bytes reaching the disassembler");
+  m.alerts = &r.counter("senids_alerts_total", "Alerts raised by all stages");
+
+  m.queue_depth = &r.gauge("senids_queue_depth", "Analysis units waiting in the handoff queue");
+  m.queue_bytes = &r.gauge("senids_queue_bytes", "Payload bytes waiting in the handoff queue");
+  m.queue_pushed = &r.counter("senids_queue_pushed_total", "Units admitted to the handoff queue");
+  m.queue_backpressure_waits = &r.counter(
+      "senids_queue_backpressure_waits_total",
+      "Producer pushes that blocked on a full queue or exhausted byte budget");
+  m.queue_backpressure_wait_seconds =
+      &r.histogram("senids_queue_backpressure_wait_seconds",
+                   "Time the producer spent blocked per backpressured push");
+
+  m.flow_table_flows = &r.gauge("senids_flow_table_flows", "Live flows in the flow table");
+  m.flows_created = &r.counter("senids_flows_created_total", "Flows admitted to the flow table");
+  m.flows_evicted_idle =
+      &r.counter("senids_flows_evicted_idle_total", "Flows flushed by the idle timeout");
+  m.flows_evicted_overflow = &r.counter("senids_flows_evicted_overflow_total",
+                                        "Flows flushed to enforce the live-flow cap");
+  m.streams_truncated = &r.counter("senids_streams_truncated_total",
+                                   "Flows whose assembled stream hit max_stream_bytes");
+  return m;
+}
+
+}  // namespace
+
+std::string_view stage_name(Stage stage) noexcept {
+  return kStageNames[static_cast<std::size_t>(stage)];
+}
+
+PipelineMetrics& pipeline_metrics() {
+  static PipelineMetrics metrics = register_all();
+  return metrics;
+}
+
+}  // namespace senids::obs

@@ -1,0 +1,70 @@
+// Pipeline-wide metric names and handles. One struct of pre-registered
+// registry handles covers everything the engine and live session record,
+// so (a) hot paths never touch the registry map, and (b) every pipeline
+// stage appears in an export even before its first sample (a scrape that
+// omits the emulate stage because no frame was emulated yet would read
+// as a broken deployment, not a quiet one).
+//
+// Metric naming scheme (see DESIGN.md "Observability"):
+//   senids_<area>_<what>[_total|_seconds|_bytes]{label="..."}
+// Counters end in _total, histograms of latency in _seconds; the one
+// label in use is stage="classify|reassemble|extract|disasm|lift|match|
+// emulate" on the per-stage latency family.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+namespace senids::obs {
+
+/// The analysis stages of Figure 3 (plus the deep-analysis extension),
+/// in pipeline order.
+enum class Stage : std::uint8_t {
+  kClassify = 0,   // stage (a): parse + classifier verdict
+  kReassemble,     // stage (a): TCP stream assembly for one flushed flow
+  kExtract,        // stage (b): binary detection & extraction
+  kDisasm,         // stage (c): candidate scan + execution tracing
+  kLift,           // stage (d): x86 -> IR
+  kMatch,          // stage (e): semantic template matching
+  kEmulate,        // deep analysis: sandboxed execution
+};
+inline constexpr std::size_t kStageCount = 7;
+
+[[nodiscard]] std::string_view stage_name(Stage stage) noexcept;
+
+/// Handles into the process-wide registry for every engine-level metric.
+struct PipelineMetrics {
+  // Per-stage wall-clock latency (one observation per stage per unit;
+  // classify observes per packet, reassemble per flushed flow).
+  std::array<Histogram*, kStageCount> stage_seconds{};
+
+  // Pipeline volume counters.
+  Counter* packets;
+  Counter* suspicious_packets;
+  Counter* units;
+  Counter* frames;
+  Counter* bytes_analyzed;
+  Counter* alerts;
+
+  // Handoff queue between stage (a) and the worker pool.
+  Gauge* queue_depth;
+  Gauge* queue_bytes;
+  Counter* queue_pushed;
+  Counter* queue_backpressure_waits;
+  Histogram* queue_backpressure_wait_seconds;
+
+  // Flow table occupancy / eviction.
+  Gauge* flow_table_flows;
+  Counter* flows_created;
+  Counter* flows_evicted_idle;
+  Counter* flows_evicted_overflow;
+  Counter* streams_truncated;
+};
+
+/// Process-wide handles; registers every metric on first call.
+PipelineMetrics& pipeline_metrics();
+
+}  // namespace senids::obs

@@ -1,0 +1,155 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+
+namespace senids::obs {
+
+namespace {
+
+std::atomic<bool> g_trace_enabled{false};
+
+#if defined(__GNUC__)
+__attribute__((format(printf, 2, 3)))
+#endif
+void append_format(std::string& out, const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list measured;
+  va_copy(measured, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, measured);
+  va_end(measured);
+  if (n > 0) {
+    const std::size_t old = out.size();
+    out.resize(old + static_cast<std::size_t>(n) + 1);
+    std::vsnprintf(out.data() + old, static_cast<std::size_t>(n) + 1, fmt, args);
+    out.resize(old + static_cast<std::size_t>(n));
+  }
+  va_end(args);
+}
+
+void append_span_json(std::string& out, const Span& s) {
+  append_format(out,
+                "{\"name\": \"%s\", \"cat\": \"stage\", \"ph\": \"X\", \"pid\": 1, "
+                "\"tid\": %u, \"ts\": %llu, \"dur\": %llu, "
+                "\"args\": {\"unit\": %llu, \"bytes\": %llu}}",
+                s.name, s.tid, static_cast<unsigned long long>(s.ts_us),
+                static_cast<unsigned long long>(s.dur_us),
+                static_cast<unsigned long long>(s.unit_id),
+                static_cast<unsigned long long>(s.bytes));
+}
+
+}  // namespace
+
+struct Tracer::Impl {
+  using Clock = std::chrono::steady_clock;
+
+  struct Buffer {
+    std::mutex mu;  // uncontended: one owner thread appends, collectors read
+    std::vector<Span> spans;
+  };
+
+  mutable std::mutex mu;  // guards buffers registration and epoch
+  std::vector<std::unique_ptr<Buffer>> buffers;
+  Clock::time_point epoch = Clock::now();
+  std::atomic<std::uint64_t> next_unit{1};
+  std::atomic<std::uint32_t> next_tid{1};
+
+  Buffer& local_buffer(std::uint32_t* tid_out) {
+    // One buffer per (thread, tracer) pair; buffers outlive their thread
+    // so spans from joined pool workers survive until export.
+    thread_local Buffer* buffer = nullptr;
+    thread_local std::uint32_t tid = 0;
+    if (!buffer) {
+      auto owned = std::make_unique<Buffer>();
+      buffer = owned.get();
+      tid = next_tid.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard lock(mu);
+      buffers.push_back(std::move(owned));
+    }
+    *tid_out = tid;
+    return *buffer;
+  }
+};
+
+Tracer::Tracer() : impl_(new Impl) {}
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+bool Tracer::enabled() noexcept {
+  return g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+void Tracer::set_enabled(bool enabled) noexcept {
+  g_trace_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+std::uint64_t Tracer::now_us() const noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Impl::Clock::now() -
+                                                            impl_->epoch)
+          .count());
+}
+
+std::uint64_t Tracer::next_unit_id() noexcept {
+  return impl_->next_unit.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Tracer::record(Span span) {
+  if (!enabled()) return;
+  std::uint32_t tid = 0;
+  Impl::Buffer& buffer = impl_->local_buffer(&tid);
+  span.tid = tid;
+  std::lock_guard lock(buffer.mu);
+  buffer.spans.push_back(span);
+}
+
+std::vector<Span> Tracer::spans() const {
+  std::vector<Span> out;
+  std::lock_guard lock(impl_->mu);
+  for (const auto& buffer : impl_->buffers) {
+    std::lock_guard buffer_lock(buffer->mu);
+    out.insert(out.end(), buffer->spans.begin(), buffer->spans.end());
+  }
+  return out;
+}
+
+std::string Tracer::chrome_trace_json() const {
+  std::string out = "{\"traceEvents\": [\n";
+  const std::vector<Span> all = spans();
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    out += "  ";
+    append_span_json(out, all[i]);
+    out += i + 1 < all.size() ? ",\n" : "\n";
+  }
+  out += "], \"displayTimeUnit\": \"ms\"}\n";
+  return out;
+}
+
+std::string Tracer::jsonl() const {
+  std::string out;
+  for (const Span& s : spans()) {
+    append_span_json(out, s);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+void Tracer::reset() {
+  std::lock_guard lock(impl_->mu);
+  for (auto& buffer : impl_->buffers) {
+    std::lock_guard buffer_lock(buffer->mu);
+    buffer->spans.clear();
+  }
+  impl_->epoch = Impl::Clock::now();
+  impl_->next_unit.store(1, std::memory_order_relaxed);
+}
+
+}  // namespace senids::obs

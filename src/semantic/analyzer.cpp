@@ -1,12 +1,64 @@
 #include "semantic/analyzer.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <unordered_set>
 
 #include "ir/lifter.hpp"
+#include "obs/metrics.hpp"
 #include "x86/scan.hpp"
 
 namespace senids::semantic {
+
+namespace {
+
+/// Process-wide analyzer counters, registered once. Sharded increments:
+/// every worker thread funnels through here.
+struct AnalyzerMetrics {
+  obs::Counter& frames;
+  obs::Counter& runs;
+  obs::Counter& traces;
+  obs::Counter& insns_lifted;
+  obs::Counter& matches_tried;
+  obs::Counter& entry_budget_exhausted;
+  obs::Counter& insn_budget_exhausted;
+};
+
+AnalyzerMetrics& analyzer_metrics() {
+  auto& r = obs::Registry::instance();
+  static AnalyzerMetrics m{
+      r.counter("senids_analyzer_frames_total", "Frames run through the semantic analyzer"),
+      r.counter("senids_analyzer_runs_total", "Candidate decode runs found"),
+      r.counter("senids_analyzer_traces_total", "Execution traces lifted to IR"),
+      r.counter("senids_analyzer_insns_lifted_total", "Instructions lifted to IR"),
+      r.counter("senids_analyzer_matches_tried_total", "Template match attempts"),
+      r.counter("senids_analyzer_entry_budget_exhausted_total",
+                "Frames that filled the candidate-entry budget"),
+      r.counter("senids_analyzer_insn_budget_exhausted_total",
+                "Frames that burned the per-frame instruction budget"),
+  };
+  return m;
+}
+
+/// Accumulating stopwatch that reads the clock only while metrics are on.
+class StageClock {
+ public:
+  explicit StageClock(bool active) : active_(active) {}
+  void start() noexcept {
+    if (active_) t0_ = std::chrono::steady_clock::now();
+  }
+  void stop(double& into) noexcept {
+    if (active_) {
+      into += std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_).count();
+    }
+  }
+
+ private:
+  bool active_;
+  std::chrono::steady_clock::time_point t0_{};
+};
+
+}  // namespace
 
 SemanticAnalyzer::SemanticAnalyzer(std::vector<Template> templates, Options options)
     : templates_(std::move(templates)), options_(options) {}
@@ -15,13 +67,18 @@ std::vector<Detection> SemanticAnalyzer::analyze(util::ByteView frame,
                                                  AnalyzerStats* stats) const {
   std::vector<Detection> detections;
   if (frame.empty()) return detections;
+  AnalyzerMetrics& metrics = analyzer_metrics();
+  metrics.frames.add();
   if (stats) ++stats->frames;
+  StageClock clock(obs::metrics_enabled());
 
   // 1. Candidate entry points: starts of maximal decode runs, plus the
   //    targets of backward branches inside them (loop heads — needed when
   //    a run begins inside an already-unrolled loop body).
+  clock.start();
   std::vector<std::size_t> entries;
   auto runs = x86::find_code_runs(frame, options_.min_run_insns);
+  metrics.runs.add(runs.size());
   if (stats) stats->candidate_runs += runs.size();
   // Long decode runs first: real code (decoders, shellcode bodies) forms
   // long coherent runs, while text/noise fragments into thousands of
@@ -32,11 +89,14 @@ std::vector<Detection> SemanticAnalyzer::analyze(util::ByteView frame,
     return a.insn_count > b.insn_count;
   });
   std::unordered_set<std::size_t> seen;
+  bool entry_budget_hit = false;
   auto add_entry = [&](std::size_t off) {
-    if (off < frame.size() && seen.insert(off).second &&
-        entries.size() < options_.max_entries) {
-      entries.push_back(off);
+    if (off >= frame.size() || !seen.insert(off).second) return;
+    if (entries.size() >= options_.max_entries) {
+      entry_budget_hit = true;
+      return;
     }
+    entries.push_back(off);
   };
   for (const auto& run : runs) {
     if (entries.size() >= options_.max_entries) break;
@@ -54,26 +114,42 @@ std::vector<Detection> SemanticAnalyzer::analyze(util::ByteView frame,
       }
     }
   }
+  double disasm_seconds = 0.0;
+  clock.stop(disasm_seconds);
 
   // 2. Trace + lift + match. Stop trying a template once it has fired on
   //    this frame (one detection per template per frame).
+  double lift_seconds = 0.0;
+  double match_seconds = 0.0;
+  bool insn_budget_hit = false;
   std::unordered_set<std::string> fired;
   std::size_t lifted_budget = options_.max_total_insns;
   for (std::size_t entry : entries) {
     if (fired.size() == templates_.size()) break;
-    if (lifted_budget == 0) break;  // per-frame work cap reached
+    if (lifted_budget == 0) {  // per-frame work cap reached
+      insn_budget_hit = true;
+      break;
+    }
+    clock.start();
     auto trace = x86::execution_trace(frame, entry,
                                       std::min(options_.max_trace_insns, lifted_budget));
+    clock.stop(disasm_seconds);
     if (trace.size() < options_.min_run_insns) continue;
     lifted_budget -= std::min(lifted_budget, trace.size());
+    metrics.traces.add();
+    metrics.insns_lifted.add(trace.size());
     if (stats) {
       ++stats->traces;
       stats->instructions_lifted += trace.size();
     }
+    clock.start();
     ir::LiftResult lifted = ir::lift(trace);
+    clock.stop(lift_seconds);
     LiftedCode code{&trace, &lifted.events, frame};
+    clock.start();
     for (const Template& t : templates_) {
       if (fired.contains(t.name)) continue;
+      metrics.matches_tried.add();
       if (stats) ++stats->template_matches_tried;
       if (auto m = match_template(t, code)) {
         fired.insert(t.name);
@@ -86,6 +162,21 @@ std::vector<Detection> SemanticAnalyzer::analyze(util::ByteView frame,
         detections.push_back(std::move(d));
       }
     }
+    clock.stop(match_seconds);
+  }
+
+  if (entry_budget_hit) {
+    metrics.entry_budget_exhausted.add();
+    if (stats) ++stats->entry_budget_exhausted;
+  }
+  if (insn_budget_hit) {
+    metrics.insn_budget_exhausted.add();
+    if (stats) ++stats->insn_budget_exhausted;
+  }
+  if (stats) {
+    stats->disasm_seconds += disasm_seconds;
+    stats->lift_seconds += lift_seconds;
+    stats->match_seconds += match_seconds;
   }
   return detections;
 }

@@ -24,6 +24,18 @@ struct AnalyzerStats {
   std::size_t traces = 0;
   std::size_t instructions_lifted = 0;
   std::size_t template_matches_tried = 0;
+  // Work-budget bailouts: frames that filled the candidate-entry budget
+  // (max_entries) or burned the per-frame instruction budget
+  // (max_total_insns). A spike is itself a signal — adversarial frames
+  // shaped to exhaust the analyzer look exactly like this.
+  std::size_t entry_budget_exhausted = 0;
+  std::size_t insn_budget_exhausted = 0;
+  /// Per-stage wall time inside analyze(): candidate scan + execution
+  /// tracing (disasm), x86 -> IR (lift), template matching (match).
+  /// Only accumulated while obs::metrics_enabled(); zero otherwise.
+  double disasm_seconds = 0.0;
+  double lift_seconds = 0.0;
+  double match_seconds = 0.0;
 };
 
 /// Thread-compatible analyzer: `analyze` is const and side-effect free

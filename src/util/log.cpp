@@ -1,8 +1,32 @@
 #include "util/log.hpp"
 
+#include <cctype>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <ctime>
 
 namespace senids::util {
+
+namespace {
+
+/// Startup level: SENIDS_LOG_LEVEL name or number, default kWarn.
+LogLevel level_from_environment() {
+  const char* raw = std::getenv("SENIDS_LOG_LEVEL");
+  if (!raw || !*raw) return LogLevel::kWarn;
+  std::string value(raw);
+  for (char& c : value) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (value == "debug" || value == "0") return LogLevel::kDebug;
+  if (value == "info" || value == "1") return LogLevel::kInfo;
+  if (value == "warn" || value == "warning" || value == "2") return LogLevel::kWarn;
+  if (value == "error" || value == "3") return LogLevel::kError;
+  if (value == "off" || value == "none" || value == "4") return LogLevel::kOff;
+  return LogLevel::kWarn;
+}
+
+}  // namespace
+
+Log::Log() : level_(level_from_environment()) {}
 
 Log& Log::instance() {
   static Log log;
@@ -10,11 +34,11 @@ Log& Log::instance() {
 }
 
 void Log::set_level(LogLevel level) noexcept {
-  instance().level_ = level;
+  instance().level_.store(level, std::memory_order_relaxed);
 }
 
 LogLevel Log::level() noexcept {
-  return instance().level_;
+  return instance().level_.load(std::memory_order_relaxed);
 }
 
 void Log::set_sink(Sink sink) {
@@ -24,14 +48,25 @@ void Log::set_sink(Sink sink) {
 
 void Log::write(LogLevel level, const std::string& message) {
   Log& log = instance();
-  if (level < log.level_) return;
+  if (level < log.level_.load(std::memory_order_relaxed)) return;
   std::lock_guard lock(log.mu_);
   if (log.sink_) {
     log.sink_(level, message);
     return;
   }
   static constexpr const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
-  std::fprintf(stderr, "[%s] %s\n", kNames[static_cast<int>(level)], message.c_str());
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto millis = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          now.time_since_epoch())
+                          .count() %
+                      1000;
+  std::tm tm{};
+  localtime_r(&secs, &tm);
+  char stamp[32];
+  std::strftime(stamp, sizeof stamp, "%Y-%m-%d %H:%M:%S", &tm);
+  std::fprintf(stderr, "[%s.%03d] [%s] %s\n", stamp, static_cast<int>(millis),
+               kNames[static_cast<int>(level)], message.c_str());
 }
 
 }  // namespace senids::util

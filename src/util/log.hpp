@@ -1,8 +1,12 @@
-// Minimal leveled logger. Thread-safe; writes to stderr by default. The
-// NIDS engine logs alerts and stage diagnostics through this so examples
-// and benches can silence or redirect output uniformly.
+// Minimal leveled logger. Thread-safe; writes to stderr by default with
+// a wall-clock timestamp prefix. The NIDS engine logs alerts and stage
+// diagnostics through this so examples and benches can silence or
+// redirect output uniformly. The startup level honors the
+// SENIDS_LOG_LEVEL environment variable (debug|info|warn|error|off, or
+// 0-4), so tools raise verbosity without code changes.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <mutex>
 #include <sstream>
@@ -21,16 +25,18 @@ class Log {
   static void set_level(LogLevel level) noexcept;
   static LogLevel level() noexcept;
 
-  /// Replace the output sink (default writes "[level] message" to stderr).
+  /// Replace the output sink (default writes
+  /// "[YYYY-mm-dd HH:MM:SS.mmm] [level] message" to stderr).
   static void set_sink(Sink sink);
 
   static void write(LogLevel level, const std::string& message);
 
  private:
+  Log();
   static Log& instance();
 
   std::mutex mu_;
-  LogLevel level_ = LogLevel::kWarn;
+  std::atomic<LogLevel> level_{LogLevel::kWarn};
   Sink sink_;
 };
 

@@ -11,13 +11,28 @@
 // single oversized unit can never deadlock the pipeline.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
 #include <optional>
 #include <utility>
 
+#include "obs/metrics.hpp"
+
 namespace senids::util {
+
+/// Optional observability hooks for a BoundedQueue. All pointers must
+/// outlive the queue; any may be null. Depth/bytes gauges track the
+/// queue contents, the backpressure pair records every producer push
+/// that had to block and for how long.
+struct QueueMetrics {
+  obs::Gauge* depth = nullptr;
+  obs::Gauge* bytes = nullptr;
+  obs::Counter* pushed = nullptr;
+  obs::Counter* backpressure_waits = nullptr;
+  obs::Histogram* backpressure_wait_seconds = nullptr;
+};
 
 template <typename T>
 class BoundedQueue {
@@ -30,13 +45,32 @@ class BoundedQueue {
   BoundedQueue(const BoundedQueue&) = delete;
   BoundedQueue& operator=(const BoundedQueue&) = delete;
 
+  /// Attach observability hooks (call before producers/consumers start;
+  /// `metrics` must outlive the queue). Nullptr detaches.
+  void set_metrics(const QueueMetrics* metrics) noexcept { metrics_ = metrics; }
+
   /// Blocking push; returns false if the queue was closed.
   bool push(T value, std::size_t weight = 0) {
     std::unique_lock lock(mu_);
-    not_full_.wait(lock, [this, weight] { return admits(weight) || closed_; });
+    if (metrics_ && !closed_ && !admits(weight)) {
+      // The producer is about to block: that is the backpressure signal
+      // operators watch, so record the event and how long it lasted.
+      if (metrics_->backpressure_waits) metrics_->backpressure_waits->add();
+      const auto wait_start = std::chrono::steady_clock::now();
+      not_full_.wait(lock, [this, weight] { return admits(weight) || closed_; });
+      if (metrics_->backpressure_wait_seconds) {
+        metrics_->backpressure_wait_seconds->observe(
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - wait_start)
+                .count());
+      }
+    } else {
+      not_full_.wait(lock, [this, weight] { return admits(weight) || closed_; });
+    }
     if (closed_) return false;
     weight_ += weight;
     items_.emplace_back(std::move(value), weight);
+    if (metrics_ && metrics_->pushed) metrics_->pushed->add();
+    publish_gauges();
     lock.unlock();
     not_empty_.notify_one();
     return true;
@@ -49,6 +83,8 @@ class BoundedQueue {
       if (closed_ || !admits(weight)) return false;
       weight_ += weight;
       items_.emplace_back(std::move(value), weight);
+      if (metrics_ && metrics_->pushed) metrics_->pushed->add();
+      publish_gauges();
     }
     not_empty_.notify_one();
     return true;
@@ -62,6 +98,7 @@ class BoundedQueue {
     T value = std::move(items_.front().first);
     weight_ -= items_.front().second;
     items_.pop_front();
+    publish_gauges();
     lock.unlock();
     not_full_.notify_one();
     return value;
@@ -76,6 +113,7 @@ class BoundedQueue {
       out = std::move(items_.front().first);
       weight_ -= items_.front().second;
       items_.pop_front();
+      publish_gauges();
     }
     not_full_.notify_one();
     return out;
@@ -106,6 +144,13 @@ class BoundedQueue {
   }
 
  private:
+  /// Must hold mu_.
+  void publish_gauges() const {
+    if (!metrics_) return;
+    if (metrics_->depth) metrics_->depth->set(static_cast<std::int64_t>(items_.size()));
+    if (metrics_->bytes) metrics_->bytes->set(static_cast<std::int64_t>(weight_));
+  }
+
   /// Must hold mu_. Empty-queue admission keeps oversized items live.
   [[nodiscard]] bool admits(std::size_t weight) const {
     if (items_.size() >= capacity_) return false;
@@ -121,6 +166,7 @@ class BoundedQueue {
   std::deque<std::pair<T, std::size_t>> items_;
   std::size_t weight_ = 0;
   bool closed_ = false;
+  const QueueMetrics* metrics_ = nullptr;
 };
 
 }  // namespace senids::util

@@ -1,0 +1,314 @@
+// Observability subsystem tests: sharded counters under concurrency,
+// histogram quantile bounds, Prometheus exposition well-formedness,
+// tracer output formats, and engine-level agreement between tracer span
+// counts and NidsStats on the demo capture.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/senids.hpp"
+#include "obs/metrics.hpp"
+#include "obs/pipeline.hpp"
+#include "obs/trace.hpp"
+
+namespace senids::obs {
+namespace {
+
+TEST(ObsCounter, ConcurrentIncrementsSumExactly) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 100000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST(ObsCounter, RuntimeKillSwitchDropsMutations) {
+  Counter c;
+  set_metrics_enabled(false);
+  c.add(5);
+  set_metrics_enabled(true);
+  c.add(2);
+  EXPECT_EQ(c.value(), 2u);
+}
+
+TEST(ObsGauge, SetAddSub) {
+  Gauge g;
+  g.set(10);
+  g.add(5);
+  g.sub(3);
+  EXPECT_EQ(g.value(), 12);
+}
+
+TEST(ObsHistogram, CountSumAndQuantileWithinBucketBounds) {
+  Histogram h;
+  // 900 fast observations and 100 slow ones: p50 must land in the bucket
+  // holding 100µs, p95/p99 in the bucket holding 10ms. Bounds are
+  // geometric 1µs·2^k, so 100µs falls in (64µs, 128µs] and 10ms in
+  // (8.192ms, 16.384ms]; the interpolated estimate may not leave its
+  // bucket.
+  for (int i = 0; i < 900; ++i) h.observe(100e-6);
+  for (int i = 0; i < 100; ++i) h.observe(10e-3);
+  const Histogram::Snapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 1000u);
+  EXPECT_NEAR(snap.sum_seconds, 900 * 100e-6 + 100 * 10e-3, 1e-3);
+  EXPECT_GE(snap.quantile(0.50), 64e-6);
+  EXPECT_LE(snap.quantile(0.50), 128e-6);
+  EXPECT_GE(snap.quantile(0.95), 8.192e-3);
+  EXPECT_LE(snap.quantile(0.95), 16.384e-3);
+  EXPECT_GE(snap.quantile(0.99), 8.192e-3);
+  EXPECT_LE(snap.quantile(0.99), 16.384e-3);
+}
+
+TEST(ObsHistogram, ConcurrentObservationsCountExactly) {
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) h.observe(1e-4);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.snapshot().count, static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(ObsRegistry, FindOrCreateSharesHandles) {
+  auto& r = Registry::instance();
+  Counter& a = r.counter("senids_test_shared_total", "shared-handle test");
+  Counter& b = r.counter("senids_test_shared_total");
+  EXPECT_EQ(&a, &b);
+  Counter& labelled = r.counter("senids_test_shared_total", "", "k", "v1");
+  EXPECT_NE(&a, &labelled);
+}
+
+TEST(ObsRegistry, PrometheusExpositionIsWellFormed) {
+  // Force full pipeline registration so the exposition covers every
+  // stage even with zero samples (a scrape missing a stage reads as a
+  // broken deployment).
+  (void)pipeline_metrics();
+  const std::string text = Registry::instance().prometheus_text();
+  for (std::size_t i = 0; i < kStageCount; ++i) {
+    const std::string needle = "senids_stage_seconds_bucket{stage=\"" +
+                               std::string(stage_name(static_cast<Stage>(i))) + "\",le=\"";
+    EXPECT_NE(text.find(needle), std::string::npos) << needle;
+  }
+  EXPECT_NE(text.find("# TYPE senids_stage_seconds histogram"), std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\""), std::string::npos);
+  EXPECT_NE(text.find("senids_stage_seconds_sum"), std::string::npos);
+  EXPECT_NE(text.find("senids_stage_seconds_count"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE senids_packets_total counter"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE senids_queue_depth gauge"), std::string::npos);
+
+  // Every non-comment line must be "<name>[{labels}] <value>" with a
+  // numeric value consuming the whole last token.
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const std::string value = line.substr(space + 1);
+    char* parse_end = nullptr;
+    std::strtod(value.c_str(), &parse_end);
+    EXPECT_EQ(*parse_end, '\0') << line;
+    const std::string name = line.substr(0, space);
+    const std::size_t brace = name.find('{');
+    if (brace != std::string::npos) {
+      EXPECT_EQ(name.back(), '}') << line;
+    }
+  }
+}
+
+TEST(ObsRegistry, JsonExportCarriesQuantiles) {
+  auto& r = Registry::instance();
+  Histogram& h = r.histogram("senids_test_json_seconds", "json export test");
+  h.observe(1e-3);
+  const std::string json = Registry::instance().json();
+  EXPECT_NE(json.find("\"name\": \"senids_test_json_seconds\""), std::string::npos);
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p95\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+/// Counts '{' minus '}' (resp. '[' ']') outside string literals.
+void expect_balanced_json(const std::string& text) {
+  int braces = 0;
+  int brackets = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (char c : text) {
+    if (escaped) {
+      escaped = false;
+      continue;
+    }
+    if (c == '\\') {
+      escaped = true;
+      continue;
+    }
+    if (c == '"') {
+      in_string = !in_string;
+      continue;
+    }
+    if (in_string) continue;
+    if (c == '{') ++braces;
+    if (c == '}') --braces;
+    if (c == '[') ++brackets;
+    if (c == ']') --brackets;
+    EXPECT_GE(braces, 0);
+    EXPECT_GE(brackets, 0);
+  }
+  EXPECT_FALSE(in_string);
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(ObsTracer, ChromeTraceAndJsonlWellFormed) {
+  Tracer& tracer = Tracer::instance();
+  Tracer::set_enabled(true);
+  tracer.reset();
+  tracer.record({"extract", 1, 10, 5, 100, 0});
+  tracer.record({"disasm", 1, 15, 7, 100, 0});
+  Tracer::set_enabled(false);
+
+  ASSERT_EQ(tracer.spans().size(), 2u);
+  const std::string chrome = tracer.chrome_trace_json();
+  EXPECT_NE(chrome.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"name\": \"extract\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"name\": \"disasm\""), std::string::npos);
+  expect_balanced_json(chrome);
+
+  const std::string jsonl = tracer.jsonl();
+  std::size_t lines = 0;
+  std::size_t start = 0;
+  while (start < jsonl.size()) {
+    std::size_t end = jsonl.find('\n', start);
+    if (end == std::string::npos) end = jsonl.size();
+    const std::string line = jsonl.substr(start, end - start);
+    start = end + 1;
+    if (line.empty()) continue;
+    ++lines;
+    EXPECT_EQ(line.front(), '{') << line;
+    EXPECT_EQ(line.back(), '}') << line;
+    expect_balanced_json(line);
+  }
+  EXPECT_EQ(lines, 2u);
+  tracer.reset();
+}
+
+TEST(ObsTracer, DisabledRecordIsDropped) {
+  Tracer& tracer = Tracer::instance();
+  Tracer::set_enabled(false);
+  tracer.reset();
+  tracer.record({"extract", 1, 0, 1, 0, 0});
+  EXPECT_TRUE(tracer.spans().empty());
+}
+
+// ------------------------------------------------- engine-level agreement
+
+TEST(ObsEngine, SpanCountsMatchEngineStatsOnDemoTrace) {
+  auto capture = pcap::read_file(SENIDS_SOURCE_DIR "/demo_trace.pcap");
+  ASSERT_TRUE(capture.has_value());
+
+  Registry::instance().reset_values();
+  Tracer& tracer = Tracer::instance();
+  Tracer::set_enabled(true);
+  tracer.reset();
+
+  core::NidsOptions options;
+  core::NidsEngine nids(options);
+  nids.classifier().honeypots().add_decoy(net::Ipv4Addr::from_octets(10, 0, 0, 7));
+  nids.classifier().dark_space().add_unused_prefix(
+      classify::Prefix{net::Ipv4Addr::from_octets(10, 0, 200, 0), 24});
+  core::Report report = nids.process_capture(*capture);
+  Tracer::set_enabled(false);
+
+  std::map<std::string, std::size_t> spans_by_stage;
+  for (const Span& s : tracer.spans()) ++spans_by_stage[s.name];
+
+  ASSERT_GT(report.stats.units_analyzed, 0u);
+  ASSERT_GT(report.stats.analyzer.frames, 0u);
+  // One span per stage per analysis unit / frame, matching NidsStats.
+  EXPECT_EQ(spans_by_stage["classify"], report.stats.suspicious_packets);
+  EXPECT_EQ(spans_by_stage["extract"], report.stats.units_analyzed);
+  EXPECT_EQ(spans_by_stage["disasm"], report.stats.analyzer.frames);
+  EXPECT_EQ(spans_by_stage["lift"], report.stats.analyzer.frames);
+  EXPECT_EQ(spans_by_stage["match"], report.stats.analyzer.frames);
+  EXPECT_EQ(spans_by_stage["reassemble"],
+            report.stats.stages[static_cast<std::size_t>(Stage::kReassemble)].count);
+
+  // The per-capture stage table agrees with the span counts, and the
+  // process-wide registry histograms saw the same executions (registry
+  // was reset above, so counts are this capture's alone).
+  const auto stage_count = [&report](Stage s) {
+    return report.stats.stages[static_cast<std::size_t>(s)].count;
+  };
+  EXPECT_EQ(stage_count(Stage::kClassify), report.stats.packets);
+  EXPECT_EQ(stage_count(Stage::kExtract), report.stats.units_analyzed);
+  EXPECT_EQ(stage_count(Stage::kDisasm), report.stats.analyzer.frames);
+  PipelineMetrics& pm = pipeline_metrics();
+  EXPECT_EQ(pm.stage_seconds[static_cast<std::size_t>(Stage::kExtract)]->count(),
+            report.stats.units_analyzed);
+  EXPECT_EQ(pm.stage_seconds[static_cast<std::size_t>(Stage::kClassify)]->count(),
+            report.stats.packets);
+
+  // Correlation ids: every extract span carries a unit id, and disasm
+  // spans reuse ids the extract spans introduced.
+  std::vector<std::uint64_t> unit_ids;
+  for (const Span& s : tracer.spans()) {
+    if (std::string(s.name) == "extract") {
+      EXPECT_NE(s.unit_id, 0u);
+      unit_ids.push_back(s.unit_id);
+    }
+  }
+  for (const Span& s : tracer.spans()) {
+    if (std::string(s.name) == "disasm") {
+      EXPECT_NE(std::find(unit_ids.begin(), unit_ids.end(), s.unit_id), unit_ids.end());
+    }
+  }
+  tracer.reset();
+}
+
+TEST(ObsEngine, StreamingAndSerialReportSameStageCounts) {
+  // The per-stage execution counts are schedule-independent: a 4-worker
+  // run must count exactly what the serial run counts.
+  auto capture = pcap::read_file(SENIDS_SOURCE_DIR "/demo_trace.pcap");
+  ASSERT_TRUE(capture.has_value());
+  auto run = [&capture](std::size_t threads) {
+    core::NidsOptions options;
+    options.threads = threads;
+    core::NidsEngine nids(options);
+    nids.classifier().honeypots().add_decoy(net::Ipv4Addr::from_octets(10, 0, 0, 7));
+    return nids.process_capture(*capture);
+  };
+  const core::Report serial = run(1);
+  const core::Report parallel = run(4);
+  for (std::size_t i = 0; i < kStageCount; ++i) {
+    EXPECT_EQ(serial.stats.stages[i].count, parallel.stats.stages[i].count)
+        << stage_name(static_cast<Stage>(i));
+  }
+  // Summed per-unit wall exists on both paths once units were analyzed.
+  ASSERT_GT(serial.stats.units_analyzed, 0u);
+  EXPECT_GT(serial.stats.analysis_seconds, 0.0);
+  EXPECT_GT(parallel.stats.analysis_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace senids::obs

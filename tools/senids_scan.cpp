@@ -15,6 +15,11 @@
 //     --max-flows <n>         cap on live flows, LRU eviction (default off)
 //     --json                  machine-readable output
 //     --quiet                 alerts only, no statistics
+//     --metrics-out <file>    write pipeline metrics after the run
+//                             (.json -> JSON, else Prometheus text)
+//     --trace-out <file>      record per-unit stage spans and write them
+//                             (.jsonl -> JSONL, else Chrome trace JSON
+//                             loadable in ui.perfetto.dev)
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -23,6 +28,8 @@
 #include <vector>
 
 #include "core/senids.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sig/ruleparse.hpp"
 
 using namespace senids;
@@ -44,6 +51,8 @@ struct CliOptions {
   bool json = false;
   bool quiet = false;
   bool summary = false;
+  std::string metrics_out;
+  std::string trace_out;
   std::string pcap_path;
 };
 
@@ -63,7 +72,11 @@ void usage(const char* argv0) {
                "  --max-flows <n>       cap live flows (oldest-first eviction)\n"
                "  --json                JSON output\n"
                "  --summary             full report rendering\n"
-               "  --quiet               alerts only\n",
+               "  --quiet               alerts only\n"
+               "  --metrics-out <file>  write pipeline metrics after the run\n"
+               "                        (.json -> JSON, else Prometheus text)\n"
+               "  --trace-out <file>    record stage spans, write Chrome trace\n"
+               "                        JSON (.jsonl -> one span per line)\n",
                argv0);
 }
 
@@ -79,6 +92,13 @@ std::optional<classify::Prefix> parse_prefix(std::string_view text) {
     bits = static_cast<std::uint8_t>(v);
   }
   return classify::Prefix{*addr, bits};
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << content;
+  return static_cast<bool>(out);
 }
 
 std::string json_escape(const std::string& s) {
@@ -145,6 +165,10 @@ int main(int argc, char** argv) {
       cli.max_flows = static_cast<std::size_t>(std::atoll(next()));
     } else if (arg == "--json") {
       cli.json = true;
+    } else if (arg == "--metrics-out") {
+      cli.metrics_out = next();
+    } else if (arg == "--trace-out") {
+      cli.trace_out = next();
     } else if (arg == "--quiet") {
       cli.quiet = true;
     } else if (arg == "--summary") {
@@ -204,6 +228,10 @@ int main(int argc, char** argv) {
   for (auto ip : cli.honeypots) nids.classifier().honeypots().add_decoy(ip);
   for (auto p : cli.dark) nids.classifier().dark_space().add_unused_prefix(p);
 
+  // Span recording is off by default (it buffers one record per stage per
+  // unit); --trace-out is the opt-in.
+  if (!cli.trace_out.empty()) obs::Tracer::set_enabled(true);
+
   core::Report report = nids.process_capture(*capture);
 
   // Optional syntactic side-channel: run Snort-style content rules over
@@ -239,6 +267,25 @@ int main(int argc, char** argv) {
         a.frame_offset = hit.offset;
         report.alerts.push_back(std::move(a));
       }
+    }
+  }
+
+  if (!cli.metrics_out.empty()) {
+    const auto& registry = obs::Registry::instance();
+    const bool as_json = cli.metrics_out.ends_with(".json");
+    if (!write_file(cli.metrics_out,
+                    as_json ? registry.json() : registry.prometheus_text())) {
+      std::fprintf(stderr, "cannot write metrics file: %s\n", cli.metrics_out.c_str());
+      return 1;
+    }
+  }
+  if (!cli.trace_out.empty()) {
+    const auto& tracer = obs::Tracer::instance();
+    const bool as_jsonl = cli.trace_out.ends_with(".jsonl");
+    if (!write_file(cli.trace_out,
+                    as_jsonl ? tracer.jsonl() : tracer.chrome_trace_json())) {
+      std::fprintf(stderr, "cannot write trace file: %s\n", cli.trace_out.c_str());
+      return 1;
     }
   }
 
