@@ -4,15 +4,19 @@
 #include <chrono>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 #include <optional>
 
 #include "core/pipeline_obs.hpp"
 #include "net/defrag.hpp"
 #include "net/flow.hpp"
 #include "obs/trace.hpp"
+#include "util/log.hpp"
 #include "util/queue.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
+#include "verify/ir_verify.hpp"
+#include "verify/table_check.hpp"
 
 namespace senids::core {
 
@@ -157,14 +161,52 @@ std::string Report::str() const {
   return out;
 }
 
+namespace {
+
+/// Debug builds self-verify: every lifted unit runs through the IR
+/// verifier (SemanticAnalyzer::Options::post_lift_hook), and the
+/// decoder/def-use cross-check runs once per process at engine
+/// construction. Both abort loudly on a violation — a malformed IR node
+/// or an inconsistent opcode table is a silent missed detection in
+/// release, and the whole point of the debug hook is to refuse to limp
+/// past it. Release builds skip both (the hook slot stays available for
+/// tests and tools to install their own).
+NidsOptions with_debug_verification(NidsOptions options) {
+#ifndef NDEBUG
+  static const bool tables_ok = [] {
+    verify::Report r = verify::verify_decoder_tables();
+    if (!r.ok()) {
+      util::log_error() << "decoder/def-use table cross-check failed:\n" << r.str();
+    }
+    return r.ok();
+  }();
+  if (!tables_ok) std::abort();
+  if (!options.analyzer.post_lift_hook) {
+    options.analyzer.post_lift_hook = [](const std::vector<x86::Instruction>& trace,
+                                         const ir::LiftResult& lifted) {
+      verify::Report r = verify::verify_ir(trace, lifted);
+      if (!r.ok()) {
+        util::log_error() << "IR verifier found " << r.errors()
+                          << " violation(s) in a lifted unit:\n"
+                          << r.str();
+        std::abort();
+      }
+    };
+  }
+#endif
+  return options;
+}
+
+}  // namespace
+
 NidsEngine::NidsEngine(NidsOptions options)
-    : NidsEngine(options, semantic::make_standard_library()) {}
+    : NidsEngine(std::move(options), semantic::make_standard_library()) {}
 
 NidsEngine::NidsEngine(NidsOptions options, std::vector<semantic::Template> templates)
-    : options_(options),
-      classifier_(options.classifier),
-      extractor_(options.extractor),
-      analyzer_(std::move(templates), options.analyzer) {}
+    : options_(with_debug_verification(std::move(options))),
+      classifier_(options_.classifier),
+      extractor_(options_.extractor),
+      analyzer_(std::move(templates), options_.analyzer) {}
 
 std::vector<Alert> NidsEngine::analyze_payload(util::ByteView payload,
                                                const Alert& meta_prototype,

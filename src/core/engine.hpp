@@ -133,7 +133,11 @@ struct Report {
 
 class NidsEngine {
  public:
-  /// Constructs with the standard template library.
+  /// Constructs with the standard template library. Debug builds
+  /// self-verify: the decoder/def-use cross-check runs once per process,
+  /// and unless the caller installed one, analyzer.post_lift_hook is set
+  /// to run senids::verify::verify_ir over every lifted unit (violations
+  /// abort — see DESIGN.md "Static verification").
   explicit NidsEngine(NidsOptions options);
   NidsEngine(NidsOptions options, std::vector<semantic::Template> templates);
 

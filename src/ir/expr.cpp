@@ -61,28 +61,7 @@ std::uint8_t compute_value_bits(const Expr& e) noexcept {
 ExprPtr make_node(Expr e) {
   auto p = std::make_shared<Expr>(std::move(e));
   // Hash is computed bottom-up once; children are already hashed.
-  std::size_t h = static_cast<std::size_t>(p->kind) * 0x9e3779b97f4a7c15ULL;
-  auto mix = [&h](std::size_t v) { h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2); };
-  switch (p->kind) {
-    case ExprKind::kConst: mix(p->cval); break;
-    case ExprKind::kInitReg: mix(static_cast<std::size_t>(p->family)); break;
-    case ExprKind::kLoad:
-      mix(p->addr->cached_hash);
-      mix(p->load_width);
-      mix(p->generation);
-      break;
-    case ExprKind::kBin:
-      mix(static_cast<std::size_t>(p->bop));
-      mix(p->lhs->cached_hash);
-      mix(p->rhs->cached_hash);
-      break;
-    case ExprKind::kUn:
-      mix(static_cast<std::size_t>(p->uop));
-      mix(p->lhs->cached_hash);
-      break;
-    case ExprKind::kUnknown: mix(p->unknown_id); break;
-  }
-  p->cached_hash = h;
+  p->cached_hash = recompute_hash(*p);
   p->value_bits = compute_value_bits(*p);
   return p;
 }
@@ -312,6 +291,32 @@ bool struct_eq(const ExprPtr& a, const ExprPtr& b) noexcept {
 
 std::size_t expr_hash(const ExprPtr& e) noexcept {
   return e ? e->cached_hash : 0;
+}
+
+std::size_t recompute_hash(const Expr& e) noexcept {
+  std::size_t h = static_cast<std::size_t>(e.kind) * 0x9e3779b97f4a7c15ULL;
+  auto mix = [&h](std::size_t v) { h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2); };
+  auto child = [](const ExprPtr& c) { return c ? c->cached_hash : 0; };
+  switch (e.kind) {
+    case ExprKind::kConst: mix(e.cval); break;
+    case ExprKind::kInitReg: mix(static_cast<std::size_t>(e.family)); break;
+    case ExprKind::kLoad:
+      mix(child(e.addr));
+      mix(e.load_width);
+      mix(e.generation);
+      break;
+    case ExprKind::kBin:
+      mix(static_cast<std::size_t>(e.bop));
+      mix(child(e.lhs));
+      mix(child(e.rhs));
+      break;
+    case ExprKind::kUn:
+      mix(static_cast<std::size_t>(e.uop));
+      mix(child(e.lhs));
+      break;
+    case ExprKind::kUnknown: mix(e.unknown_id); break;
+  }
+  return h;
 }
 
 const char* binop_name(BinOp op) noexcept {

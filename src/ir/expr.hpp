@@ -76,6 +76,14 @@ bool struct_eq(const ExprPtr& a, const ExprPtr& b) noexcept;
 /// Structural hash consistent with struct_eq.
 std::size_t expr_hash(const ExprPtr& e) noexcept;
 
+/// Recompute a node's hash from its (already-hashed) children, ignoring
+/// the cached value. The factories cache this at construction; the
+/// verifier re-derives it to catch corrupted or hand-built nodes whose
+/// stale cache would defeat struct_eq's fast-path rejection (two equal
+/// trees comparing unequal is a silent missed detection). Null children
+/// hash as 0 so malformed nodes can still be reported, not crashed on.
+std::size_t recompute_hash(const Expr& e) noexcept;
+
 /// nullptr-safe constant test; returns the value when e is a constant.
 bool is_const(const ExprPtr& e, std::uint32_t* value = nullptr) noexcept;
 

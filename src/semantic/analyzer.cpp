@@ -145,6 +145,7 @@ std::vector<Detection> SemanticAnalyzer::analyze(util::ByteView frame,
     clock.start();
     ir::LiftResult lifted = ir::lift(trace);
     clock.stop(lift_seconds);
+    if (options_.post_lift_hook) options_.post_lift_hook(trace, lifted);
     LiftedCode code{&trace, &lifted.events, frame};
     clock.start();
     for (const Template& t : templates_) {

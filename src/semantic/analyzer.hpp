@@ -2,9 +2,11 @@
 // frame, finds candidate code, lifts it, and matches the template set.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
+#include "ir/lifter.hpp"
 #include "semantic/template.hpp"
 #include "util/bytes.hpp"
 
@@ -55,6 +57,13 @@ class SemanticAnalyzer {
     /// count alone does not, since each entry may trace thousands of
     /// instructions).
     std::size_t max_total_insns = 1u << 20;
+    /// Verification hook invoked after every lift with the traced
+    /// instructions and the lifted result. Empty = disabled (the default;
+    /// NidsEngine installs senids::verify::verify_ir here in debug
+    /// builds). Must be thread-safe: with threads > 1 every worker calls
+    /// it concurrently. Runs outside the lift stage clock.
+    std::function<void(const std::vector<x86::Instruction>&, const ir::LiftResult&)>
+        post_lift_hook;
   };
 
   explicit SemanticAnalyzer(std::vector<Template> templates)

@@ -311,6 +311,9 @@ class Parser {
     }
     if (kw == "syscall") {
       if (cur_.kind != Token::Kind::kNumber) return fail("syscall expects a number");
+      // The template matches the low byte of eax/ebx, so a number above
+      // 0xff would silently truncate (0x166 matching as 0x66) — reject it.
+      if (cur_.number > 0xff) return fail("syscall number must fit in one byte");
       Stmt s = st_syscall(static_cast<std::uint8_t>(cur_.number));
       advance();
       while (cur_.kind == Token::Kind::kIdent &&
@@ -319,6 +322,7 @@ class Parser {
         advance();
         if (mod == "sub") {
           if (cur_.kind != Token::Kind::kNumber) return fail("sub expects a number");
+          if (cur_.number > 0xff) return fail("sub number must fit in one byte");
           s.ebx_low = static_cast<std::uint8_t>(cur_.number);
           advance();
         } else {

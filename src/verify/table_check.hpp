@@ -1,0 +1,41 @@
+// Pass 3: decoder-table cross-check. The decoder (x86/decoder.cpp) and
+// the def/use analysis (x86/defuse.cpp) are two hand-maintained views of
+// the same opcode maps; a disagreement between them is an unsound
+// liveness fact, which the dead-code pass then turns into a deleted live
+// instruction — a silent missed detection. This pass decodes
+// representative encodings of the full one-byte map and the implemented
+// two-byte (0F) map, covering every ModRM reg field (group opcodes
+// select mnemonics through it) in both register and memory forms, and
+// validates each decoded instruction against its def/use summary:
+//
+//  - every def/use register family must be justified by an operand the
+//    decoder actually produced (register operand, memory base/index) or
+//    by the mnemonic's architectural implicit registers (esp for stack
+//    ops, eax/edx for mul/div, esi/edi/ecx for string ops, ...);
+//  - every register operand and memory base/index must appear in the
+//    summary (reads or writes something the decoder says is there);
+//  - memory-touching summaries need a memory operand or an implicitly
+//    memory-touching mnemonic, and vice versa (lea stays address-only);
+//  - pure data movement must not claim flag definitions (a phantom
+//    flags_def lets the dead-code pass kill a live comparison);
+//  - rep/repne-prefixed string instructions must count ecx as both read
+//    and written (or the counter setup before them is "dead").
+//
+// Runs at engine startup in debug builds and as a tier-1 test.
+#pragma once
+
+#include "verify/verify.hpp"
+#include "x86/defuse.hpp"
+#include "x86/insn.hpp"
+
+namespace senids::verify {
+
+/// Validate one decoded instruction against one def/use summary.
+/// Exposed separately so tests can feed deliberately inconsistent pairs.
+Report check_defuse(const x86::Instruction& insn, const x86::DefUse& du);
+
+/// Sweep the one-byte and implemented two-byte opcode maps, decoding
+/// representative encodings and cross-checking each against def_use().
+Report verify_decoder_tables();
+
+}  // namespace senids::verify

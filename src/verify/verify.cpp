@@ -1,0 +1,56 @@
+#include "verify/verify.hpp"
+
+#include <string_view>
+#include <utility>
+
+namespace senids::verify {
+
+std::string Diagnostic::str() const {
+  std::string out = severity == Severity::kError ? "error: " : "warning: ";
+  out += where;
+  out += ": ";
+  out += message;
+  return out;
+}
+
+void Report::add(Severity severity, std::string where, std::string message) {
+  diags.push_back(Diagnostic{severity, std::move(where), std::move(message)});
+}
+
+void Report::merge(Report other) {
+  diags.insert(diags.end(), std::make_move_iterator(other.diags.begin()),
+               std::make_move_iterator(other.diags.end()));
+}
+
+std::size_t Report::errors() const noexcept {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diags) {
+    if (d.severity == Severity::kError) ++n;
+  }
+  return n;
+}
+
+std::size_t Report::warnings() const noexcept {
+  return diags.size() - errors();
+}
+
+bool Report::mentions(std::string_view needle) const {
+  for (const Diagnostic& d : diags) {
+    if (d.message.find(needle) != std::string::npos ||
+        d.where.find(needle) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string Report::str() const {
+  std::string out;
+  for (const Diagnostic& d : diags) {
+    out += d.str();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace senids::verify

@@ -1,0 +1,59 @@
+// Static-verification substrate shared by the three analysis passes
+// (ir_verify, lint, table_check). A pass produces a Report — an ordered
+// list of diagnostics — instead of asserting, so the same checks can run
+// as a CLI (senids_lint), as a test oracle, and as a debug-mode engine
+// hook that decides for itself how to react.
+//
+// Why this subsystem exists: the pipeline's value rests on the decode ->
+// lift -> match chain being correct. A malformed IR node or an
+// unsatisfiable template does not crash anything — it silently becomes a
+// false negative, the precise failure mode network-level-emulation
+// evasion exploits. These passes turn that class of bug into a loud
+// lint-time or debug-time failure.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace senids::verify {
+
+enum class Severity : std::uint8_t { kWarning, kError };
+
+/// One finding. `where` locates it ("event #3", "template 'xor-loop'",
+/// "opcode 0f c8"); `message` says what invariant broke.
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  std::string where;
+  std::string message;
+
+  [[nodiscard]] std::string str() const;
+};
+
+/// Ordered findings of one pass (or several merged passes).
+struct Report {
+  std::vector<Diagnostic> diags;
+
+  void add(Severity severity, std::string where, std::string message);
+  void error(std::string where, std::string message) {
+    add(Severity::kError, std::move(where), std::move(message));
+  }
+  void warn(std::string where, std::string message) {
+    add(Severity::kWarning, std::move(where), std::move(message));
+  }
+  void merge(Report other);
+
+  [[nodiscard]] std::size_t errors() const noexcept;
+  [[nodiscard]] std::size_t warnings() const noexcept;
+  /// Clean means no errors; warnings do not fail a verification run.
+  [[nodiscard]] bool ok() const noexcept { return errors() == 0; }
+  /// True when some diagnostic's message contains `needle` (test helper:
+  /// negative fixtures assert on the specific diagnostic, not just !ok()).
+  [[nodiscard]] bool mentions(std::string_view needle) const;
+
+  /// One line per diagnostic: "error: <where>: <message>".
+  [[nodiscard]] std::string str() const;
+};
+
+}  // namespace senids::verify

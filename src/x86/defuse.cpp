@@ -123,9 +123,15 @@ DefUse def_use(const Instruction& insn) noexcept {
     case Mnemonic::kDec:
     case Mnemonic::kNot:
     case Mnemonic::kNeg:
-    case Mnemonic::kBswap:
       rmw_dst(ops[0], du);
       if (insn.mnemonic != Mnemonic::kNot) du.flags_def = true;
+      break;
+
+    case Mnemonic::kBswap:
+      // No flags: a phantom flags_def here made bswap look like a flag
+      // kill, letting dead-code elimination delete a live comparison
+      // above it (caught by verify::verify_decoder_tables).
+      rmw_dst(ops[0], du);
       break;
 
     case Mnemonic::kShl:
@@ -292,8 +298,11 @@ DefUse def_use(const Instruction& insn) noexcept {
       du.side_effect = true;
       break;
     case Mnemonic::kInt3:
-    case Mnemonic::kInto:
     case Mnemonic::kHlt:
+      du.side_effect = true;
+      break;
+    case Mnemonic::kInto:
+      du.flags_use = true;  // traps on OF — the flag producer above is live
       du.side_effect = true;
       break;
 
@@ -419,6 +428,24 @@ DefUse def_use(const Instruction& insn) noexcept {
       break;
 
     case Mnemonic::kInvalid:
+      break;
+  }
+
+  // rep/repne string forms consume ecx as the repeat counter. Without
+  // this, `mov ecx, N` ahead of `rep movs` counted as dead code — an
+  // unsound deletion (caught by verify::verify_decoder_tables).
+  switch (insn.mnemonic) {
+    case Mnemonic::kMovs:
+    case Mnemonic::kCmps:
+    case Mnemonic::kStos:
+    case Mnemonic::kLods:
+    case Mnemonic::kScas:
+      if (insn.prefixes.rep || insn.prefixes.repne) {
+        du.uses.add_family(RegFamily::kCx);
+        du.defs.add_family(RegFamily::kCx);
+      }
+      break;
+    default:
       break;
   }
   return du;

@@ -2,9 +2,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <mutex>
 #include <set>
 
 #include "core/senids.hpp"
+#include "verify/ir_verify.hpp"
 #include "gen/benign.hpp"
 #include "gen/codered.hpp"
 #include "gen/poly.hpp"
@@ -294,6 +297,34 @@ TEST(Engine, StreamingMatchesSerialOnDemoTrace) {
   EXPECT_EQ(serial.stats.frames_extracted, parallel.stats.frames_extracted);
   EXPECT_EQ(serial.stats.bytes_analyzed, parallel.stats.bytes_analyzed);
   EXPECT_EQ(serial.stats.suspicious_packets, parallel.stats.suspicious_packets);
+}
+
+TEST(Engine, IrVerifierCleanOverDemoTrace) {
+  // Run the IR verifier (the debug-build post-lift hook) explicitly over
+  // every unit the demo capture lifts: the lifter must produce zero
+  // verifier violations on real pipeline traffic, in all build types.
+  auto capture = pcap::read_file(SENIDS_SOURCE_DIR "/demo_trace.pcap");
+  ASSERT_TRUE(capture.has_value());
+  std::atomic<std::size_t> lifts{0};
+  std::atomic<std::size_t> violations{0};
+  std::mutex mu;
+  std::string first_report;
+  NidsOptions options;
+  options.analyzer.post_lift_hook = [&](const std::vector<x86::Instruction>& trace,
+                                        const ir::LiftResult& lifted) {
+    ++lifts;
+    verify::Report r = verify::verify_ir(trace, lifted);
+    if (!r.ok()) {
+      violations += r.errors();
+      std::lock_guard<std::mutex> lock(mu);
+      if (first_report.empty()) first_report = r.str();
+    }
+  };
+  NidsEngine nids(options);
+  nids.classifier().honeypots().add_decoy(kHoneypot);
+  Report report = nids.process_capture(*capture);
+  EXPECT_GT(lifts.load(), 0u);
+  EXPECT_EQ(violations.load(), 0u) << first_report;
 }
 
 TEST(Engine, DeterministicOrderAcrossSchedules) {

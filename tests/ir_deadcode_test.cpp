@@ -108,6 +108,50 @@ TEST(DeadCode, FindsInjectedJunkInPolymorphicDecoder) {
   }
 }
 
+TEST(DeadCode, BswapDoesNotKillFlagProducer) {
+  // Regression: bswap carried a phantom flags_def, so a comparison
+  // followed by bswap + conditional branch looked dead and could be
+  // deleted out from under the branch.
+  static const std::uint8_t kCode[] = {
+      0x39, 0xD8,        // cmp eax, ebx   (flag producer)
+      0x0F, 0xC9,        // bswap ecx      (must NOT clobber flags)
+      0x75, 0xFA,        // jne -6         (flag consumer)
+  };
+  auto trace = x86::linear_sweep(kCode, 0);
+  ASSERT_EQ(trace.size(), 3u);
+  const auto du = x86::def_use(trace[1]);
+  EXPECT_FALSE(du.flags_def);
+  auto r = find_dead_code(trace);
+  EXPECT_FALSE(r.dead[0]);
+}
+
+TEST(DeadCode, IntoReadsFlags) {
+  // Regression: into traps on OF, so it must count as a flag consumer —
+  // otherwise the arithmetic that sets OF looks dead.
+  static const std::uint8_t kCode[] = {
+      0x01, 0xD8,  // add eax, ebx (sets OF)
+      0xCE,        // into
+  };
+  auto trace = x86::linear_sweep(kCode, 0);
+  ASSERT_EQ(trace.size(), 2u);
+  const auto du = x86::def_use(trace[1]);
+  EXPECT_TRUE(du.flags_use);
+  EXPECT_TRUE(du.side_effect);
+}
+
+TEST(DeadCode, RepStringReadsAndWritesCounter) {
+  // Regression: rep movsd consumes ecx, so the `mov ecx, N` feeding it
+  // must stay live.
+  static const std::uint8_t kCode[] = {
+      0xB9, 0x10, 0x00, 0x00, 0x00,  // mov ecx, 16
+      0xF3, 0xA5,                    // rep movsd
+  };
+  auto trace = x86::linear_sweep(kCode, 0);
+  ASSERT_EQ(trace.size(), 2u);
+  auto r = find_dead_code(trace);
+  EXPECT_FALSE(r.dead[0]);
+}
+
 TEST(DeadCode, EmptyTrace) {
   auto r = find_dead_code({});
   EXPECT_EQ(r.dead_count, 0u);

@@ -145,6 +145,21 @@ TEST(Dsl, ErrorOnBadPattern) {
   EXPECT_FALSE(e.message.empty());
 }
 
+TEST(Dsl, ErrorOnSyscallNumberOverOneByte) {
+  // 0x166 would previously truncate to 0x66 silently (matching socketcall
+  // instead of failing); the parser must reject it.
+  ParseError e = parse_err("template t { syscall 0x166 }");
+  EXPECT_NE(e.message.find("syscall number must fit in one byte"),
+            std::string::npos)
+      << e.message;
+}
+
+TEST(Dsl, ErrorOnSubNumberOverOneByte) {
+  ParseError e = parse_err("template t { syscall 0x66 sub 0x101 }");
+  EXPECT_NE(e.message.find("sub number must fit in one byte"), std::string::npos)
+      << e.message;
+}
+
 TEST(Dsl, BareUppercaseIdentIsSymbolicConst) {
   auto templates = parse_ok("template t { regwrite K }");
   ASSERT_EQ(templates.size(), 1u);

@@ -1,0 +1,135 @@
+// senids_lint: static checker for behavioral template files. Parses each
+// *.tmpl through the production DSL parser, then runs the
+// senids::verify template linter: undefined variables, unsatisfiable
+// clauses (impossible store widths, constants wider than the store,
+// invertibility demanded of constant functions), malformed patterns, and
+// duplicate/shadowed templates. CI runs it over templates/ so a broken
+// template fails the build instead of silently never matching.
+//
+//   senids_lint [options] <file|directory>...
+//     --quiet          print errors only (suppress warnings)
+//     --werror         treat warnings as errors
+//
+// Exit status: 0 clean, 1 parse or lint errors, 2 usage/IO error.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "semantic/dsl.hpp"
+#include "verify/lint.hpp"
+#include "verify/verify.hpp"
+
+using namespace senids;
+
+namespace {
+
+int usage(const char* argv0, int rc) {
+  std::fprintf(stderr, "usage: %s [--quiet] [--werror] <file|directory>...\n", argv0);
+  return rc;
+}
+
+/// Expand directories to the sorted *.tmpl files they contain.
+bool expand_inputs(const std::vector<std::string>& args, std::vector<std::string>& files) {
+  namespace fs = std::filesystem;
+  for (const std::string& arg : args) {
+    std::error_code ec;
+    if (fs::is_directory(arg, ec)) {
+      std::vector<std::string> found;
+      for (const auto& entry : fs::directory_iterator(arg, ec)) {
+        if (entry.is_regular_file() && entry.path().extension() == ".tmpl") {
+          found.push_back(entry.path().string());
+        }
+      }
+      if (ec) {
+        std::fprintf(stderr, "senids_lint: cannot read directory %s: %s\n", arg.c_str(),
+                     ec.message().c_str());
+        return false;
+      }
+      std::sort(found.begin(), found.end());
+      if (found.empty()) {
+        std::fprintf(stderr, "senids_lint: no *.tmpl files in %s\n", arg.c_str());
+        return false;
+      }
+      files.insert(files.end(), found.begin(), found.end());
+    } else {
+      files.push_back(arg);
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quiet = false, werror = false;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--werror") {
+      werror = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(argv[0], 0);
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(argv[0], 2);
+    } else {
+      args.emplace_back(arg);
+    }
+  }
+  if (args.empty()) return usage(argv[0], 2);
+
+  std::vector<std::string> files;
+  if (!expand_inputs(args, files)) return 2;
+
+  std::size_t templates_seen = 0, errors = 0, warnings = 0;
+  std::map<std::string, std::string> name_to_file;  // cross-file duplicate names
+  for (const std::string& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "senids_lint: cannot open %s\n", file.c_str());
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+
+    auto parsed = semantic::parse_templates(buf.str());
+    if (const auto* err = std::get_if<semantic::ParseError>(&parsed)) {
+      std::fprintf(stderr, "%s:%zu: error: %s\n", file.c_str(), err->line,
+                   err->message.c_str());
+      ++errors;
+      continue;
+    }
+    const auto& templates = std::get<std::vector<semantic::Template>>(parsed);
+    templates_seen += templates.size();
+
+    verify::Report report = verify::lint_templates(templates);
+    for (const semantic::Template& t : templates) {
+      auto [it, fresh] = name_to_file.try_emplace(t.name, file);
+      if (!fresh && it->second != file) {
+        report.error("template '" + t.name + "'",
+                     "duplicate template name (first defined in " + it->second + ")");
+      }
+    }
+    for (const verify::Diagnostic& d : report.diags) {
+      if (quiet && d.severity == verify::Severity::kWarning) continue;
+      std::fprintf(stderr, "%s: %s\n", file.c_str(), d.str().c_str());
+    }
+    errors += report.errors();
+    warnings += report.warnings();
+  }
+
+  const bool failed = errors > 0 || (werror && warnings > 0);
+  if (!quiet) {
+    std::printf("senids_lint: %zu template%s in %zu file%s, %zu error%s, %zu warning%s\n",
+                templates_seen, templates_seen == 1 ? "" : "s", files.size(),
+                files.size() == 1 ? "" : "s", errors, errors == 1 ? "" : "s", warnings,
+                warnings == 1 ? "" : "s");
+  }
+  return failed ? 1 : 0;
+}
