@@ -13,6 +13,7 @@
 #include "bench_util.hpp"
 #include "core/senids.hpp"
 #include "gen/benign.hpp"
+#include "obs/pipeline.hpp"
 #include "util/queue.hpp"
 #include "util/timer.hpp"
 
@@ -83,6 +84,10 @@ int main() {
     });
   }
 
+  // senids_unit_seconds feeds the JSON's p95 column.
+  obs::set_metrics_enabled(true);
+  obs::pipeline_metrics().unit_seconds->reset();
+
   util::WallTimer timer;
   while (generated < total_bytes) {
     gen::BenignPayload p = gen::make_benign_payload(prng);
@@ -106,5 +111,17 @@ int main() {
               static_cast<double>(generated) / (1024.0 * 1024.0) / secs);
   std::printf("false positives        : %zu\n", false_positives.load());
   std::printf("paper: no false positives over 566 MB of benign traffic\n");
+
+  const double mb_per_s = static_cast<double>(generated) / (1024.0 * 1024.0) / secs;
+  bench::JsonReport json("fp_benign");
+  json.set("payloads", payloads);
+  json.set("bytes", generated);
+  json.set("frames_extracted", stats.frames_extracted);
+  json.set("seconds", secs);
+  json.set("throughput_mb_per_s", mb_per_s);
+  json.set("p95_unit_seconds",
+           obs::pipeline_metrics().unit_seconds->snapshot().quantile(0.95));
+  json.set("false_positives", false_positives.load());
+  json.write();
   return false_positives.load() == 0 ? 0 : 1;
 }

@@ -67,5 +67,75 @@ int main() {
   }
   bench::rule();
   std::printf("alerts identical across thread counts: %s\n", consistent ? "yes" : "NO");
-  return consistent ? 0 : 1;
+
+  bench::JsonReport json("parallel_scaling");
+  json.set("attack_flows", attack_flows);
+  json.set("unique_total_s_t1", base_total);
+  json.set("unique_alerts", base_alerts);
+
+  // ---- verdict cache under parallel analysis ------------------------
+  // Real attack traffic repeats (worms send one payload everywhere), so
+  // the cache sweep uses a duplicate-heavy capture: a few distinct
+  // polymorphic payloads, each replayed across many flows. Workers share
+  // one sharded cache; hits skip stages (b)-(e) on every thread.
+  bench::section("with verdict cache (duplicate-heavy workload)");
+  const std::size_t groups = 8;
+  gen::TraceBuilder dup_tb(31338);
+  util::Prng& dup_prng = dup_tb.prng();
+  std::vector<util::Bytes> variants;
+  for (std::size_t g = 0; g < groups; ++g) {
+    auto poly = gen::admmutate_encode(payload, dup_prng);
+    variants.push_back(gen::wrap_in_overflow(poly.bytes, dup_prng));
+  }
+  for (std::size_t i = 0; i < attack_flows; ++i) {
+    const net::Endpoint attacker{
+        net::Ipv4Addr::from_octets(192, 0, 2, static_cast<std::uint8_t>(1 + i % 250)),
+        static_cast<std::uint16_t>(20000 + i)};
+    dup_tb.add_tcp_flow(attacker, net::Endpoint{honeypot, 80}, variants[i % groups]);
+  }
+  auto dup_capture = dup_tb.take();
+
+  std::printf("%8s %8s %12s %12s %10s %9s %8s\n", "threads", "cache", "work(s)",
+              "total(s)", "alerts", "hit rate", "speedup");
+  bench::rule();
+
+  double dup_base_total = 0;
+  std::size_t dup_base_alerts = 0;
+  bool dup_consistent = true;
+  for (const bool cached : {false, true}) {
+    for (std::size_t threads : {1u, 2u, 4u}) {
+      core::NidsOptions options;
+      options.threads = threads;
+      options.verdict_cache_bytes = cached ? 64u << 20 : 0;
+      core::NidsEngine nids(options);
+      nids.classifier().honeypots().add_decoy(honeypot);
+      util::WallTimer timer;
+      core::Report report = nids.process_capture(dup_capture);
+      const double total = timer.seconds();
+      if (!cached && threads == 1) {
+        dup_base_total = total;
+        dup_base_alerts = report.alerts.size();
+      }
+      dup_consistent = dup_consistent && report.alerts.size() == dup_base_alerts;
+      const double hit_rate =
+          report.stats.units_analyzed
+              ? static_cast<double>(report.stats.cache_hits) / report.stats.units_analyzed
+              : 0;
+      std::printf("%8zu %8s %12.3f %12.3f %10zu %8.1f%% %7.2fx\n", threads,
+                  cached ? "on" : "off", report.stats.analysis_seconds, total,
+                  report.alerts.size(), hit_rate * 100.0, dup_base_total / total);
+      const std::string suffix =
+          std::string(cached ? "cache_on" : "cache_off") + "_t" + std::to_string(threads);
+      json.set("dup_total_s_" + suffix, total);
+      json.set("dup_work_s_" + suffix, report.stats.analysis_seconds);
+      if (cached) json.set("dup_hit_rate_" + suffix, hit_rate);
+    }
+  }
+  bench::rule();
+  std::printf("alerts identical across thread counts and cache modes: %s\n",
+              dup_consistent ? "yes" : "NO");
+  json.set("dup_alerts", dup_base_alerts);
+  json.set("alerts_consistent", consistent && dup_consistent);
+  json.write();
+  return consistent && dup_consistent ? 0 : 1;
 }

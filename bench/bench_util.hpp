@@ -7,6 +7,8 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace senids::bench {
 
@@ -38,5 +40,60 @@ inline void section(const char* text) {
   std::printf("\n%s\n", text);
   rule('-');
 }
+
+/// Machine-readable companion to the human tables: a flat string/number
+/// object written to BENCH_<name>.json so CI can upload and diff bench
+/// results as artifacts. Destination directory comes from
+/// SENIDS_BENCH_JSON_DIR (default: the working directory).
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name) : name_(std::move(name)) {}
+
+  void set(const std::string& key, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+    fields_.emplace_back(key, buf);
+  }
+  void set(const std::string& key, std::size_t v) {
+    fields_.emplace_back(key, std::to_string(v));
+  }
+  void set(const std::string& key, bool v) {
+    fields_.emplace_back(key, v ? "true" : "false");
+  }
+  void set_string(const std::string& key, const std::string& v) {
+    std::string quoted = "\"";
+    for (char c : v) {
+      if (c == '"' || c == '\\') quoted += '\\';
+      quoted += c;
+    }
+    quoted += '"';
+    fields_.emplace_back(key, quoted);
+  }
+
+  /// Write BENCH_<name>.json; prints the path on success. Failure to
+  /// write is reported but never fails the bench (the human table is the
+  /// primary output).
+  void write() const {
+    const char* dir = std::getenv("SENIDS_BENCH_JSON_DIR");
+    const std::string path =
+        std::string(dir && *dir ? dir : ".") + "/BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\"", name_.c_str());
+    for (const auto& [key, value] : fields_) {
+      std::fprintf(f, ",\n  \"%s\": %s", key.c_str(), value.c_str());
+    }
+    std::fprintf(f, "\n}\n");
+    std::fclose(f);
+    std::printf("json: %s\n", path.c_str());
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
 
 }  // namespace senids::bench

@@ -1,0 +1,47 @@
+// SHA-256 (FIPS 180-4), incremental. The verdict cache is
+// content-addressed: a cache hit silently replaces the whole analysis
+// pipeline for a unit, so the key hash must make an accidental collision
+// between two different payloads a non-event in practice. A 64-bit mixer
+// cannot promise that at production volumes (2^32 distinct units puts a
+// birthday collision on the table); a 256-bit cryptographic digest can.
+// Self-contained — no OpenSSL dependency.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace senids::cache {
+
+/// A finished SHA-256 digest. Doubles as the verdict-cache key.
+using Digest = std::array<std::uint8_t, 32>;
+
+class Sha256 {
+ public:
+  Sha256() noexcept { reset(); }
+
+  void reset() noexcept;
+
+  /// Absorb `len` bytes. May be called any number of times.
+  void update(const void* data, std::size_t len) noexcept;
+  void update(util::ByteView bytes) noexcept { update(bytes.data(), bytes.size()); }
+
+  /// Finalize and return the digest. The context is consumed — call
+  /// reset() before reusing it.
+  [[nodiscard]] Digest finish() noexcept;
+
+  /// One-shot convenience.
+  [[nodiscard]] static Digest hash(util::ByteView bytes) noexcept;
+
+ private:
+  void compress(const std::uint8_t block[64]) noexcept;
+
+  std::array<std::uint32_t, 8> state_{};
+  std::uint64_t total_bytes_ = 0;
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffered_ = 0;
+};
+
+}  // namespace senids::cache

@@ -1,0 +1,137 @@
+#include "cache/verdict_cache.hpp"
+
+namespace senids::cache {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+VerdictCache::VerdictCache(Options options) : options_(options) {
+  const std::size_t count = round_up_pow2(options_.shards ? options_.shards : 1);
+  shards_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) shards_.push_back(std::make_unique<Shard>());
+  // Ceiling division: count * shard_budget_ >= byte_budget. A budget
+  // below one entry's cost degenerates to cache-nothing (insert rejects
+  // entries costlier than the shard share), never to unbounded growth.
+  shard_budget_ = (options_.byte_budget + count - 1) / count;
+}
+
+std::size_t VerdictCache::entry_cost(const Verdict& verdict) noexcept {
+  // Approximate resident cost: the entry node, one map slot, and the
+  // heap-allocated alert strings. Exact malloc accounting is not the
+  // point — the budget needs to track growth linearly so eviction keeps
+  // total memory proportional to it.
+  std::size_t cost = sizeof(Entry) + 64;  // node + map-slot overhead
+  cost += verdict.alerts.size() * sizeof(CachedAlert);
+  for (const CachedAlert& a : verdict.alerts) cost += a.template_name.capacity();
+  return cost;
+}
+
+std::optional<Verdict> VerdictCache::lookup(const Digest& key) {
+  Shard& s = shard_of(key);
+  std::optional<Verdict> found;
+  {
+    std::lock_guard lock(s.mu);
+    ++s.lookups;
+    auto it = s.map.find(key);
+    if (it != s.map.end()) {
+      ++s.hits;
+      s.lru.splice(s.lru.begin(), s.lru, it->second);
+      found = it->second->verdict;
+    }
+  }
+  if (metrics_) {
+    if (found) {
+      if (metrics_->hits) metrics_->hits->add();
+    } else if (metrics_->misses) {
+      metrics_->misses->add();
+    }
+  }
+  return found;
+}
+
+void VerdictCache::insert(const Digest& key, Verdict verdict) {
+  const std::size_t cost = entry_cost(verdict);
+  if (cost > shard_budget_) return;  // would evict the whole shard for one entry
+  Shard& s = shard_of(key);
+  std::uint64_t evicted = 0;
+  bool inserted = false;
+  std::int64_t bytes_delta = 0;
+  {
+    std::lock_guard lock(s.mu);
+    auto it = s.map.find(key);
+    if (it != s.map.end()) {
+      // Verdicts are deterministic per key; the racing winner's copy is
+      // as good as ours. Refresh recency and keep it.
+      s.lru.splice(s.lru.begin(), s.lru, it->second);
+    } else {
+      while (s.bytes + cost > shard_budget_ && !s.lru.empty()) {
+        const Entry& tail = s.lru.back();
+        s.bytes -= tail.cost;
+        bytes_delta -= static_cast<std::int64_t>(tail.cost);
+        s.map.erase(tail.key);
+        s.lru.pop_back();
+        ++s.evictions;
+        ++evicted;
+      }
+      s.lru.push_front(Entry{key, std::move(verdict), cost});
+      s.map.emplace(key, s.lru.begin());
+      s.bytes += cost;
+      bytes_delta += static_cast<std::int64_t>(cost);
+      ++s.insertions;
+      inserted = true;
+    }
+  }
+  if (metrics_) {
+    if (inserted && metrics_->insertions) metrics_->insertions->add();
+    if (evicted && metrics_->evictions) metrics_->evictions->add(evicted);
+    if (metrics_->entries) metrics_->entries->add(static_cast<std::int64_t>(inserted) -
+                                                  static_cast<std::int64_t>(evicted));
+    if (metrics_->bytes && bytes_delta) metrics_->bytes->add(bytes_delta);
+  }
+}
+
+VerdictCache::Stats VerdictCache::stats() const {
+  Stats total;
+  total.byte_budget = options_.byte_budget;
+  for (const auto& shard : shards_) {
+    Shard& s = *shard;
+    std::lock_guard lock(s.mu);
+    total.lookups += s.lookups;
+    total.hits += s.hits;
+    total.insertions += s.insertions;
+    total.evictions += s.evictions;
+    total.entries += s.map.size();
+    total.bytes += s.bytes;
+  }
+  total.misses = total.lookups - total.hits;
+  return total;
+}
+
+void VerdictCache::clear() {
+  for (auto& shard : shards_) {
+    Shard& s = *shard;
+    std::int64_t entries_delta = 0;
+    std::int64_t bytes_delta = 0;
+    {
+      std::lock_guard lock(s.mu);
+      entries_delta = static_cast<std::int64_t>(s.map.size());
+      bytes_delta = static_cast<std::int64_t>(s.bytes);
+      s.map.clear();
+      s.lru.clear();
+      s.bytes = 0;
+    }
+    if (metrics_) {
+      if (metrics_->entries) metrics_->entries->sub(entries_delta);
+      if (metrics_->bytes) metrics_->bytes->sub(bytes_delta);
+    }
+  }
+}
+
+}  // namespace senids::cache

@@ -1,0 +1,163 @@
+// Content-addressed verdict cache. The paper's headline workloads are
+// massively repetitive — Code Red II floods byte-identical requests at
+// every host, and benign traffic re-sends the same bodies constantly —
+// yet analysis stages (b)-(e) are pure functions of the unit bytes and
+// the engine configuration. Memoize them: key = SHA-256(config
+// fingerprint || unit bytes), value = the unit's flow-independent
+// verdict (alerts minus 5-tuple/timestamp, plus the work the miss path
+// did, so hits can report bytes saved). Polymorphic traffic defeats the
+// cache by design (every instance differs per flow — Bania's evasion
+// argument), which is fine: misses cost one hash over bytes the pipeline
+// was about to read anyway.
+//
+// Concurrency: the cache is sharded by key byte; each shard is an
+// independently locked LRU list + hash map, so analysis workers on
+// different shards never contend. The byte budget is split evenly across
+// shards and enforced per shard on insert (evict-from-tail), bounding
+// total memory at budget + one in-flight entry per shard.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/sha256.hpp"
+#include "extract/extractor.hpp"
+#include "obs/metrics.hpp"
+#include "semantic/template.hpp"
+
+namespace senids::cache {
+
+/// The flow-independent part of one alert: everything analyze_payload
+/// derives from the unit bytes. The flow's 5-tuple and timestamp are
+/// re-materialized from the current unit's metadata at replay time.
+struct CachedAlert {
+  semantic::ThreatClass threat{};
+  std::string template_name;
+  extract::FrameReason frame_reason{};
+  std::size_t frame_offset = 0;
+};
+
+/// One cached analysis outcome. Alerts are stored in the exact order the
+/// miss path emitted them, so a replayed unit's alert list is
+/// byte-identical (and sorts identically) to a freshly analyzed one.
+struct Verdict {
+  std::vector<CachedAlert> alerts;
+  // Work the miss path performed, replayed into "bytes saved" accounting
+  // on a hit (the hit path skips stages (b)-(e) entirely).
+  std::uint64_t frames_extracted = 0;
+  std::uint64_t bytes_analyzed = 0;
+  std::uint64_t frames_emulated = 0;
+  std::uint64_t emulated_steps = 0;
+};
+
+/// Nullable observability hooks (same idiom as util::QueueMetrics): the
+/// cache knows nothing about which registry families exist; the engine
+/// binds these to the senids_verdict_cache_* family once.
+struct CacheMetrics {
+  obs::Counter* hits = nullptr;
+  obs::Counter* misses = nullptr;
+  obs::Counter* insertions = nullptr;
+  obs::Counter* evictions = nullptr;
+  obs::Gauge* entries = nullptr;
+  obs::Gauge* bytes = nullptr;
+};
+
+class VerdictCache {
+ public:
+  struct Options {
+    /// Total byte budget across all shards (entry overhead + alert
+    /// strings; the unit bytes themselves are never stored).
+    std::size_t byte_budget = 64u << 20;
+    /// Shard count, rounded up to a power of two. More shards = less
+    /// lock contention between analysis workers.
+    std::size_t shards = 16;
+  };
+
+  explicit VerdictCache(Options options);
+
+  /// Attach observability hooks (must outlive the cache; any may be
+  /// null). Call before concurrent use.
+  void set_metrics(const CacheMetrics* metrics) noexcept { metrics_ = metrics; }
+
+  /// Copy-out lookup: the entry may be evicted by another worker the
+  /// moment the shard lock drops, so hits return a snapshot.
+  [[nodiscard]] std::optional<Verdict> lookup(const Digest& key);
+
+  /// Insert a verdict, evicting least-recently-used entries until the
+  /// shard fits its budget share. If the key is already present (two
+  /// workers raced on the same miss) the existing entry is kept — both
+  /// computed the same verdict, the first one wins. Entries whose cost
+  /// alone exceeds the shard budget are not admitted.
+  void insert(const Digest& key, Verdict verdict);
+
+  /// Aggregated across shards. Monotonic counters are exact;
+  /// entries/bytes are a point-in-time sum (consistent once concurrent
+  /// mutators quiesce, which is all the tests and exporters need).
+  struct Stats {
+    std::uint64_t lookups = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+    std::size_t entries = 0;
+    std::size_t bytes = 0;
+    std::size_t byte_budget = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+  /// Drop every entry (budget and handles stay).
+  void clear();
+
+  [[nodiscard]] std::size_t byte_budget() const noexcept { return options_.byte_budget; }
+
+ private:
+  struct KeyHash {
+    // The key is already a cryptographic digest: any aligned slice is a
+    // uniformly distributed hash.
+    std::size_t operator()(const Digest& d) const noexcept {
+      std::size_t h;
+      static_assert(sizeof h <= sizeof(Digest));
+      __builtin_memcpy(&h, d.data(), sizeof h);
+      return h;
+    }
+  };
+
+  struct Entry {
+    Digest key;
+    Verdict verdict;
+    std::size_t cost = 0;
+  };
+
+  struct Shard {
+    std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<Digest, std::list<Entry>::iterator, KeyHash> map;
+    std::size_t bytes = 0;
+    // Plain counters guarded by mu (stats() takes each lock briefly).
+    std::uint64_t lookups = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  Shard& shard_of(const Digest& key) noexcept {
+    // Byte 8 avoids the bytes KeyHash consumes, decorrelating the shard
+    // choice from hash-map bucket placement.
+    return *shards_[key[8] & (shards_.size() - 1)];
+  }
+
+  [[nodiscard]] static std::size_t entry_cost(const Verdict& verdict) noexcept;
+
+  Options options_;
+  std::size_t shard_budget_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  const CacheMetrics* metrics_ = nullptr;
+};
+
+}  // namespace senids::cache

@@ -7,6 +7,7 @@
 #include <cstdlib>
 #include <optional>
 
+#include "cache/fingerprint.hpp"
 #include "core/pipeline_obs.hpp"
 #include "net/defrag.hpp"
 #include "net/flow.hpp"
@@ -75,6 +76,10 @@ void merge_stats(NidsStats& into, const NidsStats& from) {
     into.stages[i].max_seconds =
         std::max(into.stages[i].max_seconds, from.stages[i].max_seconds);
   }
+  into.cache_hits += from.cache_hits;
+  into.cache_misses += from.cache_misses;
+  into.cache_bypass += from.cache_bypass;
+  into.cache_bytes_saved += from.cache_bytes_saved;
   into.analysis_seconds += from.analysis_seconds;
 }
 
@@ -115,6 +120,11 @@ std::string Report::str() const {
   line("bytes disassembled : %zu", stats.bytes_analyzed);
   line("flow evictions     : %zu idle, %zu overflow, %zu streams truncated",
        stats.flows_evicted_idle, stats.flows_evicted_overflow, stats.streams_truncated);
+  if (stats.cache_hits || stats.cache_misses || stats.cache_bypass) {
+    line("verdict cache      : %zu hits, %zu misses, %zu bypassed (%zu bytes saved)",
+         stats.cache_hits, stats.cache_misses, stats.cache_bypass,
+         stats.cache_bytes_saved);
+  }
   // The two totals measure different things on purpose (see NidsStats):
   // stage-(a) wall on the caller thread vs summed per-unit wall across
   // workers. They overlap in time and must not be added together.
@@ -199,6 +209,46 @@ NidsOptions with_debug_verification(NidsOptions options) {
 
 }  // namespace
 
+namespace {
+
+/// SHA-256 over every input that can change a unit's verdict: the
+/// template set plus extractor/analyzer/emulation options. Prefixed to
+/// every cache key, so reconfiguring the engine can never serve a stale
+/// hit. post_lift_hook is deliberately excluded — it verifies, it does
+/// not decide.
+cache::Digest compute_config_fingerprint(const NidsOptions& o,
+                                         const std::vector<semantic::Template>& templates) {
+  cache::Sha256 ctx;
+  cache::hash_templates(ctx, templates);
+  auto opt = [&ctx](std::string_view label, std::uint64_t v) {
+    cache::hash_option(ctx, label, v);
+  };
+  const extract::ExtractorOptions& e = o.extractor;
+  opt("ex.min_unicode_escapes", e.min_unicode_escapes);
+  opt("ex.min_repetition", e.min_repetition);
+  opt("ex.min_sled", e.min_sled);
+  opt("ex.min_binary_region", e.min_binary_region);
+  opt("ex.min_return_addresses", e.min_return_addresses);
+  opt("ex.min_base64_encoded", e.min_base64_encoded);
+  opt("ex.min_base64_decoded", e.min_base64_decoded);
+  opt("ex.extract_all", e.extract_all ? 1 : 0);
+  const semantic::SemanticAnalyzer::Options& a = o.analyzer;
+  opt("an.min_run_insns", a.min_run_insns);
+  opt("an.max_entries", a.max_entries);
+  opt("an.max_trace_insns", a.max_trace_insns);
+  opt("an.max_total_insns", a.max_total_insns);
+  opt("enable_emulation", o.enable_emulation ? 1 : 0);
+  opt("confirm_decoders", o.confirm_decoders_by_emulation ? 1 : 0);
+  opt("min_decoded_bytes", o.min_decoded_bytes);
+  opt("emu.max_steps", o.emulator.max_steps);
+  opt("emu.max_syscalls", o.emulator.max_syscalls);
+  opt("emu.max_entries", o.emulator.max_entries);
+  opt("emu.min_run_insns", o.emulator.min_run_insns);
+  return ctx.finish();
+}
+
+}  // namespace
+
 NidsEngine::NidsEngine(NidsOptions options)
     : NidsEngine(std::move(options), semantic::make_standard_library()) {}
 
@@ -206,7 +256,14 @@ NidsEngine::NidsEngine(NidsOptions options, std::vector<semantic::Template> temp
     : options_(with_debug_verification(std::move(options))),
       classifier_(options_.classifier),
       extractor_(options_.extractor),
-      analyzer_(std::move(templates), options_.analyzer) {}
+      analyzer_(std::move(templates), options_.analyzer) {
+  config_fingerprint_ = compute_config_fingerprint(options_, analyzer_.templates());
+  if (options_.verdict_cache_bytes) {
+    verdict_cache_ = std::make_unique<cache::VerdictCache>(
+        cache::VerdictCache::Options{options_.verdict_cache_bytes, 16});
+    verdict_cache_->set_metrics(&cache_metrics());
+  }
+}
 
 std::vector<Alert> NidsEngine::analyze_payload(util::ByteView payload,
                                                const Alert& meta_prototype,
@@ -216,10 +273,61 @@ std::vector<Alert> NidsEngine::analyze_payload(util::ByteView payload,
   obs::Tracer& tracer = obs::Tracer::instance();
   const bool tracing = obs::Tracer::enabled();
   const bool clocked = obs::metrics_enabled() || tracing;
+  const SteadyClock::time_point unit_start =
+      clocked ? SteadyClock::now() : SteadyClock::time_point{};
   // This unit's spans are laid out sequentially from its start time using
   // the measured stage durations (see trace.hpp: exact costs, synthesized
   // placement).
   std::uint64_t span_cursor_us = tracing ? tracer.now_us() : 0;
+
+  // ------------------------------------------------- verdict cache lookup
+  // Every unit is exactly one of hit / miss / bypass. A hit replays the
+  // stored flow-independent verdict under the *current* unit's metadata
+  // and skips stages (b)-(e); a miss falls through to full analysis and
+  // populates the cache on the way out.
+  cache::VerdictCache* vcache = verdict_cache_.get();
+  const bool cacheable = vcache && payload.size() <= options_.cache_max_unit_bytes;
+  if (vcache && !cacheable) {
+    pm.cache_bypass->add();
+    if (stats) ++stats->cache_bypass;
+  }
+  cache::Digest cache_key{};
+  if (cacheable) {
+    cache::Sha256 key_ctx;
+    key_ctx.update(config_fingerprint_.data(), config_fingerprint_.size());
+    key_ctx.update(payload);
+    cache_key = key_ctx.finish();
+    if (auto verdict = vcache->lookup(cache_key)) {
+      pm.units->add();
+      pm.cache_bytes_saved->add(verdict->bytes_analyzed);
+      if (stats) {
+        ++stats->units_analyzed;
+        ++stats->cache_hits;
+        stats->cache_bytes_saved += verdict->bytes_analyzed;
+      }
+      std::vector<Alert> alerts;
+      alerts.reserve(verdict->alerts.size());
+      for (const cache::CachedAlert& ca : verdict->alerts) {
+        Alert a = meta_prototype;
+        a.threat = ca.threat;
+        a.template_name = ca.template_name;
+        a.frame_reason = ca.frame_reason;
+        a.frame_offset = ca.frame_offset;
+        alerts.push_back(std::move(a));
+      }
+      pm.alerts->add(alerts.size());
+      if (clocked) {
+        const double seconds = seconds_since(unit_start);
+        pm.unit_seconds->observe(seconds);
+        if (tracing) {
+          tracer.record({"cache-hit", unit_id, span_cursor_us,
+                         static_cast<std::uint64_t>(seconds * 1e6), payload.size(), 0});
+        }
+      }
+      return alerts;
+    }
+    if (stats) ++stats->cache_misses;
+  }
 
   auto record_stage = [&](obs::Stage stage, double seconds, std::uint64_t bytes) {
     const auto idx = static_cast<std::size_t>(stage);
@@ -265,10 +373,17 @@ std::vector<Alert> NidsEngine::analyze_payload(util::ByteView payload,
     }
     return detections;
   };
+  // Unit-local work totals: folded into `stats` as before, and captured
+  // into the cached verdict so hits can report the work they skipped.
+  std::uint64_t unit_bytes_analyzed = 0;
+  std::uint64_t unit_frames_emulated = 0;
+  std::uint64_t unit_emulated_steps = 0;
   auto emulate = [&](util::ByteView data) {
     tic();
     emu::EmulationResult result = emu::emulate_frame(data, options_.emulator);
     record_stage(obs::Stage::kEmulate, toc(), data.size());
+    ++unit_frames_emulated;
+    unit_emulated_steps += result.steps;
     if (stats) {
       ++stats->frames_emulated;
       stats->emulated_steps += result.steps;
@@ -283,6 +398,7 @@ std::vector<Alert> NidsEngine::analyze_payload(util::ByteView payload,
                        [&name](const Alert& a) { return a.template_name == name; });
   };
   for (const auto& frame : frames) {
+    unit_bytes_analyzed += frame.data.size();
     if (stats) stats->bytes_analyzed += frame.data.size();
     pm.bytes_analyzed->add(frame.data.size());
     for (auto& det : analyze_frame(frame.data)) {
@@ -355,6 +471,23 @@ std::vector<Alert> NidsEngine::analyze_payload(util::ByteView payload,
 
   pm.alerts->add(alerts.size());
   if (stats) merge_analyzer(stats->analyzer, astats);
+
+  if (cacheable) {
+    // Strip the alerts down to their flow-independent fields, preserving
+    // emission order exactly — replay must produce a byte-identical list.
+    cache::Verdict verdict;
+    verdict.alerts.reserve(alerts.size());
+    for (const Alert& a : alerts) {
+      verdict.alerts.push_back(
+          cache::CachedAlert{a.threat, a.template_name, a.frame_reason, a.frame_offset});
+    }
+    verdict.frames_extracted = frames.size();
+    verdict.bytes_analyzed = unit_bytes_analyzed;
+    verdict.frames_emulated = unit_frames_emulated;
+    verdict.emulated_steps = unit_emulated_steps;
+    vcache->insert(cache_key, std::move(verdict));
+  }
+  if (clocked) pm.unit_seconds->observe(seconds_since(unit_start));
   return alerts;
 }
 

@@ -17,9 +17,11 @@
 #pragma once
 
 #include <array>
+#include <memory>
 #include <mutex>
 #include <vector>
 
+#include "cache/verdict_cache.hpp"
 #include "classify/classifier.hpp"
 #include "core/alert.hpp"
 #include "emu/shellemu.hpp"
@@ -75,6 +77,15 @@ struct NidsOptions {
   /// LiveSession only: log a one-line metrics snapshot (util::Log, info
   /// level) every this many seconds of capture time. 0 = disabled.
   std::uint32_t metrics_log_interval_sec = 0;
+  /// Byte budget for the content-addressed verdict cache (0 = disabled).
+  /// Keyed on SHA-256(config fingerprint || unit bytes): a hit replays
+  /// the stored verdict and skips stages (b)-(e) entirely. Behaviour-
+  /// preserving by construction — see DESIGN.md "Verdict cache" and
+  /// tests/cache_differential_test.cpp.
+  std::size_t verdict_cache_bytes = 0;
+  /// Units larger than this bypass the cache (hashing huge one-off
+  /// streams buys nothing; recorded as cache_bypass).
+  std::size_t cache_max_unit_bytes = 4u << 20;
 };
 
 /// Accumulated latency of one pipeline stage: execution count, summed
@@ -99,6 +110,14 @@ struct NidsStats {
   std::size_t flows_evicted_idle = 0;     // flushed by flow_idle_timeout_sec
   std::size_t flows_evicted_overflow = 0; // flushed to enforce max_flows
   std::size_t streams_truncated = 0;      // flows that hit max_stream_bytes
+  // Verdict cache (zero when the cache is disabled). Every unit is
+  // exactly one of hit/miss/bypass: hits + misses + bypass ==
+  // units_analyzed. cache_bytes_saved is the bytes_analyzed the hit
+  // units' miss-path runs performed — the disasm work replay avoided.
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+  std::size_t cache_bypass = 0;
+  std::size_t cache_bytes_saved = 0;
   semantic::AnalyzerStats analyzer;
   /// Per-stage latency, indexed by obs::Stage. classify counts packets,
   /// reassemble counts flushed streams, extract counts units, disasm/
@@ -160,11 +179,26 @@ class NidsEngine {
     return analyzer_;
   }
 
+  /// The verdict cache, or nullptr when verdict_cache_bytes == 0.
+  /// Shared by every worker; internally synchronized.
+  [[nodiscard]] cache::VerdictCache* verdict_cache() const noexcept {
+    return verdict_cache_.get();
+  }
+
+  /// SHA-256 over the template set and every verdict-affecting option;
+  /// the prefix of every cache key. Exposed for tests that prove
+  /// config changes invalidate the cache.
+  [[nodiscard]] const cache::Digest& config_fingerprint() const noexcept {
+    return config_fingerprint_;
+  }
+
  private:
   NidsOptions options_;
   classify::TrafficClassifier classifier_;
   extract::BinaryExtractor extractor_;
   semantic::SemanticAnalyzer analyzer_;
+  cache::Digest config_fingerprint_{};
+  std::unique_ptr<cache::VerdictCache> verdict_cache_;
 };
 
 /// Strict-weak order over every alert field: workers finish in arbitrary

@@ -6,6 +6,7 @@
 // engine / live session shares the same bound structs.
 #pragma once
 
+#include "cache/verdict_cache.hpp"
 #include "core/engine.hpp"
 #include "net/flow.hpp"
 #include "obs/pipeline.hpp"
@@ -25,6 +26,14 @@ inline const net::FlowTableMetrics& flow_table_metrics() {
   obs::PipelineMetrics& pm = obs::pipeline_metrics();
   static const net::FlowTableMetrics m{pm.flow_table_flows, pm.flows_created,
                                        pm.flows_evicted_idle, pm.flows_evicted_overflow};
+  return m;
+}
+
+inline const cache::CacheMetrics& cache_metrics() {
+  obs::PipelineMetrics& pm = obs::pipeline_metrics();
+  static const cache::CacheMetrics m{pm.cache_hits,      pm.cache_misses,
+                                     pm.cache_insertions, pm.cache_evictions,
+                                     pm.cache_entries,    pm.cache_bytes};
   return m;
 }
 

@@ -186,6 +186,8 @@ void LiveSession::maybe_log_metrics(std::uint32_t ts_sec) {
                    << " frames=" << stats_.frames_extracted
                    << " alerts=" << alerts_emitted_ << " flows=" << flows_.size()
                    << " truncated=" << stats_.streams_truncated
+                   << " cache_hits=" << stats_.cache_hits
+                   << " cache_misses=" << stats_.cache_misses
                    << " classify_s=" << stats_.classify_seconds
                    << " analysis_s=" << stats_.analysis_seconds;
 }

@@ -45,6 +45,26 @@ PipelineMetrics register_all() {
                                         "Flows flushed to enforce the live-flow cap");
   m.streams_truncated = &r.counter("senids_streams_truncated_total",
                                    "Flows whose assembled stream hit max_stream_bytes");
+
+  m.unit_seconds = &r.histogram("senids_unit_seconds",
+                                "Whole-unit analysis latency (stages (b)-(e))");
+
+  m.cache_hits = &r.counter("senids_verdict_cache_hits_total",
+                            "Units served by replaying a cached verdict");
+  m.cache_misses = &r.counter("senids_verdict_cache_misses_total",
+                              "Cache lookups that fell through to full analysis");
+  m.cache_bypass = &r.counter("senids_verdict_cache_bypass_total",
+                              "Units that skipped the cache (over the unit size cap)");
+  m.cache_insertions = &r.counter("senids_verdict_cache_insertions_total",
+                                  "Verdicts admitted to the cache");
+  m.cache_evictions = &r.counter("senids_verdict_cache_evictions_total",
+                                 "Entries evicted to enforce the byte budget");
+  m.cache_bytes_saved = &r.counter(
+      "senids_verdict_cache_bytes_saved_total",
+      "Frame bytes whose disassembly/lift/match was skipped via cache hits");
+  m.cache_entries = &r.gauge("senids_verdict_cache_entries", "Live verdict-cache entries");
+  m.cache_bytes =
+      &r.gauge("senids_verdict_cache_bytes", "Resident bytes charged to the cache budget");
   return m;
 }
 

@@ -62,6 +62,23 @@ struct PipelineMetrics {
   Counter* flows_evicted_idle;
   Counter* flows_evicted_overflow;
   Counter* streams_truncated;
+
+  // Whole-unit analysis latency (stages (b)-(e) end to end, one
+  // observation per unit; cache hits observe their replay cost, which is
+  // the honest per-unit figure once the verdict cache is on).
+  Histogram* unit_seconds;
+
+  // Content-addressed verdict cache (src/cache). hits/misses/insertions/
+  // evictions and the occupancy gauges are fed by the cache itself via
+  // CacheMetrics; bypass and bytes_saved are engine-side decisions.
+  Counter* cache_hits;
+  Counter* cache_misses;
+  Counter* cache_bypass;
+  Counter* cache_insertions;
+  Counter* cache_evictions;
+  Counter* cache_bytes_saved;
+  Gauge* cache_entries;
+  Gauge* cache_bytes;
 };
 
 /// Process-wide handles; registers every metric on first call.

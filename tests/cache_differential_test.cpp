@@ -1,0 +1,317 @@
+// Differential harness for the verdict cache: every generator corpus is
+// run through a cache-off engine and a cache-on engine over the *same*
+// capture, and the reports must be byte-identical — same sorted alert
+// list (every field), same detections, same unit counts. This is the
+// cache's correctness contract: memoizing stages (b)-(e) must be
+// invisible in every output the pipeline produces.
+//
+// The second half proves the replay path itself: one capture fed twice
+// through a single cache-on engine must produce identical reports, with
+// the second pass served (almost) entirely from the cache — hit-path
+// replay equals miss-path analysis.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/senids.hpp"
+#include "gen/benign.hpp"
+#include "gen/codered.hpp"
+#include "gen/mailworm.hpp"
+#include "gen/poly.hpp"
+#include "gen/shellcode.hpp"
+#include "gen/traffic.hpp"
+
+namespace senids::core {
+namespace {
+
+using net::Endpoint;
+using net::Ipv4Addr;
+using semantic::ThreatClass;
+
+const Ipv4Addr kServer = Ipv4Addr::from_octets(10, 0, 0, 20);
+const Endpoint kClient{Ipv4Addr::from_octets(198, 51, 100, 10), 45000};
+
+constexpr ThreatClass kAllThreats[] = {
+    ThreatClass::kDecryptionLoop, ThreatClass::kShellSpawn,
+    ThreatClass::kPortBindShell,  ThreatClass::kReverseShell,
+    ThreatClass::kCodeRedII,      ThreatClass::kCustom,
+};
+
+Endpoint attacker(std::size_t i) {
+  return Endpoint{Ipv4Addr::from_octets(192, 0, 2, static_cast<std::uint8_t>(10 + i)),
+                  static_cast<std::uint16_t>(30000 + i)};
+}
+
+NidsEngine make_engine(std::size_t cache_bytes, std::size_t threads = 1) {
+  NidsOptions options;
+  options.classifier.analyze_everything = true;
+  options.threads = threads;
+  options.verdict_cache_bytes = cache_bytes;
+  return NidsEngine(options);
+}
+
+constexpr std::size_t kCacheBytes = 8u << 20;
+
+void expect_alerts_equal(const std::vector<Alert>& a, const std::vector<Alert>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].ts_sec, b[i].ts_sec) << "alert " << i;
+    EXPECT_EQ(a[i].src.value, b[i].src.value) << "alert " << i;
+    EXPECT_EQ(a[i].dst.value, b[i].dst.value) << "alert " << i;
+    EXPECT_EQ(a[i].src_port, b[i].src_port) << "alert " << i;
+    EXPECT_EQ(a[i].dst_port, b[i].dst_port) << "alert " << i;
+    EXPECT_EQ(a[i].threat, b[i].threat) << "alert " << i;
+    EXPECT_EQ(a[i].template_name, b[i].template_name) << "alert " << i;
+    EXPECT_EQ(a[i].frame_reason, b[i].frame_reason) << "alert " << i;
+    EXPECT_EQ(a[i].frame_offset, b[i].frame_offset) << "alert " << i;
+  }
+}
+
+void expect_cache_invariant(const NidsStats& s) {
+  EXPECT_EQ(s.cache_hits + s.cache_misses + s.cache_bypass, s.units_analyzed);
+}
+
+/// The harness: run `capture` through cache-off and cache-on engines and
+/// require byte-identical reports.
+void expect_cache_transparent(const pcap::Capture& capture, std::size_t threads = 1) {
+  NidsEngine off = make_engine(0, threads);
+  NidsEngine on = make_engine(kCacheBytes, threads);
+  const Report r_off = off.process_capture(capture);
+  const Report r_on = on.process_capture(capture);
+
+  expect_alerts_equal(r_off.alerts, r_on.alerts);
+  for (ThreatClass t : kAllThreats) {
+    EXPECT_EQ(r_off.detected(t), r_on.detected(t))
+        << semantic::threat_class_name(t);
+  }
+  EXPECT_EQ(r_off.stats.units_analyzed, r_on.stats.units_analyzed);
+  EXPECT_EQ(r_off.stats.suspicious_packets, r_on.stats.suspicious_packets);
+  // The cache-off engine must not have touched the cache counters at all.
+  EXPECT_EQ(r_off.stats.cache_hits + r_off.stats.cache_misses +
+                r_off.stats.cache_bypass,
+            0u);
+  expect_cache_invariant(r_on.stats);
+}
+
+// ------------------------------------------------------------- corpora
+
+pcap::Capture admmutate_corpus(std::uint64_t seed) {
+  gen::TraceBuilder tb(seed);
+  const auto corpus = gen::make_shell_spawn_corpus();
+  for (std::size_t i = 0; i < 8; ++i) {
+    const auto poly = gen::admmutate_encode(corpus[i % corpus.size()].code, tb.prng());
+    tb.add_tcp_flow(attacker(i), Endpoint{kServer, 80}, poly.bytes);
+  }
+  return tb.take();
+}
+
+pcap::Capture clet_corpus(std::uint64_t seed) {
+  gen::TraceBuilder tb(seed);
+  const auto corpus = gen::make_shell_spawn_corpus();
+  for (std::size_t i = 0; i < 8; ++i) {
+    const auto poly = gen::clet_encode(corpus[i % corpus.size()].code, tb.prng());
+    tb.add_tcp_flow(attacker(i), Endpoint{kServer, 80}, poly.bytes);
+  }
+  return tb.take();
+}
+
+pcap::Capture codered_corpus(std::uint64_t seed, std::size_t flows = 16) {
+  // The replay-heavy workload: Code Red II sends the byte-identical
+  // request to every victim, so every flow after the first is a cache
+  // hit by construction.
+  gen::TraceBuilder tb(seed);
+  const util::Bytes request = gen::make_code_red_ii_request();
+  for (std::size_t i = 0; i < flows; ++i) {
+    tb.add_tcp_flow(attacker(i), Endpoint{kServer, 80}, request);
+  }
+  return tb.take();
+}
+
+pcap::Capture mailworm_corpus(std::uint64_t seed) {
+  gen::TraceBuilder tb(seed);
+  const Endpoint mx{Ipv4Addr::from_octets(10, 0, 0, 25), 25};
+  for (std::size_t i = 0; i < 4; ++i) {
+    const auto worm = gen::make_email_worm(tb.prng());
+    tb.add_tcp_flow(attacker(i), mx, worm.smtp_payload);
+  }
+  return tb.take();
+}
+
+pcap::Capture benign_corpus(std::uint64_t seed) {
+  gen::TraceBuilder tb(seed);
+  const Endpoint mx{Ipv4Addr::from_octets(10, 0, 0, 25), 25};
+  for (int i = 0; i < 20; ++i) {
+    tb.add_benign(kClient, kServer, gen::make_benign_payload(tb.prng()));
+  }
+  for (int i = 0; i < 4; ++i) {
+    tb.add_tcp_flow(kClient, mx, gen::make_benign_email(tb.prng()));
+  }
+  return tb.take();
+}
+
+pcap::Capture mixed_corpus(std::uint64_t seed) {
+  // Everything at once, interleaved: duplicates (Code Red), polymorphic
+  // one-offs (ADMmutate/Clet), attachments, and benign noise.
+  gen::TraceBuilder tb(seed);
+  const auto corpus = gen::make_shell_spawn_corpus();
+  const util::Bytes request = gen::make_code_red_ii_request();
+  const Endpoint mx{Ipv4Addr::from_octets(10, 0, 0, 25), 25};
+  for (std::size_t i = 0; i < 6; ++i) {
+    tb.add_tcp_flow(attacker(i), Endpoint{kServer, 80}, request);
+    const auto adm = gen::admmutate_encode(corpus[i % corpus.size()].code, tb.prng());
+    tb.add_tcp_flow(attacker(i + 10), Endpoint{kServer, 80}, adm.bytes);
+    const auto clet = gen::clet_encode(corpus[(i + 3) % corpus.size()].code, tb.prng());
+    tb.add_tcp_flow(attacker(i + 20), Endpoint{kServer, 80}, clet.bytes);
+    tb.add_benign(kClient, kServer, gen::make_benign_payload(tb.prng()));
+  }
+  const auto worm = gen::make_email_worm(tb.prng());
+  tb.add_tcp_flow(attacker(30), mx, worm.smtp_payload);
+  return tb.take();
+}
+
+// -------------------------------------------- cache-on == cache-off
+
+TEST(CacheDifferential, AdmmutateCorpus) { expect_cache_transparent(admmutate_corpus(101)); }
+
+TEST(CacheDifferential, CletCorpus) { expect_cache_transparent(clet_corpus(102)); }
+
+TEST(CacheDifferential, CodeRedCorpus) { expect_cache_transparent(codered_corpus(103)); }
+
+TEST(CacheDifferential, MailwormCorpus) { expect_cache_transparent(mailworm_corpus(104)); }
+
+TEST(CacheDifferential, BenignCorpus) {
+  // Empty verdicts are cached too (a negative result is still a result);
+  // the benign control proves replaying "no alerts" stays "no alerts".
+  const pcap::Capture capture = benign_corpus(105);
+  NidsEngine on = make_engine(kCacheBytes);
+  const Report report = on.process_capture(capture);
+  EXPECT_TRUE(report.alerts.empty());
+  expect_cache_transparent(capture);
+}
+
+TEST(CacheDifferential, MixedCorpusSerial) { expect_cache_transparent(mixed_corpus(106)); }
+
+TEST(CacheDifferential, MixedCorpusParallel) {
+  // Four workers sharing one cache: the deterministic alert sort plus
+  // first-wins insertion must keep the parallel cache-on report equal to
+  // the serial cache-off one.
+  expect_cache_transparent(mixed_corpus(107), /*threads=*/4);
+}
+
+// ------------------------------------------- hit-path replay fidelity
+
+TEST(CacheDifferential, SecondPassServedFromCacheIdentically) {
+  // The same capture twice through one engine: pass 2 re-materializes
+  // every verdict from the cache and must reproduce pass 1 exactly.
+  const pcap::Capture capture = mixed_corpus(108);
+  NidsEngine on = make_engine(kCacheBytes);
+  const Report first = on.process_capture(capture);
+  const Report second = on.process_capture(capture);
+
+  expect_alerts_equal(first.alerts, second.alerts);
+  expect_cache_invariant(first.stats);
+  expect_cache_invariant(second.stats);
+  EXPECT_GT(first.stats.cache_misses, 0u);
+  // Pass 2 sees only bytes pass 1 already inserted: zero misses.
+  EXPECT_EQ(second.stats.cache_misses, 0u);
+  EXPECT_EQ(second.stats.cache_hits,
+            second.stats.units_analyzed - second.stats.cache_bypass);
+  EXPECT_GT(second.stats.cache_bytes_saved, 0u);
+}
+
+TEST(CacheDifferential, RepeatedPayloadHitRateAtLeast90Percent) {
+  // The acceptance workload: many flows of one identical payload. Only
+  // the first unit misses, so the hit rate is (n-1)/n >= 90% at n >= 10.
+  const pcap::Capture capture = codered_corpus(109, /*flows=*/24);
+  NidsEngine on = make_engine(kCacheBytes);
+  const Report report = on.process_capture(capture);
+  expect_cache_invariant(report.stats);
+  ASSERT_GT(report.stats.units_analyzed, 0u);
+  EXPECT_GE(report.stats.cache_hits * 10, report.stats.units_analyzed * 9)
+      << report.stats.cache_hits << " hits / " << report.stats.units_analyzed
+      << " units";
+  EXPECT_TRUE(report.detected(ThreatClass::kCodeRedII));
+}
+
+TEST(CacheDifferential, MixedHitMissRunSortsIdentically) {
+  // Regression for the alert-ordering contract: a run where replayed
+  // (hit) and freshly analyzed (miss) alerts interleave must sort into
+  // exactly the order a cache-off engine produces. A replayed alert that
+  // differed in any sort-key field would land elsewhere in the list.
+  NidsEngine on = make_engine(kCacheBytes);
+  // Warm the cache with the duplicated payloads only.
+  const Report warm = on.process_capture(codered_corpus(110, /*flows=*/4));
+  EXPECT_GT(warm.stats.cache_misses, 0u);
+
+  // Now a capture interleaving warmed (hit) flows with never-seen (miss)
+  // polymorphic flows, sharing timestamps and sources so the sort has to
+  // discriminate on the late key fields.
+  const pcap::Capture capture = mixed_corpus(110);
+  const Report mixed = on.process_capture(capture);
+  EXPECT_GT(mixed.stats.cache_hits, 0u);
+  EXPECT_GT(mixed.stats.cache_misses, 0u);
+
+  NidsEngine off = make_engine(0);
+  const Report fresh = off.process_capture(capture);
+  expect_alerts_equal(fresh.alerts, mixed.alerts);
+}
+
+// --------------------------------------------------- bypass & bounds
+
+TEST(CacheDifferential, OversizedUnitsBypassTransparently) {
+  // cache_max_unit_bytes of 1: every unit bypasses the cache, nothing is
+  // inserted, and the report still matches cache-off exactly.
+  const pcap::Capture capture = codered_corpus(111, /*flows=*/6);
+  NidsOptions options;
+  options.classifier.analyze_everything = true;
+  options.verdict_cache_bytes = kCacheBytes;
+  options.cache_max_unit_bytes = 1;
+  NidsEngine on(options);
+  const Report r_on = on.process_capture(capture);
+  expect_cache_invariant(r_on.stats);
+  EXPECT_EQ(r_on.stats.cache_hits, 0u);
+  EXPECT_EQ(r_on.stats.cache_misses, 0u);
+  EXPECT_EQ(r_on.stats.cache_bypass, r_on.stats.units_analyzed);
+  ASSERT_NE(on.verdict_cache(), nullptr);
+  EXPECT_EQ(on.verdict_cache()->stats().insertions, 0u);
+
+  NidsEngine off = make_engine(0);
+  const Report r_off = off.process_capture(capture);
+  expect_alerts_equal(r_off.alerts, r_on.alerts);
+}
+
+TEST(CacheDifferential, TinyBudgetThrashesButStaysCorrect) {
+  // A cache far too small for the working set evicts constantly; verdict
+  // replay must remain exact whenever a hit does land, and the budget
+  // must hold.
+  const pcap::Capture capture = mixed_corpus(112);
+  NidsOptions options;
+  options.classifier.analyze_everything = true;
+  options.verdict_cache_bytes = 4096;
+  NidsEngine on(options);
+  const Report r_on = on.process_capture(capture);
+  expect_cache_invariant(r_on.stats);
+  ASSERT_NE(on.verdict_cache(), nullptr);
+  EXPECT_LE(on.verdict_cache()->stats().bytes, on.verdict_cache()->byte_budget());
+
+  NidsEngine off = make_engine(0);
+  const Report r_off = off.process_capture(capture);
+  expect_alerts_equal(r_off.alerts, r_on.alerts);
+}
+
+TEST(CacheDifferential, EngineCacheStatsMatchCacheCounters) {
+  // The engine's per-report stats and the cache's own counters are two
+  // independent accountings of the same events; they must agree.
+  const pcap::Capture capture = codered_corpus(113, /*flows=*/8);
+  NidsEngine on = make_engine(kCacheBytes);
+  const Report report = on.process_capture(capture);
+  ASSERT_NE(on.verdict_cache(), nullptr);
+  const auto cs = on.verdict_cache()->stats();
+  EXPECT_EQ(cs.hits, report.stats.cache_hits);
+  EXPECT_EQ(cs.misses, report.stats.cache_misses);
+  EXPECT_EQ(cs.lookups, report.stats.cache_hits + report.stats.cache_misses);
+  EXPECT_EQ(cs.insertions - cs.evictions, cs.entries);
+}
+
+}  // namespace
+}  // namespace senids::core

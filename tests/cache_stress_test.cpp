@@ -1,0 +1,200 @@
+// Concurrency stress for the verdict cache: many threads hammering a
+// deliberately small cache so lookups, inserts, evictions, and clears
+// constantly interleave. Runs TSan-instrumented in tier-1 (see
+// tests/CMakeLists.txt); the assertions here are the invariants that
+// must hold on *every* schedule — per-key verdict integrity, exact
+// hit/miss accounting, and the byte budget.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "cache/sha256.hpp"
+#include "cache/verdict_cache.hpp"
+#include "core/senids.hpp"
+#include "gen/codered.hpp"
+#include "gen/poly.hpp"
+#include "gen/shellcode.hpp"
+#include "gen/traffic.hpp"
+#include "util/prng.hpp"
+
+namespace senids {
+namespace {
+
+cache::Digest key_of(std::uint64_t n) {
+  return cache::Sha256::hash(
+      util::ByteView{reinterpret_cast<const std::uint8_t*>(&n), sizeof n});
+}
+
+// Deterministic verdict per key so any thread can validate any hit: the
+// cache must never serve key A's verdict for key B, no matter how the
+// schedules interleave.
+cache::Verdict verdict_of(std::uint64_t n) {
+  cache::Verdict v;
+  cache::CachedAlert a;
+  a.threat = semantic::ThreatClass::kCustom;
+  a.template_name = "stress-" + std::to_string(n);
+  a.frame_offset = n;
+  v.alerts.push_back(std::move(a));
+  v.bytes_analyzed = n * 13 + 7;
+  return v;
+}
+
+TEST(CacheStress, ConcurrentLookupInsertSmallBudget) {
+  // Budget sized for a fraction of the key space: every thread keeps
+  // evicting the others' entries, so the miss->insert->evict path runs
+  // continuously under contention.
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kOpsPerThread = 4000;
+  constexpr std::uint64_t kKeySpace = 512;
+  cache::VerdictCache c({16 * 1024, 8});
+
+  std::atomic<std::uint64_t> corrupt{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      util::Prng prng(0x5eed + t);
+      for (std::size_t i = 0; i < kOpsPerThread; ++i) {
+        const std::uint64_t n = prng.next() % kKeySpace;
+        const cache::Digest key = key_of(n);
+        if (auto got = c.lookup(key)) {
+          if (got->alerts.size() != 1 || got->alerts[0].frame_offset != n ||
+              got->bytes_analyzed != n * 13 + 7) {
+            ++corrupt;
+          }
+        } else {
+          c.insert(key, verdict_of(n));
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(corrupt.load(), 0u);
+  const auto s = c.stats();
+  EXPECT_EQ(s.lookups, kThreads * kOpsPerThread);
+  EXPECT_EQ(s.hits + s.misses, s.lookups);
+  EXPECT_EQ(s.insertions - s.evictions, s.entries);
+  EXPECT_LE(s.bytes, c.byte_budget());
+  EXPECT_GT(s.hits, 0u);
+  EXPECT_GT(s.evictions, 0u);  // the budget really was under pressure
+}
+
+TEST(CacheStress, AllThreadsRaceOneKey) {
+  // The racing-miss scenario the engine produces when identical payloads
+  // land on every worker at once: all threads miss, all insert, exactly
+  // one entry must survive and every subsequent hit must be intact.
+  constexpr std::size_t kThreads = 8;
+  cache::VerdictCache c({1 << 20, 4});
+  const std::uint64_t n = 42;
+  const cache::Digest key = key_of(n);
+
+  std::atomic<std::uint64_t> corrupt{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) {
+        if (auto got = c.lookup(key)) {
+          if (got->alerts[0].frame_offset != n) ++corrupt;
+        } else {
+          c.insert(key, verdict_of(n));
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(corrupt.load(), 0u);
+  const auto s = c.stats();
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_EQ(s.hits + s.misses, s.lookups);
+}
+
+TEST(CacheStress, ClearRacesWithWorkers) {
+  // clear() may run while workers are mid-flight; afterwards the
+  // accounting must still balance and the cache must still function.
+  constexpr std::size_t kThreads = 6;
+  cache::VerdictCache c({64 * 1024, 4});
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      util::Prng prng(0xc1ea7 + t);
+      for (int i = 0; i < 3000; ++i) {
+        const std::uint64_t n = prng.next() % 64;
+        const cache::Digest key = key_of(n);
+        if (!c.lookup(key)) c.insert(key, verdict_of(n));
+      }
+    });
+  }
+  std::thread clearer([&] {
+    while (!stop.load(std::memory_order_relaxed)) c.clear();
+  });
+  for (auto& th : threads) th.join();
+  stop.store(true);
+  clearer.join();
+
+  const auto s = c.stats();
+  EXPECT_EQ(s.hits + s.misses, s.lookups);
+  EXPECT_LE(s.bytes, c.byte_budget());
+  // Still alive after the storm.
+  c.insert(key_of(7), verdict_of(7));
+  auto got = c.lookup(key_of(7));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->alerts[0].frame_offset, 7u);
+}
+
+TEST(CacheStress, ParallelEngineDuplicateFlows) {
+  // Engine-level stress: four workers share one cache while analyzing a
+  // capture that is mostly duplicates, so hit, miss, and racing-insert
+  // paths all fire. The per-unit accounting must stay exact and the
+  // alert list must match a serial cache-off engine's.
+  using net::Endpoint;
+  using net::Ipv4Addr;
+  gen::TraceBuilder tb(77);
+  const util::Bytes request = gen::make_code_red_ii_request();
+  const auto corpus = gen::make_shell_spawn_corpus();
+  for (std::size_t i = 0; i < 24; ++i) {
+    const Endpoint atk{Ipv4Addr::from_octets(192, 0, 2, static_cast<std::uint8_t>(10 + i)),
+                       static_cast<std::uint16_t>(30000 + i)};
+    tb.add_tcp_flow(atk, Endpoint{Ipv4Addr::from_octets(10, 0, 0, 20), 80},
+                    i % 3 ? util::ByteView{request}
+                          : util::ByteView{corpus[i % corpus.size()].code});
+  }
+  const pcap::Capture capture = tb.take();
+
+  core::NidsOptions options;
+  options.classifier.analyze_everything = true;
+  options.threads = 4;
+  options.verdict_cache_bytes = 1 << 20;
+  core::NidsEngine on(options);
+  const core::Report r_on = on.process_capture(capture);
+
+  EXPECT_EQ(r_on.stats.cache_hits + r_on.stats.cache_misses + r_on.stats.cache_bypass,
+            r_on.stats.units_analyzed);
+  EXPECT_GT(r_on.stats.cache_hits, 0u);
+  ASSERT_NE(on.verdict_cache(), nullptr);
+  const auto cs = on.verdict_cache()->stats();
+  EXPECT_EQ(cs.hits + cs.misses, cs.lookups);
+  EXPECT_LE(cs.bytes, cs.byte_budget);
+
+  core::NidsOptions off_options;
+  off_options.classifier.analyze_everything = true;
+  core::NidsEngine off(off_options);
+  const core::Report r_off = off.process_capture(capture);
+  ASSERT_EQ(r_off.alerts.size(), r_on.alerts.size());
+  for (std::size_t i = 0; i < r_off.alerts.size(); ++i) {
+    EXPECT_EQ(r_off.alerts[i].template_name, r_on.alerts[i].template_name) << i;
+    EXPECT_EQ(r_off.alerts[i].threat, r_on.alerts[i].threat) << i;
+    EXPECT_EQ(r_off.alerts[i].frame_offset, r_on.alerts[i].frame_offset) << i;
+  }
+}
+
+}  // namespace
+}  // namespace senids

@@ -11,6 +11,8 @@
 //     --extended              use the extended template library
 //     --emulate               enable emulation-backed deep analysis
 //     --threads <n>           analysis worker threads (default 1)
+//     --verdict-cache-mb <n>  verdict cache byte budget in MB (default 64)
+//     --no-verdict-cache      disable the content-addressed verdict cache
 //     --flow-timeout <sec>    evict flows idle for this long (default off)
 //     --max-flows <n>         cap on live flows, LRU eviction (default off)
 //     --json                  machine-readable output
@@ -45,6 +47,7 @@ struct CliOptions {
   std::string sig_rules_file;
   bool extended = false;
   bool emulate = false;
+  std::size_t verdict_cache_mb = 64;  // 0 = disabled (--no-verdict-cache)
   std::size_t threads = 1;
   std::uint32_t flow_timeout = 0;
   std::size_t max_flows = 0;
@@ -68,6 +71,8 @@ void usage(const char* argv0) {
                "  --extended            use the extended template library\n"
                "  --emulate             enable emulation deep analysis\n"
                "  --threads <n>         analysis worker threads\n"
+               "  --verdict-cache-mb <n>  verdict cache byte budget (default 64)\n"
+               "  --no-verdict-cache    disable the verdict cache\n"
                "  --flow-timeout <sec>  evict flows idle this many seconds\n"
                "  --max-flows <n>       cap live flows (oldest-first eviction)\n"
                "  --json                JSON output\n"
@@ -159,6 +164,10 @@ int main(int argc, char** argv) {
       cli.emulate = true;
     } else if (arg == "--threads") {
       cli.threads = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--verdict-cache-mb") {
+      cli.verdict_cache_mb = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--no-verdict-cache") {
+      cli.verdict_cache_mb = 0;
     } else if (arg == "--flow-timeout") {
       cli.flow_timeout = static_cast<std::uint32_t>(std::atoll(next()));
     } else if (arg == "--max-flows") {
@@ -221,6 +230,7 @@ int main(int argc, char** argv) {
   options.classifier.analyze_everything = cli.analyze_all;
   options.classifier.dark_space_threshold = cli.dark_threshold;
   options.threads = cli.threads;
+  options.verdict_cache_bytes = cli.verdict_cache_mb << 20;
   options.flow_idle_timeout_sec = cli.flow_timeout;
   options.max_flows = cli.max_flows;
   options.enable_emulation = cli.emulate;
@@ -307,12 +317,16 @@ int main(int argc, char** argv) {
     std::printf("  \"stats\": {\"packets\": %zu, \"suspicious\": %zu, "
                 "\"units\": %zu, \"frames\": %zu, \"bytes_analyzed\": %zu, "
                 "\"frames_emulated\": %zu, \"flows_evicted_idle\": %zu, "
-                "\"flows_evicted_overflow\": %zu, \"streams_truncated\": %zu}\n}\n",
+                "\"flows_evicted_overflow\": %zu, \"streams_truncated\": %zu, "
+                "\"cache_hits\": %zu, \"cache_misses\": %zu, \"cache_bypass\": %zu, "
+                "\"cache_bytes_saved\": %zu}\n}\n",
                 report.stats.packets, report.stats.suspicious_packets,
                 report.stats.units_analyzed, report.stats.frames_extracted,
                 report.stats.bytes_analyzed, report.stats.frames_emulated,
                 report.stats.flows_evicted_idle, report.stats.flows_evicted_overflow,
-                report.stats.streams_truncated);
+                report.stats.streams_truncated, report.stats.cache_hits,
+                report.stats.cache_misses, report.stats.cache_bypass,
+                report.stats.cache_bytes_saved);
   } else if (cli.summary) {
     std::printf("%s", report.str().c_str());
   } else {
@@ -326,6 +340,13 @@ int main(int argc, char** argv) {
                   report.stats.units_analyzed, report.stats.frames_extracted,
                   report.alerts.size(), report.stats.classify_seconds,
                   report.stats.analysis_seconds);
+      if (report.stats.cache_hits || report.stats.cache_misses ||
+          report.stats.cache_bypass) {
+        std::printf("verdict cache: %zu hits, %zu misses, %zu bypassed, "
+                    "%zu bytes saved\n",
+                    report.stats.cache_hits, report.stats.cache_misses,
+                    report.stats.cache_bypass, report.stats.cache_bytes_saved);
+      }
     }
   }
   return report.alerts.empty() ? 0 : 3;  // 3 = threats found (grep-able)
