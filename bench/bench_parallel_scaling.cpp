@@ -137,5 +137,55 @@ int main() {
   json.set("dup_alerts", dup_base_alerts);
   json.set("alerts_consistent", consistent && dup_consistent);
   json.write();
-  return consistent && dup_consistent ? 0 : 1;
+
+  // ---- source-affine shard sweep ------------------------------------
+  // Stage (a) itself scales: with worker threads pinned at 1, every
+  // pipeline stage (classify, reassemble, analyze) runs inside the
+  // shard that owns the source, so shards are the only parallelism.
+  // The workload spreads many sources across shards — the regime the
+  // shard refactor targets.
+  bench::section("source-affine shard sweep (threads=1, per-shard pipeline)");
+  std::printf("%8s %12s %12s %10s %8s\n", "shards", "dispatch(s)", "total(s)",
+              "alerts", "speedup");
+  bench::rule();
+
+  bench::JsonReport json2("shard_scaling");
+  double shard_base_total = 0;
+  std::size_t shard_base_alerts = 0;
+  bool shard_consistent = true;
+  bool shard_speedup = false;
+  for (std::size_t shards : {1u, 2u, 4u}) {
+    core::NidsOptions options;
+    options.threads = 1;
+    options.shards = shards;
+    core::NidsEngine nids(options);
+    nids.classifier().honeypots().add_decoy(honeypot);
+    util::WallTimer timer;
+    core::Report report = nids.process_capture(capture);
+    const double total = timer.seconds();
+    if (shards == 1) {
+      shard_base_total = total;
+      shard_base_alerts = report.alerts.size();
+    }
+    shard_consistent = shard_consistent && report.alerts.size() == shard_base_alerts;
+    shard_speedup = shard_speedup || (shards > 1 && total < shard_base_total);
+    std::printf("%8zu %12.3f %12.3f %10zu %7.2fx\n", shards,
+                report.stats.dispatch_seconds, total, report.alerts.size(),
+                shard_base_total / total);
+    const std::string suffix = "_s" + std::to_string(shards);
+    json2.set("shard_total_s" + suffix, total);
+    json2.set("shard_dispatch_s" + suffix, report.stats.dispatch_seconds);
+    json2.set("shard_speedup" + suffix, shard_base_total / total);
+  }
+  bench::rule();
+  std::printf("alerts identical across shard counts: %s\n",
+              shard_consistent ? "yes" : "NO");
+  std::printf("throughput improves with shards > 1: %s\n",
+              shard_speedup ? "yes" : "NO");
+  json2.set("attack_flows", attack_flows);
+  json2.set("shard_alerts", shard_base_alerts);
+  json2.set("alerts_consistent", shard_consistent);
+  json2.set("speedup_observed", shard_speedup);
+  json2.write();
+  return consistent && dup_consistent && shard_consistent ? 0 : 1;
 }

@@ -7,13 +7,14 @@ namespace senids::classify {
 namespace {
 
 /// Process-wide classifier counters: how traffic gets routed into (or
-/// pruned from) the expensive pipeline stages, and why sources became
-/// tainted.
+/// pruned from) the expensive pipeline stages, why sources became
+/// tainted, and pressure on the bounded dark-space counter table.
 struct ClassifierMetrics {
   obs::Counter& ignored;
   obs::Counter& analyzed;
   obs::Counter& honeypot_taints;
   obs::Counter& dark_space_taints;
+  obs::Counter& dark_sources_evicted;
 };
 
 ClassifierMetrics& classifier_metrics() {
@@ -27,16 +28,44 @@ ClassifierMetrics& classifier_metrics() {
                 "honeypot"),
       r.counter("senids_classify_taints_total", "Sources tainted, by scheme", "scheme",
                 "dark_space"),
+      r.counter("senids_dark_sources_evicted_total",
+                "Dark-space probe counters LRU-evicted at the per-source cap"),
   };
   return m;
 }
 
 }  // namespace
 
-TrafficClassifier::TrafficClassifier(ClassifierOptions options)
-    : options_(options), dark_space_(options.dark_space_threshold) {}
+std::size_t DarkSpaceCounters::increment(std::uint32_t src) {
+  auto it = counts_.find(src);
+  if (it != counts_.end()) {
+    lru_.splice(lru_.end(), lru_, it->second.lru_pos);
+    return ++it->second.count;
+  }
+  if (max_sources_ && counts_.size() >= max_sources_ && !lru_.empty()) {
+    // Table full: forget the least-recently-probed source to admit this
+    // one. Its count restarts from zero if it ever probes again.
+    counts_.erase(lru_.front());
+    lru_.pop_front();
+    ++evictions_;
+    classifier_metrics().dark_sources_evicted.add();
+  }
+  auto pos = lru_.insert(lru_.end(), src);
+  counts_.emplace(src, Entry{1, pos});
+  return 1;
+}
 
-Verdict TrafficClassifier::observe(const net::ParsedPacket& pkt) {
+TrafficClassifier::TrafficClassifier(ClassifierOptions options)
+    : options_(options),
+      dark_space_(options.dark_space_threshold, options.dark_space_max_sources) {}
+
+DarkSpaceCounters& TrafficClassifier::dark_counts() noexcept {
+  return dark_space_.counters();
+}
+
+Verdict TrafficClassifier::observe_into(std::unordered_set<std::uint32_t>& tainted,
+                                        DarkSpaceCounters& counts,
+                                        const net::ParsedPacket& pkt) const {
   ClassifierMetrics& metrics = classifier_metrics();
   if (options_.analyze_everything) {
     metrics.analyzed.add();
@@ -49,16 +78,16 @@ Verdict TrafficClassifier::observe(const net::ParsedPacket& pkt) {
     // "Any sending host emitting traffic destined for a honeypot address
     // is considered suspicious; and any packets sent by such a host will
     // be analyzed."
-    if (tainted_.insert(src.value).second) metrics.honeypot_taints.add();
+    if (tainted.insert(src.value).second) metrics.honeypot_taints.add();
   }
 
   if (options_.use_dark_space && dark_space_.is_unused(pkt.ip.dst)) {
-    if (dark_space_.record_probe(src) >= dark_space_.threshold()) {
-      if (tainted_.insert(src.value).second) metrics.dark_space_taints.add();
+    if (dark_space_.record_probe_in(counts, src) >= dark_space_.threshold()) {
+      if (tainted.insert(src.value).second) metrics.dark_space_taints.add();
     }
   }
 
-  const bool analyze = tainted_.contains(src.value);
+  const bool analyze = tainted.contains(src.value);
   (analyze ? metrics.analyzed : metrics.ignored).add();
   return analyze ? Verdict::kAnalyze : Verdict::kIgnore;
 }

@@ -4,9 +4,18 @@
 //   1. Honeypot: traffic to registered decoy addresses taints the sender.
 //   2. Dark space: a source that keeps probing unused addresses is
 //      counted (n) and becomes suspicious at a threshold (t).
+//
+// Configuration vs. state: the honeypot registry, dark prefixes, and
+// options are *configuration* — registered before traffic flows and
+// read-only after. The taint set and the per-source probe counters are
+// *state* — mutated per packet. The sharded engine exploits the split:
+// every shard reads the one shared configuration but owns a private
+// ClassifierState for the sources routed to it, so the packet hot path
+// needs no cross-shard synchronization.
 #pragma once
 
 #include <cstdint>
+#include <list>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -39,9 +48,47 @@ class HoneypotRegistry {
   std::unordered_set<std::uint32_t> decoys_;
 };
 
+/// Bounded per-source dark-space probe counters. A spoofed-source flood
+/// would otherwise grow the table one entry per forged address, so past
+/// `max_sources` live entries the least-recently-probed source is
+/// evicted (its count resets if it probes again — an attacker cycling
+/// more addresses than the cap trades taint progress for table space).
+/// 0 = unbounded.
+class DarkSpaceCounters {
+ public:
+  explicit DarkSpaceCounters(std::size_t max_sources = 0) : max_sources_(max_sources) {}
+
+  /// Bump (and LRU-refresh) the probe count for `src`; returns the new
+  /// count. Evicts the coldest source first when the cap is exceeded.
+  std::size_t increment(std::uint32_t src);
+
+  [[nodiscard]] std::size_t count(std::uint32_t src) const {
+    auto it = counts_.find(src);
+    return it == counts_.end() ? 0 : it->second.count;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return counts_.size(); }
+  /// Sources evicted to enforce the cap since construction.
+  [[nodiscard]] std::size_t evictions() const noexcept { return evictions_; }
+
+ private:
+  struct Entry {
+    std::size_t count = 0;
+    std::list<std::uint32_t>::iterator lru_pos;
+  };
+  std::size_t max_sources_;
+  std::size_t evictions_ = 0;
+  std::list<std::uint32_t> lru_;  // front = least recently probed
+  std::unordered_map<std::uint32_t, Entry> counts_;
+};
+
+/// Dark-space scheme: the prefix list and threshold are configuration;
+/// the probe counters are state. The embedded counter table serves the
+/// classic single-state API (record_probe/count); shards hold their own
+/// DarkSpaceCounters and record through record_probe_in.
 class DarkSpaceDetector {
  public:
-  explicit DarkSpaceDetector(std::size_t threshold = 5) : threshold_(threshold) {}
+  explicit DarkSpaceDetector(std::size_t threshold = 5, std::size_t max_sources = 0)
+      : threshold_(threshold), max_sources_(max_sources), counters_(max_sources) {}
 
   void add_unused_prefix(Prefix p) { prefixes_.push_back(p); }
   [[nodiscard]] bool is_unused(net::Ipv4Addr addr) const {
@@ -52,18 +99,32 @@ class DarkSpaceDetector {
   }
 
   /// Record one probe to an unused address; returns the source's count n.
-  std::size_t record_probe(net::Ipv4Addr src) { return ++counts_[src.value]; }
+  std::size_t record_probe(net::Ipv4Addr src) { return counters_.increment(src.value); }
+  /// Record into external (shard-owned) counters; configuration is only
+  /// read, so concurrent shards may call this with disjoint `counters`.
+  std::size_t record_probe_in(DarkSpaceCounters& counters, net::Ipv4Addr src) const {
+    return counters.increment(src.value);
+  }
 
   [[nodiscard]] std::size_t count(net::Ipv4Addr src) const {
-    auto it = counts_.find(src.value);
-    return it == counts_.end() ? 0 : it->second;
+    return counters_.count(src.value);
   }
   [[nodiscard]] std::size_t threshold() const noexcept { return threshold_; }
+  /// Evictions from the embedded counter table (single-state API).
+  [[nodiscard]] std::size_t evictions() const noexcept { return counters_.evictions(); }
+  /// A fresh counter table sized by this detector's cap (shard setup).
+  [[nodiscard]] DarkSpaceCounters make_counters() const {
+    return DarkSpaceCounters(max_sources_);
+  }
+  /// The embedded counter table itself (the single-state engine path
+  /// records into it and reads its eviction count per capture).
+  [[nodiscard]] DarkSpaceCounters& counters() noexcept { return counters_; }
 
  private:
   std::size_t threshold_;
+  std::size_t max_sources_;
   std::vector<Prefix> prefixes_;
-  std::unordered_map<std::uint32_t, std::size_t> counts_;
+  DarkSpaceCounters counters_;  // embedded default state
 };
 
 enum class Verdict : std::uint8_t { kIgnore, kAnalyze };
@@ -72,15 +133,37 @@ struct ClassifierOptions {
   bool use_honeypot = true;
   bool use_dark_space = true;
   std::size_t dark_space_threshold = 5;
+  /// Cap on live per-source dark-space counters (LRU eviction past it;
+  /// see DarkSpaceCounters). 0 = unbounded. The default bounds the table
+  /// at ~16 MB under a spoofed-source flood while being far above any
+  /// honest source population.
+  std::size_t dark_space_max_sources = 1u << 20;
   /// Disable classification entirely — every packet is analyzed (the
   /// Section 5.4 false-positive configuration).
   bool analyze_everything = false;
+};
+
+/// Per-shard mutable classification state: the taint set plus dark-space
+/// probe counters for the sources one shard owns. Obtain via
+/// TrafficClassifier::make_state() so the counter cap matches the
+/// configured option.
+struct ClassifierState {
+  std::unordered_set<std::uint32_t> tainted;
+  DarkSpaceCounters dark_counts;
 };
 
 /// Stateful classifier. observe() must see every packet in order; it
 /// returns the verdict for that packet. Sources stay tainted for the
 /// remainder of the run (the paper takes "further action ... against the
 /// offending IP address").
+///
+/// Two usage shapes:
+///  - Single-state (observe/check/is_tainted): state lives inside the
+///    classifier — the 1-shard engine and LiveSession path.
+///  - Shard-external (make_state + observe_in/check_in, all const on the
+///    classifier): configuration is shared read-only across shards, each
+///    of which mutates only its own ClassifierState. Safe concurrently
+///    as long as no configuration mutator runs while traffic flows.
 class TrafficClassifier {
  public:
   explicit TrafficClassifier(ClassifierOptions options = ClassifierOptions{});
@@ -88,7 +171,9 @@ class TrafficClassifier {
   HoneypotRegistry& honeypots() noexcept { return honeypots_; }
   DarkSpaceDetector& dark_space() noexcept { return dark_space_; }
 
-  Verdict observe(const net::ParsedPacket& pkt);
+  Verdict observe(const net::ParsedPacket& pkt) {
+    return observe_into(tainted_, dark_counts(), pkt);
+  }
 
   /// Verdict without state update (used for reassembled datagrams, whose
   /// fragments were already observed individually).
@@ -97,16 +182,38 @@ class TrafficClassifier {
     return tainted_.contains(pkt.ip.src.value) ? Verdict::kAnalyze : Verdict::kIgnore;
   }
 
+  /// Fresh shard-local state with the configured dark-counter cap.
+  [[nodiscard]] ClassifierState make_state() const {
+    return ClassifierState{{}, dark_space_.make_counters()};
+  }
+  /// observe() against external state; const because only `state` and the
+  /// process-wide metric counters are mutated.
+  Verdict observe_in(ClassifierState& state, const net::ParsedPacket& pkt) const {
+    return observe_into(state.tainted, state.dark_counts, pkt);
+  }
+  /// check() against external state.
+  [[nodiscard]] Verdict check_in(const ClassifierState& state,
+                                 const net::ParsedPacket& pkt) const {
+    if (options_.analyze_everything) return Verdict::kAnalyze;
+    return state.tainted.contains(pkt.ip.src.value) ? Verdict::kAnalyze
+                                                    : Verdict::kIgnore;
+  }
+
   [[nodiscard]] bool is_tainted(net::Ipv4Addr src) const {
     return tainted_.contains(src.value);
   }
   [[nodiscard]] std::size_t tainted_count() const noexcept { return tainted_.size(); }
+  [[nodiscard]] const ClassifierOptions& options() const noexcept { return options_; }
 
  private:
+  Verdict observe_into(std::unordered_set<std::uint32_t>& tainted,
+                       DarkSpaceCounters& counts, const net::ParsedPacket& pkt) const;
+  DarkSpaceCounters& dark_counts() noexcept;
+
   ClassifierOptions options_;
   HoneypotRegistry honeypots_;
   DarkSpaceDetector dark_space_;
-  std::unordered_set<std::uint32_t> tainted_;
+  std::unordered_set<std::uint32_t> tainted_;  // embedded default state
 };
 
 }  // namespace senids::classify

@@ -9,8 +9,7 @@
 
 #include "cache/fingerprint.hpp"
 #include "core/pipeline_obs.hpp"
-#include "net/defrag.hpp"
-#include "net/flow.hpp"
+#include "core/shard.hpp"
 #include "obs/trace.hpp"
 #include "util/log.hpp"
 #include "util/queue.hpp"
@@ -63,12 +62,24 @@ void merge_analyzer(semantic::AnalyzerStats& into, const semantic::AnalyzerStats
   into.match_seconds += from.match_seconds;
 }
 
+// Folds both worker-local analysis stats and per-shard stage-(a) stats
+// into the report; a worker's stage-(a) fields are simply zero (and vice
+// versa), so one helper serves both. dispatch_seconds is deliberately
+// not merged — it is caller-thread wall the engine sets directly.
 void merge_stats(NidsStats& into, const NidsStats& from) {
+  into.packets += from.packets;
+  into.non_ip += from.non_ip;
+  into.suspicious_packets += from.suspicious_packets;
   into.units_analyzed += from.units_analyzed;
   into.frames_extracted += from.frames_extracted;
   into.bytes_analyzed += from.bytes_analyzed;
   into.frames_emulated += from.frames_emulated;
   into.emulated_steps += from.emulated_steps;
+  into.flows_evicted_idle += from.flows_evicted_idle;
+  into.flows_evicted_overflow += from.flows_evicted_overflow;
+  into.streams_truncated += from.streams_truncated;
+  into.dark_sources_evicted += from.dark_sources_evicted;
+  into.defrag_dropped += from.defrag_dropped;
   merge_analyzer(into.analyzer, from.analyzer);
   for (std::size_t i = 0; i < into.stages.size(); ++i) {
     into.stages[i].count += from.stages[i].count;
@@ -80,6 +91,7 @@ void merge_stats(NidsStats& into, const NidsStats& from) {
   into.cache_misses += from.cache_misses;
   into.cache_bypass += from.cache_bypass;
   into.cache_bytes_saved += from.cache_bytes_saved;
+  into.classify_seconds += from.classify_seconds;
   into.analysis_seconds += from.analysis_seconds;
 }
 
@@ -120,15 +132,28 @@ std::string Report::str() const {
   line("bytes disassembled : %zu", stats.bytes_analyzed);
   line("flow evictions     : %zu idle, %zu overflow, %zu streams truncated",
        stats.flows_evicted_idle, stats.flows_evicted_overflow, stats.streams_truncated);
+  if (stats.defrag_dropped) {
+    line("defrag drops       : %zu pending datagrams (buffer cap)", stats.defrag_dropped);
+  }
+  if (stats.dark_sources_evicted) {
+    line("dark-src evictions : %zu counter entries (table cap)",
+         stats.dark_sources_evicted);
+  }
   if (stats.cache_hits || stats.cache_misses || stats.cache_bypass) {
     line("verdict cache      : %zu hits, %zu misses, %zu bypassed (%zu bytes saved)",
          stats.cache_hits, stats.cache_misses, stats.cache_bypass,
          stats.cache_bytes_saved);
   }
-  // The two totals measure different things on purpose (see NidsStats):
-  // stage-(a) wall on the caller thread vs summed per-unit wall across
-  // workers. They overlap in time and must not be added together.
-  line("classify wall      : %.3f s (stage (a), caller thread)", stats.classify_seconds);
+  // The wall totals measure different things on purpose (see NidsStats):
+  // summed per-shard stage-(a) producer wall, caller-thread dispatch
+  // wall, and summed per-unit analysis wall across workers. They overlap
+  // in time and must not be added together.
+  line("classify wall      : %.3f s (stage (a), summed across shards)",
+       stats.classify_seconds);
+  if (stats.dispatch_seconds > 0.0) {
+    line("dispatch wall      : %.3f s (source-hash routing, caller thread)",
+         stats.dispatch_seconds);
+  }
   line("analysis work      : %.3f s (summed per-unit wall, all workers)",
        stats.analysis_seconds);
   const bool any_stage = std::any_of(stats.stages.begin(), stats.stages.end(),
@@ -251,6 +276,32 @@ cache::Digest compute_config_fingerprint(const NidsOptions& o,
 
 NidsEngine::NidsEngine(NidsOptions options)
     : NidsEngine(std::move(options), semantic::make_standard_library()) {}
+
+// Out of line: PipelineShard is incomplete in the header.
+NidsEngine::NidsEngine(NidsEngine&&) noexcept = default;
+NidsEngine& NidsEngine::operator=(NidsEngine&&) noexcept = default;
+NidsEngine::~NidsEngine() = default;
+
+void NidsEngine::ensure_shards() {
+  if (!shards_.empty()) return;
+  const std::size_t n = std::max<std::size_t>(1, options_.shards);
+  // A lone shard routes verdicts through the classifier's embedded state
+  // (own_state == false) so classifier().is_tainted() keeps observing
+  // what single-shard runs always exposed.
+  const bool own_state = n > 1;
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<PipelineShard>(i, options_, classifier_, own_state));
+  }
+}
+
+bool NidsEngine::is_tainted(net::Ipv4Addr src) const {
+  if (classifier_.is_tainted(src)) return true;
+  for (const auto& shard : shards_) {
+    if (shard->is_tainted(src)) return true;
+  }
+  return false;
+}
 
 NidsEngine::NidsEngine(NidsOptions options, std::vector<semantic::Template> templates)
     : options_(with_debug_verification(std::move(options))),
@@ -493,10 +544,8 @@ std::vector<Alert> NidsEngine::analyze_payload(util::ByteView payload,
 
 Report NidsEngine::process_capture(const pcap::Capture& capture) {
   Report report;
-  obs::PipelineMetrics& pm = obs::pipeline_metrics();
-  obs::Tracer& tracer = obs::Tracer::instance();
-  const bool tracing = obs::Tracer::enabled();
-  const bool clocked = obs::metrics_enabled() || tracing;
+  ensure_shards();
+  const std::size_t nshards = shards_.size();
 
   /// One payload (or reassembled stream) bound for stages (b)-(e).
   struct Unit {
@@ -505,20 +554,20 @@ Report NidsEngine::process_capture(const pcap::Capture& capture) {
     std::uint64_t unit_id = 0;
   };
 
-  // Handoff queue and worker pool. With threads <= 1 the queue/pool are
-  // bypassed entirely and units are analyzed inline as they form.
+  // Handoff queue and worker pool for stages (b)-(e). With threads <= 1
+  // the queue/pool are bypassed entirely and units are analyzed inline
+  // on the shard that formed them.
   const std::size_t workers = options_.threads > 1 ? options_.threads : 0;
   util::BoundedQueue<Unit> queue(options_.max_queued_units, options_.max_queued_bytes);
   queue.set_metrics(&queue_metrics());
   std::mutex mu;  // guards report.alerts and the analysis stat fields
-  double serial_analysis_seconds = 0.0;
 
   std::optional<util::ThreadPool> pool;
   if (workers) {
     pool.emplace(workers);
     for (std::size_t i = 0; i < workers; ++i) {
       pool->submit([this, &queue, &mu, &report] {
-        // Long-running consumer: drain units until the producer closes
+        // Long-running consumer: drain units until the producers close
         // the queue, then merge local results once.
         NidsStats local;
         std::vector<Alert> alerts;
@@ -537,181 +586,134 @@ Report NidsEngine::process_capture(const pcap::Capture& capture) {
     }
   }
 
-  auto emit = [&](util::Bytes payload, const Alert& meta, std::uint64_t unit_id) {
-    if (payload.empty()) return;
-    if (workers) {
-      const std::size_t weight = payload.size();
-      queue.push(Unit{std::move(payload), meta, unit_id}, weight);
-    } else {
-      util::WallTimer unit_timer;
-      auto alerts = analyze_payload(payload, meta, &report.stats, unit_id);
-      const double unit_seconds = unit_timer.seconds();
-      serial_analysis_seconds += unit_seconds;
-      report.stats.analysis_seconds += unit_seconds;
-      report.alerts.insert(report.alerts.end(), std::make_move_iterator(alerts.begin()),
-                           std::make_move_iterator(alerts.end()));
-    }
-  };
-
-  struct FlowState {
-    net::TcpReassembler reassembler;
-    Alert meta;
-    double reassemble_seconds = 0.0;  // accrued per feed, emitted at flush
-    explicit FlowState(std::size_t cap) : reassembler(cap, cap) {}
-  };
-  net::BoundedFlowTable<FlowState> flows;
-  flows.set_metrics(&flow_table_metrics());
-  net::Defragmenter defrag;
-
-  SteadyClock::time_point mark{};
-  auto tic = [&] {
-    if (clocked) mark = SteadyClock::now();
-  };
-  auto toc = [&]() -> double { return clocked ? seconds_since(mark) : 0.0; };
-
-  // Producer-thread stage recording (classify / reassemble): these spans
-  // end "now", so they are placed backwards from the current time.
-  auto record_producer_stage = [&](obs::Stage stage, double seconds,
-                                   std::uint64_t unit_id, std::uint64_t bytes,
-                                   bool with_span) {
-    const auto idx = static_cast<std::size_t>(stage);
-    pm.stage_seconds[idx]->observe(seconds);
-    fold_stage(report.stats.stages[idx], seconds);
-    if (tracing && with_span) {
-      const auto dur = static_cast<std::uint64_t>(seconds * 1e6);
-      const std::uint64_t now = tracer.now_us();
-      tracer.record({obs::stage_name(stage).data(), unit_id, now >= dur ? now - dur : 0,
-                     dur, bytes, 0});
-    }
-  };
-
-  // A flow is flushed early once its assembled stream reaches the cap:
-  // the full prefix becomes a unit and the flow state is released (a
-  // later segment simply re-anchors a fresh flow).
-  auto stream_full = [this](const FlowState& state) {
-    return state.reassembler.truncated() ||
-           state.reassembler.stream().size() >= options_.max_stream_bytes;
-  };
-  // Flush a flow's assembled stream as one analysis unit (close, eviction,
-  // stream cap, or end-of-capture).
-  auto flush_flow = [&](FlowState& state) {
-    if (stream_full(state)) {
-      ++report.stats.streams_truncated;
-      pm.streams_truncated->add();
-    }
-    double reassemble_seconds = state.reassemble_seconds;
-    state.reassemble_seconds = 0.0;
-    tic();
-    util::Bytes stream = state.reassembler.take_stream();
-    reassemble_seconds += toc();
-    if (stream.empty()) return;
-    const std::uint64_t unit_id = tracing ? tracer.next_unit_id() : 0;
-    record_producer_stage(obs::Stage::kReassemble, reassemble_seconds, unit_id,
-                          stream.size(), true);
-    emit(std::move(stream), state.meta, unit_id);
-  };
-  auto flush_sink = [&](const net::FlowKey&, FlowState& state) { flush_flow(state); };
-
-  util::WallTimer classify_timer;
-
-  // Route one transport-level packet into the flow table / unit queue.
-  auto dispatch = [&](net::ParsedPacket& pkt) {
-    Alert meta;
-    meta.ts_sec = pkt.ts_sec;
-    meta.src = pkt.ip.src;
-    meta.dst = pkt.ip.dst;
-    meta.src_port = pkt.src_port();
-    meta.dst_port = pkt.dst_port();
-
-    if (pkt.transport == net::Transport::kTcp && options_.reassemble_tcp) {
-      if (options_.flow_idle_timeout_sec) {
-        report.stats.flows_evicted_idle +=
-            flows.evict_idle(pkt.ts_sec, options_.flow_idle_timeout_sec, flush_sink);
+  // Per-shard unit sinks. With workers the unit goes through the shared
+  // queue; without, it is analyzed inline on the emitting shard's thread,
+  // into that shard's stats and alert list (merged after the shards
+  // join — analyze_payload is const and safe to call concurrently).
+  std::vector<double> inline_analysis(nshards, 0.0);
+  std::vector<std::vector<Alert>> inline_alerts(nshards);
+  std::vector<PipelineShard::UnitSink> sinks;
+  sinks.reserve(nshards);
+  for (std::size_t si = 0; si < nshards; ++si) {
+    sinks.push_back([this, si, workers, &queue, &inline_analysis, &inline_alerts](
+                        util::Bytes payload, const Alert& meta, std::uint64_t unit_id) {
+      if (payload.empty()) return;
+      if (workers) {
+        const std::size_t weight = payload.size();
+        queue.push(Unit{std::move(payload), meta, unit_id}, weight);
+      } else {
+        util::WallTimer unit_timer;
+        NidsStats& sstats = shards_[si]->stats();
+        auto alerts = analyze_payload(payload, meta, &sstats, unit_id);
+        const double unit_seconds = unit_timer.seconds();
+        inline_analysis[si] += unit_seconds;
+        sstats.analysis_seconds += unit_seconds;
+        auto& out = inline_alerts[si];
+        out.insert(out.end(), std::make_move_iterator(alerts.begin()),
+                   std::make_move_iterator(alerts.end()));
       }
-      const net::FlowKey key = net::FlowKey::of(pkt);
-      auto [state, created] = flows.touch(key, pkt.ts_sec, options_.max_stream_bytes);
-      if (created) {
-        // The flow's alert metadata is pinned to its *first* suspicious
-        // segment (timestamp of first contact, not of the last segment).
-        state->meta = meta;
-        if (options_.max_flows && flows.size() > options_.max_flows &&
-            flows.evict_oldest(flush_sink)) {
-          ++report.stats.flows_evicted_overflow;
+    });
+  }
+
+  for (auto& shard : shards_) shard->begin_capture();
+
+  if (nshards == 1) {
+    // ------------------------------- stage (a), single shard (no dispatcher)
+    // Classification runs directly on the caller thread; classify wall is
+    // the caller's stage-(a) wall minus any inline analysis it triggered.
+    util::WallTimer classify_timer;
+    for (const pcap::Record& rec : capture.records) {
+      shards_[0]->process_record(rec, sinks[0]);
+    }
+    shards_[0]->finish_capture(sinks[0]);
+    shards_[0]->stats().classify_seconds = classify_timer.seconds() - inline_analysis[0];
+  } else {
+    // --------------------------------- stage (a), source-affine shard fanout
+    // The caller thread only peeks each frame's IPv4 source and routes the
+    // record; every shard thread runs the full stage (a) for its sources.
+    // Records are batched to amortize queue locking, and the per-shard
+    // queues are shallow so a slow shard backpressures the dispatcher
+    // instead of buffering the capture.
+    using Batch = std::vector<const pcap::Record*>;
+    constexpr std::size_t kBatchRecords = 64;
+    constexpr std::size_t kQueueBatches = 16;
+    std::vector<std::unique_ptr<util::BoundedQueue<Batch>>> shard_queues;
+    std::vector<util::QueueMetrics> shard_queue_metrics(nshards);
+    shard_queues.reserve(nshards);
+    for (std::size_t si = 0; si < nshards; ++si) {
+      auto q = std::make_unique<util::BoundedQueue<Batch>>(kQueueBatches);
+      shard_queue_metrics[si].depth = obs::shard_metrics(si).queue_depth;
+      q->set_metrics(&shard_queue_metrics[si]);
+      shard_queues.push_back(std::move(q));
+    }
+    {
+      util::ThreadPool shard_pool(nshards);
+      for (std::size_t si = 0; si < nshards; ++si) {
+        shard_pool.submit([this, si, &shard_queues, &sinks, &inline_analysis] {
+          PipelineShard& shard = *shards_[si];
+          auto& q = *shard_queues[si];
+          double wall = 0.0;
+          while (auto batch = q.pop()) {
+            util::WallTimer batch_timer;
+            for (const pcap::Record* rec : *batch) shard.process_record(*rec, sinks[si]);
+            wall += batch_timer.seconds();
+          }
+          util::WallTimer drain_timer;
+          shard.finish_capture(sinks[si]);
+          wall += drain_timer.seconds();
+          // Same stage-(a) definition the caller thread uses at
+          // shards == 1: producer wall minus inline analysis.
+          shard.stats().classify_seconds = wall - inline_analysis[si];
+        });
+      }
+
+      util::WallTimer dispatch_timer;
+      std::vector<Batch> pending(nshards);
+      for (const pcap::Record& rec : capture.records) {
+        // Frames whose source cannot be peeked (non-IP — any shard would
+        // classify them identically) all ride to shard 0.
+        const auto src = net::peek_src(rec.data);
+        const std::size_t si = src ? shard_index_for(*src, nshards) : 0;
+        Batch& batch = pending[si];
+        if (batch.empty()) batch.reserve(kBatchRecords);
+        batch.push_back(&rec);
+        if (batch.size() >= kBatchRecords) {
+          shard_queues[si]->push(std::move(batch));
+          batch = Batch{};
         }
       }
-      tic();
-      state->reassembler.feed(pkt.tcp.seq, pkt.tcp.flags, pkt.payload);
-      state->reassemble_seconds += toc();
-      if (state->reassembler.closed() || stream_full(*state)) {
-        flush_flow(*state);
-        flows.erase(key);
+      for (std::size_t si = 0; si < nshards; ++si) {
+        if (!pending[si].empty()) shard_queues[si]->push(std::move(pending[si]));
+        shard_queues[si]->close();
       }
-    } else if (!pkt.payload.empty()) {
-      emit(std::move(pkt.payload), meta,
-           tracing ? tracer.next_unit_id() : 0);
-    }
-  };
-
-  // ---------------------------------------------- stage (a): classification
-  for (const pcap::Record& rec : capture.records) {
-    ++report.stats.packets;
-    pm.packets->add();
-    const SteadyClock::time_point pkt_start =
-        clocked ? SteadyClock::now() : SteadyClock::time_point{};
-    // Parse + classifier verdict (+ defragmentation); returns the packet
-    // to hand to stage-(a) dispatch, or nothing for ignored traffic.
-    auto classify_one = [&]() -> std::optional<net::ParsedPacket> {
-      auto pkt = net::parse_frame(rec.data, rec.ts_sec, rec.ts_usec);
-      if (!pkt) {
-        ++report.stats.non_ip;
-        return std::nullopt;
-      }
-      const classify::Verdict verdict = classifier_.observe(*pkt);
-
-      if (pkt->transport == net::Transport::kFragment) {
-        // Reassemble regardless of verdict: a tainted source's datagram may
-        // complete with fragments that arrived before the taint.
-        auto datagram = defrag.feed(pkt->ip, pkt->payload);
-        if (!datagram) return std::nullopt;
-        auto whole = net::parse_reassembled(datagram->header, datagram->payload,
-                                            pkt->ts_sec, pkt->ts_usec);
-        if (!whole) return std::nullopt;
-        if (classifier_.check(*whole) != classify::Verdict::kAnalyze) return std::nullopt;
-        return whole;
-      }
-
-      if (verdict != classify::Verdict::kAnalyze) return std::nullopt;
-      return pkt;
-    };
-    auto suspicious = classify_one();
-    // Per-packet classify latency; spans only for suspicious packets (a
-    // span per ignored packet would swamp the trace with noise).
-    record_producer_stage(obs::Stage::kClassify,
-                          clocked ? seconds_since(pkt_start) : 0.0, 0, rec.data.size(),
-                          suspicious.has_value());
-    if (suspicious) {
-      ++report.stats.suspicious_packets;
-      pm.suspicious_packets->add();
-      dispatch(*suspicious);
+      report.stats.dispatch_seconds = dispatch_timer.seconds();
+      shard_pool.wait_idle();
     }
   }
-  // Flush flows that never closed (truncated captures), oldest first.
-  flows.drain(flush_sink);
-  report.stats.classify_seconds = classify_timer.seconds() - serial_analysis_seconds;
+
+  // Fold per-shard stage-(a) results. The shard threads are joined, and
+  // the worker queue is still open, so nothing else touches report here.
+  for (std::size_t si = 0; si < nshards; ++si) {
+    merge_stats(report.stats, shards_[si]->stats());
+    auto& found = inline_alerts[si];
+    report.alerts.insert(report.alerts.end(), std::make_move_iterator(found.begin()),
+                         std::make_move_iterator(found.end()));
+  }
 
   // Streaming drain: close the queue so the consumers finish the backlog
   // and merge their results, then join them. analysis_seconds accrues
-  // per-unit in the workers and arrives via merge_stats (serial path
-  // added it inline in emit).
+  // per-unit in the workers and arrives via merge_stats (the inline path
+  // added it to the shard's stats in the sink).
   queue.close();
   if (pool) {
     pool->wait_idle();
     pool.reset();
   }
 
-  // Deterministic alert order regardless of worker scheduling: the sort
-  // key covers every alert field (a partial key left alerts differing
-  // only in frame_offset/ports in schedule-dependent order).
+  // Deterministic alert order regardless of shard routing or worker
+  // scheduling: the sort key covers every alert field (a partial key left
+  // alerts differing only in frame_offset/ports in schedule-dependent
+  // order), so 1-shard and N-shard runs render byte-identical alerts.
   std::sort(report.alerts.begin(), report.alerts.end(), alert_less);
   return report;
 }

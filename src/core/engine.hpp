@@ -1,19 +1,31 @@
 // The semantics-aware NIDS (Figure 3): traffic classifier -> binary
 // detection & extraction -> disassembler -> IR -> semantic analysis.
 //
-// Threading model: a streaming producer–consumer pipeline. Stage (a)
-// (classification, defragmentation, TCP reassembly) is stateful and
-// cheap, so it runs on the calling thread; each suspicious payload or
-// reassembled stream becomes an analysis unit that is handed through a
-// bounded queue to a pool of workers running stages (b)-(e) — which are
-// pure functions of one unit — *while* classification continues. The
-// queue bounds both unit count and queued bytes, so a traffic burst
-// backpressures the producer instead of exhausting memory; the flow
-// table is LRU-managed with an idle timeout and a live-flow cap, so
-// long-lived or hostile flows cannot exhaust state either (evicted flows
-// are flushed as units, not dropped). Alerts are merged and
-// deterministically ordered at the end; with threads <= 1 units are
-// analyzed inline and the queue/pool machinery is bypassed.
+// Threading model: a sharded streaming pipeline. Stage (a)
+// (classification, defragmentation, TCP reassembly) is stateful, so it
+// is decomposed into N source-affine shards (NidsOptions::shards): the
+// dispatcher (caller thread) peeks only each frame's IPv4 source and
+// routes the record by source hash, and each shard owns the classifier
+// scan-counting state, Defragmenter, and bounded flow table for the
+// sources routed to it — per-source dark-space probe counting and
+// 5-tuple flow reassembly (the flow key includes the source) stay
+// correct within one shard with no cross-shard synchronization on the
+// hot path. With shards == 1 (the default) stage (a) runs directly on
+// the calling thread, exactly the pre-shard layout.
+//
+// Each suspicious payload or reassembled stream becomes an analysis
+// unit handed through one bounded queue to a pool of workers running
+// stages (b)-(e) — pure functions of one unit — *while* classification
+// continues. The queue bounds both unit count and queued bytes, so a
+// traffic burst backpressures the producers instead of exhausting
+// memory; flow tables are LRU-managed with an idle timeout and a
+// live-flow cap, so long-lived or hostile flows cannot exhaust state
+// either (evicted flows are flushed as units, not dropped). The verdict
+// cache is shared by every shard and worker (content-addressed,
+// internally synchronized). Alerts are merged and sorted on the full
+// key at the end, so 1-shard and N-shard runs produce byte-identical
+// reports; with threads <= 1 units are analyzed inline on the shard
+// that formed them and the queue/pool machinery is bypassed.
 #pragma once
 
 #include <array>
@@ -33,12 +45,25 @@
 
 namespace senids::core {
 
+class PipelineShard;
+
 struct NidsOptions {
   classify::ClassifierOptions classifier;
   extract::ExtractorOptions extractor;
   semantic::SemanticAnalyzer::Options analyzer;
   /// Worker threads for the analysis stages; 1 = fully serial.
   std::size_t threads = 1;
+  /// Stage-(a) pipeline shards. Records are routed to shards by a
+  /// source-IP hash, and each shard owns its classifier state /
+  /// defragmenter / flow table, so classification scales with cores
+  /// while per-source semantics are preserved. 1 = classify on the
+  /// calling thread (no dispatcher). Note: max_flows and
+  /// classifier.dark_space_max_sources act per shard when shards > 1.
+  std::size_t shards = 1;
+  /// Byte cap on each defragmenter's pending-fragment buffer; oldest
+  /// pending datagrams are dropped past it (anti-DoS; counted in
+  /// NidsStats::defrag_dropped and senids_defrag_dropped_total).
+  std::size_t defrag_max_buffered_bytes = 4u << 20;
   /// Reassemble suspicious TCP flows and analyze the byte stream (exploit
   /// payloads may span segments). Non-TCP payloads are analyzed directly.
   bool reassemble_tcp = true;
@@ -110,6 +135,8 @@ struct NidsStats {
   std::size_t flows_evicted_idle = 0;     // flushed by flow_idle_timeout_sec
   std::size_t flows_evicted_overflow = 0; // flushed to enforce max_flows
   std::size_t streams_truncated = 0;      // flows that hit max_stream_bytes
+  std::size_t dark_sources_evicted = 0;   // dark-space counters LRU-evicted at the cap
+  std::size_t defrag_dropped = 0;         // pending datagrams dropped at the defrag cap
   // Verdict cache (zero when the cache is disabled). Every unit is
   // exactly one of hit/miss/bypass: hits + misses + bypass ==
   // units_analyzed. cache_bytes_saved is the bytes_analyzed the hit
@@ -123,12 +150,25 @@ struct NidsStats {
   /// reassemble counts flushed streams, extract counts units, disasm/
   /// lift/match count analyzed frames, emulate counts sandbox runs.
   std::array<StageStat, obs::kStageCount> stages{};
-  /// Wall time the *caller thread* spent in stage (a) — parsing,
-  /// classification, defragmentation, reassembly, unit handoff. Excludes
-  /// inline analysis when threads <= 1, but with threads > 1 it includes
-  /// time the producer spent blocked on queue backpressure (that wait is
-  /// stage-(a) wall the caller really lost).
+  /// Stage-(a) *producer* wall, summed across shards: for each shard,
+  /// the wall time its producing thread spent parsing, classifying,
+  /// defragmenting, reassembling, and handing units off. Excludes
+  /// analysis run inline when threads <= 1; with threads > 1 it includes
+  /// time producers spent blocked on queue backpressure (wall they
+  /// really lost). With shards == 1 this is exactly the caller thread's
+  /// stage-(a) wall — the pre-shard definition. With shards > 1 it is a
+  /// summed, CPU-time-style figure (elapsed stage-(a) wall is the max
+  /// over shards, not this sum), and the caller thread's own cost moves
+  /// to dispatch_seconds. Documented identities, regression-tested by
+  /// tests/shard_differential_test.cpp: dispatch_seconds == 0 whenever
+  /// shards <= 1, and stages[kClassify].count == packets at any shard
+  /// count.
   double classify_seconds = 0.0;
+  /// Wall time the caller thread spent routing records to shards by
+  /// source-IP hash. Only nonzero with shards > 1; it overlaps
+  /// classify_seconds while the shards stream, so the two must not be
+  /// added together.
+  double dispatch_seconds = 0.0;
   /// Summed per-unit wall time of the analysis stages (b)-(e) across all
   /// workers — a CPU-time-style total that is comparable across thread
   /// counts. With threads > 1 it exceeds elapsed wall time (that is the
@@ -159,9 +199,21 @@ class NidsEngine {
   /// abort — see DESIGN.md "Static verification").
   explicit NidsEngine(NidsOptions options);
   NidsEngine(NidsOptions options, std::vector<semantic::Template> templates);
+  NidsEngine(NidsEngine&&) noexcept;
+  NidsEngine& operator=(NidsEngine&&) noexcept;
+  ~NidsEngine();
 
-  /// Stateful classifier (register honeypots / dark prefixes here).
+  /// Stateful classifier (register honeypots / dark prefixes here —
+  /// that part is shared, read-only configuration for every shard). Its
+  /// *embedded* taint/count state is only fed by single-shard runs; with
+  /// shards > 1 that state lives per shard, so query taint through
+  /// is_tainted() below rather than classifier().is_tainted().
   classify::TrafficClassifier& classifier() noexcept { return classifier_; }
+
+  /// Whether any shard (or the classifier's embedded state) has tainted
+  /// `src`. The shard-count-independent way to ask "did classification
+  /// flag this source".
+  [[nodiscard]] bool is_tainted(net::Ipv4Addr src) const;
 
   /// Run the full pipeline over a capture (streaming: analysis workers
   /// drain units while classification is still feeding them).
@@ -193,12 +245,20 @@ class NidsEngine {
   }
 
  private:
+  /// Create the stage-(a) shards on first use (lazily, so honeypot /
+  /// dark-prefix registration between construction and the first capture
+  /// is visible to every shard's view of the configuration).
+  void ensure_shards();
+
   NidsOptions options_;
   classify::TrafficClassifier classifier_;
   extract::BinaryExtractor extractor_;
   semantic::SemanticAnalyzer analyzer_;
   cache::Digest config_fingerprint_{};
   std::unique_ptr<cache::VerdictCache> verdict_cache_;
+  /// Stage-(a) shards; persist across captures (taint state outlives a
+  /// capture, like the classifier's embedded state always has).
+  std::vector<std::unique_ptr<PipelineShard>> shards_;
 };
 
 /// Strict-weak order over every alert field: workers finish in arbitrary

@@ -8,6 +8,7 @@
 
 #include "cache/verdict_cache.hpp"
 #include "core/engine.hpp"
+#include "net/defrag.hpp"
 #include "net/flow.hpp"
 #include "obs/pipeline.hpp"
 #include "util/queue.hpp"
@@ -26,6 +27,12 @@ inline const net::FlowTableMetrics& flow_table_metrics() {
   obs::PipelineMetrics& pm = obs::pipeline_metrics();
   static const net::FlowTableMetrics m{pm.flow_table_flows, pm.flows_created,
                                        pm.flows_evicted_idle, pm.flows_evicted_overflow};
+  return m;
+}
+
+inline const net::DefragMetrics& defrag_metrics() {
+  obs::PipelineMetrics& pm = obs::pipeline_metrics();
+  static const net::DefragMetrics m{pm.defrag_dropped};
   return m;
 }
 

@@ -21,8 +21,12 @@ double seconds_since(SteadyClock::time_point start) {
 }  // namespace
 
 LiveSession::LiveSession(NidsEngine& engine, AlertSink sink)
-    : engine_(engine), sink_(std::move(sink)) {
+    : engine_(engine),
+      sink_(std::move(sink)),
+      dark_evictions_base_(engine.classifier().dark_space().evictions()),
+      defrag_(engine.options().defrag_max_buffered_bytes) {
   flows_.set_metrics(&flow_table_metrics());
+  defrag_.set_metrics(&defrag_metrics());
 }
 
 void LiveSession::analyze_unit(util::ByteView payload, const Alert& meta,
@@ -132,6 +136,9 @@ void LiveSession::feed(util::ByteView frame, std::uint32_t ts_sec, std::uint32_t
 
     if (pkt->transport == net::Transport::kFragment) {
       auto datagram = defrag_.feed(pkt->ip, pkt->payload);
+      // The defragmenter lives for the whole session; its cumulative drop
+      // count is this session's.
+      stats_.defrag_dropped = defrag_.dropped();
       if (!datagram) return std::nullopt;
       auto whole =
           net::parse_reassembled(datagram->header, datagram->payload, ts_sec, ts_usec);
@@ -146,6 +153,8 @@ void LiveSession::feed(util::ByteView frame, std::uint32_t ts_sec, std::uint32_t
     return pkt;
   };
   auto suspicious = classify_one();
+  stats_.dark_sources_evicted =
+      engine_.classifier().dark_space().evictions() - dark_evictions_base_;
   const double classify_seconds = clocked ? seconds_since(pkt_start) : 0.0;
   constexpr auto kClassify = static_cast<std::size_t>(obs::Stage::kClassify);
   pm.stage_seconds[kClassify]->observe(classify_seconds);

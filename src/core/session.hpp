@@ -48,6 +48,9 @@ class LiveSession {
   NidsStats stats_;
   std::size_t alerts_emitted_ = 0;
   std::uint32_t next_metrics_log_ts_ = 0;
+  /// Classifier dark-space evictions at construction: the classifier can
+  /// outlive (and predate) this session, so stats_ reports the delta.
+  std::size_t dark_evictions_base_ = 0;
 
   struct FlowState {
     net::TcpReassembler reassembler;

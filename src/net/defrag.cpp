@@ -68,6 +68,8 @@ void Defragmenter::evict_if_needed() {
     }
     for (const auto& [off, piece] : oldest->second.pieces) buffered_ -= piece.size();
     table_.erase(oldest);
+    ++dropped_;
+    if (metrics_ && metrics_->dropped) metrics_->dropped->add();
   }
 }
 

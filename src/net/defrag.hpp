@@ -10,9 +10,16 @@
 #include <unordered_map>
 
 #include "net/headers.hpp"
+#include "obs/metrics.hpp"
 #include "util/bytes.hpp"
 
 namespace senids::net {
+
+/// Optional observability hooks for a Defragmenter. The pointer must
+/// outlive the defragmenter; may be null.
+struct DefragMetrics {
+  obs::Counter* dropped = nullptr;  // pending datagrams dropped at the cap
+};
 
 /// A fully reassembled IP datagram (header of the first fragment, with
 /// fragmentation fields cleared, plus the stitched payload).
@@ -28,12 +35,18 @@ class Defragmenter {
   explicit Defragmenter(std::size_t max_buffered = 4 << 20)
       : max_buffered_(max_buffered) {}
 
+  /// Attach observability hooks (`metrics` must outlive the defragmenter).
+  void set_metrics(const DefragMetrics* metrics) noexcept { metrics_ = metrics; }
+
   /// Feed one fragment (hdr.is_fragment() must be true). Returns the
   /// reassembled datagram when this fragment completes it.
   std::optional<ReassembledDatagram> feed(const Ipv4Header& hdr, util::ByteView payload);
 
   [[nodiscard]] std::size_t pending() const noexcept { return table_.size(); }
   [[nodiscard]] std::size_t buffered_bytes() const noexcept { return buffered_; }
+  /// Pending (incomplete) datagrams dropped to enforce max_buffered —
+  /// each was a reassembly in progress that will now never complete.
+  [[nodiscard]] std::size_t dropped() const noexcept { return dropped_; }
 
  private:
   struct Key {
@@ -63,8 +76,10 @@ class Defragmenter {
 
   std::size_t max_buffered_;
   std::size_t buffered_ = 0;
+  std::size_t dropped_ = 0;
   std::uint64_t clock_ = 0;
   std::unordered_map<Key, Pending, KeyHash> table_;
+  const DefragMetrics* metrics_ = nullptr;
 };
 
 }  // namespace senids::net

@@ -44,6 +44,15 @@ std::optional<ParsedPacket> parse_frame(util::ByteView frame, std::uint32_t ts_s
   return pkt;
 }
 
+std::optional<Ipv4Addr> peek_src(util::ByteView frame) {
+  util::Cursor cur(frame);
+  auto eth = EthernetHeader::decode(cur);
+  if (!eth || eth->ethertype != kEtherTypeIpv4) return std::nullopt;
+  auto ip = Ipv4Header::decode(cur);
+  if (!ip) return std::nullopt;
+  return ip->src;
+}
+
 std::optional<ParsedPacket> parse_reassembled(const Ipv4Header& header,
                                               util::ByteView ip_payload,
                                               std::uint32_t ts_sec,

@@ -42,6 +42,13 @@ struct ParsedPacket {
 std::optional<ParsedPacket> parse_frame(util::ByteView frame, std::uint32_t ts_sec = 0,
                                         std::uint32_t ts_usec = 0);
 
+/// Decode only as far as the IPv4 source address — the cheap prefix of
+/// parse_frame used by the shard dispatcher to route frames by source
+/// affinity without paying for L4 decoding or a payload copy. Returns
+/// nullopt exactly when parse_frame would (non-IPv4 or truncated before
+/// the IP header); such frames can go to any shard.
+std::optional<Ipv4Addr> peek_src(util::ByteView frame);
+
 /// Build a ParsedPacket from a reassembled IP datagram (header + full
 /// payload), decoding the transport layer.
 std::optional<ParsedPacket> parse_reassembled(const Ipv4Header& header,

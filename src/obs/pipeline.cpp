@@ -65,10 +65,28 @@ PipelineMetrics register_all() {
   m.cache_entries = &r.gauge("senids_verdict_cache_entries", "Live verdict-cache entries");
   m.cache_bytes =
       &r.gauge("senids_verdict_cache_bytes", "Resident bytes charged to the cache budget");
+
+  m.defrag_dropped = &r.counter(
+      "senids_defrag_dropped_total",
+      "Pending datagrams dropped by the defragmenter to enforce its byte cap");
   return m;
 }
 
 }  // namespace
+
+ShardMetrics shard_metrics(std::size_t shard_index) {
+  Registry& r = Registry::instance();
+  const std::string label = std::to_string(shard_index);
+  ShardMetrics m;
+  m.queue_depth = &r.gauge("senids_shard_packet_queue_depth",
+                           "Frames waiting in a shard's dispatch queue", "shard", label);
+  m.packets = &r.counter("senids_shard_packets_total", "Frames classified per shard",
+                         "shard", label);
+  m.units = &r.counter("senids_shard_units_total", "Analysis units emitted per shard",
+                       "shard", label);
+  m.flows = &r.gauge("senids_shard_flows", "Live flows per shard", "shard", label);
+  return m;
+}
 
 std::string_view stage_name(Stage stage) noexcept {
   return kStageNames[static_cast<std::size_t>(stage)];

@@ -79,9 +79,26 @@ struct PipelineMetrics {
   Counter* cache_bytes_saved;
   Gauge* cache_entries;
   Gauge* cache_bytes;
+
+  // IP defragmentation memory pressure.
+  Counter* defrag_dropped;
 };
 
 /// Process-wide handles; registers every metric on first call.
 PipelineMetrics& pipeline_metrics();
+
+/// Per-shard handles (labelled shard="<index>") for the sharded stage-(a)
+/// front end: dispatcher->shard queue depth plus shard-local volume. Kept
+/// out of PipelineMetrics because the shard count is a runtime option.
+struct ShardMetrics {
+  Gauge* queue_depth;  // frames waiting in this shard's dispatch queue
+  Counter* packets;    // frames classified by this shard
+  Counter* units;      // analysis units this shard emitted
+  Gauge* flows;        // live flows in this shard's flow table
+};
+
+/// Handles for shard `shard_index`; registers the labelled series on
+/// first call per index and returns the same handles afterwards.
+ShardMetrics shard_metrics(std::size_t shard_index);
 
 }  // namespace senids::obs

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <utility>
+
 #include "classify/classifier.hpp"
 #include "net/forge.hpp"
 
@@ -98,6 +100,98 @@ TEST(DarkSpace, TrafficToUsedSpaceNeverCounts) {
     EXPECT_EQ(c.observe(packet(kAttacker, kServer)), Verdict::kIgnore);
   }
   EXPECT_EQ(c.dark_space().count(kAttacker), 0u);
+}
+
+TEST(DarkSpace, CounterTableCapEvictsLeastRecentlyProbed) {
+  DarkSpaceCounters counters(/*max_sources=*/2);
+  EXPECT_EQ(counters.increment(1), 1u);
+  EXPECT_EQ(counters.increment(2), 1u);
+  EXPECT_EQ(counters.increment(1), 2u);  // refreshes 1: now 2 is coldest
+  EXPECT_EQ(counters.evictions(), 0u);
+  // A third source exceeds the cap; the coldest (2) is evicted.
+  EXPECT_EQ(counters.increment(3), 1u);
+  EXPECT_EQ(counters.size(), 2u);
+  EXPECT_EQ(counters.evictions(), 1u);
+  EXPECT_EQ(counters.count(2), 0u);
+  EXPECT_EQ(counters.count(1), 2u);
+  // The evicted source starts over from zero if it probes again.
+  EXPECT_EQ(counters.increment(2), 1u);
+  EXPECT_EQ(counters.evictions(), 2u);
+}
+
+TEST(DarkSpace, UnboundedTableNeverEvicts) {
+  DarkSpaceCounters counters(/*max_sources=*/0);
+  for (std::uint32_t src = 0; src < 1000; ++src) counters.increment(src);
+  EXPECT_EQ(counters.size(), 1000u);
+  EXPECT_EQ(counters.evictions(), 0u);
+}
+
+TEST(DarkSpace, SourceCapDelaysTaintUnderSpoofedFlood) {
+  // An attacker cycling more spoofed sources than the cap keeps evicting
+  // its own counters: no source accumulates enough probes to taint, but
+  // the table stays bounded — the documented trade.
+  ClassifierOptions opts;
+  opts.dark_space_threshold = 3;
+  opts.dark_space_max_sources = 4;
+  TrafficClassifier c(opts);
+  c.dark_space().add_unused_prefix(Prefix{Ipv4Addr::from_octets(10, 0, 200, 0), 24});
+  for (int round = 0; round < 2; ++round) {
+    for (std::uint8_t s = 1; s <= 16; ++s) {
+      c.observe(packet(Ipv4Addr::from_octets(203, 0, 113, s),
+                       Ipv4Addr::from_octets(10, 0, 200, 1)));
+    }
+  }
+  EXPECT_EQ(c.tainted_count(), 0u);
+  EXPECT_GT(c.dark_space().evictions(), 0u);
+  EXPECT_LE(c.dark_space().counters().size(), 4u);
+}
+
+TEST(Classifier, ExternalStateMatchesEmbeddedState) {
+  // The shard-external API (make_state + observe_in) must produce the
+  // exact verdict sequence of the embedded single-state API over the
+  // same packet stream.
+  ClassifierOptions opts;
+  opts.dark_space_threshold = 3;
+  TrafficClassifier embedded(opts);
+  TrafficClassifier external(opts);
+  for (TrafficClassifier* c : {&embedded, &external}) {
+    c->honeypots().add_decoy(kHoneypot);
+    c->dark_space().add_unused_prefix(
+        Prefix{Ipv4Addr::from_octets(10, 0, 200, 0), 24});
+  }
+  ClassifierState state = external.make_state();
+
+  const std::pair<Ipv4Addr, Ipv4Addr> stream[] = {
+      {kAttacker, Ipv4Addr::from_octets(10, 0, 200, 1)},
+      {kClient, kServer},
+      {kAttacker, Ipv4Addr::from_octets(10, 0, 200, 2)},
+      {kAttacker, Ipv4Addr::from_octets(10, 0, 200, 3)},
+      {kAttacker, kServer},
+      {kClient, kHoneypot},
+      {kClient, kServer},
+  };
+  for (const auto& [src, dst] : stream) {
+    auto frame = net::forge_tcp(Endpoint{src, 40000}, Endpoint{dst, 80}, 1,
+                                util::as_bytes("x"));
+    const net::ParsedPacket pkt = *net::parse_frame(frame);
+    EXPECT_EQ(embedded.observe(pkt), external.observe_in(state, pkt));
+    EXPECT_EQ(embedded.check(pkt), external.check_in(state, pkt));
+  }
+  EXPECT_TRUE(state.tainted.contains(kAttacker.value));
+  EXPECT_TRUE(state.tainted.contains(kClient.value));
+  // External state never leaks into the classifier's embedded state.
+  EXPECT_EQ(external.tainted_count(), 0u);
+  EXPECT_EQ(external.dark_space().count(kAttacker), 0u);
+}
+
+TEST(Classifier, MakeStateInheritsCounterCap) {
+  ClassifierOptions opts;
+  opts.dark_space_max_sources = 2;
+  TrafficClassifier c(opts);
+  ClassifierState state = c.make_state();
+  for (std::uint32_t src = 0; src < 8; ++src) state.dark_counts.increment(src);
+  EXPECT_LE(state.dark_counts.size(), 2u);
+  EXPECT_EQ(state.dark_counts.evictions(), 6u);
 }
 
 TEST(Classifier, AnalyzeEverythingMode) {

@@ -93,6 +93,44 @@ TEST(Defrag, BufferCapEvictsOldest) {
   EXPECT_EQ(d.pending(), 1u);
 }
 
+TEST(Defrag, DroppedCounterCountsEvictedDatagrams) {
+  Defragmenter d(/*max_buffered=*/64);
+  EXPECT_EQ(d.dropped(), 0u);
+  EXPECT_FALSE(d.feed(frag_header(1, 0, true), Bytes(48, 0x11)).has_value());
+  EXPECT_FALSE(d.feed(frag_header(2, 0, true), Bytes(48, 0x22)).has_value());
+  EXPECT_EQ(d.dropped(), 1u);
+  // Completing a datagram is not a drop.
+  auto done = d.feed(frag_header(2, 6, false), Bytes(8, 0x33));
+  ASSERT_TRUE(done.has_value());
+  EXPECT_EQ(d.dropped(), 1u);
+}
+
+TEST(Defrag, EngineSurfacesDropsInStats) {
+  // Incomplete fragment trains (final fragment withheld) from many
+  // sources against a tiny buffer cap: the defragmenter must shed
+  // pending datagrams and the report must say how many, at any shard
+  // count.
+  pcap::Capture capture;
+  for (std::uint8_t s = 1; s <= 8; ++s) {
+    Endpoint src{Ipv4Addr::from_octets(192, 0, 2, s), 1234};
+    Endpoint dst{Ipv4Addr::from_octets(10, 0, 0, 20), 80};
+    Bytes frame = forge_udp(src, dst, Bytes(400, 'x'));
+    auto frags = fragment_frame(frame, 128);
+    ASSERT_GE(frags.size(), 3u);
+    frags.pop_back();  // never completes
+    for (const auto& f : frags) capture.add(0, 0, f);
+  }
+
+  for (std::size_t shards : {std::size_t{1}, std::size_t{4}}) {
+    core::NidsOptions options;
+    options.shards = shards;
+    options.defrag_max_buffered_bytes = 512;
+    core::NidsEngine nids(options);
+    core::Report report = nids.process_capture(capture);
+    EXPECT_GT(report.stats.defrag_dropped, 0u) << "shards=" << shards;
+  }
+}
+
 // --------------------------------------------------- fragment_frame forge
 
 TEST(FragmentFrame, RoundTripsThroughDefragmenter) {

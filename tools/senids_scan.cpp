@@ -11,6 +11,7 @@
 //     --extended              use the extended template library
 //     --emulate               enable emulation-backed deep analysis
 //     --threads <n>           analysis worker threads (default 1)
+//     --shards <n>            source-affine stage-(a) shards (default 1)
 //     --verdict-cache-mb <n>  verdict cache byte budget in MB (default 64)
 //     --no-verdict-cache      disable the content-addressed verdict cache
 //     --flow-timeout <sec>    evict flows idle for this long (default off)
@@ -49,6 +50,7 @@ struct CliOptions {
   bool emulate = false;
   std::size_t verdict_cache_mb = 64;  // 0 = disabled (--no-verdict-cache)
   std::size_t threads = 1;
+  std::size_t shards = 1;
   std::uint32_t flow_timeout = 0;
   std::size_t max_flows = 0;
   bool json = false;
@@ -71,6 +73,7 @@ void usage(const char* argv0) {
                "  --extended            use the extended template library\n"
                "  --emulate             enable emulation deep analysis\n"
                "  --threads <n>         analysis worker threads\n"
+               "  --shards <n>          source-affine stage-(a) shards\n"
                "  --verdict-cache-mb <n>  verdict cache byte budget (default 64)\n"
                "  --no-verdict-cache    disable the verdict cache\n"
                "  --flow-timeout <sec>  evict flows idle this many seconds\n"
@@ -164,6 +167,8 @@ int main(int argc, char** argv) {
       cli.emulate = true;
     } else if (arg == "--threads") {
       cli.threads = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--shards") {
+      cli.shards = static_cast<std::size_t>(std::atoll(next()));
     } else if (arg == "--verdict-cache-mb") {
       cli.verdict_cache_mb = static_cast<std::size_t>(std::atoll(next()));
     } else if (arg == "--no-verdict-cache") {
@@ -230,6 +235,7 @@ int main(int argc, char** argv) {
   options.classifier.analyze_everything = cli.analyze_all;
   options.classifier.dark_space_threshold = cli.dark_threshold;
   options.threads = cli.threads;
+  options.shards = cli.shards;
   options.verdict_cache_bytes = cli.verdict_cache_mb << 20;
   options.flow_idle_timeout_sec = cli.flow_timeout;
   options.max_flows = cli.max_flows;
