@@ -7,7 +7,14 @@
 // still classifying, so the speedup column compares end-to-end wall
 // clock (serial baseline vs overlapped pipeline), not just the analysis
 // section.
+//
+// On hosts with >= 8 hardware threads this bench is also a regression
+// gate: it exits nonzero unless cache-off throughput (alerts/sec) at 8
+// workers is at least kMinSpeedupAt8 times the 1-worker figure. Smaller
+// runners print the measurements but cannot fail the floor (a 2-core
+// box can never show 3x).
 #include <cstdio>
+#include <thread>
 
 #include "bench_util.hpp"
 #include "core/senids.hpp"
@@ -19,11 +26,19 @@
 
 using namespace senids;
 
+namespace {
+
+/// Scaling floor at 8 workers over 1 worker, end-to-end, cache off.
+constexpr double kMinSpeedupAt8 = 3.0;
+
+}  // namespace
+
 int main() {
   bench::title("Parallel analysis scaling (per-flow work units)");
 
   const std::size_t attack_flows = bench::env_size("SENIDS_ATTACK_FLOWS", 120);
   const net::Ipv4Addr honeypot = net::Ipv4Addr::from_octets(10, 0, 0, 7);
+  const unsigned hw_threads = std::thread::hardware_concurrency();
 
   gen::TraceBuilder tb(31337);
   util::Prng& prng = tb.prng();
@@ -41,14 +56,18 @@ int main() {
   // "work(s)" is NidsStats::analysis_seconds: summed per-unit wall across
   // workers, so it stays roughly constant while total(s) drops — the gap
   // between the two is the parallelism actually harvested.
-  std::printf("%8s %12s %12s %10s %8s\n", "threads", "work(s)", "total(s)",
-              "alerts", "speedup");
+  std::printf("hardware threads: %u\n\n", hw_threads);
+  std::printf("%8s %12s %12s %10s %12s %8s\n", "threads", "work(s)", "total(s)",
+              "alerts", "alerts/s", "speedup");
   bench::rule();
 
+  bench::JsonReport json("parallel_scaling");
   double base_total = 0;
+  double alerts_per_s_t1 = 0;
+  double alerts_per_s_t8 = 0;
   std::size_t base_alerts = 0;
   bool consistent = true;
-  for (std::size_t threads : {1u, 2u, 4u}) {
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
     core::NidsOptions options;
     options.threads = threads;
     core::NidsEngine nids(options);
@@ -56,22 +75,45 @@ int main() {
     util::WallTimer timer;
     core::Report report = nids.process_capture(capture);
     const double total = timer.seconds();
+    const double alerts_per_s =
+        total > 0 ? static_cast<double>(report.alerts.size()) / total : 0;
     if (threads == 1) {
       base_total = total;
       base_alerts = report.alerts.size();
+      alerts_per_s_t1 = alerts_per_s;
     }
+    if (threads == 8) alerts_per_s_t8 = alerts_per_s;
     consistent = consistent && report.alerts.size() == base_alerts;
-    std::printf("%8zu %12.3f %12.3f %10zu %7.2fx\n", threads,
+    std::printf("%8zu %12.3f %12.3f %10zu %12.1f %7.2fx\n", threads,
                 report.stats.analysis_seconds, total, report.alerts.size(),
-                base_total / total);
+                alerts_per_s, base_total / total);
+    const std::string suffix = "_t" + std::to_string(threads);
+    json.set("unique_total_s" + suffix, total);
+    json.set("unique_alerts_per_s" + suffix, alerts_per_s);
   }
   bench::rule();
   std::printf("alerts identical across thread counts: %s\n", consistent ? "yes" : "NO");
 
-  bench::JsonReport json("parallel_scaling");
+  // ---- scaling floor (cache off, 8 workers vs 1) --------------------
+  const double speedup_at_8 = alerts_per_s_t1 > 0 ? alerts_per_s_t8 / alerts_per_s_t1 : 0;
+  const bool floor_enforced = hw_threads >= 8;
+  const bool floor_met = speedup_at_8 >= kMinSpeedupAt8;
+  std::printf("throughput at 8 workers: %.2fx the 1-worker figure "
+              "(floor %.1fx, %s on this %u-thread host)\n",
+              speedup_at_8, kMinSpeedupAt8,
+              floor_enforced ? "ENFORCED" : "not enforced", hw_threads);
+  if (floor_enforced && !floor_met) {
+    std::printf("FAIL: analysis throughput no longer scales to 8 workers\n");
+  }
+
   json.set("attack_flows", attack_flows);
   json.set("unique_total_s_t1", base_total);
   json.set("unique_alerts", base_alerts);
+  json.set("hardware_threads", static_cast<std::size_t>(hw_threads));
+  json.set("speedup_at_8", speedup_at_8);
+  json.set("scaling_floor", kMinSpeedupAt8);
+  json.set("scaling_floor_enforced", floor_enforced);
+  json.set("scaling_floor_met", floor_met);
 
   // ---- verdict cache under parallel analysis ------------------------
   // Real attack traffic repeats (worms send one payload everywhere), so
@@ -103,7 +145,7 @@ int main() {
   std::size_t dup_base_alerts = 0;
   bool dup_consistent = true;
   for (const bool cached : {false, true}) {
-    for (std::size_t threads : {1u, 2u, 4u}) {
+    for (std::size_t threads : {1u, 2u, 4u, 8u}) {
       core::NidsOptions options;
       options.threads = threads;
       options.verdict_cache_bytes = cached ? 64u << 20 : 0;
@@ -187,5 +229,35 @@ int main() {
   json2.set("alerts_consistent", shard_consistent);
   json2.set("speedup_observed", shard_speedup);
   json2.write();
-  return consistent && dup_consistent && shard_consistent ? 0 : 1;
+
+  // ---- dequeue batch size -------------------------------------------
+  // unit_batch amortizes the queue lock per worker; at 8 workers the
+  // difference is the queue contention the batching removed. Output must
+  // be identical either way.
+  bench::section("dequeue batch size (threads=8, cache off)");
+  std::printf("%8s %12s %10s %8s\n", "batch", "total(s)", "alerts", "speedup");
+  bench::rule();
+  double batch1_total = 0;
+  bool batch_consistent = true;
+  for (std::size_t unit_batch : {1u, 8u}) {
+    core::NidsOptions options;
+    options.threads = 8;
+    options.unit_batch = unit_batch;
+    core::NidsEngine nids(options);
+    nids.classifier().honeypots().add_decoy(honeypot);
+    util::WallTimer timer;
+    core::Report report = nids.process_capture(capture);
+    const double total = timer.seconds();
+    if (unit_batch == 1) batch1_total = total;
+    batch_consistent = batch_consistent && report.alerts.size() == base_alerts;
+    std::printf("%8zu %12.3f %10zu %7.2fx\n", unit_batch, total, report.alerts.size(),
+                batch1_total / total);
+  }
+  bench::rule();
+  std::printf("alerts identical across batch sizes: %s\n",
+              batch_consistent ? "yes" : "NO");
+
+  const bool ok = consistent && dup_consistent && shard_consistent &&
+                  batch_consistent && (!floor_enforced || floor_met);
+  return ok ? 0 : 1;
 }

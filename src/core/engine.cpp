@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <optional>
+#include <unordered_map>
 
 #include "cache/fingerprint.hpp"
 #include "core/pipeline_obs.hpp"
@@ -175,17 +176,19 @@ std::string Report::str() const {
     out += a.str();
     out.push_back('\n');
   }
-  // Per-source rollup.
+  // Per-source rollup, rendered in first-appearance order (the alerts
+  // are sorted, so that is ascending source order). The hash map only
+  // deduplicates; an alert-sized report must not pay O(n^2) scans here.
   std::vector<std::pair<std::uint32_t, std::size_t>> sources;
+  std::unordered_map<std::uint32_t, std::size_t> source_index;
+  source_index.reserve(alerts.size());
   for (const Alert& a : alerts) {
-    bool found = false;
-    for (auto& [src, n] : sources) {
-      if (src == a.src.value) {
-        ++n;
-        found = true;
-      }
+    const auto [it, inserted] = source_index.try_emplace(a.src.value, sources.size());
+    if (inserted) {
+      sources.emplace_back(a.src.value, 1);
+    } else {
+      ++sources[it->second].second;
     }
-    if (!found) sources.emplace_back(a.src.value, 1);
   }
   if (!sources.empty()) {
     out += "offending sources  :\n";
@@ -306,7 +309,6 @@ bool NidsEngine::is_tainted(net::Ipv4Addr src) const {
 NidsEngine::NidsEngine(NidsOptions options, std::vector<semantic::Template> templates)
     : options_(with_debug_verification(std::move(options))),
       classifier_(options_.classifier),
-      extractor_(options_.extractor),
       analyzer_(std::move(templates), options_.analyzer) {
   config_fingerprint_ = compute_config_fingerprint(options_, analyzer_.templates());
   if (options_.verdict_cache_bytes) {
@@ -316,7 +318,23 @@ NidsEngine::NidsEngine(NidsOptions options, std::vector<semantic::Template> temp
   }
 }
 
+AnalysisContext::AnalysisContext(
+    const NidsOptions& options,
+    std::shared_ptr<const std::vector<semantic::Template>> templates)
+    : extractor_(options.extractor), analyzer_(std::move(templates), options.analyzer) {}
+
+AnalysisContext NidsEngine::make_analysis_context() const {
+  return AnalysisContext(options_, analyzer_.shared_templates());
+}
+
 std::vector<Alert> NidsEngine::analyze_payload(util::ByteView payload,
+                                               const Alert& meta_prototype, NidsStats* stats,
+                                               std::uint64_t unit_id) const {
+  AnalysisContext ctx = make_analysis_context();
+  return analyze_payload(ctx, payload, meta_prototype, stats, unit_id);
+}
+
+std::vector<Alert> NidsEngine::analyze_payload(AnalysisContext& ctx, util::ByteView payload,
                                                const Alert& meta_prototype,
                                                NidsStats* stats,
                                                std::uint64_t unit_id) const {
@@ -350,11 +368,19 @@ std::vector<Alert> NidsEngine::analyze_payload(util::ByteView payload,
     cache_key = key_ctx.finish();
     if (auto verdict = vcache->lookup(cache_key)) {
       pm.units->add();
+      pm.frames->add(verdict->frames_extracted);
       pm.cache_bytes_saved->add(verdict->bytes_analyzed);
       if (stats) {
         ++stats->units_analyzed;
         ++stats->cache_hits;
         stats->cache_bytes_saved += verdict->bytes_analyzed;
+        // Logical-work counters are replayed from the verdict so the
+        // report describes the same detection work whether the cache
+        // served it or not (see NidsStats). bytes_analyzed stays
+        // fresh-only; the replayed bytes are in cache_bytes_saved.
+        stats->frames_extracted += verdict->frames_extracted;
+        stats->frames_emulated += verdict->frames_emulated;
+        stats->emulated_steps += verdict->emulated_steps;
       }
       std::vector<Alert> alerts;
       alerts.reserve(verdict->alerts.size());
@@ -398,7 +424,8 @@ std::vector<Alert> NidsEngine::analyze_payload(util::ByteView payload,
 
   std::vector<Alert> alerts;
   tic();
-  const auto frames = extractor_.extract(payload);
+  ctx.extractor_.extract(payload, ctx.frames_);
+  const std::vector<extract::BinaryFrame>& frames = ctx.frames_;
   record_stage(obs::Stage::kExtract, toc(), payload.size());
   pm.units->add();
   pm.frames->add(frames.size());
@@ -413,7 +440,7 @@ std::vector<Alert> NidsEngine::analyze_payload(util::ByteView payload,
   // inside analyze(), so only the analyzer can attribute time correctly.
   auto analyze_frame = [&](util::ByteView data) {
     const semantic::AnalyzerStats before = astats;
-    auto detections = analyzer_.analyze(data, &astats);
+    auto detections = ctx.analyzer_.analyze(data, &astats, ctx.scratch_);
     if (astats.frames > before.frames) {
       record_stage(obs::Stage::kDisasm, astats.disasm_seconds - before.disasm_seconds,
                    data.size());
@@ -429,24 +456,32 @@ std::vector<Alert> NidsEngine::analyze_payload(util::ByteView payload,
   std::uint64_t unit_bytes_analyzed = 0;
   std::uint64_t unit_frames_emulated = 0;
   std::uint64_t unit_emulated_steps = 0;
-  auto emulate = [&](util::ByteView data) {
-    tic();
-    emu::EmulationResult result = emu::emulate_frame(data, options_.emulator);
-    record_stage(obs::Stage::kEmulate, toc(), data.size());
-    ++unit_frames_emulated;
-    unit_emulated_steps += result.steps;
-    if (stats) {
-      ++stats->frames_emulated;
-      stats->emulated_steps += result.steps;
+  // One sandbox run per frame per unit: the decoder-confirmation pass and
+  // the deep-analysis pass below both emulate frames, so results are
+  // memoized by frame index (an emulated frame is counted once).
+  ctx.emu_memo_.assign(frames.size(), std::nullopt);
+  auto emulate = [&](std::size_t frame_idx) -> const emu::EmulationResult& {
+    std::optional<emu::EmulationResult>& memo = ctx.emu_memo_[frame_idx];
+    if (!memo) {
+      util::ByteView data = frames[frame_idx].data;
+      tic();
+      memo = emu::emulate_frame(data, options_.emulator);
+      record_stage(obs::Stage::kEmulate, toc(), data.size());
+      ++unit_frames_emulated;
+      unit_emulated_steps += memo->steps;
+      if (stats) {
+        ++stats->frames_emulated;
+        stats->emulated_steps += memo->steps;
+      }
     }
-    return result;
+    return *memo;
   };
 
   // A template may fire on several frames of the same payload (e.g. the
   // sled frame and the after-repetition frame overlap); report it once.
-  auto already = [&alerts](const std::string& name) {
-    return std::any_of(alerts.begin(), alerts.end(),
-                       [&name](const Alert& a) { return a.template_name == name; });
+  ctx.fired_names_.clear();
+  auto already = [&ctx](const std::string& name) {
+    return ctx.fired_names_.count(name) != 0;
   };
   for (const auto& frame : frames) {
     unit_bytes_analyzed += frame.data.size();
@@ -454,6 +489,7 @@ std::vector<Alert> NidsEngine::analyze_payload(util::ByteView payload,
     pm.bytes_analyzed->add(frame.data.size());
     for (auto& det : analyze_frame(frame.data)) {
       if (already(det.template_name)) continue;
+      ctx.fired_names_.insert(det.template_name);
       Alert a = meta_prototype;
       a.threat = det.threat;
       a.template_name = std::move(det.template_name);
@@ -471,14 +507,21 @@ std::vector<Alert> NidsEngine::analyze_payload(util::ByteView payload,
         });
     if (has_decoder_alert) {
       bool confirmed = false;
-      for (const auto& frame : frames) {
-        emu::EmulationResult emu_result = emulate(frame.data);
-        if (emu_result.frame_bytes_modified >= options_.min_decoded_bytes) {
+      for (std::size_t fi = 0; fi < frames.size(); ++fi) {
+        if (emulate(fi).frame_bytes_modified >= options_.min_decoded_bytes) {
           confirmed = true;
           break;
         }
       }
       if (!confirmed) {
+        // Forget the erased names too: the deep pass below may rediscover
+        // the same template on an emulation-decoded frame, and that
+        // confirmed re-detection must not be suppressed.
+        for (const Alert& a : alerts) {
+          if (a.threat == semantic::ThreatClass::kDecryptionLoop) {
+            ctx.fired_names_.erase(a.template_name);
+          }
+        }
         std::erase_if(alerts, [](const Alert& a) {
           return a.threat == semantic::ThreatClass::kDecryptionLoop;
         });
@@ -494,6 +537,7 @@ std::vector<Alert> NidsEngine::analyze_payload(util::ByteView payload,
     auto add_alert = [&](semantic::ThreatClass threat, std::string name,
                          extract::FrameReason reason, std::size_t offset) {
       if (already(name)) return;
+      ctx.fired_names_.insert(name);
       Alert a = meta_prototype;
       a.threat = threat;
       a.template_name = std::move(name);
@@ -501,8 +545,9 @@ std::vector<Alert> NidsEngine::analyze_payload(util::ByteView payload,
       a.frame_offset = offset;
       alerts.push_back(std::move(a));
     };
-    for (const auto& frame : frames) {
-      emu::EmulationResult emu_result = emulate(frame.data);
+    for (std::size_t fi = 0; fi < frames.size(); ++fi) {
+      const extract::BinaryFrame& frame = frames[fi];
+      const emu::EmulationResult& emu_result = emulate(fi);
       if (emu_result.spawned_shell()) {
         add_alert(semantic::ThreatClass::kShellSpawn, "emulated:spawned-shell",
                   extract::FrameReason::kEmulatedBehavior, frame.src_offset);
@@ -568,15 +613,23 @@ Report NidsEngine::process_capture(const pcap::Capture& capture) {
     for (std::size_t i = 0; i < workers; ++i) {
       pool->submit([this, &queue, &mu, &report] {
         // Long-running consumer: drain units until the producers close
-        // the queue, then merge local results once.
+        // the queue, then merge local results once. Each worker owns a
+        // private AnalysisContext (no shared extractor/analyzer state on
+        // the hot path) and dequeues up to unit_batch units per lock
+        // acquisition; verdicts are per-unit and the report is fully
+        // sorted, so neither can change the output.
         NidsStats local;
         std::vector<Alert> alerts;
-        while (auto unit = queue.pop()) {
-          util::WallTimer unit_timer;
-          auto found = analyze_payload(unit->payload, unit->meta, &local, unit->unit_id);
-          local.analysis_seconds += unit_timer.seconds();
-          alerts.insert(alerts.end(), std::make_move_iterator(found.begin()),
-                        std::make_move_iterator(found.end()));
+        AnalysisContext ctx = make_analysis_context();
+        std::vector<Unit> batch;
+        while (queue.pop_batch(batch, options_.unit_batch) > 0) {
+          for (Unit& unit : batch) {
+            util::WallTimer unit_timer;
+            auto found = analyze_payload(ctx, unit.payload, unit.meta, &local, unit.unit_id);
+            local.analysis_seconds += unit_timer.seconds();
+            alerts.insert(alerts.end(), std::make_move_iterator(found.begin()),
+                          std::make_move_iterator(found.end()));
+          }
         }
         std::lock_guard lock(mu);
         report.alerts.insert(report.alerts.end(), std::make_move_iterator(alerts.begin()),
@@ -587,16 +640,25 @@ Report NidsEngine::process_capture(const pcap::Capture& capture) {
   }
 
   // Per-shard unit sinks. With workers the unit goes through the shared
-  // queue; without, it is analyzed inline on the emitting shard's thread,
-  // into that shard's stats and alert list (merged after the shards
-  // join — analyze_payload is const and safe to call concurrently).
+  // queue; without, it is analyzed inline on the emitting shard's thread
+  // — shard-local stages (b)-(e): each shard gets its own
+  // AnalysisContext, and results land in that shard's stats and alert
+  // list (merged after the shards join — analyze_payload is const and
+  // safe to call concurrently). With threads == 0, shards == N this is
+  // how the whole pipeline scales N ways with no global queue.
   std::vector<double> inline_analysis(nshards, 0.0);
   std::vector<std::vector<Alert>> inline_alerts(nshards);
+  std::vector<AnalysisContext> inline_ctx;
+  if (!workers) {
+    inline_ctx.reserve(nshards);
+    for (std::size_t si = 0; si < nshards; ++si) inline_ctx.push_back(make_analysis_context());
+  }
   std::vector<PipelineShard::UnitSink> sinks;
   sinks.reserve(nshards);
   for (std::size_t si = 0; si < nshards; ++si) {
-    sinks.push_back([this, si, workers, &queue, &inline_analysis, &inline_alerts](
-                        util::Bytes payload, const Alert& meta, std::uint64_t unit_id) {
+    sinks.push_back([this, si, workers, &queue, &inline_analysis, &inline_alerts,
+                     &inline_ctx](util::Bytes payload, const Alert& meta,
+                                  std::uint64_t unit_id) {
       if (payload.empty()) return;
       if (workers) {
         const std::size_t weight = payload.size();
@@ -604,7 +666,7 @@ Report NidsEngine::process_capture(const pcap::Capture& capture) {
       } else {
         util::WallTimer unit_timer;
         NidsStats& sstats = shards_[si]->stats();
-        auto alerts = analyze_payload(payload, meta, &sstats, unit_id);
+        auto alerts = analyze_payload(inline_ctx[si], payload, meta, &sstats, unit_id);
         const double unit_seconds = unit_timer.seconds();
         inline_analysis[si] += unit_seconds;
         sstats.analysis_seconds += unit_seconds;

@@ -16,27 +16,38 @@
 // Each suspicious payload or reassembled stream becomes an analysis
 // unit handed through one bounded queue to a pool of workers running
 // stages (b)-(e) — pure functions of one unit — *while* classification
-// continues. The queue bounds both unit count and queued bytes, so a
-// traffic burst backpressures the producers instead of exhausting
-// memory; flow tables are LRU-managed with an idle timeout and a
-// live-flow cap, so long-lived or hostile flows cannot exhaust state
-// either (evicted flows are flushed as units, not dropped). The verdict
-// cache is shared by every shard and worker (content-addressed,
-// internally synchronized). Alerts are merged and sorted on the full
-// key at the end, so 1-shard and N-shard runs produce byte-identical
-// reports; with threads <= 1 units are analyzed inline on the shard
-// that formed them and the queue/pool machinery is bypassed.
+// continues. Each worker owns a private AnalysisContext (its own
+// extractor and analyzer sharing the engine's immutable template
+// library, plus reusable scratch buffers), dequeues units in batches
+// (NidsOptions::unit_batch) to amortize the queue lock, and merges its
+// results once at the end — the per-unit hot loop touches no
+// cross-worker mutable state beyond the sharded obs counters and the
+// internally synchronized verdict cache. The queue bounds both unit
+// count and queued bytes, so a traffic burst backpressures the
+// producers instead of exhausting memory; flow tables are LRU-managed
+// with an idle timeout and a live-flow cap, so long-lived or hostile
+// flows cannot exhaust state either (evicted flows are flushed as
+// units, not dropped). Alerts are merged and sorted on the full key at
+// the end, so 1-shard and N-shard runs produce byte-identical reports.
+// With threads <= 1 the queue/pool machinery is bypassed entirely and
+// units are analyzed shard-local — inline on the shard consumer thread
+// that formed them, each shard with its own AnalysisContext; with
+// threads == 0 and shards == N that is the explicit scale-by-shards
+// mode (the whole pipeline parallelizes N ways with no global queue).
 #pragma once
 
 #include <array>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <unordered_set>
 #include <vector>
 
 #include "cache/verdict_cache.hpp"
 #include "classify/classifier.hpp"
 #include "core/alert.hpp"
 #include "emu/shellemu.hpp"
+#include "extract/extractor.hpp"
 #include "net/reassembly.hpp"
 #include "obs/pipeline.hpp"
 #include "pcap/pcap.hpp"
@@ -51,8 +62,21 @@ struct NidsOptions {
   classify::ClassifierOptions classifier;
   extract::ExtractorOptions extractor;
   semantic::SemanticAnalyzer::Options analyzer;
-  /// Worker threads for the analysis stages; 1 = fully serial.
+  /// Worker threads for the analysis stages (b)-(e). 1 = fully serial
+  /// (the default). 0 = shard-local: no worker pool or global unit
+  /// queue; every unit is analyzed inline on the shard consumer thread
+  /// that formed it, so with shards == N the entire pipeline scales N
+  /// ways with no cross-shard handoff (0 and 1 are identical when
+  /// shards == 1). With threads > 1, a pool of that many workers drains
+  /// one shared unit queue.
   std::size_t threads = 1;
+  /// Units each analysis worker dequeues per queue-lock acquisition
+  /// (threads > 1 only). Batching amortizes the queue mutex and the
+  /// producer wakeup over the batch instead of paying them per unit;
+  /// 1 = the classic pop-per-unit loop. Verdicts are independent per
+  /// unit and reports are fully sorted, so the batch size can never
+  /// change the report (pinned by tests/parallel_analysis_test.cpp).
+  std::size_t unit_batch = 8;
   /// Stage-(a) pipeline shards. Records are routed to shards by a
   /// source-IP hash, and each shard owns its classifier state /
   /// defragmenter / flow table, so classification scales with cores
@@ -128,6 +152,14 @@ struct NidsStats {
   std::size_t non_ip = 0;
   std::size_t suspicious_packets = 0;
   std::size_t units_analyzed = 0;     // payloads/streams sent to stage (b)
+  // Logical work counters: frames_extracted / frames_emulated /
+  // emulated_steps count the work each unit's verdict represents, so a
+  // verdict-cache hit folds the stored miss-path figures back in and
+  // cache-on and cache-off runs report identical values (pinned by
+  // tests/parallel_analysis_test.cpp). bytes_analyzed is the exception:
+  // it counts only bytes the disassembler actually read this run — the
+  // replayed remainder is in cache_bytes_saved, so bytes_analyzed +
+  // cache_bytes_saved equals the cache-off bytes_analyzed.
   std::size_t frames_extracted = 0;
   std::size_t bytes_analyzed = 0;     // frame bytes reaching the disassembler
   std::size_t frames_emulated = 0;
@@ -140,7 +172,9 @@ struct NidsStats {
   // Verdict cache (zero when the cache is disabled). Every unit is
   // exactly one of hit/miss/bypass: hits + misses + bypass ==
   // units_analyzed. cache_bytes_saved is the bytes_analyzed the hit
-  // units' miss-path runs performed — the disasm work replay avoided.
+  // units' miss-path runs performed — the disasm work replay avoided
+  // (the one work counter hits do NOT fold back into its headline
+  // field; see the logical-work comment above).
   std::size_t cache_hits = 0;
   std::size_t cache_misses = 0;
   std::size_t cache_bypass = 0;
@@ -190,6 +224,38 @@ struct Report {
   [[nodiscard]] std::string str() const;
 };
 
+/// Per-worker state for the analysis stages (b)-(e): a private extractor
+/// and analyzer — the template library itself is shared read-only
+/// between the engine and every context — plus the reusable working
+/// memory the per-unit hot loop needs (extraction frames, scanner
+/// arrays, execution traces, lifted IR events, the per-unit emulation
+/// memo and alert-dedup set). One context per worker or shard thread
+/// keeps the loop free of cross-worker mutable state and, after
+/// warm-up, free of per-frame heap churn. Construct via
+/// NidsEngine::make_analysis_context(); movable, not thread-safe.
+class AnalysisContext {
+ public:
+  AnalysisContext(AnalysisContext&&) = default;
+  AnalysisContext& operator=(AnalysisContext&&) = default;
+
+ private:
+  friend class NidsEngine;
+  AnalysisContext(const NidsOptions& options,
+                  std::shared_ptr<const std::vector<semantic::Template>> templates);
+
+  extract::BinaryExtractor extractor_;
+  semantic::SemanticAnalyzer analyzer_;
+  semantic::AnalyzerScratch scratch_;
+  std::vector<extract::BinaryFrame> frames_;
+  /// Per-frame emulation results, memoized within one unit so the
+  /// decoder-confirmation pass and the deep-analysis pass never emulate
+  /// the same frame twice.
+  std::vector<std::optional<emu::EmulationResult>> emu_memo_;
+  /// Template names already alerted for the current unit (a template may
+  /// fire on several overlapping frames; it is reported once).
+  std::unordered_set<std::string> fired_names_;
+};
+
 class NidsEngine {
  public:
   /// Constructs with the standard template library. Debug builds
@@ -222,9 +288,23 @@ class NidsEngine {
   /// Analyze one application payload directly (classification skipped).
   /// Used by Table 1/2 benches that feed exploit payloads end-to-end.
   /// `unit_id` correlates this unit's tracer spans (0 = unlabelled).
+  /// Allocates a transient AnalysisContext per call; callers analyzing
+  /// payloads in a loop should hold a context and use the overload below.
   std::vector<Alert> analyze_payload(util::ByteView payload, const Alert& meta_prototype,
                                      NidsStats* stats = nullptr,
                                      std::uint64_t unit_id = 0) const;
+
+  /// Context-reusing form — the worker hot path. `ctx` must come from
+  /// this engine's make_analysis_context() and must not be used from two
+  /// threads at once; the engine itself stays const and shareable.
+  std::vector<Alert> analyze_payload(AnalysisContext& ctx, util::ByteView payload,
+                                     const Alert& meta_prototype, NidsStats* stats = nullptr,
+                                     std::uint64_t unit_id = 0) const;
+
+  /// A per-worker context for the analyze_payload overload above: its
+  /// extractor/analyzer are configured like the engine's own and share
+  /// the engine's immutable template library (no template copies).
+  [[nodiscard]] AnalysisContext make_analysis_context() const;
 
   [[nodiscard]] const NidsOptions& options() const noexcept { return options_; }
   [[nodiscard]] const semantic::SemanticAnalyzer& analyzer() const noexcept {
@@ -252,7 +332,6 @@ class NidsEngine {
 
   NidsOptions options_;
   classify::TrafficClassifier classifier_;
-  extract::BinaryExtractor extractor_;
   semantic::SemanticAnalyzer analyzer_;
   cache::Digest config_fingerprint_{};
   std::unique_ptr<cache::VerdictCache> verdict_cache_;

@@ -22,6 +22,7 @@ double seconds_since(SteadyClock::time_point start) {
 
 LiveSession::LiveSession(NidsEngine& engine, AlertSink sink)
     : engine_(engine),
+      ctx_(engine.make_analysis_context()),
       sink_(std::move(sink)),
       dark_evictions_base_(engine.classifier().dark_space().evictions()),
       defrag_(engine.options().defrag_max_buffered_bytes) {
@@ -32,7 +33,7 @@ LiveSession::LiveSession(NidsEngine& engine, AlertSink sink)
 void LiveSession::analyze_unit(util::ByteView payload, const Alert& meta,
                                std::uint64_t unit_id) {
   util::WallTimer unit_timer;
-  for (const Alert& alert : engine_.analyze_payload(payload, meta, &stats_, unit_id)) {
+  for (const Alert& alert : engine_.analyze_payload(ctx_, payload, meta, &stats_, unit_id)) {
     ++alerts_emitted_;
     if (sink_) sink_(alert);
   }

@@ -44,6 +44,10 @@ class LiveSession {
   void maybe_log_metrics(std::uint32_t ts_sec);
 
   NidsEngine& engine_;
+  /// The session's reusable analysis state — a session is one logical
+  /// worker, so it holds one context for its lifetime instead of paying
+  /// a fresh extractor/analyzer/scratch allocation per unit.
+  AnalysisContext ctx_;
   AlertSink sink_;
   NidsStats stats_;
   std::size_t alerts_emitted_ = 0;

@@ -23,12 +23,18 @@ std::string_view frame_reason_name(FrameReason r) noexcept {
 
 std::vector<BinaryFrame> BinaryExtractor::extract(util::ByteView payload) const {
   std::vector<BinaryFrame> frames;
-  if (payload.empty()) return frames;
+  extract(payload, frames);
+  return frames;
+}
+
+void BinaryExtractor::extract(util::ByteView payload, std::vector<BinaryFrame>& frames) const {
+  frames.clear();
+  if (payload.empty()) return;
 
   if (options_.extract_all) {
     frames.push_back(BinaryFrame{util::Bytes(payload.begin(), payload.end()), 0,
                                  FrameReason::kWholePayload});
-    return frames;
+    return;
   }
 
   // 1. %u-encoded content: translate to its binary form. This is how the
@@ -87,8 +93,6 @@ std::vector<BinaryFrame> BinaryExtractor::extract(util::ByteView payload) const 
                     payload.end()),
         bin->offset, FrameReason::kBinaryRegion});
   }
-
-  return frames;
 }
 
 }  // namespace senids::extract

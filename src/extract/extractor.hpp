@@ -55,6 +55,12 @@ class BinaryExtractor {
   /// that payload is pruned from the expensive pipeline stages.
   std::vector<BinaryFrame> extract(util::ByteView payload) const;
 
+  /// Buffer-reusing form: clears and refills `out` in place so a worker
+  /// analyzing a stream of payloads reuses one frame vector (the frame
+  /// byte buffers themselves are per-payload — they are decoded or
+  /// sliced content and move on into analysis).
+  void extract(util::ByteView payload, std::vector<BinaryFrame>& out) const;
+
   [[nodiscard]] const ExtractorOptions& options() const noexcept { return options_; }
 
  private:

@@ -253,8 +253,12 @@ void emit_branch(Machine& m, const Instruction& insn, std::size_t idx, bool cond
 
 }  // namespace
 
-LiftResult lift(const std::vector<Instruction>& trace) {
+void lift(const std::vector<Instruction>& trace, LiftResult& out) {
   Machine m;
+  // Reuse the caller's event buffer: the machine appends into it and
+  // hands it back, so repeated lifts amortize the allocation.
+  m.events = std::move(out.events);
+  m.events.clear();
 
   for (std::size_t idx = 0; idx < trace.size(); ++idx) {
     const Instruction& insn = trace[idx];
@@ -604,7 +608,14 @@ LiftResult lift(const std::vector<Instruction>& trace) {
     }
   }
 
-  return LiftResult{std::move(m.events), m.approximated};
+  out.events = std::move(m.events);
+  out.approximated = m.approximated;
+}
+
+LiftResult lift(const std::vector<Instruction>& trace) {
+  LiftResult out;
+  lift(trace, out);
+  return out;
 }
 
 }  // namespace senids::ir

@@ -22,4 +22,10 @@ struct LiftResult {
 /// Lift `trace` (from x86::execution_trace or linear_sweep).
 LiftResult lift(const std::vector<x86::Instruction>& trace);
 
+/// Buffer-reusing form: `out.events` is cleared and refilled in place,
+/// so a worker lifting thousands of traces reuses one event buffer
+/// instead of reallocating per trace (the expression nodes themselves
+/// are shared/ref-counted and not arena-managed).
+void lift(const std::vector<x86::Instruction>& trace, LiftResult& out);
+
 }  // namespace senids::ir

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <chrono>
-#include <unordered_set>
 
 #include "ir/lifter.hpp"
 #include "obs/metrics.hpp"
@@ -61,10 +60,22 @@ class StageClock {
 }  // namespace
 
 SemanticAnalyzer::SemanticAnalyzer(std::vector<Template> templates, Options options)
-    : templates_(std::move(templates)), options_(options) {}
+    : templates_(std::make_shared<const std::vector<Template>>(std::move(templates))),
+      options_(std::move(options)) {}
+
+SemanticAnalyzer::SemanticAnalyzer(std::shared_ptr<const std::vector<Template>> templates,
+                                   Options options)
+    : templates_(std::move(templates)), options_(std::move(options)) {}
 
 std::vector<Detection> SemanticAnalyzer::analyze(util::ByteView frame,
                                                  AnalyzerStats* stats) const {
+  AnalyzerScratch scratch;
+  return analyze(frame, stats, scratch);
+}
+
+std::vector<Detection> SemanticAnalyzer::analyze(util::ByteView frame, AnalyzerStats* stats,
+                                                 AnalyzerScratch& scratch) const {
+  const std::vector<Template>& templates = *templates_;
   std::vector<Detection> detections;
   if (frame.empty()) return detections;
   AnalyzerMetrics& metrics = analyzer_metrics();
@@ -76,8 +87,10 @@ std::vector<Detection> SemanticAnalyzer::analyze(util::ByteView frame,
   //    targets of backward branches inside them (loop heads — needed when
   //    a run begins inside an already-unrolled loop body).
   clock.start();
-  std::vector<std::size_t> entries;
-  auto runs = x86::find_code_runs(frame, options_.min_run_insns);
+  std::vector<std::size_t>& entries = scratch.entries;
+  entries.clear();
+  std::vector<x86::CodeRun>& runs = scratch.runs;
+  x86::find_code_runs(frame, options_.min_run_insns, runs, scratch.scan);
   metrics.runs.add(runs.size());
   if (stats) stats->candidate_runs += runs.size();
   // Long decode runs first: real code (decoders, shellcode bodies) forms
@@ -88,10 +101,12 @@ std::vector<Detection> SemanticAnalyzer::analyze(util::ByteView frame,
                                                 const x86::CodeRun& b) {
     return a.insn_count > b.insn_count;
   });
-  std::unordered_set<std::size_t> seen;
+  std::vector<char>& seen = scratch.entry_seen;
+  seen.assign(frame.size(), 0);
   bool entry_budget_hit = false;
   auto add_entry = [&](std::size_t off) {
-    if (off >= frame.size() || !seen.insert(off).second) return;
+    if (off >= frame.size() || seen[off]) return;
+    seen[off] = 1;
     if (entries.size() >= options_.max_entries) {
       entry_budget_hit = true;
       return;
@@ -101,8 +116,8 @@ std::vector<Detection> SemanticAnalyzer::analyze(util::ByteView frame,
   for (const auto& run : runs) {
     if (entries.size() >= options_.max_entries) break;
     add_entry(run.start);
-    for (const auto& insn :
-         x86::linear_sweep(frame, run.start, options_.max_trace_insns)) {
+    x86::linear_sweep(frame, run.start, options_.max_trace_insns, scratch.entry_sweep);
+    for (const auto& insn : scratch.entry_sweep) {
       if (auto target = insn.branch_target(); target && *target < insn.offset) {
         add_entry(*target);
       }
@@ -122,17 +137,21 @@ std::vector<Detection> SemanticAnalyzer::analyze(util::ByteView frame,
   double lift_seconds = 0.0;
   double match_seconds = 0.0;
   bool insn_budget_hit = false;
-  std::unordered_set<std::string> fired;
+  std::vector<char>& fired = scratch.fired;
+  fired.assign(templates.size(), 0);
+  std::size_t fired_count = 0;
   std::size_t lifted_budget = options_.max_total_insns;
+  std::vector<x86::Instruction>& trace = scratch.trace;
+  ir::LiftResult& lifted = scratch.lifted;
   for (std::size_t entry : entries) {
-    if (fired.size() == templates_.size()) break;
+    if (fired_count == templates.size()) break;
     if (lifted_budget == 0) {  // per-frame work cap reached
       insn_budget_hit = true;
       break;
     }
     clock.start();
-    auto trace = x86::execution_trace(frame, entry,
-                                      std::min(options_.max_trace_insns, lifted_budget));
+    x86::execution_trace(frame, entry, std::min(options_.max_trace_insns, lifted_budget),
+                         trace, scratch.scan);
     clock.stop(disasm_seconds);
     if (trace.size() < options_.min_run_insns) continue;
     lifted_budget -= std::min(lifted_budget, trace.size());
@@ -143,17 +162,19 @@ std::vector<Detection> SemanticAnalyzer::analyze(util::ByteView frame,
       stats->instructions_lifted += trace.size();
     }
     clock.start();
-    ir::LiftResult lifted = ir::lift(trace);
+    ir::lift(trace, lifted);
     clock.stop(lift_seconds);
     if (options_.post_lift_hook) options_.post_lift_hook(trace, lifted);
     LiftedCode code{&trace, &lifted.events, frame};
     clock.start();
-    for (const Template& t : templates_) {
-      if (fired.contains(t.name)) continue;
+    for (std::size_t ti = 0; ti < templates.size(); ++ti) {
+      if (fired[ti]) continue;
+      const Template& t = templates[ti];
       metrics.matches_tried.add();
       if (stats) ++stats->template_matches_tried;
       if (auto m = match_template(t, code)) {
-        fired.insert(t.name);
+        fired[ti] = 1;
+        ++fired_count;
         Detection d;
         d.template_name = t.name;
         d.threat = t.threat;

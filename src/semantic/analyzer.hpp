@@ -3,12 +3,14 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "ir/lifter.hpp"
 #include "semantic/template.hpp"
 #include "util/bytes.hpp"
+#include "x86/scan.hpp"
 
 namespace senids::semantic {
 
@@ -40,9 +42,31 @@ struct AnalyzerStats {
   double match_seconds = 0.0;
 };
 
+/// Reusable per-worker working memory for analyze(). Every buffer the
+/// frame loop fills — candidate runs, entry offsets, the execution
+/// trace, the lifted IR events, plus the scanner's internal arrays —
+/// lives here, so a worker that keeps one scratch across calls analyzes
+/// frames without per-frame heap churn (buffers grow to the high-water
+/// mark and are then reused). Not thread-safe; one per worker thread.
+/// Passing no scratch (the classic analyze() signature) allocates a
+/// transient one per call, which is the old behaviour exactly.
+struct AnalyzerScratch {
+  x86::ScanScratch scan;
+  std::vector<x86::CodeRun> runs;
+  std::vector<std::size_t> entries;
+  std::vector<x86::Instruction> entry_sweep;  // linear sweep per run
+  std::vector<x86::Instruction> trace;
+  ir::LiftResult lifted;
+  std::vector<char> entry_seen;   // offset dedup bitmap, frame-sized
+  std::vector<char> fired;        // per-template "already fired" flags
+};
+
 /// Thread-compatible analyzer: `analyze` is const and side-effect free
-/// apart from the stats object the caller passes in, so one analyzer is
-/// shared by every worker in the parallel pipeline.
+/// apart from the stats/scratch objects the caller passes in. The
+/// template library is held behind a shared_ptr, so per-worker analyzer
+/// clones (make per-worker instances via the sharing constructor) all
+/// read one immutable template set — cloning an analyzer never copies
+/// the templates.
 class SemanticAnalyzer {
  public:
   struct Options {
@@ -69,14 +93,26 @@ class SemanticAnalyzer {
   explicit SemanticAnalyzer(std::vector<Template> templates)
       : SemanticAnalyzer(std::move(templates), Options{}) {}
   SemanticAnalyzer(std::vector<Template> templates, Options options);
+  /// Sharing constructor: the per-worker clone path. The new analyzer
+  /// reads the same immutable template set as every sibling.
+  SemanticAnalyzer(std::shared_ptr<const std::vector<Template>> templates, Options options);
 
   /// Analyze one binary frame; returns at most one detection per template.
   std::vector<Detection> analyze(util::ByteView frame, AnalyzerStats* stats = nullptr) const;
+  /// Scratch-reusing form for the worker hot loop (see AnalyzerScratch).
+  std::vector<Detection> analyze(util::ByteView frame, AnalyzerStats* stats,
+                                 AnalyzerScratch& scratch) const;
 
-  [[nodiscard]] const std::vector<Template>& templates() const noexcept { return templates_; }
+  [[nodiscard]] const std::vector<Template>& templates() const noexcept { return *templates_; }
+  /// The shared template set, for constructing per-worker clones.
+  [[nodiscard]] const std::shared_ptr<const std::vector<Template>>& shared_templates()
+      const noexcept {
+    return templates_;
+  }
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
 
  private:
-  std::vector<Template> templates_;
+  std::shared_ptr<const std::vector<Template>> templates_;
   Options options_;
 };
 

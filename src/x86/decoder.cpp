@@ -756,15 +756,21 @@ Instruction decode(util::ByteView code, std::size_t offset) {
   }
 }
 
-std::vector<Instruction> linear_sweep(util::ByteView code, std::size_t offset,
-                                      std::size_t max_insns) {
-  std::vector<Instruction> out;
+void linear_sweep(util::ByteView code, std::size_t offset, std::size_t max_insns,
+                  std::vector<Instruction>& out) {
+  out.clear();
   while (offset < code.size() && out.size() < max_insns) {
     Instruction insn = decode(code, offset);
     if (!insn.valid()) break;
     offset = insn.end_offset();
     out.push_back(std::move(insn));
   }
+}
+
+std::vector<Instruction> linear_sweep(util::ByteView code, std::size_t offset,
+                                      std::size_t max_insns) {
+  std::vector<Instruction> out;
+  linear_sweep(code, offset, max_insns, out);
   return out;
 }
 

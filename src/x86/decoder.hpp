@@ -22,4 +22,9 @@ Instruction decode(util::ByteView code, std::size_t offset);
 std::vector<Instruction> linear_sweep(util::ByteView code, std::size_t offset = 0,
                                       std::size_t max_insns = SIZE_MAX);
 
+/// Buffer-reusing form: clears and refills `out` (capacity preserved),
+/// for callers that sweep many runs in a loop.
+void linear_sweep(util::ByteView code, std::size_t offset, std::size_t max_insns,
+                  std::vector<Instruction>& out);
+
 }  // namespace senids::x86

@@ -1,17 +1,31 @@
 #include "x86/scan.hpp"
 
-#include <unordered_set>
+#include <algorithm>
 
 namespace senids::x86 {
 
-std::vector<CodeRun> find_code_runs(util::ByteView code, std::size_t min_insns) {
+namespace {
+
+/// Size-and-zero a scratch array without shrinking its capacity.
+template <typename V>
+void reset(V& v, std::size_t n) {
+  v.assign(n, typename V::value_type{});
+}
+
+}  // namespace
+
+void find_code_runs(util::ByteView code, std::size_t min_insns, std::vector<CodeRun>& out,
+                    ScanScratch& scratch) {
+  out.clear();
   const std::size_t n = code.size();
-  if (n == 0) return {};
+  if (n == 0) return;
 
   // run_len[i]: number of instructions decodable linearly from offset i.
   // next[i]: offset after the instruction at i (0 when invalid).
-  std::vector<std::uint32_t> run_len(n, 0);
-  std::vector<std::uint32_t> next(n, 0);
+  auto& run_len = scratch.run_len;
+  auto& next = scratch.next;
+  reset(run_len, n);
+  reset(next, n);
   for (std::size_t i = n; i-- > 0;) {
     Instruction insn = decode(code, i);
     if (!insn.valid()) continue;
@@ -22,14 +36,14 @@ std::vector<CodeRun> find_code_runs(util::ByteView code, std::size_t min_insns) 
 
   // Emit runs that are not a tail of an earlier (longer) run with the same
   // synchronization: offset i is a tail iff some j<i decodes through i.
-  std::vector<bool> is_tail(n, false);
+  auto& is_tail = scratch.is_tail;
+  reset(is_tail, n);
   for (std::size_t i = 0; i < n; ++i) {
     if (run_len[i] != 0 && next[i] < n && run_len[next[i]] != 0) {
-      is_tail[next[i]] = true;
+      is_tail[next[i]] = 1;
     }
   }
 
-  std::vector<CodeRun> runs;
   for (std::size_t i = 0; i < n; ++i) {
     if (run_len[i] >= min_insns && !is_tail[i]) {
       // Walk to compute byte length of the run.
@@ -39,23 +53,36 @@ std::vector<CodeRun> find_code_runs(util::ByteView code, std::size_t min_insns) 
         ++count;
         pos = next[pos];
       }
-      runs.push_back(CodeRun{i, count, pos - i});
+      out.push_back(CodeRun{i, count, pos - i});
     }
   }
+}
+
+std::vector<CodeRun> find_code_runs(util::ByteView code, std::size_t min_insns) {
+  std::vector<CodeRun> runs;
+  ScanScratch scratch;
+  find_code_runs(code, min_insns, runs, scratch);
   return runs;
 }
 
-std::vector<Instruction> execution_trace(util::ByteView code, std::size_t entry,
-                                         std::size_t max_insns) {
-  std::vector<Instruction> trace;
-  std::unordered_set<std::size_t> visited;
+void execution_trace(util::ByteView code, std::size_t entry, std::size_t max_insns,
+                     std::vector<Instruction>& out, ScanScratch& scratch) {
+  out.clear();
+  auto& visited = scratch.visited;
+  if (visited.size() < code.size()) visited.resize(code.size(), 0);
+  if (++scratch.visit_gen == 0) {  // stamp wrapped: every slot looks visited
+    std::fill(visited.begin(), visited.end(), 0);
+    scratch.visit_gen = 1;
+  }
+  const std::uint32_t gen = scratch.visit_gen;
   std::size_t pc = entry;
 
-  while (pc < code.size() && trace.size() < max_insns) {
-    if (!visited.insert(pc).second) break;  // loop closed: stream complete
+  while (pc < code.size() && out.size() < max_insns) {
+    if (visited[pc] == gen) break;  // loop closed: stream complete
+    visited[pc] = gen;
     Instruction insn = decode(code, pc);
     if (!insn.valid()) break;
-    const Instruction& placed = trace.emplace_back(std::move(insn));
+    const Instruction& placed = out.emplace_back(std::move(insn));
 
     if (placed.mnemonic == Mnemonic::kJmp || placed.mnemonic == Mnemonic::kCall) {
       // Calls are followed like jumps: shellcode uses call for GetPC
@@ -68,6 +95,13 @@ std::vector<Instruction> execution_trace(util::ByteView code, std::size_t entry,
     if (placed.ends_flow()) break;
     pc = placed.end_offset();
   }
+}
+
+std::vector<Instruction> execution_trace(util::ByteView code, std::size_t entry,
+                                         std::size_t max_insns) {
+  std::vector<Instruction> trace;
+  ScanScratch scratch;
+  execution_trace(code, entry, max_insns, trace, scratch);
   return trace;
 }
 

@@ -20,10 +20,33 @@ struct CodeRun {
   std::size_t byte_len = 0;
 };
 
+/// Reusable working memory for the scanner. find_code_runs sizes two
+/// dynamic-programming arrays and a tail-suppression bitmap to the frame
+/// length, and execution_trace tracks visited offsets — all allocation
+/// the analysis hot loop would otherwise repeat per frame. A worker
+/// keeps one ScanScratch and passes it to every call; the buffers grow
+/// to the largest frame seen and are then reused allocation-free.
+struct ScanScratch {
+  std::vector<std::uint32_t> run_len;
+  std::vector<std::uint32_t> next;
+  std::vector<char> is_tail;
+  /// Generation-stamped visited set for execution_trace: a slot is
+  /// "visited" iff it equals visit_gen, so starting a new trace is one
+  /// increment instead of an O(frame) clear (frames are traced from
+  /// thousands of entry points).
+  std::vector<std::uint32_t> visited;
+  std::uint32_t visit_gen = 0;
+};
+
 /// Find decode runs of at least `min_insns` instructions. Runs contained
 /// in a longer run (same synchronization) are suppressed, so the result
 /// is a small set of candidate shellcode entry points.
 std::vector<CodeRun> find_code_runs(util::ByteView code, std::size_t min_insns = 6);
+
+/// Buffer-reusing form: clears and fills `out` (capacity preserved),
+/// using `scratch` for the internal arrays instead of allocating.
+void find_code_runs(util::ByteView code, std::size_t min_insns, std::vector<CodeRun>& out,
+                    ScanScratch& scratch);
 
 /// Execution-order trace from `entry`: decodes, then follows unconditional
 /// jmps with in-buffer targets; conditional branches and loops fall
@@ -33,5 +56,10 @@ std::vector<CodeRun> find_code_runs(util::ByteView code, std::size_t min_insns =
 /// the IR lifter.
 std::vector<Instruction> execution_trace(util::ByteView code, std::size_t entry,
                                          std::size_t max_insns = 4096);
+
+/// Buffer-reusing form: clears and fills `out` (capacity preserved),
+/// using `scratch.visited` for the loop-closure bitmap.
+void execution_trace(util::ByteView code, std::size_t entry, std::size_t max_insns,
+                     std::vector<Instruction>& out, ScanScratch& scratch);
 
 }  // namespace senids::x86

@@ -109,13 +109,17 @@ void expect_shards_transparent(const pcap::Capture& capture) {
         EXPECT_EQ(base.detected(t), r.detected(t)) << semantic::threat_class_name(t);
       }
       // Stage-(a) counters are per-packet and deterministic, so they
-      // must survive sharding exactly. (Cache hit/miss splits and
-      // frames_extracted can differ under a shared cache + threads,
-      // so only the invariant is checked, not the split.)
+      // must survive sharding exactly. Logical-work counters survive
+      // the cache too: hits replay the stored frames/emulation figures
+      // (the hit/miss *split* is still schedule-dependent under
+      // threads, so only the sum invariant is checked for those).
       EXPECT_EQ(base.stats.packets, r.stats.packets);
       EXPECT_EQ(base.stats.non_ip, r.stats.non_ip);
       EXPECT_EQ(base.stats.suspicious_packets, r.stats.suspicious_packets);
       EXPECT_EQ(base.stats.units_analyzed, r.stats.units_analyzed);
+      EXPECT_EQ(base.stats.frames_extracted, r.stats.frames_extracted);
+      EXPECT_EQ(base.stats.frames_emulated, r.stats.frames_emulated);
+      EXPECT_EQ(base.stats.emulated_steps, r.stats.emulated_steps);
       EXPECT_EQ(base.stats.streams_truncated, r.stats.streams_truncated);
       if (cache_bytes > 0) {
         expect_cache_invariant(r.stats);

@@ -10,7 +10,10 @@
 //     --templates <file>      add templates from a DSL file
 //     --extended              use the extended template library
 //     --emulate               enable emulation-backed deep analysis
-//     --threads <n>           analysis worker threads (default 1)
+//     --threads <n>           analysis worker threads (default 1;
+//                             0 = shard-local: analyze on the shard
+//                             threads, no global unit queue)
+//     --unit-batch <n>        units a worker dequeues per lock (default 8)
 //     --shards <n>            source-affine stage-(a) shards (default 1)
 //     --verdict-cache-mb <n>  verdict cache byte budget in MB (default 64)
 //     --no-verdict-cache      disable the content-addressed verdict cache
@@ -50,6 +53,7 @@ struct CliOptions {
   bool emulate = false;
   std::size_t verdict_cache_mb = 64;  // 0 = disabled (--no-verdict-cache)
   std::size_t threads = 1;
+  std::size_t unit_batch = 8;
   std::size_t shards = 1;
   std::uint32_t flow_timeout = 0;
   std::size_t max_flows = 0;
@@ -72,7 +76,8 @@ void usage(const char* argv0) {
                "  --sig-rules <file>    also run Snort-style content rules\n"
                "  --extended            use the extended template library\n"
                "  --emulate             enable emulation deep analysis\n"
-               "  --threads <n>         analysis worker threads\n"
+               "  --threads <n>         analysis worker threads (0 = shard-local)\n"
+               "  --unit-batch <n>      units a worker dequeues per lock\n"
                "  --shards <n>          source-affine stage-(a) shards\n"
                "  --verdict-cache-mb <n>  verdict cache byte budget (default 64)\n"
                "  --no-verdict-cache    disable the verdict cache\n"
@@ -167,6 +172,8 @@ int main(int argc, char** argv) {
       cli.emulate = true;
     } else if (arg == "--threads") {
       cli.threads = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--unit-batch") {
+      cli.unit_batch = static_cast<std::size_t>(std::atoll(next()));
     } else if (arg == "--shards") {
       cli.shards = static_cast<std::size_t>(std::atoll(next()));
     } else if (arg == "--verdict-cache-mb") {
@@ -235,6 +242,7 @@ int main(int argc, char** argv) {
   options.classifier.analyze_everything = cli.analyze_all;
   options.classifier.dark_space_threshold = cli.dark_threshold;
   options.threads = cli.threads;
+  options.unit_batch = cli.unit_batch;
   options.shards = cli.shards;
   options.verdict_cache_bytes = cli.verdict_cache_mb << 20;
   options.flow_idle_timeout_sec = cli.flow_timeout;
