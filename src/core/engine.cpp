@@ -11,7 +11,9 @@
 #include "cache/fingerprint.hpp"
 #include "core/pipeline_obs.hpp"
 #include "core/shard.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/trace.hpp"
+#include "obs/workers.hpp"
 #include "util/log.hpp"
 #include "util/queue.hpp"
 #include "util/thread_pool.hpp"
@@ -27,6 +29,18 @@ using SteadyClock = std::chrono::steady_clock;
 
 double seconds_since(SteadyClock::time_point start) {
   return std::chrono::duration<double>(SteadyClock::now() - start).count();
+}
+
+/// Saturating seconds -> microseconds for flight-recorder fields.
+std::uint32_t to_flight_us(double seconds) {
+  const double us = seconds * 1e6;
+  if (us <= 0) return 0;
+  if (us >= 4294967295.0) return 0xffffffffu;
+  return static_cast<std::uint32_t>(us);
+}
+
+std::uint32_t clamp_u32(std::size_t v) {
+  return static_cast<std::uint32_t>(std::min<std::size_t>(v, 0xffffffffu));
 }
 
 /// printf into a growing string: measures first, then formats into the
@@ -400,15 +414,30 @@ std::vector<Alert> NidsEngine::analyze_payload(AnalysisContext& ctx, util::ByteV
           tracer.record({"cache-hit", unit_id, span_cursor_us,
                          static_cast<std::uint64_t>(seconds * 1e6), payload.size(), 0});
         }
+        if (obs::FlightRecorder::enabled()) {
+          obs::UnitRecord fr;
+          fr.unit_id = unit_id;
+          fr.src = meta_prototype.src.value;
+          fr.payload_bytes = clamp_u32(payload.size());
+          fr.frames = clamp_u32(verdict->frames_extracted);
+          fr.alerts = clamp_u32(alerts.size());
+          fr.cache = obs::CacheDisposition::kHit;
+          fr.total_us = to_flight_us(seconds);
+          obs::FlightRecorder::instance().record(fr);
+        }
       }
       return alerts;
     }
     if (stats) ++stats->cache_misses;
   }
 
+  // Per-unit stage totals: folded into the flight-recorder record at the
+  // unit's exit (many frames can contribute to one stage per unit).
+  std::array<double, obs::kStageCount> unit_stage_seconds{};
   auto record_stage = [&](obs::Stage stage, double seconds, std::uint64_t bytes) {
     const auto idx = static_cast<std::size_t>(stage);
     pm.stage_seconds[idx]->observe(seconds);
+    unit_stage_seconds[idx] += seconds;
     if (stats) fold_stage(stats->stages[idx], seconds);
     if (tracing) {
       const auto dur = static_cast<std::uint64_t>(seconds * 1e6);
@@ -583,7 +612,33 @@ std::vector<Alert> NidsEngine::analyze_payload(AnalysisContext& ctx, util::ByteV
     verdict.emulated_steps = unit_emulated_steps;
     vcache->insert(cache_key, std::move(verdict));
   }
-  if (clocked) pm.unit_seconds->observe(seconds_since(unit_start));
+  if (clocked) {
+    const double total = seconds_since(unit_start);
+    pm.unit_seconds->observe(total);
+    if (obs::FlightRecorder::enabled()) {
+      obs::UnitRecord fr;
+      fr.unit_id = unit_id;
+      fr.src = meta_prototype.src.value;
+      fr.payload_bytes = clamp_u32(payload.size());
+      fr.frames = clamp_u32(frames.size());
+      fr.alerts = clamp_u32(alerts.size());
+      fr.cache = cacheable ? obs::CacheDisposition::kMiss
+                 : vcache  ? obs::CacheDisposition::kBypass
+                           : obs::CacheDisposition::kNone;
+      fr.extract_us =
+          to_flight_us(unit_stage_seconds[static_cast<std::size_t>(obs::Stage::kExtract)]);
+      fr.disasm_us =
+          to_flight_us(unit_stage_seconds[static_cast<std::size_t>(obs::Stage::kDisasm)]);
+      fr.lift_us =
+          to_flight_us(unit_stage_seconds[static_cast<std::size_t>(obs::Stage::kLift)]);
+      fr.match_us =
+          to_flight_us(unit_stage_seconds[static_cast<std::size_t>(obs::Stage::kMatch)]);
+      fr.emulate_us =
+          to_flight_us(unit_stage_seconds[static_cast<std::size_t>(obs::Stage::kEmulate)]);
+      fr.total_us = to_flight_us(total);
+      obs::FlightRecorder::instance().record(fr);
+    }
+  }
   return alerts;
 }
 
@@ -605,24 +660,40 @@ Report NidsEngine::process_capture(const pcap::Capture& capture) {
   const std::size_t workers = options_.threads > 1 ? options_.threads : 0;
   util::BoundedQueue<Unit> queue(options_.max_queued_units, options_.max_queued_bytes);
   queue.set_metrics(&queue_metrics());
+  // Publish the configured limits the readiness checks divide by
+  // (/healthz treats a 0 capacity gauge as "check disabled").
+  obs::pipeline_metrics().queue_capacity->set(
+      static_cast<std::int64_t>(options_.max_queued_units));
+  obs::pipeline_metrics().flow_table_max_flows->set(
+      static_cast<std::int64_t>(options_.max_flows));
   std::mutex mu;  // guards report.alerts and the analysis stat fields
 
   std::optional<util::ThreadPool> pool;
   if (workers) {
     pool.emplace(workers);
     for (std::size_t i = 0; i < workers; ++i) {
-      pool->submit([this, &queue, &mu, &report] {
+      pool->submit([this, i, &queue, &mu, &report] {
         // Long-running consumer: drain units until the producers close
         // the queue, then merge local results once. Each worker owns a
         // private AnalysisContext (no shared extractor/analyzer state on
         // the hot path) and dequeues up to unit_batch units per lock
         // acquisition; verdicts are per-unit and the report is fully
         // sorted, so neither can change the output.
+        obs::WorkerSlot& wslot = obs::WorkerTable::instance().slot("worker", i);
+        wslot.begin_run();
         NidsStats local;
         std::vector<Alert> alerts;
         AnalysisContext ctx = make_analysis_context();
         std::vector<Unit> batch;
-        while (queue.pop_batch(batch, options_.unit_batch) > 0) {
+        for (;;) {
+          // Blocked in pop_batch is *idle* (starved for input); everything
+          // between dequeue and the next pop is *busy*.
+          util::WallTimer idle_timer;
+          const std::size_t popped = queue.pop_batch(batch, options_.unit_batch);
+          wslot.add_idle(idle_timer.seconds());
+          if (popped == 0) break;
+          wslot.heartbeat();
+          util::WallTimer busy_timer;
           for (Unit& unit : batch) {
             util::WallTimer unit_timer;
             auto found = analyze_payload(ctx, unit.payload, unit.meta, &local, unit.unit_id);
@@ -630,11 +701,16 @@ Report NidsEngine::process_capture(const pcap::Capture& capture) {
             alerts.insert(alerts.end(), std::make_move_iterator(found.begin()),
                           std::make_move_iterator(found.end()));
           }
+          wslot.add_busy(busy_timer.seconds());
+          wslot.add_units(batch.size());
         }
-        std::lock_guard lock(mu);
-        report.alerts.insert(report.alerts.end(), std::make_move_iterator(alerts.begin()),
-                             std::make_move_iterator(alerts.end()));
-        merge_stats(report.stats, local);
+        {
+          std::lock_guard lock(mu);
+          report.alerts.insert(report.alerts.end(), std::make_move_iterator(alerts.begin()),
+                               std::make_move_iterator(alerts.end()));
+          merge_stats(report.stats, local);
+        }
+        wslot.end_run();
       });
     }
   }
@@ -702,9 +778,12 @@ Report NidsEngine::process_capture(const pcap::Capture& capture) {
     std::vector<std::unique_ptr<util::BoundedQueue<Batch>>> shard_queues;
     std::vector<util::QueueMetrics> shard_queue_metrics(nshards);
     shard_queues.reserve(nshards);
+    obs::shard_queue_capacity_gauge().set(kQueueBatches);
     for (std::size_t si = 0; si < nshards; ++si) {
       auto q = std::make_unique<util::BoundedQueue<Batch>>(kQueueBatches);
-      shard_queue_metrics[si].depth = obs::shard_metrics(si).queue_depth;
+      const obs::ShardMetrics sm = obs::shard_metrics(si);
+      shard_queue_metrics[si].depth = sm.queue_depth;
+      shard_queue_metrics[si].depth_peak = sm.queue_depth_peak;
       q->set_metrics(&shard_queue_metrics[si]);
       shard_queues.push_back(std::move(q));
     }
@@ -714,18 +793,31 @@ Report NidsEngine::process_capture(const pcap::Capture& capture) {
         shard_pool.submit([this, si, &shard_queues, &sinks, &inline_analysis] {
           PipelineShard& shard = *shards_[si];
           auto& q = *shard_queues[si];
+          obs::WorkerSlot& sslot = obs::WorkerTable::instance().slot("shard", si);
+          sslot.begin_run();
           double wall = 0.0;
-          while (auto batch = q.pop()) {
+          for (;;) {
+            util::WallTimer idle_timer;  // blocked on the dispatch queue
+            auto batch = q.pop();
+            sslot.add_idle(idle_timer.seconds());
+            if (!batch) break;
+            sslot.heartbeat();
             util::WallTimer batch_timer;
             for (const pcap::Record* rec : *batch) shard.process_record(*rec, sinks[si]);
-            wall += batch_timer.seconds();
+            const double busy = batch_timer.seconds();
+            wall += busy;
+            sslot.add_busy(busy);
+            sslot.add_units(batch->size());
           }
           util::WallTimer drain_timer;
           shard.finish_capture(sinks[si]);
-          wall += drain_timer.seconds();
+          const double drain = drain_timer.seconds();
+          wall += drain;
+          sslot.add_busy(drain);
           // Same stage-(a) definition the caller thread uses at
           // shards == 1: producer wall minus inline analysis.
           shard.stats().classify_seconds = wall - inline_analysis[si];
+          sslot.end_run();
         });
       }
 

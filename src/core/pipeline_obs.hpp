@@ -17,7 +17,8 @@ namespace senids::core {
 
 inline const util::QueueMetrics& queue_metrics() {
   obs::PipelineMetrics& pm = obs::pipeline_metrics();
-  static const util::QueueMetrics m{pm.queue_depth, pm.queue_bytes, pm.queue_pushed,
+  static const util::QueueMetrics m{pm.queue_depth,        pm.queue_depth_peak,
+                                    pm.queue_bytes,        pm.queue_pushed,
                                     pm.queue_backpressure_waits,
                                     pm.queue_backpressure_wait_seconds};
   return m;

@@ -18,17 +18,31 @@ double seconds_since(SteadyClock::time_point start) {
   return std::chrono::duration<double>(SteadyClock::now() - start).count();
 }
 
+/// Each session claims the next "session" attribution slot; sessions are
+/// long-lived (one per capture worker), so indices stay small.
+obs::WorkerSlot& claim_session_slot() {
+  static std::atomic<std::size_t> next{0};
+  return obs::WorkerTable::instance().slot("session",
+                                           next.fetch_add(1, std::memory_order_relaxed));
+}
+
 }  // namespace
 
 LiveSession::LiveSession(NidsEngine& engine, AlertSink sink)
     : engine_(engine),
       ctx_(engine.make_analysis_context()),
+      worker_slot_(claim_session_slot()),
       sink_(std::move(sink)),
       dark_evictions_base_(engine.classifier().dark_space().evictions()),
       defrag_(engine.options().defrag_max_buffered_bytes) {
   flows_.set_metrics(&flow_table_metrics());
   defrag_.set_metrics(&defrag_metrics());
+  obs::pipeline_metrics().flow_table_max_flows->set(
+      static_cast<std::int64_t>(engine.options().max_flows));
+  worker_slot_.begin_run();
 }
+
+LiveSession::~LiveSession() { worker_slot_.end_run(); }
 
 void LiveSession::analyze_unit(util::ByteView payload, const Alert& meta,
                                std::uint64_t unit_id) {
@@ -120,6 +134,14 @@ void LiveSession::feed(util::ByteView frame, std::uint32_t ts_sec, std::uint32_t
   obs::Tracer& tracer = obs::Tracer::instance();
   const bool tracing = obs::Tracer::enabled();
   const bool clocked = obs::metrics_enabled() || tracing;
+  // Attribution: the gap since the previous feed returned is the caller
+  // thread waiting for traffic (idle); the body of feed() is busy.
+  const std::uint64_t feed_start_ns = obs::WorkerTable::instance().now_ns();
+  if (last_feed_end_ns_ != 0 && feed_start_ns > last_feed_end_ns_) {
+    worker_slot_.add_idle(static_cast<double>(feed_start_ns - last_feed_end_ns_) * 1e-9);
+  }
+  worker_slot_.heartbeat();
+  const std::size_t units_before = stats_.units_analyzed;
   ++stats_.packets;
   pm.packets->add();
   const SteadyClock::time_point pkt_start =
@@ -178,6 +200,13 @@ void LiveSession::feed(util::ByteView frame, std::uint32_t ts_sec, std::uint32_t
     stats_.classify_seconds +=
         seconds_since(pkt_start) - (stats_.analysis_seconds - analysis_before);
   }
+  last_feed_end_ns_ = obs::WorkerTable::instance().now_ns();
+  if (last_feed_end_ns_ > feed_start_ns) {
+    worker_slot_.add_busy(static_cast<double>(last_feed_end_ns_ - feed_start_ns) * 1e-9);
+  }
+  if (stats_.units_analyzed > units_before) {
+    worker_slot_.add_units(stats_.units_analyzed - units_before);
+  }
   maybe_log_metrics(ts_sec);
 }
 
@@ -203,7 +232,11 @@ void LiveSession::maybe_log_metrics(std::uint32_t ts_sec) {
 }
 
 void LiveSession::finish() {
+  util::WallTimer drain_timer;
+  worker_slot_.heartbeat();
   flows_.drain([this](const net::FlowKey&, FlowState& state) { flush_flow(state); });
+  worker_slot_.add_busy(drain_timer.seconds());
+  last_feed_end_ns_ = obs::WorkerTable::instance().now_ns();
 }
 
 }  // namespace senids::core

@@ -11,6 +11,7 @@
 
 #include "core/engine.hpp"
 #include "net/defrag.hpp"
+#include "obs/workers.hpp"
 
 namespace senids::core {
 
@@ -24,6 +25,7 @@ class LiveSession {
   /// parallel deployments). Flow eviction follows the engine's
   /// flow_idle_timeout_sec / max_flows / max_stream_bytes options.
   LiveSession(NidsEngine& engine, AlertSink sink);
+  ~LiveSession();
 
   /// Feed one captured Ethernet frame.
   void feed(util::ByteView frame, std::uint32_t ts_sec = 0, std::uint32_t ts_usec = 0);
@@ -48,6 +50,10 @@ class LiveSession {
   /// worker, so it holds one context for its lifetime instead of paying
   /// a fresh extractor/analyzer/scratch allocation per unit.
   AnalysisContext ctx_;
+  /// Worker-attribution slot ("session", N): busy is the wall inside
+  /// feed()/finish(), idle the gaps between feeds on the caller thread.
+  obs::WorkerSlot& worker_slot_;
+  std::uint64_t last_feed_end_ns_ = 0;
   AlertSink sink_;
   NidsStats stats_;
   std::size_t alerts_emitted_ = 0;

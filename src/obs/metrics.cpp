@@ -40,6 +40,36 @@ std::string format_double(double v) {
   return out;
 }
 
+/// Prometheus exposition-format escaping for label values: backslash,
+/// double quote, and newline must be escaped inside the quotes.
+std::string escape_label_value(std::string_view v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// HELP-text escaping: backslash and newline only (quotes are legal).
+std::string escape_help(std::string_view v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 bool metrics_enabled() noexcept {
@@ -146,7 +176,10 @@ struct Registry::Impl {
                         Kind kind) {
     std::string labels;
     if (!label_key.empty()) {
-      labels.append(label_key).append("=\"").append(label_value).append("\"");
+      labels.append(label_key)
+          .append("=\"")
+          .append(escape_label_value(label_value))
+          .append("\"");
     }
     std::lock_guard lock(mu);
     auto key = std::make_pair(std::string(family), labels);
@@ -230,7 +263,7 @@ std::string Registry::prometheus_text() const {
     if (family != last_family) {
       if (!m.help.empty()) {
         append_format(out, "# HELP %s %s\n", family.c_str(),
-                      std::string(m.help).c_str());
+                      escape_help(m.help).c_str());
       }
       const char* type = m.counter ? "counter" : m.gauge ? "gauge" : "histogram";
       append_format(out, "# TYPE %s %s\n", family.c_str(), type);

@@ -92,6 +92,21 @@ class Gauge {
   }
   void sub(std::int64_t n) noexcept { add(-n); }
 
+  /// Raise the gauge to `v` if it is below it (high-watermark semantics,
+  /// e.g. peak queue depth). CAS loop; contention is bounded because the
+  /// maximum only ratchets upward.
+  void set_max(std::int64_t v) noexcept {
+#if !defined(SENIDS_NO_OBS)
+    if (!metrics_enabled()) return;
+    std::int64_t cur = value_.load(std::memory_order_relaxed);
+    while (cur < v &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+#else
+    (void)v;
+#endif
+  }
+
   [[nodiscard]] std::int64_t value() const noexcept {
     return value_.load(std::memory_order_relaxed);
   }

@@ -28,6 +28,10 @@ PipelineMetrics register_all() {
   m.alerts = &r.counter("senids_alerts_total", "Alerts raised by all stages");
 
   m.queue_depth = &r.gauge("senids_queue_depth", "Analysis units waiting in the handoff queue");
+  m.queue_depth_peak = &r.gauge("senids_unit_queue_depth_peak",
+                                "High watermark of the handoff queue depth");
+  m.queue_capacity = &r.gauge("senids_unit_queue_capacity",
+                              "Configured handoff queue capacity (max_queued_units)");
   m.queue_bytes = &r.gauge("senids_queue_bytes", "Payload bytes waiting in the handoff queue");
   m.queue_pushed = &r.counter("senids_queue_pushed_total", "Units admitted to the handoff queue");
   m.queue_backpressure_waits = &r.counter(
@@ -38,6 +42,8 @@ PipelineMetrics register_all() {
                    "Time the producer spent blocked per backpressured push");
 
   m.flow_table_flows = &r.gauge("senids_flow_table_flows", "Live flows in the flow table");
+  m.flow_table_max_flows = &r.gauge("senids_flow_table_max_flows",
+                                    "Configured live-flow cap (0 = uncapped)");
   m.flows_created = &r.counter("senids_flows_created_total", "Flows admitted to the flow table");
   m.flows_evicted_idle =
       &r.counter("senids_flows_evicted_idle_total", "Flows flushed by the idle timeout");
@@ -80,12 +86,21 @@ ShardMetrics shard_metrics(std::size_t shard_index) {
   ShardMetrics m;
   m.queue_depth = &r.gauge("senids_shard_packet_queue_depth",
                            "Frames waiting in a shard's dispatch queue", "shard", label);
+  m.queue_depth_peak =
+      &r.gauge("senids_shard_packet_queue_depth_peak",
+               "High watermark of a shard's dispatch queue depth", "shard", label);
   m.packets = &r.counter("senids_shard_packets_total", "Frames classified per shard",
                          "shard", label);
   m.units = &r.counter("senids_shard_units_total", "Analysis units emitted per shard",
                        "shard", label);
   m.flows = &r.gauge("senids_shard_flows", "Live flows per shard", "shard", label);
   return m;
+}
+
+Gauge& shard_queue_capacity_gauge() {
+  return Registry::instance().gauge(
+      "senids_shard_packet_queue_capacity",
+      "Configured per-shard dispatch queue capacity (0 = not sharded)");
 }
 
 std::string_view stage_name(Stage stage) noexcept {

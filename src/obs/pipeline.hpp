@@ -51,6 +51,8 @@ struct PipelineMetrics {
 
   // Handoff queue between stage (a) and the worker pool.
   Gauge* queue_depth;
+  Gauge* queue_depth_peak;  // high watermark over the process lifetime
+  Gauge* queue_capacity;    // configured max_queued_units (0 = never ran)
   Gauge* queue_bytes;
   Counter* queue_pushed;
   Counter* queue_backpressure_waits;
@@ -58,6 +60,7 @@ struct PipelineMetrics {
 
   // Flow table occupancy / eviction.
   Gauge* flow_table_flows;
+  Gauge* flow_table_max_flows;  // configured cap (0 = uncapped)
   Counter* flows_created;
   Counter* flows_evicted_idle;
   Counter* flows_evicted_overflow;
@@ -91,11 +94,17 @@ PipelineMetrics& pipeline_metrics();
 /// front end: dispatcher->shard queue depth plus shard-local volume. Kept
 /// out of PipelineMetrics because the shard count is a runtime option.
 struct ShardMetrics {
-  Gauge* queue_depth;  // frames waiting in this shard's dispatch queue
-  Counter* packets;    // frames classified by this shard
-  Counter* units;      // analysis units this shard emitted
-  Gauge* flows;        // live flows in this shard's flow table
+  Gauge* queue_depth;       // frames waiting in this shard's dispatch queue
+  Gauge* queue_depth_peak;  // high watermark of that queue
+  Counter* packets;         // frames classified by this shard
+  Counter* units;           // analysis units this shard emitted
+  Gauge* flows;             // live flows in this shard's flow table
 };
+
+/// Configured per-shard dispatch-queue capacity, shared by every shard
+/// (unlabelled; 0 until an engine runs sharded). /healthz compares the
+/// per-shard depth gauges against it.
+Gauge& shard_queue_capacity_gauge();
 
 /// Handles for shard `shard_index`; registers the labelled series on
 /// first call per index and returns the same handles afterwards.

@@ -1,0 +1,117 @@
+#include "obs/workers.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace senids::obs {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+}  // namespace
+
+void WorkerSlot::begin_run() noexcept {
+#if !defined(SENIDS_NO_OBS)
+  const std::uint64_t now = WorkerTable::instance().now_ns();
+  active_.fetch_add(1, std::memory_order_relaxed);
+  run_start_ns_.store(now, std::memory_order_relaxed);
+  run_end_ns_.store(0, std::memory_order_relaxed);
+  heartbeat_ns_.store(now, std::memory_order_relaxed);
+#endif
+}
+
+void WorkerSlot::end_run() noexcept {
+#if !defined(SENIDS_NO_OBS)
+  run_end_ns_.store(WorkerTable::instance().now_ns(), std::memory_order_relaxed);
+  active_.fetch_sub(1, std::memory_order_relaxed);
+#endif
+}
+
+void WorkerSlot::heartbeat() noexcept {
+#if !defined(SENIDS_NO_OBS)
+  if (!metrics_enabled()) return;
+  heartbeat_ns_.store(WorkerTable::instance().now_ns(), std::memory_order_relaxed);
+#endif
+}
+
+struct WorkerTable::Impl {
+  const SteadyClock::time_point epoch = SteadyClock::now();
+  mutable std::mutex mu;
+  // Node stability keeps WorkerSlot& handles valid forever.
+  std::map<std::pair<std::string, std::size_t>, std::unique_ptr<WorkerSlot>> slots;
+};
+
+WorkerTable::WorkerTable() : impl_(new Impl) {}
+
+WorkerTable& WorkerTable::instance() {
+  static WorkerTable table;
+  return table;
+}
+
+std::uint64_t WorkerTable::now_ns() const noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(SteadyClock::now() -
+                                                           impl_->epoch)
+          .count());
+}
+
+WorkerSlot& WorkerTable::slot(std::string_view kind, std::size_t index) {
+  std::lock_guard lock(impl_->mu);
+  auto key = std::make_pair(std::string(kind), index);
+  auto it = impl_->slots.find(key);
+  if (it == impl_->slots.end()) {
+    auto slot = std::unique_ptr<WorkerSlot>(new WorkerSlot());
+    slot->kind_ = key.first;
+    slot->index_ = index;
+    it = impl_->slots.emplace(std::move(key), std::move(slot)).first;
+  }
+  return *it->second;
+}
+
+std::vector<WorkerSlot::Snapshot> WorkerTable::snapshot() const {
+  const std::uint64_t now = now_ns();
+  std::lock_guard lock(impl_->mu);
+  std::vector<WorkerSlot::Snapshot> out;
+  out.reserve(impl_->slots.size());
+  for (const auto& [key, slot] : impl_->slots) {
+    WorkerSlot::Snapshot s;
+    s.kind = slot->kind_;
+    s.index = slot->index_;
+    s.active = slot->active_.load(std::memory_order_relaxed) > 0;
+    s.busy_seconds =
+        static_cast<double>(slot->busy_ns_.load(std::memory_order_relaxed)) * 1e-9;
+    s.idle_seconds =
+        static_cast<double>(slot->idle_ns_.load(std::memory_order_relaxed)) * 1e-9;
+    s.units = slot->units_.load(std::memory_order_relaxed);
+    const std::uint64_t hb = slot->heartbeat_ns_.load(std::memory_order_relaxed);
+    s.seconds_since_heartbeat =
+        hb == 0 ? -1.0 : static_cast<double>(now - std::min(hb, now)) * 1e-9;
+    const std::uint64_t start = slot->run_start_ns_.load(std::memory_order_relaxed);
+    const std::uint64_t end = slot->run_end_ns_.load(std::memory_order_relaxed);
+    if (start != 0) {
+      const std::uint64_t until = s.active || end < start ? now : end;
+      s.run_seconds = static_cast<double>(until - std::min(start, until)) * 1e-9;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void WorkerTable::reset() {
+  std::lock_guard lock(impl_->mu);
+  for (auto& [key, slot] : impl_->slots) {
+    slot->busy_ns_.store(0, std::memory_order_relaxed);
+    slot->idle_ns_.store(0, std::memory_order_relaxed);
+    slot->units_.store(0, std::memory_order_relaxed);
+    slot->heartbeat_ns_.store(0, std::memory_order_relaxed);
+    slot->run_start_ns_.store(0, std::memory_order_relaxed);
+    slot->run_end_ns_.store(0, std::memory_order_relaxed);
+    slot->active_.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace senids::obs

@@ -39,6 +39,7 @@ namespace senids::util {
 /// that had to block and for how long.
 struct QueueMetrics {
   obs::Gauge* depth = nullptr;
+  obs::Gauge* depth_peak = nullptr;  // high watermark (Gauge::set_max)
   obs::Gauge* bytes = nullptr;
   obs::Counter* pushed = nullptr;
   obs::Counter* backpressure_waits = nullptr;
@@ -189,6 +190,9 @@ class BoundedQueue {
   void publish_gauges() const {
     if (!metrics_) return;
     if (metrics_->depth) metrics_->depth->set(static_cast<std::int64_t>(items_.size()));
+    if (metrics_->depth_peak) {
+      metrics_->depth_peak->set_max(static_cast<std::int64_t>(items_.size()));
+    }
     if (metrics_->bytes) metrics_->bytes->set(static_cast<std::int64_t>(weight_));
   }
 

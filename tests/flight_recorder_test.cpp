@@ -1,0 +1,223 @@
+// Unit flight recorder tests: ring wraparound semantics, slow-unit
+// promotion and retention (the "which unit took 40 ms" answer must
+// survive ten thousand benign units), the rolling threshold seeded from
+// the unit-latency histogram, and torn-read safety under concurrent
+// writers (TSan tier-1).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/pipeline.hpp"
+
+namespace senids::obs {
+namespace {
+
+UnitRecord benign_unit(std::uint64_t id, std::uint32_t total_us = 10) {
+  UnitRecord r;
+  r.unit_id = id;
+  r.src = 0xc0a80000u | static_cast<std::uint32_t>(id & 0xff);
+  r.payload_bytes = 512;
+  r.frames = 1;
+  r.extract_us = total_us / 2;
+  r.total_us = total_us;
+  r.cache = CacheDisposition::kMiss;
+  return r;
+}
+
+class FlightRecorderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_metrics_enabled(true);
+    // A huge multiplier pins the rolling threshold to the floor no matter
+    // what earlier tests left in the process-global unit histogram.
+    FlightRecorder::instance().configure(
+        {.slots = 8, .slow_slots = 16, .slow_floor_seconds = 1.0, .slow_multiplier = 1e9});
+  }
+  void TearDown() override { FlightRecorder::instance().configure({.slots = 0}); }
+};
+
+TEST_F(FlightRecorderTest, DisabledWhenSlotsZero) {
+  FlightRecorder::instance().configure({.slots = 0});
+  EXPECT_FALSE(FlightRecorder::enabled());
+  FlightRecorder::instance().record(benign_unit(1));
+  EXPECT_TRUE(FlightRecorder::instance().recent().empty());
+}
+
+TEST_F(FlightRecorderTest, RecordsAreReadBack) {
+  FlightRecorder& fr = FlightRecorder::instance();
+  ASSERT_TRUE(FlightRecorder::enabled());
+  UnitRecord in = benign_unit(42, 120);
+  in.alerts = 3;
+  in.disasm_us = 7;
+  in.lift_us = 8;
+  in.match_us = 9;
+  in.emulate_us = 10;
+  in.cache = CacheDisposition::kBypass;
+  fr.record(in);
+  const std::vector<UnitRecord> out = fr.recent();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].unit_id, 42u);
+  EXPECT_EQ(out[0].src, in.src);
+  EXPECT_EQ(out[0].payload_bytes, 512u);
+  EXPECT_EQ(out[0].frames, 1u);
+  EXPECT_EQ(out[0].alerts, 3u);
+  EXPECT_EQ(out[0].disasm_us, 7u);
+  EXPECT_EQ(out[0].lift_us, 8u);
+  EXPECT_EQ(out[0].match_us, 9u);
+  EXPECT_EQ(out[0].emulate_us, 10u);
+  EXPECT_EQ(out[0].total_us, 120u);
+  EXPECT_EQ(out[0].cache, CacheDisposition::kBypass);
+  // ts and worker are stamped by the recorder, not the caller.
+  EXPECT_EQ(cache_disposition_name(out[0].cache), "bypass");
+}
+
+TEST_F(FlightRecorderTest, RingWrapsKeepingNewestOldestFirst) {
+  FlightRecorder& fr = FlightRecorder::instance();
+  for (std::uint64_t id = 1; id <= 20; ++id) fr.record(benign_unit(id));
+  const std::vector<UnitRecord> out = fr.recent();
+  ASSERT_EQ(out.size(), 8u);  // ring capacity, not record count
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].unit_id, 13 + i) << "oldest-first within the ring";
+  }
+}
+
+TEST_F(FlightRecorderTest, SlowUnitSurvivesTenThousandBenignUnits) {
+  FlightRecorder& fr = FlightRecorder::instance();
+  EXPECT_DOUBLE_EQ(fr.slow_threshold_seconds(), 1.0);  // pinned to the floor
+
+  UnitRecord pathological = benign_unit(777, /*total_us=*/40'000'000);  // 40 s
+  fr.record(pathological);
+  // Roll the main ring over ~1250 times with sub-threshold units.
+  for (std::uint64_t id = 0; id < 10'000; ++id) fr.record(benign_unit(10'000 + id));
+
+  const std::vector<UnitRecord> recent = fr.recent();
+  EXPECT_TRUE(std::none_of(recent.begin(), recent.end(),
+                           [](const UnitRecord& r) { return r.unit_id == 777; }))
+      << "the main ring rolled over long ago";
+  std::vector<UnitRecord> slow = fr.slow();
+  ASSERT_EQ(slow.size(), 1u) << "benign units must not be promoted";
+  EXPECT_EQ(slow[0].unit_id, 777u);
+  EXPECT_EQ(slow[0].total_us, 40'000'000u);
+
+  // slow(clear) is scrape-and-ack.
+  slow = fr.slow(/*clear=*/true);
+  ASSERT_EQ(slow.size(), 1u);
+  EXPECT_TRUE(fr.slow().empty());
+}
+
+TEST_F(FlightRecorderTest, SlowBufferKeepsNewestWhenOverflowed) {
+  FlightRecorder& fr = FlightRecorder::instance();
+  for (std::uint64_t id = 0; id < 40; ++id) {
+    fr.record(benign_unit(id, /*total_us=*/2'000'000));  // all above the 1 s floor
+  }
+  const std::vector<UnitRecord> slow = fr.slow();
+  ASSERT_EQ(slow.size(), 16u);  // slow_slots
+  for (const UnitRecord& r : slow) EXPECT_GE(r.unit_id, 24u);
+}
+
+TEST_F(FlightRecorderTest, RollingThresholdSeededFromUnitHistogram) {
+  FlightRecorder& fr = FlightRecorder::instance();
+  fr.configure({.slots = 8,
+                .slow_slots = 16,
+                .slow_floor_seconds = 250e-6,
+                .slow_multiplier = 8.0});
+  Histogram* unit_seconds = pipeline_metrics().unit_seconds;
+  unit_seconds->reset();
+  // 100 observations around 1 ms: p95 lands in the (1.024, 2.048] ms
+  // bucket, so the refreshed threshold must be 8 x p95 >> the floor.
+  for (int i = 0; i < 100; ++i) unit_seconds->observe(1.5e-3);
+  fr.refresh_slow_threshold();
+  const double p95 = unit_seconds->snapshot().quantile(0.95);
+  EXPECT_NEAR(fr.slow_threshold_seconds(), 8.0 * p95, 1e-9);
+  EXPECT_GT(fr.slow_threshold_seconds(), 250e-6);
+
+  // An empty histogram keeps the floor.
+  unit_seconds->reset();
+  fr.refresh_slow_threshold();
+  EXPECT_DOUBLE_EQ(fr.slow_threshold_seconds(), 250e-6);
+}
+
+TEST_F(FlightRecorderTest, JsonDumpContainsRecords) {
+  FlightRecorder& fr = FlightRecorder::instance();
+  fr.record(benign_unit(5));
+  fr.record(benign_unit(6, /*total_us=*/2'000'000));  // promoted
+  const std::string json = fr.json();
+  EXPECT_NE(json.find("\"enabled\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"recent\""), std::string::npos);
+  EXPECT_NE(json.find("\"slow\""), std::string::npos);
+  EXPECT_NE(json.find("\"unit_id\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"unit_id\": 6"), std::string::npos);
+}
+
+TEST_F(FlightRecorderTest, ResetDropsRecordsKeepsConfiguration) {
+  FlightRecorder& fr = FlightRecorder::instance();
+  fr.record(benign_unit(1));
+  fr.record(benign_unit(2, /*total_us=*/2'000'000));
+  fr.reset();
+  EXPECT_TRUE(fr.recent().empty());
+  EXPECT_TRUE(fr.slow().empty());
+  EXPECT_TRUE(FlightRecorder::enabled());
+  fr.record(benign_unit(3));
+  EXPECT_EQ(fr.recent().size(), 1u);
+}
+
+// TSan tier-1: writers on several threads, a scraping reader racing
+// them. The seqlock + checksum discipline must never surface a torn
+// record — every record read back must be one that some writer wrote.
+TEST_F(FlightRecorderTest, ConcurrentWritersAndScraperStayConsistent) {
+  FlightRecorder& fr = FlightRecorder::instance();
+  fr.configure({.slots = 32, .slow_slots = 64, .slow_floor_seconds = 1.0,
+                .slow_multiplier = 1e9});
+  constexpr int kWriters = 4;
+  constexpr std::uint64_t kPerWriter = 5000;
+  std::atomic<bool> stop{false};
+
+  std::thread scraper([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (const UnitRecord& r : fr.recent()) {
+        // Writers encode unit_id = writer*kPerWriter + i and mirror it in
+        // payload_bytes; a torn slot that slipped past the checksum would
+        // break the invariant.
+        ASSERT_EQ(r.payload_bytes, static_cast<std::uint32_t>(r.unit_id & 0xffffffff));
+      }
+      (void)fr.json();
+    }
+  });
+
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&fr, w] {
+      for (std::uint64_t i = 0; i < kPerWriter; ++i) {
+        const std::uint64_t id = static_cast<std::uint64_t>(w) * kPerWriter + i;
+        UnitRecord r;
+        r.unit_id = id;
+        r.payload_bytes = static_cast<std::uint32_t>(id & 0xffffffff);
+        r.total_us = 10;
+        fr.record(r);
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  scraper.join();
+
+  // Quiesced: every ring now holds its last 32 records, readable in full.
+  const std::vector<UnitRecord> out = fr.recent();
+  EXPECT_GE(out.size(), static_cast<std::size_t>(kWriters) * 32u / 2)
+      << "each writer thread's ring retains its tail";
+  std::set<std::uint64_t> ids;
+  for (const UnitRecord& r : out) {
+    EXPECT_TRUE(ids.insert(r.unit_id).second) << "no duplicate slots";
+    EXPECT_EQ(r.payload_bytes, static_cast<std::uint32_t>(r.unit_id & 0xffffffff));
+  }
+}
+
+}  // namespace
+}  // namespace senids::obs

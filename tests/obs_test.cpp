@@ -136,6 +136,57 @@ TEST(ObsRegistry, PrometheusExpositionIsWellFormed) {
   }
 }
 
+TEST(ObsRegistry, LabelValuesAndHelpAreEscaped) {
+  auto& r = Registry::instance();
+  // Label values carrying the three characters the exposition format
+  // escapes (backslash, double quote, newline) and a HELP string with a
+  // literal newline: both must round-trip as single well-formed lines.
+  Counter& c = r.counter("senids_test_escape_total", "first\nsecond\\tail", "path",
+                         "C:\\dir\n\"quoted\"");
+  c.add();
+  const std::string text = Registry::instance().prometheus_text();
+  EXPECT_NE(text.find("# HELP senids_test_escape_total first\\nsecond\\\\tail"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("senids_test_escape_total{path=\"C:\\\\dir\\n\\\"quoted\\\"\"} 1"),
+      std::string::npos);
+  // The escaped series must still be a single physical line: no raw
+  // newline may survive inside a sample.
+  const std::size_t series = text.find("senids_test_escape_total{");
+  ASSERT_NE(series, std::string::npos);
+  const std::string line =
+      text.substr(series, text.find('\n', series) - series);
+  EXPECT_NE(line.find("} 1"), std::string::npos) << line;
+}
+
+TEST(ObsRegistry, HistogramBucketsAreCumulative) {
+  auto& r = Registry::instance();
+  Histogram& h = r.histogram("senids_test_cumulative_seconds", "bucket lint");
+  h.observe(1e-6);    // lowest finite bucket
+  h.observe(1e-3);
+  h.observe(100.0);   // above the top finite bound -> +Inf only
+  const std::string text = Registry::instance().prometheus_text();
+  // Walk this family's _bucket lines in exposition order; counts must be
+  // monotonically non-decreasing and +Inf must equal _count.
+  std::uint64_t prev = 0;
+  std::uint64_t inf = 0;
+  std::size_t pos = 0;
+  int buckets = 0;
+  while ((pos = text.find("senids_test_cumulative_seconds_bucket{le=\"", pos)) !=
+         std::string::npos) {
+    const std::size_t space = text.find(' ', pos);
+    const std::uint64_t count = std::strtoull(text.c_str() + space + 1, nullptr, 10);
+    EXPECT_GE(count, prev) << "buckets must be cumulative";
+    prev = count;
+    inf = count;
+    ++buckets;
+    pos = space;
+  }
+  EXPECT_GT(buckets, 1);
+  EXPECT_EQ(inf, 3u) << "+Inf bucket carries every observation";
+  EXPECT_NE(text.find("senids_test_cumulative_seconds_count 3"), std::string::npos);
+}
+
 TEST(ObsRegistry, JsonExportCarriesQuantiles) {
   auto& r = Registry::instance();
   Histogram& h = r.histogram("senids_test_json_seconds", "json export test");

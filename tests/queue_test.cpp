@@ -3,6 +3,7 @@
 #include <atomic>
 #include <thread>
 
+#include "obs/metrics.hpp"
 #include "util/queue.hpp"
 
 namespace senids::util {
@@ -123,6 +124,25 @@ TEST(BoundedQueue, WeightBudgetLimitsQueuedBytes) {
   EXPECT_EQ(q.pop().value(), 1);
   EXPECT_EQ(q.weight(), 40u);
   EXPECT_TRUE(q.try_push(4, 60));
+}
+
+TEST(BoundedQueue, DepthPeakGaugeRatchetsToHighWatermark) {
+  obs::set_metrics_enabled(true);
+  obs::Gauge depth;
+  obs::Gauge depth_peak;
+  QueueMetrics metrics;
+  metrics.depth = &depth;
+  metrics.depth_peak = &depth_peak;
+  BoundedQueue<int> q(8);
+  q.set_metrics(&metrics);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(q.push(i));
+  EXPECT_EQ(depth.value(), 5);
+  EXPECT_EQ(depth_peak.value(), 5);
+  for (int i = 0; i < 4; ++i) (void)q.pop();
+  EXPECT_EQ(depth.value(), 1);
+  EXPECT_EQ(depth_peak.value(), 5) << "the peak must survive the drain";
+  for (int i = 0; i < 6; ++i) ASSERT_TRUE(q.push(i));
+  EXPECT_EQ(depth_peak.value(), 7) << "a new high watermark ratchets up";
 }
 
 TEST(BoundedQueue, OversizedItemAdmittedWhenEmpty) {

@@ -22,19 +22,35 @@
 //     --json                  machine-readable output
 //     --quiet                 alerts only, no statistics
 //     --metrics-out <file>    write pipeline metrics after the run
-//                             (.json -> JSON, else Prometheus text)
+//                             (.json -> JSON, else Prometheus text);
+//                             written atomically (temp file + rename)
+//     --metrics-interval <s>  also rewrite --metrics-out every s seconds
+//                             while the capture runs (default 5 once
+//                             --metrics-out is set; 0 disables)
 //     --trace-out <file>      record per-unit stage spans and write them
 //                             (.jsonl -> JSONL, else Chrome trace JSON
 //                             loadable in ui.perfetto.dev)
+//     --telemetry-port <p>    serve /metrics /healthz /statusz /tracez
+//                             over HTTP on 127.0.0.1:<p> (0 = ephemeral;
+//                             the bound port is printed to stderr)
+//     --telemetry-linger <s>  keep the telemetry server up s seconds
+//                             after the run so scrapers can collect
+//     --flight-recorder-slots <n>  per-worker flight-recorder ring size
+//                             (default 256 with --telemetry-port, else 0)
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/senids.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/server.hpp"
 #include "obs/trace.hpp"
 #include "sig/ruleparse.hpp"
 
@@ -61,7 +77,11 @@ struct CliOptions {
   bool quiet = false;
   bool summary = false;
   std::string metrics_out;
+  double metrics_interval = -1.0;  // <0 = default (5s when --metrics-out set)
   std::string trace_out;
+  int telemetry_port = -1;  // <0 = no telemetry server; 0 = ephemeral
+  double telemetry_linger = 0.0;
+  std::size_t flight_slots = static_cast<std::size_t>(-1);  // -1 = default
   std::string pcap_path;
 };
 
@@ -88,8 +108,16 @@ void usage(const char* argv0) {
                "  --quiet               alerts only\n"
                "  --metrics-out <file>  write pipeline metrics after the run\n"
                "                        (.json -> JSON, else Prometheus text)\n"
+               "  --metrics-interval <s>  rewrite --metrics-out every s seconds\n"
+               "                        during the run (default 5; 0 = off)\n"
                "  --trace-out <file>    record stage spans, write Chrome trace\n"
-               "                        JSON (.jsonl -> one span per line)\n",
+               "                        JSON (.jsonl -> one span per line)\n"
+               "  --telemetry-port <p>  serve /metrics /healthz /statusz /tracez\n"
+               "                        on 127.0.0.1:<p> (0 = ephemeral port)\n"
+               "  --telemetry-linger <s>  keep the server up s seconds after\n"
+               "                        the run finishes\n"
+               "  --flight-recorder-slots <n>  per-worker unit flight-recorder\n"
+               "                        ring size (default 256 with telemetry)\n",
                argv0);
 }
 
@@ -107,11 +135,77 @@ std::optional<classify::Prefix> parse_prefix(std::string_view text) {
   return classify::Prefix{*addr, bits};
 }
 
+/// Atomic write: stream into a sibling temp file, then rename over the
+/// destination. A scraper tailing --metrics-out during the periodic
+/// rewrites never observes a half-written file.
 bool write_file(const std::string& path, const std::string& content) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return false;
-  out << content;
-  return static_cast<bool>(out);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out << content;
+    if (!out) {
+      out.close();
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+void write_metrics_snapshot(const std::string& path) {
+  const auto& registry = obs::Registry::instance();
+  const bool as_json = path.ends_with(".json");
+  if (!write_file(path, as_json ? registry.json() : registry.prometheus_text())) {
+    std::fprintf(stderr, "cannot write metrics file: %s\n", path.c_str());
+  }
+}
+
+/// Rewrites --metrics-out every `interval` seconds until stopped: a
+/// long capture becomes scrapeable from the filesystem mid-run, not
+/// only after it finishes.
+class PeriodicMetricsWriter {
+ public:
+  PeriodicMetricsWriter(std::string path, double interval)
+      : path_(std::move(path)),
+        thread_([this, interval] {
+          const auto step = std::chrono::milliseconds(100);
+          auto next = std::chrono::steady_clock::now() +
+                      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                          std::chrono::duration<double>(interval));
+          while (!stop_.load(std::memory_order_relaxed)) {
+            std::this_thread::sleep_for(step);
+            if (std::chrono::steady_clock::now() < next) continue;
+            write_metrics_snapshot(path_);
+            next += std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(interval));
+          }
+        }) {}
+
+  ~PeriodicMetricsWriter() {
+    stop_.store(true, std::memory_order_relaxed);
+    thread_.join();
+  }
+
+ private:
+  std::string path_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+std::string fingerprint_hex(const cache::Digest& digest) {
+  std::string out;
+  out.reserve(digest.size() * 2);
+  for (std::uint8_t b : digest) {
+    char buf[3];
+    std::snprintf(buf, sizeof buf, "%02x", b);
+    out += buf;
+  }
+  return out;
 }
 
 std::string json_escape(const std::string& s) {
@@ -188,8 +282,20 @@ int main(int argc, char** argv) {
       cli.json = true;
     } else if (arg == "--metrics-out") {
       cli.metrics_out = next();
+    } else if (arg == "--metrics-interval") {
+      cli.metrics_interval = std::atof(next());
     } else if (arg == "--trace-out") {
       cli.trace_out = next();
+    } else if (arg == "--telemetry-port") {
+      cli.telemetry_port = std::atoi(next());
+      if (cli.telemetry_port < 0 || cli.telemetry_port > 65535) {
+        std::fprintf(stderr, "bad --telemetry-port (0-65535)\n");
+        return 2;
+      }
+    } else if (arg == "--telemetry-linger") {
+      cli.telemetry_linger = std::atof(next());
+    } else if (arg == "--flight-recorder-slots") {
+      cli.flight_slots = static_cast<std::size_t>(std::atoll(next()));
     } else if (arg == "--quiet") {
       cli.quiet = true;
     } else if (arg == "--summary") {
@@ -256,7 +362,38 @@ int main(int argc, char** argv) {
   // unit); --trace-out is the opt-in.
   if (!cli.trace_out.empty()) obs::Tracer::set_enabled(true);
 
-  core::Report report = nids.process_capture(*capture);
+  // Flight recorder: on by default when telemetry is served (a /tracez
+  // endpoint with nothing behind it is useless), opt-in otherwise.
+  std::size_t flight_slots = cli.flight_slots;
+  if (flight_slots == static_cast<std::size_t>(-1)) {
+    flight_slots = cli.telemetry_port >= 0 ? 256 : 0;
+  }
+  if (flight_slots > 0) {
+    obs::FlightRecorder::instance().configure({.slots = flight_slots});
+  }
+
+  std::unique_ptr<obs::TelemetryServer> telemetry;
+  if (cli.telemetry_port >= 0) {
+    obs::TelemetryOptions topt;
+    topt.port = static_cast<std::uint16_t>(cli.telemetry_port);
+    topt.build_info = fingerprint_hex(nids.config_fingerprint());
+    telemetry = obs::TelemetryServer::start(std::move(topt));
+    if (!telemetry) return 1;
+    std::fprintf(stderr, "telemetry: http://127.0.0.1:%u/ (metrics healthz statusz tracez)\n",
+                 telemetry->port());
+  }
+
+  core::Report report;
+  {
+    // Periodic on-disk metrics flush while the capture runs.
+    double interval = cli.metrics_interval;
+    if (interval < 0) interval = cli.metrics_out.empty() ? 0.0 : 5.0;
+    std::unique_ptr<PeriodicMetricsWriter> flusher;
+    if (!cli.metrics_out.empty() && interval > 0) {
+      flusher = std::make_unique<PeriodicMetricsWriter>(cli.metrics_out, interval);
+    }
+    report = nids.process_capture(*capture);
+  }
 
   // Optional syntactic side-channel: run Snort-style content rules over
   // every payload and report their hits alongside the semantic alerts.
@@ -362,6 +499,11 @@ int main(int argc, char** argv) {
                     report.stats.cache_bypass, report.stats.cache_bytes_saved);
       }
     }
+  }
+  // Keep the endpoints scrapeable after a short capture (CI smoke tests
+  // and humans pointing curl at a finished run).
+  if (telemetry && cli.telemetry_linger > 0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(cli.telemetry_linger));
   }
   return report.alerts.empty() ? 0 : 3;  // 3 = threats found (grep-able)
 }
