@@ -37,7 +37,7 @@ std::optional<Verdict> VerdictCache::lookup(const Digest& key) {
   Shard& s = shard_of(key);
   std::optional<Verdict> found;
   {
-    std::lock_guard lock(s.mu);
+    util::MutexLock lock(s.mu);
     ++s.lookups;
     auto it = s.map.find(key);
     if (it != s.map.end()) {
@@ -64,7 +64,7 @@ void VerdictCache::insert(const Digest& key, Verdict verdict) {
   bool inserted = false;
   std::int64_t bytes_delta = 0;
   {
-    std::lock_guard lock(s.mu);
+    util::MutexLock lock(s.mu);
     auto it = s.map.find(key);
     if (it != s.map.end()) {
       // Verdicts are deterministic per key; the racing winner's copy is
@@ -102,7 +102,7 @@ VerdictCache::Stats VerdictCache::stats() const {
   total.byte_budget = options_.byte_budget;
   for (const auto& shard : shards_) {
     Shard& s = *shard;
-    std::lock_guard lock(s.mu);
+    util::MutexLock lock(s.mu);
     total.lookups += s.lookups;
     total.hits += s.hits;
     total.insertions += s.insertions;
@@ -120,7 +120,7 @@ void VerdictCache::clear() {
     std::int64_t entries_delta = 0;
     std::int64_t bytes_delta = 0;
     {
-      std::lock_guard lock(s.mu);
+      util::MutexLock lock(s.mu);
       entries_delta = static_cast<std::int64_t>(s.map.size());
       bytes_delta = static_cast<std::int64_t>(s.bytes);
       s.map.clear();

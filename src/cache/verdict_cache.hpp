@@ -20,7 +20,6 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -30,6 +29,7 @@
 #include "extract/extractor.hpp"
 #include "obs/metrics.hpp"
 #include "semantic/template.hpp"
+#include "util/sync.hpp"
 
 namespace senids::cache {
 
@@ -135,15 +135,18 @@ class VerdictCache {
   };
 
   struct Shard {
-    std::mutex mu;
-    std::list<Entry> lru;  // front = most recently used
-    std::unordered_map<Digest, std::list<Entry>::iterator, KeyHash> map;
-    std::size_t bytes = 0;
+    // One lock class for all shards: instances are peers that must never
+    // nest (lookup/insert touch exactly one; stats/clear walk them one
+    // at a time), and the lock-order checker enforces exactly that.
+    util::Mutex mu{"VerdictCache.shard"};
+    std::list<Entry> lru GUARDED_BY(mu);  // front = most recently used
+    std::unordered_map<Digest, std::list<Entry>::iterator, KeyHash> map GUARDED_BY(mu);
+    std::size_t bytes GUARDED_BY(mu) = 0;
     // Plain counters guarded by mu (stats() takes each lock briefly).
-    std::uint64_t lookups = 0;
-    std::uint64_t hits = 0;
-    std::uint64_t insertions = 0;
-    std::uint64_t evictions = 0;
+    std::uint64_t lookups GUARDED_BY(mu) = 0;
+    std::uint64_t hits GUARDED_BY(mu) = 0;
+    std::uint64_t insertions GUARDED_BY(mu) = 0;
+    std::uint64_t evictions GUARDED_BY(mu) = 0;
   };
 
   Shard& shard_of(const Digest& key) noexcept {

@@ -16,6 +16,7 @@
 #include "obs/workers.hpp"
 #include "util/log.hpp"
 #include "util/queue.hpp"
+#include "util/sync.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 #include "verify/ir_verify.hpp"
@@ -666,13 +667,27 @@ Report NidsEngine::process_capture(const pcap::Capture& capture) {
       static_cast<std::int64_t>(options_.max_queued_units));
   obs::pipeline_metrics().flow_table_max_flows->set(
       static_cast<std::int64_t>(options_.max_flows));
-  std::mutex mu;  // guards report.alerts and the analysis stat fields
+  // Merge point for worker-local results. A named struct (rather than a
+  // bare local mutex) so the shared report is GUARDED_BY its mutex and
+  // the thread-safety analysis enforces that workers only reach it
+  // through merge().
+  struct MergePoint {
+    util::Mutex mu{"Engine.report"};
+    Report& report GUARDED_BY(mu);
+    explicit MergePoint(Report& r) : report(r) {}
+    void merge(std::vector<Alert>&& alerts, const NidsStats& local) {
+      util::MutexLock lock(mu);
+      report.alerts.insert(report.alerts.end(), std::make_move_iterator(alerts.begin()),
+                           std::make_move_iterator(alerts.end()));
+      merge_stats(report.stats, local);
+    }
+  } merge_point{report};
 
   std::optional<util::ThreadPool> pool;
   if (workers) {
     pool.emplace(workers);
     for (std::size_t i = 0; i < workers; ++i) {
-      pool->submit([this, i, &queue, &mu, &report] {
+      pool->submit([this, i, &queue, &merge_point] {
         // Long-running consumer: drain units until the producers close
         // the queue, then merge local results once. Each worker owns a
         // private AnalysisContext (no shared extractor/analyzer state on
@@ -704,12 +719,7 @@ Report NidsEngine::process_capture(const pcap::Capture& capture) {
           wslot.add_busy(busy_timer.seconds());
           wslot.add_units(batch.size());
         }
-        {
-          std::lock_guard lock(mu);
-          report.alerts.insert(report.alerts.end(), std::make_move_iterator(alerts.begin()),
-                               std::make_move_iterator(alerts.end()));
-          merge_stats(report.stats, local);
-        }
+        merge_point.merge(std::move(alerts), local);
         wslot.end_run();
       });
     }

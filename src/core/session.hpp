@@ -5,6 +5,13 @@
 // idle flows time out, the live-flow count is capped, and over-long
 // streams are flushed truncated — a session pinned to live traffic can
 // run indefinitely with bounded memory.
+//
+// Threading model (checked in the concurrency-safety audit, DESIGN.md
+// "Concurrency safety"): a LiveSession is deliberately lock-free by
+// being thread-confined — all state is owned by the one thread calling
+// feed()/finish(), so there is nothing for GUARDED_BY to guard. Run one
+// session per worker thread for parallel deployments; sharing one
+// session across threads is a data race by contract.
 #pragma once
 
 #include <functional>

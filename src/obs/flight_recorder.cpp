@@ -5,10 +5,10 @@
 #include <cstdarg>
 #include <cstdio>
 #include <memory>
-#include <mutex>
 
 #include "obs/metrics.hpp"
 #include "obs/pipeline.hpp"
+#include "util/sync.hpp"
 
 namespace senids::obs {
 
@@ -148,12 +148,15 @@ std::string_view cache_disposition_name(CacheDisposition d) noexcept {
 
 struct FlightRecorder::Impl {
   const SteadyClock::time_point epoch = SteadyClock::now();
-  mutable std::mutex mu;  // guards options/rings structure, never the record path
-  Options options;
+  // Guards the options/rings *structure*, never the record path (writers
+  // go through per-thread rings and atomics; collectors copy raw ring
+  // pointers out under mu and then read via the seqlock protocol).
+  mutable util::Mutex mu{"FlightRecorder"};
+  Options options GUARDED_BY(mu);
   std::atomic<std::uint64_t> generation{0};
-  std::vector<std::unique_ptr<Ring>> rings;
+  std::vector<std::unique_ptr<Ring>> rings GUARDED_BY(mu);
   // Multi-writer slow buffer: slots claimed by fetch_add on slow_head.
-  std::vector<std::unique_ptr<Slot>> slow_slots;
+  std::vector<std::unique_ptr<Slot>> slow_slots GUARDED_BY(mu);
   std::atomic<std::uint64_t> slow_head{0};
   std::atomic<std::uint64_t> slow_threshold_ns{0};
 
@@ -177,12 +180,12 @@ bool FlightRecorder::enabled() noexcept {
 }
 
 FlightRecorder::Options FlightRecorder::options() const {
-  std::lock_guard lock(impl_->mu);
+  util::MutexLock lock(impl_->mu);
   return impl_->options;
 }
 
 void FlightRecorder::configure(const Options& options) {
-  std::lock_guard lock(impl_->mu);
+  util::MutexLock lock(impl_->mu);
   impl_->options = options;
   impl_->rings.clear();
   impl_->slow_slots.clear();
@@ -208,7 +211,7 @@ void FlightRecorder::refresh_slow_threshold() noexcept {
   double floor_s;
   double mult;
   {
-    std::lock_guard lock(impl_->mu);
+    util::MutexLock lock(impl_->mu);
     floor_s = impl_->options.slow_floor_seconds;
     mult = impl_->options.slow_multiplier;
   }
@@ -239,7 +242,7 @@ void FlightRecorder::record(const UnitRecord& rec) noexcept {
   thread_local TlBinding tl;
   const std::uint64_t gen = im.generation.load(std::memory_order_acquire);
   if (tl.generation != gen || tl.ring == nullptr) {
-    std::lock_guard lock(im.mu);
+    util::MutexLock lock(im.mu);
     if (im.options.slots == 0) return;  // raced a disable
     im.rings.push_back(std::make_unique<Ring>(
         im.options.slots, static_cast<std::uint32_t>(im.rings.size())));
@@ -260,9 +263,17 @@ void FlightRecorder::record(const UnitRecord& rec) noexcept {
   }
   const std::uint64_t threshold_ns =
       im.slow_threshold_ns.load(std::memory_order_relaxed);
-  if (std::uint64_t{r.total_us} * 1000 > threshold_ns && !im.slow_slots.empty()) {
-    const std::uint64_t slow_head = im.slow_head.fetch_add(1, std::memory_order_relaxed);
-    im.slow_slots[slow_head % im.slow_slots.size()]->write(r);
+  if (std::uint64_t{r.total_us} * 1000 > threshold_ns) {
+    // Unguarded-field finding from the thread-safety annotation pass:
+    // this branch used to index slow_slots without im.mu, racing a
+    // concurrent configure() that swaps the vector out under it. Taking
+    // the lock here is fine — only slow outliers (above the rolling p95
+    // threshold) ever reach this branch, never the per-unit fast path.
+    util::MutexLock lock(im.mu);
+    if (!im.slow_slots.empty()) {
+      const std::uint64_t slow_head = im.slow_head.fetch_add(1, std::memory_order_relaxed);
+      im.slow_slots[slow_head % im.slow_slots.size()]->write(r);
+    }
   }
 #else
   (void)rec;
@@ -272,7 +283,7 @@ void FlightRecorder::record(const UnitRecord& rec) noexcept {
 std::vector<UnitRecord> FlightRecorder::recent() const {
   std::vector<Ring*> rings;
   {
-    std::lock_guard lock(impl_->mu);
+    util::MutexLock lock(impl_->mu);
     rings.reserve(impl_->rings.size());
     for (const auto& r : impl_->rings) rings.push_back(r.get());
   }
@@ -292,7 +303,7 @@ std::vector<UnitRecord> FlightRecorder::recent() const {
 std::vector<UnitRecord> FlightRecorder::slow(bool clear) {
   std::vector<Slot*> slots;
   {
-    std::lock_guard lock(impl_->mu);
+    util::MutexLock lock(impl_->mu);
     slots.reserve(impl_->slow_slots.size());
     for (const auto& s : impl_->slow_slots) slots.push_back(s.get());
   }
@@ -313,7 +324,7 @@ std::vector<UnitRecord> FlightRecorder::slow(bool clear) {
 }
 
 void FlightRecorder::reset() {
-  std::lock_guard lock(impl_->mu);
+  util::MutexLock lock(impl_->mu);
   // Bump the generation so bound threads re-register; dropping the rings
   // drops their contents.
   impl_->rings.clear();

@@ -6,7 +6,8 @@
 #include <cstdio>
 #include <map>
 #include <memory>
-#include <mutex>
+
+#include "util/sync.hpp"
 
 namespace senids::obs {
 
@@ -166,10 +167,10 @@ struct Entry {
 }  // namespace
 
 struct Registry::Impl {
-  mutable std::mutex mu;
+  mutable util::Mutex mu{"MetricsRegistry"};
   // Keyed on (family, labels); std::map node stability keeps the
   // string_views handed out in MetricView valid forever.
-  std::map<std::pair<std::string, std::string>, Entry> entries;
+  std::map<std::pair<std::string, std::string>, Entry> entries GUARDED_BY(mu);
 
   Entry& find_or_create(std::string_view family, std::string_view help,
                         std::string_view label_key, std::string_view label_value,
@@ -181,7 +182,7 @@ struct Registry::Impl {
           .append(escape_label_value(label_value))
           .append("\"");
     }
-    std::lock_guard lock(mu);
+    util::MutexLock lock(mu);
     auto key = std::make_pair(std::string(family), labels);
     auto it = entries.find(key);
     if (it != entries.end()) return it->second;
@@ -229,7 +230,7 @@ Histogram& Registry::histogram(std::string_view family, std::string_view help,
 
 std::vector<MetricView> Registry::metrics() const {
   Impl& im = impl();
-  std::lock_guard lock(im.mu);
+  util::MutexLock lock(im.mu);
   std::vector<MetricView> out;
   out.reserve(im.entries.size());
   for (const auto& [key, e] : im.entries) {
@@ -247,7 +248,7 @@ std::vector<MetricView> Registry::metrics() const {
 
 void Registry::reset_values() {
   Impl& im = impl();
-  std::lock_guard lock(im.mu);
+  util::MutexLock lock(im.mu);
   for (auto& [key, e] : im.entries) {
     if (e.counter) e.counter->reset();
     if (e.gauge) e.gauge->reset();

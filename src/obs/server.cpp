@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "obs/flight_recorder.hpp"
+#include "util/sync.hpp"
 #include "obs/metrics.hpp"
 #include "obs/pipeline.hpp"
 #include "obs/workers.hpp"
@@ -318,9 +319,18 @@ std::string status_json(const std::string& build_info) {
 
 struct TelemetryServer::Impl {
   TelemetryOptions options;
+  // Written by start() before the accept thread exists, read by the
+  // accept loop, closed exactly once by stop() after the join (the
+  // lifecycle mutex orders that close; the loop itself never needs it).
   int listen_fd = -1;
   std::uint16_t port = 0;
-  std::thread accept_thread;
+  // Lock-order-checker finding: stop() used to gate on stop.exchange()
+  // but both the destructor and an explicit stop() caller could still
+  // reach join() concurrently — std::thread::join racing itself is UB.
+  // The lifecycle mutex makes join-then-close a critical section;
+  // joinable() flips under it, so the second caller no-ops.
+  util::Mutex lifecycle_mu{"TelemetryServer.lifecycle"};
+  std::thread accept_thread GUARDED_BY(lifecycle_mu);
   std::atomic<bool> stop{false};
   std::atomic<std::uint64_t> requests{0};
 
@@ -478,7 +488,10 @@ std::unique_ptr<TelemetryServer> TelemetryServer::start(TelemetryOptions options
   if (::getsockname(im.listen_fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
     im.port = ntohs(bound.sin_port);
   }
-  im.accept_thread = std::thread([&im] { im.run(); });
+  {
+    util::MutexLock lock(im.lifecycle_mu);
+    im.accept_thread = std::thread([&im] { im.run(); });
+  }
   return server;
 }
 
@@ -486,10 +499,8 @@ TelemetryServer::~TelemetryServer() { stop(); }
 
 void TelemetryServer::stop() {
   Impl& im = *impl_;
-  if (im.stop.exchange(true)) {
-    if (im.accept_thread.joinable()) im.accept_thread.join();
-    return;
-  }
+  im.stop.store(true, std::memory_order_relaxed);
+  util::MutexLock lock(im.lifecycle_mu);
   if (im.accept_thread.joinable()) im.accept_thread.join();
   if (im.listen_fd >= 0) {
     ::close(im.listen_fd);

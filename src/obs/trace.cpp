@@ -5,7 +5,8 @@
 #include <cstdarg>
 #include <cstdio>
 #include <memory>
-#include <mutex>
+
+#include "util/sync.hpp"
 
 namespace senids::obs {
 
@@ -49,13 +50,20 @@ struct Tracer::Impl {
   using Clock = std::chrono::steady_clock;
 
   struct Buffer {
-    std::mutex mu;  // uncontended: one owner thread appends, collectors read
-    std::vector<Span> spans;
+    // Uncontended: one owner thread appends, collectors read. Nested
+    // inside Impl::mu by collectors — "Tracer" before "Tracer.buffer"
+    // is the one two-level chain in the pipeline's lock hierarchy.
+    util::Mutex mu{"Tracer.buffer"};
+    std::vector<Span> spans GUARDED_BY(mu);
   };
 
-  mutable std::mutex mu;  // guards buffers registration and epoch
-  std::vector<std::unique_ptr<Buffer>> buffers;
-  Clock::time_point epoch = Clock::now();
+  mutable util::Mutex mu{"Tracer"};  // guards buffer registration
+  std::vector<std::unique_ptr<Buffer>> buffers GUARDED_BY(mu);
+  // Annotation-pass finding: epoch used to be a plain time_point read by
+  // now_us() on the span hot path while reset() rewrote it under mu — a
+  // torn read on a two-word value. Atomic clock ticks keep the hot path
+  // lock-free and the reset race well-defined.
+  std::atomic<Clock::rep> epoch_ticks{Clock::now().time_since_epoch().count()};
   std::atomic<std::uint64_t> next_unit{1};
   std::atomic<std::uint32_t> next_tid{1};
 
@@ -68,7 +76,7 @@ struct Tracer::Impl {
       auto owned = std::make_unique<Buffer>();
       buffer = owned.get();
       tid = next_tid.fetch_add(1, std::memory_order_relaxed);
-      std::lock_guard lock(mu);
+      util::MutexLock lock(mu);
       buffers.push_back(std::move(owned));
     }
     *tid_out = tid;
@@ -92,10 +100,11 @@ void Tracer::set_enabled(bool enabled) noexcept {
 }
 
 std::uint64_t Tracer::now_us() const noexcept {
+  const auto since_epoch =
+      Impl::Clock::now().time_since_epoch() -
+      Impl::Clock::duration(impl_->epoch_ticks.load(std::memory_order_relaxed));
   return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::microseconds>(Impl::Clock::now() -
-                                                            impl_->epoch)
-          .count());
+      std::chrono::duration_cast<std::chrono::microseconds>(since_epoch).count());
 }
 
 std::uint64_t Tracer::next_unit_id() noexcept {
@@ -107,15 +116,15 @@ void Tracer::record(Span span) {
   std::uint32_t tid = 0;
   Impl::Buffer& buffer = impl_->local_buffer(&tid);
   span.tid = tid;
-  std::lock_guard lock(buffer.mu);
+  util::MutexLock lock(buffer.mu);
   buffer.spans.push_back(span);
 }
 
 std::vector<Span> Tracer::spans() const {
   std::vector<Span> out;
-  std::lock_guard lock(impl_->mu);
+  util::MutexLock lock(impl_->mu);
   for (const auto& buffer : impl_->buffers) {
-    std::lock_guard buffer_lock(buffer->mu);
+    util::MutexLock buffer_lock(buffer->mu);
     out.insert(out.end(), buffer->spans.begin(), buffer->spans.end());
   }
   return out;
@@ -143,12 +152,13 @@ std::string Tracer::jsonl() const {
 }
 
 void Tracer::reset() {
-  std::lock_guard lock(impl_->mu);
+  util::MutexLock lock(impl_->mu);
   for (auto& buffer : impl_->buffers) {
-    std::lock_guard buffer_lock(buffer->mu);
+    util::MutexLock buffer_lock(buffer->mu);
     buffer->spans.clear();
   }
-  impl_->epoch = Impl::Clock::now();
+  impl_->epoch_ticks.store(Impl::Clock::now().time_since_epoch().count(),
+                           std::memory_order_relaxed);
   impl_->next_unit.store(1, std::memory_order_relaxed);
 }
 

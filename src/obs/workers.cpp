@@ -4,7 +4,8 @@
 #include <chrono>
 #include <map>
 #include <memory>
-#include <mutex>
+
+#include "util/sync.hpp"
 
 namespace senids::obs {
 
@@ -40,9 +41,12 @@ void WorkerSlot::heartbeat() noexcept {
 
 struct WorkerTable::Impl {
   const SteadyClock::time_point epoch = SteadyClock::now();
-  mutable std::mutex mu;
-  // Node stability keeps WorkerSlot& handles valid forever.
-  std::map<std::pair<std::string, std::size_t>, std::unique_ptr<WorkerSlot>> slots;
+  mutable util::Mutex mu{"WorkerTable"};
+  // Node stability keeps WorkerSlot& handles valid forever. The slots
+  // themselves are all-atomic (mutated lock-free by their owner thread);
+  // mu guards only the registration map.
+  std::map<std::pair<std::string, std::size_t>, std::unique_ptr<WorkerSlot>> slots
+      GUARDED_BY(mu);
 };
 
 WorkerTable::WorkerTable() : impl_(new Impl) {}
@@ -60,7 +64,7 @@ std::uint64_t WorkerTable::now_ns() const noexcept {
 }
 
 WorkerSlot& WorkerTable::slot(std::string_view kind, std::size_t index) {
-  std::lock_guard lock(impl_->mu);
+  util::MutexLock lock(impl_->mu);
   auto key = std::make_pair(std::string(kind), index);
   auto it = impl_->slots.find(key);
   if (it == impl_->slots.end()) {
@@ -74,7 +78,7 @@ WorkerSlot& WorkerTable::slot(std::string_view kind, std::size_t index) {
 
 std::vector<WorkerSlot::Snapshot> WorkerTable::snapshot() const {
   const std::uint64_t now = now_ns();
-  std::lock_guard lock(impl_->mu);
+  util::MutexLock lock(impl_->mu);
   std::vector<WorkerSlot::Snapshot> out;
   out.reserve(impl_->slots.size());
   for (const auto& [key, slot] : impl_->slots) {
@@ -102,7 +106,7 @@ std::vector<WorkerSlot::Snapshot> WorkerTable::snapshot() const {
 }
 
 void WorkerTable::reset() {
-  std::lock_guard lock(impl_->mu);
+  util::MutexLock lock(impl_->mu);
   for (auto& [key, slot] : impl_->slots) {
     slot->busy_ns_.store(0, std::memory_order_relaxed);
     slot->idle_ns_.store(0, std::memory_order_relaxed);

@@ -12,6 +12,7 @@ namespace {
 
 /// Startup level: SENIDS_LOG_LEVEL name or number, default kWarn.
 LogLevel level_from_environment() {
+  // Startup-only, read-only environment access.  NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* raw = std::getenv("SENIDS_LOG_LEVEL");
   if (!raw || !*raw) return LogLevel::kWarn;
   std::string value(raw);
@@ -42,18 +43,32 @@ LogLevel Log::level() noexcept {
 }
 
 void Log::set_sink(Sink sink) {
-  std::lock_guard lock(instance().mu_);
-  instance().sink_ = std::move(sink);
+  Log& log = instance();
+  MutexLock lock(log.mu_);
+  log.sink_ = std::move(sink);
 }
 
 void Log::write(LogLevel level, const std::string& message) {
   Log& log = instance();
   if (level < log.level_.load(std::memory_order_relaxed)) return;
-  std::lock_guard lock(log.mu_);
-  if (log.sink_) {
-    log.sink_(level, message);
-    return;
+  // Copy the sink out and call it unlocked: callers log while holding
+  // pipeline locks, and a sink is arbitrary code — invoking it under mu_
+  // would put "Log -> whatever the sink takes" into the lock-order graph
+  // and deadlock any thread that logs while holding that lock. The
+  // stderr default stays under mu_ (no callback, keeps lines ordered).
+  Sink sink_copy;
+  {
+    MutexLock lock(log.mu_);
+    if (!log.sink_) {
+      write_stderr_locked(level, message);
+      return;
+    }
+    sink_copy = log.sink_;
   }
+  sink_copy(level, message);
+}
+
+void Log::write_stderr_locked(LogLevel level, const std::string& message) {
   static constexpr const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
   const auto now = std::chrono::system_clock::now();
   const std::time_t secs = std::chrono::system_clock::to_time_t(now);

@@ -8,9 +8,10 @@
 
 #include <atomic>
 #include <functional>
-#include <mutex>
 #include <sstream>
 #include <string>
+
+#include "util/sync.hpp"
 
 namespace senids::util {
 
@@ -27,6 +28,13 @@ class Log {
 
   /// Replace the output sink (default writes
   /// "[YYYY-mm-dd HH:MM:SS.mmm] [level] message" to stderr).
+  ///
+  /// A custom sink is invoked *outside* the logger's mutex (holding it
+  /// across an arbitrary callback is a deadlock-by-lock-order waiting to
+  /// happen — the callback could acquire a lock that is elsewhere held
+  /// while logging). Consequences a sink must handle: concurrent
+  /// invocation from multiple threads, and a possible straggler call
+  /// shortly after set_sink() replaces it.
   static void set_sink(Sink sink);
 
   static void write(LogLevel level, const std::string& message);
@@ -34,10 +42,13 @@ class Log {
  private:
   Log();
   static Log& instance();
+  /// Default stderr line writer; called with mu_ held (touches no
+  /// guarded state, the lock only keeps concurrent lines ordered).
+  static void write_stderr_locked(LogLevel level, const std::string& message);
 
-  std::mutex mu_;
+  Mutex mu_{"Log"};
   std::atomic<LogLevel> level_{LogLevel::kWarn};
-  Sink sink_;
+  Sink sink_ GUARDED_BY(mu_);
 };
 
 namespace detail {

@@ -19,17 +19,21 @@
 // fairness or grouping promise beyond FIFO: a batch is simply the oldest
 // min(N, size) items at the moment the consumer acquired the lock, so
 // any partition of a FIFO drain into batches observes the same sequence.
+//
+// Locking: everything mutable is GUARDED_BY(mu_) — the annotations are
+// compiler-enforced under Clang (see util/sync.hpp). Condition-variable
+// waits are written as explicit predicate loops so the thread-safety
+// analysis sees every guarded access inside the locked scope.
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "util/sync.hpp"
 
 namespace senids::util {
 
@@ -59,31 +63,35 @@ class BoundedQueue {
 
   /// Attach observability hooks (call before producers/consumers start;
   /// `metrics` must outlive the queue). Nullptr detaches.
-  void set_metrics(const QueueMetrics* metrics) noexcept { metrics_ = metrics; }
+  void set_metrics(const QueueMetrics* metrics) noexcept {
+    MutexLock lock(mu_);
+    metrics_ = metrics;
+  }
 
   /// Blocking push; returns false if the queue was closed.
   bool push(T value, std::size_t weight = 0) {
-    std::unique_lock lock(mu_);
-    if (metrics_ && !closed_ && !admits(weight)) {
-      // The producer is about to block: that is the backpressure signal
-      // operators watch, so record the event and how long it lasted.
-      if (metrics_->backpressure_waits) metrics_->backpressure_waits->add();
-      const auto wait_start = std::chrono::steady_clock::now();
-      not_full_.wait(lock, [this, weight] { return admits(weight) || closed_; });
-      if (metrics_->backpressure_wait_seconds) {
-        metrics_->backpressure_wait_seconds->observe(
-            std::chrono::duration<double>(std::chrono::steady_clock::now() - wait_start)
-                .count());
+    {
+      MutexLock lock(mu_);
+      if (metrics_ && !closed_ && !admits(weight)) {
+        // The producer is about to block: that is the backpressure signal
+        // operators watch, so record the event and how long it lasted.
+        if (metrics_->backpressure_waits) metrics_->backpressure_waits->add();
+        const auto wait_start = std::chrono::steady_clock::now();
+        while (!admits(weight) && !closed_) not_full_.wait(mu_);
+        if (metrics_->backpressure_wait_seconds) {
+          metrics_->backpressure_wait_seconds->observe(
+              std::chrono::duration<double>(std::chrono::steady_clock::now() - wait_start)
+                  .count());
+        }
+      } else {
+        while (!admits(weight) && !closed_) not_full_.wait(mu_);
       }
-    } else {
-      not_full_.wait(lock, [this, weight] { return admits(weight) || closed_; });
+      if (closed_) return false;
+      weight_ += weight;
+      items_.emplace_back(std::move(value), weight);
+      if (metrics_ && metrics_->pushed) metrics_->pushed->add();
+      publish_gauges();
     }
-    if (closed_) return false;
-    weight_ += weight;
-    items_.emplace_back(std::move(value), weight);
-    if (metrics_ && metrics_->pushed) metrics_->pushed->add();
-    publish_gauges();
-    lock.unlock();
     not_empty_.notify_one();
     return true;
   }
@@ -91,7 +99,7 @@ class BoundedQueue {
   /// Non-blocking push; false when full, over budget, or closed.
   bool try_push(T value, std::size_t weight = 0) {
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       if (closed_ || !admits(weight)) return false;
       weight_ += weight;
       items_.emplace_back(std::move(value), weight);
@@ -104,14 +112,16 @@ class BoundedQueue {
 
   /// Blocking pop; nullopt once the queue is closed *and* drained.
   std::optional<T> pop() {
-    std::unique_lock lock(mu_);
-    not_empty_.wait(lock, [this] { return !items_.empty() || closed_; });
-    if (items_.empty()) return std::nullopt;  // closed and drained
-    T value = std::move(items_.front().first);
-    weight_ -= items_.front().second;
-    items_.pop_front();
-    publish_gauges();
-    lock.unlock();
+    std::optional<T> value;
+    {
+      MutexLock lock(mu_);
+      while (items_.empty() && !closed_) not_empty_.wait(mu_);
+      if (items_.empty()) return std::nullopt;  // closed and drained
+      value = std::move(items_.front().first);
+      weight_ -= items_.front().second;
+      items_.pop_front();
+      publish_gauges();
+    }
     not_full_.notify_one();
     return value;
   }
@@ -127,8 +137,8 @@ class BoundedQueue {
     out.clear();
     if (max_items == 0) max_items = 1;
     {
-      std::unique_lock lock(mu_);
-      not_empty_.wait(lock, [this] { return !items_.empty() || closed_; });
+      MutexLock lock(mu_);
+      while (items_.empty() && !closed_) not_empty_.wait(mu_);
       const std::size_t n = std::min(max_items, items_.size());
       if (out.capacity() < n) out.reserve(n);
       for (std::size_t i = 0; i < n; ++i) {
@@ -150,7 +160,7 @@ class BoundedQueue {
   std::optional<T> try_pop() {
     std::optional<T> out;
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       if (items_.empty()) return std::nullopt;
       out = std::move(items_.front().first);
       weight_ -= items_.front().second;
@@ -164,7 +174,7 @@ class BoundedQueue {
   /// Close: producers fail from now on; consumers drain what remains.
   void close() {
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       closed_ = true;
     }
     not_empty_.notify_all();
@@ -172,22 +182,21 @@ class BoundedQueue {
   }
 
   [[nodiscard]] std::size_t size() const {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     return items_.size();
   }
   /// Summed weights of the items currently queued.
   [[nodiscard]] std::size_t weight() const {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     return weight_;
   }
   [[nodiscard]] bool closed() const {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     return closed_;
   }
 
  private:
-  /// Must hold mu_.
-  void publish_gauges() const {
+  void publish_gauges() const REQUIRES(mu_) {
     if (!metrics_) return;
     if (metrics_->depth) metrics_->depth->set(static_cast<std::int64_t>(items_.size()));
     if (metrics_->depth_peak) {
@@ -196,8 +205,8 @@ class BoundedQueue {
     if (metrics_->bytes) metrics_->bytes->set(static_cast<std::int64_t>(weight_));
   }
 
-  /// Must hold mu_. Empty-queue admission keeps oversized items live.
-  [[nodiscard]] bool admits(std::size_t weight) const {
+  /// Empty-queue admission keeps oversized items live.
+  [[nodiscard]] bool admits(std::size_t weight) const REQUIRES(mu_) {
     if (items_.size() >= capacity_) return false;
     if (max_weight_ == 0 || items_.empty()) return true;
     return weight_ + weight <= max_weight_;
@@ -205,13 +214,13 @@ class BoundedQueue {
 
   const std::size_t capacity_;
   const std::size_t max_weight_;
-  mutable std::mutex mu_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::deque<std::pair<T, std::size_t>> items_;
-  std::size_t weight_ = 0;
-  bool closed_ = false;
-  const QueueMetrics* metrics_ = nullptr;
+  mutable Mutex mu_{"BoundedQueue"};
+  CondVar not_full_;
+  CondVar not_empty_;
+  std::deque<std::pair<T, std::size_t>> items_ GUARDED_BY(mu_);
+  std::size_t weight_ GUARDED_BY(mu_) = 0;
+  bool closed_ GUARDED_BY(mu_) = false;
+  const QueueMetrics* metrics_ GUARDED_BY(mu_) = nullptr;
 };
 
 }  // namespace senids::util

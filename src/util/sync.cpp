@@ -1,0 +1,206 @@
+#include "util/sync.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+// Runtime lock-order checker ("lockdep light"). The data structures
+// here are guarded by plain std::mutex on purpose: instrumenting the
+// checker's own locks with the checker would recurse, and they are
+// leaves by construction (no callback ever runs under them).
+//
+// Cost model: a thread's first-level acquisition (empty held stack — the
+// overwhelmingly common case) touches only the thread-local stack. Only
+// a *nested* acquisition takes the global graph mutex, and nested
+// acquisitions are rare and cold (registration paths, collectors).
+
+namespace senids::util::lockorder {
+
+namespace {
+
+/// Build-time default (SENIDS_LOCK_ORDER_DEFAULT_ON is defined for
+/// debug and TSan builds), overridable by SENIDS_LOCK_ORDER=1|0.
+bool initial_enabled() noexcept {
+#if defined(SENIDS_LOCK_ORDER_DEFAULT_ON)
+  bool on = true;
+#else
+  bool on = false;
+#endif
+  // Startup-only, read-only environment access.  NOLINTNEXTLINE(concurrency-mt-unsafe)
+  if (const char* env = std::getenv("SENIDS_LOCK_ORDER")) {
+    if (*env) on = !(std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0);
+  }
+  return on;
+}
+
+struct Edge {
+  ClassId to;
+  std::string witness;  // held-stack rendering when first recorded
+};
+
+/// Global acquisition-order graph. Meyers singleton so pre-main Mutex
+/// construction (static loggers, registries) finds it initialized.
+struct Graph {
+  std::mutex mu;
+  std::vector<std::string> names;                    // ClassId -> name
+  std::unordered_map<std::string, ClassId> by_name;  // name -> ClassId
+  std::vector<std::vector<Edge>> edges;              // adjacency, from -> to
+};
+
+Graph& graph() {
+  static Graph g;
+  return g;
+}
+
+/// The calling thread's held lock classes, oldest first.
+std::vector<ClassId>& held_stack() {
+  thread_local std::vector<ClassId> stack;
+  return stack;
+}
+
+/// Must hold graph().mu.
+bool edge_exists(const Graph& g, ClassId from, ClassId to) {
+  for (const Edge& e : g.edges[from]) {
+    if (e.to == to) return true;
+  }
+  return false;
+}
+
+/// Must hold graph().mu. DFS for a path from -> to; fills `path` with
+/// the class ids along it (inclusive) when found.
+bool find_path(const Graph& g, ClassId from, ClassId to, std::vector<ClassId>& path) {
+  path.push_back(from);
+  if (from == to) return true;
+  for (const Edge& e : g.edges[from]) {
+    // The graph is tiny (one node per lock class); repeated visits are
+    // bounded by its acyclicity — this search runs before any edge that
+    // would close a cycle is inserted.
+    if (find_path(g, e.to, to, path)) return true;
+  }
+  path.pop_back();
+  return false;
+}
+
+/// Must hold graph().mu (names are read).
+std::string render_stack(const Graph& g, const std::vector<ClassId>& stack,
+                         ClassId acquiring) {
+  std::string out = "[";
+  for (ClassId id : stack) {
+    out += g.names[id];
+    out += " -> ";
+  }
+  out += g.names[acquiring];
+  out += "]";
+  return out;
+}
+
+[[noreturn]] void die(const std::string& message) {
+  std::fprintf(stderr, "%s", message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace
+
+namespace detail {
+std::atomic<bool> g_enabled{initial_enabled()};
+}  // namespace detail
+
+void set_enabled(bool enabled) noexcept {
+  detail::g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+ClassId class_id(const char* name) {
+  Graph& g = graph();
+  std::lock_guard lock(g.mu);
+  auto it = g.by_name.find(name);
+  if (it != g.by_name.end()) return it->second;
+  const ClassId id = g.names.size();
+  g.names.emplace_back(name);
+  g.by_name.emplace(name, id);
+  g.edges.emplace_back();
+  return id;
+}
+
+void on_acquire(ClassId id) {
+  std::vector<ClassId>& stack = held_stack();
+  if (!stack.empty()) {
+    Graph& g = graph();
+    std::lock_guard lock(g.mu);
+    for (ClassId held : stack) {
+      if (held == id) {
+        die("senids: lock-order violation: acquiring lock class \"" + g.names[id] +
+            "\" while an instance of the same class is already held " +
+            render_stack(g, stack, id) +
+            "\n  (same-class nesting deadlocks the moment two threads pick "
+            "opposite instance orders)\n");
+      }
+    }
+    // A path id -> ... -> held means "id before held" is established;
+    // acquiring id *after* held would close a cycle. Report before the
+    // underlying mutex can ever block on it.
+    for (ClassId held : stack) {
+      std::vector<ClassId> path;
+      if (find_path(g, id, held, path)) {
+        std::string msg = "senids: lock-order inversion detected\n  this thread: "
+                          "acquiring \"" +
+                          g.names[id] + "\" while holding " +
+                          render_stack(g, stack, id) +
+                          "\n  established order: ";
+        for (std::size_t i = 0; i < path.size(); ++i) {
+          if (i) msg += " -> ";
+          msg += "\"" + g.names[path[i]] + "\"";
+        }
+        msg += "\n  first recorded by:\n";
+        for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+          for (const Edge& e : g.edges[path[i]]) {
+            if (e.to == path[i + 1]) {
+              msg += "    \"" + g.names[path[i]] + "\" -> \"" + g.names[path[i + 1]] +
+                     "\" with held stack " + e.witness + "\n";
+              break;
+            }
+          }
+        }
+        die(msg);
+      }
+    }
+    const ClassId top = stack.back();
+    if (!edge_exists(g, top, id)) {
+      g.edges[top].push_back(Edge{id, render_stack(g, stack, id)});
+    }
+  }
+  stack.push_back(id);
+}
+
+void on_try_acquire(ClassId id) { held_stack().push_back(id); }
+
+void on_release(ClassId id) noexcept {
+  std::vector<ClassId>& stack = held_stack();
+  for (std::size_t i = stack.size(); i-- > 0;) {
+    if (stack[i] == id) {
+      stack.erase(stack.begin() + static_cast<std::ptrdiff_t>(i));
+      return;
+    }
+  }
+  // Releasing a lock the checker never saw acquired: possible when the
+  // checker was enabled mid-flight (tests). Ignore.
+}
+
+std::size_t edge_count() {
+  Graph& g = graph();
+  std::lock_guard lock(g.mu);
+  std::size_t n = 0;
+  for (const auto& adj : g.edges) n += adj.size();
+  return n;
+}
+
+void reset_graph() {
+  Graph& g = graph();
+  std::lock_guard lock(g.mu);
+  for (auto& adj : g.edges) adj.clear();
+}
+
+}  // namespace senids::util::lockorder

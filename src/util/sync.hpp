@@ -1,0 +1,231 @@
+// Annotated synchronization primitives: the one place in the codebase
+// that is allowed to touch <mutex> directly. Everything else locks
+// through util::Mutex / util::MutexLock / util::CondVar so that two
+// orthogonal safety nets cover every critical section:
+//
+//  1. Clang Thread Safety Analysis (compile time). The macros below
+//     (CAPABILITY, GUARDED_BY, REQUIRES, ...) expand to Clang's
+//     thread-safety attributes under Clang and to nothing elsewhere, so
+//     "which mutex protects this field" and "which lock must be held to
+//     call this function" are compiler-enforced contracts: the CI
+//     thread-safety job builds everything with -Werror=thread-safety
+//     -Wthread-safety-beta, and an unguarded access fails the build
+//     (tests/compile_fail proves the analysis actually fires).
+//
+//  2. A runtime lock-order checker (debug/TSan builds, or any build via
+//     SENIDS_LOCK_ORDER=1). Every Mutex belongs to a named *lock class*
+//     (per structure, not per instance — all VerdictCache shard locks
+//     are one class, the way kernel lockdep groups locks by init site).
+//     Each thread keeps a stack of held classes; acquiring B while
+//     holding A records the edge A->B in a global acquisition-order
+//     graph. The first acquisition that would close a cycle — the
+//     classic cross-mutex deadlock TSA cannot see, because each
+//     individual critical section is well-formed — aborts immediately
+//     with both conflicting chains, even if the second thread never
+//     actually blocks. Same-class nesting aborts too: with one lock per
+//     class instance that is a guaranteed self-deadlock, and with many
+//     instances (cache shards) it is an unordered-peer deadlock waiting
+//     for two threads to pick opposite orders.
+//
+// Adding a new guarded structure: give it a `util::Mutex mu_{"Class"}`,
+// mark every field it protects `GUARDED_BY(mu_)`, mark private helpers
+// that assume the lock `REQUIRES(mu_)`, and lock with `util::MutexLock`.
+// See DESIGN.md "Concurrency safety" for conventions and the lock
+// hierarchy of the pipeline.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+// --------------------------------------------------- annotation macros
+// Clang thread-safety attribute spellings, compiled away on other
+// compilers (GCC accepts none of these). Names follow the Clang
+// documentation so they grep cleanly against it.
+#if defined(__clang__) && defined(__has_attribute)
+#define SENIDS_TSA__(x) __attribute__((x))
+#else
+#define SENIDS_TSA__(x)
+#endif
+
+#define CAPABILITY(x) SENIDS_TSA__(capability(x))
+#define SCOPED_CAPABILITY SENIDS_TSA__(scoped_lockable)
+#define GUARDED_BY(x) SENIDS_TSA__(guarded_by(x))
+#define PT_GUARDED_BY(x) SENIDS_TSA__(pt_guarded_by(x))
+#define ACQUIRED_BEFORE(...) SENIDS_TSA__(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) SENIDS_TSA__(acquired_after(__VA_ARGS__))
+#define REQUIRES(...) SENIDS_TSA__(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) SENIDS_TSA__(requires_shared_capability(__VA_ARGS__))
+#define ACQUIRE(...) SENIDS_TSA__(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) SENIDS_TSA__(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) SENIDS_TSA__(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) SENIDS_TSA__(release_shared_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) SENIDS_TSA__(try_acquire_capability(__VA_ARGS__))
+#define EXCLUDES(...) SENIDS_TSA__(locks_excluded(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) SENIDS_TSA__(assert_capability(x))
+#define RETURN_CAPABILITY(x) SENIDS_TSA__(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS SENIDS_TSA__(no_thread_safety_analysis)
+
+namespace senids::util {
+
+// ------------------------------------------------- lock-order checker
+namespace lockorder {
+
+/// Stable id of a lock class (index into the global class table).
+using ClassId = std::size_t;
+
+namespace detail {
+// Defined in sync.cpp; default is off unless the translation unit of
+// sync.cpp was built with SENIDS_LOCK_ORDER_DEFAULT_ON (debug/TSan
+// builds) — the environment variable SENIDS_LOCK_ORDER=1|0 overrides
+// either way at process start.
+extern std::atomic<bool> g_enabled;
+}  // namespace detail
+
+/// Cheap inline gate: one relaxed load on every lock/unlock when the
+/// checker is compiled-default-off (release builds).
+[[nodiscard]] inline bool enabled() noexcept {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Runtime toggle (tests; overrides the build default and environment).
+void set_enabled(bool enabled) noexcept;
+
+/// Intern `name` as a lock class. Idempotent; safe pre-main.
+[[nodiscard]] ClassId class_id(const char* name);
+
+/// Record a blocking acquisition of `id` by the calling thread: checks
+/// the acquisition-order graph for a cycle (aborting with both chains on
+/// one), records the new order edge, and pushes `id` on the thread's
+/// held stack. Call *before* blocking on the underlying mutex so an
+/// inversion is reported instead of deadlocking.
+void on_acquire(ClassId id);
+
+/// Record a successful try_lock: pushes the held stack (later
+/// acquisitions order after it) but records no inbound edge and runs no
+/// cycle check — a try-acquire never blocks, so it cannot deadlock.
+void on_try_acquire(ClassId id);
+
+/// Pop `id` from the calling thread's held stack (searched from the
+/// top: out-of-order release is legal).
+void on_release(ClassId id) noexcept;
+
+/// Number of order edges recorded so far (test observability).
+[[nodiscard]] std::size_t edge_count();
+
+/// Drop all recorded edges and witnesses (test isolation; held stacks
+/// are per-thread and unaffected).
+void reset_graph();
+
+}  // namespace lockorder
+
+// --------------------------------------------------------------- Mutex
+
+/// Exclusive mutex with a thread-safety capability and a lock class.
+/// Same cost as std::mutex when the lock-order checker is off (one
+/// relaxed load + branch per operation).
+class CAPABILITY("mutex") Mutex {
+ public:
+  /// `lock_class` names the acquisition-order class this mutex belongs
+  /// to; all instances guarding the same structure should share one
+  /// (string literal — the pointer must stay valid for the process).
+  explicit Mutex(const char* lock_class = "Mutex")
+      : class_(lockorder::class_id(lock_class)) {}
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() {
+    if (lockorder::enabled()) lockorder::on_acquire(class_);
+    mu_.lock();
+  }
+
+  bool try_lock() TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    if (lockorder::enabled()) lockorder::on_try_acquire(class_);
+    return true;
+  }
+
+  void unlock() RELEASE() {
+    mu_.unlock();
+    if (lockorder::enabled()) lockorder::on_release(class_);
+  }
+
+  /// The wrapped std::mutex, for CondVar's wait-path only: going through
+  /// this bypasses both the capability tracking and the order checker.
+  [[nodiscard]] std::mutex& native() noexcept { return mu_; }
+
+ private:
+  std::mutex mu_;
+  lockorder::ClassId class_;
+};
+
+// ----------------------------------------------------------- MutexLock
+
+/// Tag type: adopt a mutex the caller already holds.
+struct AdoptLock {};
+inline constexpr AdoptLock kAdoptLock{};
+
+/// Scoped lock with early-release support (the releasable-lock shape:
+/// TSA tracks the unlock() so a second unlock or a post-unlock guarded
+/// access is a compile error under Clang).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+
+  /// Adopt: `mu` must already be held by the calling thread; the guard
+  /// takes over responsibility for releasing it.
+  MutexLock(Mutex& mu, AdoptLock) REQUIRES(mu) : mu_(mu) {}
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Release before end of scope (to notify a condvar off-lock, say).
+  void unlock() RELEASE() {
+    mu_.unlock();
+    owns_ = false;
+  }
+
+  ~MutexLock() RELEASE() {
+    if (owns_) mu_.unlock();
+  }
+
+ private:
+  Mutex& mu_;
+  bool owns_ = true;
+};
+
+// ------------------------------------------------------------- CondVar
+
+/// Condition variable bound to util::Mutex. wait() requires the mutex
+/// held (compiler-enforced under Clang); the internal unlock/relock of
+/// the wait protocol intentionally bypasses the order checker — the
+/// mutex conceptually stays held (it is re-acquired before return, and
+/// a correctly used condvar waits with the mutex on top of the held
+/// stack, so no order edge could change).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mu) REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.native(), std::adopt_lock);
+    cv_.wait(native);
+    native.release();  // ownership stays with the caller's MutexLock
+  }
+
+  template <typename Predicate>
+  void wait(Mutex& mu, Predicate pred) REQUIRES(mu) {
+    while (!pred()) wait(mu);
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace senids::util

@@ -4,13 +4,13 @@
 // near-linear scaling (see bench_parallel_scaling).
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/sync.hpp"
 
 namespace senids::util {
 
@@ -36,12 +36,12 @@ class ThreadPool {
  private:
   void worker_loop();
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;   // signaled when work arrives or stopping
-  std::condition_variable idle_cv_;   // signaled when pool may have gone idle
-  std::deque<std::function<void()>> queue_;
-  std::size_t active_ = 0;
-  bool stop_ = false;
+  Mutex mu_{"ThreadPool"};
+  CondVar work_cv_;   // signaled when work arrives or stopping
+  CondVar idle_cv_;   // signaled when pool may have gone idle
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  std::size_t active_ GUARDED_BY(mu_) = 0;
+  bool stop_ GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

@@ -1,0 +1,31 @@
+// Positive control: correctly locked access to a guarded field. Must
+// compile cleanly under -Werror=thread-safety, or the seeded violations
+// next door prove nothing.
+#include "util/sync.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void bump() {
+    senids::util::MutexLock lock(mu_);
+    ++value_;
+  }
+
+  int value() {
+    senids::util::MutexLock lock(mu_);
+    return value_;
+  }
+
+ private:
+  senids::util::Mutex mu_{"CompileFail.ok"};
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.bump();
+  return counter.value() == 1 ? 0 : 1;
+}

@@ -1,0 +1,24 @@
+// Seeded violation: writing a GUARDED_BY field without holding its
+// mutex. Must FAIL to compile under -Werror=thread-safety.
+#include "util/sync.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  // No lock taken: under Clang this is
+  // error: writing variable 'value_' requires holding mutex 'mu_'.
+  void bump_unlocked() { ++value_; }
+
+ private:
+  senids::util::Mutex mu_{"CompileFail.guarded"};
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.bump_unlocked();
+  return 0;
+}

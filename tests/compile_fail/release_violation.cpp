@@ -1,0 +1,18 @@
+// Seeded violation: releasing a scoped guard twice. MutexLock is a
+// SCOPED_CAPABILITY with a RELEASE() early-unlock, so Clang tracks the
+// first unlock() and rejects the second. Must FAIL to compile under
+// -Werror=thread-safety.
+#include "util/sync.hpp"
+
+namespace {
+senids::util::Mutex g_mu{"CompileFail.release"};
+}  // namespace
+
+int main() {
+  senids::util::MutexLock lock(g_mu);
+  lock.unlock();
+  // Under Clang this is
+  // error: releasing mutex 'g_mu' that was not held.
+  lock.unlock();
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Seeded violation: calling a REQUIRES(mu) function without holding the
+// lock. Must FAIL to compile under -Werror=thread-safety.
+#include "util/sync.hpp"
+
+namespace {
+
+senids::util::Mutex g_mu{"CompileFail.requires"};
+int g_value GUARDED_BY(g_mu) = 0;
+
+void bump_locked() REQUIRES(g_mu) { ++g_value; }
+
+}  // namespace
+
+int main() {
+  // Under Clang this is
+  // error: calling function 'bump_locked' requires holding mutex 'g_mu'.
+  bump_locked();
+  return 0;
+}

@@ -1,0 +1,244 @@
+// Tests for util/sync.hpp: MutexLock RAII/adopt/early-unlock semantics,
+// CondVar handoff, and the runtime lock-order checker — same-class
+// nesting and cross-class inversions must abort with a diagnostic
+// naming both chains, and consistent orders must not.
+//
+// Every test uses its own lock-class names: the class table is interned
+// for the process lifetime, death-test children fork with the parent's
+// graph, and in TSan builds the checker is on for the whole binary —
+// shared names would let one test's edges leak into another's. The
+// order-establishing mutexes are function-local statics, not stack
+// locals: TSan's own deadlock detector keys mutexes by address,
+// std::mutex destruction is trivial on libstdc++ (TSan never forgets
+// the object), and reused stack slots across TEST bodies would alias
+// one test's A->B with another's B->A into a phantom cycle.
+#include "util/sync.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+#include <thread>
+
+namespace util = senids::util;
+namespace lockorder = senids::util::lockorder;
+
+namespace {
+
+class LockOrderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    lockorder::reset_graph();
+    lockorder::set_enabled(true);
+  }
+  void TearDown() override {
+    lockorder::set_enabled(false);
+    lockorder::reset_graph();
+  }
+};
+
+using LockOrderDeathTest = LockOrderTest;
+
+TEST_F(LockOrderDeathTest, InversionAborts) {
+  static util::Mutex a{"Sync.invert.A"};
+  static util::Mutex b{"Sync.invert.B"};
+  {
+    util::MutexLock hold_a(a);
+    util::MutexLock hold_b(b);
+  }
+  // The checker reports before blocking, so the abort fires even though
+  // no second thread is contending.
+  EXPECT_DEATH(
+      {
+        util::MutexLock hold_b(b);
+        util::MutexLock hold_a(a);
+      },
+      "lock-order inversion detected");
+}
+
+TEST_F(LockOrderDeathTest, InversionEstablishedOnAnotherThreadAborts) {
+  static util::Mutex a{"Sync.crossthread.A"};
+  static util::Mutex b{"Sync.crossthread.B"};
+  std::thread establish([&] {
+    util::MutexLock hold_a(a);
+    util::MutexLock hold_b(b);
+  });
+  establish.join();
+  // The order graph is global: this thread never took A before B, yet
+  // taking B before A here is still an inversion.
+  EXPECT_DEATH(
+      {
+        util::MutexLock hold_b(b);
+        util::MutexLock hold_a(a);
+      },
+      "lock-order inversion detected");
+}
+
+TEST_F(LockOrderDeathTest, ThreeLockCycleAborts) {
+  static util::Mutex a{"Sync.cycle3.A"};
+  static util::Mutex b{"Sync.cycle3.B"};
+  static util::Mutex c{"Sync.cycle3.C"};
+  {
+    util::MutexLock hold_a(a);
+    util::MutexLock hold_b(b);
+  }
+  {
+    util::MutexLock hold_b(b);
+    util::MutexLock hold_c(c);
+  }
+  // A->B and B->C are established; C->A closes the triangle.
+  EXPECT_DEATH(
+      {
+        util::MutexLock hold_c(c);
+        util::MutexLock hold_a(a);
+      },
+      "lock-order inversion detected");
+}
+
+TEST_F(LockOrderDeathTest, SameClassNestingAborts) {
+  static util::Mutex first{"Sync.peer"};
+  static util::Mutex second{"Sync.peer"};
+  EXPECT_DEATH(
+      {
+        util::MutexLock hold_first(first);
+        util::MutexLock hold_second(second);
+      },
+      "same class is already held");
+}
+
+TEST_F(LockOrderTest, ConsistentOrderRecordsOneEdgeAndDoesNotAbort) {
+  static util::Mutex a{"Sync.consistent.A"};
+  static util::Mutex b{"Sync.consistent.B"};
+  const std::size_t before = lockorder::edge_count();
+  for (int i = 0; i < 3; ++i) {
+    util::MutexLock hold_a(a);
+    util::MutexLock hold_b(b);
+  }
+  // Re-acquisitions in the established order deduplicate to one edge.
+  EXPECT_EQ(lockorder::edge_count(), before + 1);
+}
+
+TEST_F(LockOrderTest, FirstLevelAcquisitionsRecordNoEdges) {
+  static util::Mutex a{"Sync.flat.A"};
+  static util::Mutex b{"Sync.flat.B"};
+  const std::size_t before = lockorder::edge_count();
+  {
+    util::MutexLock hold_a(a);
+  }
+  {
+    util::MutexLock hold_b(b);
+  }
+  // Non-nested acquisitions establish no order.
+  EXPECT_EQ(lockorder::edge_count(), before);
+}
+
+TEST_F(LockOrderTest, TryAcquireOrdersLaterAcquisitions) {
+  static util::Mutex a{"Sync.tryorder.A"};
+  static util::Mutex b{"Sync.tryorder.B"};
+  const std::size_t before = lockorder::edge_count();
+  const bool acquired = a.try_lock();
+  ASSERT_TRUE(acquired);
+  {
+    util::MutexLock hold_b(b);
+  }
+  a.unlock();
+  // try_lock itself records no inbound edge (it cannot block), but the
+  // nested blocking acquisition of B while A is held records A->B.
+  EXPECT_EQ(lockorder::edge_count(), before + 1);
+}
+
+TEST_F(LockOrderTest, ResetGraphForgetsEstablishedOrder) {
+  static util::Mutex a{"Sync.reset.A"};
+  static util::Mutex b{"Sync.reset.B"};
+  {
+    util::MutexLock hold_a(a);
+    util::MutexLock hold_b(b);
+  }
+  ASSERT_GE(lockorder::edge_count(), 1u);
+  lockorder::reset_graph();
+  EXPECT_EQ(lockorder::edge_count(), 0u);
+  // With the A->B edge gone, B-before-A is a fresh order, not an
+  // inversion. Fresh *instances* of the same classes: the checker works
+  // on lock classes, while TSan's own instance-level deadlock detector
+  // would (correctly, for its model) flag re-nesting the originals.
+  static util::Mutex a2{"Sync.reset.A"};
+  static util::Mutex b2{"Sync.reset.B"};
+  {
+    util::MutexLock hold_b(b2);
+    util::MutexLock hold_a(a2);
+  }
+}
+
+TEST(SyncLockOrderApiTest, DisabledCheckerRecordsNothing) {
+  lockorder::set_enabled(false);
+  lockorder::reset_graph();
+  util::Mutex a{"Sync.disabled.A"};
+  util::Mutex b{"Sync.disabled.B"};
+  {
+    util::MutexLock hold_a(a);
+    util::MutexLock hold_b(b);
+  }
+  EXPECT_EQ(lockorder::edge_count(), 0u);
+}
+
+TEST(SyncMutexLockTest, AdoptTakesOverRelease) {
+  util::Mutex mu{"Sync.adopt"};
+  mu.lock();
+  {
+    util::MutexLock lock(mu, util::kAdoptLock);
+  }  // destructor releases the adopted lock
+  const bool reacquired = mu.try_lock();
+  EXPECT_TRUE(reacquired);
+  if (reacquired) mu.unlock();
+}
+
+TEST(SyncMutexLockTest, EarlyUnlockIsNotReleasedTwice) {
+  util::Mutex mu{"Sync.early"};
+  {
+    util::MutexLock lock(mu);
+    lock.unlock();
+    // Released early: the mutex is free while the guard is still alive.
+    const bool free_now = mu.try_lock();
+    EXPECT_TRUE(free_now);
+    if (free_now) mu.unlock();
+  }  // destructor must not unlock again
+  const bool still_free = mu.try_lock();
+  EXPECT_TRUE(still_free);
+  if (still_free) mu.unlock();
+}
+
+TEST(SyncMutexTest, TryLockFailsWhenHeldElsewhere) {
+  util::Mutex mu{"Sync.trylock"};
+  util::MutexLock lock(mu);
+  std::thread contender([&] {
+    const bool acquired = mu.try_lock();
+    EXPECT_FALSE(acquired);
+    if (acquired) mu.unlock();
+  });
+  contender.join();
+}
+
+TEST(SyncCondVarTest, WaitReleasesAndReacquiresAroundNotify) {
+  util::Mutex mu{"Sync.condvar"};
+  util::CondVar cv;
+  bool ready = false;
+  std::atomic<bool> consumer_done{false};
+  std::thread producer([&] {
+    {
+      util::MutexLock lock(mu);
+      ready = true;
+    }
+    cv.notify_one();
+  });
+  {
+    util::MutexLock lock(mu);
+    while (!ready) cv.wait(mu);
+    EXPECT_TRUE(ready);
+    consumer_done.store(true);
+  }
+  producer.join();
+  EXPECT_TRUE(consumer_done.load());
+}
+
+}  // namespace

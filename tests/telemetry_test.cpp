@@ -202,6 +202,19 @@ TEST_F(TelemetryTest, StopIsIdempotentAndRefusesFurtherConnections) {
   EXPECT_EQ(http_get(port, "/metrics").status, 0);  // connection refused
 }
 
+TEST_F(TelemetryTest, ConcurrentStopsJoinExactlyOnce) {
+  // Regression for a thread-safety-audit finding: two threads calling
+  // stop() concurrently used to race on the accept thread's handle —
+  // joinable() could pass in both before either join() ran, and joining
+  // the same std::thread twice is undefined behavior. The lifecycle
+  // mutex serializes them; the TSan variant of this binary would flag
+  // the old race.
+  std::thread other([this] { server_->stop(); });
+  server_->stop();
+  other.join();
+  EXPECT_EQ(http_get(server_->port(), "/metrics").status, 0);
+}
+
 // ------------------------------------------------- engine-level attribution
 
 core::NidsOptions threaded_options() {

@@ -262,5 +262,25 @@ TEST(Log, SinkReceivesMessagesAtOrAboveLevel) {
   EXPECT_EQ(seen[1], "err");
 }
 
+TEST(Log, SinkIsInvokedOutsideTheLoggerMutex) {
+  // Regression for a thread-safety-audit finding: the sink used to run
+  // with the logger mutex held, so a sink that re-entered the Log API
+  // (logging from a log callback, or swapping the sink) self-deadlocked
+  // on the non-recursive mutex. With the fix the sink is copied under
+  // the lock and invoked outside it, so re-entry just works.
+  static std::atomic<int> calls{0};
+  calls.store(0);
+  Log::set_level(LogLevel::kWarn);
+  Log::set_sink([](LogLevel, const std::string&) {
+    if (calls.fetch_add(1) == 0) {
+      log_error() << "from inside the sink";  // re-enters Log::write
+    }
+  });
+  log_error() << "outer";
+  Log::set_sink(nullptr);
+  Log::set_level(LogLevel::kOff);
+  EXPECT_EQ(calls.load(), 2);
+}
+
 }  // namespace
 }  // namespace senids::util
