@@ -5,15 +5,13 @@
 
 namespace senids::anomaly {
 
-namespace {
-std::array<double, 256> frequencies(util::ByteView payload) {
+std::array<double, 256> byte_spectrum(util::ByteView payload) {
   std::array<double, 256> freq{};
   if (payload.empty()) return freq;
   for (std::uint8_t b : payload) freq[b] += 1.0;
   for (double& f : freq) f /= static_cast<double>(payload.size());
   return freq;
 }
-}  // namespace
 
 void ByteModel::add(const std::array<double, 256>& freq) {
   ++samples;
@@ -46,7 +44,7 @@ void PaylDetector::train(util::ByteView payload, std::uint16_t dst_port) {
   if (payload.empty()) return;
   const std::uint64_t key =
       (static_cast<std::uint64_t>(dst_port) << 32) | bucket_of(payload.size());
-  models_[key].add(frequencies(payload));
+  models_[key].add(byte_spectrum(payload));
 }
 
 double PaylDetector::score(util::ByteView payload, std::uint16_t dst_port) const {
@@ -55,7 +53,7 @@ double PaylDetector::score(util::ByteView payload, std::uint16_t dst_port) const
       (static_cast<std::uint64_t>(dst_port) << 32) | bucket_of(payload.size());
   auto it = models_.find(key);
   if (it == models_.end()) return 0.0;
-  return it->second.distance(frequencies(payload));
+  return it->second.distance(byte_spectrum(payload));
 }
 
 }  // namespace senids::anomaly

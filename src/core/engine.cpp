@@ -96,6 +96,10 @@ void merge_stats(NidsStats& into, const NidsStats& from) {
   into.streams_truncated += from.streams_truncated;
   into.dark_sources_evicted += from.dark_sources_evicted;
   into.defrag_dropped += from.defrag_dropped;
+  into.triage_screened += from.triage_screened;
+  into.triage_escalated += from.triage_escalated;
+  into.triage_rejected += from.triage_rejected;
+  into.triage_rejected_bytes += from.triage_rejected_bytes;
   merge_analyzer(into.analyzer, from.analyzer);
   for (std::size_t i = 0; i < into.stages.size(); ++i) {
     into.stages[i].count += from.stages[i].count;
@@ -159,6 +163,16 @@ std::string Report::str() const {
     line("verdict cache      : %zu hits, %zu misses, %zu bypassed (%zu bytes saved)",
          stats.cache_hits, stats.cache_misses, stats.cache_bypass,
          stats.cache_bytes_saved);
+  }
+  if (stats.triage_screened) {
+    const auto share = [this](std::size_t n) {
+      return 100.0 * static_cast<double>(n) / static_cast<double>(stats.triage_screened);
+    };
+    line("triage tiers       : %10s %12s %12s", "units", "share", "bytes");
+    line("  stage-0 rejected : %10zu %11.1f%% %12zu", stats.triage_rejected,
+         share(stats.triage_rejected), stats.triage_rejected_bytes);
+    line("  escalated        : %10zu %11.1f%%", stats.triage_escalated,
+         share(stats.triage_escalated));
   }
   // The wall totals measure different things on purpose (see NidsStats):
   // summed per-shard stage-(a) producer wall, caller-thread dispatch
@@ -258,7 +272,11 @@ namespace {
 /// template set plus extractor/analyzer/emulation options. Prefixed to
 /// every cache key, so reconfiguring the engine can never serve a stale
 /// hit. post_lift_hook is deliberately excluded — it verifies, it does
-/// not decide.
+/// not decide. The triage mode is excluded too: like the threading and
+/// cache knobs it is behaviour-preserving (rejected units skip the cache
+/// entirely, so a triage-off run can never replay a triage-on verdict it
+/// should not have, and vice versa — the stored verdicts themselves are
+/// identical by the differential contract).
 cache::Digest compute_config_fingerprint(const NidsOptions& o,
                                          const std::vector<semantic::Template>& templates) {
   cache::Sha256 ctx;
@@ -331,6 +349,10 @@ NidsEngine::NidsEngine(NidsOptions options, std::vector<semantic::Template> temp
         cache::VerdictCache::Options{options_.verdict_cache_bytes, 16});
     verdict_cache_->set_metrics(&cache_metrics());
   }
+  if (options_.triage.mode != triage::TriageMode::kOff) {
+    triage_ = std::make_unique<triage::TriageFilter>(options_.triage, options_.extractor,
+                                                     analyzer_.templates());
+  }
 }
 
 AnalysisContext::AnalysisContext(
@@ -363,6 +385,61 @@ std::vector<Alert> NidsEngine::analyze_payload(AnalysisContext& ctx, util::ByteV
   // the measured stage durations (see trace.hpp: exact costs, synthesized
   // placement).
   std::uint64_t span_cursor_us = tracing ? tracer.now_us() : 0;
+
+  // ---------------------------------------------------- stage-0 triage
+  // The screen runs *before* the cache key is hashed: a rejected unit
+  // skips the SHA-256 along with stages (b)-(e), so stage-0 cost is the
+  // scan itself. Rejected units never touch the cache (no lookup, no
+  // insert), hence cache_hits + cache_misses + cache_bypass ==
+  // units_analyzed - triage_rejected.
+  if (triage_) {
+    const SteadyClock::time_point triage_start =
+        clocked ? SteadyClock::now() : SteadyClock::time_point{};
+    const triage::TriageDecision decision =
+        triage_->screen(payload, meta_prototype.dst_port);
+    const double triage_seconds = clocked ? seconds_since(triage_start) : 0.0;
+    constexpr auto kTriageIdx = static_cast<std::size_t>(obs::Stage::kTriage);
+    pm.stage_seconds[kTriageIdx]->observe(triage_seconds);
+    pm.triage_screened->add();
+    if (stats) {
+      ++stats->triage_screened;
+      fold_stage(stats->stages[kTriageIdx], triage_seconds);
+    }
+    if (tracing) {
+      const auto dur = static_cast<std::uint64_t>(triage_seconds * 1e6);
+      tracer.record({obs::stage_name(obs::Stage::kTriage).data(), unit_id, span_cursor_us,
+                     dur, payload.size(), 0});
+      span_cursor_us += dur;
+    }
+    if (!decision.escalate) {
+      pm.units->add();
+      pm.triage_rejected->add();
+      pm.triage_rejected_bytes->add(payload.size());
+      if (stats) {
+        ++stats->units_analyzed;
+        ++stats->triage_rejected;
+        stats->triage_rejected_bytes += payload.size();
+      }
+      if (clocked) {
+        const double total = seconds_since(unit_start);
+        pm.unit_seconds->observe(total);
+        if (obs::FlightRecorder::enabled()) {
+          obs::UnitRecord fr;
+          fr.unit_id = unit_id;
+          fr.src = meta_prototype.src.value;
+          fr.payload_bytes = clamp_u32(payload.size());
+          fr.frames = 0;
+          fr.alerts = 0;
+          fr.cache = obs::CacheDisposition::kNone;
+          fr.total_us = to_flight_us(total);
+          obs::FlightRecorder::instance().record(fr);
+        }
+      }
+      return {};
+    }
+    pm.triage_escalated->add();
+    if (stats) ++stats->triage_escalated;
+  }
 
   // ------------------------------------------------- verdict cache lookup
   // Every unit is exactly one of hit / miss / bypass. A hit replays the

@@ -53,6 +53,7 @@
 #include "pcap/pcap.hpp"
 #include "semantic/analyzer.hpp"
 #include "semantic/library.hpp"
+#include "triage/triage.hpp"
 
 namespace senids::core {
 
@@ -135,6 +136,14 @@ struct NidsOptions {
   /// Units larger than this bypass the cache (hashing huge one-off
   /// streams buys nothing; recorded as cache_bypass).
   std::size_t cache_max_unit_bytes = 4u << 20;
+  /// Stage-0 triage prefilter (src/triage): screens every analysis unit
+  /// ahead of the verdict cache and rejects units that provably (or
+  /// differential-tested empirically) cannot alert. Off by default in
+  /// the library; senids_scan turns it on. Like the threading and cache
+  /// knobs it is behaviour-preserving — alerts are byte-identical either
+  /// way (tests/triage_differential_test.cpp) — so it is excluded from
+  /// the cache config fingerprint.
+  triage::TriageOptions triage;
 };
 
 /// Accumulated latency of one pipeline stage: execution count, summed
@@ -169,9 +178,19 @@ struct NidsStats {
   std::size_t streams_truncated = 0;      // flows that hit max_stream_bytes
   std::size_t dark_sources_evicted = 0;   // dark-space counters LRU-evicted at the cap
   std::size_t defrag_dropped = 0;         // pending datagrams dropped at the defrag cap
-  // Verdict cache (zero when the cache is disabled). Every unit is
-  // exactly one of hit/miss/bypass: hits + misses + bypass ==
-  // units_analyzed. cache_bytes_saved is the bytes_analyzed the hit
+  // Stage-0 triage tiers (zero when triage is off). Every unit is
+  // screened exactly once and is exactly one of escalated/rejected:
+  // triage_screened == triage_escalated + triage_rejected, and rejected
+  // units still count in units_analyzed (they entered the analysis
+  // plane; triage is what they got instead of stages (b)-(e)).
+  std::size_t triage_screened = 0;
+  std::size_t triage_escalated = 0;
+  std::size_t triage_rejected = 0;
+  std::size_t triage_rejected_bytes = 0;  // payload bytes of rejected units
+  // Verdict cache (zero when the cache is disabled). Every unit that
+  // reaches the cache is exactly one of hit/miss/bypass; rejected units
+  // never reach it, so hits + misses + bypass ==
+  // units_analyzed - triage_rejected. cache_bytes_saved is the bytes_analyzed the hit
   // units' miss-path runs performed — the disasm work replay avoided
   // (the one work counter hits do NOT fold back into its headline
   // field; see the logical-work comment above).
@@ -324,6 +343,12 @@ class NidsEngine {
     return config_fingerprint_;
   }
 
+  /// The stage-0 triage filter, or nullptr when triage is off. Shared by
+  /// every worker; immutable after construction.
+  [[nodiscard]] const triage::TriageFilter* triage_filter() const noexcept {
+    return triage_.get();
+  }
+
  private:
   /// Create the stage-(a) shards on first use (lazily, so honeypot /
   /// dark-prefix registration between construction and the first capture
@@ -335,6 +360,7 @@ class NidsEngine {
   semantic::SemanticAnalyzer analyzer_;
   cache::Digest config_fingerprint_{};
   std::unique_ptr<cache::VerdictCache> verdict_cache_;
+  std::unique_ptr<triage::TriageFilter> triage_;
   /// Stage-(a) shards; persist across captures (taint state outlives a
   /// capture, like the classifier's embedded state always has).
   std::vector<std::unique_ptr<PipelineShard>> shards_;

@@ -22,6 +22,7 @@
 #include "semantic/analyzer.hpp"      // IWYU pragma: export
 #include "semantic/dsl.hpp"           // IWYU pragma: export
 #include "semantic/library.hpp"       // IWYU pragma: export
+#include "triage/triage.hpp"          // IWYU pragma: export
 #include "x86/decoder.hpp"            // IWYU pragma: export
 #include "x86/format.hpp"             // IWYU pragma: export
 #include "x86/scan.hpp"               // IWYU pragma: export

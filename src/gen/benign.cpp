@@ -140,6 +140,69 @@ Bytes smtp(Prng& prng) {
   return out;
 }
 
+Bytes ascii_sled_lookalike(Prng& prng) {
+  // ASCII-art/banner padding whose fill byte lands in 0x40..0x5f — the
+  // range the extractor's is_nop_like() accepts wholesale. A run well
+  // past min_sled_length guarantees a sled frame is *possible*, so
+  // stage-0 must escalate; full analysis then finds nothing to match.
+  static constexpr char kFill[] = {'@', 'C', 'H', 'U', 'X', 'Z', '^', '_'};
+  Bytes out;
+  append(out, "HTTP/1.1 200 OK\r\nContent-Type: text/plain\r\n\r\n");
+  const std::size_t banners = 2 + prng.below(4);
+  for (std::size_t i = 0; i < banners; ++i) {
+    const char fill = kFill[prng.below(std::size(kFill))];
+    const std::size_t run = 24 + prng.below(56);
+    out.insert(out.end(), run, static_cast<std::uint8_t>(fill));
+    append(out, "\r\n");
+    append(out, sentence(prng, 6 + prng.below(10)));
+    append(out, "\r\n");
+  }
+  return out;
+}
+
+Bytes large_base64_blob(Prng& prng) {
+  // A properly encoded multi-KB attachment (random plaintext): trips the
+  // base64-region gate; the decode yields high-entropy bytes with no
+  // code evidence almost always, so this kind straddles the
+  // reject-after-decode / escalate-on-coincidence boundary.
+  static constexpr char kB64[] =
+      "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+  Bytes out;
+  append(out, "Content-Type: application/octet-stream\r\n"
+              "Content-Transfer-Encoding: base64\r\n\r\n");
+  const Bytes raw = prng.bytes(1024 + prng.below(3072));
+  std::size_t col = 0;
+  for (std::size_t i = 0; i < raw.size(); i += 3) {
+    std::uint32_t group = static_cast<std::uint32_t>(raw[i]) << 16;
+    std::size_t have = 1;
+    if (i + 1 < raw.size()) { group |= static_cast<std::uint32_t>(raw[i + 1]) << 8; ++have; }
+    if (i + 2 < raw.size()) { group |= raw[i + 2]; ++have; }
+    char quad[4] = {kB64[(group >> 18) & 63], kB64[(group >> 12) & 63],
+                    static_cast<char>(have > 1 ? kB64[(group >> 6) & 63] : '='),
+                    static_cast<char>(have > 2 ? kB64[group & 63] : '=')};
+    for (char c : quad) {
+      out.push_back(static_cast<std::uint8_t>(c));
+      if (++col == 76) { append(out, "\r\n"); col = 0; }
+    }
+  }
+  if (col) append(out, "\r\n");
+  return out;
+}
+
+Bytes compressed_download(Prng& prng) {
+  // gzip-framed high-entropy stream: binary-region frames are possible
+  // (data-shaped), executable content is not.
+  Bytes out;
+  append(out, "HTTP/1.1 200 OK\r\nContent-Encoding: gzip\r\n\r\n");
+  out.push_back(0x1f);
+  out.push_back(0x8b);
+  out.push_back(0x08);  // deflate
+  out.push_back(0x00);
+  Bytes noise = prng.bytes(1024 + prng.below(2048));
+  out.insert(out.end(), noise.begin(), noise.end());
+  return out;
+}
+
 }  // namespace
 
 BenignPayload make_benign_payload(Prng& prng) {
@@ -180,6 +243,27 @@ BenignPayload make_benign_payload(Prng& prng) {
       p.kind = BenignKind::kSmtp;
       p.dst_port = 25;
       p.data = smtp(prng);
+      break;
+  }
+  return p;
+}
+
+BenignPayload make_suspicious_benign_payload(Prng& prng) {
+  BenignPayload p;
+  p.dst_port = 80;
+  switch (prng.below(3)) {
+    case 0:
+      p.kind = BenignKind::kAsciiSledLookalike;
+      p.data = ascii_sled_lookalike(prng);
+      break;
+    case 1:
+      p.kind = BenignKind::kLargeBase64Blob;
+      p.dst_port = 25;
+      p.data = large_base64_blob(prng);
+      break;
+    default:
+      p.kind = BenignKind::kCompressedDownload;
+      p.data = compressed_download(prng);
       break;
   }
   return p;

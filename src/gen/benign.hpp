@@ -21,6 +21,14 @@ enum class BenignKind : std::uint8_t {
   kHttpBinary,   // image/compressed-looking high-entropy payload
   kDns,
   kSmtp,
+  // Benign-but-suspicious kinds: emitted only by
+  // make_suspicious_benign_payload, never by make_benign_payload (whose
+  // distribution is frozen — deterministic corpora depend on it). These
+  // deliberately trip individual stage-0 triage probes while carrying no
+  // executable content, exercising the escalate-on-doubt path end to end.
+  kAsciiSledLookalike,   // long run of 0x40-0x5f ASCII (x86 NOP-like bytes)
+  kLargeBase64Blob,      // multi-KB base64 attachment of random bytes
+  kCompressedDownload,   // gzip-magic header + high-entropy stream
 };
 
 struct BenignPayload {
@@ -32,6 +40,12 @@ struct BenignPayload {
 
 /// One random benign payload.
 BenignPayload make_benign_payload(util::Prng& prng);
+
+/// One random benign-but-suspicious payload (the three suspicious kinds
+/// above, uniform). Must never raise an alert, but is expected to trip
+/// stage-0 probes: the triage tier can only reject what no extractor
+/// heuristic could possibly frame, and these are framable by design.
+BenignPayload make_suspicious_benign_payload(util::Prng& prng);
 
 /// Approximately `total_bytes` of payloads.
 std::vector<BenignPayload> make_benign_corpus(util::Prng& prng, std::size_t total_bytes);

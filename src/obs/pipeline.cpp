@@ -5,7 +5,7 @@ namespace senids::obs {
 namespace {
 
 constexpr std::array<std::string_view, kStageCount> kStageNames = {
-    "classify", "reassemble", "extract", "disasm", "lift", "match", "emulate",
+    "classify", "reassemble", "triage", "extract", "disasm", "lift", "match", "emulate",
 };
 
 PipelineMetrics register_all() {
@@ -75,6 +75,16 @@ PipelineMetrics register_all() {
   m.defrag_dropped = &r.counter(
       "senids_defrag_dropped_total",
       "Pending datagrams dropped by the defragmenter to enforce its byte cap");
+
+  m.triage_screened =
+      &r.counter("senids_triage_screened_total", "Analysis units screened by stage-0 triage");
+  m.triage_escalated = &r.counter("senids_triage_escalated_total",
+                                  "Screened units escalated to the full pipeline");
+  m.triage_rejected = &r.counter("senids_triage_rejected_total",
+                                 "Screened units rejected without full analysis");
+  m.triage_rejected_bytes =
+      &r.counter("senids_triage_rejected_bytes_total",
+                 "Payload bytes of rejected units (full-pipeline work avoided)");
   return m;
 }
 

@@ -8,8 +8,8 @@
 // Metric naming scheme (see DESIGN.md "Observability"):
 //   senids_<area>_<what>[_total|_seconds|_bytes]{label="..."}
 // Counters end in _total, histograms of latency in _seconds; the one
-// label in use is stage="classify|reassemble|extract|disasm|lift|match|
-// emulate" on the per-stage latency family.
+// label in use is stage="classify|reassemble|triage|extract|disasm|lift|
+// match|emulate" on the per-stage latency family.
 #pragma once
 
 #include <array>
@@ -25,13 +25,14 @@ namespace senids::obs {
 enum class Stage : std::uint8_t {
   kClassify = 0,   // stage (a): parse + classifier verdict
   kReassemble,     // stage (a): TCP stream assembly for one flushed flow
+  kTriage,         // stage 0: prefilter screen ahead of stages (b)-(e)
   kExtract,        // stage (b): binary detection & extraction
   kDisasm,         // stage (c): candidate scan + execution tracing
   kLift,           // stage (d): x86 -> IR
   kMatch,          // stage (e): semantic template matching
   kEmulate,        // deep analysis: sandboxed execution
 };
-inline constexpr std::size_t kStageCount = 7;
+inline constexpr std::size_t kStageCount = 8;
 
 [[nodiscard]] std::string_view stage_name(Stage stage) noexcept;
 
@@ -85,6 +86,14 @@ struct PipelineMetrics {
 
   // IP defragmentation memory pressure.
   Counter* defrag_dropped;
+
+  // Stage-0 triage tiers (src/triage): every screened unit is exactly one
+  // of escalated / rejected. The triage stage-latency histogram is
+  // stage_seconds[kTriage].
+  Counter* triage_screened;
+  Counter* triage_escalated;
+  Counter* triage_rejected;
+  Counter* triage_rejected_bytes;
 };
 
 /// Process-wide handles; registers every metric on first call.

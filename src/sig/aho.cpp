@@ -1,5 +1,6 @@
 #include "sig/aho.hpp"
 
+#include <algorithm>
 #include <deque>
 
 namespace senids::sig {
@@ -18,6 +19,7 @@ std::size_t AhoCorasick::add_pattern(util::ByteView pattern) {
   const std::size_t id = lengths_.size();
   nodes_[static_cast<std::size_t>(cur)].outputs.push_back(static_cast<std::uint32_t>(id));
   lengths_.push_back(pattern.size());
+  max_pattern_len_ = std::max(max_pattern_len_, pattern.size());
   return id;
 }
 
@@ -54,6 +56,16 @@ void AhoCorasick::build() {
       }
     }
   }
+  // Flatten for matches_any: transitions into an output state are
+  // bit-complemented so the hot loop needs only a sign test.
+  flat_next_.resize(nodes_.size() * 256);
+  for (std::size_t u = 0; u < nodes_.size(); ++u) {
+    for (int b = 0; b < 256; ++b) {
+      const std::int32_t target = nodes_[u].next[b];
+      flat_next_[u * 256 + static_cast<std::size_t>(b)] =
+          nodes_[static_cast<std::size_t>(target)].outputs.empty() ? target : ~target;
+    }
+  }
 }
 
 std::vector<AcMatch> AhoCorasick::scan(util::ByteView data) const {
@@ -69,10 +81,49 @@ std::vector<AcMatch> AhoCorasick::scan(util::ByteView data) const {
 }
 
 bool AhoCorasick::matches_any(util::ByteView data) const {
+  if (flat_next_.empty()) return false;  // build() not called yet
+  const std::int32_t* flat = flat_next_.data();
+  // The automaton walk is a chain of dependent L1 loads, so a single
+  // stream runs at load latency (~5 cycles/byte). Large payloads are
+  // split into four overlapping chunks walked in lockstep: four
+  // independent chains fill the pipeline for a ~3x speedup. Chunks
+  // i > 0 start max_pattern_len_ - 1 bytes early from the root state,
+  // so any match straddling a cut is still fully inside one chunk.
+  const std::size_t n = data.size();
+  if (n >= 256) {
+    const std::size_t chunk = (n + 3) / 4;
+    const std::size_t overlap = max_pattern_len_ ? max_pattern_len_ - 1 : 0;
+    std::size_t pos[4];
+    std::size_t end[4];
+    std::int32_t st[4] = {0, 0, 0, 0};
+    std::size_t steps = SIZE_MAX;
+    for (std::size_t i = 0; i < 4; ++i) {
+      const std::size_t cut = i * chunk;
+      pos[i] = cut > overlap ? cut - overlap : 0;
+      end[i] = std::min(n, cut + chunk);
+      steps = std::min(steps, end[i] - pos[i]);
+    }
+    const std::uint8_t* p = data.data();
+    for (std::size_t j = 0; j < steps; ++j) {
+      st[0] = flat[static_cast<std::size_t>(st[0]) * 256 + p[pos[0] + j]];
+      st[1] = flat[static_cast<std::size_t>(st[1]) * 256 + p[pos[1] + j]];
+      st[2] = flat[static_cast<std::size_t>(st[2]) * 256 + p[pos[2] + j]];
+      st[3] = flat[static_cast<std::size_t>(st[3]) * 256 + p[pos[3] + j]];
+      if ((st[0] | st[1] | st[2] | st[3]) < 0) return true;
+    }
+    for (std::size_t i = 0; i < 4; ++i) {
+      std::int32_t state = st[i];
+      for (std::size_t k = pos[i] + steps; k < end[i]; ++k) {
+        state = flat[static_cast<std::size_t>(state) * 256 + p[k]];
+        if (state < 0) return true;
+      }
+    }
+    return false;
+  }
   std::int32_t state = 0;
   for (std::uint8_t b : data) {
-    state = nodes_[static_cast<std::size_t>(state)].next[b];
-    if (!nodes_[static_cast<std::size_t>(state)].outputs.empty()) return true;
+    state = flat[static_cast<std::size_t>(state) * 256 + b];
+    if (state < 0) return true;
   }
   return false;
 }

@@ -46,7 +46,14 @@ class AhoCorasick {
   };
 
   std::vector<Node> nodes_{1};
+  // Flat copy of the goto function for matches_any: one int32 per
+  // (state, byte), with transitions *into* an output state stored as
+  // ~target. The early-exit scan is then a single dependent load and a
+  // sign test per byte — the per-node Node walk costs a second load
+  // (outputs.empty()) that halves prefilter throughput.
+  std::vector<std::int32_t> flat_next_;
   std::vector<std::size_t> lengths_;
+  std::size_t max_pattern_len_ = 0;
   bool built_ = false;
 };
 

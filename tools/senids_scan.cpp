@@ -17,6 +17,8 @@
 //     --shards <n>            source-affine stage-(a) shards (default 1)
 //     --verdict-cache-mb <n>  verdict cache byte budget in MB (default 64)
 //     --no-verdict-cache      disable the content-addressed verdict cache
+//     --no-triage             disable the stage-0 triage prefilter (every
+//                             unit goes through full stage (b)-(e) analysis)
 //     --flow-timeout <sec>    evict flows idle for this long (default off)
 //     --max-flows <n>         cap on live flows, LRU eviction (default off)
 //     --json                  machine-readable output
@@ -68,6 +70,7 @@ struct CliOptions {
   bool extended = false;
   bool emulate = false;
   std::size_t verdict_cache_mb = 64;  // 0 = disabled (--no-verdict-cache)
+  bool triage = true;                 // false = --no-triage
   std::size_t threads = 1;
   std::size_t unit_batch = 8;
   std::size_t shards = 1;
@@ -101,6 +104,7 @@ void usage(const char* argv0) {
                "  --shards <n>          source-affine stage-(a) shards\n"
                "  --verdict-cache-mb <n>  verdict cache byte budget (default 64)\n"
                "  --no-verdict-cache    disable the verdict cache\n"
+               "  --no-triage           disable the stage-0 triage prefilter\n"
                "  --flow-timeout <sec>  evict flows idle this many seconds\n"
                "  --max-flows <n>       cap live flows (oldest-first eviction)\n"
                "  --json                JSON output\n"
@@ -274,6 +278,8 @@ int main(int argc, char** argv) {
       cli.verdict_cache_mb = static_cast<std::size_t>(std::atoll(next()));
     } else if (arg == "--no-verdict-cache") {
       cli.verdict_cache_mb = 0;
+    } else if (arg == "--no-triage") {
+      cli.triage = false;
     } else if (arg == "--flow-timeout") {
       cli.flow_timeout = static_cast<std::uint32_t>(std::atoll(next()));
     } else if (arg == "--max-flows") {
@@ -351,6 +357,8 @@ int main(int argc, char** argv) {
   options.unit_batch = cli.unit_batch;
   options.shards = cli.shards;
   options.verdict_cache_bytes = cli.verdict_cache_mb << 20;
+  options.triage.mode =
+      cli.triage ? triage::TriageMode::kOn : triage::TriageMode::kOff;
   options.flow_idle_timeout_sec = cli.flow_timeout;
   options.max_flows = cli.max_flows;
   options.enable_emulation = cli.emulate;
@@ -470,14 +478,17 @@ int main(int argc, char** argv) {
                 "\"frames_emulated\": %zu, \"flows_evicted_idle\": %zu, "
                 "\"flows_evicted_overflow\": %zu, \"streams_truncated\": %zu, "
                 "\"cache_hits\": %zu, \"cache_misses\": %zu, \"cache_bypass\": %zu, "
-                "\"cache_bytes_saved\": %zu}\n}\n",
+                "\"cache_bytes_saved\": %zu, "
+                "\"triage_screened\": %zu, \"triage_escalated\": %zu, "
+                "\"triage_rejected\": %zu}\n}\n",
                 report.stats.packets, report.stats.suspicious_packets,
                 report.stats.units_analyzed, report.stats.frames_extracted,
                 report.stats.bytes_analyzed, report.stats.frames_emulated,
                 report.stats.flows_evicted_idle, report.stats.flows_evicted_overflow,
                 report.stats.streams_truncated, report.stats.cache_hits,
                 report.stats.cache_misses, report.stats.cache_bypass,
-                report.stats.cache_bytes_saved);
+                report.stats.cache_bytes_saved, report.stats.triage_screened,
+                report.stats.triage_escalated, report.stats.triage_rejected);
   } else if (cli.summary) {
     std::printf("%s", report.str().c_str());
   } else {
@@ -497,6 +508,12 @@ int main(int argc, char** argv) {
                     "%zu bytes saved\n",
                     report.stats.cache_hits, report.stats.cache_misses,
                     report.stats.cache_bypass, report.stats.cache_bytes_saved);
+      }
+      if (report.stats.triage_screened) {
+        std::printf("triage: %zu screened, %zu escalated, %zu rejected "
+                    "(%zu bytes skipped)\n",
+                    report.stats.triage_screened, report.stats.triage_escalated,
+                    report.stats.triage_rejected, report.stats.triage_rejected_bytes);
       }
     }
   }
