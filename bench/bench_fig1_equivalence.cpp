@@ -7,8 +7,8 @@
 #include "gen/emitter.hpp"
 #include "ir/lifter.hpp"
 #include "semantic/library.hpp"
-#include "x86/format.hpp"
-#include "x86/scan.hpp"
+#include "arch/format.hpp"
+#include "arch/scan.hpp"
 
 using namespace senids;
 using gen::Asm;
@@ -65,8 +65,8 @@ util::Bytes figure_1c() {
 
 void evaluate(const char* name, const util::Bytes& code) {
   bench::section(name);
-  auto trace = x86::execution_trace(code, 0);
-  std::printf("%s", x86::format_listing(x86::linear_sweep(code)).c_str());
+  auto trace = arch::execution_trace(code, 0);
+  std::printf("%s", arch::format_listing(arch::linear_sweep(code)).c_str());
   auto lifted = ir::lift(trace);
   semantic::LiftedCode lc{&trace, &lifted.events, code};
   const semantic::Template t = semantic::tmpl_xor_decrypt_loop();

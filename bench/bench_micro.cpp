@@ -15,7 +15,7 @@
 #include "semantic/analyzer.hpp"
 #include "semantic/library.hpp"
 #include "sig/rules.hpp"
-#include "x86/scan.hpp"
+#include "arch/scan.hpp"
 
 using namespace senids;
 
@@ -40,7 +40,7 @@ util::Bytes benign_blob(std::size_t size) {
 void BM_DecodeLinear(benchmark::State& state) {
   const util::Bytes code = poly_sample();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(x86::linear_sweep(code));
+    benchmark::DoNotOptimize(arch::linear_sweep(code));
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * code.size()));
 }
@@ -49,7 +49,7 @@ BENCHMARK(BM_DecodeLinear);
 void BM_FindCodeRuns(benchmark::State& state) {
   const util::Bytes blob = benign_blob(static_cast<std::size_t>(state.range(0)));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(x86::find_code_runs(blob, 6));
+    benchmark::DoNotOptimize(arch::find_code_runs(blob, 6));
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * blob.size()));
 }
@@ -58,7 +58,7 @@ BENCHMARK(BM_FindCodeRuns)->Arg(4 << 10)->Arg(64 << 10);
 void BM_ExecutionTraceAndLift(benchmark::State& state) {
   const util::Bytes code = poly_sample();
   for (auto _ : state) {
-    auto trace = x86::execution_trace(code, 0);
+    auto trace = arch::execution_trace(code, 0);
     benchmark::DoNotOptimize(ir::lift(trace));
   }
 }
@@ -66,7 +66,7 @@ BENCHMARK(BM_ExecutionTraceAndLift);
 
 void BM_TemplateMatch(benchmark::State& state) {
   const util::Bytes code = poly_sample();
-  auto trace = x86::execution_trace(code, 0);
+  auto trace = arch::execution_trace(code, 0);
   auto lifted = ir::lift(trace);
   semantic::LiftedCode lc{&trace, &lifted.events, code};
   const auto t = semantic::tmpl_xor_decrypt_loop();

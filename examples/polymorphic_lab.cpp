@@ -13,8 +13,8 @@
 #include "ir/lifter.hpp"
 #include "semantic/library.hpp"
 #include "util/hexdump.hpp"
-#include "x86/format.hpp"
-#include "x86/scan.hpp"
+#include "arch/format.hpp"
+#include "arch/scan.hpp"
 
 using namespace senids;
 
@@ -38,11 +38,11 @@ int main(int argc, char** argv) {
   // Execution-order disassembly from the sled entry, with the junk the
   // engine injected flagged by the dead-code analysis.
   std::printf("== execution-order trace (out-of-order linearized; junk marked) ==\n");
-  auto trace = x86::execution_trace(poly.bytes, 0);
+  auto trace = arch::execution_trace(poly.bytes, 0);
   auto junk_marks = ir::find_dead_code(trace);
   for (std::size_t i = 0; i < trace.size(); ++i) {
     std::printf("%08zx:  %-36s%s\n", trace[i].offset,
-                x86::format(trace[i]).c_str(), junk_marks.dead[i] ? " ; junk" : "");
+                arch::format(trace[i]).c_str(), junk_marks.dead[i] ? " ; junk" : "");
   }
   std::printf("(%zu of %zu instructions are junk)\n\n", junk_marks.dead_count,
               trace.size());
@@ -81,7 +81,7 @@ int main(int argc, char** argv) {
   // A Clet instance for contrast.
   std::printf("\n== Clet instance (same payload) ==\n");
   gen::PolyResult clet = gen::clet_encode(payload, prng);
-  auto clet_trace = x86::execution_trace(clet.bytes, 0);
+  auto clet_trace = arch::execution_trace(clet.bytes, 0);
   auto clet_lifted = ir::lift(clet_trace);
   semantic::LiftedCode clet_lc{&clet_trace, &clet_lifted.events, clet.bytes};
   auto m = semantic::match_template(semantic::tmpl_xor_decrypt_loop(), clet_lc);

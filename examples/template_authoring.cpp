@@ -13,8 +13,8 @@
 #include "ir/lifter.hpp"
 #include "semantic/analyzer.hpp"
 #include "semantic/dsl.hpp"
-#include "x86/format.hpp"
-#include "x86/scan.hpp"
+#include "arch/format.hpp"
+#include "arch/scan.hpp"
 
 using namespace senids;
 
@@ -81,7 +81,7 @@ util::Bytes xor_decoder_sample() {
 void test_sample(const semantic::SemanticAnalyzer& analyzer, const char* name,
                  const util::Bytes& code) {
   std::printf("\n-- sample: %s --\n", name);
-  std::printf("%s", x86::format_listing(x86::linear_sweep(code)).c_str());
+  std::printf("%s", arch::format_listing(arch::linear_sweep(code)).c_str());
   auto detections = analyzer.analyze(code);
   if (detections.empty()) {
     std::printf("=> no template matches\n");

@@ -1,0 +1,58 @@
+#include "arch/arch.hpp"
+
+namespace senids::arch {
+
+namespace {
+
+// Linux i386: int 0x80, number in eax, args ebx,ecx,edx,esi,edi,ebp.
+constexpr SyscallConvention kConv32[] = {{
+    0x80,
+    RegFamily::kAx,
+    {RegFamily::kBx, RegFamily::kCx, RegFamily::kDx, RegFamily::kSi,
+     RegFamily::kDi, RegFamily::kBp},
+    6,
+}};
+
+// Linux x86-64: `syscall`, number in rax, args rdi,rsi,rdx,r10,r8,r9.
+constexpr SyscallConvention kConv64[] = {{
+    0x100,
+    RegFamily::kAx,
+    {RegFamily::kDi, RegFamily::kSi, RegFamily::kDx, RegFamily::kR10,
+     RegFamily::kR8, RegFamily::kR9},
+    6,
+}};
+
+}  // namespace
+
+struct ArchRegistry {
+  // NOLINTNEXTLINE(readability-identifier-naming)
+  static const Arch& instance(Mode mode) noexcept {
+    static const Arch k32{"x86_32", Mode::k32};
+    static const Arch k64{"x86_64", Mode::k64};
+    return mode == Mode::k64 ? k64 : k32;
+  }
+};
+
+const Arch& Arch::x86_32() noexcept { return ArchRegistry::instance(Mode::k32); }
+const Arch& Arch::x86_64() noexcept { return ArchRegistry::instance(Mode::k64); }
+
+const Arch& Arch::of_mode(Mode mode) noexcept { return ArchRegistry::instance(mode); }
+
+const Arch* Arch::by_name(std::string_view name) noexcept {
+  for (const Arch* a : all()) {
+    if (a->name() == name) return a;
+  }
+  return nullptr;
+}
+
+std::span<const Arch* const> Arch::all() noexcept {
+  static const Arch* const kAll[] = {&x86_32(), &x86_64()};
+  return kAll;
+}
+
+std::span<const SyscallConvention> Arch::syscall_conventions() const noexcept {
+  return mode_ == Mode::k64 ? std::span<const SyscallConvention>(kConv64)
+                            : std::span<const SyscallConvention>(kConv32);
+}
+
+}  // namespace senids::arch

@@ -1,6 +1,6 @@
-#include "x86/decoder.hpp"
+#include "arch/decoder.hpp"
 
-namespace senids::x86 {
+namespace senids::arch {
 
 namespace {
 
@@ -29,6 +29,10 @@ struct Reader {
     std::uint32_t v = u16();
     return v | (static_cast<std::uint32_t>(u16()) << 16);
   }
+  std::uint64_t u64() noexcept {
+    std::uint64_t v = u32();
+    return v | (static_cast<std::uint64_t>(u32()) << 32);
+  }
   std::int8_t s8() noexcept { return static_cast<std::int8_t>(u8()); }
   std::int32_t s32() noexcept { return static_cast<std::int32_t>(u32()); }
 };
@@ -52,34 +56,49 @@ Reg reg_of_width(unsigned index, RegWidth w) noexcept {
       return reg16(index);
     case RegWidth::k32:
       return reg32(index);
+    case RegWidth::k64:
+      return reg64(index);
   }
   return reg32(index);
 }
 
-/// Decode the r/m side of a ModRM byte (32-bit addressing).
-Operand decode_rm(Reader& r, const ModRM& m, RegWidth width) noexcept {
-  if (m.mod == 3) return Operand::make_reg(reg_of_width(m.rm, width));
+/// Decode the r/m side of a ModRM byte (32-bit or 64-bit addressing,
+/// with REX extensions applied from `pre`).
+Operand decode_rm(Reader& r, const ModRM& m, RegWidth width, Mode mode,
+                  const Prefixes& pre) noexcept {
+  if (m.mod == 3) {
+    const unsigned rm_ext = m.rm + (pre.rex_b ? 8u : 0u);
+    if (width == RegWidth::k8Lo || width == RegWidth::k8Hi) {
+      return Operand::make_reg(reg8(rm_ext, pre.rex));
+    }
+    return Operand::make_reg(reg_of_width(rm_ext, width));
+  }
 
+  const bool long_mode = mode == Mode::k64;
+  auto addr_reg = [&](unsigned index) {
+    return long_mode ? reg64(index) : reg32(index);
+  };
   MemRef mem;
   mem.width = width;
   if (m.rm == 4) {
     const std::uint8_t sib = r.u8();
     const unsigned ss = sib >> 6;
-    const unsigned idx = (sib >> 3) & 7;
-    const unsigned base = sib & 7;
-    if (idx != 4) {  // index encoding 4 means "no index"
-      mem.index = reg32(idx);
+    const unsigned idx = ((sib >> 3) & 7) + (pre.rex_x ? 8u : 0u);
+    const unsigned base = (sib & 7) + (pre.rex_b ? 8u : 0u);
+    if (idx != 4) {  // index encoding 4 means "no index" (but r12 is valid)
+      mem.index = addr_reg(idx);
       mem.scale = static_cast<std::uint8_t>(1u << ss);
     }
-    if (base == 5 && m.mod == 0) {
+    if ((base & 7) == 5 && m.mod == 0) {
       mem.disp = r.s32();  // [index*scale + disp32], no base
     } else {
-      mem.base = reg32(base);
+      mem.base = addr_reg(base);
     }
   } else if (m.rm == 5 && m.mod == 0) {
-    mem.disp = r.s32();  // absolute disp32
+    mem.disp = r.s32();       // absolute disp32 (32-bit mode)
+    mem.rip = long_mode;      // [rip + disp32] in 64-bit mode
   } else {
-    mem.base = reg32(m.rm);
+    mem.base = addr_reg(m.rm + (pre.rex_b ? 8u : 0u));
   }
   if (m.mod == 1) mem.disp = r.s8();
   else if (m.mod == 2) mem.disp = r.s32();
@@ -103,9 +122,10 @@ constexpr Mnemonic kArithFamily[] = {Mnemonic::kAdd, Mnemonic::kOr,  Mnemonic::k
 
 }  // namespace
 
-Instruction decode(util::ByteView code, std::size_t offset) {
+Instruction decode(util::ByteView code, std::size_t offset, Mode mode) {
   Instruction insn;
   insn.offset = offset;
+  insn.mode = mode;
   if (offset >= code.size()) return insn;  // invalid, length 0: caller must stop
 
   Reader r{code, offset};
@@ -121,6 +141,16 @@ Instruction decode(util::ByteView code, std::size_t offset) {
     if (r.fail) {
       insn.length = 1;
       return insn;
+    }
+    if (mode == Mode::k64 && b >= 0x40 && b <= 0x4F) {
+      // REX prefix. It only applies when it immediately precedes the
+      // opcode; a later legacy prefix voids it (below), matching CPUs.
+      pre.rex = true;
+      pre.rex_w = (b & 8) != 0;
+      pre.rex_r = (b & 4) != 0;
+      pre.rex_x = (b & 2) != 0;
+      pre.rex_b = (b & 1) != 0;
+      continue;
     }
     bool is_prefix = true;
     switch (b) {
@@ -140,6 +170,7 @@ Instruction decode(util::ByteView code, std::size_t offset) {
       r.pos--;  // unread the opcode byte
       break;
     }
+    pre.rex = pre.rex_w = pre.rex_r = pre.rex_x = pre.rex_b = false;
   }
   insn.prefixes = pre;
 
@@ -150,8 +181,16 @@ Instruction decode(util::ByteView code, std::size_t offset) {
     return insn;
   }
 
-  const RegWidth vw = pre.opsize ? RegWidth::k16 : RegWidth::k32;  // "v" width
+  const bool long_mode = mode == Mode::k64;
+  const RegWidth vw = pre.rex_w     ? RegWidth::k64
+                      : pre.opsize  ? RegWidth::k16
+                                    : RegWidth::k32;  // "v" width
+  // Stack operations (push/pop/call/ret) default to 64-bit in long mode.
+  const RegWidth stackw = long_mode ? RegWidth::k64 : vw;
   insn.op_width = vw;
+  // REX extensions for the ModRM.reg field and opcode-embedded registers.
+  auto xr = [&](unsigned f) { return f + (pre.rex_r ? 8u : 0u); };
+  auto xb = [&](unsigned f) { return f + (pre.rex_b ? 8u : 0u); };
 
   auto finish = [&](Mnemonic m) -> Instruction& {
     insn.mnemonic = m;
@@ -195,28 +234,28 @@ Instruction decode(util::ByteView code, std::size_t offset) {
     switch (op & 7) {
       case 0: {  // op rm8, r8
         ModRM mm = read_modrm(r);
-        insn.ops[0] = decode_rm(r, mm, RegWidth::k8Lo);
-        insn.ops[1] = Operand::make_reg(reg8(mm.reg));
+        insn.ops[0] = decode_rm(r, mm, RegWidth::k8Lo, mode, pre);
+        insn.ops[1] = Operand::make_reg(reg8(xr(mm.reg), pre.rex));
         insn.op_width = RegWidth::k8Lo;
         return finish(m);
       }
       case 1: {  // op rmv, rv
         ModRM mm = read_modrm(r);
-        insn.ops[0] = decode_rm(r, mm, vw);
-        insn.ops[1] = Operand::make_reg(reg_of_width(mm.reg, vw));
+        insn.ops[0] = decode_rm(r, mm, vw, mode, pre);
+        insn.ops[1] = Operand::make_reg(reg_of_width(xr(mm.reg), vw));
         return finish(m);
       }
       case 2: {  // op r8, rm8
         ModRM mm = read_modrm(r);
-        insn.ops[1] = decode_rm(r, mm, RegWidth::k8Lo);
-        insn.ops[0] = Operand::make_reg(reg8(mm.reg));
+        insn.ops[1] = decode_rm(r, mm, RegWidth::k8Lo, mode, pre);
+        insn.ops[0] = Operand::make_reg(reg8(xr(mm.reg), pre.rex));
         insn.op_width = RegWidth::k8Lo;
         return finish(m);
       }
       case 3: {  // op rv, rmv
         ModRM mm = read_modrm(r);
-        insn.ops[1] = decode_rm(r, mm, vw);
-        insn.ops[0] = Operand::make_reg(reg_of_width(mm.reg, vw));
+        insn.ops[1] = decode_rm(r, mm, vw, mode, pre);
+        insn.ops[0] = Operand::make_reg(reg_of_width(xr(mm.reg), vw));
         return finish(m);
       }
       case 4:  // op al, imm8
@@ -232,17 +271,20 @@ Instruction decode(util::ByteView code, std::size_t offset) {
   }
 
   switch (op) {
-    // ---- one-byte segment push/pop and BCD adjust (valid, no operands)
+    // ---- one-byte segment push/pop and BCD adjust (32-bit only: all of
+    // these encodings were removed from the 64-bit opcode map)
     case 0x06: case 0x0E: case 0x16: case 0x1E:
+      if (long_mode) return invalid();
       insn.op_width = RegWidth::k16;
       return finish(Mnemonic::kPush);
     case 0x07: case 0x17: case 0x1F:
+      if (long_mode) return invalid();
       insn.op_width = RegWidth::k16;
       return finish(Mnemonic::kPop);
-    case 0x27: return finish(Mnemonic::kDaa);
-    case 0x2F: return finish(Mnemonic::kDas);
-    case 0x37: return finish(Mnemonic::kAaa);
-    case 0x3F: return finish(Mnemonic::kAas);
+    case 0x27: return long_mode ? invalid() : finish(Mnemonic::kDaa);
+    case 0x2F: return long_mode ? invalid() : finish(Mnemonic::kDas);
+    case 0x37: return long_mode ? invalid() : finish(Mnemonic::kAaa);
+    case 0x3F: return long_mode ? invalid() : finish(Mnemonic::kAas);
 
     // ---- inc/dec/push/pop register forms
     case 0x40: case 0x41: case 0x42: case 0x43:
@@ -255,33 +297,45 @@ Instruction decode(util::ByteView code, std::size_t offset) {
       return finish(Mnemonic::kDec);
     case 0x50: case 0x51: case 0x52: case 0x53:
     case 0x54: case 0x55: case 0x56: case 0x57:
-      insn.ops[0] = Operand::make_reg(reg_of_width(op - 0x50, vw));
+      insn.ops[0] = Operand::make_reg(reg_of_width(xb(op - 0x50), stackw));
+      insn.op_width = stackw;
       return finish(Mnemonic::kPush);
     case 0x58: case 0x59: case 0x5A: case 0x5B:
     case 0x5C: case 0x5D: case 0x5E: case 0x5F:
-      insn.ops[0] = Operand::make_reg(reg_of_width(op - 0x58, vw));
+      insn.ops[0] = Operand::make_reg(reg_of_width(xb(op - 0x58), stackw));
+      insn.op_width = stackw;
       return finish(Mnemonic::kPop);
 
-    case 0x60: return finish(Mnemonic::kPusha);
-    case 0x61: return finish(Mnemonic::kPopa);
+    case 0x60: return long_mode ? invalid() : finish(Mnemonic::kPusha);
+    case 0x61: return long_mode ? invalid() : finish(Mnemonic::kPopa);
 
-    case 0x68:  // push immz
+    case 0x63: {  // movsxd rv, rm32 (64-bit mode; 32-bit ARPL stays undecoded)
+      if (!long_mode) return invalid();
+      ModRM mm = read_modrm(r);
+      insn.ops[1] = decode_rm(r, mm, RegWidth::k32, mode, pre);
+      insn.ops[0] = Operand::make_reg(reg_of_width(xr(mm.reg), vw));
+      return finish(Mnemonic::kMovsx);
+    }
+
+    case 0x68:  // push immz (imm is still 16/32-bit; operand is stack-wide)
       insn.ops[0] = Operand::make_imm(imm_z());
+      insn.op_width = stackw;
       return finish(Mnemonic::kPush);
     case 0x69: {  // imul rv, rmv, immz
       ModRM mm = read_modrm(r);
-      insn.ops[1] = decode_rm(r, mm, vw);
-      insn.ops[0] = Operand::make_reg(reg_of_width(mm.reg, vw));
+      insn.ops[1] = decode_rm(r, mm, vw, mode, pre);
+      insn.ops[0] = Operand::make_reg(reg_of_width(xr(mm.reg), vw));
       insn.ops[2] = Operand::make_imm(imm_z());
       return finish(Mnemonic::kImul);
     }
     case 0x6A:  // push imm8 (sign-extended)
       insn.ops[0] = Operand::make_imm(r.s8());
+      insn.op_width = stackw;
       return finish(Mnemonic::kPush);
     case 0x6B: {  // imul rv, rmv, imm8
       ModRM mm = read_modrm(r);
-      insn.ops[1] = decode_rm(r, mm, vw);
-      insn.ops[0] = Operand::make_reg(reg_of_width(mm.reg, vw));
+      insn.ops[1] = decode_rm(r, mm, vw, mode, pre);
+      insn.ops[0] = Operand::make_reg(reg_of_width(xr(mm.reg), vw));
       insn.ops[2] = Operand::make_imm(r.s8());
       return finish(Mnemonic::kImul);
     }
@@ -303,90 +357,92 @@ Instruction decode(util::ByteView code, std::size_t offset) {
 
     // ---- immediate group 1
     case 0x80: case 0x82: {  // op rm8, imm8 (0x82 is the documented alias)
+      if (op == 0x82 && long_mode) return invalid();  // alias removed in 64-bit
       ModRM mm = read_modrm(r);
-      insn.ops[0] = decode_rm(r, mm, RegWidth::k8Lo);
+      insn.ops[0] = decode_rm(r, mm, RegWidth::k8Lo, mode, pre);
       insn.ops[1] = Operand::make_imm(r.u8());
       insn.op_width = RegWidth::k8Lo;
       return finish(kGroup1[mm.reg]);
     }
     case 0x81: {  // op rmv, immz
       ModRM mm = read_modrm(r);
-      insn.ops[0] = decode_rm(r, mm, vw);
+      insn.ops[0] = decode_rm(r, mm, vw, mode, pre);
       insn.ops[1] = Operand::make_imm(imm_z());
       return finish(kGroup1[mm.reg]);
     }
     case 0x83: {  // op rmv, imm8 sign-extended
       ModRM mm = read_modrm(r);
-      insn.ops[0] = decode_rm(r, mm, vw);
+      insn.ops[0] = decode_rm(r, mm, vw, mode, pre);
       insn.ops[1] = Operand::make_imm(r.s8());
       return finish(kGroup1[mm.reg]);
     }
 
     case 0x84: {  // test rm8, r8
       ModRM mm = read_modrm(r);
-      insn.ops[0] = decode_rm(r, mm, RegWidth::k8Lo);
-      insn.ops[1] = Operand::make_reg(reg8(mm.reg));
+      insn.ops[0] = decode_rm(r, mm, RegWidth::k8Lo, mode, pre);
+      insn.ops[1] = Operand::make_reg(reg8(xr(mm.reg), pre.rex));
       insn.op_width = RegWidth::k8Lo;
       return finish(Mnemonic::kTest);
     }
     case 0x85: {  // test rmv, rv
       ModRM mm = read_modrm(r);
-      insn.ops[0] = decode_rm(r, mm, vw);
-      insn.ops[1] = Operand::make_reg(reg_of_width(mm.reg, vw));
+      insn.ops[0] = decode_rm(r, mm, vw, mode, pre);
+      insn.ops[1] = Operand::make_reg(reg_of_width(xr(mm.reg), vw));
       return finish(Mnemonic::kTest);
     }
     case 0x86: {  // xchg rm8, r8
       ModRM mm = read_modrm(r);
-      insn.ops[0] = decode_rm(r, mm, RegWidth::k8Lo);
-      insn.ops[1] = Operand::make_reg(reg8(mm.reg));
+      insn.ops[0] = decode_rm(r, mm, RegWidth::k8Lo, mode, pre);
+      insn.ops[1] = Operand::make_reg(reg8(xr(mm.reg), pre.rex));
       insn.op_width = RegWidth::k8Lo;
       return finish(Mnemonic::kXchg);
     }
     case 0x87: {  // xchg rmv, rv
       ModRM mm = read_modrm(r);
-      insn.ops[0] = decode_rm(r, mm, vw);
-      insn.ops[1] = Operand::make_reg(reg_of_width(mm.reg, vw));
+      insn.ops[0] = decode_rm(r, mm, vw, mode, pre);
+      insn.ops[1] = Operand::make_reg(reg_of_width(xr(mm.reg), vw));
       return finish(Mnemonic::kXchg);
     }
 
     // ---- mov forms
     case 0x88: {
       ModRM mm = read_modrm(r);
-      insn.ops[0] = decode_rm(r, mm, RegWidth::k8Lo);
-      insn.ops[1] = Operand::make_reg(reg8(mm.reg));
+      insn.ops[0] = decode_rm(r, mm, RegWidth::k8Lo, mode, pre);
+      insn.ops[1] = Operand::make_reg(reg8(xr(mm.reg), pre.rex));
       insn.op_width = RegWidth::k8Lo;
       return finish(Mnemonic::kMov);
     }
     case 0x89: {
       ModRM mm = read_modrm(r);
-      insn.ops[0] = decode_rm(r, mm, vw);
-      insn.ops[1] = Operand::make_reg(reg_of_width(mm.reg, vw));
+      insn.ops[0] = decode_rm(r, mm, vw, mode, pre);
+      insn.ops[1] = Operand::make_reg(reg_of_width(xr(mm.reg), vw));
       return finish(Mnemonic::kMov);
     }
     case 0x8A: {
       ModRM mm = read_modrm(r);
-      insn.ops[1] = decode_rm(r, mm, RegWidth::k8Lo);
-      insn.ops[0] = Operand::make_reg(reg8(mm.reg));
+      insn.ops[1] = decode_rm(r, mm, RegWidth::k8Lo, mode, pre);
+      insn.ops[0] = Operand::make_reg(reg8(xr(mm.reg), pre.rex));
       insn.op_width = RegWidth::k8Lo;
       return finish(Mnemonic::kMov);
     }
     case 0x8B: {
       ModRM mm = read_modrm(r);
-      insn.ops[1] = decode_rm(r, mm, vw);
-      insn.ops[0] = Operand::make_reg(reg_of_width(mm.reg, vw));
+      insn.ops[1] = decode_rm(r, mm, vw, mode, pre);
+      insn.ops[0] = Operand::make_reg(reg_of_width(xr(mm.reg), vw));
       return finish(Mnemonic::kMov);
     }
     case 0x8D: {  // lea rv, m
       ModRM mm = read_modrm(r);
       if (mm.mod == 3) return invalid();
-      insn.ops[1] = decode_rm(r, mm, vw);
-      insn.ops[0] = Operand::make_reg(reg_of_width(mm.reg, vw));
+      insn.ops[1] = decode_rm(r, mm, vw, mode, pre);
+      insn.ops[0] = Operand::make_reg(reg_of_width(xr(mm.reg), vw));
       return finish(Mnemonic::kLea);
     }
     case 0x8F: {  // pop rmv (group 1A: reg field must be 0)
       ModRM mm = read_modrm(r);
       if (mm.reg != 0) return invalid();
-      insn.ops[0] = decode_rm(r, mm, vw);
+      insn.ops[0] = decode_rm(r, mm, stackw, mode, pre);
+      insn.op_width = stackw;
       return finish(Mnemonic::kPop);
     }
 
@@ -395,7 +451,7 @@ Instruction decode(util::ByteView code, std::size_t offset) {
     case 0x91: case 0x92: case 0x93:
     case 0x94: case 0x95: case 0x96: case 0x97:
       insn.ops[0] = Operand::make_reg(reg_of_width(0, vw));
-      insn.ops[1] = Operand::make_reg(reg_of_width(op - 0x90, vw));
+      insn.ops[1] = Operand::make_reg(reg_of_width(xb(op - 0x90), vw));
       return finish(Mnemonic::kXchg);
 
     case 0x98: return finish(Mnemonic::kCwde);
@@ -406,8 +462,10 @@ Instruction decode(util::ByteView code, std::size_t offset) {
     case 0x9E: return finish(Mnemonic::kSahf);
     case 0x9F: return finish(Mnemonic::kLahf);
 
-    // ---- moffs forms
+    // ---- moffs forms (64-bit mode uses a 64-bit moffs; refuse rather
+    // than mis-decode, as with the 16-bit addressing prefix)
     case 0xA0: case 0xA1: {
+      if (long_mode) return invalid();
       MemRef mem;
       mem.disp = r.s32();
       mem.width = op == 0xA0 ? RegWidth::k8Lo : vw;
@@ -417,6 +475,7 @@ Instruction decode(util::ByteView code, std::size_t offset) {
       return finish(Mnemonic::kMov);
     }
     case 0xA2: case 0xA3: {
+      if (long_mode) return invalid();
       MemRef mem;
       mem.disp = r.s32();
       mem.width = op == 0xA2 ? RegWidth::k8Lo : vw;
@@ -450,21 +509,23 @@ Instruction decode(util::ByteView code, std::size_t offset) {
     // ---- mov reg, imm
     case 0xB0: case 0xB1: case 0xB2: case 0xB3:
     case 0xB4: case 0xB5: case 0xB6: case 0xB7:
-      insn.ops[0] = Operand::make_reg(reg8(op - 0xB0));
+      insn.ops[0] = Operand::make_reg(reg8(xb(op - 0xB0), pre.rex));
       insn.ops[1] = Operand::make_imm(r.u8());
       insn.op_width = RegWidth::k8Lo;
       return finish(Mnemonic::kMov);
     case 0xB8: case 0xB9: case 0xBA: case 0xBB:
     case 0xBC: case 0xBD: case 0xBE: case 0xBF:
-      insn.ops[0] = Operand::make_reg(reg_of_width(op - 0xB8, vw));
-      insn.ops[1] = Operand::make_imm(imm_z());
+      insn.ops[0] = Operand::make_reg(reg_of_width(xb(op - 0xB8), vw));
+      // B8+r is the one instruction with a true 64-bit immediate.
+      insn.ops[1] = Operand::make_imm(
+          pre.rex_w ? static_cast<std::int64_t>(r.u64()) : imm_z());
       return finish(Mnemonic::kMov);
 
     // ---- shift groups
     case 0xC0: case 0xC1: {
       ModRM mm = read_modrm(r);
       const RegWidth w = op == 0xC0 ? RegWidth::k8Lo : vw;
-      insn.ops[0] = decode_rm(r, mm, w);
+      insn.ops[0] = decode_rm(r, mm, w, mode, pre);
       insn.ops[1] = Operand::make_imm(r.u8() & 0x1f);
       insn.op_width = w;
       return finish(kShiftGroup[mm.reg]);
@@ -472,7 +533,7 @@ Instruction decode(util::ByteView code, std::size_t offset) {
     case 0xD0: case 0xD1: {
       ModRM mm = read_modrm(r);
       const RegWidth w = op == 0xD0 ? RegWidth::k8Lo : vw;
-      insn.ops[0] = decode_rm(r, mm, w);
+      insn.ops[0] = decode_rm(r, mm, w, mode, pre);
       insn.ops[1] = Operand::make_imm(1);
       insn.op_width = w;
       return finish(kShiftGroup[mm.reg]);
@@ -480,7 +541,7 @@ Instruction decode(util::ByteView code, std::size_t offset) {
     case 0xD2: case 0xD3: {
       ModRM mm = read_modrm(r);
       const RegWidth w = op == 0xD2 ? RegWidth::k8Lo : vw;
-      insn.ops[0] = decode_rm(r, mm, w);
+      insn.ops[0] = decode_rm(r, mm, w, mode, pre);
       insn.ops[1] = Operand::make_reg(kCl);
       insn.op_width = w;
       return finish(kShiftGroup[mm.reg]);
@@ -495,7 +556,7 @@ Instruction decode(util::ByteView code, std::size_t offset) {
     case 0xC6: {  // mov rm8, imm8
       ModRM mm = read_modrm(r);
       if (mm.reg != 0) return invalid();
-      insn.ops[0] = decode_rm(r, mm, RegWidth::k8Lo);
+      insn.ops[0] = decode_rm(r, mm, RegWidth::k8Lo, mode, pre);
       insn.ops[1] = Operand::make_imm(r.u8());
       insn.op_width = RegWidth::k8Lo;
       return finish(Mnemonic::kMov);
@@ -503,7 +564,7 @@ Instruction decode(util::ByteView code, std::size_t offset) {
     case 0xC7: {  // mov rmv, immz
       ModRM mm = read_modrm(r);
       if (mm.reg != 0) return invalid();
-      insn.ops[0] = decode_rm(r, mm, vw);
+      insn.ops[0] = decode_rm(r, mm, vw, mode, pre);
       insn.ops[1] = Operand::make_imm(imm_z());
       return finish(Mnemonic::kMov);
     }
@@ -521,10 +582,11 @@ Instruction decode(util::ByteView code, std::size_t offset) {
     case 0xCD:
       insn.ops[0] = Operand::make_imm(r.u8());
       return finish(Mnemonic::kInt);
-    case 0xCE: return finish(Mnemonic::kInto);
+    case 0xCE: return long_mode ? invalid() : finish(Mnemonic::kInto);
     case 0xCF: return finish(Mnemonic::kIret);
 
-    case 0xD6: return finish(Mnemonic::kSalc);  // undocumented; real shellcode uses it
+    case 0xD6:  // undocumented; real shellcode uses it (32-bit only)
+      return long_mode ? invalid() : finish(Mnemonic::kSalc);
     case 0xD7: return finish(Mnemonic::kXlat);
 
     // Minimal x87: the fnstenv GetPC idiom needs one FPU instruction to
@@ -538,7 +600,7 @@ Instruction decode(util::ByteView code, std::size_t offset) {
       }
       ModRM mm = read_modrm(r);
       if (mm.mod != 3 && mm.reg == 6) {  // fnstenv m28
-        insn.ops[0] = decode_rm(r, mm, RegWidth::k32);
+        insn.ops[0] = decode_rm(r, mm, RegWidth::k32, mode, pre);
         return finish(Mnemonic::kFnstenv);
       }
       return invalid();
@@ -583,7 +645,7 @@ Instruction decode(util::ByteView code, std::size_t offset) {
     case 0xF6: case 0xF7: {
       ModRM mm = read_modrm(r);
       const RegWidth w = op == 0xF6 ? RegWidth::k8Lo : vw;
-      insn.ops[0] = decode_rm(r, mm, w);
+      insn.ops[0] = decode_rm(r, mm, w, mode, pre);
       insn.op_width = w;
       switch (mm.reg) {
         case 0: case 1:  // test rm, imm
@@ -609,7 +671,7 @@ Instruction decode(util::ByteView code, std::size_t offset) {
 
     case 0xFE: {  // group 4: inc/dec rm8
       ModRM mm = read_modrm(r);
-      insn.ops[0] = decode_rm(r, mm, RegWidth::k8Lo);
+      insn.ops[0] = decode_rm(r, mm, RegWidth::k8Lo, mode, pre);
       insn.op_width = RegWidth::k8Lo;
       if (mm.reg == 0) return finish(Mnemonic::kInc);
       if (mm.reg == 1) return finish(Mnemonic::kDec);
@@ -617,7 +679,9 @@ Instruction decode(util::ByteView code, std::size_t offset) {
     }
     case 0xFF: {  // group 5
       ModRM mm = read_modrm(r);
-      insn.ops[0] = decode_rm(r, mm, vw);
+      // call/jmp/push operands default to 64-bit in long mode.
+      const bool stacky = mm.reg == 2 || mm.reg == 4 || mm.reg == 6;
+      insn.ops[0] = decode_rm(r, mm, stacky ? stackw : vw, mode, pre);
       switch (mm.reg) {
         case 0: return finish(Mnemonic::kInc);
         case 1: return finish(Mnemonic::kDec);
@@ -643,7 +707,7 @@ Instruction decode(util::ByteView code, std::size_t offset) {
       if (op2 >= 0x90 && op2 <= 0x9F) {
         ModRM mm = read_modrm(r);
         insn.cond = static_cast<Cond>(op2 - 0x90);
-        insn.ops[0] = decode_rm(r, mm, RegWidth::k8Lo);
+        insn.ops[0] = decode_rm(r, mm, RegWidth::k8Lo, mode, pre);
         insn.op_width = RegWidth::k8Lo;
         return finish(Mnemonic::kSetcc);
       }
@@ -651,28 +715,33 @@ Instruction decode(util::ByteView code, std::size_t offset) {
       if (op2 >= 0x40 && op2 <= 0x4F) {
         ModRM mm = read_modrm(r);
         insn.cond = static_cast<Cond>(op2 - 0x40);
-        insn.ops[1] = decode_rm(r, mm, vw);
-        insn.ops[0] = Operand::make_reg(reg_of_width(mm.reg, vw));
+        insn.ops[1] = decode_rm(r, mm, vw, mode, pre);
+        insn.ops[0] = Operand::make_reg(reg_of_width(xr(mm.reg), vw));
         return finish(Mnemonic::kCmov);
       }
-      // bswap r32
+      // bswap r32/r64
       if (op2 >= 0xC8 && op2 <= 0xCF) {
-        insn.ops[0] = Operand::make_reg(reg32(op2 - 0xC8));
+        insn.ops[0] = Operand::make_reg(
+            long_mode ? reg_of_width(xb(op2 - 0xC8),
+                                     pre.rex_w ? RegWidth::k64 : RegWidth::k32)
+                      : reg32(op2 - 0xC8));
         return finish(Mnemonic::kBswap);
       }
 
       switch (op2) {
+        case 0x05:  // syscall (64-bit mode only)
+          return long_mode ? finish(Mnemonic::kSyscall) : invalid();
         case 0x1F: {  // multi-byte nop: nop rm
           ModRM mm = read_modrm(r);
-          insn.ops[0] = decode_rm(r, mm, vw);
+          insn.ops[0] = decode_rm(r, mm, vw, mode, pre);
           return finish(Mnemonic::kNop);
         }
         case 0x31: return finish(Mnemonic::kRdtsc);
         case 0xA2: return finish(Mnemonic::kCpuid);
         case 0xA3: case 0xAB: case 0xB3: case 0xBB: {  // bt/bts/btr/btc rm, r
           ModRM mm = read_modrm(r);
-          insn.ops[0] = decode_rm(r, mm, vw);
-          insn.ops[1] = Operand::make_reg(reg_of_width(mm.reg, vw));
+          insn.ops[0] = decode_rm(r, mm, vw, mode, pre);
+          insn.ops[1] = Operand::make_reg(reg_of_width(xr(mm.reg), vw));
           switch (op2) {
             case 0xA3: return finish(Mnemonic::kBt);
             case 0xAB: return finish(Mnemonic::kBts);
@@ -682,48 +751,48 @@ Instruction decode(util::ByteView code, std::size_t offset) {
         }
         case 0xA4: case 0xAC: {  // shld/shrd rm, r, imm8
           ModRM mm = read_modrm(r);
-          insn.ops[0] = decode_rm(r, mm, vw);
-          insn.ops[1] = Operand::make_reg(reg_of_width(mm.reg, vw));
+          insn.ops[0] = decode_rm(r, mm, vw, mode, pre);
+          insn.ops[1] = Operand::make_reg(reg_of_width(xr(mm.reg), vw));
           insn.ops[2] = Operand::make_imm(r.u8());
           return finish(op2 == 0xA4 ? Mnemonic::kShld : Mnemonic::kShrd);
         }
         case 0xA5: case 0xAD: {  // shld/shrd rm, r, cl
           ModRM mm = read_modrm(r);
-          insn.ops[0] = decode_rm(r, mm, vw);
-          insn.ops[1] = Operand::make_reg(reg_of_width(mm.reg, vw));
+          insn.ops[0] = decode_rm(r, mm, vw, mode, pre);
+          insn.ops[1] = Operand::make_reg(reg_of_width(xr(mm.reg), vw));
           insn.ops[2] = Operand::make_reg(kCl);
           return finish(op2 == 0xA5 ? Mnemonic::kShld : Mnemonic::kShrd);
         }
         case 0xAF: {  // imul rv, rmv
           ModRM mm = read_modrm(r);
-          insn.ops[1] = decode_rm(r, mm, vw);
-          insn.ops[0] = Operand::make_reg(reg_of_width(mm.reg, vw));
+          insn.ops[1] = decode_rm(r, mm, vw, mode, pre);
+          insn.ops[0] = Operand::make_reg(reg_of_width(xr(mm.reg), vw));
           return finish(Mnemonic::kImul);
         }
         case 0xB0: case 0xB1: {  // cmpxchg
           ModRM mm = read_modrm(r);
           const RegWidth w = op2 == 0xB0 ? RegWidth::k8Lo : vw;
-          insn.ops[0] = decode_rm(r, mm, w);
-          insn.ops[1] = Operand::make_reg(reg_of_width(mm.reg, w));
+          insn.ops[0] = decode_rm(r, mm, w, mode, pre);
+          insn.ops[1] = Operand::make_reg(reg_of_width(xr(mm.reg), w));
           insn.op_width = w;
           return finish(Mnemonic::kCmpxchg);
         }
         case 0xB6: case 0xB7: {  // movzx rv, rm8/rm16
           ModRM mm = read_modrm(r);
-          insn.ops[1] = decode_rm(r, mm, op2 == 0xB6 ? RegWidth::k8Lo : RegWidth::k16);
-          insn.ops[0] = Operand::make_reg(reg_of_width(mm.reg, vw));
+          insn.ops[1] = decode_rm(r, mm, op2 == 0xB6 ? RegWidth::k8Lo : RegWidth::k16, mode, pre);
+          insn.ops[0] = Operand::make_reg(reg_of_width(xr(mm.reg), vw));
           return finish(Mnemonic::kMovzx);
         }
         case 0xBE: case 0xBF: {  // movsx
           ModRM mm = read_modrm(r);
-          insn.ops[1] = decode_rm(r, mm, op2 == 0xBE ? RegWidth::k8Lo : RegWidth::k16);
-          insn.ops[0] = Operand::make_reg(reg_of_width(mm.reg, vw));
+          insn.ops[1] = decode_rm(r, mm, op2 == 0xBE ? RegWidth::k8Lo : RegWidth::k16, mode, pre);
+          insn.ops[0] = Operand::make_reg(reg_of_width(xr(mm.reg), vw));
           return finish(Mnemonic::kMovsx);
         }
         case 0xBA: {  // group 8: bt/bts/btr/btc rm, imm8
           ModRM mm = read_modrm(r);
           if (mm.reg < 4) return invalid();
-          insn.ops[0] = decode_rm(r, mm, vw);
+          insn.ops[0] = decode_rm(r, mm, vw, mode, pre);
           insn.ops[1] = Operand::make_imm(r.u8());
           switch (mm.reg) {
             case 4: return finish(Mnemonic::kBt);
@@ -734,15 +803,15 @@ Instruction decode(util::ByteView code, std::size_t offset) {
         }
         case 0xBC: case 0xBD: {  // bsf/bsr rv, rmv
           ModRM mm = read_modrm(r);
-          insn.ops[1] = decode_rm(r, mm, vw);
-          insn.ops[0] = Operand::make_reg(reg_of_width(mm.reg, vw));
+          insn.ops[1] = decode_rm(r, mm, vw, mode, pre);
+          insn.ops[0] = Operand::make_reg(reg_of_width(xr(mm.reg), vw));
           return finish(op2 == 0xBC ? Mnemonic::kBsf : Mnemonic::kBsr);
         }
         case 0xC0: case 0xC1: {  // xadd
           ModRM mm = read_modrm(r);
           const RegWidth w = op2 == 0xC0 ? RegWidth::k8Lo : vw;
-          insn.ops[0] = decode_rm(r, mm, w);
-          insn.ops[1] = Operand::make_reg(reg_of_width(mm.reg, w));
+          insn.ops[0] = decode_rm(r, mm, w, mode, pre);
+          insn.ops[1] = Operand::make_reg(reg_of_width(xr(mm.reg), w));
           insn.op_width = w;
           return finish(Mnemonic::kXadd);
         }
@@ -757,10 +826,10 @@ Instruction decode(util::ByteView code, std::size_t offset) {
 }
 
 void linear_sweep(util::ByteView code, std::size_t offset, std::size_t max_insns,
-                  std::vector<Instruction>& out) {
+                  std::vector<Instruction>& out, Mode mode) {
   out.clear();
   while (offset < code.size() && out.size() < max_insns) {
-    Instruction insn = decode(code, offset);
+    Instruction insn = decode(code, offset, mode);
     if (!insn.valid()) break;
     offset = insn.end_offset();
     out.push_back(std::move(insn));
@@ -768,10 +837,10 @@ void linear_sweep(util::ByteView code, std::size_t offset, std::size_t max_insns
 }
 
 std::vector<Instruction> linear_sweep(util::ByteView code, std::size_t offset,
-                                      std::size_t max_insns) {
+                                      std::size_t max_insns, Mode mode) {
   std::vector<Instruction> out;
-  linear_sweep(code, offset, max_insns, out);
+  linear_sweep(code, offset, max_insns, out, mode);
   return out;
 }
 
-}  // namespace senids::x86
+}  // namespace senids::arch

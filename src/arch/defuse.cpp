@@ -1,12 +1,13 @@
-#include "x86/defuse.hpp"
+#include "arch/defuse.hpp"
 
-namespace senids::x86 {
+namespace senids::arch {
 
 std::string RegSet::str() const {
-  static constexpr std::string_view kNames[] = {"eax", "ecx", "edx", "ebx",
-                                                "esp", "ebp", "esi", "edi"};
+  static constexpr std::string_view kNames[] = {
+      "eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi",
+      "r8",  "r9",  "r10", "r11", "r12", "r13", "r14", "r15"};
   std::string out;
-  for (unsigned i = 0; i < 8; ++i) {
+  for (unsigned i = 0; i < 16; ++i) {
     if (bits_ & (1u << i)) {
       if (!out.empty()) out.push_back(',');
       out += kNames[i];
@@ -297,6 +298,15 @@ DefUse def_use(const Instruction& insn) noexcept {
       du.defs.add_family(RegFamily::kAx);
       du.side_effect = true;
       break;
+    case Mnemonic::kSyscall:
+      // x86-64 Linux convention: number in rax, args in rdi,rsi,rdx,r10,
+      // r8,r9; clobbers rax (result), rcx (return RIP), r11 (rflags).
+      du.uses = RegSet::all();
+      du.defs.add_family(RegFamily::kAx);
+      du.defs.add_family(RegFamily::kCx);
+      du.defs.add_family(RegFamily::kR11);
+      du.side_effect = true;
+      break;
     case Mnemonic::kInt3:
     case Mnemonic::kHlt:
       du.side_effect = true;
@@ -451,4 +461,4 @@ DefUse def_use(const Instruction& insn) noexcept {
   return du;
 }
 
-}  // namespace senids::x86
+}  // namespace senids::arch

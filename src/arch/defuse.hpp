@@ -9,11 +9,11 @@
 #include <cstdint>
 #include <string>
 
-#include "x86/insn.hpp"
+#include "arch/insn.hpp"
 
-namespace senids::x86 {
+namespace senids::arch {
 
-/// Bitset over the eight GPR families.
+/// Bitset over the sixteen GPR families.
 class RegSet {
  public:
   constexpr RegSet() = default;
@@ -30,21 +30,21 @@ class RegSet {
     bits_ |= other.bits_;
     return *this;
   }
-  [[nodiscard]] std::uint8_t raw() const noexcept { return bits_; }
+  [[nodiscard]] std::uint16_t raw() const noexcept { return bits_; }
 
   static RegSet all() noexcept {
     RegSet s;
-    s.bits_ = 0xff;
+    s.bits_ = 0xffff;
     return s;
   }
 
   [[nodiscard]] std::string str() const;
 
  private:
-  static constexpr std::uint8_t mask(RegFamily f) noexcept {
-    return static_cast<std::uint8_t>(1u << static_cast<unsigned>(f));
+  static constexpr std::uint16_t mask(RegFamily f) noexcept {
+    return static_cast<std::uint16_t>(1u << static_cast<unsigned>(f));
   }
-  std::uint8_t bits_ = 0;
+  std::uint16_t bits_ = 0;
 };
 
 /// Effect summary of one instruction.
@@ -62,4 +62,4 @@ struct DefUse {
 /// modeled semantics (e.g. kInt claims to read every GPR).
 DefUse def_use(const Instruction& insn) noexcept;
 
-}  // namespace senids::x86
+}  // namespace senids::arch

@@ -1,8 +1,8 @@
-#include "x86/format.hpp"
+#include "arch/format.hpp"
 
 #include <cstdio>
 
-namespace senids::x86 {
+namespace senids::arch {
 
 std::string_view mnemonic_name(Mnemonic m) noexcept {
   switch (m) {
@@ -99,6 +99,7 @@ std::string_view mnemonic_name(Mnemonic m) noexcept {
     case Mnemonic::kOut: return "out";
     case Mnemonic::kSalc: return "salc";
     case Mnemonic::kCmov: return "cmov";
+    case Mnemonic::kSyscall: return "syscall";
     case Mnemonic::kFpuNop: return "fldz";
     case Mnemonic::kFnstenv: return "fnstenv";
   }
@@ -138,6 +139,8 @@ const char* width_ptr_name(RegWidth w) {
       return "word ptr ";
     case RegWidth::k32:
       return "dword ptr ";
+    case RegWidth::k64:
+      return "qword ptr ";
   }
   return "";
 }
@@ -164,6 +167,10 @@ std::string format_operand(const Operand& op) {
       std::string out = width_ptr_name(op.mem.width);
       out.push_back('[');
       bool need_plus = false;
+      if (op.mem.rip) {
+        out += "rip";
+        need_plus = true;
+      }
       if (op.mem.base) {
         out += op.mem.base->name();
         need_plus = true;
@@ -213,7 +220,8 @@ std::string format(const Instruction& insn) {
     case Mnemonic::kLods:
     case Mnemonic::kScas:
       out += insn.op_width == RegWidth::k8Lo ? "b"
-             : insn.op_width == RegWidth::k16 ? "w" : "d";
+             : insn.op_width == RegWidth::k16 ? "w"
+             : insn.op_width == RegWidth::k64 ? "q" : "d";
       break;
     default:
       break;
@@ -240,4 +248,4 @@ std::string format_listing(const std::vector<Instruction>& insns) {
   return out;
 }
 
-}  // namespace senids::x86
+}  // namespace senids::arch

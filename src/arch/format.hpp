@@ -5,9 +5,9 @@
 #include <string>
 #include <vector>
 
-#include "x86/insn.hpp"
+#include "arch/insn.hpp"
 
-namespace senids::x86 {
+namespace senids::arch {
 
 /// Render one instruction, e.g. "xor byte ptr [eax], 0x95".
 std::string format(const Instruction& insn);
@@ -15,4 +15,4 @@ std::string format(const Instruction& insn);
 /// Render a listing with offsets, one instruction per line.
 std::string format_listing(const std::vector<Instruction>& insns);
 
-}  // namespace senids::x86
+}  // namespace senids::arch

@@ -7,9 +7,14 @@
 #include <cstdint>
 #include <optional>
 
-#include "x86/reg.hpp"
+#include "arch/reg.hpp"
 
-namespace senids::x86 {
+namespace senids::arch {
+
+/// Decode mode: which instruction-set rules apply. k32 is classic IA-32;
+/// k64 is x86-64 long mode (REX prefixes, default-64 stack ops,
+/// RIP-relative addressing, a different invalid-opcode set).
+enum class Mode : std::uint8_t { k32, k64 };
 
 /// Mnemonics the decoder emits. kInvalid marks undecodable bytes: the
 /// scanners treat it as a synchronization failure, never as a crash.
@@ -35,6 +40,7 @@ enum class Mnemonic : std::uint16_t {
   // flags and misc
   kNop, kClc, kStc, kCmc, kCld, kStd, kCli, kSti, kHlt, kWait, kSetcc,
   kCmpxchg, kXadd, kCpuid, kRdtsc, kIn, kOut, kSalc, kCmov,
+  kSyscall,   // x86-64 `syscall` (0F 05); never emitted by the 32-bit decoder
   // Minimal x87 subset: just enough for the fnstenv GetPC idiom.
   kFpuNop,    // fld constants / fninit-style no-ops that set "last FPU insn"
   kFnstenv,   // store the 28-byte FPU environment (FIP at offset +12)
@@ -53,7 +59,11 @@ struct MemRef {
   std::optional<Reg> index;
   std::uint8_t scale = 1;           // 1,2,4,8
   std::int32_t disp = 0;
-  RegWidth width = RegWidth::k32;   // access width (byte/word/dword ptr)
+  RegWidth width = RegWidth::k32;   // access width (byte/word/... ptr)
+  /// 64-bit mode RIP-relative form ([rip + disp32]): the effective
+  /// address is the end of the instruction plus disp, which the lifter
+  /// and emulator resolve to a concrete in-buffer offset.
+  bool rip = false;
 
   friend bool operator==(const MemRef&, const MemRef&) = default;
 };
@@ -99,6 +109,12 @@ struct Prefixes {
   bool rep = false;       // 0xF3
   bool repne = false;     // 0xF2
   bool segment = false;   // any of 26/2E/36/3E/64/65
+  // REX fields (64-bit mode only; all false when no REX byte was seen).
+  bool rex = false;       // any 40-4F byte immediately before the opcode
+  bool rex_w = false;     // 64-bit operand size
+  bool rex_r = false;     // ModRM.reg extension
+  bool rex_x = false;     // SIB.index extension
+  bool rex_b = false;     // ModRM.rm / SIB.base / opcode-reg extension
 };
 
 struct Instruction {
@@ -110,6 +126,10 @@ struct Instruction {
   std::array<Operand, 3> ops;
   /// Operation width for width-ambiguous mnemonics (string ops, push imm).
   RegWidth op_width = RegWidth::k32;
+  /// Decode mode this instruction was produced under. Downstream
+  /// consumers (def/use, lifter, emulator) key mode-dependent semantics
+  /// off this field instead of taking a second parameter.
+  Mode mode = Mode::k32;
 
   [[nodiscard]] bool valid() const noexcept { return mnemonic != Mnemonic::kInvalid; }
   [[nodiscard]] std::size_t end_offset() const noexcept { return offset + length; }
@@ -157,4 +177,4 @@ struct Instruction {
 std::string_view mnemonic_name(Mnemonic m) noexcept;
 std::string_view cond_suffix(Cond c) noexcept;
 
-}  // namespace senids::x86
+}  // namespace senids::arch

@@ -1,0 +1,80 @@
+#include "arch/reg.hpp"
+
+namespace senids::arch {
+
+namespace {
+constexpr std::string_view kNames64[] = {"rax", "rcx", "rdx", "rbx",
+                                         "rsp", "rbp", "rsi", "rdi",
+                                         "r8",  "r9",  "r10", "r11",
+                                         "r12", "r13", "r14", "r15"};
+constexpr std::string_view kNames32[] = {"eax",  "ecx",  "edx",  "ebx",
+                                         "esp",  "ebp",  "esi",  "edi",
+                                         "r8d",  "r9d",  "r10d", "r11d",
+                                         "r12d", "r13d", "r14d", "r15d"};
+constexpr std::string_view kNames16[] = {"ax",   "cx",   "dx",   "bx",
+                                         "sp",   "bp",   "si",   "di",
+                                         "r8w",  "r9w",  "r10w", "r11w",
+                                         "r12w", "r13w", "r14w", "r15w"};
+constexpr std::string_view kNames8Lo[] = {"al",   "cl",   "dl",   "bl",
+                                          "spl",  "bpl",  "sil",  "dil",
+                                          "r8b",  "r9b",  "r10b", "r11b",
+                                          "r12b", "r13b", "r14b", "r15b"};
+constexpr std::string_view kNames8Hi[] = {"ah", "ch", "dh", "bh"};
+}  // namespace
+
+std::string_view Reg::name() const noexcept {
+  const auto f = static_cast<unsigned>(family) & 15;
+  switch (width) {
+    case RegWidth::k64:
+      return kNames64[f];
+    case RegWidth::k32:
+      return kNames32[f];
+    case RegWidth::k16:
+      return kNames16[f];
+    case RegWidth::k8Lo:
+      return kNames8Lo[f];
+    case RegWidth::k8Hi:
+      return kNames8Hi[f & 3];
+  }
+  return "?";
+}
+
+Reg reg64(unsigned index) noexcept {
+  return Reg{static_cast<RegFamily>(index & 15), RegWidth::k64};
+}
+
+Reg reg32(unsigned index) noexcept {
+  return Reg{static_cast<RegFamily>(index & 15), RegWidth::k32};
+}
+
+Reg reg16(unsigned index) noexcept {
+  return Reg{static_cast<RegFamily>(index & 15), RegWidth::k16};
+}
+
+Reg reg8(unsigned index, bool rex_present) noexcept {
+  index &= 15;
+  // Without REX, encodings 0-3 are AL,CL,DL,BL and 4-7 are AH,CH,DH,BH,
+  // which live in the AX..BX families. Any REX prefix switches 4-7 to
+  // SPL,BPL,SIL,DIL and unlocks 8-15 (R8B..R15B).
+  if (index < 4 || rex_present) {
+    return Reg{static_cast<RegFamily>(index), RegWidth::k8Lo};
+  }
+  return Reg{static_cast<RegFamily>(index - 4), RegWidth::k8Hi};
+}
+
+unsigned width_bits(RegWidth w) noexcept {
+  switch (w) {
+    case RegWidth::k8Lo:
+    case RegWidth::k8Hi:
+      return 8;
+    case RegWidth::k16:
+      return 16;
+    case RegWidth::k32:
+      return 32;
+    case RegWidth::k64:
+      return 64;
+  }
+  return 0;
+}
+
+}  // namespace senids::arch

@@ -1,8 +1,8 @@
-#include "x86/scan.hpp"
+#include "arch/scan.hpp"
 
 #include <algorithm>
 
-namespace senids::x86 {
+namespace senids::arch {
 
 namespace {
 
@@ -15,7 +15,7 @@ void reset(V& v, std::size_t n) {
 }  // namespace
 
 void find_code_runs(util::ByteView code, std::size_t min_insns, std::vector<CodeRun>& out,
-                    ScanScratch& scratch) {
+                    ScanScratch& scratch, Mode mode) {
   out.clear();
   const std::size_t n = code.size();
   if (n == 0) return;
@@ -27,7 +27,7 @@ void find_code_runs(util::ByteView code, std::size_t min_insns, std::vector<Code
   reset(run_len, n);
   reset(next, n);
   for (std::size_t i = n; i-- > 0;) {
-    Instruction insn = decode(code, i);
+    Instruction insn = decode(code, i, mode);
     if (!insn.valid()) continue;
     const std::size_t after = insn.end_offset();
     next[i] = static_cast<std::uint32_t>(after);
@@ -58,15 +58,16 @@ void find_code_runs(util::ByteView code, std::size_t min_insns, std::vector<Code
   }
 }
 
-std::vector<CodeRun> find_code_runs(util::ByteView code, std::size_t min_insns) {
+std::vector<CodeRun> find_code_runs(util::ByteView code, std::size_t min_insns,
+                                    Mode mode) {
   std::vector<CodeRun> runs;
   ScanScratch scratch;
-  find_code_runs(code, min_insns, runs, scratch);
+  find_code_runs(code, min_insns, runs, scratch, mode);
   return runs;
 }
 
 void execution_trace(util::ByteView code, std::size_t entry, std::size_t max_insns,
-                     std::vector<Instruction>& out, ScanScratch& scratch) {
+                     std::vector<Instruction>& out, ScanScratch& scratch, Mode mode) {
   out.clear();
   auto& visited = scratch.visited;
   if (visited.size() < code.size()) visited.resize(code.size(), 0);
@@ -80,7 +81,7 @@ void execution_trace(util::ByteView code, std::size_t entry, std::size_t max_ins
   while (pc < code.size() && out.size() < max_insns) {
     if (visited[pc] == gen) break;  // loop closed: stream complete
     visited[pc] = gen;
-    Instruction insn = decode(code, pc);
+    Instruction insn = decode(code, pc, mode);
     if (!insn.valid()) break;
     const Instruction& placed = out.emplace_back(std::move(insn));
 
@@ -98,11 +99,11 @@ void execution_trace(util::ByteView code, std::size_t entry, std::size_t max_ins
 }
 
 std::vector<Instruction> execution_trace(util::ByteView code, std::size_t entry,
-                                         std::size_t max_insns) {
+                                         std::size_t max_insns, Mode mode) {
   std::vector<Instruction> trace;
   ScanScratch scratch;
-  execution_trace(code, entry, max_insns, trace, scratch);
+  execution_trace(code, entry, max_insns, trace, scratch, mode);
   return trace;
 }
 
-}  // namespace senids::x86
+}  // namespace senids::arch

@@ -9,9 +9,9 @@
 #include <vector>
 
 #include "util/bytes.hpp"
-#include "x86/decoder.hpp"
+#include "arch/decoder.hpp"
 
-namespace senids::x86 {
+namespace senids::arch {
 
 /// A maximal linear decode run.
 struct CodeRun {
@@ -41,12 +41,13 @@ struct ScanScratch {
 /// Find decode runs of at least `min_insns` instructions. Runs contained
 /// in a longer run (same synchronization) are suppressed, so the result
 /// is a small set of candidate shellcode entry points.
-std::vector<CodeRun> find_code_runs(util::ByteView code, std::size_t min_insns = 6);
+std::vector<CodeRun> find_code_runs(util::ByteView code, std::size_t min_insns = 6,
+                                    Mode mode = Mode::k32);
 
 /// Buffer-reusing form: clears and fills `out` (capacity preserved),
 /// using `scratch` for the internal arrays instead of allocating.
 void find_code_runs(util::ByteView code, std::size_t min_insns, std::vector<CodeRun>& out,
-                    ScanScratch& scratch);
+                    ScanScratch& scratch, Mode mode = Mode::k32);
 
 /// Execution-order trace from `entry`: decodes, then follows unconditional
 /// jmps with in-buffer targets; conditional branches and loops fall
@@ -55,11 +56,13 @@ void find_code_runs(util::ByteView code, std::size_t min_insns, std::vector<Code
 /// The returned sequence is the de-obfuscated instruction stream handed to
 /// the IR lifter.
 std::vector<Instruction> execution_trace(util::ByteView code, std::size_t entry,
-                                         std::size_t max_insns = 4096);
+                                         std::size_t max_insns = 4096,
+                                         Mode mode = Mode::k32);
 
 /// Buffer-reusing form: clears and fills `out` (capacity preserved),
 /// using `scratch.visited` for the loop-closure bitmap.
 void execution_trace(util::ByteView code, std::size_t entry, std::size_t max_insns,
-                     std::vector<Instruction>& out, ScanScratch& scratch);
+                     std::vector<Instruction>& out, ScanScratch& scratch,
+                     Mode mode = Mode::k32);
 
-}  // namespace senids::x86
+}  // namespace senids::arch

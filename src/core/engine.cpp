@@ -8,6 +8,7 @@
 #include <optional>
 #include <unordered_map>
 
+#include "arch/arch.hpp"
 #include "cache/fingerprint.hpp"
 #include "core/pipeline_obs.hpp"
 #include "core/shard.hpp"
@@ -238,6 +239,17 @@ namespace {
 /// release, and the whole point of the debug hook is to refuse to limp
 /// past it. Release builds skip both (the hook slot stays available for
 /// tests and tools to install their own).
+/// Resolve the architecture knob: nullptr means the classic x86_32
+/// pipeline. The resolved Arch is pushed into the analyzer's scanner
+/// options and the emulator's CPU mode, so every stage agrees on the ISA
+/// without consulting NidsOptions::arch again.
+NidsOptions with_arch_defaults(NidsOptions options) {
+  if (!options.arch) options.arch = &arch::Arch::x86_32();
+  options.analyzer.arch = options.arch;
+  options.emulator.mode = options.arch->mode();
+  return options;
+}
+
 NidsOptions with_debug_verification(NidsOptions options) {
 #ifndef NDEBUG
   static const bool tables_ok = [] {
@@ -249,7 +261,7 @@ NidsOptions with_debug_verification(NidsOptions options) {
   }();
   if (!tables_ok) std::abort();
   if (!options.analyzer.post_lift_hook) {
-    options.analyzer.post_lift_hook = [](const std::vector<x86::Instruction>& trace,
+    options.analyzer.post_lift_hook = [](const std::vector<arch::Instruction>& trace,
                                          const ir::LiftResult& lifted) {
       verify::Report r = verify::verify_ir(trace, lifted);
       if (!r.ok()) {
@@ -293,6 +305,9 @@ cache::Digest compute_config_fingerprint(const NidsOptions& o,
   opt("ex.min_base64_encoded", e.min_base64_encoded);
   opt("ex.min_base64_decoded", e.min_base64_decoded);
   opt("ex.extract_all", e.extract_all ? 1 : 0);
+  // The ISA changes how the same bytes decode, lift, and emulate, so it
+  // is verdict-affecting. o.arch is already normalized (never null here).
+  opt("arch.mode", static_cast<std::uint64_t>(o.arch->mode()));
   const semantic::SemanticAnalyzer::Options& a = o.analyzer;
   opt("an.min_run_insns", a.min_run_insns);
   opt("an.max_entries", a.max_entries);
@@ -340,7 +355,7 @@ bool NidsEngine::is_tainted(net::Ipv4Addr src) const {
 }
 
 NidsEngine::NidsEngine(NidsOptions options, std::vector<semantic::Template> templates)
-    : options_(with_debug_verification(std::move(options))),
+    : options_(with_debug_verification(with_arch_defaults(std::move(options)))),
       classifier_(options_.classifier),
       analyzer_(std::move(templates), options_.analyzer) {
   config_fingerprint_ = compute_config_fingerprint(options_, analyzer_.templates());

@@ -60,6 +60,15 @@ namespace senids::core {
 class PipelineShard;
 
 struct NidsOptions {
+  /// Instruction-set architecture for stages (c)-(e): candidate scanning,
+  /// disassembly, IR lifting, template matching, and sandbox emulation
+  /// all run under this Arch's rules (see src/arch/arch.hpp). nullptr =
+  /// arch::Arch::x86_32(), the classic pipeline. The engine normalizes
+  /// this at construction and propagates it into analyzer.arch and
+  /// emulator.mode, so leave those derived fields alone; it is also part
+  /// of the verdict-cache config fingerprint (the same bytes can carry a
+  /// 32-bit payload and a 64-bit payload with different verdicts).
+  const arch::Arch* arch = nullptr;
   classify::ClassifierOptions classifier;
   extract::ExtractorOptions extractor;
   semantic::SemanticAnalyzer::Options analyzer;

@@ -23,6 +23,6 @@
 #include "semantic/dsl.hpp"           // IWYU pragma: export
 #include "semantic/library.hpp"       // IWYU pragma: export
 #include "triage/triage.hpp"          // IWYU pragma: export
-#include "x86/decoder.hpp"            // IWYU pragma: export
-#include "x86/format.hpp"             // IWYU pragma: export
-#include "x86/scan.hpp"               // IWYU pragma: export
+#include "arch/decoder.hpp"            // IWYU pragma: export
+#include "arch/format.hpp"             // IWYU pragma: export
+#include "arch/scan.hpp"               // IWYU pragma: export

@@ -1,18 +1,22 @@
 #include "emu/cpu.hpp"
 
 #include <bit>
+#include <memory>
+
+#include "arch/arch.hpp"
 
 namespace senids::emu {
 
-using x86::Cond;
-using x86::Instruction;
-using x86::MemRef;
-using x86::Mnemonic;
-using x86::Operand;
-using x86::OperandKind;
-using x86::Reg;
-using x86::RegFamily;
-using x86::RegWidth;
+using arch::Cond;
+using arch::Instruction;
+using arch::MemRef;
+using arch::Mnemonic;
+using arch::Mode;
+using arch::Operand;
+using arch::OperandKind;
+using arch::Reg;
+using arch::RegFamily;
+using arch::RegWidth;
 
 std::string_view stop_reason_name(StopReason r) noexcept {
   switch (r) {
@@ -31,8 +35,8 @@ std::string_view stop_reason_name(StopReason r) noexcept {
 
 namespace {
 
-std::uint32_t mask_of(unsigned bits) {
-  return bits >= 32 ? 0xffffffffu : ((1u << bits) - 1);
+std::uint64_t mask_of(unsigned bits) {
+  return bits >= 64 ? ~0ull : ((1ull << bits) - 1);
 }
 
 /// Operand width in bits, given the instruction context.
@@ -47,20 +51,75 @@ unsigned op_bits(const Instruction& insn, const Operand& op) {
   }
 }
 
-bool parity_even(std::uint32_t v) {
-  return (std::popcount(v & 0xff) % 2) == 0;
+bool parity_even(std::uint64_t v) {
+  return (std::popcount(static_cast<std::uint32_t>(v & 0xff)) % 2) == 0;
+}
+
+struct AddResult {
+  std::uint64_t value = 0;
+  bool carry = false;
+};
+
+/// High 64 bits of a 64x64 -> 128 unsigned multiply, via 32-bit halves
+/// (portable: no __int128).
+std::uint64_t umul_hi(std::uint64_t a, std::uint64_t b) {
+  const std::uint64_t a_lo = a & 0xffffffffull, a_hi = a >> 32;
+  const std::uint64_t b_lo = b & 0xffffffffull, b_hi = b >> 32;
+  const std::uint64_t mid1 = a_hi * b_lo + ((a_lo * b_lo) >> 32);
+  const std::uint64_t mid2 = a_lo * b_hi + (mid1 & 0xffffffffull);
+  return a_hi * b_hi + (mid1 >> 32) + (mid2 >> 32);
+}
+
+/// 128/64 -> 64 unsigned division of hi:lo by d, shift-subtract. The
+/// caller guarantees hi < d (no quotient overflow) and d != 0.
+struct DivResult {
+  std::uint64_t quot = 0;
+  std::uint64_t rem = 0;
+};
+DivResult udiv128(std::uint64_t hi, std::uint64_t lo, std::uint64_t d) {
+  DivResult r;
+  std::uint64_t rem = hi;
+  for (int i = 63; i >= 0; --i) {
+    const std::uint64_t carry = rem >> 63;  // bit shifted out of rem
+    rem = (rem << 1) | ((lo >> i) & 1);
+    if (carry || rem >= d) {
+      rem -= d;
+      r.quot |= 1ull << i;
+    }
+  }
+  r.rem = rem;
+  return r;
+}
+
+/// a + b + cin at the given width, with the carry-out (the 2^bits bit).
+AddResult add_with_carry(std::uint64_t a, std::uint64_t b, bool cin, unsigned bits) {
+  const std::uint64_t m = mask_of(bits);
+  a &= m;
+  b &= m;
+  AddResult r;
+  if (bits >= 64) {
+    r.value = a + b + (cin ? 1 : 0);
+    r.carry = cin ? r.value <= a : r.value < a;
+  } else {
+    const std::uint64_t wide = a + b + (cin ? 1 : 0);
+    r.value = wide & m;
+    r.carry = (wide >> bits) != 0;
+  }
+  return r;
 }
 
 }  // namespace
 
-Cpu::Cpu(VirtualMemory& mem, std::uint32_t entry_va) : mem_(mem), eip_(entry_va) {
+Cpu::Cpu(VirtualMemory& mem, std::uint32_t entry_va, Mode mode)
+    : mem_(mem), mode_(mode), eip_(entry_va) {
   regs_[static_cast<unsigned>(RegFamily::kSp)] = kStackTop - 0x1000;
 }
 
-std::uint32_t Cpu::read_reg(Reg r) const {
-  const std::uint32_t full = regs_[static_cast<unsigned>(r.family)];
+std::uint64_t Cpu::read_reg(Reg r) const {
+  const std::uint64_t full = regs_[static_cast<unsigned>(r.family)];
   switch (r.width) {
-    case RegWidth::k32: return full;
+    case RegWidth::k64: return full;
+    case RegWidth::k32: return full & 0xffffffffu;
     case RegWidth::k16: return full & 0xffff;
     case RegWidth::k8Lo: return full & 0xff;
     case RegWidth::k8Hi: return (full >> 8) & 0xff;
@@ -68,38 +127,60 @@ std::uint32_t Cpu::read_reg(Reg r) const {
   return full;
 }
 
-void Cpu::write_reg(Reg r, std::uint32_t v) {
-  std::uint32_t& full = regs_[static_cast<unsigned>(r.family)];
+void Cpu::write_reg(Reg r, std::uint64_t v) {
+  std::uint64_t& full = regs_[static_cast<unsigned>(r.family)];
   switch (r.width) {
-    case RegWidth::k32: full = v; break;
-    case RegWidth::k16: full = (full & 0xffff0000u) | (v & 0xffff); break;
-    case RegWidth::k8Lo: full = (full & 0xffffff00u) | (v & 0xff); break;
-    case RegWidth::k8Hi: full = (full & 0xffff00ffu) | ((v & 0xff) << 8); break;
+    case RegWidth::k64: full = v; break;
+    // A 32-bit write zero-extends to 64 on x86-64; in 32-bit mode the
+    // upper half is never observable.
+    case RegWidth::k32: full = v & 0xffffffffu; break;
+    case RegWidth::k16: full = (full & ~0xffffull) | (v & 0xffff); break;
+    case RegWidth::k8Lo: full = (full & ~0xffull) | (v & 0xff); break;
+    case RegWidth::k8Hi: full = (full & ~0xff00ull) | ((v & 0xff) << 8); break;
   }
 }
 
-std::uint32_t Cpu::mem_addr(const MemRef& m) const {
-  std::uint32_t addr = static_cast<std::uint32_t>(m.disp);
+std::uint64_t Cpu::mem_addr(const MemRef& m) const {
+  if (m.rip) {
+    // RIP-relative: end of the current instruction plus displacement.
+    return cur_insn_end_ + static_cast<std::uint64_t>(static_cast<std::int64_t>(m.disp));
+  }
+  std::uint64_t addr = static_cast<std::uint64_t>(static_cast<std::int64_t>(m.disp));
   if (m.base) addr += regs_[static_cast<unsigned>(m.base->family)];
   if (m.index) addr += regs_[static_cast<unsigned>(m.index->family)] * m.scale;
+  if (mode_ == Mode::k32) addr &= 0xffffffffu;  // IA-32 address wraparound
   return addr;
 }
 
-std::optional<std::uint32_t> Cpu::load(std::uint32_t addr, unsigned bits) {
-  std::optional<std::uint32_t> v;
+std::optional<std::uint64_t> Cpu::load(std::uint64_t addr, unsigned bits) {
+  // VirtualMemory is 32-bit addressed; long-mode accesses above 4 GiB fault.
+  if (addr > 0xffffffffull || addr + bits / 8 - 1 > 0xffffffffull) {
+    stop_ = StopReason::kUnmappedAccess;
+    return std::nullopt;
+  }
+  const std::uint32_t a32 = static_cast<std::uint32_t>(addr);
+  std::optional<std::uint64_t> v;
   switch (bits) {
     case 8: {
-      auto b = mem_.read8(addr);
+      auto b = mem_.read8(a32);
       if (b) v = *b;
       break;
     }
     case 16: {
-      auto b = mem_.read16(addr);
+      auto b = mem_.read16(a32);
       if (b) v = *b;
       break;
     }
+    case 64: {
+      auto lo = mem_.read32(a32);
+      auto hi = mem_.read32(a32 + 4);
+      if (lo && hi) {
+        v = static_cast<std::uint64_t>(*lo) | (static_cast<std::uint64_t>(*hi) << 32);
+      }
+      break;
+    }
     default: {
-      auto b = mem_.read32(addr);
+      auto b = mem_.read32(a32);
       if (b) v = *b;
       break;
     }
@@ -108,24 +189,33 @@ std::optional<std::uint32_t> Cpu::load(std::uint32_t addr, unsigned bits) {
   return v;
 }
 
-bool Cpu::store(std::uint32_t addr, unsigned bits, std::uint32_t v) {
+bool Cpu::store(std::uint64_t addr, unsigned bits, std::uint64_t v) {
+  if (addr > 0xffffffffull || addr + bits / 8 - 1 > 0xffffffffull) {
+    stop_ = StopReason::kUnmappedAccess;
+    return false;
+  }
+  const std::uint32_t a32 = static_cast<std::uint32_t>(addr);
   bool ok;
   switch (bits) {
-    case 8: ok = mem_.write8(addr, static_cast<std::uint8_t>(v)); break;
-    case 16: ok = mem_.write16(addr, static_cast<std::uint16_t>(v)); break;
-    default: ok = mem_.write32(addr, v); break;
+    case 8: ok = mem_.write8(a32, static_cast<std::uint8_t>(v)); break;
+    case 16: ok = mem_.write16(a32, static_cast<std::uint16_t>(v)); break;
+    case 64:
+      ok = mem_.write32(a32, static_cast<std::uint32_t>(v)) &&
+           mem_.write32(a32 + 4, static_cast<std::uint32_t>(v >> 32));
+      break;
+    default: ok = mem_.write32(a32, static_cast<std::uint32_t>(v)); break;
   }
   if (!ok) stop_ = StopReason::kUnmappedAccess;
   return ok;
 }
 
-std::optional<std::uint32_t> Cpu::read_operand(const Operand& op, unsigned bits) {
+std::optional<std::uint64_t> Cpu::read_operand(const Operand& op, unsigned bits) {
   switch (op.kind) {
     case OperandKind::kReg:
       return read_reg(op.reg);
     case OperandKind::kImm:
     case OperandKind::kRel:
-      return static_cast<std::uint32_t>(op.imm) & mask_of(bits);
+      return static_cast<std::uint64_t>(op.imm) & mask_of(bits);
     case OperandKind::kMem:
       return load(mem_addr(op.mem), bits);
     case OperandKind::kNone:
@@ -134,7 +224,7 @@ std::optional<std::uint32_t> Cpu::read_operand(const Operand& op, unsigned bits)
   return 0;
 }
 
-bool Cpu::write_operand(const Operand& op, unsigned bits, std::uint32_t v) {
+bool Cpu::write_operand(const Operand& op, unsigned bits, std::uint64_t v) {
   if (op.kind == OperandKind::kReg) {
     write_reg(op.reg, v);
     return true;
@@ -145,7 +235,7 @@ bool Cpu::write_operand(const Operand& op, unsigned bits, std::uint32_t v) {
   return true;
 }
 
-void Cpu::set_logic_flags(std::uint32_t result, unsigned bits) {
+void Cpu::set_logic_flags(std::uint64_t result, unsigned bits) {
   result &= mask_of(bits);
   flags_.cf = false;
   flags_.of = false;
@@ -154,21 +244,21 @@ void Cpu::set_logic_flags(std::uint32_t result, unsigned bits) {
   flags_.pf = parity_even(result);
 }
 
-void Cpu::set_add_flags(std::uint32_t a, std::uint32_t b, std::uint64_t wide,
-                        unsigned bits) {
-  const std::uint32_t result = static_cast<std::uint32_t>(wide) & mask_of(bits);
-  flags_.cf = (wide >> bits) != 0;
+void Cpu::set_add_flags(std::uint64_t a, std::uint64_t b, std::uint64_t result,
+                        bool carry, unsigned bits) {
+  result &= mask_of(bits);
+  flags_.cf = carry;
   flags_.zf = result == 0;
   flags_.sf = (result >> (bits - 1)) & 1;
   flags_.of = (((a ^ result) & (b ^ result)) >> (bits - 1)) & 1;
   flags_.pf = parity_even(result);
 }
 
-void Cpu::set_sub_flags(std::uint32_t a, std::uint32_t b, unsigned bits) {
-  const std::uint32_t m = mask_of(bits);
+void Cpu::set_sub_flags(std::uint64_t a, std::uint64_t b, unsigned bits) {
+  const std::uint64_t m = mask_of(bits);
   a &= m;
   b &= m;
-  const std::uint32_t result = (a - b) & m;
+  const std::uint64_t result = (a - b) & m;
   flags_.cf = a < b;
   flags_.zf = result == 0;
   flags_.sf = (result >> (bits - 1)) & 1;
@@ -212,11 +302,14 @@ StopReason Cpu::run(std::size_t max_steps, const SyscallHook& hook) {
 }
 
 void Cpu::step(const SyscallHook& hook) {
+  const std::uint64_t va_mask = mode_ == Mode::k64 ? ~0ull : 0xffffffffull;
   // Fetch a decode window through the MMU.
   std::uint8_t window[15];
   std::size_t avail = 0;
   for (; avail < sizeof window; ++avail) {
-    auto b = mem_.read8(eip_ + static_cast<std::uint32_t>(avail));
+    const std::uint64_t fetch_va = (eip_ + avail) & va_mask;
+    if (fetch_va > 0xffffffffull) break;
+    auto b = mem_.read8(static_cast<std::uint32_t>(fetch_va));
     if (!b) break;
     window[avail] = *b;
   }
@@ -224,33 +317,37 @@ void Cpu::step(const SyscallHook& hook) {
     stop_ = StopReason::kUnmappedFetch;
     return;
   }
-  const Instruction insn = x86::decode(util::ByteView(window, avail), 0);
+  const Instruction insn = arch::decode(util::ByteView(window, avail), 0, mode_);
   if (!insn.valid()) {
     stop_ = StopReason::kInvalidInsn;
     return;
   }
-  const std::uint32_t next_eip = eip_ + insn.length;
+  const std::uint64_t next_eip = (eip_ + insn.length) & va_mask;
+  cur_insn_end_ = next_eip;
   // Relative targets were resolved within the fetch window (whose base is
   // eip_), so the flat sum recovers the virtual target.
   const auto branch_va = [&]() {
-    return eip_ + static_cast<std::uint32_t>(insn.ops[0].imm);
+    return (eip_ + static_cast<std::uint64_t>(insn.ops[0].imm)) & va_mask;
   };
 
-  auto push32 = [&](std::uint32_t v) {
-    std::uint32_t& esp = regs_[static_cast<unsigned>(RegFamily::kSp)];
-    esp -= 4;
-    return store(esp, 32, v);
+  // Stack operations use the architecture's native width: dword pushes in
+  // IA-32, qword pushes (stride 8) in long mode.
+  const unsigned stack_bits = mode_ == Mode::k64 ? 64 : 32;
+  auto push_native = [&](std::uint64_t v) {
+    std::uint64_t& esp = regs_[static_cast<unsigned>(RegFamily::kSp)];
+    esp = (esp - stack_bits / 8) & va_mask;
+    return store(esp, stack_bits, v);
   };
-  auto pop32 = [&]() -> std::optional<std::uint32_t> {
-    std::uint32_t& esp = regs_[static_cast<unsigned>(RegFamily::kSp)];
-    auto v = load(esp, 32);
-    if (v) esp += 4;
+  auto pop_native = [&]() -> std::optional<std::uint64_t> {
+    std::uint64_t& esp = regs_[static_cast<unsigned>(RegFamily::kSp)];
+    auto v = load(esp, stack_bits);
+    if (v) esp = (esp + stack_bits / 8) & va_mask;
     return v;
   };
 
   const Operand& op0 = insn.ops[0];
   const Operand& op1 = insn.ops[1];
-  std::uint32_t new_eip = next_eip;
+  std::uint64_t new_eip = next_eip;
 
   switch (insn.mnemonic) {
     // ----------------------------------------------------------- moves
@@ -266,13 +363,13 @@ void Cpu::step(const SyscallHook& hook) {
       const unsigned src_bits = op_bits(insn, op1);
       auto v = read_operand(op1, src_bits);
       if (!v) return;
-      std::uint32_t x = *v;
-      if (src_bits < 32 && (x >> (src_bits - 1)) & 1) x |= ~mask_of(src_bits);
+      std::uint64_t x = *v;
+      if (src_bits < 64 && (x >> (src_bits - 1)) & 1) x |= ~mask_of(src_bits);
       write_operand(op0, op_bits(insn, op0), x);
       break;
     }
     case Mnemonic::kLea:
-      write_operand(op0, 32, mem_addr(op1.mem));
+      write_operand(op0, op_bits(insn, op0), mem_addr(op1.mem));
       break;
     case Mnemonic::kXchg: {
       const unsigned bits = op_bits(insn, op0);
@@ -291,11 +388,10 @@ void Cpu::step(const SyscallHook& hook) {
       auto a = read_operand(op0, bits);
       auto b = read_operand(op1, bits);
       if (!a || !b) return;
-      const std::uint64_t wide = static_cast<std::uint64_t>(*a & mask_of(bits)) +
-                                 (*b & mask_of(bits)) +
-                                 (insn.mnemonic == Mnemonic::kAdc && flags_.cf ? 1 : 0);
-      set_add_flags(*a, *b, wide, bits);
-      write_operand(op0, bits, static_cast<std::uint32_t>(wide) & mask_of(bits));
+      const bool cin = insn.mnemonic == Mnemonic::kAdc && flags_.cf;
+      const AddResult r = add_with_carry(*a, *b, cin, bits);
+      set_add_flags(*a, *b, r.value, r.carry, bits);
+      write_operand(op0, bits, r.value);
       break;
     }
     case Mnemonic::kSub:
@@ -304,8 +400,8 @@ void Cpu::step(const SyscallHook& hook) {
       auto a = read_operand(op0, bits);
       auto b = read_operand(op1, bits);
       if (!a || !b) return;
-      const std::uint32_t borrow = insn.mnemonic == Mnemonic::kSbb && flags_.cf ? 1 : 0;
-      const std::uint32_t rhs = (*b + borrow) & mask_of(bits);
+      const std::uint64_t borrow = insn.mnemonic == Mnemonic::kSbb && flags_.cf ? 1 : 0;
+      const std::uint64_t rhs = (*b + borrow) & mask_of(bits);
       set_sub_flags(*a, rhs, bits);
       write_operand(op0, bits, (*a - rhs) & mask_of(bits));
       break;
@@ -326,7 +422,7 @@ void Cpu::step(const SyscallHook& hook) {
       auto a = read_operand(op0, bits);
       auto b = read_operand(op1, bits);
       if (!a || !b) return;
-      std::uint32_t r;
+      std::uint64_t r;
       switch (insn.mnemonic) {
         case Mnemonic::kAnd:
         case Mnemonic::kTest: r = *a & *b; break;
@@ -344,8 +440,9 @@ void Cpu::step(const SyscallHook& hook) {
       if (!a) return;
       const bool saved_cf = flags_.cf;  // inc/dec leave CF untouched
       if (insn.mnemonic == Mnemonic::kInc) {
-        set_add_flags(*a, 1, static_cast<std::uint64_t>(*a & mask_of(bits)) + 1, bits);
-        write_operand(op0, bits, (*a + 1) & mask_of(bits));
+        const AddResult r = add_with_carry(*a, 1, false, bits);
+        set_add_flags(*a, 1, r.value, r.carry, bits);
+        write_operand(op0, bits, r.value);
       } else {
         set_sub_flags(*a, 1, bits);
         write_operand(op0, bits, (*a - 1) & mask_of(bits));
@@ -365,7 +462,7 @@ void Cpu::step(const SyscallHook& hook) {
       auto a = read_operand(op0, bits);
       if (!a) return;
       set_sub_flags(0, *a, bits);
-      write_operand(op0, bits, (0u - *a) & mask_of(bits));
+      write_operand(op0, bits, (0ull - *a) & mask_of(bits));
       break;
     }
 
@@ -381,25 +478,26 @@ void Cpu::step(const SyscallHook& hook) {
       auto a = read_operand(op0, bits);
       auto cnt = read_operand(op1, 8);
       if (!a || !cnt) return;
-      const unsigned n = *cnt & 31;
-      std::uint32_t x = *a & mask_of(bits);
+      // Hardware masks the count to 5 bits, or 6 for 64-bit operands.
+      const unsigned n = *cnt & (bits == 64 ? 63 : 31);
+      std::uint64_t x = *a & mask_of(bits);
       if (n != 0) {
         switch (insn.mnemonic) {
           case Mnemonic::kShl:
             flags_.cf = n <= bits && ((x >> (bits - n)) & 1);
-            x = (n < 32) ? (x << n) : 0;
+            x = (n < 64) ? (x << n) : 0;
             break;
           case Mnemonic::kShr:
             flags_.cf = (x >> (n - 1)) & 1;
-            x = (n < 32) ? (x >> n) : 0;
+            x = (n < 64) ? (x >> n) : 0;
             break;
           case Mnemonic::kSar: {
-            std::int32_t s = static_cast<std::int32_t>(
-                x << (32 - bits));  // sign-position align
-            s >>= (32 - bits);      // sign-extend to 32
-            flags_.cf = (static_cast<std::uint32_t>(s) >> (n - 1)) & 1;
-            s >>= (n < 31 ? n : 31);
-            x = static_cast<std::uint32_t>(s);
+            std::int64_t s = static_cast<std::int64_t>(
+                x << (64 - bits));  // sign-position align
+            s >>= (64 - bits);      // sign-extend to 64
+            flags_.cf = (static_cast<std::uint64_t>(s) >> (n - 1)) & 1;
+            s >>= (n < 63 ? n : 63);
+            x = static_cast<std::uint64_t>(s);
             break;
           }
           case Mnemonic::kRol: {
@@ -424,7 +522,7 @@ void Cpu::step(const SyscallHook& hook) {
                 flags_.cf = msb;
               } else {
                 const bool lsb = x & 1;
-                x = (x >> 1) | ((flags_.cf ? 1u : 0u) << (bits - 1));
+                x = (x >> 1) | ((flags_.cf ? 1ull : 0ull) << (bits - 1));
                 flags_.cf = lsb;
               }
             }
@@ -448,8 +546,8 @@ void Cpu::step(const SyscallHook& hook) {
       auto b = read_operand(op1, bits);
       auto cnt = read_operand(insn.ops[2], 8);
       if (!a || !b || !cnt) return;
-      const unsigned n = *cnt & 31;
-      std::uint32_t x = *a;
+      const unsigned n = *cnt & (bits == 64 ? 63 : 31);
+      std::uint64_t x = *a;
       if (n != 0 && n < bits) {
         x = insn.mnemonic == Mnemonic::kShld ? ((*a << n) | (*b >> (bits - n)))
                                              : ((*a >> n) | (*b << (bits - n)));
@@ -475,8 +573,13 @@ void Cpu::step(const SyscallHook& hook) {
       const unsigned bits = op_bits(insn, op0);
       auto a = read_operand(op0, bits);
       if (!a) return;
-      const std::uint64_t wide =
-          static_cast<std::uint64_t>(regs_[0] & mask_of(bits)) * (*a & mask_of(bits));
+      if (bits == 64) {
+        const std::uint64_t lo = regs_[0] * (*a);
+        regs_[static_cast<unsigned>(RegFamily::kDx)] = umul_hi(regs_[0], *a);
+        regs_[static_cast<unsigned>(RegFamily::kAx)] = lo;
+        break;
+      }
+      const std::uint64_t wide = (regs_[0] & mask_of(bits)) * (*a & mask_of(bits));
       if (bits == 32) {
         regs_[static_cast<unsigned>(RegFamily::kAx)] = static_cast<std::uint32_t>(wide);
         regs_[static_cast<unsigned>(RegFamily::kDx)] =
@@ -496,11 +599,20 @@ void Cpu::step(const SyscallHook& hook) {
         stop_ = StopReason::kDivByZero;
         return;
       }
-      if (bits == 32) {
+      if (bits == 64) {
+        const std::uint64_t hi = regs_[static_cast<unsigned>(RegFamily::kDx)];
+        const std::uint64_t lo = regs_[static_cast<unsigned>(RegFamily::kAx)];
+        if (hi >= *d) {
+          stop_ = StopReason::kDivByZero;  // quotient overflow faults too
+          return;
+        }
+        const DivResult r = udiv128(hi, lo, *d);
+        regs_[static_cast<unsigned>(RegFamily::kAx)] = r.quot;
+        regs_[static_cast<unsigned>(RegFamily::kDx)] = r.rem;
+      } else if (bits == 32) {
         const std::uint64_t num =
-            (static_cast<std::uint64_t>(regs_[static_cast<unsigned>(RegFamily::kDx)])
-             << 32) |
-            regs_[static_cast<unsigned>(RegFamily::kAx)];
+            ((regs_[static_cast<unsigned>(RegFamily::kDx)] & 0xffffffffull) << 32) |
+            (regs_[static_cast<unsigned>(RegFamily::kAx)] & 0xffffffffull);
         const std::uint64_t q = num / *d;
         if (q > 0xffffffffull) {
           stop_ = StopReason::kDivByZero;  // quotient overflow faults too
@@ -510,49 +622,60 @@ void Cpu::step(const SyscallHook& hook) {
         regs_[static_cast<unsigned>(RegFamily::kDx)] =
             static_cast<std::uint32_t>(num % *d);
       } else {
-        const std::uint32_t num = regs_[static_cast<unsigned>(RegFamily::kAx)] &
-                                  (bits == 16 ? 0xffffffffu : 0xffff);
+        const std::uint64_t num = regs_[static_cast<unsigned>(RegFamily::kAx)] &
+                                  (bits == 16 ? 0xffffffffull : 0xffffull);
         write_reg(Reg{RegFamily::kAx, RegWidth::k16}, (num / *d) & 0xffff);
       }
       break;
     }
     case Mnemonic::kCwde: {
-      std::uint32_t ax = regs_[0] & 0xffff;
-      if (ax & 0x8000) ax |= 0xffff0000u;
+      if (insn.mode == Mode::k64 && insn.prefixes.rex_w) {  // cdqe
+        std::uint64_t ax = regs_[0] & 0xffffffffull;
+        if (ax & 0x80000000ull) ax |= 0xffffffff00000000ull;
+        regs_[static_cast<unsigned>(RegFamily::kAx)] = ax;
+        break;
+      }
+      std::uint64_t ax = regs_[0] & 0xffff;
+      if (ax & 0x8000) ax |= 0xffff0000ull;
       regs_[static_cast<unsigned>(RegFamily::kAx)] = ax;
       break;
     }
     case Mnemonic::kCdq:
+      if (insn.mode == Mode::k64 && insn.prefixes.rex_w) {  // cqo
+        regs_[static_cast<unsigned>(RegFamily::kDx)] =
+            (regs_[0] & 0x8000000000000000ull) ? ~0ull : 0;
+        break;
+      }
       regs_[static_cast<unsigned>(RegFamily::kDx)] =
-          (regs_[0] & 0x80000000u) ? 0xffffffffu : 0;
+          (regs_[0] & 0x80000000ull) ? 0xffffffffull : 0;
       break;
 
     // ------------------------------------------------------------ stack
     case Mnemonic::kPush: {
-      std::uint32_t v = 0;
+      std::uint64_t v = 0;
       if (op0.kind != OperandKind::kNone) {
-        auto r = read_operand(op0, 32);
+        auto r = read_operand(op0, stack_bits);
         if (!r) return;
         v = *r;
       }
-      if (!push32(v)) return;
+      if (!push_native(v)) return;
       break;
     }
     case Mnemonic::kPop: {
-      auto v = pop32();
+      auto v = pop_native();
       if (!v) return;
-      if (op0.kind != OperandKind::kNone) write_operand(op0, 32, *v);
+      if (op0.kind != OperandKind::kNone) write_operand(op0, stack_bits, *v);
       break;
     }
     case Mnemonic::kPushf:
-      if (!push32((flags_.cf ? 1u : 0) | (flags_.pf ? 4u : 0) | (flags_.zf ? 0x40u : 0) |
-                  (flags_.sf ? 0x80u : 0) | (flags_.df ? 0x400u : 0) |
-                  (flags_.of ? 0x800u : 0))) {
+      if (!push_native((flags_.cf ? 1u : 0) | (flags_.pf ? 4u : 0) |
+                       (flags_.zf ? 0x40u : 0) | (flags_.sf ? 0x80u : 0) |
+                       (flags_.df ? 0x400u : 0) | (flags_.of ? 0x800u : 0))) {
         return;
       }
       break;
     case Mnemonic::kPopf: {
-      auto v = pop32();
+      auto v = pop_native();
       if (!v) return;
       flags_.cf = *v & 1;
       flags_.pf = *v & 4;
@@ -562,10 +685,11 @@ void Cpu::step(const SyscallHook& hook) {
       flags_.of = *v & 0x800;
       break;
     }
-    case Mnemonic::kPusha: {
-      const std::uint32_t saved_esp = regs_[static_cast<unsigned>(RegFamily::kSp)];
+    case Mnemonic::kPusha: {  // IA-32 only; invalid encoding in long mode
+      const std::uint64_t saved_esp = regs_[static_cast<unsigned>(RegFamily::kSp)];
       for (unsigned f = 0; f < 8; ++f) {
-        if (!push32(f == static_cast<unsigned>(RegFamily::kSp) ? saved_esp : regs_[f])) {
+        if (!push_native(f == static_cast<unsigned>(RegFamily::kSp) ? saved_esp
+                                                                    : regs_[f])) {
           return;
         }
       }
@@ -573,7 +697,7 @@ void Cpu::step(const SyscallHook& hook) {
     }
     case Mnemonic::kPopa:
       for (int f = 7; f >= 0; --f) {
-        auto v = pop32();
+        auto v = pop_native();
         if (!v) return;
         if (f != static_cast<int>(RegFamily::kSp)) regs_[static_cast<unsigned>(f)] = *v;
       }
@@ -581,17 +705,17 @@ void Cpu::step(const SyscallHook& hook) {
     case Mnemonic::kLeave: {
       regs_[static_cast<unsigned>(RegFamily::kSp)] =
           regs_[static_cast<unsigned>(RegFamily::kBp)];
-      auto v = pop32();
+      auto v = pop_native();
       if (!v) return;
       regs_[static_cast<unsigned>(RegFamily::kBp)] = *v;
       break;
     }
     case Mnemonic::kEnter: {
-      if (!push32(regs_[static_cast<unsigned>(RegFamily::kBp)])) return;
+      if (!push_native(regs_[static_cast<unsigned>(RegFamily::kBp)])) return;
       regs_[static_cast<unsigned>(RegFamily::kBp)] =
           regs_[static_cast<unsigned>(RegFamily::kSp)];
       regs_[static_cast<unsigned>(RegFamily::kSp)] -=
-          static_cast<std::uint32_t>(op0.imm);
+          static_cast<std::uint64_t>(static_cast<std::uint32_t>(op0.imm));
       break;
     }
 
@@ -600,55 +724,57 @@ void Cpu::step(const SyscallHook& hook) {
       if (op0.kind == OperandKind::kRel) {
         new_eip = branch_va();
       } else {
-        auto v = read_operand(op0, 32);
+        auto v = read_operand(op0, stack_bits);
         if (!v) return;
-        new_eip = *v;
+        new_eip = *v & va_mask;
       }
       break;
     case Mnemonic::kJcc:
       if (cond_holds(insn.cond)) new_eip = branch_va();
       break;
     case Mnemonic::kJecxz:
-      if (regs_[static_cast<unsigned>(RegFamily::kCx)] == 0) new_eip = branch_va();
+      if ((regs_[static_cast<unsigned>(RegFamily::kCx)] & va_mask) == 0) {
+        new_eip = branch_va();
+      }
       break;
     case Mnemonic::kLoop:
     case Mnemonic::kLoope:
     case Mnemonic::kLoopne: {
-      std::uint32_t& ecx = regs_[static_cast<unsigned>(RegFamily::kCx)];
+      std::uint64_t& ecx = regs_[static_cast<unsigned>(RegFamily::kCx)];
       --ecx;
-      bool taken = ecx != 0;
+      bool taken = (ecx & va_mask) != 0;
       if (insn.mnemonic == Mnemonic::kLoope) taken = taken && flags_.zf;
       if (insn.mnemonic == Mnemonic::kLoopne) taken = taken && !flags_.zf;
       if (taken) new_eip = branch_va();
       break;
     }
     case Mnemonic::kCall: {
-      std::uint32_t target;
+      std::uint64_t target;
       if (op0.kind == OperandKind::kRel) {
         target = branch_va();
       } else {
-        auto v = read_operand(op0, 32);
+        auto v = read_operand(op0, stack_bits);
         if (!v) return;
-        target = *v;
+        target = *v & va_mask;
       }
-      if (!push32(next_eip)) return;
+      if (!push_native(next_eip)) return;
       new_eip = target;
       break;
     }
     case Mnemonic::kRet: {
-      auto v = pop32();
+      auto v = pop_native();
       if (!v) return;
       if (op0.kind == OperandKind::kImm) {
         regs_[static_cast<unsigned>(RegFamily::kSp)] +=
-            static_cast<std::uint32_t>(op0.imm);
+            static_cast<std::uint64_t>(static_cast<std::uint32_t>(op0.imm));
       }
-      new_eip = *v;
+      new_eip = *v & va_mask;
       break;
     }
 
     case Mnemonic::kInt: {
       SyscallRecord rec;
-      rec.vector = static_cast<std::uint8_t>(op0.imm);
+      rec.vector = static_cast<std::uint16_t>(static_cast<std::uint8_t>(op0.imm));
       rec.regs = regs_;
       rec.step = steps_;
       std::optional<std::uint32_t> ret = hook ? hook(rec) : std::nullopt;
@@ -659,6 +785,23 @@ void Cpu::step(const SyscallHook& hook) {
       regs_[static_cast<unsigned>(RegFamily::kAx)] = *ret;
       break;
     }
+    case Mnemonic::kSyscall: {
+      // x86-64 `syscall`: record under the 64-bit convention's vector.
+      SyscallRecord rec;
+      rec.vector = arch::Arch::x86_64().syscall_conventions()[0].vector;
+      rec.regs = regs_;
+      rec.step = steps_;
+      std::optional<std::uint32_t> ret = hook ? hook(rec) : std::nullopt;
+      if (!ret) {
+        stop_ = StopReason::kSyscallStop;
+        return;
+      }
+      regs_[static_cast<unsigned>(RegFamily::kAx)] = *ret;
+      // Hardware clobbers rcx (return rip) and r11 (rflags).
+      regs_[static_cast<unsigned>(RegFamily::kCx)] = next_eip;
+      regs_[static_cast<unsigned>(RegFamily::kR11)] = 0x202;
+      break;
+    }
 
     // -------------------------------------------------------- string ops
     case Mnemonic::kMovs:
@@ -666,43 +809,43 @@ void Cpu::step(const SyscallHook& hook) {
     case Mnemonic::kLods:
     case Mnemonic::kScas:
     case Mnemonic::kCmps: {
-      std::uint32_t& ecx = regs_[static_cast<unsigned>(RegFamily::kCx)];
+      std::uint64_t& ecx = regs_[static_cast<unsigned>(RegFamily::kCx)];
       const bool rep = insn.prefixes.rep || insn.prefixes.repne;
-      if (rep && ecx == 0) break;  // finished: fall through to next insn
+      if (rep && (ecx & va_mask) == 0) break;  // finished: fall through
       const unsigned bits = width_bits(insn.op_width);
-      const std::uint32_t delta = flags_.df ? 0u - bits / 8 : bits / 8;
-      std::uint32_t& esi = regs_[static_cast<unsigned>(RegFamily::kSi)];
-      std::uint32_t& edi = regs_[static_cast<unsigned>(RegFamily::kDi)];
+      const std::uint64_t delta = flags_.df ? 0ull - bits / 8 : bits / 8;
+      std::uint64_t& esi = regs_[static_cast<unsigned>(RegFamily::kSi)];
+      std::uint64_t& edi = regs_[static_cast<unsigned>(RegFamily::kDi)];
       switch (insn.mnemonic) {
         case Mnemonic::kMovs: {
-          auto v = load(esi, bits);
-          if (!v || !store(edi, bits, *v)) return;
+          auto v = load(esi & va_mask, bits);
+          if (!v || !store(edi & va_mask, bits, *v)) return;
           esi += delta;
           edi += delta;
           break;
         }
         case Mnemonic::kStos: {
-          if (!store(edi, bits, regs_[0] & mask_of(bits))) return;
+          if (!store(edi & va_mask, bits, regs_[0] & mask_of(bits))) return;
           edi += delta;
           break;
         }
         case Mnemonic::kLods: {
-          auto v = load(esi, bits);
+          auto v = load(esi & va_mask, bits);
           if (!v) return;
           write_reg(Reg{RegFamily::kAx, insn.op_width}, *v);
           esi += delta;
           break;
         }
         case Mnemonic::kScas: {
-          auto v = load(edi, bits);
+          auto v = load(edi & va_mask, bits);
           if (!v) return;
           set_sub_flags(regs_[0] & mask_of(bits), *v, bits);
           edi += delta;
           break;
         }
         default: {  // cmps
-          auto a = load(esi, bits);
-          auto b = load(edi, bits);
+          auto a = load(esi & va_mask, bits);
+          auto b = load(edi & va_mask, bits);
           if (!a || !b) return;
           set_sub_flags(*a, *b, bits);
           esi += delta;
@@ -712,7 +855,7 @@ void Cpu::step(const SyscallHook& hook) {
       }
       if (rep) {
         --ecx;
-        bool continue_rep = ecx != 0;
+        bool continue_rep = (ecx & va_mask) != 0;
         if (insn.mnemonic == Mnemonic::kScas || insn.mnemonic == Mnemonic::kCmps) {
           if (insn.prefixes.rep) continue_rep = continue_rep && flags_.zf;
           if (insn.prefixes.repne) continue_rep = continue_rep && !flags_.zf;
@@ -722,7 +865,9 @@ void Cpu::step(const SyscallHook& hook) {
       break;
     }
     case Mnemonic::kXlat: {
-      auto v = load(regs_[static_cast<unsigned>(RegFamily::kBx)] + (regs_[0] & 0xff), 8);
+      auto v = load((regs_[static_cast<unsigned>(RegFamily::kBx)] + (regs_[0] & 0xff)) &
+                        va_mask,
+                    8);
       if (!v) return;
       write_reg(Reg{RegFamily::kAx, RegWidth::k8Lo}, *v);
       break;
@@ -735,7 +880,7 @@ void Cpu::step(const SyscallHook& hook) {
     case Mnemonic::kCld: flags_.df = false; break;
     case Mnemonic::kStd: flags_.df = true; break;
     case Mnemonic::kSahf: {
-      const std::uint32_t ah = (regs_[0] >> 8) & 0xff;
+      const std::uint64_t ah = (regs_[0] >> 8) & 0xff;
       flags_.cf = ah & 1;
       flags_.pf = ah & 4;
       flags_.zf = ah & 0x40;
@@ -743,7 +888,7 @@ void Cpu::step(const SyscallHook& hook) {
       break;
     }
     case Mnemonic::kLahf: {
-      const std::uint32_t ah = (flags_.cf ? 1u : 0) | 2u | (flags_.pf ? 4u : 0) |
+      const std::uint64_t ah = (flags_.cf ? 1u : 0) | 2u | (flags_.pf ? 4u : 0) |
                                (flags_.zf ? 0x40u : 0) | (flags_.sf ? 0x80u : 0);
       write_reg(Reg{RegFamily::kAx, RegWidth::k8Hi}, ah);
       break;
@@ -761,11 +906,12 @@ void Cpu::step(const SyscallHook& hook) {
       break;
     }
     case Mnemonic::kBswap: {
-      auto v = read_operand(op0, 32);
+      const unsigned bits = op_bits(insn, op0);
+      auto v = read_operand(op0, bits);
       if (!v) return;
-      write_operand(op0, 32,
-                    ((*v & 0xff) << 24) | ((*v & 0xff00) << 8) | ((*v >> 8) & 0xff00) |
-                        (*v >> 24));
+      std::uint64_t r = 0;
+      for (unsigned i = 0; i < bits / 8; ++i) r = (r << 8) | ((*v >> (8 * i)) & 0xff);
+      write_operand(op0, bits, r);
       break;
     }
     case Mnemonic::kXadd: {
@@ -773,9 +919,10 @@ void Cpu::step(const SyscallHook& hook) {
       auto a = read_operand(op0, bits);
       auto b = read_operand(op1, bits);
       if (!a || !b) return;
-      set_add_flags(*a, *b, static_cast<std::uint64_t>(*a) + *b, bits);
+      const AddResult r = add_with_carry(*a, *b, false, bits);
+      set_add_flags(*a, *b, r.value, r.carry, bits);
       if (!write_operand(op1, bits, *a)) return;
-      write_operand(op0, bits, (*a + *b) & mask_of(bits));
+      write_operand(op0, bits, r.value);
       break;
     }
     case Mnemonic::kCmpxchg: {
@@ -783,14 +930,16 @@ void Cpu::step(const SyscallHook& hook) {
       auto dst = read_operand(op0, bits);
       auto src = read_operand(op1, bits);
       if (!dst || !src) return;
-      const std::uint32_t acc = regs_[0] & mask_of(bits);
+      const std::uint64_t acc = regs_[0] & mask_of(bits);
       set_sub_flags(acc, *dst, bits);
       if (acc == (*dst & mask_of(bits))) {
         write_operand(op0, bits, *src);
       } else {
         write_reg(Reg{RegFamily::kAx,
-                      bits == 8 ? RegWidth::k8Lo : bits == 16 ? RegWidth::k16
-                                                              : RegWidth::k32},
+                      bits == 8    ? RegWidth::k8Lo
+                      : bits == 16 ? RegWidth::k16
+                      : bits == 64 ? RegWidth::k64
+                                   : RegWidth::k32},
                   *dst);
       }
       break;
@@ -834,23 +983,25 @@ void Cpu::step(const SyscallHook& hook) {
       if (!a || !b) return;
       switch (insn.mnemonic) {
         case Mnemonic::kBsf:
-          if (*b) write_operand(op0, bits, static_cast<std::uint32_t>(std::countr_zero(*b)));
+          if (*b) {
+            write_operand(op0, bits, static_cast<std::uint64_t>(std::countr_zero(*b)));
+          }
           flags_.zf = *b == 0;
           break;
         case Mnemonic::kBsr:
           if (*b) {
             write_operand(op0, bits,
-                          31u - static_cast<std::uint32_t>(std::countl_zero(*b)));
+                          63u - static_cast<std::uint64_t>(std::countl_zero(*b)));
           }
           flags_.zf = *b == 0;
           break;
         default: {
           const unsigned idx = *b & (bits - 1);
           flags_.cf = (*a >> idx) & 1;
-          std::uint32_t x = *a;
-          if (insn.mnemonic == Mnemonic::kBts) x |= (1u << idx);
-          if (insn.mnemonic == Mnemonic::kBtr) x &= ~(1u << idx);
-          if (insn.mnemonic == Mnemonic::kBtc) x ^= (1u << idx);
+          std::uint64_t x = *a;
+          if (insn.mnemonic == Mnemonic::kBts) x |= (1ull << idx);
+          if (insn.mnemonic == Mnemonic::kBtr) x &= ~(1ull << idx);
+          if (insn.mnemonic == Mnemonic::kBtc) x ^= (1ull << idx);
           if (insn.mnemonic != Mnemonic::kBt) write_operand(op0, bits, x);
           break;
         }
@@ -859,11 +1010,11 @@ void Cpu::step(const SyscallHook& hook) {
     }
 
     case Mnemonic::kFpuNop:
-      last_fpu_va_ = eip_;
+      last_fpu_va_ = static_cast<std::uint32_t>(eip_);
       break;
     case Mnemonic::kFnstenv: {
       // Write the 28-byte environment: zeros except FIP at +12.
-      const std::uint32_t base = mem_addr(op0.mem);
+      const std::uint64_t base = mem_addr(op0.mem);
       for (std::uint32_t i = 0; i < 28; i += 4) {
         if (!store(base + i, 32, i == 12 ? last_fpu_va_ : 0)) return;
       }
@@ -883,7 +1034,21 @@ void Cpu::step(const SyscallHook& hook) {
       return;
   }
 
-  if (stop_ == StopReason::kRunning) eip_ = new_eip;
+  if (mode_ == Mode::k32) {
+    // IA-32 registers are 32 bits wide: re-mask after direct 64-bit
+    // arithmetic so wraparound semantics match real hardware.
+    for (auto& r : regs_) r &= 0xffffffffull;
+  }
+  if (stop_ == StopReason::kRunning) eip_ = new_eip & va_mask;
 }
 
 }  // namespace senids::emu
+
+namespace senids::arch {
+
+std::unique_ptr<emu::Cpu> Arch::make_cpu(emu::VirtualMemory& mem,
+                                         std::uint32_t entry_va) const {
+  return std::make_unique<emu::Cpu>(mem, entry_va, mode_);
+}
+
+}  // namespace senids::arch

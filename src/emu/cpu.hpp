@@ -1,8 +1,9 @@
-// Concrete IA-32 interpreter over VirtualMemory. This is the dynamic
-// counterpart of the static semantic analyzer: it lets a decoder loop
-// actually run (GetPC, key schedule, decode, jump into the decoded
-// bytes), records every int instruction as a syscall event, and stops on
-// anything outside the sandbox. No instruction ever touches the host.
+// Concrete x86 interpreter over VirtualMemory, covering IA-32 and x86-64
+// long mode. This is the dynamic counterpart of the static semantic
+// analyzer: it lets a decoder loop actually run (GetPC, key schedule,
+// decode, jump into the decoded bytes), records every int/`syscall`
+// instruction as a syscall event, and stops on anything outside the
+// sandbox. No instruction ever touches the host.
 #pragma once
 
 #include <array>
@@ -12,7 +13,7 @@
 #include <vector>
 
 #include "emu/memory.hpp"
-#include "x86/decoder.hpp"
+#include "arch/decoder.hpp"
 
 namespace senids::emu {
 
@@ -31,31 +32,36 @@ enum class StopReason : std::uint8_t {
 std::string_view stop_reason_name(StopReason r) noexcept;
 
 struct SyscallRecord {
-  std::uint8_t vector = 0;
-  std::array<std::uint32_t, 8> regs{};  // eax..edi at the int instruction
+  /// Interrupt vector for `int n`; arch::Arch::syscall_conventions()
+  /// vector (0x100) for the x86-64 `syscall` instruction.
+  std::uint16_t vector = 0;
+  std::array<std::uint64_t, 16> regs{};  // rax..r15 at the syscall instruction
   std::size_t step = 0;
 
-  [[nodiscard]] std::uint32_t reg(x86::RegFamily f) const {
+  [[nodiscard]] std::uint64_t reg(arch::RegFamily f) const {
     return regs[static_cast<unsigned>(f)];
   }
 };
 
 class Cpu {
  public:
-  /// Hook invoked at every `int` instruction. Return the value to place
-  /// in eax (emulating a kernel return) to continue, or nullopt to stop.
+  /// Hook invoked at every `int` / `syscall` instruction. Return the value
+  /// to place in eax/rax (emulating a kernel return) to continue, or
+  /// nullopt to stop.
   using SyscallHook = std::function<std::optional<std::uint32_t>(const SyscallRecord&)>;
 
-  Cpu(VirtualMemory& mem, std::uint32_t entry_va);
+  Cpu(VirtualMemory& mem, std::uint32_t entry_va,
+      arch::Mode mode = arch::Mode::k32);
 
   /// Execute until a stop condition; at most `max_steps` instructions.
   StopReason run(std::size_t max_steps, const SyscallHook& hook = nullptr);
 
-  [[nodiscard]] std::uint32_t reg(x86::RegFamily f) const {
+  [[nodiscard]] std::uint64_t reg(arch::RegFamily f) const {
     return regs_[static_cast<unsigned>(f)];
   }
-  void set_reg(x86::RegFamily f, std::uint32_t v) { regs_[static_cast<unsigned>(f)] = v; }
-  [[nodiscard]] std::uint32_t eip() const noexcept { return eip_; }
+  void set_reg(arch::RegFamily f, std::uint64_t v) { regs_[static_cast<unsigned>(f)] = v; }
+  [[nodiscard]] std::uint64_t eip() const noexcept { return eip_; }
+  [[nodiscard]] arch::Mode mode() const noexcept { return mode_; }
   [[nodiscard]] std::size_t steps() const noexcept { return steps_; }
 
  private:
@@ -63,28 +69,34 @@ class Cpu {
     bool cf = false, zf = false, sf = false, of = false, pf = false, df = false;
   };
 
-  // Width-aware register and operand access.
-  [[nodiscard]] std::uint32_t read_reg(x86::Reg r) const;
-  void write_reg(x86::Reg r, std::uint32_t v);
-  [[nodiscard]] std::uint32_t mem_addr(const x86::MemRef& m) const;
-  std::optional<std::uint32_t> read_operand(const x86::Operand& op, unsigned bits);
-  bool write_operand(const x86::Operand& op, unsigned bits, std::uint32_t v);
-  std::optional<std::uint32_t> load(std::uint32_t addr, unsigned bits);
-  bool store(std::uint32_t addr, unsigned bits, std::uint32_t v);
+  // Width-aware register and operand access. Values travel as uint64; each
+  // access masks to its operand width, and in 32-bit mode every register
+  // is re-masked to 32 bits after each step so wraparound semantics match
+  // a real IA-32 machine exactly.
+  [[nodiscard]] std::uint64_t read_reg(arch::Reg r) const;
+  void write_reg(arch::Reg r, std::uint64_t v);
+  [[nodiscard]] std::uint64_t mem_addr(const arch::MemRef& m) const;
+  std::optional<std::uint64_t> read_operand(const arch::Operand& op, unsigned bits);
+  bool write_operand(const arch::Operand& op, unsigned bits, std::uint64_t v);
+  std::optional<std::uint64_t> load(std::uint64_t addr, unsigned bits);
+  bool store(std::uint64_t addr, unsigned bits, std::uint64_t v);
 
-  void set_logic_flags(std::uint32_t result, unsigned bits);
-  void set_add_flags(std::uint32_t a, std::uint32_t b, std::uint64_t wide, unsigned bits);
-  void set_sub_flags(std::uint32_t a, std::uint32_t b, unsigned bits);
-  [[nodiscard]] bool cond_holds(x86::Cond c) const;
+  void set_logic_flags(std::uint64_t result, unsigned bits);
+  void set_add_flags(std::uint64_t a, std::uint64_t b, std::uint64_t result,
+                     bool carry, unsigned bits);
+  void set_sub_flags(std::uint64_t a, std::uint64_t b, unsigned bits);
+  [[nodiscard]] bool cond_holds(arch::Cond c) const;
 
   /// Execute one instruction; updates eip_ and stop_.
   void step(const SyscallHook& hook);
 
   VirtualMemory& mem_;
-  std::array<std::uint32_t, 8> regs_{};
-  std::uint32_t eip_;
+  arch::Mode mode_;
+  std::array<std::uint64_t, 16> regs_{};
+  std::uint64_t eip_;
   Flags flags_;
   std::size_t steps_ = 0;
+  std::uint64_t cur_insn_end_ = 0;  // VA just past the executing instruction
   std::uint32_t last_fpu_va_ = 0;  // FIP recorded by the last FPU instruction
   StopReason stop_ = StopReason::kRunning;
 };

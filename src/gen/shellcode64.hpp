@@ -1,0 +1,54 @@
+// x86-64 shellcode corpus: long-mode counterparts of the Table-1 payload
+// families (execve spawns, a self-decrypting decoder, a port binder, and
+// a connect-back shell), all using the Linux x86-64 `syscall` convention
+// (number in rax, args rdi/rsi/rdx). As with the 32-bit corpus these are
+// detector test vectors, not runnable exploits; the engine must detect
+// every sample end-to-end under arch::X86_64.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/prng.hpp"
+
+namespace senids::gen {
+
+struct Shellcode64Sample {
+  std::string name;
+  util::Bytes code;
+  bool binds_port = false;
+};
+
+/// Builder for the 64-bit attack corpus. Stateless; each method returns a
+/// freshly assembled payload.
+class ExploitBuilder64 {
+ public:
+  /// execve("/bin//sh") with the path built by a single imm64 push.
+  static util::Bytes execve_stack();
+
+  /// execve with an embedded path located by the call/pop GetPC idiom.
+  static util::Bytes execve_embedded();
+
+  /// xor decoder (call/pop GetPC, `loop`-driven) wrapping an encoded
+  /// execve_stack payload.
+  static util::Bytes xor_decoder(std::uint8_t key = 0x7a);
+
+  /// socket/bind/listen/accept then execve; `port_be` in network order.
+  static util::Bytes port_bind(std::uint16_t port_be = 0x5c11);
+
+  /// socket/connect then execve; ip/port in network byte order.
+  static util::Bytes reverse_shell(std::uint32_t c2_ip_be = 0x0a141e28,
+                                   std::uint16_t c2_port_be = 0x5c11);
+
+  /// The full corpus, fixed order and names (for differential tests).
+  static std::vector<Shellcode64Sample> corpus();
+
+  /// Wrap raw shellcode in the Figure-4 overflow layout, like
+  /// wrap_in_overflow but with a sled of long-mode-valid one-byte
+  /// instructions (the 32-bit pool contains encodings such as daa that
+  /// are invalid under x86-64).
+  static util::Bytes wrap(util::ByteView shellcode, util::Prng& prng);
+};
+
+}  // namespace senids::gen

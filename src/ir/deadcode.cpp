@@ -2,16 +2,16 @@
 
 namespace senids::ir {
 
-DeadCodeResult find_dead_code(const std::vector<x86::Instruction>& trace,
-                              x86::RegSet exit_live) {
+DeadCodeResult find_dead_code(const std::vector<arch::Instruction>& trace,
+                              arch::RegSet exit_live) {
   DeadCodeResult result;
   result.dead.assign(trace.size(), false);
 
-  x86::RegSet live = exit_live;
+  arch::RegSet live = exit_live;
   bool flags_live = false;
 
   for (std::size_t i = trace.size(); i-- > 0;) {
-    const x86::DefUse du = x86::def_use(trace[i]);
+    const arch::DefUse du = arch::def_use(trace[i]);
 
     const bool observable =
         du.side_effect || du.mem_write || du.defs.intersects(live) ||
@@ -27,9 +27,9 @@ DeadCodeResult find_dead_code(const std::vector<x86::Instruction>& trace,
     }
 
     // Backward transfer: defs kill liveness, uses generate it.
-    x86::RegSet next_live;
+    arch::RegSet next_live;
     for (unsigned f = 0; f < 8; ++f) {
-      const auto fam = static_cast<x86::RegFamily>(f);
+      const auto fam = static_cast<arch::RegFamily>(f);
       if (live.contains_family(fam) && !du.defs.contains_family(fam)) {
         next_live.add_family(fam);
       }

@@ -8,8 +8,8 @@
 
 #include <vector>
 
-#include "x86/defuse.hpp"
-#include "x86/insn.hpp"
+#include "arch/defuse.hpp"
+#include "arch/insn.hpp"
 
 namespace senids::ir {
 
@@ -26,7 +26,7 @@ struct DeadCodeResult {
 /// `exit_live` is the register set assumed live after the trace; pass
 /// RegSet::all() for a conservative analysis, or the empty set to ask
 /// "what matters to this code's own control flow and stores".
-DeadCodeResult find_dead_code(const std::vector<x86::Instruction>& trace,
-                              x86::RegSet exit_live = x86::RegSet{});
+DeadCodeResult find_dead_code(const std::vector<arch::Instruction>& trace,
+                              arch::RegSet exit_live = arch::RegSet{});
 
 }  // namespace senids::ir

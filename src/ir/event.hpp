@@ -11,9 +11,13 @@
 #include <vector>
 
 #include "ir/expr.hpp"
-#include "x86/insn.hpp"
+#include "arch/insn.hpp"
 
 namespace senids::ir {
+
+/// Event::vector value for the x86-64 `syscall` instruction — outside
+/// the 0..255 int-vector space so it can never collide with an int imm8.
+inline constexpr std::uint16_t kSyscallVector = 0x100;
 
 enum class EventKind : std::uint8_t {
   kRegWrite,   // register family := value
@@ -28,12 +32,13 @@ struct Event {
   std::size_t insn_offset = 0;  // byte offset of the originating instruction
 
   // kRegWrite
-  x86::RegFamily reg{};
+  arch::RegFamily reg{};
   ExprPtr value;                // also the stored value for kMemWrite
 
   // kMemWrite
   ExprPtr addr;
-  std::uint8_t width = 32;      // bits
+  std::uint8_t width = 32;      // bits (64 for qword stores; the value
+                                // expression still models the low 32 bits)
 
   // kBranch
   bool conditional = false;
@@ -42,9 +47,12 @@ struct Event {
   bool is_call = false;
 
   // kSyscall
-  std::uint8_t vector = 0;      // int imm8 (0x80 for Linux syscalls)
-  /// eax..edi register expressions at the syscall, indexed by RegFamily.
-  std::array<ExprPtr, 8> syscall_regs;
+  /// Syscall mechanism: the int imm8 vector (0x80 for 32-bit Linux), or
+  /// kSyscallVector for the x86-64 `syscall` instruction.
+  std::uint16_t vector = 0;
+  /// Register expressions at the syscall, indexed by RegFamily (rax..r15;
+  /// 32-bit traces populate only the first eight).
+  std::array<ExprPtr, 16> syscall_regs;
 };
 
 }  // namespace senids::ir

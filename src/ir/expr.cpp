@@ -127,7 +127,7 @@ ExprPtr mk_const(std::uint32_t v) {
   return make_node(std::move(e));
 }
 
-ExprPtr mk_init(x86::RegFamily f) {
+ExprPtr mk_init(arch::RegFamily f) {
   Expr e;
   e.kind = ExprKind::kInitReg;
   e.family = f;
@@ -345,7 +345,7 @@ std::string to_string(const ExprPtr& e) {
       return buf;
     case ExprKind::kInitReg: {
       std::string out = "init(";
-      out += x86::Reg{e->family, x86::RegWidth::k32}.name();
+      out += arch::Reg{e->family, arch::RegWidth::k32}.name();
       out += ")";
       return out;
     }

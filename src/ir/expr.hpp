@@ -15,7 +15,7 @@
 #include <memory>
 #include <string>
 
-#include "x86/reg.hpp"
+#include "arch/reg.hpp"
 
 namespace senids::ir {
 
@@ -38,7 +38,7 @@ struct Expr {
   // kConst
   std::uint32_t cval = 0;
   // kInitReg
-  x86::RegFamily family{};
+  arch::RegFamily family{};
   // kLoad
   ExprPtr addr;
   std::uint8_t load_width = 32;   // bits
@@ -61,7 +61,7 @@ struct Expr {
 // ------------------------------------------------------------- factories
 
 ExprPtr mk_const(std::uint32_t v);
-ExprPtr mk_init(x86::RegFamily f);
+ExprPtr mk_init(arch::RegFamily f);
 ExprPtr mk_load(ExprPtr addr, unsigned width_bits, std::uint32_t generation);
 ExprPtr mk_bin(BinOp op, ExprPtr l, ExprPtr r);
 ExprPtr mk_un(UnOp op, ExprPtr x);

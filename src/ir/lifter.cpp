@@ -2,17 +2,17 @@
 
 #include <array>
 
-#include "x86/decoder.hpp"
+#include "arch/decoder.hpp"
 
 namespace senids::ir {
 
-using x86::Instruction;
-using x86::Mnemonic;
-using x86::Operand;
-using x86::OperandKind;
-using x86::Reg;
-using x86::RegFamily;
-using x86::RegWidth;
+using arch::Instruction;
+using arch::Mnemonic;
+using arch::Operand;
+using arch::OperandKind;
+using arch::Reg;
+using arch::RegFamily;
+using arch::RegWidth;
 
 namespace {
 
@@ -26,9 +26,19 @@ struct Store {
 class Machine {
  public:
   Machine() {
-    for (unsigned f = 0; f < 8; ++f) {
+    for (unsigned f = 0; f < 16; ++f) {
       regs_[f] = mk_init(static_cast<RegFamily>(f));
     }
+  }
+
+  /// Per-instruction context: long mode selects the 64-bit stack stride
+  /// and RIP-relative resolution. The symbolic register model is shared —
+  /// each family's expression models its low 32 bits (the "low-32 model"),
+  /// which preserves every constant the templates care about because
+  /// x86-64 immediates land little-endian-first in the low dword.
+  void set_insn(const Instruction& insn) {
+    long_mode_ = insn.mode == arch::Mode::k64;
+    cur_end_offset_ = insn.end_offset();
   }
 
   std::vector<Event> events;
@@ -41,6 +51,7 @@ class Machine {
   [[nodiscard]] ExprPtr read_reg(Reg r) const {
     ExprPtr full = reg_full(r.family);
     switch (r.width) {
+      case RegWidth::k64:  // low-32 model: the family expression IS the value
       case RegWidth::k32:
         return full;
       case RegWidth::k16:
@@ -57,6 +68,9 @@ class Machine {
     ExprPtr full = reg_full(r.family);
     ExprPtr merged;
     switch (r.width) {
+      // A 32-bit write zero-extends to 64 on x86-64, so both full widths
+      // replace the family expression outright under the low-32 model.
+      case RegWidth::k64:
       case RegWidth::k32:
         merged = std::move(val);
         break;
@@ -156,7 +170,12 @@ class Machine {
 
   // ------------------------------------------------------------- operands
 
-  [[nodiscard]] ExprPtr mem_addr(const x86::MemRef& m) const {
+  [[nodiscard]] ExprPtr mem_addr(const arch::MemRef& m) const {
+    if (m.rip) {
+      // RIP-relative: a known in-buffer constant, same transparency as the
+      // call/pop GetPC constant.
+      return mk_const(static_cast<std::uint32_t>(cur_end_offset_ + m.disp));
+    }
     ExprPtr e;
     if (m.base) e = reg_full(m.base->family);
     if (m.index) {
@@ -172,7 +191,10 @@ class Machine {
   }
 
   static unsigned width_bits_of(RegWidth w) {
-    return w == RegWidth::k32 ? 32 : w == RegWidth::k16 ? 16 : 8;
+    return w == RegWidth::k64   ? 64
+           : w == RegWidth::k32 ? 32
+           : w == RegWidth::k16 ? 16
+                                : 8;
   }
 
   ExprPtr read_operand(const Operand& op) {
@@ -202,23 +224,26 @@ class Machine {
   // ---------------------------------------------------------------- stack
 
   void push_value(ExprPtr val, const Instruction& insn, std::size_t idx) {
-    ExprPtr esp = mk_bin(BinOp::kAdd, reg_full(RegFamily::kSp), mk_const(0xfffffffcu));
+    const std::uint32_t stride = long_mode_ ? 0xfffffff8u : 0xfffffffcu;
+    ExprPtr esp = mk_bin(BinOp::kAdd, reg_full(RegFamily::kSp), mk_const(stride));
     regs_[static_cast<unsigned>(RegFamily::kSp)] = esp;
-    store(esp, 32, std::move(val), insn, idx);
+    store(esp, long_mode_ ? 64 : 32, std::move(val), insn, idx);
   }
 
   ExprPtr pop_value() {
     ExprPtr esp = reg_full(RegFamily::kSp);
-    ExprPtr val = load(esp, 32);
+    ExprPtr val = load(esp, long_mode_ ? 64 : 32);
     regs_[static_cast<unsigned>(RegFamily::kSp)] =
-        mk_bin(BinOp::kAdd, esp, mk_const(4));
+        mk_bin(BinOp::kAdd, esp, mk_const(long_mode_ ? 8 : 4));
     return val;
   }
 
  private:
-  std::array<ExprPtr, 8> regs_;
+  std::array<ExprPtr, 16> regs_;
   std::vector<Store> stores_;
   std::uint32_t unknown_counter_ = 0;
+  bool long_mode_ = false;
+  std::size_t cur_end_offset_ = 0;
 };
 
 /// ALU mnemonic -> expression operator (nullopt for unmodeled ones).
@@ -263,6 +288,7 @@ void lift(const std::vector<Instruction>& trace, LiftResult& out) {
   for (std::size_t idx = 0; idx < trace.size(); ++idx) {
     const Instruction& insn = trace[idx];
     const auto& ops = insn.ops;
+    m.set_insn(insn);
 
     if (auto op = alu_op(insn.mnemonic)) {
       ExprPtr res = mk_bin(*op, m.read_operand(ops[0]), m.read_operand(ops[1]));
@@ -444,12 +470,32 @@ void lift(const std::vector<Instruction>& trace, LiftResult& out) {
         ev.insn_index = idx;
         ev.insn_offset = insn.offset;
         ev.vector = static_cast<std::uint8_t>(ops[0].imm);
-        for (unsigned f = 0; f < 8; ++f) {
+        for (unsigned f = 0; f < 16; ++f) {
           ev.syscall_regs[f] = m.reg_full(static_cast<RegFamily>(f));
         }
         m.events.push_back(std::move(ev));
         // Linux convention: the kernel returns in eax.
         m.clobber_reg(RegFamily::kAx, insn, idx);
+        break;
+      }
+
+      case Mnemonic::kSyscall: {
+        // x86-64 `syscall`: same event shape as int 0x80, distinguished by
+        // the out-of-range vector so 32-bit templates can never match it.
+        Event ev;
+        ev.kind = EventKind::kSyscall;
+        ev.insn_index = idx;
+        ev.insn_offset = insn.offset;
+        ev.vector = kSyscallVector;
+        for (unsigned f = 0; f < 16; ++f) {
+          ev.syscall_regs[f] = m.reg_full(static_cast<RegFamily>(f));
+        }
+        m.events.push_back(std::move(ev));
+        // Return value in rax; the instruction itself clobbers rcx (return
+        // RIP) and r11 (saved rflags).
+        m.clobber_reg(RegFamily::kAx, insn, idx);
+        m.clobber_reg(RegFamily::kCx, insn, idx);
+        m.clobber_reg(RegFamily::kR11, insn, idx);
         break;
       }
 

@@ -8,7 +8,7 @@
 #include <vector>
 
 #include "ir/event.hpp"
-#include "x86/defuse.hpp"
+#include "arch/defuse.hpp"
 
 namespace senids::ir {
 
@@ -19,13 +19,13 @@ struct LiftResult {
   std::size_t approximated = 0;
 };
 
-/// Lift `trace` (from x86::execution_trace or linear_sweep).
-LiftResult lift(const std::vector<x86::Instruction>& trace);
+/// Lift `trace` (from arch::execution_trace or linear_sweep).
+LiftResult lift(const std::vector<arch::Instruction>& trace);
 
 /// Buffer-reusing form: `out.events` is cleared and refilled in place,
 /// so a worker lifting thousands of traces reuses one event buffer
 /// instead of reallocating per trace (the expression nodes themselves
 /// are shared/ref-counted and not arena-managed).
-void lift(const std::vector<x86::Instruction>& trace, LiftResult& out);
+void lift(const std::vector<arch::Instruction>& trace, LiftResult& out);
 
 }  // namespace senids::ir

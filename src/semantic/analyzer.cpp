@@ -5,7 +5,8 @@
 
 #include "ir/lifter.hpp"
 #include "obs/metrics.hpp"
-#include "x86/scan.hpp"
+#include "arch/arch.hpp"
+#include "arch/scan.hpp"
 
 namespace senids::semantic {
 
@@ -76,6 +77,7 @@ std::vector<Detection> SemanticAnalyzer::analyze(util::ByteView frame,
 std::vector<Detection> SemanticAnalyzer::analyze(util::ByteView frame, AnalyzerStats* stats,
                                                  AnalyzerScratch& scratch) const {
   const std::vector<Template>& templates = *templates_;
+  const arch::Arch& isa = options_.arch ? *options_.arch : arch::Arch::x86_32();
   std::vector<Detection> detections;
   if (frame.empty()) return detections;
   AnalyzerMetrics& metrics = analyzer_metrics();
@@ -89,16 +91,16 @@ std::vector<Detection> SemanticAnalyzer::analyze(util::ByteView frame, AnalyzerS
   clock.start();
   std::vector<std::size_t>& entries = scratch.entries;
   entries.clear();
-  std::vector<x86::CodeRun>& runs = scratch.runs;
-  x86::find_code_runs(frame, options_.min_run_insns, runs, scratch.scan);
+  std::vector<arch::CodeRun>& runs = scratch.runs;
+  isa.find_code_runs(frame, options_.min_run_insns, runs, scratch.scan);
   metrics.runs.add(runs.size());
   if (stats) stats->candidate_runs += runs.size();
   // Long decode runs first: real code (decoders, shellcode bodies) forms
   // long coherent runs, while text/noise fragments into thousands of
   // short ones. Without this ordering a large frame can exhaust the
   // entry budget on noise before reaching the payload.
-  std::stable_sort(runs.begin(), runs.end(), [](const x86::CodeRun& a,
-                                                const x86::CodeRun& b) {
+  std::stable_sort(runs.begin(), runs.end(), [](const arch::CodeRun& a,
+                                                const arch::CodeRun& b) {
     return a.insn_count > b.insn_count;
   });
   std::vector<char>& seen = scratch.entry_seen;
@@ -116,7 +118,7 @@ std::vector<Detection> SemanticAnalyzer::analyze(util::ByteView frame, AnalyzerS
   for (const auto& run : runs) {
     if (entries.size() >= options_.max_entries) break;
     add_entry(run.start);
-    x86::linear_sweep(frame, run.start, options_.max_trace_insns, scratch.entry_sweep);
+    isa.linear_sweep(frame, run.start, options_.max_trace_insns, scratch.entry_sweep);
     for (const auto& insn : scratch.entry_sweep) {
       if (auto target = insn.branch_target(); target && *target < insn.offset) {
         add_entry(*target);
@@ -124,7 +126,7 @@ std::vector<Detection> SemanticAnalyzer::analyze(util::ByteView frame, AnalyzerS
       // The byte after a call is the classic GetPC data/payload location;
       // once a decoder has been unrolled (or emulated away) it is also
       // where the real payload's code begins.
-      if (insn.mnemonic == x86::Mnemonic::kCall) {
+      if (insn.mnemonic == arch::Mnemonic::kCall) {
         add_entry(insn.end_offset());
       }
     }
@@ -141,7 +143,7 @@ std::vector<Detection> SemanticAnalyzer::analyze(util::ByteView frame, AnalyzerS
   fired.assign(templates.size(), 0);
   std::size_t fired_count = 0;
   std::size_t lifted_budget = options_.max_total_insns;
-  std::vector<x86::Instruction>& trace = scratch.trace;
+  std::vector<arch::Instruction>& trace = scratch.trace;
   ir::LiftResult& lifted = scratch.lifted;
   for (std::size_t entry : entries) {
     if (fired_count == templates.size()) break;
@@ -150,8 +152,8 @@ std::vector<Detection> SemanticAnalyzer::analyze(util::ByteView frame, AnalyzerS
       break;
     }
     clock.start();
-    x86::execution_trace(frame, entry, std::min(options_.max_trace_insns, lifted_budget),
-                         trace, scratch.scan);
+    isa.execution_trace(frame, entry, std::min(options_.max_trace_insns, lifted_budget),
+                        trace, scratch.scan);
     clock.stop(disasm_seconds);
     if (trace.size() < options_.min_run_insns) continue;
     lifted_budget -= std::min(lifted_budget, trace.size());

@@ -10,7 +10,11 @@
 #include "ir/lifter.hpp"
 #include "semantic/template.hpp"
 #include "util/bytes.hpp"
-#include "x86/scan.hpp"
+#include "arch/scan.hpp"
+
+namespace senids::arch {
+class Arch;
+}  // namespace senids::arch
 
 namespace senids::semantic {
 
@@ -51,11 +55,11 @@ struct AnalyzerStats {
 /// Passing no scratch (the classic analyze() signature) allocates a
 /// transient one per call, which is the old behaviour exactly.
 struct AnalyzerScratch {
-  x86::ScanScratch scan;
-  std::vector<x86::CodeRun> runs;
+  arch::ScanScratch scan;
+  std::vector<arch::CodeRun> runs;
   std::vector<std::size_t> entries;
-  std::vector<x86::Instruction> entry_sweep;  // linear sweep per run
-  std::vector<x86::Instruction> trace;
+  std::vector<arch::Instruction> entry_sweep;  // linear sweep per run
+  std::vector<arch::Instruction> trace;
   ir::LiftResult lifted;
   std::vector<char> entry_seen;   // offset dedup bitmap, frame-sized
   std::vector<char> fired;        // per-template "already fired" flags
@@ -70,6 +74,11 @@ struct AnalyzerScratch {
 class SemanticAnalyzer {
  public:
   struct Options {
+    /// Architecture whose decoder/scanner rules govern the candidate
+    /// scan and execution tracing (the lifter and def/use tables key off
+    /// Instruction::mode, so everything downstream follows). nullptr =
+    /// arch::Arch::x86_32(), the classic pipeline.
+    const arch::Arch* arch = nullptr;
     std::size_t min_run_insns = 6;     // candidate-run threshold
     /// Entry points tried per frame. Large by default: the paper's system
     /// disassembles whole samples; per-entry cost here is microseconds,
@@ -86,7 +95,7 @@ class SemanticAnalyzer {
     /// NidsEngine installs senids::verify::verify_ir here in debug
     /// builds). Must be thread-safe: with threads > 1 every worker calls
     /// it concurrently. Runs outside the lift stage clock.
-    std::function<void(const std::vector<x86::Instruction>&, const ir::LiftResult&)>
+    std::function<void(const std::vector<arch::Instruction>&, const ir::LiftResult&)>
         post_lift_hook;
   };
 

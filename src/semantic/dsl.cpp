@@ -1,6 +1,8 @@
 #include "semantic/dsl.hpp"
 
 #include <cctype>
+
+#include "arch/arch.hpp"
 #include <functional>
 #include <optional>
 
@@ -277,6 +279,9 @@ class Parser {
         } else if (cur_.text == "dword") {
           width = 32;
           advance();
+        } else if (cur_.text == "qword") {
+          width = 64;
+          advance();
         }
       }
       PatPtr addr = parse_pattern();
@@ -309,12 +314,13 @@ class Parser {
       t.stmts.push_back(st_branch_back());
       return true;
     }
-    if (kw == "syscall") {
+    if (kw == "syscall" || kw == "syscall64") {
       if (cur_.kind != Token::Kind::kNumber) return fail("syscall expects a number");
       // The template matches the low byte of eax/ebx, so a number above
       // 0xff would silently truncate (0x166 matching as 0x66) — reject it.
       if (cur_.number > 0xff) return fail("syscall number must fit in one byte");
-      Stmt s = st_syscall(static_cast<std::uint8_t>(cur_.number));
+      Stmt s = kw == "syscall64" ? st_syscall64(static_cast<std::uint8_t>(cur_.number))
+                                 : st_syscall(static_cast<std::uint8_t>(cur_.number));
       advance();
       while (cur_.kind == Token::Kind::kIdent &&
              (cur_.text == "sub" || cur_.text == "path")) {
@@ -363,6 +369,21 @@ class Parser {
         return std::nullopt;
       }
       t.threat = *cls;
+      advance();
+    }
+    // Optional architecture tag: `arch: x86_64` (default x86_32).
+    if (cur_.kind == Token::Kind::kIdent && cur_.text == "arch") {
+      advance();
+      if (!expect(Token::Kind::kColon, "':' after 'arch'")) return std::nullopt;
+      if (cur_.kind != Token::Kind::kIdent) {
+        fail("expected architecture name after 'arch:'");
+        return std::nullopt;
+      }
+      if (arch::Arch::by_name(cur_.text) == nullptr) {
+        fail("unknown architecture '" + cur_.text + "'");
+        return std::nullopt;
+      }
+      t.arch = cur_.text;
       advance();
     }
     if (!expect(Token::Kind::kLBrace, "'{'")) return std::nullopt;

@@ -128,6 +128,64 @@ Template tmpl_code_red_ii() {
   return t;
 }
 
+// ----------------------------------------------------- x86-64 templates
+// Same behaviors under the Linux x86-64 calling convention: `syscall`
+// instead of int 0x80, direct socket syscalls instead of socketcall, and
+// the path pointer in rdi. The out-of-range event vector (0x100) keeps
+// these templates inert on 32-bit traces.
+
+Template tmpl_shell_spawn_stack_64() {
+  // mov rbx, 0x68732f2f6e69622f ; push rbx ; ... ; execve(59). The store
+  // event carries the low dword ("/bin") of the pushed immediate.
+  Template t;
+  t.name = "shell-spawn-stack-64";
+  t.arch = "x86_64";
+  t.threat = ThreatClass::kShellSpawn;
+  t.note = "x86-64 shell spawn, stack-built path";
+  t.stmts.push_back(st_mem_write(p_any(), p_fixed(0x6e69622f)));  // "/bin"
+  t.stmts.push_back(st_syscall64(59));                            // execve
+  return t;
+}
+
+Template tmpl_shell_spawn_embedded_64() {
+  // call/pop or RIP-relative GetPC with the path embedded in the frame.
+  Template t;
+  t.name = "shell-spawn-embedded-64";
+  t.arch = "x86_64";
+  t.threat = ThreatClass::kShellSpawn;
+  t.note = "x86-64 shell spawn, embedded path";
+  t.stmts.push_back(st_syscall64_str(59, "/bin"));
+  return t;
+}
+
+Template tmpl_port_bind_shell_64() {
+  // socket(41), bind(49), listen(50), accept(43): the direct-syscall
+  // equivalent of the socketcall sequence.
+  Template t;
+  t.name = "port-bind-shell-64";
+  t.arch = "x86_64";
+  t.threat = ThreatClass::kPortBindShell;
+  t.note = "x86-64 shell bound to a network port";
+  t.stmts.push_back(st_syscall64(41));
+  t.stmts.push_back(st_syscall64(49));
+  t.stmts.push_back(st_syscall64(50));
+  t.stmts.push_back(st_syscall64(43));
+  return t;
+}
+
+Template tmpl_reverse_shell_64() {
+  // socket(41), connect(42), then execve(59) for the spawned shell.
+  Template t;
+  t.name = "reverse-shell-64";
+  t.arch = "x86_64";
+  t.threat = ThreatClass::kReverseShell;
+  t.note = "x86-64 connect-back shell";
+  t.stmts.push_back(st_syscall64(41));
+  t.stmts.push_back(st_syscall64(42));
+  t.stmts.push_back(st_syscall64(59));
+  return t;
+}
+
 std::vector<Template> make_xor_only_library() {
   return {tmpl_xor_decrypt_loop()};
 }
@@ -145,7 +203,11 @@ std::vector<Template> make_standard_library() {
           tmpl_shell_spawn_embedded_string(),
           tmpl_port_bind_shell(),
           tmpl_reverse_shell(),
-          tmpl_code_red_ii()};
+          tmpl_code_red_ii(),
+          tmpl_shell_spawn_stack_64(),
+          tmpl_shell_spawn_embedded_64(),
+          tmpl_port_bind_shell_64(),
+          tmpl_reverse_shell_64()};
 }
 
 std::vector<Template> make_extended_library() {

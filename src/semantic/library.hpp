@@ -43,5 +43,9 @@ Template tmpl_shell_spawn_embedded_string();
 Template tmpl_port_bind_shell();
 Template tmpl_reverse_shell();
 Template tmpl_code_red_ii();
+Template tmpl_shell_spawn_stack_64();
+Template tmpl_shell_spawn_embedded_64();
+Template tmpl_port_bind_shell_64();
+Template tmpl_reverse_shell_64();
 
 }  // namespace senids::semantic

@@ -1,7 +1,7 @@
 #include "semantic/template.hpp"
 
-#include "x86/defuse.hpp"
-#include "x86/format.hpp"
+#include "arch/defuse.hpp"
+#include "arch/format.hpp"
 
 #include <cstring>
 #include <map>
@@ -77,6 +77,24 @@ Stmt st_socketcall(std::uint8_t subfn) {
 Stmt st_syscall_str(std::uint8_t sysno, std::string ebx_points_to) {
   Stmt s = st_syscall(sysno);
   s.ebx_points_to = std::move(ebx_points_to);
+  return s;
+}
+
+Stmt st_syscall64(std::uint8_t sysno) {
+  Stmt s = st_syscall(sysno);
+  s.vector = ir::kSyscallVector;
+  return s;
+}
+
+Stmt st_syscall64_low(std::uint8_t sysno, std::uint8_t rdi_low) {
+  Stmt s = st_syscall64(sysno);
+  s.ebx_low = rdi_low;
+  return s;
+}
+
+Stmt st_syscall64_str(std::uint8_t sysno, std::string rdi_points_to) {
+  Stmt s = st_syscall64(sysno);
+  s.ebx_points_to = std::move(rdi_points_to);
   return s;
 }
 
@@ -200,12 +218,12 @@ std::optional<std::int64_t> addr_diff(const ExprPtr& a, const ExprPtr& b) {
 /// the store dereferenced — the strongest single false-positive filter.
 struct MatchState {
   Env env;
-  std::map<std::string, x86::RegFamily, std::less<>> addr_regs;
+  std::map<std::string, arch::RegFamily, std::less<>> addr_regs;
   std::map<std::string, std::uint8_t, std::less<>> addr_widths;  // store width, bits
   /// The matched pointer-advance, when the template has one: the stepped
   /// register must not be written again before the loop-back, or the next
   /// iteration would not see the advanced pointer.
-  std::optional<x86::RegFamily> advance_reg;
+  std::optional<arch::RegFamily> advance_reg;
   std::size_t advance_event = 0;
 };
 
@@ -226,24 +244,24 @@ struct Search {
 
   /// Register family a store instruction addresses through (base first,
   /// then index; pushes and string stores use their implicit registers).
-  std::optional<x86::RegFamily> store_addr_reg(const Event& ev) const {
-    const x86::Instruction& insn = (*code.trace)[ev.insn_index];
-    for (const x86::Operand& op : insn.ops) {
-      if (op.kind != x86::OperandKind::kMem) continue;
+  std::optional<arch::RegFamily> store_addr_reg(const Event& ev) const {
+    const arch::Instruction& insn = (*code.trace)[ev.insn_index];
+    for (const arch::Operand& op : insn.ops) {
+      if (op.kind != arch::OperandKind::kMem) continue;
       if (op.mem.base) return op.mem.base->family;
       if (op.mem.index) return op.mem.index->family;
       return std::nullopt;  // absolute address
     }
     switch (insn.mnemonic) {
-      case x86::Mnemonic::kPush:
-      case x86::Mnemonic::kPushf:
-      case x86::Mnemonic::kPusha:
-      case x86::Mnemonic::kCall:
-      case x86::Mnemonic::kEnter:
-        return x86::RegFamily::kSp;
-      case x86::Mnemonic::kStos:
-      case x86::Mnemonic::kMovs:
-        return x86::RegFamily::kDi;
+      case arch::Mnemonic::kPush:
+      case arch::Mnemonic::kPushf:
+      case arch::Mnemonic::kPusha:
+      case arch::Mnemonic::kCall:
+      case arch::Mnemonic::kEnter:
+        return arch::RegFamily::kSp;
+      case arch::Mnemonic::kStos:
+      case arch::Mnemonic::kMovs:
+        return arch::RegFamily::kDi;
       default:
         return std::nullopt;
     }
@@ -255,30 +273,30 @@ struct Search {
   /// sub ecx, imm). Returns the counter register, or nullopt when the
   /// branch shows no such discipline — which coincidental backward
   /// branches in data essentially never do.
-  std::optional<x86::RegFamily> loop_counter_of(const Event& ev) const {
-    const x86::Instruction& brinsn = (*code.trace)[ev.insn_index];
+  std::optional<arch::RegFamily> loop_counter_of(const Event& ev) const {
+    const arch::Instruction& brinsn = (*code.trace)[ev.insn_index];
     switch (brinsn.mnemonic) {
-      case x86::Mnemonic::kLoop:
-      case x86::Mnemonic::kLoope:
-      case x86::Mnemonic::kLoopne:
-        return x86::RegFamily::kCx;  // implicit ecx count-down
-      case x86::Mnemonic::kJecxz:
+      case arch::Mnemonic::kLoop:
+      case arch::Mnemonic::kLoope:
+      case arch::Mnemonic::kLoopne:
+        return arch::RegFamily::kCx;  // implicit ecx count-down
+      case arch::Mnemonic::kJecxz:
         // jecxz branches while ecx is ZERO — it cannot close a count-down
         // loop (observed false-positive shape).
         return std::nullopt;
       default:
         break;
     }
-    if (brinsn.cond != x86::Cond::kNe) return std::nullopt;  // count-down = jnz
+    if (brinsn.cond != arch::Cond::kNe) return std::nullopt;  // count-down = jnz
     for (std::size_t i = ev.insn_index; i-- > 0;) {
-      const x86::Instruction& insn = (*code.trace)[i];
-      if (!x86::def_use(insn).flags_def) continue;
-      if (insn.ops[0].kind != x86::OperandKind::kReg) return std::nullopt;
+      const arch::Instruction& insn = (*code.trace)[i];
+      if (!arch::def_use(insn).flags_def) continue;
+      if (insn.ops[0].kind != arch::OperandKind::kReg) return std::nullopt;
       switch (insn.mnemonic) {
-        case x86::Mnemonic::kDec:
+        case arch::Mnemonic::kDec:
           return insn.ops[0].reg.family;
-        case x86::Mnemonic::kSub:
-          if (insn.ops[1].kind == x86::OperandKind::kImm) {
+        case arch::Mnemonic::kSub:
+          if (insn.ops[1].kind == arch::OperandKind::kImm) {
             return insn.ops[0].reg.family;
           }
           return std::nullopt;
@@ -305,9 +323,9 @@ struct Search {
           // the store: a "key" carved out of the walking pointer changes
           // every iteration, which no fixed-key decoder does (observed
           // false-positive shape: `add byte [edx], dh`).
-          const x86::Instruction& insn = (*code.trace)[ev.insn_index];
-          if (insn.ops[1].kind == x86::OperandKind::kReg &&
-              insn.ops[0].kind == x86::OperandKind::kMem && insn.ops[0].mem.base &&
+          const arch::Instruction& insn = (*code.trace)[ev.insn_index];
+          if (insn.ops[1].kind == arch::OperandKind::kReg &&
+              insn.ops[0].kind == arch::OperandKind::kMem && insn.ops[0].mem.base &&
               insn.ops[1].reg.family == insn.ops[0].mem.base->family) {
             return false;
           }
@@ -337,11 +355,11 @@ struct Search {
         // effect of comparing) and movs/stos (which would clobber the
         // freshly decoded byte) are coincidences, not walks.
         switch ((*code.trace)[ev.insn_index].mnemonic) {
-          case x86::Mnemonic::kInc:
-          case x86::Mnemonic::kDec:
-          case x86::Mnemonic::kAdd:
-          case x86::Mnemonic::kSub:
-          case x86::Mnemonic::kLea:
+          case arch::Mnemonic::kInc:
+          case arch::Mnemonic::kDec:
+          case arch::Mnemonic::kAdd:
+          case arch::Mnemonic::kSub:
+          case arch::Mnemonic::kLea:
             break;
           default:
             return false;
@@ -432,17 +450,22 @@ struct Search {
 
       case Stmt::Kind::kSyscall: {
         if (ev.kind != EventKind::kSyscall || ev.vector != s.vector) return false;
+        // First-argument register by calling convention: ebx for int 0x80,
+        // rdi for the x86-64 `syscall` instruction.
+        const auto arg0 = static_cast<unsigned>(s.vector == ir::kSyscallVector
+                                                    ? arch::RegFamily::kDi
+                                                    : arch::RegFamily::kBx);
         if (s.sysno) {
-          auto got = low_byte_const(ev.syscall_regs[static_cast<unsigned>(x86::RegFamily::kAx)]);
+          auto got = low_byte_const(ev.syscall_regs[static_cast<unsigned>(arch::RegFamily::kAx)]);
           if (!got || *got != *s.sysno) return false;
         }
         if (s.ebx_low) {
-          auto got = low_byte_const(ev.syscall_regs[static_cast<unsigned>(x86::RegFamily::kBx)]);
+          auto got = low_byte_const(ev.syscall_regs[arg0]);
           if (!got || *got != *s.ebx_low) return false;
         }
         if (!s.ebx_points_to.empty()) {
           std::uint32_t ptr;
-          if (!ir::is_const(ev.syscall_regs[static_cast<unsigned>(x86::RegFamily::kBx)], &ptr))
+          if (!ir::is_const(ev.syscall_regs[arg0], &ptr))
             return false;
           const auto& buf = code.buffer;
           const std::string& want = s.ebx_points_to;
@@ -490,7 +513,7 @@ std::string format_match(const Template& t, const LiftedCode& code,
   char buf[160];
   for (std::size_t i = 0; i < match.matched_events.size() && i < t.stmts.size(); ++i) {
     const Event& ev = (*code.events)[match.matched_events[i]];
-    const x86::Instruction& insn = (*code.trace)[ev.insn_index];
+    const arch::Instruction& insn = (*code.trace)[ev.insn_index];
     const char* what = "";
     switch (t.stmts[i].kind) {
       case Stmt::Kind::kMemWrite: what = "store"; break;
@@ -500,7 +523,7 @@ std::string format_match(const Template& t, const LiftedCode& code,
       case Stmt::Kind::kSyscall: what = "syscall"; break;
     }
     std::snprintf(buf, sizeof buf, "  %-9s @%04zx  %s\n", what, insn.offset,
-                  x86::format(insn).c_str());
+                  arch::format(insn).c_str());
     out += buf;
   }
   for (const auto& [var, value] : match.bindings) {

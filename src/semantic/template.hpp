@@ -16,7 +16,7 @@
 #include "ir/event.hpp"
 #include "semantic/pattern.hpp"
 #include "util/bytes.hpp"
-#include "x86/insn.hpp"
+#include "arch/insn.hpp"
 
 namespace senids::semantic {
 
@@ -63,13 +63,18 @@ struct Stmt {
   std::string ref_var;
 
   // kSyscall
-  std::uint8_t vector = 0x80;
-  /// Required low byte of eax (the Linux syscall number).
+  /// Event vector to match: 0x80 for Linux int 0x80, ir::kSyscallVector
+  /// (0x100) for the x86-64 `syscall` instruction. The vector also selects
+  /// which register carries the first argument (ebx vs rdi).
+  std::uint16_t vector = 0x80;
+  /// Required low byte of eax/rax (the Linux syscall number).
   std::optional<std::uint8_t> sysno;
-  /// Required low byte of ebx (socketcall sub-function, etc.).
+  /// Required low byte of the first-argument register (ebx for int 0x80,
+  /// rdi for `syscall`): socketcall sub-function, dup2 fd, etc.
   std::optional<std::uint8_t> ebx_low;
-  /// If set, ebx must be a constant offset into the analyzed buffer and
-  /// the bytes there must start with this string (e.g. "/bin").
+  /// If set, the first-argument register (ebx / rdi by vector) must be a
+  /// constant offset into the analyzed buffer and the bytes there must
+  /// start with this string (e.g. "/bin").
   std::string ebx_points_to;
 };
 
@@ -79,11 +84,16 @@ struct Template {
   std::vector<Stmt> stmts;
   /// Free-text note shown in alerts (which figure/table it reproduces).
   std::string note;
+  /// Architecture tag (`arch: x86_64` in the DSL; default x86_32). The
+  /// matcher itself is arch-agnostic — statement vectors select the
+  /// calling convention — but the linter validates syscall numbers and
+  /// store widths against the tagged architecture's rules.
+  std::string arch = "x86_32";
 };
 
 /// Everything the matcher needs to know about one analyzed code run.
 struct LiftedCode {
-  const std::vector<x86::Instruction>* trace = nullptr;
+  const std::vector<arch::Instruction>* trace = nullptr;
   const std::vector<ir::Event>* events = nullptr;
   util::ByteView buffer;  // the binary frame the trace was decoded from
 };
@@ -116,5 +126,9 @@ Stmt st_branch_back();
 Stmt st_syscall(std::uint8_t sysno);
 Stmt st_socketcall(std::uint8_t subfn);
 Stmt st_syscall_str(std::uint8_t sysno, std::string ebx_points_to);
+/// x86-64 `syscall` statements (vector ir::kSyscallVector, args in rdi..).
+Stmt st_syscall64(std::uint8_t sysno);
+Stmt st_syscall64_low(std::uint8_t sysno, std::uint8_t rdi_low);
+Stmt st_syscall64_str(std::uint8_t sysno, std::string rdi_points_to);
 
 }  // namespace senids::semantic

@@ -386,7 +386,14 @@ std::vector<util::Bytes> template_literals(
       collect_fixed_consts(stmt.addr, out);
       collect_fixed_consts(stmt.value, out);
       if (stmt.kind == semantic::Stmt::Kind::kSyscall) {
-        out.push_back(util::Bytes{0xCD, stmt.vector});  // int N
+        // int-vector statements pin the two-byte CD imm8 encoding. The
+        // x86-64 `syscall` vector (0x100) has no int encoding and its
+        // 0F 05 pair is too common in binary traffic to be a useful
+        // literal, so those statements contribute strings only — keeping
+        // the 32-bit literal set byte-identical.
+        if (stmt.vector <= 0xff) {
+          out.push_back(util::Bytes{0xCD, static_cast<std::uint8_t>(stmt.vector)});
+        }
         if (!stmt.ebx_points_to.empty()) {
           out.emplace_back(stmt.ebx_points_to.begin(), stmt.ebx_points_to.end());
         }

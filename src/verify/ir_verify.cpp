@@ -16,7 +16,9 @@ using ir::Expr;
 using ir::ExprKind;
 using ir::ExprPtr;
 
-bool valid_width(unsigned w) noexcept { return w == 8 || w == 16 || w == 32; }
+bool valid_width(unsigned w) noexcept {
+  return w == 8 || w == 16 || w == 32 || w == 64;
+}
 
 const char* event_kind_name(EventKind k) noexcept {
   switch (k) {
@@ -71,7 +73,7 @@ struct ExprChecker {
         break;
       case ExprKind::kInitReg:
         leaf();
-        if (static_cast<unsigned>(x.family) >= 8) {
+        if (static_cast<unsigned>(x.family) >= 16) {
           out.error(where, "init-reg family out of range");
         }
         break;
@@ -82,7 +84,7 @@ struct ExprChecker {
         if (x.lhs || x.rhs) out.error(where, "load expression carries operator children");
         if (!valid_width(x.load_width)) {
           out.error(where, "load width " + std::to_string(x.load_width) +
-                               " is not a decodable access width (8/16/32)");
+                               " is not a decodable access width (8/16/32/64)");
         }
         if (x.generation > mem_generation) {
           out.error(where, "load references memory generation " +
@@ -136,7 +138,7 @@ void verify_expr(const ir::ExprPtr& e, const std::string& where, Report& out) {
   ck.check(e, where);
 }
 
-Report verify_ir(const std::vector<x86::Instruction>& trace, const ir::LiftResult& lifted) {
+Report verify_ir(const std::vector<arch::Instruction>& trace, const ir::LiftResult& lifted) {
   Report out;
   ExprChecker ck{out, {}, 0};
 
@@ -168,7 +170,7 @@ Report verify_ir(const std::vector<x86::Instruction>& trace, const ir::LiftResul
 
     switch (ev.kind) {
       case EventKind::kRegWrite:
-        if (static_cast<unsigned>(ev.reg) >= 8) {
+        if (static_cast<unsigned>(ev.reg) >= 16) {
           out.error(where, "register family out of range");
         }
         if (!ev.value) {
@@ -180,7 +182,7 @@ Report verify_ir(const std::vector<x86::Instruction>& trace, const ir::LiftResul
       case EventKind::kMemWrite:
         if (!valid_width(ev.width)) {
           out.error(where, "store width " + std::to_string(ev.width) +
-                               " is not a decodable access width (8/16/32)");
+                               " is not a decodable access width (8/16/32/64)");
         }
         if (!ev.addr) {
           out.error(where, "null store address");
@@ -231,7 +233,7 @@ Report verify_ir(const std::vector<x86::Instruction>& trace, const ir::LiftResul
   // instruction (exactly the bug class that unsoundly deletes live code).
   ir::DeadCodeResult first = ir::find_dead_code(trace);
   if (first.dead_count != 0) {
-    std::vector<x86::Instruction> live;
+    std::vector<arch::Instruction> live;
     live.reserve(trace.size() - first.dead_count);
     for (std::size_t i = 0; i < trace.size(); ++i) {
       if (!first.dead[i]) live.push_back(trace[i]);

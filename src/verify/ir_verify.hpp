@@ -25,13 +25,13 @@
 
 #include "ir/lifter.hpp"
 #include "verify/verify.hpp"
-#include "x86/insn.hpp"
+#include "arch/insn.hpp"
 
 namespace senids::verify {
 
 /// Verify one lifted unit. `trace` must be the instruction trace `lifted`
 /// was produced from.
-Report verify_ir(const std::vector<x86::Instruction>& trace, const ir::LiftResult& lifted);
+Report verify_ir(const std::vector<arch::Instruction>& trace, const ir::LiftResult& lifted);
 
 /// Expression-tree well-formedness only (exposed for targeted tests).
 /// `where` labels diagnostics; shared subtrees are visited once.

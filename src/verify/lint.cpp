@@ -6,6 +6,7 @@
 #include <set>
 #include <string>
 
+#include "arch/arch.hpp"
 #include "semantic/pattern.hpp"
 
 namespace senids::verify {
@@ -185,6 +186,38 @@ std::vector<std::string> fingerprint(const Template& t) {
   return out;
 }
 
+// ------------------------------------------------- arch-tag validation
+
+/// Linux syscall numbers a shellcode template can plausibly demand, per
+/// calling convention. Deliberately an allow-list: a template carrying
+/// execve's x86-64 number (59) under an int-0x80 statement matches
+/// nothing on a real system — that is 59/oldolduname on i386 — and the
+/// whole point of the `arch:` tag is to catch that class of confusion.
+bool syscall_number_known(std::uint16_t vector, std::uint8_t n) {
+  if (vector == ir::kSyscallVector) {
+    // x86-64: read write open close mmap mprotect dup dup2 socket connect
+    // accept bind listen clone fork execve exit kill fcntl.
+    static constexpr std::uint8_t kKnown[] = {0,  1,  2,  3,  9,  10, 32,
+                                              33, 41, 42, 43, 49, 50, 56,
+                                              57, 59, 60, 62, 72};
+    for (std::uint8_t k : kKnown) {
+      if (k == n) return true;
+    }
+    return false;
+  }
+  // i386 int 0x80: exit fork read write open close execve chmod lseek
+  // getpid access kill dup pipe brk signal dup2 setreuid sigaction
+  // mmap munmap socketcall sigreturn clone mprotect fcntl.
+  static constexpr std::uint8_t kKnown[] = {1,  2,  3,  4,   5,   6,   11,
+                                            15, 19, 20, 33,  37,  41,  42,
+                                            45, 48, 63, 70,  90,  91,  102,
+                                            119, 120, 125, 55};
+  for (std::uint8_t k : kKnown) {
+    if (k == n) return true;
+  }
+  return false;
+}
+
 std::string stmt_where(const Template& t, std::size_t i) {
   return "template '" + t.name + "' statement #" + std::to_string(i + 1);
 }
@@ -197,6 +230,12 @@ Report lint_template(const Template& t) {
   if (t.name.empty()) out.error("template", "empty template name");
   if (t.stmts.empty()) out.error(twhere, "template has no statements");
 
+  const arch::Arch* tagged = arch::Arch::by_name(t.arch);
+  if (tagged == nullptr) {
+    out.error(twhere, "unknown architecture tag '" + t.arch + "'");
+  }
+  const bool is64 = tagged != nullptr && tagged->mode() == arch::Mode::k64;
+
   std::set<std::string> bound;        // variables bound by earlier statements
   bool body_before_loopback = false;  // any matchable statement seen yet
   for (std::size_t i = 0; i < t.stmts.size(); ++i) {
@@ -206,8 +245,9 @@ Report lint_template(const Template& t) {
       case Stmt::Kind::kMemWrite: {
         check_pattern(s.addr, where + ": address", out);
         check_pattern(s.value, where + ": value", out);
-        if (s.width != 0 && s.width != 8 && s.width != 16 && s.width != 32) {
-          out.error(where, "no decodable instruction produces a " +
+        if (s.width != 0 && s.width != 8 && s.width != 16 && s.width != 32 &&
+            !(s.width == 64 && is64)) {
+          out.error(where, "no decodable " + t.arch + " instruction produces a " +
                                std::to_string(s.width) + "-bit store");
         }
         if (s.require_invertible && !can_contain_load(s.value)) {
@@ -247,9 +287,27 @@ Report lint_template(const Template& t) {
                           "backward branch");
         }
         break;
-      case Stmt::Kind::kSyscall:
+      case Stmt::Kind::kSyscall: {
+        if (tagged != nullptr) {
+          bool vector_ok = false;
+          for (const arch::SyscallConvention& conv : tagged->syscall_conventions()) {
+            if (conv.vector == s.vector) vector_ok = true;
+          }
+          if (!vector_ok) {
+            out.error(where, s.vector == ir::kSyscallVector
+                                 ? "`syscall64` statement in a template tagged " +
+                                       t.arch + " (no `syscall` instruction there)"
+                                 : "int-vector syscall statement in a template "
+                                   "tagged " + t.arch);
+          } else if (s.sysno && !syscall_number_known(s.vector, *s.sysno)) {
+            out.error(where, "syscall number " + std::to_string(*s.sysno) +
+                                 " is not a known " + t.arch +
+                                 " Linux syscall for this convention");
+          }
+        }
         body_before_loopback = true;
         break;
+      }
       default:
         out.error(where, "invalid statement kind");
         break;

@@ -5,25 +5,27 @@
 #include <string>
 #include <vector>
 
-#include "x86/decoder.hpp"
-#include "x86/reg.hpp"
+#include "arch/arch.hpp"
+#include "arch/reg.hpp"
 
 namespace senids::verify {
 
 namespace {
 
-using x86::Instruction;
-using x86::Mnemonic;
-using x86::Operand;
-using x86::OperandKind;
-using x86::RegFamily;
-using x86::RegSet;
+using arch::Instruction;
+using arch::Mnemonic;
+using arch::Operand;
+using arch::OperandKind;
+using arch::RegFamily;
+using arch::RegSet;
 
 const char* family_name(RegFamily f) noexcept {
   static constexpr const char* kNames[] = {"eax", "ecx", "edx", "ebx",
-                                           "esp", "ebp", "esi", "edi"};
+                                           "esp", "ebp", "esi", "edi",
+                                           "r8",  "r9",  "r10", "r11",
+                                           "r12", "r13", "r14", "r15"};
   const auto i = static_cast<unsigned>(f);
-  return i < 8 ? kNames[i] : "?";
+  return i < 16 ? kNames[i] : "?";
 }
 
 bool is_string_op(Mnemonic m) noexcept {
@@ -57,6 +59,7 @@ RegSet implicit_families(const Instruction& insn) noexcept {
     case Mnemonic::kPusha:
     case Mnemonic::kPopa:
     case Mnemonic::kInt:
+    case Mnemonic::kSyscall:  // reads the full convention, clobbers rcx/r11
       return RegSet::all();
     case Mnemonic::kEnter:
     case Mnemonic::kLeave:
@@ -272,6 +275,7 @@ bool must_side_effect(Mnemonic m) noexcept {
     case Mnemonic::kInt:
     case Mnemonic::kInt3:
     case Mnemonic::kInto:
+    case Mnemonic::kSyscall:
     case Mnemonic::kHlt:
     case Mnemonic::kLoop:
     case Mnemonic::kLoope:
@@ -286,7 +290,7 @@ bool must_side_effect(Mnemonic m) noexcept {
 }
 
 void each_family(RegSet s, auto&& fn) {
-  for (unsigned i = 0; i < 8; ++i) {
+  for (unsigned i = 0; i < 16; ++i) {
     const auto f = static_cast<RegFamily>(i);
     if (s.contains_family(f)) fn(f);
   }
@@ -294,9 +298,9 @@ void each_family(RegSet s, auto&& fn) {
 
 }  // namespace
 
-Report check_defuse(const Instruction& insn, const x86::DefUse& du) {
+Report check_defuse(const Instruction& insn, const arch::DefUse& du) {
   Report out;
-  const std::string where{x86::mnemonic_name(insn.mnemonic)};
+  const std::string where{arch::mnemonic_name(insn.mnemonic)};
   if (!insn.valid()) {
     out.error(where, "invalid instruction passed to the cross-check");
     return out;
@@ -411,17 +415,20 @@ Report verify_decoder_tables() {
   Report out;
   std::set<std::string> seen;  // dedupe: many encodings share a mnemonic
 
+  const arch::Arch* cur = nullptr;
   auto check_encoding = [&](const std::vector<std::uint8_t>& bytes) {
-    const Instruction insn = x86::decode(bytes, 0);
+    const Instruction insn = cur->decode(bytes, 0);
     if (!insn.valid()) return;
-    Report r = check_defuse(insn, x86::def_use(insn));
+    Report r = check_defuse(insn, cur->def_use(insn));
     for (Diagnostic& d : r.diags) {
       // Escape maps and prefixes keep two label bytes; plain opcodes one.
-      char enc[32];
-      if (bytes[0] == 0x0f || bytes[0] == 0xf3 || bytes[0] == 0xf2) {
-        std::snprintf(enc, sizeof enc, "opcode %02x %02x", bytes[0], bytes[1]);
+      char enc[48];
+      if (bytes[0] == 0x0f || bytes[0] == 0xf3 || bytes[0] == 0xf2 ||
+          (cur->mode() == arch::Mode::k64 && (bytes[0] & 0xf0) == 0x40)) {
+        std::snprintf(enc, sizeof enc, "%s opcode %02x %02x", cur->name().data(),
+                      bytes[0], bytes[1]);
       } else {
-        std::snprintf(enc, sizeof enc, "opcode %02x", bytes[0]);
+        std::snprintf(enc, sizeof enc, "%s opcode %02x", cur->name().data(), bytes[0]);
       }
       d.where = enc + (" (" + d.where + ")");
       if (seen.insert(d.where + "|" + d.message).second) {
@@ -440,17 +447,32 @@ Report verify_decoder_tables() {
     modrms.push_back(static_cast<std::uint8_t>((reg << 3) | 3));
   }
 
-  for (unsigned op = 0; op < 256; ++op) {
-    for (std::uint8_t modrm : modrms) {
-      check_encoding({static_cast<std::uint8_t>(op), modrm, 1, 1, 1, 1, 1, 1, 1, 1});
-      check_encoding(
-          {0x0f, static_cast<std::uint8_t>(op), modrm, 1, 1, 1, 1, 1, 1, 1, 1});
+  for (const arch::Arch* a : arch::Arch::all()) {
+    cur = a;
+    for (unsigned op = 0; op < 256; ++op) {
+      for (std::uint8_t modrm : modrms) {
+        check_encoding({static_cast<std::uint8_t>(op), modrm, 1, 1, 1, 1, 1, 1, 1, 1});
+        check_encoding(
+            {0x0f, static_cast<std::uint8_t>(op), modrm, 1, 1, 1, 1, 1, 1, 1, 1});
+        if (a->mode() == arch::Mode::k64) {
+          // REX forms: W (64-bit operand), R+B (extended reg/rm fields),
+          // and the kitchen sink — catches summaries that miss the
+          // extended families or width-dependent implicit registers.
+          for (std::uint8_t rex : {0x48, 0x45, 0x4f}) {
+            check_encoding(
+                {rex, static_cast<std::uint8_t>(op), modrm, 1, 1, 1, 1, 1, 1, 1, 1});
+            check_encoding({rex, 0x0f, static_cast<std::uint8_t>(op), modrm, 1, 1, 1,
+                            1, 1, 1, 1, 1});
+          }
+        }
+      }
     }
-  }
-  // Repeat-prefixed string forms (the ecx-counter rule).
-  for (std::uint8_t op : {0xA4, 0xA5, 0xA6, 0xA7, 0xAA, 0xAB, 0xAC, 0xAD, 0xAE, 0xAF}) {
-    check_encoding({0xF3, op, 1, 1, 1, 1});
-    check_encoding({0xF2, op, 1, 1, 1, 1});
+    // Repeat-prefixed string forms (the ecx-counter rule).
+    for (std::uint8_t op :
+         {0xA4, 0xA5, 0xA6, 0xA7, 0xAA, 0xAB, 0xAC, 0xAD, 0xAE, 0xAF}) {
+      check_encoding({0xF3, op, 1, 1, 1, 1});
+      check_encoding({0xF2, op, 1, 1, 1, 1});
+    }
   }
   return out;
 }

@@ -1,5 +1,5 @@
-// Pass 3: decoder-table cross-check. The decoder (x86/decoder.cpp) and
-// the def/use analysis (x86/defuse.cpp) are two hand-maintained views of
+// Pass 3: decoder-table cross-check. The decoder (arch/decoder.cpp) and
+// the def/use analysis (arch/defuse.cpp) are two hand-maintained views of
 // the same opcode maps; a disagreement between them is an unsound
 // liveness fact, which the dead-code pass then turns into a deleted live
 // instruction — a silent missed detection. This pass decodes
@@ -25,14 +25,14 @@
 #pragma once
 
 #include "verify/verify.hpp"
-#include "x86/defuse.hpp"
-#include "x86/insn.hpp"
+#include "arch/defuse.hpp"
+#include "arch/insn.hpp"
 
 namespace senids::verify {
 
 /// Validate one decoded instruction against one def/use summary.
 /// Exposed separately so tests can feed deliberately inconsistent pairs.
-Report check_defuse(const x86::Instruction& insn, const x86::DefUse& du);
+Report check_defuse(const arch::Instruction& insn, const arch::DefUse& du);
 
 /// Sweep the one-byte and implemented two-byte opcode maps, decoding
 /// representative encodings and cross-checking each against def_use().

@@ -1,0 +1,205 @@
+// Differential harness for the architecture abstraction layer. Two
+// contracts from the migration:
+//
+//   1. Routing the classic pipeline through arch::Arch changed nothing:
+//      an engine with default options (arch = nullptr) and an engine
+//      with an explicit &Arch::x86_32() must produce byte-identical
+//      reports over every generator corpus, across the full deployment
+//      matrix — threads {1,4} x shards {1,4} x verdict-cache {off,on}.
+//
+//   2. The x86_64 registration is end-to-end real: with the production
+//      configuration (triage on, cache on), EVERY ExploitBuilder64
+//      payload raises at least one alert — asserted per payload, not in
+//      aggregate — and 64-bit benign traffic raises none.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "arch/arch.hpp"
+#include "core/senids.hpp"
+#include "gen/benign.hpp"
+#include "gen/codered.hpp"
+#include "gen/mailworm.hpp"
+#include "gen/poly.hpp"
+#include "gen/shellcode.hpp"
+#include "gen/shellcode64.hpp"
+#include "gen/traffic.hpp"
+
+namespace senids::core {
+namespace {
+
+using net::Endpoint;
+using net::Ipv4Addr;
+using semantic::ThreatClass;
+
+const Ipv4Addr kServer = Ipv4Addr::from_octets(10, 0, 0, 20);
+const Endpoint kClient{Ipv4Addr::from_octets(198, 51, 100, 10), 45000};
+
+Endpoint attacker(std::size_t i) {
+  return Endpoint{Ipv4Addr::from_octets(192, 0, 2, static_cast<std::uint8_t>(10 + i)),
+                  static_cast<std::uint16_t>(30000 + i)};
+}
+
+struct MatrixPoint {
+  std::size_t threads;
+  std::size_t shards;
+  bool cache;
+};
+
+constexpr MatrixPoint kMatrix[] = {
+    {1, 1, false}, {1, 1, true}, {1, 4, false}, {1, 4, true},
+    {4, 1, false}, {4, 1, true}, {4, 4, false}, {4, 4, true},
+};
+
+NidsEngine make_engine(const arch::Arch* arch, const MatrixPoint& p) {
+  NidsOptions options;
+  options.arch = arch;
+  options.classifier.analyze_everything = true;
+  options.threads = p.threads;
+  options.shards = p.shards;
+  options.verdict_cache_bytes = p.cache ? (8u << 20) : 0;
+  return NidsEngine(options);
+}
+
+void expect_reports_identical(const Report& a, const Report& b, const MatrixPoint& p) {
+  ASSERT_EQ(a.alerts.size(), b.alerts.size())
+      << "threads=" << p.threads << " shards=" << p.shards << " cache=" << p.cache;
+  for (std::size_t i = 0; i < a.alerts.size(); ++i) {
+    EXPECT_EQ(a.alerts[i].ts_sec, b.alerts[i].ts_sec) << "alert " << i;
+    EXPECT_EQ(a.alerts[i].src.value, b.alerts[i].src.value) << "alert " << i;
+    EXPECT_EQ(a.alerts[i].dst.value, b.alerts[i].dst.value) << "alert " << i;
+    EXPECT_EQ(a.alerts[i].src_port, b.alerts[i].src_port) << "alert " << i;
+    EXPECT_EQ(a.alerts[i].dst_port, b.alerts[i].dst_port) << "alert " << i;
+    EXPECT_EQ(a.alerts[i].threat, b.alerts[i].threat) << "alert " << i;
+    EXPECT_EQ(a.alerts[i].template_name, b.alerts[i].template_name) << "alert " << i;
+    EXPECT_EQ(a.alerts[i].frame_reason, b.alerts[i].frame_reason) << "alert " << i;
+    EXPECT_EQ(a.alerts[i].frame_offset, b.alerts[i].frame_offset) << "alert " << i;
+  }
+  EXPECT_EQ(a.stats.units_analyzed, b.stats.units_analyzed);
+  EXPECT_EQ(a.stats.suspicious_packets, b.stats.suspicious_packets);
+}
+
+/// Contract 1 harness: default options and explicit x86_32 must be one
+/// and the same engine over `capture`, at every matrix point.
+void expect_default_is_x86_32(const pcap::Capture& capture) {
+  for (const MatrixPoint& p : kMatrix) {
+    NidsEngine implicit = make_engine(nullptr, p);
+    NidsEngine explicit_32 = make_engine(&arch::Arch::x86_32(), p);
+    const Report r_implicit = implicit.process_capture(capture);
+    const Report r_explicit = explicit_32.process_capture(capture);
+    expect_reports_identical(r_implicit, r_explicit, p);
+  }
+}
+
+// ------------------------------------------------------------- corpora
+
+pcap::Capture classic_attack_corpus(std::uint64_t seed) {
+  // One of everything the 32-bit generators produce: polymorphic
+  // shell-spawns (both encoders), Code Red II, an email worm, and
+  // benign noise in between.
+  gen::TraceBuilder tb(seed);
+  const auto corpus = gen::make_shell_spawn_corpus();
+  const util::Bytes request = gen::make_code_red_ii_request();
+  const Endpoint mx{Ipv4Addr::from_octets(10, 0, 0, 25), 25};
+  for (std::size_t i = 0; i < 4; ++i) {
+    const auto adm = gen::admmutate_encode(corpus[i % corpus.size()].code, tb.prng());
+    tb.add_tcp_flow(attacker(i), Endpoint{kServer, 80}, adm.bytes);
+    const auto clet = gen::clet_encode(corpus[(i + 2) % corpus.size()].code, tb.prng());
+    tb.add_tcp_flow(attacker(i + 10), Endpoint{kServer, 80}, clet.bytes);
+    tb.add_tcp_flow(attacker(i + 20), Endpoint{kServer, 80}, request);
+    tb.add_benign(kClient, kServer, gen::make_benign_payload(tb.prng()));
+  }
+  const auto worm = gen::make_email_worm(tb.prng());
+  tb.add_tcp_flow(attacker(30), mx, worm.smtp_payload);
+  return tb.take();
+}
+
+pcap::Capture benign_corpus(std::uint64_t seed) {
+  gen::TraceBuilder tb(seed);
+  const Endpoint mx{Ipv4Addr::from_octets(10, 0, 0, 25), 25};
+  for (int i = 0; i < 16; ++i) {
+    tb.add_benign(kClient, kServer, gen::make_benign_payload(tb.prng()));
+  }
+  for (int i = 0; i < 6; ++i) {
+    tb.add_benign(kClient, kServer, gen::make_suspicious_benign_payload(tb.prng()));
+  }
+  for (int i = 0; i < 4; ++i) {
+    tb.add_tcp_flow(kClient, mx, gen::make_benign_email(tb.prng()));
+  }
+  return tb.take();
+}
+
+// ---------------------------------------- contract 1: default == x86_32
+
+TEST(ArchDifferential, DefaultEqualsExplicitX86_32OnAttacks) {
+  expect_default_is_x86_32(classic_attack_corpus(301));
+}
+
+TEST(ArchDifferential, DefaultEqualsExplicitX86_32OnBenign) {
+  expect_default_is_x86_32(benign_corpus(302));
+}
+
+TEST(ArchDifferential, DefaultNormalizesToX86_32) {
+  // The normalization is observable: identical config fingerprints, so
+  // the two spellings even share verdict-cache entries.
+  const MatrixPoint p{1, 1, true};
+  NidsEngine implicit = make_engine(nullptr, p);
+  NidsEngine explicit_32 = make_engine(&arch::Arch::x86_32(), p);
+  EXPECT_EQ(implicit.config_fingerprint(), explicit_32.config_fingerprint());
+  EXPECT_EQ(implicit.options().arch, &arch::Arch::x86_32());
+}
+
+// ----------------------------------- contract 2: x86_64 is end-to-end
+
+TEST(ArchDifferential, EveryX64PayloadAlertsUnderProductionConfig) {
+  // Production shape: triage on, verdict cache on, x86_64.
+  // Each corpus payload rides its own flow from a distinct source port,
+  // so "payload i alerted" is decidable from the alert list alone.
+  const auto corpus = gen::ExploitBuilder64::corpus();
+  ASSERT_FALSE(corpus.empty());
+  gen::TraceBuilder tb(303);
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    tb.add_tcp_flow(attacker(i), Endpoint{kServer, 80},
+                    gen::ExploitBuilder64::wrap(corpus[i].code, tb.prng()));
+  }
+  const pcap::Capture capture = tb.take();
+
+  NidsOptions options;
+  options.arch = &arch::Arch::x86_64();
+  options.classifier.analyze_everything = true;
+  options.verdict_cache_bytes = 8u << 20;
+  options.triage.mode = triage::TriageMode::kOn;
+  NidsEngine engine(options);
+  const Report report = engine.process_capture(capture);
+
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    const std::uint16_t port = attacker(i).port;
+    bool alerted = false;
+    for (const Alert& alert : report.alerts) {
+      if (alert.src_port == port) {
+        alerted = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(alerted) << "payload \"" << corpus[i].name
+                         << "\" (src port " << port << ") raised no alert";
+  }
+  // Triage screened every unit and the attacks got through it.
+  EXPECT_EQ(report.stats.triage_screened, report.stats.units_analyzed);
+  EXPECT_GE(report.stats.triage_escalated, corpus.size());
+}
+
+TEST(ArchDifferential, X64EngineQuietOnBenignTraffic) {
+  // FP control: the long-mode decoder must not hallucinate attacks out
+  // of the benign corpus (including the sled-lookalike payloads).
+  NidsOptions options;
+  options.arch = &arch::Arch::x86_64();
+  options.classifier.analyze_everything = true;
+  options.verdict_cache_bytes = 8u << 20;
+  NidsEngine engine(options);
+  const Report report = engine.process_capture(benign_corpus(304));
+  EXPECT_TRUE(report.alerts.empty());
+}
+
+}  // namespace
+}  // namespace senids::core

@@ -13,12 +13,14 @@
 
 #include <vector>
 
+#include "arch/arch.hpp"
 #include "core/senids.hpp"
 #include "gen/benign.hpp"
 #include "gen/codered.hpp"
 #include "gen/mailworm.hpp"
 #include "gen/poly.hpp"
 #include "gen/shellcode.hpp"
+#include "gen/shellcode64.hpp"
 #include "gen/traffic.hpp"
 
 namespace senids::core {
@@ -42,8 +44,10 @@ Endpoint attacker(std::size_t i) {
                   static_cast<std::uint16_t>(30000 + i)};
 }
 
-NidsEngine make_engine(std::size_t cache_bytes, std::size_t threads = 1) {
+NidsEngine make_engine(std::size_t cache_bytes, std::size_t threads = 1,
+                       const arch::Arch* arch = nullptr) {
   NidsOptions options;
+  options.arch = arch;
   options.classifier.analyze_everything = true;
   options.threads = threads;
   options.verdict_cache_bytes = cache_bytes;
@@ -73,9 +77,10 @@ void expect_cache_invariant(const NidsStats& s) {
 
 /// The harness: run `capture` through cache-off and cache-on engines and
 /// require byte-identical reports.
-void expect_cache_transparent(const pcap::Capture& capture, std::size_t threads = 1) {
-  NidsEngine off = make_engine(0, threads);
-  NidsEngine on = make_engine(kCacheBytes, threads);
+void expect_cache_transparent(const pcap::Capture& capture, std::size_t threads = 1,
+                              const arch::Arch* arch = nullptr) {
+  NidsEngine off = make_engine(0, threads, arch);
+  NidsEngine on = make_engine(kCacheBytes, threads, arch);
   const Report r_off = off.process_capture(capture);
   const Report r_on = on.process_capture(capture);
 
@@ -149,6 +154,18 @@ pcap::Capture benign_corpus(std::uint64_t seed) {
   return tb.take();
 }
 
+pcap::Capture x64_corpus(std::uint64_t seed, std::size_t repeats = 1) {
+  gen::TraceBuilder tb(seed);
+  const auto corpus = gen::ExploitBuilder64::corpus();
+  for (std::size_t r = 0; r < repeats; ++r) {
+    for (std::size_t i = 0; i < corpus.size(); ++i) {
+      tb.add_tcp_flow(attacker(r * corpus.size() + i), Endpoint{kServer, 80},
+                      gen::ExploitBuilder64::wrap(corpus[i].code, tb.prng()));
+    }
+  }
+  return tb.take();
+}
+
 pcap::Capture mixed_corpus(std::uint64_t seed) {
   // Everything at once, interleaved: duplicates (Code Red), polymorphic
   // one-offs (ADMmutate/Clet), attachments, and benign noise.
@@ -190,6 +207,35 @@ TEST(CacheDifferential, BenignCorpus) {
 }
 
 TEST(CacheDifferential, MixedCorpusSerial) { expect_cache_transparent(mixed_corpus(106)); }
+
+TEST(CacheDifferential, X64CorpusTransparentAndReplayable) {
+  // The x86-64 attack corpus under the x86_64 engine: cache-on must
+  // remain invisible (serial and 4-worker), and a second pass of one
+  // engine must replay every 64-bit verdict from the cache identically.
+  const pcap::Capture capture = x64_corpus(114);
+  expect_cache_transparent(capture, /*threads=*/1, &arch::Arch::x86_64());
+  expect_cache_transparent(capture, /*threads=*/4, &arch::Arch::x86_64());
+
+  NidsEngine on = make_engine(kCacheBytes, 1, &arch::Arch::x86_64());
+  const Report first = on.process_capture(capture);
+  const Report second = on.process_capture(capture);
+  expect_alerts_equal(first.alerts, second.alerts);
+  EXPECT_FALSE(first.alerts.empty());
+  EXPECT_GT(first.stats.cache_misses, 0u);
+  EXPECT_EQ(second.stats.cache_misses, 0u);
+}
+
+TEST(CacheDifferential, ArchIsPartOfTheCacheKey) {
+  // The same bytes mean different instructions per ISA, so a verdict
+  // computed under one arch must never replay under another: the config
+  // fingerprint (the key prefix) has to differ.
+  NidsEngine e32 = make_engine(kCacheBytes, 1, &arch::Arch::x86_32());
+  NidsEngine e64 = make_engine(kCacheBytes, 1, &arch::Arch::x86_64());
+  NidsEngine edefault = make_engine(kCacheBytes, 1, nullptr);
+  EXPECT_NE(e32.config_fingerprint(), e64.config_fingerprint());
+  // nullptr normalizes to x86_32: identical fingerprint, shared verdicts.
+  EXPECT_EQ(e32.config_fingerprint(), edefault.config_fingerprint());
+}
 
 TEST(CacheDifferential, MixedCorpusParallel) {
   // Four workers sharing one cache: the deterministic alert sort plus

@@ -9,7 +9,7 @@
 #include "gen/emitter.hpp"
 #include "ir/lifter.hpp"
 #include "util/prng.hpp"
-#include "x86/scan.hpp"
+#include "arch/scan.hpp"
 
 namespace senids {
 namespace {
@@ -18,7 +18,7 @@ using gen::Asm;
 using gen::R32;
 using gen::R8;
 using util::Bytes;
-using x86::RegFamily;
+using arch::RegFamily;
 
 /// Generate a random straight-line program from instructions both
 /// implementations model exactly. Registers are seeded with constants
@@ -70,7 +70,7 @@ TEST_P(LifterVsEmulator, ConstantsAgree) {
   ASSERT_EQ(cpu.run(1000), emu::StopReason::kHalted);
 
   // Symbolic execution over the same trace.
-  auto trace = x86::execution_trace(code, 0);
+  auto trace = arch::execution_trace(code, 0);
   auto lifted = ir::lift(trace);
 
   // Final symbolic value per register = last RegWrite event.
@@ -123,7 +123,7 @@ TEST_P(StackDifferential, PushPopAgree) {
   emu::Cpu cpu(mem, emu::kFrameBase);
   ASSERT_EQ(cpu.run(1000), emu::StopReason::kHalted);
 
-  auto trace = x86::execution_trace(code, 0);
+  auto trace = arch::execution_trace(code, 0);
   auto lifted = ir::lift(trace);
   std::array<ir::ExprPtr, 8> final_value{};
   for (const auto& ev : lifted.events) {
@@ -216,7 +216,7 @@ TEST_P(MemoryDifferential, StoreLoadRoundTripsAgree) {
   // The lifter cannot know ebx's initial upper bits, but the final eax is
   // init-ebx dependent... so compare the *stored memory bytes* instead:
   // both engines must agree on what landed in the frame.
-  auto trace = x86::execution_trace(code, 0);
+  auto trace = arch::execution_trace(code, 0);
   auto lifted = ir::lift(trace);
   std::uint32_t lifter_v1 = 0;
   bool found = false;

@@ -72,7 +72,7 @@ RunResult run_code(const Bytes& code, std::size_t max_steps = 10000) {
   Cpu cpu(mem, kFrameBase);
   RunResult r;
   r.stop = cpu.run(max_steps);
-  for (unsigned f = 0; f < 8; ++f) r.regs[f] = cpu.reg(static_cast<x86::RegFamily>(f));
+  for (unsigned f = 0; f < 8; ++f) r.regs[f] = cpu.reg(static_cast<arch::RegFamily>(f));
   r.steps = cpu.steps();
   return r;
 }
@@ -188,7 +188,7 @@ TEST(Cpu, SelfModifyingDecoderDecodes) {
   // The decoded payload's execve stops via the syscall hook.
   bool saw_execve = false;
   auto hook = [&](const SyscallRecord& rec) -> std::optional<std::uint32_t> {
-    if (rec.vector == 0x80 && (rec.reg(x86::RegFamily::kAx) & 0xff) == 0x0b) {
+    if (rec.vector == 0x80 && (rec.reg(arch::RegFamily::kAx) & 0xff) == 0x0b) {
       saw_execve = true;
       return std::nullopt;
     }
@@ -227,7 +227,7 @@ TEST(Cpu, StringOperations) {
   Bytes snap = mem.snapshot_frame();
   EXPECT_EQ(snap[0x50], 'W');
   EXPECT_EQ(snap[0x53], 'Z');
-  EXPECT_EQ(cpu.reg(x86::RegFamily::kCx), 0u);
+  EXPECT_EQ(cpu.reg(arch::RegFamily::kCx), 0u);
 }
 
 TEST(Cpu, StopsOnInvalidInstruction) {
@@ -391,7 +391,7 @@ TEST(FnstenvGetPc, EmulatorResolvesFip) {
   VirtualMemory mem(code);
   Cpu cpu(mem, kFrameBase);
   ASSERT_EQ(cpu.run(100), StopReason::kHalted);
-  EXPECT_EQ(cpu.reg(x86::RegFamily::kAx), kFrameBase);
+  EXPECT_EQ(cpu.reg(arch::RegFamily::kAx), kFrameBase);
 }
 
 TEST(FnstenvGetPc, DecoderRunsAndSpawnsShell) {
@@ -458,8 +458,8 @@ TEST(CpuOps, MovzxMovsx) {
   VirtualMemory mem(code);
   Cpu cpu(mem, kFrameBase);
   ASSERT_EQ(cpu.run(100), StopReason::kHalted);
-  EXPECT_EQ(cpu.reg(x86::RegFamily::kAx), 0x000000F0u);
-  EXPECT_EQ(cpu.reg(x86::RegFamily::kDx), 0xFFFFFFF0u);
+  EXPECT_EQ(cpu.reg(arch::RegFamily::kAx), 0x000000F0u);
+  EXPECT_EQ(cpu.reg(arch::RegFamily::kDx), 0xFFFFFFF0u);
 }
 
 TEST(CpuOps, SetccAndCmov) {
@@ -478,8 +478,8 @@ TEST(CpuOps, SetccAndCmov) {
   VirtualMemory mem(code);
   Cpu cpu(mem, kFrameBase);
   ASSERT_EQ(cpu.run(100), StopReason::kHalted);
-  EXPECT_EQ(cpu.reg(x86::RegFamily::kBx) & 0xff, 1u);
-  EXPECT_EQ(cpu.reg(x86::RegFamily::kCx), 99u);
+  EXPECT_EQ(cpu.reg(arch::RegFamily::kBx) & 0xff, 1u);
+  EXPECT_EQ(cpu.reg(arch::RegFamily::kCx), 99u);
 }
 
 TEST(CpuOps, BitScanAndBswap) {
@@ -499,9 +499,9 @@ TEST(CpuOps, BitScanAndBswap) {
   VirtualMemory mem(code);
   Cpu cpu(mem, kFrameBase);
   ASSERT_EQ(cpu.run(100), StopReason::kHalted);
-  EXPECT_EQ(cpu.reg(x86::RegFamily::kAx), 16u);
-  EXPECT_EQ(cpu.reg(x86::RegFamily::kDx), 16u);
-  EXPECT_EQ(cpu.reg(x86::RegFamily::kSi), 0x44332211u);
+  EXPECT_EQ(cpu.reg(arch::RegFamily::kAx), 16u);
+  EXPECT_EQ(cpu.reg(arch::RegFamily::kDx), 16u);
+  EXPECT_EQ(cpu.reg(arch::RegFamily::kSi), 0x44332211u);
 }
 
 TEST(CpuOps, MulDivRoundTrip) {
@@ -517,8 +517,8 @@ TEST(CpuOps, MulDivRoundTrip) {
   VirtualMemory mem(code);
   Cpu cpu(mem, kFrameBase);
   ASSERT_EQ(cpu.run(100), StopReason::kHalted);
-  EXPECT_EQ(cpu.reg(x86::RegFamily::kAx), 1000000u);
-  EXPECT_EQ(cpu.reg(x86::RegFamily::kDx), 0u);
+  EXPECT_EQ(cpu.reg(arch::RegFamily::kAx), 1000000u);
+  EXPECT_EQ(cpu.reg(arch::RegFamily::kDx), 0u);
 }
 
 TEST(CpuOps, XlatTranslatesThroughTable) {
@@ -533,7 +533,7 @@ TEST(CpuOps, XlatTranslatesThroughTable) {
   VirtualMemory mem(code);
   Cpu cpu(mem, kFrameBase);
   ASSERT_EQ(cpu.run(100), StopReason::kHalted);
-  EXPECT_EQ(cpu.reg(x86::RegFamily::kAx) & 0xff, 0x7Eu);
+  EXPECT_EQ(cpu.reg(arch::RegFamily::kAx) & 0xff, 0x7Eu);
 }
 
 }  // namespace

@@ -310,7 +310,7 @@ TEST(Engine, IrVerifierCleanOverDemoTrace) {
   std::mutex mu;
   std::string first_report;
   NidsOptions options;
-  options.analyzer.post_lift_hook = [&](const std::vector<x86::Instruction>& trace,
+  options.analyzer.post_lift_hook = [&](const std::vector<arch::Instruction>& trace,
                                         const ir::LiftResult& lifted) {
     ++lifts;
     verify::Report r = verify::verify_ir(trace, lifted);

@@ -7,8 +7,8 @@
 #include "gen/shellcode.hpp"
 #include "gen/traffic.hpp"
 #include "net/packet.hpp"
-#include "x86/decoder.hpp"
-#include "x86/format.hpp"
+#include "arch/decoder.hpp"
+#include "arch/format.hpp"
 
 namespace senids::gen {
 namespace {
@@ -16,8 +16,8 @@ namespace {
 using util::Bytes;
 
 std::string disasm_one(const Bytes& code) {
-  auto insn = x86::decode(code, 0);
-  return insn.valid() ? x86::format(insn) : "(bad)";
+  auto insn = arch::decode(code, 0);
+  return insn.valid() ? arch::format(insn) : "(bad)";
 }
 
 // ---------------------------------------------------------------- emitter
@@ -73,11 +73,11 @@ TEST_P(EmitterAluRoundTrip, DecodesBack) {
   a.alu_r32_r32(static_cast<std::uint8_t>(family), static_cast<R32>(dst),
                 static_cast<R32>(src));
   Bytes code = a.finish();
-  auto insn = x86::decode(code, 0);
+  auto insn = arch::decode(code, 0);
   ASSERT_TRUE(insn.valid());
-  EXPECT_EQ(x86::mnemonic_name(insn.mnemonic), kNames[family]);
-  EXPECT_EQ(insn.ops[0].reg, x86::reg32(static_cast<unsigned>(dst)));
-  EXPECT_EQ(insn.ops[1].reg, x86::reg32(static_cast<unsigned>(src)));
+  EXPECT_EQ(arch::mnemonic_name(insn.mnemonic), kNames[family]);
+  EXPECT_EQ(insn.ops[0].reg, arch::reg32(static_cast<unsigned>(dst)));
+  EXPECT_EQ(insn.ops[1].reg, arch::reg32(static_cast<unsigned>(src)));
 }
 
 INSTANTIATE_TEST_SUITE_P(AllForms, EmitterAluRoundTrip,
@@ -97,9 +97,9 @@ TEST(Emitter, LabelsResolveForwardAndBackward) {
   a.ret();
   Bytes code = a.finish();
   // jmp at 1 targets ret; loop at 3 targets 0.
-  auto jmp = x86::decode(code, 1);
+  auto jmp = arch::decode(code, 1);
   ASSERT_TRUE(jmp.valid());
-  auto loop = x86::decode(code, 3);
+  auto loop = arch::decode(code, 3);
   ASSERT_TRUE(loop.valid());
   EXPECT_EQ(*loop.branch_target(), 0u);
   EXPECT_EQ(*jmp.branch_target(), 5u);
@@ -138,7 +138,7 @@ TEST(Emitter, WholeShellcodeDecodesLinearly) {
   // Every instruction of every corpus sample must decode (the emitter and
   // the decoder agree end to end until the embedded data region).
   for (const auto& sample : make_shell_spawn_corpus()) {
-    auto insns = x86::linear_sweep(sample.code);
+    auto insns = arch::linear_sweep(sample.code);
     EXPECT_GE(insns.size(), 8u) << sample.name;
   }
 }
@@ -267,7 +267,7 @@ TEST(Poly, KeyNeverZero) {
 TEST(Poly, SledBytesAreNopLike) {
   util::Prng prng(8);
   Bytes sled = make_nop_sled(prng, 64);
-  auto insns = x86::linear_sweep(sled);
+  auto insns = arch::linear_sweep(sled);
   EXPECT_EQ(insns.size(), 64u);  // every sled byte is a 1-byte instruction
 }
 

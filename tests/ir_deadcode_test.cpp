@@ -3,7 +3,7 @@
 #include "gen/emitter.hpp"
 #include "gen/poly.hpp"
 #include "ir/deadcode.hpp"
-#include "x86/scan.hpp"
+#include "arch/scan.hpp"
 
 namespace senids::ir {
 namespace {
@@ -12,8 +12,8 @@ using gen::Asm;
 using gen::R32;
 using util::Bytes;
 
-DeadCodeResult analyze(const Bytes& code, x86::RegSet exit_live = {}) {
-  auto trace = x86::execution_trace(code, 0);
+DeadCodeResult analyze(const Bytes& code, arch::RegSet exit_live = {}) {
+  auto trace = arch::execution_trace(code, 0);
   return find_dead_code(trace, exit_live);
 }
 
@@ -73,7 +73,7 @@ TEST(DeadCode, ExitLivenessKeepsFinalDefs) {
   a.mov_r32_imm32(R32::eax, 7);  // live only if the caller says eax matters
   Bytes code = a.finish();
   EXPECT_TRUE(analyze(code).dead[0]);
-  EXPECT_FALSE(analyze(code, x86::RegSet::all()).dead[0]);
+  EXPECT_FALSE(analyze(code, arch::RegSet::all()).dead[0]);
 }
 
 TEST(DeadCode, FlagsKilledByLaterDef) {
@@ -97,13 +97,13 @@ TEST(DeadCode, FindsInjectedJunkInPolymorphicDecoder) {
   gen::PolyOptions opts;
   opts.junk_prob = 0.9;
   auto poly = gen::admmutate_encode(util::to_bytes("PAYLOADBYTES"), prng, opts);
-  auto trace = x86::execution_trace(poly.bytes, 0);
+  auto trace = arch::execution_trace(poly.bytes, 0);
   auto r = find_dead_code(trace);
   EXPECT_GT(r.dead_count, 0u);
   // The decoder's own instructions must not be flagged: the memory store
   // is observable by definition; check it explicitly.
   for (std::size_t i = 0; i < trace.size(); ++i) {
-    const auto du = x86::def_use(trace[i]);
+    const auto du = arch::def_use(trace[i]);
     if (du.mem_write || du.side_effect) EXPECT_FALSE(r.dead[i]) << i;
   }
 }
@@ -117,9 +117,9 @@ TEST(DeadCode, BswapDoesNotKillFlagProducer) {
       0x0F, 0xC9,        // bswap ecx      (must NOT clobber flags)
       0x75, 0xFA,        // jne -6         (flag consumer)
   };
-  auto trace = x86::linear_sweep(kCode, 0);
+  auto trace = arch::linear_sweep(kCode, 0);
   ASSERT_EQ(trace.size(), 3u);
-  const auto du = x86::def_use(trace[1]);
+  const auto du = arch::def_use(trace[1]);
   EXPECT_FALSE(du.flags_def);
   auto r = find_dead_code(trace);
   EXPECT_FALSE(r.dead[0]);
@@ -132,9 +132,9 @@ TEST(DeadCode, IntoReadsFlags) {
       0x01, 0xD8,  // add eax, ebx (sets OF)
       0xCE,        // into
   };
-  auto trace = x86::linear_sweep(kCode, 0);
+  auto trace = arch::linear_sweep(kCode, 0);
   ASSERT_EQ(trace.size(), 2u);
-  const auto du = x86::def_use(trace[1]);
+  const auto du = arch::def_use(trace[1]);
   EXPECT_TRUE(du.flags_use);
   EXPECT_TRUE(du.side_effect);
 }
@@ -146,7 +146,7 @@ TEST(DeadCode, RepStringReadsAndWritesCounter) {
       0xB9, 0x10, 0x00, 0x00, 0x00,  // mov ecx, 16
       0xF3, 0xA5,                    // rep movsd
   };
-  auto trace = x86::linear_sweep(kCode, 0);
+  auto trace = arch::linear_sweep(kCode, 0);
   ASSERT_EQ(trace.size(), 2u);
   auto r = find_dead_code(trace);
   EXPECT_FALSE(r.dead[0]);

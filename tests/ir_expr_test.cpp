@@ -6,7 +6,7 @@
 namespace senids::ir {
 namespace {
 
-using x86::RegFamily;
+using arch::RegFamily;
 
 TEST(Expr, ConstFolding) {
   auto e = mk_bin(BinOp::kAdd, mk_const(0x31), mk_const(0x64));
@@ -289,7 +289,7 @@ TEST_P(SimplifyProperty, MixedTreesPreserveSemantics) {
     ExprPtr conc;
   };
   std::vector<Pair> pool;
-  pool.push_back({mk_init(x86::RegFamily::kAx), mk_const(x_value)});
+  pool.push_back({mk_init(arch::RegFamily::kAx), mk_const(x_value)});
   for (int i = 0; i < 3; ++i) {
     const std::uint32_t v = static_cast<std::uint32_t>(prng.next());
     pool.push_back({mk_const(v), mk_const(v)});

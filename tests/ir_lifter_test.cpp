@@ -2,7 +2,7 @@
 
 #include "gen/emitter.hpp"
 #include "ir/lifter.hpp"
-#include "x86/scan.hpp"
+#include "arch/scan.hpp"
 
 namespace senids::ir {
 namespace {
@@ -11,10 +11,10 @@ using gen::Asm;
 using gen::R32;
 using gen::R8;
 using util::Bytes;
-using x86::RegFamily;
+using arch::RegFamily;
 
 LiftResult lift_code(const Bytes& code, std::size_t entry = 0) {
-  return lift(x86::execution_trace(code, entry));
+  return lift(arch::execution_trace(code, entry));
 }
 
 const Event* find_mem_write(const LiftResult& r, std::size_t nth = 0) {
@@ -348,7 +348,7 @@ namespace {
 using gen::Asm;
 using gen::R32;
 using util::Bytes;
-using x86::RegFamily;
+using arch::RegFamily;
 
 TEST(LifterMore, PushaPopaRoundTripRegisters) {
   Asm a;
@@ -357,7 +357,7 @@ TEST(LifterMore, PushaPopaRoundTripRegisters) {
   a.mov_r32_imm32(R32::ebx, 0x99);
   a.raw8(0x61);  // popa: ebx restored
   a.mov_r32_r32(R32::edx, R32::ebx);
-  auto r = lift(x86::execution_trace(a.finish(), 0));
+  auto r = lift(arch::execution_trace(a.finish(), 0));
   std::uint32_t v = 0;
   ASSERT_FALSE(r.events.empty());
   ASSERT_TRUE(is_const(r.events.back().value, &v));
@@ -372,7 +372,7 @@ TEST(LifterMore, LeaveRestoresFrame) {
   a.sub_r32_imm(R32::esp, 8);
   a.raw8(0xC9);                       // leave: esp = ebp; pop ebp
   a.mov_r32_r32(R32::eax, R32::ebp);  // eax = restored 0x1000
-  auto r = lift(x86::execution_trace(a.finish(), 0));
+  auto r = lift(arch::execution_trace(a.finish(), 0));
   std::uint32_t v = 0;
   ASSERT_TRUE(is_const(r.events.back().value, &v));
   EXPECT_EQ(v, 0x1000u);
@@ -385,7 +385,7 @@ TEST(LifterMore, MoffsStoreProducesAbsoluteAddress) {
   a.raw8(0x33);
   a.raw8(0x22);
   a.raw8(0x11);
-  auto r = lift(x86::execution_trace(a.finish(), 0));
+  auto r = lift(arch::execution_trace(a.finish(), 0));
   const Event* store = nullptr;
   for (const auto& ev : r.events) {
     if (ev.kind == EventKind::kMemWrite) store = &ev;
@@ -402,7 +402,7 @@ TEST(LifterMore, XchgWithMemory) {
   a.mov_r32_imm32(R32::ebx, 7);
   a.raw8(0x87);  // xchg [eax], ebx
   a.raw8(0x18);
-  auto r = lift(x86::execution_trace(a.finish(), 0));
+  auto r = lift(arch::execution_trace(a.finish(), 0));
   // One store of the old ebx (7) at [eax]; ebx now holds the load.
   bool store_of_7 = false;
   for (const auto& ev : r.events) {
@@ -420,7 +420,7 @@ TEST(LifterMore, EnterEmitsFramePush) {
   a.raw8(0x10);
   a.raw8(0x00);
   a.raw8(0x00);
-  auto r = lift(x86::execution_trace(a.finish(), 0));
+  auto r = lift(arch::execution_trace(a.finish(), 0));
   bool pushed_ebp = false;
   for (const auto& ev : r.events) {
     if (ev.kind == EventKind::kMemWrite && ir::to_string(ev.value) == "init(ebp)") {

@@ -8,7 +8,7 @@
 #include "gen/emitter.hpp"
 #include "ir/lifter.hpp"
 #include "semantic/library.hpp"
-#include "x86/scan.hpp"
+#include "arch/scan.hpp"
 
 namespace senids::semantic {
 namespace {
@@ -20,7 +20,7 @@ using util::Bytes;
 
 std::optional<MatchResult> run_match(const Template& t, const Bytes& code,
                                      std::size_t entry = 0) {
-  auto trace = x86::execution_trace(code, entry);
+  auto trace = arch::execution_trace(code, entry);
   auto lifted = ir::lift(trace);
   LiftedCode lc{&trace, &lifted.events, code};
   return match_template(t, lc);

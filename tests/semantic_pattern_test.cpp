@@ -13,7 +13,7 @@ using ir::mk_load;
 using ir::mk_un;
 using ir::mk_unknown;
 using ir::UnOp;
-using x86::RegFamily;
+using arch::RegFamily;
 
 TEST(Pattern, AnyMatchesEverythingAndBinds) {
   Env env;

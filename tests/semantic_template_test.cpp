@@ -6,7 +6,7 @@
 #include "ir/lifter.hpp"
 #include "semantic/library.hpp"
 #include "semantic/template.hpp"
-#include "x86/scan.hpp"
+#include "arch/scan.hpp"
 
 namespace senids::semantic {
 namespace {
@@ -19,7 +19,7 @@ using util::Bytes;
 /// Trace, lift, and match one template against a code buffer.
 std::optional<MatchResult> run_match(const Template& t, const Bytes& code,
                                      std::size_t entry = 0) {
-  auto trace = x86::execution_trace(code, entry);
+  auto trace = arch::execution_trace(code, entry);
   auto lifted = ir::lift(trace);
   LiftedCode lc{&trace, &lifted.events, code};
   return match_template(t, lc);
@@ -399,9 +399,11 @@ TEST(Template, ReverseShellTemplate) {
 }
 
 TEST(Template, StandardLibraryContents) {
+  // 8 classic 32-bit templates + 4 x86_64 variants (stack/embedded
+  // shell-spawn, port-bind, reverse shell).
   auto lib = make_standard_library();
-  EXPECT_EQ(lib.size(), 8u);
-  EXPECT_EQ(make_extended_library().size(), 9u);
+  EXPECT_EQ(lib.size(), 12u);
+  EXPECT_EQ(make_extended_library().size(), 13u);
   auto xor_only = make_xor_only_library();
   EXPECT_EQ(xor_only.size(), 1u);
   EXPECT_EQ(xor_only[0].name, "xor-decrypt-loop");
@@ -418,7 +420,7 @@ TEST(Template, FnstenvDecoderMatchesStatically) {
   // the xor template sees the same derived-constant pointer walk as the
   // call/pop form.
   auto payload = gen::make_fnstenv_decoder_payload(0x7e);
-  auto trace = x86::execution_trace(payload, 0);
+  auto trace = arch::execution_trace(payload, 0);
   auto lifted = ir::lift(trace);
   LiftedCode lc{&trace, &lifted.events, payload};
   EXPECT_TRUE(match_template(tmpl_xor_decrypt_loop(), lc).has_value());
@@ -432,7 +434,7 @@ namespace {
 
 TEST(Template, FormatMatchExplainsStatements) {
   auto code = figure_1a();
-  auto trace = x86::execution_trace(code, 0);
+  auto trace = arch::execution_trace(code, 0);
   auto lifted = ir::lift(trace);
   LiftedCode lc{&trace, &lifted.events, code};
   const Template t = tmpl_xor_decrypt_loop();

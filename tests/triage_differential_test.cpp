@@ -10,12 +10,14 @@
 
 #include <vector>
 
+#include "arch/arch.hpp"
 #include "core/senids.hpp"
 #include "gen/benign.hpp"
 #include "gen/codered.hpp"
 #include "gen/mailworm.hpp"
 #include "gen/poly.hpp"
 #include "gen/shellcode.hpp"
+#include "gen/shellcode64.hpp"
 #include "gen/traffic.hpp"
 
 namespace senids::core {
@@ -50,8 +52,10 @@ constexpr MatrixPoint kMatrix[] = {
     {4, 1, false}, {4, 1, true}, {4, 4, false}, {4, 4, true},
 };
 
-NidsEngine make_engine(triage::TriageMode mode, const MatrixPoint& p) {
+NidsEngine make_engine(triage::TriageMode mode, const MatrixPoint& p,
+                       const arch::Arch* arch = nullptr) {
   NidsOptions options;
+  options.arch = arch;
   options.classifier.analyze_everything = true;
   options.threads = p.threads;
   options.shards = p.shards;
@@ -80,10 +84,11 @@ void expect_alerts_equal(const std::vector<Alert>& a, const std::vector<Alert>& 
 /// The harness: for every matrix point, a triage-on engine and a
 /// triage-off engine must produce identical sorted alert lists and
 /// identical per-threat detections over `capture`.
-void expect_triage_lossless(const pcap::Capture& capture) {
+void expect_triage_lossless(const pcap::Capture& capture,
+                            const arch::Arch* arch = nullptr) {
   for (const MatrixPoint& p : kMatrix) {
-    NidsEngine off = make_engine(triage::TriageMode::kOff, p);
-    NidsEngine on = make_engine(triage::TriageMode::kOn, p);
+    NidsEngine off = make_engine(triage::TriageMode::kOff, p, arch);
+    NidsEngine on = make_engine(triage::TriageMode::kOn, p, arch);
     const Report r_off = off.process_capture(capture);
     const Report r_on = on.process_capture(capture);
 
@@ -169,6 +174,16 @@ pcap::Capture benign_corpus(std::uint64_t seed) {
   return tb.take();
 }
 
+pcap::Capture x64_corpus(std::uint64_t seed) {
+  gen::TraceBuilder tb(seed);
+  const auto corpus = gen::ExploitBuilder64::corpus();
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    tb.add_tcp_flow(attacker(i), Endpoint{kServer, 80},
+                    gen::ExploitBuilder64::wrap(corpus[i].code, tb.prng()));
+  }
+  return tb.take();
+}
+
 pcap::Capture mixed_corpus(std::uint64_t seed) {
   gen::TraceBuilder tb(seed);
   const auto corpus = gen::make_shell_spawn_corpus();
@@ -211,6 +226,19 @@ TEST(TriageDifferential, BenignCorpus) {
 }
 
 TEST(TriageDifferential, MixedCorpus) { expect_triage_lossless(mixed_corpus(206)); }
+
+TEST(TriageDifferential, X64Corpus) {
+  // The x86-64 attack corpus under the x86_64 engine: triage must stay
+  // lossless across the whole matrix, and the escalation path must
+  // actually carry the attacks (every wrapped payload alerts).
+  const pcap::Capture capture = x64_corpus(209);
+  expect_triage_lossless(capture, &arch::Arch::x86_64());
+  NidsEngine on =
+      make_engine(triage::TriageMode::kOn, {1, 1, true}, &arch::Arch::x86_64());
+  const Report r = on.process_capture(capture);
+  EXPECT_EQ(r.stats.triage_escalated, gen::ExploitBuilder64::corpus().size());
+  EXPECT_FALSE(r.alerts.empty());
+}
 
 TEST(TriageDifferential, ForceEscalateMatchesOffExactly) {
   // kForceEscalate screens every unit but rejects none: it must be

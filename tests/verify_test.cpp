@@ -19,8 +19,8 @@
 #include "verify/ir_verify.hpp"
 #include "verify/lint.hpp"
 #include "verify/table_check.hpp"
-#include "x86/decoder.hpp"
-#include "x86/scan.hpp"
+#include "arch/decoder.hpp"
+#include "arch/scan.hpp"
 
 namespace senids {
 namespace {
@@ -39,13 +39,13 @@ using semantic::Template;
 // ------------------------------------------------------------- positives
 
 void expect_clean_ir(util::ByteView code, const std::string& label) {
-  auto runs = x86::find_code_runs(code, 4);
+  auto runs = arch::find_code_runs(code, 4);
   // Verify from the frame start and from every candidate run: the same
   // entries the analyzer would lift.
   std::vector<std::size_t> entries{0};
   for (const auto& run : runs) entries.push_back(run.start);
   for (std::size_t entry : entries) {
-    auto trace = x86::execution_trace(code, entry, 4096);
+    auto trace = arch::execution_trace(code, entry, 4096);
     if (trace.empty()) continue;
     ir::LiftResult lifted = ir::lift(trace);
     verify::Report r = verify::verify_ir(trace, lifted);
@@ -106,9 +106,9 @@ TEST(TableCheck, DecoderAndDefUseTablesConsistent) {
 // ---------------------------------------------------- malformed IR cases
 
 /// mov eax, ebx ; inc eax — two instructions, two reg-write events.
-std::vector<x86::Instruction> tiny_trace() {
+std::vector<arch::Instruction> tiny_trace() {
   static const std::uint8_t kCode[] = {0x89, 0xD8, 0x40};
-  auto trace = x86::linear_sweep(kCode, 0);
+  auto trace = arch::linear_sweep(kCode, 0);
   EXPECT_EQ(trace.size(), 2u);
   return trace;
 }
@@ -183,7 +183,7 @@ TEST(IrVerify, FlagsBinaryNodeMissingOperand) {
   ev.kind = ir::EventKind::kRegWrite;
   ev.insn_index = 0;
   ev.insn_offset = 0;
-  ev.reg = x86::RegFamily::kAx;
+  ev.reg = arch::RegFamily::kAx;
   ev.value = broken;
   lifted.events.push_back(ev);
   verify::Report r = verify::verify_ir(trace, lifted);
@@ -203,7 +203,7 @@ TEST(IrVerify, FlagsStaleCachedHash) {
   ev.kind = ir::EventKind::kRegWrite;
   ev.insn_index = 0;
   ev.insn_offset = 0;
-  ev.reg = x86::RegFamily::kAx;
+  ev.reg = arch::RegFamily::kAx;
   ev.value = node;
   lifted.events.push_back(ev);
   verify::Report r = verify::verify_ir(trace, lifted);
@@ -218,7 +218,7 @@ TEST(IrVerify, FlagsLoadFromFutureGeneration) {
   ev.kind = ir::EventKind::kRegWrite;
   ev.insn_index = 0;
   ev.insn_offset = 0;
-  ev.reg = x86::RegFamily::kAx;
+  ev.reg = arch::RegFamily::kAx;
   ev.value = ir::mk_load(ir::mk_const(0x1000), 8, /*generation=*/5);
   lifted.events.push_back(ev);
   verify::Report r = verify::verify_ir(trace, lifted);
@@ -274,7 +274,7 @@ TEST(Lint, FlagsImpossibleStoreWidth) {
   t.stmts.push_back(st_mem_write(p_any(), p_any(), /*width_bits=*/24));
   verify::Report r = verify::lint_templates({t});
   EXPECT_FALSE(r.ok());
-  EXPECT_TRUE(r.mentions("no decodable instruction produces a 24-bit store"))
+  EXPECT_TRUE(r.mentions("no decodable x86_32 instruction produces a 24-bit store"))
       << r.str();
 }
 
@@ -355,10 +355,10 @@ TEST(Lint, FlagsUnsatisfiableDecodeParsedFromDsl) {
 TEST(TableCheck, FlagsDefUseEntryWithoutOperand) {
   // mov eax, ebx — but the summary claims to read esi.
   const std::uint8_t kMov[] = {0x89, 0xD8};
-  const x86::Instruction insn = x86::decode(kMov, 0);
+  const arch::Instruction insn = arch::decode(kMov, 0);
   ASSERT_TRUE(insn.valid());
-  x86::DefUse du = x86::def_use(insn);
-  du.uses.add_family(x86::RegFamily::kSi);
+  arch::DefUse du = arch::def_use(insn);
+  du.uses.add_family(arch::RegFamily::kSi);
   verify::Report r = verify::check_defuse(insn, du);
   EXPECT_FALSE(r.ok());
   EXPECT_TRUE(r.mentions("no decoded operand or implicit register")) << r.str();
@@ -366,9 +366,9 @@ TEST(TableCheck, FlagsDefUseEntryWithoutOperand) {
 
 TEST(TableCheck, FlagsOperandMissingFromSummary) {
   const std::uint8_t kMov[] = {0x89, 0xD8};
-  const x86::Instruction insn = x86::decode(kMov, 0);
+  const arch::Instruction insn = arch::decode(kMov, 0);
   ASSERT_TRUE(insn.valid());
-  x86::DefUse du;  // empty summary: both operands unreferenced
+  arch::DefUse du;  // empty summary: both operands unreferenced
   verify::Report r = verify::check_defuse(insn, du);
   EXPECT_FALSE(r.ok());
   EXPECT_TRUE(r.mentions("not referenced by the def/use summary")) << r.str();
@@ -376,8 +376,8 @@ TEST(TableCheck, FlagsOperandMissingFromSummary) {
 
 TEST(TableCheck, FlagsPhantomMemoryAccess) {
   const std::uint8_t kMov[] = {0x89, 0xD8};
-  const x86::Instruction insn = x86::decode(kMov, 0);
-  x86::DefUse du = x86::def_use(insn);
+  const arch::Instruction insn = arch::decode(kMov, 0);
+  arch::DefUse du = arch::def_use(insn);
   du.mem_read = true;  // no memory operand, no implicit memory
   verify::Report r = verify::check_defuse(insn, du);
   EXPECT_FALSE(r.ok());
@@ -386,8 +386,8 @@ TEST(TableCheck, FlagsPhantomMemoryAccess) {
 
 TEST(TableCheck, FlagsPhantomFlagKill) {
   const std::uint8_t kMov[] = {0x89, 0xD8};
-  const x86::Instruction insn = x86::decode(kMov, 0);
-  x86::DefUse du = x86::def_use(insn);
+  const arch::Instruction insn = arch::decode(kMov, 0);
+  arch::DefUse du = arch::def_use(insn);
   du.flags_def = true;  // mov never writes flags
   verify::Report r = verify::check_defuse(insn, du);
   EXPECT_FALSE(r.ok());
@@ -397,16 +397,16 @@ TEST(TableCheck, FlagsPhantomFlagKill) {
 TEST(TableCheck, FlagsRepStringWithoutCounter) {
   // rep movsd with a summary lacking the ecx counter.
   const std::uint8_t kRepMovs[] = {0xF3, 0xA5};
-  const x86::Instruction insn = x86::decode(kRepMovs, 0);
+  const arch::Instruction insn = arch::decode(kRepMovs, 0);
   ASSERT_TRUE(insn.valid());
   ASSERT_TRUE(insn.prefixes.rep);
-  x86::DefUse du = x86::def_use(insn);
+  arch::DefUse du = arch::def_use(insn);
   EXPECT_TRUE(verify::check_defuse(insn, du).ok());  // fixed summary is clean
-  x86::DefUse broken;
-  broken.uses.add_family(x86::RegFamily::kSi);
-  broken.uses.add_family(x86::RegFamily::kDi);
-  broken.defs.add_family(x86::RegFamily::kSi);
-  broken.defs.add_family(x86::RegFamily::kDi);
+  arch::DefUse broken;
+  broken.uses.add_family(arch::RegFamily::kSi);
+  broken.uses.add_family(arch::RegFamily::kDi);
+  broken.defs.add_family(arch::RegFamily::kSi);
+  broken.defs.add_family(arch::RegFamily::kDi);
   broken.mem_read = true;
   broken.mem_write = true;
   verify::Report r = verify::check_defuse(insn, broken);
@@ -420,11 +420,11 @@ TEST(TableCheck, RepStringOpsCountEcx) {
   // Regression for the def/use bug the cross-check surfaced: rep string
   // forms must read and write ecx.
   const std::uint8_t kRepStos[] = {0xF3, 0xAA};
-  const x86::Instruction insn = x86::decode(kRepStos, 0);
+  const arch::Instruction insn = arch::decode(kRepStos, 0);
   ASSERT_TRUE(insn.valid());
-  const x86::DefUse du = x86::def_use(insn);
-  EXPECT_TRUE(du.uses.contains_family(x86::RegFamily::kCx));
-  EXPECT_TRUE(du.defs.contains_family(x86::RegFamily::kCx));
+  const arch::DefUse du = arch::def_use(insn);
+  EXPECT_TRUE(du.uses.contains_family(arch::RegFamily::kCx));
+  EXPECT_TRUE(du.defs.contains_family(arch::RegFamily::kCx));
 }
 
 }  // namespace

@@ -3,11 +3,11 @@
 #include <gtest/gtest.h>
 
 #include "util/prng.hpp"
-#include "x86/decoder.hpp"
-#include "x86/defuse.hpp"
-#include "x86/format.hpp"
+#include "arch/decoder.hpp"
+#include "arch/defuse.hpp"
+#include "arch/format.hpp"
 
-namespace senids::x86 {
+namespace senids::arch {
 namespace {
 
 using util::Bytes;
@@ -97,9 +97,9 @@ TEST(DecoderConsistency, LinearSweepTilesBuffer) {
 }
 
 }  // namespace
-}  // namespace senids::x86
+}  // namespace senids::arch
 
-namespace senids::x86 {
+namespace senids::arch {
 namespace {
 
 /// Two-byte (0F xx) opcode sweep with the same invariants.
@@ -150,4 +150,4 @@ TEST_P(PrefixSweep, PrefixCombinationsAreSafe) {
 INSTANTIATE_TEST_SUITE_P(All, PrefixSweep, ::testing::Range(0, 64));
 
 }  // namespace
-}  // namespace senids::x86
+}  // namespace senids::arch

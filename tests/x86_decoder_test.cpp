@@ -1,11 +1,11 @@
 #include <gtest/gtest.h>
 
 #include "util/bytes.hpp"
-#include "x86/decoder.hpp"
-#include "x86/defuse.hpp"
-#include "x86/format.hpp"
+#include "arch/decoder.hpp"
+#include "arch/defuse.hpp"
+#include "arch/format.hpp"
 
-namespace senids::x86 {
+namespace senids::arch {
 namespace {
 
 using util::Bytes;
@@ -438,4 +438,4 @@ TEST(RegSet, Operations) {
 }
 
 }  // namespace
-}  // namespace senids::x86
+}  // namespace senids::arch

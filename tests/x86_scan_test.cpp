@@ -3,9 +3,9 @@
 #include "gen/emitter.hpp"
 #include "gen/poly.hpp"
 #include "util/prng.hpp"
-#include "x86/scan.hpp"
+#include "arch/scan.hpp"
 
-namespace senids::x86 {
+namespace senids::arch {
 namespace {
 
 using gen::Asm;
@@ -222,4 +222,4 @@ TEST(ExecutionTrace, ConditionalBranchFallsThrough) {
 }
 
 }  // namespace
-}  // namespace senids::x86
+}  // namespace senids::arch

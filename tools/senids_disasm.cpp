@@ -20,8 +20,8 @@
 #include "semantic/analyzer.hpp"
 #include "semantic/library.hpp"
 #include "util/hexdump.hpp"
-#include "x86/format.hpp"
-#include "x86/scan.hpp"
+#include "arch/format.hpp"
+#include "arch/scan.hpp"
 
 using namespace senids;
 
@@ -89,7 +89,7 @@ int main(int argc, char** argv) {
 
   // Pick the entry: explicit, or the longest candidate run.
   if (entry == SIZE_MAX) {
-    auto runs = x86::find_code_runs(code, 1);
+    auto runs = arch::find_code_runs(code, 1);
     entry = 0;
     std::size_t best = 0;
     for (const auto& run : runs) {
@@ -100,14 +100,14 @@ int main(int argc, char** argv) {
     }
   }
 
-  auto trace = x86::execution_trace(code, entry);
+  auto trace = arch::execution_trace(code, entry);
   std::printf("; %zu bytes, entry +0x%zx, %zu instructions in execution order\n",
               code.size(), entry, trace.size());
 
   ir::DeadCodeResult dead;
   if (junk) dead = ir::find_dead_code(trace);
   for (std::size_t i = 0; i < trace.size(); ++i) {
-    std::printf("%08zx:  %-40s%s\n", trace[i].offset, x86::format(trace[i]).c_str(),
+    std::printf("%08zx:  %-40s%s\n", trace[i].offset, arch::format(trace[i]).c_str(),
                 junk && dead.dead[i] ? " ; junk" : "");
   }
 
@@ -123,7 +123,7 @@ int main(int argc, char** argv) {
           break;
         case ir::EventKind::kRegWrite:
           std::printf("  @%04zx  %s := %s\n", ev.insn_offset,
-                      x86::Reg{ev.reg, x86::RegWidth::k32}.name().data(),
+                      arch::Reg{ev.reg, arch::RegWidth::k32}.name().data(),
                       ir::to_string(ev.value).c_str());
           break;
         case ir::EventKind::kBranch:
@@ -152,7 +152,7 @@ int main(int argc, char** argv) {
                   std::string(semantic::threat_class_name(d.threat)).c_str(),
                   d.entry_offset);
       // Re-run the match at the detected entry to show the explanation.
-      auto mtrace = x86::execution_trace(code, d.entry_offset);
+      auto mtrace = arch::execution_trace(code, d.entry_offset);
       auto mlift = ir::lift(mtrace);
       semantic::LiftedCode lc{&mtrace, &mlift.events, code};
       for (const auto& t : analyzer.templates()) {

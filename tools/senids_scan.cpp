@@ -6,6 +6,8 @@
 //     --honeypot <ip>         register a decoy address (repeatable)
 //     --dark <a.b.c.d/nn>     register unused address space (repeatable)
 //     --dark-threshold <n>    scan count before a source is tainted (default 5)
+//     --arch <name>           instruction set for analysis/emulation:
+//                             x86_32 (default) or x86_64
 //     --analyze-all           disable classification (analyze every payload)
 //     --templates <file>      add templates from a DSL file
 //     --extended              use the extended template library
@@ -49,6 +51,7 @@
 #include <thread>
 #include <vector>
 
+#include "arch/arch.hpp"
 #include "core/senids.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
@@ -61,6 +64,7 @@ using namespace senids;
 namespace {
 
 struct CliOptions {
+  const arch::Arch* arch = nullptr;  // nullptr = x86_32
   std::vector<net::Ipv4Addr> honeypots;
   std::vector<classify::Prefix> dark;
   std::size_t dark_threshold = 5;
@@ -94,6 +98,7 @@ void usage(const char* argv0) {
                "  --honeypot <ip>       register a decoy address (repeatable)\n"
                "  --dark <a.b.c.d/nn>   register unused address space (repeatable)\n"
                "  --dark-threshold <n>  scans before a source is tainted (default 5)\n"
+               "  --arch <name>         analysis ISA: x86_32 (default) | x86_64\n"
                "  --analyze-all         disable classification\n"
                "  --templates <file>    add templates from a DSL file\n"
                "  --sig-rules <file>    also run Snort-style content rules\n"
@@ -258,6 +263,17 @@ int main(int argc, char** argv) {
       cli.dark.push_back(*prefix);
     } else if (arg == "--dark-threshold") {
       cli.dark_threshold = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--arch") {
+      const char* name = next();
+      cli.arch = arch::Arch::by_name(name);
+      if (!cli.arch) {
+        std::fprintf(stderr, "unknown --arch: %s (known:", name);
+        for (const arch::Arch* a : arch::Arch::all()) {
+          std::fprintf(stderr, " %s", std::string(a->name()).c_str());
+        }
+        std::fprintf(stderr, ")\n");
+        return 2;
+      }
     } else if (arg == "--analyze-all") {
       cli.analyze_all = true;
     } else if (arg == "--templates") {
@@ -351,6 +367,7 @@ int main(int argc, char** argv) {
   }
 
   core::NidsOptions options;
+  options.arch = cli.arch;
   options.classifier.analyze_everything = cli.analyze_all;
   options.classifier.dark_space_threshold = cli.dark_threshold;
   options.threads = cli.threads;

@@ -7,6 +7,9 @@
 //     --benign <n>           benign flows (default 200)
 //     --attack <name>        plant one attack (repeatable):
 //                            shell | bindshell | poly | clet | codered | mailworm
+//                            | shell64 | bindshell64 | reverse64 | xor64
+//                            (the *64 attacks carry x86-64 shellcode; scan
+//                            the trace with senids_scan --arch x86_64)
 //     --scan                 precede each attack with a dark-space scan
 //     --list                 list attack names and exit
 #include <cstdio>
@@ -19,14 +22,17 @@
 #include "gen/mailworm.hpp"
 #include "gen/poly.hpp"
 #include "gen/shellcode.hpp"
+#include "gen/shellcode64.hpp"
 #include "gen/traffic.hpp"
 
 using namespace senids;
 
 namespace {
 
-const char* const kAttackNames[] = {"shell", "bindshell", "poly", "clet",
-                                    "codered", "mailworm"};
+const char* const kAttackNames[] = {"shell",    "bindshell", "poly",
+                                    "clet",     "codered",   "mailworm",
+                                    "shell64",  "bindshell64", "reverse64",
+                                    "xor64"};
 
 void usage(const char* argv0) {
   std::fprintf(stderr,
@@ -137,6 +143,23 @@ int main(int argc, char** argv) {
     } else if (attack == "mailworm") {
       auto worm = gen::make_email_worm(prng);
       tb.add_tcp_flow(attacker, net::Endpoint{mail_server, 25}, worm.smtp_payload);
+    } else if (attack == "shell64") {
+      tb.add_tcp_flow(attacker, net::Endpoint{honeypot, 80},
+                      gen::ExploitBuilder64::wrap(
+                          prng.below(2) ? gen::ExploitBuilder64::execve_embedded()
+                                        : gen::ExploitBuilder64::execve_stack(),
+                          prng));
+    } else if (attack == "bindshell64") {
+      tb.add_tcp_flow(attacker, net::Endpoint{honeypot, 80},
+                      gen::ExploitBuilder64::wrap(gen::ExploitBuilder64::port_bind(), prng));
+    } else if (attack == "reverse64") {
+      tb.add_tcp_flow(
+          attacker, net::Endpoint{honeypot, 80},
+          gen::ExploitBuilder64::wrap(gen::ExploitBuilder64::reverse_shell(), prng));
+    } else if (attack == "xor64") {
+      tb.add_tcp_flow(
+          attacker, net::Endpoint{honeypot, 80},
+          gen::ExploitBuilder64::wrap(gen::ExploitBuilder64::xor_decoder(), prng));
     } else {
       std::fprintf(stderr, "unknown attack: %s (see --list)\n", attack.c_str());
       return 2;
